@@ -1,0 +1,114 @@
+"""Design-choice ablations called out in DESIGN.md §5.
+
+Three knobs of SMARTFEAT itself, each exercised on a dataset where the
+mechanism matters:
+
+* **sampling budget** (west_nile): more samples → more features until
+  the candidate space saturates;
+* **validation screens** (diabetes): disabling the null/constant screens
+  lets low-quality features through;
+* **drop heuristic** (adult): enabling it removes superseded originals
+  without hurting AUC.
+"""
+
+from benchmarks.conftest import write_result
+from repro.core import SmartFeat, ValidationConfig
+from repro.datasets import load_dataset
+from repro.eval import evaluate_models, render_table
+from repro.fm import SimulatedFM
+
+
+def _tool(**kwargs):
+    return SmartFeat(
+        fm=SimulatedFM(seed=0, model="gpt-4"),
+        function_fm=SimulatedFM(seed=1, model="gpt-3.5-turbo"),
+        downstream_model="random_forest",
+        **kwargs,
+    )
+
+
+def _fit(bundle, tool):
+    return tool.fit_transform(
+        bundle.frame,
+        target=bundle.target,
+        descriptions=bundle.descriptions,
+        title=bundle.title,
+        target_description=bundle.target_description,
+    )
+
+
+def test_sampling_budget_ablation(benchmark, results_dir):
+    bundle = load_dataset("west_nile", n_rows=800)
+    outcomes = {}
+
+    def run_all():
+        for budget in (2, 5, 10, 20):
+            result = _fit(bundle, _tool(sampling_budget=budget))
+            outcomes[budget] = len(result.new_features)
+        return outcomes
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [[str(b), str(n)] for b, n in outcomes.items()]
+    write_result(
+        results_dir,
+        "ablation_sampling_budget.txt",
+        render_table(["Sampling budget", "# features"], rows),
+    )
+    assert outcomes[2] <= outcomes[10]
+    assert outcomes[20] >= outcomes[5]
+
+
+def test_validation_screens_ablation(benchmark, results_dir):
+    bundle = load_dataset("diabetes", n_rows=700)
+
+    def run_both():
+        screened = _fit(bundle, _tool())
+        unscreened = _fit(
+            bundle,
+            _tool(
+                validation=ValidationConfig(
+                    max_null_fraction=1.0, reject_constant=False, max_dummy_columns=10**6
+                )
+            ),
+        )
+        return screened, unscreened
+
+    screened, unscreened = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    rows = [
+        ["screens on", str(len(screened.new_columns)), str(len(screened.rejections))],
+        ["screens off", str(len(unscreened.new_columns)), str(len(unscreened.rejections))],
+    ]
+    write_result(
+        results_dir,
+        "ablation_validation_screens.txt",
+        render_table(["Variant", "# kept columns", "# rejections"], rows),
+    )
+    # The screens reject something on diabetes (e.g. the half-null
+    # guarded glucose/insulin ratio); disabling them keeps more columns.
+    assert len(unscreened.new_columns) >= len(screened.new_columns)
+    assert len(screened.rejections) > len(unscreened.rejections)
+
+
+def test_drop_heuristic_ablation(benchmark, results_dir):
+    bundle = load_dataset("adult", n_rows=900)
+
+    def run_both():
+        kept = _fit(bundle, _tool(drop_heuristic=False))
+        dropped = _fit(bundle, _tool(drop_heuristic=True))
+        return kept, dropped
+
+    kept, dropped = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    auc_kept = evaluate_models(kept.frame, bundle.target, models=("rf",), n_splits=3)["rf"]
+    auc_dropped = evaluate_models(dropped.frame, bundle.target, models=("rf",), n_splits=3)["rf"]
+    rows = [
+        ["heuristic off", "0", f"{auc_kept:.2f}"],
+        ["heuristic on", str(len(dropped.dropped)), f"{auc_dropped:.2f}"],
+    ]
+    write_result(
+        results_dir,
+        "ablation_drop_heuristic.txt",
+        render_table(["Variant", "# originals dropped", "RF AUC"], rows),
+    )
+    assert dropped.dropped, "heuristic should fire on adult"
+    # Dropping superseded originals should not cost material AUC.
+    assert auc_dropped > auc_kept - 2.5

@@ -1,0 +1,53 @@
+"""Figure 1 — row-level vs feature-level FM interaction cost.
+
+Regenerates the series behind the paper's motivating figure: the cost of
+obtaining one new feature by row-level masked-token completion (one API
+call per row) versus SMARTFEAT's feature-level interactions (a measured,
+size-independent call profile).  Asserts linear-vs-flat scaling and the
+cost crossover.
+"""
+
+from benchmarks.conftest import write_result
+from repro.datasets import load_dataset
+from repro.eval import interaction_cost_comparison, render_table
+
+ROW_COUNTS = (100, 1_000, 10_000, 100_000)
+
+
+def test_fig1_interaction_cost(benchmark, results_dir):
+    bundle = load_dataset("west_nile", n_rows=400)
+    points = benchmark.pedantic(
+        lambda: interaction_cost_comparison(bundle, row_counts=ROW_COUNTS),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [
+            str(p.n_rows),
+            p.style,
+            str(p.n_calls),
+            f"{p.tokens:,}",
+            f"{p.cost_usd:.2f}",
+            f"{p.latency_s:,.0f}",
+        ]
+        for p in points
+    ]
+    table = render_table(
+        ["rows", "style", "FM calls", "tokens", "cost ($)", "latency (s)"], rows
+    )
+    write_result(results_dir, "fig1_interaction_cost.txt", table)
+
+    row_level = {p.n_rows: p for p in points if p.style == "row_level"}
+    feature_level = {p.n_rows: p for p in points if p.style == "feature_level"}
+
+    # Row-level: calls and cost grow linearly with rows.
+    assert row_level[100_000].n_calls == 1000 * row_level[100].n_calls
+    assert row_level[100_000].cost_usd / row_level[100].cost_usd > 900
+
+    # Feature-level: perfectly flat in table size.
+    flat = {p.n_calls for p in feature_level.values()}
+    assert len(flat) == 1
+
+    # Crossover: by 10k rows the row-level style is ≥ 10× more expensive.
+    assert row_level[10_000].cost_usd > 10 * feature_level[10_000].cost_usd
+    assert row_level[100_000].latency_s > 50 * feature_level[100_000].latency_s

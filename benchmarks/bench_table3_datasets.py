@@ -1,0 +1,47 @@
+"""Table 3 — dataset statistics.
+
+Regenerates the paper's dataset summary (categorical/numeric attribute
+counts, row counts, field) from the synthetic generators and verifies
+each matches the published spec.  The timed kernel is one full-size
+dataset generation.
+"""
+
+from benchmarks.conftest import write_result
+from repro.datasets import DATASET_NAMES, list_datasets, load_dataset
+from repro.eval import render_table
+
+
+def _classify(bundle):
+    categorical, numeric = 0, 1  # numeric includes the prediction class
+    for name in bundle.feature_columns():
+        series = bundle.frame[name]
+        if series.dtype == object or set(series.dropna().tolist()) <= {0, 1, 0.0, 1.0}:
+            categorical += 1
+        else:
+            numeric += 1
+    return categorical, numeric
+
+
+def test_table3_dataset_statistics(benchmark, results_dir):
+    benchmark.pedantic(lambda: load_dataset("tennis"), rounds=1, iterations=1)
+
+    rows = []
+    for spec in list_datasets():
+        bundle = load_dataset(spec.name, n_rows=400)
+        n_cat, n_num = _classify(bundle)
+        rows.append(
+            [
+                spec.name,
+                f"{n_cat} (paper {spec.n_categorical})",
+                f"{n_num} (paper {spec.n_numeric})",
+                str(spec.n_rows),
+                spec.field,
+            ]
+        )
+        assert n_cat == spec.n_categorical, spec.name
+        assert n_num == spec.n_numeric, spec.name
+    table = render_table(
+        ["Dataset", "# cat attr", "# num attr", "# rows", "Field"], rows
+    )
+    write_result(results_dir, "table3_datasets.txt", table)
+    assert len(rows) == len(DATASET_NAMES) == 8

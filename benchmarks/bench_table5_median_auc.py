@@ -1,0 +1,38 @@
+"""Table 5 — median AUC across the five downstream models.
+
+Same sweep as Table 4, aggregated by the median (robust to one model
+dominating or collapsing).  The timed kernel is the aggregation +
+rendering pass.
+"""
+
+from benchmarks.conftest import write_result
+from repro.eval import render_auc_table
+
+
+def test_table5_median_auc(benchmark, paper_sweep, results_dir):
+    table = benchmark.pedantic(
+        lambda: render_auc_table(paper_sweep, aggregate="median"), rounds=1, iterations=1
+    )
+    write_result(results_dir, "table5_median_auc.txt", table)
+
+    datasets = paper_sweep.config.datasets
+    for dataset in datasets:
+        outcome = paper_sweep.get(dataset, "initial")
+        assert outcome.median_auc is not None
+        # Median must lie within the per-model range.
+        values = list(outcome.auc_by_model.values())
+        assert min(values) <= outcome.median_auc <= max(values)
+
+    # The two aggregates broadly agree on where SMARTFEAT wins.
+    both_improve = 0
+    for dataset in datasets:
+        initial = paper_sweep.get(dataset, "initial")
+        smartfeat = paper_sweep.get(dataset, "smartfeat")
+        if smartfeat.average_auc is None:
+            continue
+        if (
+            smartfeat.average_auc > initial.average_auc
+            and smartfeat.median_auc > initial.median_auc
+        ):
+            both_improve += 1
+    assert both_improve >= 3

@@ -1,0 +1,65 @@
+"""Table 6 — % of new features in the top-10 under IG / RFE / FI (Tennis).
+
+Shape assertions mirror the paper:
+
+* CAAFE generates few features (validation-filtered);
+* SMARTFEAT generates fewer than the context-free baselines (operator
+  selector prunes the space) and most of its features rank top-10;
+* AutoFeat's expansion is ~two orders of magnitude larger than its
+  selection.
+"""
+
+from benchmarks.conftest import write_result
+from repro.datasets import load_dataset
+from repro.eval import render_table
+from repro.eval.importance import importance_table
+
+
+def test_table6_feature_importance(benchmark, results_dir):
+    bundle = load_dataset("tennis", n_rows=700)
+    rows = benchmark.pedantic(
+        lambda: importance_table(bundle, k=10, seed=0), rounds=1, iterations=1
+    )
+    by_method = {row.method: row for row in rows}
+
+    text_rows = []
+    for row in rows:
+        generated = (
+            f"{row.n_generated} (sel-{row.n_selected})"
+            if row.n_selected != row.n_generated
+            else str(row.n_generated)
+        )
+        text_rows.append(
+            [
+                row.method,
+                generated,
+                f"{row.ig_at_k:.0%}",
+                f"{row.rfe_at_k:.0%}",
+                f"{row.fi_at_k:.0%}",
+            ]
+        )
+    table = render_table(
+        ["Method", "# generated features", "IG@10", "RFE@10", "FI@10"], text_rows
+    )
+    write_result(results_dir, "table6_importance_tennis.txt", table)
+
+    smartfeat = by_method["smartfeat"]
+    caafe = by_method["caafe"]
+    featuretools = by_method["featuretools"]
+    autofeat = by_method["autofeat"]
+
+    # CAAFE keeps few features; SMARTFEAT's selector keeps the space small.
+    assert caafe.n_selected <= 10
+    assert smartfeat.n_selected < featuretools.n_generated
+    assert smartfeat.n_selected < autofeat.n_generated / 10
+
+    # AutoFeat: huge expansion, tiny selection.
+    assert autofeat.n_generated > 1000
+    assert autofeat.n_selected <= 40
+
+    # SMARTFEAT features are useful: a majority of the top-10 under at
+    # least two of the three metrics.
+    strong_metrics = sum(
+        1 for value in (smartfeat.ig_at_k, smartfeat.rfe_at_k, smartfeat.fi_at_k) if value >= 0.5
+    )
+    assert strong_metrics >= 2, (smartfeat.ig_at_k, smartfeat.rfe_at_k, smartfeat.fi_at_k)

@@ -1,0 +1,39 @@
+"""Shared benchmark fixtures.
+
+The heavyweight Table 4/5 sweep runs once per session (``paper_sweep``)
+and is shared by the table-4, table-5, and efficiency benches.  Every
+bench writes its regenerated table to ``results/`` so the artifacts
+survive the run.
+
+Profile note: benches run each dataset at ``n_rows=1200`` with 3-fold CV
+and a modelled full-scale time budget of 600 s (the simulator-scale
+equivalent of the paper's one-hour limit — see EXPERIMENTS.md).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.eval import SweepConfig, run_sweep
+
+BENCH_SWEEP_CONFIG = SweepConfig(n_rows=1200, n_splits=3, time_limit_s=600.0, seed=0)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    path = Path(__file__).resolve().parent.parent / "results"
+    path.mkdir(exist_ok=True)
+    return path
+
+
+@pytest.fixture(scope="session")
+def paper_sweep():
+    """The full method × dataset × model sweep (runs once per session)."""
+    return run_sweep(BENCH_SWEEP_CONFIG)
+
+
+def write_result(results_dir: Path, name: str, text: str) -> None:
+    """Persist a regenerated table and echo it to the terminal."""
+    path = results_dir / name
+    path.write_text(text + "\n")
+    print(f"\n--- {name} ---\n{text}\n")

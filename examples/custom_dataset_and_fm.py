@@ -1,0 +1,91 @@
+"""Bring your own dataset — and your own foundation model client.
+
+This example shows the two main extension points:
+
+1. **Custom data**: SMARTFEAT takes any :class:`repro.dataframe.DataFrame`
+   plus a data card (column descriptions).  Here we build a small
+   churn-prediction table from scratch.
+2. **Custom FM client**: anything implementing
+   :class:`repro.fm.FMClient` plugs in.  We wrap the simulator in a
+   :class:`repro.fm.RecordingFM` to capture the full prompt/response
+   transcript — which is also how you would record fixtures for replay
+   tests against a real API client.
+
+Run::
+
+    python examples/custom_dataset_and_fm.py
+"""
+
+import numpy as np
+
+from repro.core import SmartFeat
+from repro.dataframe import DataFrame
+from repro.fm import RecordingFM, SimulatedFM
+
+
+def build_churn_table(n: int = 600, seed: int = 7) -> DataFrame:
+    rng = np.random.default_rng(seed)
+    tenure = np.clip(rng.gamma(2.0, 14, n), 1, 72).round(0)
+    monthly_fee = np.clip(rng.normal(65, 25, n), 15, 130).round(2)
+    support_tickets = rng.poisson(1.2, n)
+    city = rng.choice(["SF", "LA", "SEA", "CHI"], size=n)
+    plan = rng.choice(["basic", "plus", "premium"], size=n, p=[0.5, 0.3, 0.2])
+    fee_pressure = monthly_fee / (tenure + 1)
+    logit = (
+        1.2 * (fee_pressure - fee_pressure.mean()) / fee_pressure.std()
+        + 0.8 * (support_tickets - 1.2)
+        - 0.5 * (plan == "premium")
+    )
+    churned = (rng.uniform(size=n) < 1 / (1 + np.exp(-logit))).astype(int)
+    return DataFrame(
+        {
+            "TenureMonths": tenure,
+            "MonthlyFee": monthly_fee,
+            "SupportTickets": support_tickets,
+            "City": city,
+            "Plan": plan,
+            "Churned": churned,
+        }
+    )
+
+
+DESCRIPTIONS = {
+    "TenureMonths": "Months since the customer signed up",
+    "MonthlyFee": "Monthly subscription fee in dollars",
+    "SupportTickets": "Number of support tickets filed in the last quarter",
+    "City": "City of the customer",
+    "Plan": "Subscription plan tier",
+}
+
+
+def main() -> None:
+    frame = build_churn_table()
+    recorder = RecordingFM(SimulatedFM(seed=0, model="gpt-4"))
+    tool = SmartFeat(fm=recorder, downstream_model="logistic_regression")
+    result = tool.fit_transform(
+        frame,
+        target="Churned",
+        descriptions=DESCRIPTIONS,
+        title="Subscription churn records (SaaS billing)",
+        target_description="1 = customer cancelled within 30 days",
+    )
+
+    print(f"Generated {len(result.new_features)} features:")
+    for name, feature in result.new_features.items():
+        print(f"  [{feature.family.value:10s}] {name}  <- {feature.input_columns}")
+
+    print(f"\nRecorded {len(recorder.recording)} FM interactions. First prompt:")
+    first_prompt, first_answer = recorder.recording[0]
+    print("-" * 60)
+    print(first_prompt[:400])
+    print("-" * 60)
+    print("FM answered:")
+    print(first_answer[:300])
+    print(
+        "\nSwap `SimulatedFM` for any `FMClient` implementation (e.g. a real "
+        "API wrapper)\nand the rest of the pipeline is unchanged."
+    )
+
+
+if __name__ == "__main__":
+    main()

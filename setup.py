@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The execution environment has no network and no ``wheel`` package, so PEP
+517 editable installs (which build a wheel) fail.  With this shim present
+and no ``[build-system]`` table in ``pyproject.toml``, ``pip install -e .``
+falls back to the legacy ``setup.py develop`` path, which works offline.
+All package metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

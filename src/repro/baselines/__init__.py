@@ -1,0 +1,31 @@
+"""The paper's three comparison baselines, reimplemented to mechanism.
+
+* :class:`FeaturetoolsDFS` — Deep Feature Synthesis as configured in the
+  paper: ``add_numeric`` + ``multiply_numeric`` + aggregation primitives,
+  exhaustively applied, followed by the standard correlation/null/
+  single-value selection.
+* :class:`AutoFeatLike` — AutoFeat's expand-then-select loop: a large
+  non-linear expansion (powers, logs, reciprocals, pairwise products and
+  ratios) followed by iterative L1-regularised selection.  Deliberately
+  expensive on wide/large data, like the original (which timed out on
+  Bank and Adult in the paper).
+* :class:`CAAFELike` — CAAFE's FM loop: ten unguided code-generation
+  iterations, each validated by training the downstream model on a
+  holdout and keeping the feature only if AUC improves.  No operator
+  guidance, feature values sampled into the prompt, and no NaN guards in
+  generated code (the paper's Diabetes divide-by-zero failure).
+"""
+
+from repro.baselines.base import AFEResult, BaselineTimeoutError, Deadline
+from repro.baselines.featuretools_like import FeaturetoolsDFS
+from repro.baselines.autofeat_like import AutoFeatLike
+from repro.baselines.caafe_like import CAAFELike
+
+__all__ = [
+    "AFEResult",
+    "AutoFeatLike",
+    "BaselineTimeoutError",
+    "CAAFELike",
+    "Deadline",
+    "FeaturetoolsDFS",
+]

@@ -1,0 +1,179 @@
+"""AutoFeat-style expansion and iterative selection.
+
+AutoFeat "constructs a large set of non-linear features and subsequently
+performs a search algorithm to select an effective subset".  The
+reimplementation follows that mechanism:
+
+1. **Expansion** — unary non-linear transforms of every numeric column
+   (log, sqrt, square, cube, reciprocal), then pairwise products and
+   ratios across the expanded pool.  On the Tennis schema this yields
+   ~2,000 candidates, matching Table 6's ``1978 (sel-5)`` scale.
+2. **Selection** — correlation pre-filter, then an iterative
+   L1-regularised logistic path that retains features with persistent
+   non-zero weight across regularisation strengths.
+
+The expansion is quadratic in columns and linear in rows; with the
+paper's larger datasets (Bank, Adult) it exhausts its time budget —
+reproducing the reported DNFs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import AFEResult, Deadline
+from repro.dataframe import DataFrame, Series
+from repro.ml.linear import LogisticRegression
+from repro.ml.preprocessing import StandardScaler
+
+__all__ = ["AutoFeatLike"]
+
+_EPS = 1e-9
+
+
+class AutoFeatLike:
+    """Expand-then-select automated feature engineering.
+
+    Parameters
+    ----------
+    max_selected:
+        Upper bound on the features kept by the final selection.
+    prefilter_top:
+        Candidates entering L1 selection (by |correlation| with target).
+    l1_strengths:
+        Inverse-regularisation path; a feature must survive (non-zero
+        weight) in at least half the fits to be retained.
+    """
+
+    def __init__(
+        self,
+        max_selected: int = 40,
+        prefilter_top: int = 200,
+        l1_strengths: tuple[float, ...] = (0.02, 0.05, 0.1),
+        weight_threshold: float = 0.05,
+        stability_sweeps: int = 16,
+        seed: int = 0,
+    ) -> None:
+        self.max_selected = max_selected
+        self.prefilter_top = prefilter_top
+        self.l1_strengths = l1_strengths
+        self.weight_threshold = weight_threshold
+        self.stability_sweeps = stability_sweeps
+        self.seed = seed
+
+    _UNARY = (
+        ("log", lambda x: np.log1p(np.abs(x))),
+        ("sqrt", lambda x: np.sqrt(np.abs(x))),
+        ("sq", lambda x: x**2),
+        ("cube", lambda x: x**3),
+        ("recip", lambda x: 1.0 / (x + np.where(x >= 0, _EPS, -_EPS))),
+    )
+
+    def fit_transform(
+        self, frame: DataFrame, target: str, deadline: Deadline | None = None
+    ) -> AFEResult:
+        deadline = deadline or Deadline()
+        numeric = [c for c in frame.numeric_columns() if c != target]
+        y = frame[target]._numeric().astype(np.int64)
+
+        # Stage 1: unary expansion pool (keeps originals too).  The paper's
+        # preprocessing factorises categoricals to integer codes, which
+        # AutoFeat — numeric-only — then treats as ordinary numerics, so
+        # the codes join the expansion pool.
+        from repro.dataframe.reshape import factorize
+
+        pool: dict[str, np.ndarray] = {c: frame[c]._numeric() for c in numeric}
+        for column in frame.categorical_columns():
+            codes, _ = factorize(frame[column])
+            pool[column] = codes.astype(np.float64)
+            numeric = [*numeric, column]
+        for column in numeric:
+            base = pool[column]
+            for suffix, func in self._UNARY:
+                deadline.check("unary expansion")
+                with np.errstate(all="ignore"):
+                    pool[f"{suffix}({column})"] = func(base)
+        # Stage 2: pairwise products and ratios over the expanded pool.
+        names = list(pool)
+        candidates: dict[str, np.ndarray] = {}
+        for i, a in enumerate(names):
+            deadline.check("pairwise expansion")
+            va = pool[a]
+            for b in names[i + 1 :]:
+                vb = pool[b]
+                with np.errstate(all="ignore"):
+                    candidates[f"{a}*{b}"] = va * vb
+                    candidates[f"{a}/{b}"] = va / np.where(np.abs(vb) < _EPS, np.nan, vb)
+        for name, values in pool.items():
+            if name not in numeric:
+                candidates[name] = values
+        n_generated = len(candidates)
+
+        selected = self._select(candidates, y, deadline)
+        working = frame.copy()
+        for name in selected:
+            values = np.nan_to_num(candidates[name], nan=0.0, posinf=0.0, neginf=0.0)
+            working[name] = Series(values.tolist(), name)
+        return AFEResult(
+            frame=working,
+            new_columns=selected,
+            n_generated=n_generated,
+            notes={"method": "autofeat"},
+        )
+
+    # ------------------------------------------------------------------
+    def _select(
+        self, candidates: dict[str, np.ndarray], y: np.ndarray, deadline: Deadline
+    ) -> list[str]:
+        """Correlation pre-filter, then an L1 stability path."""
+        scored: list[tuple[float, str]] = []
+        for name, values in candidates.items():
+            deadline.check("correlation pre-filter")
+            clean = np.nan_to_num(values, nan=0.0, posinf=0.0, neginf=0.0)
+            if clean.std() == 0:
+                continue
+            corr = float(np.corrcoef(clean, y)[0, 1])
+            if np.isnan(corr):
+                continue
+            scored.append((abs(corr), name))
+        scored.sort(reverse=True)
+        shortlist = [name for _, name in scored[: self.prefilter_top]]
+        if not shortlist:
+            return []
+        matrix = np.column_stack(
+            [
+                np.nan_to_num(candidates[name], nan=0.0, posinf=0.0, neginf=0.0)
+                for name in shortlist
+            ]
+        )
+        matrix = StandardScaler().fit_transform(matrix)
+        votes = np.zeros(len(shortlist))
+        total_fits = 0
+        rng = np.random.default_rng(self.seed)
+        # Stability selection: AutoFeat's noise-filtering repeats the
+        # regularised fit on resamples and keeps persistently weighted
+        # features.  This is also where its runtime goes on large data.
+        for sweep in range(max(self.stability_sweeps, 1)):
+            rows = (
+                rng.integers(0, len(y), size=len(y))
+                if sweep > 0
+                else np.arange(len(y))
+            )
+            if len(np.unique(y[rows])) < 2:
+                continue
+            for strength in self.l1_strengths:
+                deadline.check("L1 stability path")
+                # L2-as-proxy path with hard thresholding stands in for
+                # coordinate-descent L1 (scipy has no l1 logistic); the
+                # stability-selection behaviour is what matters here.
+                model = LogisticRegression(C=strength, max_iter=120)
+                model.fit(matrix[rows], y[rows])
+                votes += (np.abs(model.coef_) > self.weight_threshold).astype(float)
+                total_fits += 1
+        keep_mask = votes >= (total_fits / 2.0)
+        kept = [name for name, keep in zip(shortlist, keep_mask) if keep]
+        if len(kept) > self.max_selected:
+            strength_order = {name: rank for rank, (_, name) in enumerate(scored)}
+            kept.sort(key=lambda n: strength_order[n])
+            kept = kept[: self.max_selected]
+        return kept

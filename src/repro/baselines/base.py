@@ -1,0 +1,55 @@
+"""Shared baseline plumbing: results, deadlines, timeouts."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.dataframe import DataFrame
+
+__all__ = ["AFEResult", "BaselineTimeoutError", "Deadline"]
+
+
+class BaselineTimeoutError(Exception):
+    """An AFE method exceeded its time budget (the paper's DNF outcome)."""
+
+
+@dataclass
+class Deadline:
+    """Cooperative time budget checked inside long-running loops."""
+
+    seconds: float | None = None
+    started_at: float = field(default_factory=time.monotonic)
+
+    def check(self, label: str = "") -> None:
+        """Raise :class:`BaselineTimeoutError` once the budget is spent."""
+        if self.seconds is None:
+            return
+        elapsed = time.monotonic() - self.started_at
+        if elapsed > self.seconds:
+            raise BaselineTimeoutError(
+                f"time budget of {self.seconds:.0f}s exceeded{f' during {label}' if label else ''}"
+            )
+
+    @property
+    def elapsed(self) -> float:
+        return time.monotonic() - self.started_at
+
+
+@dataclass
+class AFEResult:
+    """Outcome of one automated-feature-engineering run.
+
+    ``n_generated`` counts every feature the method materialised;
+    ``new_columns`` lists the ones surviving its selection step (the
+    Table 6 "# generated features (sel-k)" distinction).
+    """
+
+    frame: DataFrame
+    new_columns: list[str]
+    n_generated: int
+    notes: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def n_selected(self) -> int:
+        return len(self.new_columns)

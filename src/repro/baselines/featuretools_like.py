@@ -1,0 +1,136 @@
+"""Featuretools-style Deep Feature Synthesis (DSM baseline).
+
+The paper configures Featuretools with the ``add_numeric`` and
+``multiply_numeric`` transform primitives plus aggregation primitives,
+then relies on its built-in selection to remove highly correlated, highly
+null, and single-value features.  The expansion is *context-free*: every
+numeric pair is combined regardless of meaning, which is exactly why its
+features often fail to help (Table 4's negative deltas).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import AFEResult, Deadline
+from repro.dataframe import DataFrame, Series
+
+__all__ = ["FeaturetoolsDFS"]
+
+
+class FeaturetoolsDFS:
+    """Exhaustive primitive application + correlation-based selection.
+
+    Parameters
+    ----------
+    primitives:
+        Transform primitives over numeric pairs (``add_numeric``,
+        ``multiply_numeric``, per the paper's configuration).
+    agg_primitives:
+        GroupBy aggregations applied for every (categorical, numeric) pair.
+    corr_threshold:
+        Selection drops a new feature whose absolute correlation with any
+        retained column exceeds this.
+    max_null_fraction:
+        Selection drops features with more missing values than this.
+    """
+
+    def __init__(
+        self,
+        primitives: tuple[str, ...] = ("add_numeric", "multiply_numeric"),
+        agg_primitives: tuple[str, ...] = ("mean", "max", "min", "sum"),
+        corr_threshold: float = 0.95,
+        max_null_fraction: float = 0.3,
+        max_group_cardinality: int = 50,
+    ) -> None:
+        unknown = set(primitives) - {"add_numeric", "multiply_numeric", "subtract_numeric", "divide_numeric"}
+        if unknown:
+            raise ValueError(f"unknown primitives: {sorted(unknown)}")
+        self.primitives = primitives
+        self.agg_primitives = agg_primitives
+        self.corr_threshold = corr_threshold
+        self.max_null_fraction = max_null_fraction
+        self.max_group_cardinality = max_group_cardinality
+
+    _PRIMITIVE_OPS = {
+        "add_numeric": ("+", lambda a, b: a + b),
+        "multiply_numeric": ("*", lambda a, b: a * b),
+        "subtract_numeric": ("-", lambda a, b: a - b),
+        "divide_numeric": ("/", lambda a, b: a / b),
+    }
+
+    def fit_transform(
+        self, frame: DataFrame, target: str, deadline: Deadline | None = None
+    ) -> AFEResult:
+        """Expand every applicable primitive, then select."""
+        deadline = deadline or Deadline()
+        working = frame.copy()
+        numeric = [c for c in frame.numeric_columns() if c != target]
+        categorical = [
+            c
+            for c in frame.categorical_columns()
+            if frame[c].nunique() <= self.max_group_cardinality
+        ]
+        candidates: dict[str, Series] = {}
+        for name in self.primitives:
+            symbol, op = self._PRIMITIVE_OPS[name]
+            for i, a in enumerate(numeric):
+                deadline.check("transform primitives")
+                for b in numeric[i + 1 :]:
+                    candidates[f"{a} {symbol} {b}"] = op(frame[a], frame[b])
+        for group_col in categorical:
+            for agg in self.agg_primitives:
+                deadline.check("aggregation primitives")
+                for value_col in numeric:
+                    name = f"{agg.upper()}({value_col}) by {group_col}"
+                    candidates[name] = frame.groupby(group_col)[value_col].transform(agg)
+        n_generated = len(candidates)
+        selected = self._select(frame, target, candidates, deadline)
+        for name, series in selected.items():
+            working[name] = series
+        return AFEResult(
+            frame=working,
+            new_columns=list(selected),
+            n_generated=n_generated,
+            notes={"method": "featuretools_dfs"},
+        )
+
+    # ------------------------------------------------------------------
+    def _select(
+        self,
+        frame: DataFrame,
+        target: str,
+        candidates: dict[str, Series],
+        deadline: Deadline,
+    ) -> dict[str, Series]:
+        """Featuretools-style screening: null / constant / correlated."""
+        kept: dict[str, Series] = {}
+        kept_arrays: list[np.ndarray] = [
+            frame[c]._numeric() for c in frame.numeric_columns() if c != target
+        ]
+        for name, series in candidates.items():
+            deadline.check("feature selection")
+            values = series._numeric()
+            finite = np.isfinite(values)
+            if 1.0 - finite.mean() > self.max_null_fraction:
+                continue
+            present = values[finite]
+            if len(present) == 0 or present.std() == 0:
+                continue
+            if self._correlated_with_any(values, kept_arrays):
+                continue
+            kept[name] = series
+            kept_arrays.append(values)
+        return kept
+
+    def _correlated_with_any(self, values: np.ndarray, pool: list[np.ndarray]) -> bool:
+        for other in pool:
+            mask = np.isfinite(values) & np.isfinite(other)
+            if mask.sum() < 3:
+                continue
+            a, b = values[mask], other[mask]
+            if a.std() == 0 or b.std() == 0:
+                continue
+            if abs(float(np.corrcoef(a, b)[0, 1])) > self.corr_threshold:
+                return True
+        return False

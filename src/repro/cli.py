@@ -1,0 +1,149 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``datasets``
+    List the eight built-in evaluation datasets (Table 3).
+``run``
+    Run SMARTFEAT on a built-in dataset or a CSV file and print the
+    generated features, optionally writing the enriched CSV.
+``compare``
+    Run the method comparison (initial / SMARTFEAT / baselines) on a
+    built-in dataset and print the Table 4-style row.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import SmartFeat
+from repro.datasets import DATASET_NAMES, list_datasets, load_dataset
+from repro.eval import SweepConfig, render_auc_table, render_table, run_sweep
+from repro.eval.harness import evaluate_models
+from repro.fm import SimulatedFM
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SMARTFEAT reproduction: FM-guided automated feature engineering.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list the built-in evaluation datasets")
+
+    run = sub.add_parser("run", help="run SMARTFEAT on a dataset or CSV")
+    run.add_argument("source", help=f"dataset name ({', '.join(DATASET_NAMES)}) or a CSV path")
+    run.add_argument("--target", help="target column (required for CSV sources)")
+    run.add_argument("--rows", type=int, default=800, help="row cap for built-in datasets")
+    run.add_argument("--model", default="random_forest", help="downstream model name")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--output", help="write the enriched table to this CSV path")
+    run.add_argument("--evaluate", action="store_true", help="print before/after AUC")
+
+    compare = sub.add_parser("compare", help="compare methods on a built-in dataset")
+    compare.add_argument("dataset", choices=DATASET_NAMES)
+    compare.add_argument("--rows", type=int, default=900)
+    compare.add_argument("--models", default="lr,nb,rf", help="comma-separated model names")
+    compare.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_datasets() -> int:
+    rows = [
+        [s.name, str(s.n_categorical), str(s.n_numeric), str(s.n_rows), s.field, s.target]
+        for s in list_datasets()
+    ]
+    print(render_table(["Dataset", "# cat", "# num", "# rows", "Field", "Target"], rows))
+    return 0
+
+
+def _load_source(args) -> tuple:
+    if args.source in DATASET_NAMES:
+        bundle = load_dataset(args.source, seed=args.seed, n_rows=args.rows)
+        return (
+            bundle.frame,
+            bundle.target,
+            bundle.descriptions,
+            bundle.title,
+            bundle.target_description,
+        )
+    from repro.dataframe import read_csv
+
+    if not args.target:
+        raise SystemExit("--target is required for CSV sources")
+    frame = read_csv(args.source)
+    if args.target not in frame.columns:
+        raise SystemExit(f"target column {args.target!r} not in {args.source}")
+    return frame, args.target, None, "", ""
+
+
+def _cmd_run(args) -> int:
+    frame, target, descriptions, title, target_description = _load_source(args)
+    tool = SmartFeat(
+        fm=SimulatedFM(seed=args.seed, model="gpt-4"),
+        function_fm=SimulatedFM(seed=args.seed + 1, model="gpt-3.5-turbo"),
+        downstream_model=args.model,
+    )
+    result = tool.fit_transform(
+        frame,
+        target=target,
+        descriptions=descriptions,
+        title=title,
+        target_description=target_description,
+    )
+    print(f"Generated {len(result.new_features)} features:")
+    for feature in result.new_features.values():
+        print(f"  [{feature.family.value:10s}] {feature.name}")
+    if result.dropped:
+        print(f"Dropped originals: {result.dropped}")
+    for plan in result.row_plans:
+        print(
+            f"Deferred row-level feature {plan.name!r}: {plan.estimated_calls} calls, "
+            f"~${plan.estimated_cost_usd:.2f}"
+        )
+    for suggestion in result.suggestions:
+        print(f"Data sources for {suggestion.name!r}: {suggestion.sources}")
+    if args.evaluate:
+        before = evaluate_models(frame, target, models=("lr", "rf"), n_splits=3)
+        after = evaluate_models(result.frame, target, models=("lr", "rf"), n_splits=3)
+        for model in before:
+            print(f"  {model}: {before[model]:.2f} -> {after[model]:.2f}")
+    if args.output:
+        from repro.dataframe.io import to_csv
+
+        to_csv(result.frame, args.output)
+        print(f"Wrote enriched table to {args.output}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    config = SweepConfig(
+        datasets=(args.dataset,),
+        models=tuple(m.strip() for m in args.models.split(",") if m.strip()),
+        n_rows=args.rows,
+        n_splits=3,
+        time_limit_s=None,
+        seed=args.seed,
+    )
+    result = run_sweep(config, progress=lambda line: print(f"  {line}", file=sys.stderr))
+    print(render_auc_table(result, aggregate="average"))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "datasets":
+        return _cmd_datasets()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

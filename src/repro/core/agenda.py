@@ -1,0 +1,146 @@
+"""The data agenda: the evolving feature-description registry.
+
+Section 3.1: SMARTFEAT's input is (1) the dataset feature description,
+(2) the prediction class, and (3) the downstream model.  Each accepted
+feature's name and description are appended, and the updated agenda seeds
+the next iteration's prompts.  :meth:`DataAgenda.describe` is the exact
+serialisation every prompt embeds (and the simulator parses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dataframe import DataFrame
+
+__all__ = ["AgendaEntry", "DataAgenda"]
+
+#: Upper bound on how many category values are listed in the agenda;
+#: columns above this read as "high cardinality" to the FM.
+MAX_LISTED_VALUES = 15
+
+
+@dataclass
+class AgendaEntry:
+    """One feature's agenda line: name, kind, optional domain, description."""
+
+    name: str
+    kind: str  # "numeric" | "categorical" | "binary"
+    description: str = ""
+    values: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        values = f", values: {'|'.join(self.values)}" if self.values else ""
+        return f"- {self.name} ({self.kind}{values}): {self.description}"
+
+
+def _column_kind(frame: DataFrame, name: str) -> tuple[str, list[str]]:
+    """Classify a column and collect its listable category values."""
+    series = frame[name]
+    if series.dtype == object:
+        uniques = series.unique()
+        values = [str(v) for v in uniques[:MAX_LISTED_VALUES]] if len(uniques) <= MAX_LISTED_VALUES else []
+        return "categorical", values
+    uniques = set(series.dropna().tolist())
+    if uniques <= {0, 1, 0.0, 1.0, True, False}:
+        return "binary", []
+    return "numeric", []
+
+
+@dataclass
+class DataAgenda:
+    """Serializable description of the dataset, target, and model context."""
+
+    title: str = ""
+    target: str = ""
+    target_description: str = ""
+    model: str = ""
+    entries: dict[str, AgendaEntry] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dataframe(
+        cls,
+        frame: DataFrame,
+        target: str,
+        descriptions: dict[str, str] | None = None,
+        title: str = "",
+        target_description: str = "",
+        model: str = "",
+    ) -> "DataAgenda":
+        """Build the initial agenda from a dataframe plus its data card.
+
+        *descriptions* maps column name → natural-language description (the
+        content of a Kaggle-style data card).  Absent descriptions leave the
+        entry with an empty description — the paper's "minimal input,
+        consisting only of the feature names" configuration.
+        """
+        if target not in frame.columns:
+            raise KeyError(f"target column {target!r} not in dataframe")
+        descriptions = descriptions or {}
+        agenda = cls(
+            title=title,
+            target=target,
+            target_description=target_description,
+            model=model,
+        )
+        for name in frame.columns:
+            if name == target:
+                continue
+            kind, values = _column_kind(frame, name)
+            agenda.entries[name] = AgendaEntry(
+                name=name,
+                kind=kind,
+                description=descriptions.get(name, ""),
+                values=values,
+            )
+        return agenda
+
+    # ------------------------------------------------------------------
+    def add(self, name: str, kind: str, description: str, values: list[str] | None = None) -> None:
+        """Register a newly generated feature (name + description, §3.1)."""
+        if kind not in ("numeric", "categorical", "binary"):
+            raise ValueError(f"invalid agenda kind: {kind!r}")
+        self.entries[name] = AgendaEntry(name, kind, description, list(values or []))
+
+    def remove(self, name: str) -> None:
+        self.entries.pop(name, None)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.entries
+
+    @property
+    def feature_names(self) -> list[str]:
+        return list(self.entries)
+
+    def numeric_features(self) -> list[str]:
+        return [e.name for e in self.entries.values() if e.kind == "numeric"]
+
+    def categorical_features(self) -> list[str]:
+        return [e.name for e in self.entries.values() if e.kind == "categorical"]
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """Serialise the agenda into the prompt block every template embeds."""
+        lines = [f"Dataset description: {self.title or 'untitled dataset'}"]
+        lines.append("Features:")
+        for entry in self.entries.values():
+            lines.append(entry.render())
+        target_desc = f" — {self.target_description}" if self.target_description else ""
+        lines.append(f"Prediction class: {self.target}{target_desc}")
+        if self.model:
+            lines.append(f"Downstream model: {self.model}")
+        return "\n".join(lines)
+
+    def copy(self) -> "DataAgenda":
+        out = DataAgenda(
+            title=self.title,
+            target=self.target,
+            target_description=self.target_description,
+            model=self.model,
+        )
+        for entry in self.entries.values():
+            out.entries[entry.name] = AgendaEntry(
+                entry.name, entry.kind, entry.description, list(entry.values)
+            )
+        return out

@@ -1,0 +1,227 @@
+"""The function generator (Section 3.3).
+
+For each candidate the generator decides among the paper's three
+scenarios:
+
+1. **Transformation function** — interact with the FM (the efficient path:
+   one call per feature, independent of table size), extract the code, run
+   it in the sandbox.  High-order candidates skip the FM entirely: the
+   selector's output already determines ``df.groupby(g)[a].transform(f)``.
+2. **Row-level completion** — no explicit function exists.  Small tables
+   are completed row by row; for large tables the generator produces a
+   preview plus a cost estimate and defers to the user (the pipeline's
+   ``row_level_policy``).
+3. **Source suggestion** — neither applies; the FM suggests external data
+   sources.
+"""
+
+from __future__ import annotations
+
+from repro.core import prompts
+from repro.core.agenda import DataAgenda
+from repro.core.parsing import extract_code
+from repro.core.sandbox import SandboxViolation, TransformError, run_transform
+from repro.fm.errors import FMParseError
+from repro.core.types import (
+    FeatureCandidate,
+    GeneratedFeature,
+    OperatorFamily,
+    RowCompletionPlan,
+    SourceSuggestion,
+)
+from repro.dataframe import DataFrame, Series
+from repro.fm.base import FMClient
+from repro.fm.cost import estimate_tokens
+
+__all__ = ["FunctionGenerator", "RealizedFeature"]
+
+
+class RealizedFeature:
+    """A successfully materialised feature: columns of values + provenance."""
+
+    def __init__(self, feature: GeneratedFeature, values: dict[str, Series]) -> None:
+        self.feature = feature
+        self.values = values
+
+
+class FunctionGenerator:
+    """Turns selector candidates into values via FM-generated functions."""
+
+    def __init__(
+        self,
+        fm: FMClient,
+        row_limit: int = 200,
+        preview_rows: int = 5,
+        repair_retries: int = 1,
+    ) -> None:
+        self.fm = fm
+        self.row_limit = row_limit
+        self.preview_rows = preview_rows
+        self.repair_retries = repair_retries
+
+    # ------------------------------------------------------------------
+    def realize(
+        self,
+        candidate: FeatureCandidate,
+        agenda: DataAgenda,
+        frame: DataFrame,
+    ) -> RealizedFeature | RowCompletionPlan | SourceSuggestion:
+        """Dispatch a candidate to the appropriate §3.3 scenario."""
+        if candidate.kind == "source":
+            return self._suggest_sources(candidate, agenda)
+        if candidate.kind == "row_level":
+            return self._row_level(candidate, frame)
+        if candidate.family == OperatorFamily.HIGH_ORDER:
+            return self._high_order_direct(candidate, frame)
+        return self._via_function(candidate, agenda, frame)
+
+    # ------------------------------------------------------------------
+    # Scenario 1a: FM-generated transformation function
+    # ------------------------------------------------------------------
+    def _via_function(
+        self, candidate: FeatureCandidate, agenda: DataAgenda, frame: DataFrame
+    ) -> RealizedFeature:
+        prompt = prompts.function_generation_prompt(agenda, candidate)
+        fm_calls = 0
+        source = ""
+        result = None
+        last_error: Exception | None = None
+        for attempt in range(self.repair_retries + 1):
+            response = self.fm.complete(prompt, temperature=0.0 if attempt == 0 else 0.7)
+            fm_calls += 1
+            try:
+                source = extract_code(response.text)
+                result = run_transform(source, frame)
+                break
+            except (FMParseError, SandboxViolation, TransformError) as exc:
+                last_error = exc
+                # Error-correction loop (Section 5 future work): re-ask with
+                # the failing code and the error message.
+                prompt = prompts.function_repair_prompt(
+                    agenda, candidate, source or response.text, str(exc)
+                )
+        if result is None:
+            assert last_error is not None
+            raise last_error
+        values = self._as_columns(result, candidate.name)
+        feature = GeneratedFeature(
+            name=candidate.name,
+            family=candidate.family,
+            input_columns=candidate.columns,
+            description=candidate.description,
+            output_columns=list(values),
+            source_code=source,
+            fm_calls=fm_calls,
+        )
+        return RealizedFeature(feature, values)
+
+    # ------------------------------------------------------------------
+    # Scenario 1b: high-order features need no FM interaction
+    # ------------------------------------------------------------------
+    def _high_order_direct(
+        self, candidate: FeatureCandidate, frame: DataFrame
+    ) -> RealizedFeature:
+        params = candidate.params
+        group_cols = params["groupby_col"]
+        agg_col = params["agg_col"]
+        function = params["function"]
+        source = (
+            f"def transform(df):\n"
+            f"    return df.groupby({group_cols!r})[{agg_col!r}].transform({function!r})\n"
+        )
+        result = run_transform(source, frame)
+        values = self._as_columns(result, candidate.name)
+        feature = GeneratedFeature(
+            name=candidate.name,
+            family=candidate.family,
+            input_columns=candidate.columns,
+            description=candidate.description,
+            output_columns=list(values),
+            source_code=source,
+            fm_calls=0,
+        )
+        return RealizedFeature(feature, values)
+
+    # ------------------------------------------------------------------
+    # Scenario 2: row-level completion with cost gating
+    # ------------------------------------------------------------------
+    def _row_level(
+        self, candidate: FeatureCandidate, frame: DataFrame
+    ) -> RealizedFeature | RowCompletionPlan:
+        relevant = candidate.columns or frame.columns
+        n_rows = len(frame)
+        if n_rows <= self.row_limit:
+            values = []
+            for _, row in frame.iterrows():
+                record = {c: row[c] for c in relevant}
+                prompt = prompts.row_completion_prompt(candidate.name, record)
+                values.append(self._parse_value(self.fm.complete(prompt, temperature=0.0).text))
+            series = Series(values, candidate.name)
+            feature = GeneratedFeature(
+                name=candidate.name,
+                family=candidate.family,
+                input_columns=list(relevant),
+                description=candidate.description,
+                output_columns=[candidate.name],
+                source_code="<row-level FM completion>",
+                fm_calls=n_rows,
+            )
+            return RealizedFeature(feature, {candidate.name: series})
+        # Too large: produce a preview and a cost projection for the user.
+        preview: list[tuple[dict, str]] = []
+        for _, row in frame.head(self.preview_rows).iterrows():
+            record = {c: row[c] for c in relevant}
+            prompt = prompts.row_completion_prompt(candidate.name, record)
+            preview.append((record, self.fm.complete(prompt, temperature=0.0).text))
+        sample_prompt = prompts.row_completion_prompt(
+            candidate.name, {c: frame[c][0] for c in relevant}
+        )
+        per_call_tokens = estimate_tokens(sample_prompt) + 8
+        cost = self.fm.cost_model.price(per_call_tokens, 8) * n_rows
+        latency = self.fm.cost_model.latency(8) * n_rows
+        return RowCompletionPlan(
+            name=candidate.name,
+            description=candidate.description,
+            preview=preview,
+            n_rows=n_rows,
+            estimated_calls=n_rows,
+            estimated_cost_usd=round(cost, 4),
+            estimated_latency_s=round(latency, 1),
+        )
+
+    @staticmethod
+    def _parse_value(text: str):
+        """Interpret a row-completion answer: number when possible."""
+        stripped = text.strip().strip('"')
+        try:
+            return float(stripped)
+        except ValueError:
+            return stripped if stripped and stripped.lower() != "unknown" else None
+
+    # ------------------------------------------------------------------
+    # Scenario 3: external data sources
+    # ------------------------------------------------------------------
+    def _suggest_sources(
+        self, candidate: FeatureCandidate, agenda: DataAgenda
+    ) -> SourceSuggestion:
+        prompt = prompts.source_suggestion_prompt(agenda, candidate)
+        response = self.fm.complete(prompt, temperature=0.0)
+        sources = [
+            line.lstrip("- ").strip()
+            for line in response.text.splitlines()
+            if line.strip()
+        ]
+        return SourceSuggestion(
+            name=candidate.name, description=candidate.description, sources=sources
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _as_columns(result: Series | DataFrame, default_name: str) -> dict[str, Series]:
+        # A single-Series output is the candidate feature itself; generated
+        # code often returns it still carrying the *input* column's name
+        # (e.g. ``pd.cut(df['Age'], ...)``), so it is renamed to the
+        # candidate name.  Multi-column outputs keep their own names.
+        if isinstance(result, Series):
+            return {default_name: result.rename(default_name)}
+        return {c: result[c] for c in result.columns}

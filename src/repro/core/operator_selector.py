@@ -1,0 +1,184 @@
+"""The operator selector (Section 3.2).
+
+Holds the per-family prompt templates and the two prompting strategies:
+
+* **proposal** (unary): one deterministic call per original attribute; the
+  FM lists all appropriate operators with confidence levels, and the
+  selector keeps the *certain*/*high* ones;
+* **sampling** (binary, high-order, extractor): repeated temperature>0
+  calls, one candidate per call, until the sampling budget or the
+  generation-error threshold is reached (driven by the pipeline).
+
+Outputs are :class:`~repro.core.types.FeatureCandidate` records carrying
+the paper's three selector outputs: feature name, relevant columns, and
+feature description.
+"""
+
+from __future__ import annotations
+
+from repro.core import prompts
+from repro.core.agenda import DataAgenda
+from repro.core.parsing import parse_json_response, parse_proposals
+from repro.core.types import FeatureCandidate, OperatorFamily
+from repro.fm.base import FMClient
+from repro.fm.errors import FMParseError
+
+__all__ = ["OperatorSelector"]
+
+#: Confidence levels the selector keeps from proposal output.
+ACCEPTED_CONFIDENCES = ("certain", "high")
+
+_BINARY_OP_WORD = {"+": "plus", "-": "minus", "*": "times", "/": "div"}
+
+
+class OperatorSelector:
+    """FM-backed selection of operators and candidate features."""
+
+    def __init__(
+        self,
+        fm: FMClient,
+        temperature: float = 0.7,
+        accepted_confidences: tuple[str, ...] = ACCEPTED_CONFIDENCES,
+    ) -> None:
+        self.fm = fm
+        self.temperature = temperature
+        self.accepted_confidences = accepted_confidences
+
+    # ------------------------------------------------------------------
+    # Proposal strategy (unary)
+    # ------------------------------------------------------------------
+    def unary_candidates(self, agenda: DataAgenda, attr: str) -> list[FeatureCandidate]:
+        """All certain/high-confidence unary candidates for one attribute.
+
+        The candidate name follows the paper's ``OpName_OrgAttr`` scheme and
+        the description is the operator description (tag preserved for the
+        function generator).
+        """
+        if attr not in agenda:
+            raise KeyError(f"attribute {attr!r} not in agenda")
+        response = self.fm.complete(prompts.unary_proposal_prompt(agenda, attr), temperature=0.0)
+        candidates: list[FeatureCandidate] = []
+        for tag, confidence, description in parse_proposals(response.text):
+            if confidence not in self.accepted_confidences:
+                continue
+            base = tag.split("[", 1)[0]
+            candidates.append(
+                FeatureCandidate(
+                    name=f"{base}_{attr}",
+                    columns=[attr],
+                    description=f"{tag}: {description}",
+                    family=OperatorFamily.UNARY,
+                    params={"confidence": confidence},
+                )
+            )
+        return candidates
+
+    # ------------------------------------------------------------------
+    # Sampling strategy (binary / high-order / extractor)
+    # ------------------------------------------------------------------
+    def binary_candidates_proposal(self, agenda: DataAgenda, k: int = 5) -> list[FeatureCandidate]:
+        """Proposal-strategy alternative for the binary family (§3.2).
+
+        One deterministic call returning up to *k* candidates — cheaper
+        and duplicate-free, but less diverse than sampling in rich spaces.
+        """
+        response = self.fm.complete(prompts.binary_proposal_prompt(agenda, k), temperature=0.0)
+        candidates: list[FeatureCandidate] = []
+        for line in response.text.splitlines():
+            line = line.strip()
+            if not line.startswith("{"):
+                continue
+            try:
+                payload = parse_json_response(line)
+            except FMParseError:
+                continue
+            candidate = self._binary_from_payload(payload, agenda)
+            if candidate is not None:
+                candidates.append(candidate)
+        return candidates[:k]
+
+    def sample_binary(self, agenda: DataAgenda) -> FeatureCandidate | None:
+        """One i.i.d.-sampled binary-operator candidate, or None."""
+        response = self.fm.complete(prompts.binary_sampling_prompt(agenda), temperature=self.temperature)
+        payload = parse_json_response(response.text)
+        return self._binary_from_payload(payload, agenda, strict=True)
+
+    def _binary_from_payload(
+        self, payload: dict, agenda: DataAgenda, strict: bool = False
+    ) -> FeatureCandidate | None:
+        """Turn a binary-operator JSON payload into a candidate.
+
+        ``strict`` raises on unknown columns (a generation error the
+        pipeline counts); otherwise invalid payloads are skipped.
+        """
+        operator = payload.get("operator")
+        columns = payload.get("columns") or []
+        if operator not in ("+", "-", "*", "/") or len(columns) != 2:
+            return None
+        missing = [c for c in columns if c not in agenda]
+        if missing:
+            if strict:
+                raise FMParseError(f"binary candidate references unknown columns: {missing}")
+            return None
+        name = payload.get("name") or f"{columns[0]}_{_BINARY_OP_WORD[operator]}_{columns[1]}"
+        description = payload.get("description") or f"binary[{operator}]: combination of {columns}"
+        if not description.startswith("binary["):
+            description = f"binary[{operator}]: {description}"
+        return FeatureCandidate(
+            name=name,
+            columns=list(columns),
+            description=description,
+            family=OperatorFamily.BINARY,
+            params={"operator": operator},
+        )
+
+    def sample_high_order(self, agenda: DataAgenda) -> FeatureCandidate | None:
+        """One sampled GroupByThenAgg candidate, or None.
+
+        Per the paper, the feature name is ``GroupBy_Gcol_func_Acol``, the
+        transformation expression doubles as the description, and the
+        group-by plus aggregate columns are the relevant columns.
+        """
+        response = self.fm.complete(prompts.high_order_sampling_prompt(agenda), temperature=self.temperature)
+        payload = parse_json_response(response.text)
+        group_cols = payload.get("groupby_col") or []
+        if isinstance(group_cols, str):
+            group_cols = [group_cols]
+        agg_col = payload.get("agg_col")
+        function = payload.get("function")
+        if not group_cols or not agg_col or function not in ("mean", "max", "min", "sum", "count", "avg", "average"):
+            return None
+        missing = [c for c in [*group_cols, agg_col] if c not in agenda]
+        if missing:
+            raise FMParseError(f"high-order candidate references unknown columns: {missing}")
+        name = f"GroupBy_{'_'.join(group_cols)}_{function}_{agg_col}"
+        return FeatureCandidate(
+            name=name,
+            columns=[*group_cols, agg_col],
+            description=(
+                f"groupby[{function}]: df.groupby({group_cols})[{agg_col!r}]"
+                f".transform({function!r})"
+            ),
+            family=OperatorFamily.HIGH_ORDER,
+            params={"groupby_col": list(group_cols), "agg_col": agg_col, "function": function},
+        )
+
+    def sample_extractor(self, agenda: DataAgenda) -> FeatureCandidate | None:
+        """One sampled extractor candidate, or None."""
+        response = self.fm.complete(prompts.extractor_sampling_prompt(agenda), temperature=self.temperature)
+        payload = parse_json_response(response.text)
+        kind = payload.get("kind", "function")
+        name = payload.get("name") or ""
+        if not name or kind not in ("function", "row_level", "source"):
+            return None
+        columns = payload.get("columns") or []
+        missing = [c for c in columns if c not in agenda]
+        if missing:
+            raise FMParseError(f"extractor candidate references unknown columns: {missing}")
+        return FeatureCandidate(
+            name=name,
+            columns=list(columns),
+            description=payload.get("description") or name,
+            family=OperatorFamily.EXTRACTOR,
+            kind=kind,
+        )

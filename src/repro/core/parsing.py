@@ -1,0 +1,80 @@
+"""Structured parsers for FM output (the LangChain role in the paper)."""
+
+from __future__ import annotations
+
+import json
+import re
+
+from repro.fm.errors import FMParseError
+
+__all__ = ["extract_code", "parse_json_response", "parse_proposals"]
+
+_PROPOSAL_LINE = re.compile(
+    r"^(?P<tag>[a-z_]+(?:\[[^\]]*\])*)\s*\((?P<confidence>certain|high|medium|low)\)\s*:\s*(?P<desc>.+)$"
+)
+
+
+def parse_proposals(text: str) -> list[tuple[str, str, str]]:
+    """Parse proposal-strategy output lines.
+
+    Each valid line has the shape ``operator_tag (confidence): description``;
+    returns ``(tag, confidence, description)`` triples, skipping the
+    explicit ``none`` tag and any unparseable lines (an FM may pad its
+    answer with prose).
+    """
+    out: list[tuple[str, str, str]] = []
+    for line in text.splitlines():
+        match = _PROPOSAL_LINE.match(line.strip())
+        if not match:
+            continue
+        tag = match.group("tag")
+        if tag.split("[", 1)[0] == "none":
+            continue
+        out.append((tag, match.group("confidence"), match.group("desc").strip()))
+    return out
+
+
+def parse_json_response(text: str) -> dict:
+    """Extract and load the first JSON object in *text*.
+
+    Tolerates code fences and surrounding prose; raises
+    :class:`FMParseError` when no parseable object exists.
+    """
+    stripped = text.strip()
+    if stripped.startswith("```"):
+        stripped = re.sub(r"^```[a-z]*\n?", "", stripped)
+        stripped = stripped.rstrip("`").rstrip()
+    start = stripped.find("{")
+    if start == -1:
+        raise FMParseError(f"no JSON object in FM response: {text[:120]!r}")
+    depth = 0
+    for i in range(start, len(stripped)):
+        if stripped[i] == "{":
+            depth += 1
+        elif stripped[i] == "}":
+            depth -= 1
+            if depth == 0:
+                blob = stripped[start : i + 1]
+                try:
+                    parsed = json.loads(blob)
+                except json.JSONDecodeError as exc:
+                    raise FMParseError(f"invalid JSON in FM response: {blob[:120]!r}") from exc
+                if not isinstance(parsed, dict):
+                    raise FMParseError("FM JSON response is not an object")
+                return parsed
+    raise FMParseError(f"unbalanced JSON object in FM response: {text[:120]!r}")
+
+
+def extract_code(text: str) -> str:
+    """Extract Python source from an FM response.
+
+    Prefers a fenced ```` ```python ```` block; otherwise accepts raw text
+    that already looks like code (contains ``def transform`` or a ``df[``
+    assignment).  Raises :class:`FMParseError` for prose-only answers.
+    """
+    fence = re.search(r"```(?:python)?\s*\n(.*?)```", text, re.DOTALL)
+    if fence:
+        return fence.group(1).strip() + "\n"
+    if "def transform" in text or re.search(r"df\[[^\]]+\]\s*=", text):
+        return text.strip() + "\n"
+    raise FMParseError(f"no Python code in FM response: {text[:120]!r}")

@@ -1,0 +1,452 @@
+"""The SMARTFEAT pipeline: the Section 3 search loop end to end.
+
+Order of exploration (Section 3.2, "Generating the candidate feature set"):
+
+1. unary operators on each original feature (proposal strategy);
+2. binary operators over original + unary features (sampling strategy);
+3. high-order GroupByThenAgg features (sampling strategy);
+4. extractors over the enriched feature set (sampling strategy);
+5. the drop heuristic: an original feature that received a unary
+   transformation and is used by no other operator is removed.
+
+Each accepted feature's name and description are appended to the data
+agenda before the next iteration, so later operators can build on earlier
+generated features.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.agenda import DataAgenda
+from repro.core.function_generator import FunctionGenerator, RealizedFeature
+from repro.core.operator_selector import OperatorSelector
+from repro.core.sandbox import SandboxViolation, TransformError
+from repro.core.types import (
+    FeatureCandidate,
+    GeneratedFeature,
+    OperatorFamily,
+    RowCompletionPlan,
+    SourceSuggestion,
+)
+from repro.core.parsing import parse_json_response
+from repro.core.validation import ValidationConfig, validate_output
+from repro.dataframe import DataFrame
+from repro.fm.base import FMClient
+from repro.fm.errors import FMError, FMParseError
+
+__all__ = ["SmartFeat", "SmartFeatResult"]
+
+_ALL_FAMILIES = (
+    OperatorFamily.UNARY,
+    OperatorFamily.BINARY,
+    OperatorFamily.HIGH_ORDER,
+    OperatorFamily.EXTRACTOR,
+)
+
+
+@dataclass
+class SmartFeatResult:
+    """Everything a SMARTFEAT run produced.
+
+    ``frame`` is the transformed dataframe (target column preserved);
+    ``new_features`` maps feature name → provenance; ``dropped`` lists
+    original features removed by the drop heuristic; ``suggestions`` and
+    ``row_plans`` surface the §3.3 scenario-2/3 outputs; ``rejections``
+    records validator verdicts; ``fm_usage`` summarises API accounting.
+    """
+
+    frame: DataFrame
+    new_features: dict[str, GeneratedFeature] = field(default_factory=dict)
+    dropped: list[str] = field(default_factory=list)
+    removed_by_fm: list[str] = field(default_factory=list)
+    suggestions: list[SourceSuggestion] = field(default_factory=list)
+    row_plans: list[RowCompletionPlan] = field(default_factory=list)
+    rejections: dict[str, str] = field(default_factory=dict)
+    errors: dict[str, int] = field(default_factory=dict)
+    fm_usage: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    @property
+    def new_columns(self) -> list[str]:
+        """All accepted output columns across generated features."""
+        out: list[str] = []
+        for feature in self.new_features.values():
+            out.extend(feature.output_columns)
+        return out
+
+
+class SmartFeat:
+    """Automated feature construction through feature-level FM interactions.
+
+    Parameters
+    ----------
+    fm:
+        Operator-selector client (the paper uses GPT-4 here).
+    function_fm:
+        Function-generator client (the paper uses GPT-3.5-turbo for its
+        comparable quality at lower cost); defaults to *fm*.
+    downstream_model:
+        Name of the downstream classifier, included in every prompt so the
+        FM tailors features to it (e.g. scaling for DNN/KNN).
+    sampling_budget:
+        Per-family cap on sampling-strategy calls (paper default: 10).
+    error_threshold:
+        Per-family cap on generation errors — invalid or repeated
+        candidates — before sampling stops early.
+    operator_families:
+        Which families to explore (ablations switch these off).
+    row_level_policy:
+        ``"auto"`` — complete small tables, defer large ones to a plan;
+        ``"never"`` — always defer; ``"always"`` — complete regardless of
+        size (costly, for small-data experiments).
+    drop_heuristic:
+        Apply the original-feature removal rule.
+    repair_retries:
+        Error-correction attempts per generated function: on failure the
+        FM is re-asked with the failing code and error message (the
+        paper's Section 5 error-correction direction).
+    binary_strategy:
+        ``"sampling"`` (paper default) or ``"proposal"`` — the §3.2
+        strategy choice for the binary family, exposed for ablation.
+    fm_feature_removal:
+        Ask the FM to flag redundant generated features for removal after
+        the search (the paper's §3.2 future-work direction; off by
+        default).
+    """
+
+    def __init__(
+        self,
+        fm: FMClient,
+        function_fm: FMClient | None = None,
+        downstream_model: str = "random_forest",
+        sampling_budget: int = 10,
+        error_threshold: int = 3,
+        temperature: float = 0.7,
+        validation: ValidationConfig | None = None,
+        operator_families: tuple[OperatorFamily, ...] = _ALL_FAMILIES,
+        row_level_policy: str = "auto",
+        row_limit: int = 200,
+        drop_heuristic: bool = True,
+        repair_retries: int = 1,
+        binary_strategy: str = "sampling",
+        fm_feature_removal: bool = False,
+    ) -> None:
+        if row_level_policy not in ("auto", "never", "always"):
+            raise ValueError(f"invalid row_level_policy: {row_level_policy!r}")
+        if binary_strategy not in ("sampling", "proposal"):
+            raise ValueError(f"invalid binary_strategy: {binary_strategy!r}")
+        self.fm = fm
+        self.function_fm = function_fm or fm
+        self.downstream_model = downstream_model
+        self.sampling_budget = sampling_budget
+        self.error_threshold = error_threshold
+        self.validation = validation or ValidationConfig()
+        self.operator_families = tuple(operator_families)
+        self.row_level_policy = row_level_policy
+        self.drop_heuristic = drop_heuristic
+        self.binary_strategy = binary_strategy
+        self.fm_feature_removal = fm_feature_removal
+        self.selector = OperatorSelector(fm, temperature=temperature)
+        self.generator = FunctionGenerator(
+            self.function_fm,
+            row_limit=10**9 if row_level_policy == "always" else row_limit,
+            repair_retries=repair_retries,
+        )
+
+    # ------------------------------------------------------------------
+    def fit_transform(
+        self,
+        frame: DataFrame,
+        target: str,
+        descriptions: dict[str, str] | None = None,
+        title: str = "",
+        target_description: str = "",
+    ) -> SmartFeatResult:
+        """Run the full search and return the enriched dataframe.
+
+        *descriptions* is the data card (column → description).  Omitting
+        it reproduces the paper's names-only ablation.
+        """
+        agenda = DataAgenda.from_dataframe(
+            frame,
+            target=target,
+            descriptions=descriptions,
+            title=title,
+            target_description=target_description,
+            model=self.downstream_model,
+        )
+        working = frame.copy()
+        result = SmartFeatResult(frame=working)
+        original_features = [c for c in frame.columns if c != target]
+        unary_transformed: set[str] = set()
+        used_by_other_ops: set[str] = set()
+
+        if OperatorFamily.UNARY in self.operator_families:
+            self._unary_stage(working, agenda, result, original_features, unary_transformed)
+        if OperatorFamily.BINARY in self.operator_families:
+            if self.binary_strategy == "proposal":
+                self._binary_proposal_stage(working, agenda, result, used_by_other_ops)
+            else:
+                self._sampling_stage(
+                    working, agenda, result, OperatorFamily.BINARY, used_by_other_ops
+                )
+        if OperatorFamily.HIGH_ORDER in self.operator_families:
+            self._sampling_stage(
+                working, agenda, result, OperatorFamily.HIGH_ORDER, used_by_other_ops
+            )
+        if OperatorFamily.EXTRACTOR in self.operator_families:
+            self._sampling_stage(
+                working, agenda, result, OperatorFamily.EXTRACTOR, used_by_other_ops
+            )
+        if self.drop_heuristic:
+            self._apply_drop_heuristic(
+                working, result, original_features, unary_transformed, used_by_other_ops
+            )
+        if self.fm_feature_removal:
+            self._fm_removal_stage(working, agenda, result)
+        result.fm_usage = {
+            "operator_selector": self.fm.ledger.snapshot(),
+        }
+        if self.function_fm is not self.fm:
+            result.fm_usage["function_generator"] = self.function_fm.ledger.snapshot()
+        return result
+
+    # ------------------------------------------------------------------
+    def _unary_stage(
+        self,
+        working: DataFrame,
+        agenda: DataAgenda,
+        result: SmartFeatResult,
+        original_features: list[str],
+        unary_transformed: set[str],
+    ) -> None:
+        for attr in original_features:
+            try:
+                candidates = self.selector.unary_candidates(agenda, attr)
+            except (FMError, FMParseError):
+                result.errors["unary"] = result.errors.get("unary", 0) + 1
+                continue
+            for candidate in candidates:
+                if self._accept(candidate, working, agenda, result):
+                    unary_transformed.add(attr)
+
+    def _binary_proposal_stage(
+        self,
+        working: DataFrame,
+        agenda: DataAgenda,
+        result: SmartFeatResult,
+        used_by_other_ops: set[str],
+    ) -> None:
+        """§3.2 strategy ablation: one proposal call instead of sampling."""
+        try:
+            candidates = self.selector.binary_candidates_proposal(
+                agenda, k=self.sampling_budget
+            )
+        except (FMError, FMParseError):
+            result.errors["binary"] = result.errors.get("binary", 0) + 1
+            return
+        errors = 0
+        for candidate in candidates:
+            if candidate.name in agenda:
+                errors += 1
+                continue
+            if self._accept(candidate, working, agenda, result):
+                used_by_other_ops.update(candidate.columns)
+            else:
+                errors += 1
+        result.errors["binary"] = errors
+
+    def _sampling_stage(
+        self,
+        working: DataFrame,
+        agenda: DataAgenda,
+        result: SmartFeatResult,
+        family: OperatorFamily,
+        used_by_other_ops: set[str],
+    ) -> None:
+        samplers = {
+            OperatorFamily.BINARY: self.selector.sample_binary,
+            OperatorFamily.HIGH_ORDER: self.selector.sample_high_order,
+            OperatorFamily.EXTRACTOR: self.selector.sample_extractor,
+        }
+        sampler = samplers[family]
+        errors = 0
+        seen: set[str] = set()
+        for _ in range(self.sampling_budget):
+            if errors >= self.error_threshold:
+                break
+            try:
+                candidate = sampler(agenda)
+            except (FMError, FMParseError):
+                errors += 1
+                continue
+            if candidate is None:
+                errors += 1
+                continue
+            if candidate.name in seen or candidate.name in agenda:
+                errors += 1  # repeated feature counts as a generation error
+                continue
+            seen.add(candidate.name)
+            if self._accept(candidate, working, agenda, result):
+                used_by_other_ops.update(candidate.columns)
+            else:
+                errors += 1
+        result.errors[family.value] = errors
+
+    # ------------------------------------------------------------------
+    def _accept(
+        self,
+        candidate: FeatureCandidate,
+        working: DataFrame,
+        agenda: DataAgenda,
+        result: SmartFeatResult,
+    ) -> bool:
+        """Realize, validate, and install one candidate; True on success."""
+        try:
+            realized = self.generator.realize(candidate, agenda, working)
+        except (FMError, FMParseError, SandboxViolation, TransformError) as exc:
+            result.rejections[candidate.name] = f"generation failed: {exc}"
+            return False
+        if isinstance(realized, SourceSuggestion):
+            result.suggestions.append(realized)
+            return False
+        if isinstance(realized, RowCompletionPlan):
+            result.row_plans.append(realized)
+            return False
+        assert isinstance(realized, RealizedFeature)
+        report = validate_output(
+            _merge_columns(realized), len(working), self.validation, candidate.name
+        )
+        for column, reason in report.rejected.items():
+            result.rejections[column] = reason
+        if not report.ok:
+            return False
+        accepted_columns: list[str] = []
+        for column, series in report.accepted.items():
+            if column in working.columns:
+                result.rejections[column] = "duplicate column name"
+                continue
+            working[column] = series
+            accepted_columns.append(column)
+            kind = "numeric" if series.dtype.kind in "ifb" else "categorical"
+            uniques = series.unique()
+            if set(uniques) <= {0, 1, 0.0, 1.0, True, False}:
+                kind = "binary"
+            values: list[str] = []
+            if kind == "categorical" and len(uniques) <= 15:
+                values = [str(v) for v in uniques]
+            agenda.add(column, kind, candidate.description, values=values)
+        if not accepted_columns:
+            return False
+        feature = realized.feature
+        feature.output_columns = accepted_columns
+        result.new_features[feature.name] = feature
+        return True
+
+    # ------------------------------------------------------------------
+    def _fm_removal_stage(
+        self, working: DataFrame, agenda: DataAgenda, result: SmartFeatResult
+    ) -> None:
+        """FM-driven removal of redundant generated features (§3.2 future
+        work, off by default).  Only generated columns may be removed —
+        originals and the target are never eligible."""
+        from repro.core import prompts as _prompts
+
+        generated_columns = set(result.new_columns)
+        try:
+            response = self.fm.complete(
+                _prompts.feature_removal_prompt(agenda), temperature=0.0
+            )
+            payload = parse_json_response(response.text)
+        except (FMError, FMParseError):
+            result.errors["removal"] = result.errors.get("removal", 0) + 1
+            return
+        for name in payload.get("remove") or []:
+            if name not in generated_columns or name not in working.columns:
+                continue
+            drop_inplace(working, name)
+            agenda.remove(name)
+            result.removed_by_fm.append(name)
+            for feature in result.new_features.values():
+                if name in feature.output_columns:
+                    feature.output_columns.remove(name)
+        # Features whose every output column was removed vanish entirely.
+        result.new_features = {
+            key: feature
+            for key, feature in result.new_features.items()
+            if feature.output_columns
+        }
+
+    # ------------------------------------------------------------------
+    def _apply_drop_heuristic(
+        self,
+        working: DataFrame,
+        result: SmartFeatResult,
+        original_features: list[str],
+        unary_transformed: set[str],
+        used_by_other_ops: set[str],
+    ) -> None:
+        """Remove originals superseded by a unary transform (Section 3.2)."""
+        for attr in original_features:
+            if attr in unary_transformed and attr not in used_by_other_ops:
+                if attr in working.columns:
+                    drop_inplace(working, attr)
+                    result.dropped.append(attr)
+
+
+def drop_inplace(frame: DataFrame, column: str) -> None:
+    """Remove *column* from *frame* without copying the other columns."""
+    frame._columns.pop(column, None)
+
+
+def complete_row_plan(
+    result: SmartFeatResult,
+    plan: RowCompletionPlan,
+    fm: FMClient,
+    relevant_columns: list[str] | None = None,
+) -> SmartFeatResult:
+    """Execute a deferred row-level completion plan (the user said yes).
+
+    Section 3.3 defers row-level completion of large tables to the user,
+    who weighs the preview against the projected cost.  This helper runs
+    the full completion over ``result.frame`` with *fm* and installs the
+    finished column; the plan is removed from ``result.row_plans``.
+    """
+    from repro.core import prompts as _prompts
+    from repro.core.function_generator import FunctionGenerator
+
+    if plan not in result.row_plans:
+        raise ValueError(f"plan {plan.name!r} is not pending on this result")
+    columns = relevant_columns
+    if columns is None:
+        columns = [c for c in result.frame.columns if c in plan.preview[0][0]] if plan.preview else []
+    if not columns:
+        columns = result.frame.columns
+    generator = FunctionGenerator(fm)
+    values = []
+    for _, row in result.frame.iterrows():
+        record = {c: row[c] for c in columns}
+        prompt = _prompts.row_completion_prompt(plan.name, record)
+        values.append(generator._parse_value(fm.complete(prompt, temperature=0.0).text))
+    from repro.dataframe import Series
+
+    result.frame[plan.name] = Series(values, plan.name)
+    result.new_features[plan.name] = GeneratedFeature(
+        name=plan.name,
+        family=OperatorFamily.EXTRACTOR,
+        input_columns=list(columns),
+        description=plan.description,
+        output_columns=[plan.name],
+        source_code="<row-level FM completion>",
+        fm_calls=len(values),
+    )
+    result.row_plans.remove(plan)
+    return result
+
+
+def _merge_columns(realized: RealizedFeature) -> DataFrame:
+    """Collect a realized feature's output columns into one frame."""
+    out = DataFrame()
+    for name, series in realized.values.items():
+        out[name] = series.rename(name)
+    return out

@@ -1,0 +1,146 @@
+"""Restricted execution of FM-generated transformation code.
+
+FM output is untrusted text.  The sandbox compiles it, rejects obviously
+dangerous constructs, and executes it in a namespace that exposes only the
+dataframe facade (``pd``), ``np``, ``math``, and a minimal set of builtins
+— the contract stated in the function-generation prompt.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+
+from repro.dataframe import DataFrame, Series
+from repro.dataframe import pandas_facade as _pd
+
+__all__ = ["SandboxViolation", "TransformError", "run_script", "run_transform"]
+
+
+class SandboxViolation(Exception):
+    """Generated code used a construct the sandbox forbids."""
+
+
+class TransformError(Exception):
+    """Generated code compiled but failed at execution time."""
+
+
+_FORBIDDEN_TOKENS = (
+    "import os",
+    "import sys",
+    "import subprocess",
+    "import socket",
+    "import shutil",
+    "import pathlib",
+    "__import__",
+    "open(",
+    "eval(",
+    "exec(",
+    "globals(",
+    "locals(",
+    "getattr(",
+    "setattr(",
+    "delattr(",
+    "__subclasses__",
+    "__builtins__",
+    "breakpoint(",
+    "input(",
+)
+
+_SAFE_BUILTINS = {
+    "abs": abs,
+    "all": all,
+    "any": any,
+    "bool": bool,
+    "dict": dict,
+    "enumerate": enumerate,
+    "float": float,
+    "int": int,
+    "len": len,
+    "list": list,
+    "map": map,
+    "max": max,
+    "min": min,
+    "range": range,
+    "round": round,
+    "set": set,
+    "sorted": sorted,
+    "str": str,
+    "sum": sum,
+    "tuple": tuple,
+    "zip": zip,
+    "ValueError": ValueError,
+    "KeyError": KeyError,
+    "TypeError": TypeError,
+    "ZeroDivisionError": ZeroDivisionError,
+    "Exception": Exception,
+}
+
+
+def _check_source(source: str) -> None:
+    for token in _FORBIDDEN_TOKENS:
+        if token in source:
+            raise SandboxViolation(f"forbidden construct in generated code: {token!r}")
+
+
+def _namespace() -> dict[str, Any]:
+    return {
+        "__builtins__": dict(_SAFE_BUILTINS),
+        "pd": _pd,
+        "np": np,
+        "math": math,
+        "DataFrame": DataFrame,
+        "Series": Series,
+    }
+
+
+def run_transform(source: str, frame: DataFrame) -> Series | DataFrame:
+    """Execute ``def transform(df)`` source and return its result.
+
+    Raises :class:`SandboxViolation` for forbidden constructs,
+    :class:`TransformError` when the code fails to compile, define
+    ``transform``, or execute.
+    """
+    _check_source(source)
+    namespace = _namespace()
+    try:
+        code = compile(source, "<fm-transform>", "exec")
+        exec(code, namespace)  # noqa: S102 - sandboxed on purpose
+    except SyntaxError as exc:
+        raise TransformError(f"generated code does not compile: {exc}") from exc
+    transform = namespace.get("transform")
+    if not callable(transform):
+        raise TransformError("generated code does not define transform(df)")
+    try:
+        result = transform(frame)
+    except Exception as exc:
+        raise TransformError(f"transform(df) raised {type(exc).__name__}: {exc}") from exc
+    if not isinstance(result, (Series, DataFrame)):
+        raise TransformError(
+            f"transform(df) must return Series or DataFrame, got {type(result).__name__}"
+        )
+    return result
+
+
+def run_script(source: str, frame: DataFrame) -> DataFrame:
+    """Execute CAAFE-style statement code that mutates ``df`` in place.
+
+    The frame is copied first; the mutated copy is returned.
+    """
+    _check_source(source)
+    namespace = _namespace()
+    working = frame.copy()
+    namespace["df"] = working
+    try:
+        code = compile(source, "<fm-script>", "exec")
+        exec(code, namespace)  # noqa: S102 - sandboxed on purpose
+    except SyntaxError as exc:
+        raise TransformError(f"generated script does not compile: {exc}") from exc
+    except Exception as exc:
+        raise TransformError(f"generated script raised {type(exc).__name__}: {exc}") from exc
+    result = namespace["df"]
+    if not isinstance(result, DataFrame):
+        raise TransformError("script rebound df to a non-DataFrame")
+    return result

@@ -1,0 +1,96 @@
+"""Feature-quality screens (Section 3.3, "Evaluating generated features").
+
+After a transformation produces values, SMARTFEAT removes features that
+are highly null, single-valued, or dummy expansions of high-cardinality
+originals.  :func:`validate_output` applies those screens to a transform's
+output and returns the surviving columns with per-column verdicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dataframe import DataFrame, Series
+
+__all__ = ["ValidationConfig", "ValidationReport", "validate_output"]
+
+
+@dataclass(frozen=True)
+class ValidationConfig:
+    """Thresholds for the three screens.
+
+    ``max_null_fraction``: reject columns with more missing than this.
+    ``max_dummy_columns``: reject dummy expansions wider than this (the
+    high-cardinality screen).
+    ``reject_constant``: reject single-valued columns.
+    """
+
+    max_null_fraction: float = 0.3
+    max_dummy_columns: int = 15
+    reject_constant: bool = True
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of validating one transformation output."""
+
+    accepted: dict[str, Series]
+    rejected: dict[str, str]  # column -> reason
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.accepted)
+
+
+def _check_column(series: Series, n_rows: int, config: ValidationConfig) -> str | None:
+    """Return a rejection reason for one column, or None if it passes."""
+    if len(series) != n_rows:
+        return f"length {len(series)} does not match dataframe length {n_rows}"
+    if n_rows == 0:
+        return "empty dataframe"
+    null_fraction = 1.0 - series.count() / n_rows
+    if null_fraction > config.max_null_fraction:
+        return f"highly null ({null_fraction:.0%} missing)"
+    if config.reject_constant and series.nunique(dropna=False) <= 1:
+        return "single-valued"
+    return None
+
+
+def validate_output(
+    result: Series | DataFrame,
+    n_rows: int,
+    config: ValidationConfig | None = None,
+    name_hint: str = "feature",
+) -> ValidationReport:
+    """Screen a transformation output (Series or multi-column DataFrame).
+
+    DataFrame outputs wider than ``max_dummy_columns`` are rejected whole —
+    the paper's screen against dummies of high-cardinality originals.
+    Otherwise each column is screened independently, so a partially useful
+    expansion keeps its good columns.
+    """
+    config = config or ValidationConfig()
+    accepted: dict[str, Series] = {}
+    rejected: dict[str, str] = {}
+    if isinstance(result, Series):
+        reason = _check_column(result, n_rows, config)
+        if reason is None:
+            accepted[result.name or name_hint] = result
+        else:
+            rejected[result.name or name_hint] = reason
+        return ValidationReport(accepted, rejected)
+    if len(result.columns) > config.max_dummy_columns:
+        for column in result.columns:
+            rejected[column] = (
+                f"expansion of {len(result.columns)} columns exceeds the "
+                f"high-cardinality limit ({config.max_dummy_columns})"
+            )
+        return ValidationReport(accepted, rejected)
+    for column in result.columns:
+        series = result[column]
+        reason = _check_column(series, n_rows, config)
+        if reason is None:
+            accepted[column] = series
+        else:
+            rejected[column] = reason
+    return ValidationReport(accepted, rejected)

@@ -1,0 +1,37 @@
+"""Columnar dataframe substrate for the SMARTFEAT reproduction.
+
+This package provides a small, pandas-compatible subset used by every other
+layer of the repository.  The function generator (``repro.core``) emits
+transformation code written against this API — ``df.apply(lambda row: ...,
+axis=1)``, ``df.groupby(cols)[col].transform(func)``, ``get_dummies`` — so
+the subset mirrors the pandas call signatures the paper's generated
+functions rely on.
+
+Design notes
+------------
+* Indexes are positional (``RangeIndex`` semantics).  Row-filtering
+  operations such as :meth:`DataFrame.dropna` renumber rows; group-by
+  ``transform`` re-aligns to the original row order internally.
+* Numeric columns are ``float64``/``int64`` numpy arrays with ``NaN`` for
+  missing values; everything else is stored as an ``object`` array with
+  ``None`` for missing values.
+"""
+
+from repro.dataframe.series import Series
+from repro.dataframe.frame import DataFrame
+from repro.dataframe.groupby import DataFrameGroupBy, SeriesGroupBy
+from repro.dataframe.reshape import concat, cut, factorize, get_dummies, qcut
+from repro.dataframe.io import read_csv
+
+__all__ = [
+    "DataFrame",
+    "DataFrameGroupBy",
+    "Series",
+    "SeriesGroupBy",
+    "concat",
+    "cut",
+    "factorize",
+    "get_dummies",
+    "qcut",
+    "read_csv",
+]

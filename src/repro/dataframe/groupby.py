@@ -1,0 +1,182 @@
+"""Group-by machinery: ``df.groupby(keys)[col].transform(func)`` and friends.
+
+The high-order operator in SMARTFEAT emits exactly the pandas idiom
+``df.groupby(groupby_col)[agg_col].transform(function)``; this module
+implements that surface plus the aggregate forms the baselines use.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.dataframe.series import Series
+
+__all__ = ["DataFrameGroupBy", "SeriesGroupBy"]
+
+_NAMED_AGGS: dict[str, Callable[[Series], Any]] = {
+    "mean": lambda s: s.mean(),
+    "avg": lambda s: s.mean(),
+    "average": lambda s: s.mean(),
+    "sum": lambda s: s.sum(),
+    "min": lambda s: s.min(),
+    "max": lambda s: s.max(),
+    "median": lambda s: s.median(),
+    "std": lambda s: s.std(),
+    "var": lambda s: s.var(),
+    "count": lambda s: s.count(),
+    "size": lambda s: len(s),
+    "nunique": lambda s: s.nunique(),
+    "mode": lambda s: s.mode(),
+    "first": lambda s: s[0] if len(s) else None,
+    "last": lambda s: s[len(s) - 1] if len(s) else None,
+}
+
+
+def resolve_aggregator(func: str | Callable) -> Callable[[Series], Any]:
+    """Translate a pandas-style aggregate name or callable into a reducer.
+
+    Callables are wrapped so they may accept either a :class:`Series` or a
+    plain numpy array — generated code uses both styles.
+    """
+    if isinstance(func, str):
+        name = func.strip().lower()
+        if name not in _NAMED_AGGS:
+            raise ValueError(
+                f"unknown aggregate function {func!r}; expected one of {sorted(_NAMED_AGGS)}"
+            )
+        return _NAMED_AGGS[name]
+
+    def _call(series: Series) -> Any:
+        try:
+            return func(series)
+        except TypeError:
+            return func(series.to_numpy())
+
+    return _call
+
+
+class _GroupIndex:
+    """Shared grouping of row positions by key tuple."""
+
+    def __init__(self, frame, keys: Sequence[str]) -> None:
+        self.keys = list(keys)
+        key_lists = [frame[k].tolist() for k in self.keys]
+        groups: dict[Any, list[int]] = {}
+        for i, key in enumerate(zip(*key_lists)):
+            label = key[0] if len(key) == 1 else key
+            groups.setdefault(label, []).append(i)
+        self.groups = groups
+        self.n_rows = len(frame)
+
+
+class DataFrameGroupBy:
+    """Result of ``df.groupby(keys)``; index with a column to aggregate it."""
+
+    def __init__(self, frame, keys: Sequence[str]) -> None:
+        self._frame = frame
+        self._index = _GroupIndex(frame, keys)
+
+    @property
+    def groups(self) -> dict[Any, list[int]]:
+        """Mapping of group label → list of row positions."""
+        return self._index.groups
+
+    def __len__(self) -> int:
+        return len(self._index.groups)
+
+    def __getitem__(self, column: str) -> "SeriesGroupBy":
+        if column not in self._frame.columns:
+            raise KeyError(column)
+        return SeriesGroupBy(self._frame[column], self._index)
+
+    def size(self):
+        """Per-group row counts as a DataFrame of keys + ``size``."""
+        return self._agg_frame({"size": lambda rows, col=None: len(rows)}, None)
+
+    def agg(self, spec: dict[str, str | Callable]):
+        """Aggregate several columns at once: ``{column: func}`` → DataFrame."""
+        from repro.dataframe.frame import DataFrame
+
+        out: dict[str, list] = {k: [] for k in self._index.keys}
+        for col in spec:
+            out[col] = []
+        for label, rows in self._index.groups.items():
+            key = (label,) if len(self._index.keys) == 1 else label
+            for k, v in zip(self._index.keys, key):
+                out[k].append(v)
+            for col, func in spec.items():
+                reducer = resolve_aggregator(func)
+                sub = Series._from_array(self._frame[col].values[np.asarray(rows)], col)
+                out[col].append(reducer(sub))
+        return DataFrame(out)
+
+    def _agg_frame(self, spec: dict[str, Callable], column: str | None):
+        from repro.dataframe.frame import DataFrame
+
+        out: dict[str, list] = {k: [] for k in self._index.keys}
+        for name in spec:
+            out[name] = []
+        for label, rows in self._index.groups.items():
+            key = (label,) if len(self._index.keys) == 1 else label
+            for k, v in zip(self._index.keys, key):
+                out[k].append(v)
+            for name, func in spec.items():
+                out[name].append(func(rows))
+        return DataFrame(out)
+
+
+class SeriesGroupBy:
+    """A single column grouped by the parent frame's keys."""
+
+    def __init__(self, series: Series, index: _GroupIndex) -> None:
+        self._series = series
+        self._index = index
+
+    def transform(self, func: str | Callable) -> Series:
+        """Per-group reduce then broadcast back to original row order.
+
+        This is the exact call emitted by the high-order operator:
+        ``df.groupby(gcols)[acol].transform('mean')``.
+        """
+        reducer = resolve_aggregator(func)
+        out = np.empty(self._index.n_rows, dtype=object)
+        for rows in self._index.groups.values():
+            idx = np.asarray(rows)
+            sub = Series._from_array(self._series.values[idx], self._series.name)
+            out[idx] = reducer(sub)
+        return Series(out.tolist(), self._series.name)
+
+    def agg(self, func: str | Callable):
+        """Per-group reduce; returns a DataFrame of keys + aggregated value."""
+        from repro.dataframe.frame import DataFrame
+
+        reducer = resolve_aggregator(func)
+        out: dict[str, list] = {k: [] for k in self._index.keys}
+        name = self._series.name or "value"
+        out[name] = []
+        for label, rows in self._index.groups.items():
+            key = (label,) if len(self._index.keys) == 1 else label
+            for k, v in zip(self._index.keys, key):
+                out[k].append(v)
+            idx = np.asarray(rows)
+            sub = Series._from_array(self._series.values[idx], self._series.name)
+            out[name].append(reducer(sub))
+        return DataFrame(out)
+
+    def mean(self):
+        return self.agg("mean")
+
+    def sum(self):
+        return self.agg("sum")
+
+    def max(self):
+        return self.agg("max")
+
+    def min(self):
+        return self.agg("min")
+
+    def count(self):
+        return self.agg("count")

@@ -1,0 +1,53 @@
+"""Minimal CSV input/output for the dataframe substrate."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.dataframe.frame import DataFrame
+
+__all__ = ["read_csv", "to_csv"]
+
+
+def _parse_cell(text: str):
+    """Interpret a CSV cell: empty → missing, else int, float, or string."""
+    if text == "":
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def read_csv(path: str | Path) -> DataFrame:
+    """Read a headered CSV file into a :class:`DataFrame` with inferred dtypes."""
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            return DataFrame()
+        data: dict[str, list] = {name: [] for name in header}
+        for row in reader:
+            for name, cell in zip(header, row):
+                data[name].append(_parse_cell(cell))
+            for name in header[len(row):]:
+                data[name].append(None)
+    return DataFrame(data)
+
+
+def to_csv(frame: DataFrame, path: str | Path) -> None:
+    """Write *frame* to a headered CSV file (missing values become empty cells)."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(frame.columns)
+        for _, row in frame.iterrows():
+            writer.writerow(
+                ["" if value is None or value != value else value for value in row.to_dict().values()]
+            )

@@ -1,0 +1,35 @@
+"""A ``pandas``-shaped namespace over the dataframe substrate.
+
+The function generator's FM emits code written as if pandas were imported
+(``pd.cut``, ``pd.get_dummies`` …), exactly like the paper's generated
+transformations.  The execution sandbox injects this module as ``pd`` so
+that generated code runs verbatim against the local substrate.
+"""
+
+from repro.dataframe.frame import DataFrame
+from repro.dataframe.io import read_csv
+from repro.dataframe.reshape import concat, cut, factorize, get_dummies, qcut
+from repro.dataframe.series import Series, _is_missing_scalar
+
+__all__ = [
+    "DataFrame",
+    "Series",
+    "concat",
+    "cut",
+    "factorize",
+    "get_dummies",
+    "isna",
+    "notna",
+    "qcut",
+    "read_csv",
+]
+
+
+def isna(value) -> bool:
+    """Scalar missing-value check (``pd.isna`` for scalars)."""
+    return _is_missing_scalar(value)
+
+
+def notna(value) -> bool:
+    """Scalar non-missing check (``pd.notna`` for scalars)."""
+    return not _is_missing_scalar(value)

@@ -1,0 +1,154 @@
+"""Reshaping helpers: dummies, factorisation, bucketisation, concatenation.
+
+These are the pandas free functions the generated transformations lean on:
+``get_dummies`` (unary operator), ``cut`` (bucketisation), ``factorize``
+(the paper's pre-processing step), and ``concat`` (harness plumbing).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.dataframe.frame import DataFrame
+from repro.dataframe.series import Series, _is_missing_scalar
+
+__all__ = ["concat", "cut", "factorize", "get_dummies", "qcut"]
+
+
+def get_dummies(
+    data: Series | DataFrame,
+    columns: Sequence[str] | None = None,
+    prefix: str | None = None,
+    drop_first: bool = False,
+) -> DataFrame:
+    """One-hot encode a Series, or selected columns of a DataFrame.
+
+    Column names follow pandas: ``{prefix}_{value}`` where the prefix
+    defaults to the source column name.  Missing values produce all-zero
+    rows.
+    """
+    if isinstance(data, Series):
+        name = prefix if prefix is not None else (data.name or "col")
+        values = data.tolist()
+        categories = data.unique()
+        if drop_first:
+            categories = categories[1:]
+        out: dict[str, list[int]] = {}
+        for cat in categories:
+            out[f"{name}_{cat}"] = [int(v == cat) for v in values]
+        return DataFrame(out)
+    frame = data
+    targets = list(columns) if columns is not None else frame.categorical_columns()
+    result = frame.drop(columns=targets) if targets else frame.copy()
+    for col in targets:
+        dummies = get_dummies(frame[col], prefix=col, drop_first=drop_first)
+        for dummy_col in dummies.columns:
+            result[dummy_col] = dummies[dummy_col]
+    return result
+
+
+def factorize(series: Series) -> tuple[np.ndarray, list]:
+    """Encode values as integer codes (missing → -1); return ``(codes, uniques)``."""
+    uniques: list = []
+    lookup: dict = {}
+    codes = np.empty(len(series), dtype=np.int64)
+    for i, v in enumerate(series.tolist()):
+        if _is_missing_scalar(v):
+            codes[i] = -1
+            continue
+        if v not in lookup:
+            lookup[v] = len(uniques)
+            uniques.append(v)
+        codes[i] = lookup[v]
+    return codes, uniques
+
+
+def cut(
+    series: Series,
+    bins: Sequence[float],
+    labels: Sequence | None = None,
+    right: bool = True,
+) -> Series:
+    """Bucketise numeric values into intervals defined by *bins* edges.
+
+    With ``labels=None`` the output is the integer bin index (0-based);
+    otherwise the corresponding label.  Values outside the outermost edges
+    map to missing, matching pandas.
+    """
+    edges = list(bins)
+    if sorted(edges) != edges:
+        raise ValueError("bin edges must be sorted ascending")
+    if labels is not None and len(labels) != len(edges) - 1:
+        raise ValueError(
+            f"expected {len(edges) - 1} labels for {len(edges)} edges, got {len(labels)}"
+        )
+    out: list = []
+    for v in series.tolist():
+        if _is_missing_scalar(v):
+            out.append(None)
+            continue
+        x = float(v)
+        idx = None
+        for b in range(len(edges) - 1):
+            lo, hi = edges[b], edges[b + 1]
+            if right:
+                inside = (lo < x <= hi) or (b == 0 and x == lo)
+            else:
+                inside = (lo <= x < hi) or (b == len(edges) - 2 and x == hi)
+            if inside:
+                idx = b
+                break
+        if idx is None:
+            out.append(None)
+        elif labels is None:
+            out.append(idx)
+        else:
+            out.append(labels[idx])
+    return Series(out, series.name)
+
+
+def qcut(series: Series, q: int, labels: Sequence | None = None) -> Series:
+    """Quantile-based bucketisation into *q* (approximately) equal-count bins."""
+    data = series._numeric()
+    present = data[~np.isnan(data)]
+    if len(present) == 0:
+        return Series([None] * len(series), series.name)
+    quantiles = np.quantile(present, np.linspace(0, 1, q + 1))
+    # Collapse duplicate edges (heavily tied data) to keep bins valid.
+    edges = np.unique(quantiles)
+    if len(edges) < 2:
+        return Series([0 if not np.isnan(v) else None for v in data], series.name)
+    edges[0] -= 1e-9
+    edges[-1] += 1e-9
+    effective_labels = None
+    if labels is not None:
+        effective_labels = list(labels)[: len(edges) - 1]
+    return cut(series, edges.tolist(), labels=effective_labels, right=True)
+
+
+def concat(frames: Sequence[DataFrame], axis: int = 0) -> DataFrame:
+    """Concatenate frames row-wise (``axis=0``) or column-wise (``axis=1``)."""
+    frames = [f for f in frames if f is not None]
+    if not frames:
+        return DataFrame()
+    if axis == 1:
+        out = frames[0].copy()
+        for frame in frames[1:]:
+            for col in frame.columns:
+                out[col] = frame[col]
+        return out
+    all_columns: dict[str, None] = {}
+    for frame in frames:
+        for col in frame.columns:
+            all_columns.setdefault(col, None)
+    data: dict[str, list] = {col: [] for col in all_columns}
+    for frame in frames:
+        n = len(frame)
+        for col in all_columns:
+            if col in frame.columns:
+                data[col].extend(frame[col].tolist())
+            else:
+                data[col].extend([None] * n)
+    return DataFrame(data)

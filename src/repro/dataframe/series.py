@@ -1,0 +1,735 @@
+"""One-dimensional labelled array: the :class:`Series` type.
+
+A :class:`Series` wraps a numpy array plus a name.  Numeric data is kept in
+native numpy dtypes (``float64``/``int64``/``bool``); strings and mixed data
+live in ``object`` arrays.  Missing values are ``NaN`` for floats and
+``None`` for objects; :meth:`Series.isna` treats both uniformly.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import math
+from collections.abc import Callable, Iterable, Mapping
+from typing import Any
+
+import numpy as np
+
+__all__ = ["Series"]
+
+
+def _is_missing_scalar(value: Any) -> bool:
+    """Return ``True`` when *value* is one of the recognised missing markers."""
+    if value is None:
+        return True
+    if isinstance(value, float) and math.isnan(value):
+        return True
+    if isinstance(value, np.floating) and np.isnan(value):
+        return True
+    return False
+
+
+def _coerce_values(values: Any) -> np.ndarray:
+    """Coerce arbitrary input into a 1-D numpy array with a sensible dtype.
+
+    Lists of numbers become ``int64``/``float64``; anything containing
+    strings or mixed types becomes an ``object`` array with ``None`` for
+    missing entries.
+    """
+    if isinstance(values, Series):
+        return values.to_numpy().copy()
+    if isinstance(values, np.ndarray):
+        if values.ndim != 1:
+            raise ValueError(f"Series data must be 1-dimensional, got shape {values.shape}")
+        if values.dtype.kind in "US":  # fixed-width strings -> object storage
+            return values.astype(object)
+        return values.copy()
+    values = list(values)
+    has_missing = any(_is_missing_scalar(v) for v in values)
+    non_missing = [v for v in values if not _is_missing_scalar(v)]
+    if non_missing and all(isinstance(v, (bool, np.bool_)) for v in non_missing):
+        if has_missing:
+            return np.array([None if _is_missing_scalar(v) else bool(v) for v in values], dtype=object)
+        return np.array([bool(v) for v in values], dtype=bool)
+    if non_missing and all(
+        isinstance(v, (int, float, np.integer, np.floating)) for v in non_missing
+    ):
+        if has_missing or any(isinstance(v, (float, np.floating)) for v in non_missing):
+            return np.array(
+                [np.nan if _is_missing_scalar(v) else float(v) for v in values], dtype=np.float64
+            )
+        return np.array([int(v) for v in values], dtype=np.int64)
+    return np.array(
+        [None if _is_missing_scalar(v) else v for v in values], dtype=object
+    )
+
+
+def _isna_array(values: np.ndarray) -> np.ndarray:
+    """Vectorised missing-value mask covering both NaN and ``None``."""
+    if values.dtype.kind == "f":
+        return np.isnan(values)
+    if values.dtype == object:
+        return np.array([_is_missing_scalar(v) for v in values], dtype=bool)
+    return np.zeros(len(values), dtype=bool)
+
+
+class Series:
+    """A named 1-D column of data with vectorised operations.
+
+    Parameters
+    ----------
+    data:
+        Any 1-D iterable (list, numpy array, another Series, or a scalar
+        broadcast via ``length``).
+    name:
+        Optional column name carried through operations.
+    """
+
+    __slots__ = ("_values", "name")
+
+    def __init__(self, data: Any, name: str | None = None) -> None:
+        self._values = _coerce_values(data)
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def _from_array(cls, values: np.ndarray, name: str | None = None) -> "Series":
+        """Build a Series without re-coercing *values* (internal fast path)."""
+        out = cls.__new__(cls)
+        out._values = values
+        out.name = name
+        return out
+
+    @classmethod
+    def full(cls, length: int, fill_value: Any, name: str | None = None) -> "Series":
+        """Return a Series of *length* copies of *fill_value*."""
+        return cls([fill_value] * length, name=name)
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self):
+        return iter(self.tolist())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        shown = ", ".join(repr(v) for v in self.tolist()[:8])
+        suffix = ", ..." if len(self) > 8 else ""
+        return f"Series(name={self.name!r}, n={len(self)}, [{shown}{suffix}])"
+
+    @property
+    def values(self) -> np.ndarray:
+        """The underlying numpy array (no copy)."""
+        return self._values
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._values.dtype
+
+    @property
+    def empty(self) -> bool:
+        return len(self._values) == 0
+
+    def to_numpy(self, dtype: Any = None) -> np.ndarray:
+        """Return the data as a numpy array, optionally cast to *dtype*."""
+        if dtype is None:
+            return self._values
+        return self._values.astype(dtype)
+
+    def tolist(self) -> list:
+        """Return the data as a plain Python list (numpy scalars unboxed)."""
+        return [v.item() if isinstance(v, np.generic) else v for v in self._values]
+
+    def copy(self) -> "Series":
+        return Series._from_array(self._values.copy(), self.name)
+
+    def rename(self, name: str) -> "Series":
+        """Return a copy of the Series carrying *name*."""
+        return Series._from_array(self._values.copy(), name)
+
+    # ------------------------------------------------------------------
+    # Indexing
+    # ------------------------------------------------------------------
+    def __getitem__(self, key: Any) -> Any:
+        if isinstance(key, Series):
+            key = key.to_numpy()
+        if isinstance(key, np.ndarray) and key.dtype == bool:
+            return Series._from_array(self._values[key], self.name)
+        if isinstance(key, (list, np.ndarray)):
+            idx = np.asarray(key)
+            if idx.dtype == bool:
+                return Series._from_array(self._values[idx], self.name)
+            return Series._from_array(self._values[idx.astype(np.int64)], self.name)
+        if isinstance(key, slice):
+            return Series._from_array(self._values[key], self.name)
+        value = self._values[int(key)]
+        return value.item() if isinstance(value, np.generic) else value
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        if isinstance(key, Series):
+            key = key.to_numpy()
+        if self._values.dtype.kind in "if" and isinstance(value, (int, float, np.number)):
+            if self._values.dtype.kind == "i" and (
+                isinstance(value, float) and not float(value).is_integer()
+            ):
+                self._values = self._values.astype(np.float64)
+        elif self._values.dtype.kind in "if" and _is_missing_scalar(value):
+            self._values = self._values.astype(np.float64)
+            value = np.nan
+        elif self._values.dtype != object and not isinstance(value, (int, float, bool, np.number)):
+            self._values = self._values.astype(object)
+        self._values[key] = value
+
+    def head(self, n: int = 5) -> "Series":
+        return self[: n]
+
+    def sample(self, n: int, seed: int = 0) -> "Series":
+        """Return *n* rows sampled without replacement using *seed*."""
+        rng = np.random.default_rng(seed)
+        idx = rng.choice(len(self), size=min(n, len(self)), replace=False)
+        return Series._from_array(self._values[np.sort(idx)], self.name)
+
+    # ------------------------------------------------------------------
+    # Missing data
+    # ------------------------------------------------------------------
+    def isna(self) -> "Series":
+        """Boolean mask of missing entries (NaN or ``None``)."""
+        return Series._from_array(_isna_array(self._values), self.name)
+
+    def notna(self) -> "Series":
+        return Series._from_array(~_isna_array(self._values), self.name)
+
+    isnull = isna
+    notnull = notna
+
+    def dropna(self) -> "Series":
+        """Return the Series with missing entries removed (positions renumber)."""
+        mask = ~_isna_array(self._values)
+        return Series._from_array(self._values[mask], self.name)
+
+    def fillna(self, value: Any) -> "Series":
+        """Return a copy with missing entries replaced by *value*."""
+        mask = _isna_array(self._values)
+        if not mask.any():
+            return self.copy()
+        if self._values.dtype.kind == "f" and isinstance(value, (int, float, np.number)):
+            out = self._values.copy()
+            out[mask] = float(value)
+            return Series._from_array(out, self.name)
+        out = self._values.astype(object)
+        out[mask] = value
+        return Series(out, self.name)
+
+    # ------------------------------------------------------------------
+    # Element-wise transforms
+    # ------------------------------------------------------------------
+    def map(self, mapper: Callable[[Any], Any] | Mapping[Any, Any]) -> "Series":
+        """Apply *mapper* (callable or dict) element-wise.
+
+        Dict mappers translate unmapped keys to ``None``, matching pandas.
+        Missing inputs propagate as missing without invoking the mapper.
+        """
+        if isinstance(mapper, Mapping):
+            get = mapper.get
+            out = [None if _is_missing_scalar(v) else get(v) for v in self.tolist()]
+        else:
+            out = [None if _is_missing_scalar(v) else mapper(v) for v in self.tolist()]
+        return Series(out, self.name)
+
+    def apply(self, func: Callable[[Any], Any]) -> "Series":
+        """Apply *func* to every element, including missing ones."""
+        return Series([func(v) for v in self.tolist()], self.name)
+
+    def astype(self, dtype: Any) -> "Series":
+        """Cast to *dtype* (``float``, ``int``, ``str``, ``bool`` or numpy dtype)."""
+        if dtype in (str, "str", "string"):
+            return Series(
+                [None if _is_missing_scalar(v) else str(v) for v in self.tolist()], self.name
+            )
+        if dtype in (float, "float", "float64"):
+            return Series(
+                [np.nan if _is_missing_scalar(v) else float(v) for v in self.tolist()], self.name
+            )
+        if dtype in (int, "int", "int64"):
+            return Series([int(v) for v in self.tolist()], self.name)
+        if dtype in (bool, "bool"):
+            return Series([bool(v) for v in self.tolist()], self.name)
+        return Series._from_array(self._values.astype(dtype), self.name)
+
+    def clip(self, lower: float | None = None, upper: float | None = None) -> "Series":
+        """Bound values to ``[lower, upper]``; missing values pass through."""
+        out = self._numeric().copy()
+        if lower is not None:
+            out = np.where(np.isnan(out), out, np.maximum(out, lower))
+        if upper is not None:
+            out = np.where(np.isnan(out), out, np.minimum(out, upper))
+        return Series._from_array(out, self.name)
+
+    def round(self, decimals: int = 0) -> "Series":
+        return Series._from_array(np.round(self._numeric(), decimals), self.name)
+
+    def abs(self) -> "Series":
+        return Series._from_array(np.abs(self._numeric()), self.name)
+
+    def replace(self, mapping: Mapping[Any, Any]) -> "Series":
+        """Replace exact values per *mapping*; unmapped values pass through."""
+        return Series(
+            [mapping.get(v, v) if not _is_missing_scalar(v) else None for v in self.tolist()],
+            self.name,
+        )
+
+    def shift(self, periods: int = 1) -> "Series":
+        """Shift values by *periods* positions, filling vacated slots with NaN."""
+        values = self.tolist()
+        if periods >= 0:
+            shifted = [None] * min(periods, len(values)) + values[: max(len(values) - periods, 0)]
+        else:
+            shifted = values[-periods:] + [None] * min(-periods, len(values))
+        return Series(shifted, self.name)
+
+    def where(self, cond: "Series | np.ndarray", other: Any = None) -> "Series":
+        """Keep values where *cond* holds, replace the rest with *other*."""
+        mask = cond.to_numpy() if isinstance(cond, Series) else np.asarray(cond)
+        out = [v if m else other for v, m in zip(self.tolist(), mask)]
+        return Series(out, self.name)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def _numeric(self) -> np.ndarray:
+        """Return the values as ``float64`` (object arrays convert, missing→NaN)."""
+        if self._values.dtype.kind in "if":
+            return self._values.astype(np.float64)
+        if self._values.dtype.kind == "b":
+            return self._values.astype(np.float64)
+        out = np.empty(len(self._values), dtype=np.float64)
+        for i, v in enumerate(self._values):
+            if _is_missing_scalar(v):
+                out[i] = np.nan
+            else:
+                out[i] = float(v)
+        return out
+
+    def _numeric_nonmissing(self) -> np.ndarray:
+        data = self._numeric()
+        return data[~np.isnan(data)]
+
+    def sum(self) -> float:
+        data = self._numeric_nonmissing()
+        return float(data.sum()) if len(data) else 0.0
+
+    def mean(self) -> float:
+        data = self._numeric_nonmissing()
+        return float(data.mean()) if len(data) else float("nan")
+
+    def median(self) -> float:
+        data = self._numeric_nonmissing()
+        return float(np.median(data)) if len(data) else float("nan")
+
+    def std(self, ddof: int = 1) -> float:
+        data = self._numeric_nonmissing()
+        if len(data) <= ddof:
+            return float("nan")
+        return float(data.std(ddof=ddof))
+
+    def var(self, ddof: int = 1) -> float:
+        data = self._numeric_nonmissing()
+        if len(data) <= ddof:
+            return float("nan")
+        return float(data.var(ddof=ddof))
+
+    def min(self) -> Any:
+        if self._values.dtype.kind in "ifb":
+            data = self._numeric_nonmissing()
+            return float(data.min()) if len(data) else float("nan")
+        present = [v for v in self.tolist() if not _is_missing_scalar(v)]
+        return min(present) if present else None
+
+    def max(self) -> Any:
+        if self._values.dtype.kind in "ifb":
+            data = self._numeric_nonmissing()
+            return float(data.max()) if len(data) else float("nan")
+        present = [v for v in self.tolist() if not _is_missing_scalar(v)]
+        return max(present) if present else None
+
+    def quantile(self, q: float) -> float:
+        data = self._numeric_nonmissing()
+        return float(np.quantile(data, q)) if len(data) else float("nan")
+
+    def count(self) -> int:
+        """Number of non-missing entries."""
+        return int((~_isna_array(self._values)).sum())
+
+    def nunique(self, dropna: bool = True) -> int:
+        values = self.tolist()
+        if dropna:
+            values = [v for v in values if not _is_missing_scalar(v)]
+        return len(set(values))
+
+    def unique(self) -> list:
+        """Distinct non-missing values in first-seen order."""
+        seen: dict[Any, None] = {}
+        for v in self.tolist():
+            if not _is_missing_scalar(v) and v not in seen:
+                seen[v] = None
+        return list(seen)
+
+    def mode(self) -> Any:
+        """Most frequent non-missing value (ties break on first-seen order)."""
+        counts: dict[Any, int] = {}
+        for v in self.tolist():
+            if not _is_missing_scalar(v):
+                counts[v] = counts.get(v, 0) + 1
+        if not counts:
+            return None
+        return max(counts, key=counts.get)
+
+    def value_counts(self, normalize: bool = False) -> dict:
+        """Frequency table of non-missing values, most frequent first."""
+        counts: dict[Any, int] = {}
+        for v in self.tolist():
+            if not _is_missing_scalar(v):
+                counts[v] = counts.get(v, 0) + 1
+        ordered = dict(sorted(counts.items(), key=lambda kv: -kv[1]))
+        if normalize:
+            total = sum(ordered.values())
+            return {k: v / total for k, v in ordered.items()}
+        return ordered
+
+    def idxmax(self) -> int:
+        data = self._numeric()
+        return int(np.nanargmax(data))
+
+    def idxmin(self) -> int:
+        data = self._numeric()
+        return int(np.nanargmin(data))
+
+    def any(self) -> bool:
+        return bool(np.asarray(self._values, dtype=bool).any())
+
+    def all(self) -> bool:
+        return bool(np.asarray(self._values, dtype=bool).all())
+
+    def cumsum(self) -> "Series":
+        return Series._from_array(np.nancumsum(self._numeric()), self.name)
+
+    def rank(self) -> "Series":
+        """Average-method ranks of the values (1-based), NaN stays NaN."""
+        from scipy import stats
+
+        data = self._numeric()
+        ranks = np.full(len(data), np.nan)
+        present = ~np.isnan(data)
+        if present.any():
+            ranks[present] = stats.rankdata(data[present], method="average")
+        return Series._from_array(ranks, self.name)
+
+    def corr(self, other: "Series") -> float:
+        """Pearson correlation with *other* over jointly non-missing rows."""
+        a, b = self._numeric(), other._numeric()
+        mask = ~(np.isnan(a) | np.isnan(b))
+        if mask.sum() < 2:
+            return float("nan")
+        a, b = a[mask], b[mask]
+        if a.std() == 0 or b.std() == 0:
+            return float("nan")
+        return float(np.corrcoef(a, b)[0, 1])
+
+    def sort_values(self, ascending: bool = True) -> "Series":
+        order = np.argsort(self._numeric() if self.dtype.kind in "ifb" else self._values)
+        if not ascending:
+            order = order[::-1]
+        return Series._from_array(self._values[order], self.name)
+
+    # ------------------------------------------------------------------
+    # Arithmetic and comparisons
+    # ------------------------------------------------------------------
+    def _binary_numeric(self, other: Any, op: Callable) -> "Series":
+        left = self._numeric()
+        if isinstance(other, Series):
+            right = other._numeric()
+            if len(left) != len(right):
+                raise ValueError(
+                    f"Series length mismatch: {len(left)} vs {len(right)}"
+                )
+        else:
+            right = float(other)
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            out = op(left, right)
+        return Series._from_array(np.asarray(out, dtype=np.float64), self.name)
+
+    def __add__(self, other: Any) -> "Series":
+        if self.dtype == object or (isinstance(other, Series) and other.dtype == object):
+            right = other.tolist() if isinstance(other, Series) else [other] * len(self)
+            return Series([a + b for a, b in zip(self.tolist(), right)], self.name)
+        return self._binary_numeric(other, np.add)
+
+    def __radd__(self, other: Any) -> "Series":
+        if self.dtype == object:
+            return Series([other + a for a in self.tolist()], self.name)
+        return self._binary_numeric(other, np.add)
+
+    def __sub__(self, other: Any) -> "Series":
+        return self._binary_numeric(other, np.subtract)
+
+    def __rsub__(self, other: Any) -> "Series":
+        return self._binary_numeric(other, lambda a, b: np.subtract(b, a))
+
+    def __mul__(self, other: Any) -> "Series":
+        return self._binary_numeric(other, np.multiply)
+
+    def __rmul__(self, other: Any) -> "Series":
+        return self._binary_numeric(other, np.multiply)
+
+    def __truediv__(self, other: Any) -> "Series":
+        return self._binary_numeric(other, np.divide)
+
+    def __rtruediv__(self, other: Any) -> "Series":
+        return self._binary_numeric(other, lambda a, b: np.divide(b, a))
+
+    def __floordiv__(self, other: Any) -> "Series":
+        return self._binary_numeric(other, np.floor_divide)
+
+    def __mod__(self, other: Any) -> "Series":
+        return self._binary_numeric(other, np.mod)
+
+    def __pow__(self, other: Any) -> "Series":
+        return self._binary_numeric(other, np.power)
+
+    def __neg__(self) -> "Series":
+        return Series._from_array(-self._numeric(), self.name)
+
+    def _compare(self, other: Any, op: Callable) -> "Series":
+        if self.dtype == object and not isinstance(other, (int, float, np.number)):
+            right = other.tolist() if isinstance(other, Series) else [other] * len(self)
+            out = np.array(
+                [
+                    False
+                    if (_is_missing_scalar(a) or _is_missing_scalar(b))
+                    else bool(op(a, b))
+                    for a, b in zip(self.tolist(), right)
+                ],
+                dtype=bool,
+            )
+            return Series._from_array(out, self.name)
+        left = self._numeric()
+        right = other._numeric() if isinstance(other, Series) else float(other)
+        with np.errstate(invalid="ignore"):
+            out = op(left, right)
+        return Series._from_array(np.asarray(out, dtype=bool), self.name)
+
+    def __eq__(self, other: Any) -> "Series":  # type: ignore[override]
+        if self.dtype == object or isinstance(other, str):
+            right = other.tolist() if isinstance(other, Series) else [other] * len(self)
+            out = np.array([a == b for a, b in zip(self.tolist(), right)], dtype=bool)
+            return Series._from_array(out, self.name)
+        return self._compare(other, np.equal)
+
+    def __ne__(self, other: Any) -> "Series":  # type: ignore[override]
+        eq = self.__eq__(other)
+        return Series._from_array(~eq.to_numpy(), self.name)
+
+    def __lt__(self, other: Any) -> "Series":
+        return self._compare(other, np.less)
+
+    def __le__(self, other: Any) -> "Series":
+        return self._compare(other, np.less_equal)
+
+    def __gt__(self, other: Any) -> "Series":
+        return self._compare(other, np.greater)
+
+    def __ge__(self, other: Any) -> "Series":
+        return self._compare(other, np.greater_equal)
+
+    def __and__(self, other: Any) -> "Series":
+        right = other.to_numpy() if isinstance(other, Series) else np.asarray(other)
+        return Series._from_array(
+            np.asarray(self._values, dtype=bool) & np.asarray(right, dtype=bool), self.name
+        )
+
+    def __or__(self, other: Any) -> "Series":
+        right = other.to_numpy() if isinstance(other, Series) else np.asarray(other)
+        return Series._from_array(
+            np.asarray(self._values, dtype=bool) | np.asarray(right, dtype=bool), self.name
+        )
+
+    def __invert__(self) -> "Series":
+        return Series._from_array(~np.asarray(self._values, dtype=bool), self.name)
+
+    def __hash__(self) -> int:  # Series are mutable; identity hash like pandas
+        return id(self)
+
+    def isin(self, values: Iterable[Any]) -> "Series":
+        """Boolean mask of membership in *values*."""
+        lookup = set(values)
+        out = np.array(
+            [not _is_missing_scalar(v) and v in lookup for v in self.tolist()], dtype=bool
+        )
+        return Series._from_array(out, self.name)
+
+    def between(self, left: float, right: float, inclusive: bool = True) -> "Series":
+        """Boolean mask of values within ``[left, right]``."""
+        data = self._numeric()
+        with np.errstate(invalid="ignore"):
+            if inclusive:
+                out = (data >= left) & (data <= right)
+            else:
+                out = (data > left) & (data < right)
+        return Series._from_array(out, self.name)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def str(self) -> "StringAccessor":
+        """Vectorised string methods (``s.str.lower()``, ``s.str.split()``…)."""
+        return StringAccessor(self)
+
+    @property
+    def dt(self) -> "DatetimeAccessor":
+        """Datetime component access for ISO-format strings or date objects."""
+        return DatetimeAccessor(self)
+
+
+class StringAccessor:
+    """Namespace of vectorised string operations, mirroring ``pandas.Series.str``."""
+
+    def __init__(self, series: Series) -> None:
+        self._series = series
+
+    def _map(self, func: Callable[[str], Any]) -> Series:
+        return Series(
+            [None if _is_missing_scalar(v) else func(str(v)) for v in self._series.tolist()],
+            self._series.name,
+        )
+
+    def lower(self) -> Series:
+        return self._map(str.lower)
+
+    def upper(self) -> Series:
+        return self._map(str.upper)
+
+    def strip(self) -> Series:
+        return self._map(str.strip)
+
+    def len(self) -> Series:
+        return self._map(len)
+
+    def title(self) -> Series:
+        return self._map(str.title)
+
+    def contains(self, pattern: str, case: bool = True) -> Series:
+        if case:
+            return self._map(lambda s: pattern in s).fillna(False)
+        return self._map(lambda s: pattern.lower() in s.lower()).fillna(False)
+
+    def startswith(self, prefix: str) -> Series:
+        return self._map(lambda s: s.startswith(prefix)).fillna(False)
+
+    def endswith(self, suffix: str) -> Series:
+        return self._map(lambda s: s.endswith(suffix)).fillna(False)
+
+    def replace(self, old: str, new: str) -> Series:
+        return self._map(lambda s: s.replace(old, new))
+
+    def split(self, sep: str, expand: bool = False):
+        """Split on *sep*; ``expand=True`` returns a DataFrame of parts."""
+        parts = self._map(lambda s: s.split(sep))
+        if not expand:
+            return parts
+        from repro.dataframe.frame import DataFrame
+
+        width = max((len(p) for p in parts.tolist() if p is not None), default=0)
+        columns = {}
+        for i in range(width):
+            columns[i] = [
+                (p[i] if p is not None and i < len(p) else None) for p in parts.tolist()
+            ]
+        return DataFrame(columns)
+
+    def get(self, index: int) -> Series:
+        """Element *index* of each value (for list-valued or string Series)."""
+        def pick(value):
+            if _is_missing_scalar(value):
+                return None
+            try:
+                return value[index]
+            except (IndexError, KeyError):
+                return None
+
+        return Series([pick(v) for v in self._series.tolist()], self._series.name)
+
+    def slice(self, start: int | None = None, stop: int | None = None) -> Series:
+        return self._map(lambda s: s[start:stop])
+
+    def zfill(self, width: int) -> Series:
+        return self._map(lambda s: s.zfill(width))
+
+    def cat(self, other: Series, sep: str = "") -> Series:
+        """Concatenate element-wise with *other* using *sep*."""
+        return Series(
+            [
+                None if (_is_missing_scalar(a) or _is_missing_scalar(b)) else f"{a}{sep}{b}"
+                for a, b in zip(self._series.tolist(), other.tolist())
+            ],
+            self._series.name,
+        )
+
+
+def _parse_datetime(value: Any) -> _dt.datetime | None:
+    """Best-effort parse of *value* into a datetime (ISO strings, date objects)."""
+    if _is_missing_scalar(value):
+        return None
+    if isinstance(value, _dt.datetime):
+        return value
+    if isinstance(value, _dt.date):
+        return _dt.datetime(value.year, value.month, value.day)
+    text = str(value).strip()
+    for fmt in ("%Y-%m-%d %H:%M:%S", "%Y-%m-%d", "%Y/%m/%d", "%m/%d/%Y", "%d-%m-%Y"):
+        try:
+            return _dt.datetime.strptime(text, fmt)
+        except ValueError:
+            continue
+    raise ValueError(f"cannot parse datetime from {value!r}")
+
+
+class DatetimeAccessor:
+    """Namespace of datetime component extractors, mirroring ``Series.dt``."""
+
+    def __init__(self, series: Series) -> None:
+        self._series = series
+
+    def _component(self, func: Callable[[_dt.datetime], Any]) -> Series:
+        out = []
+        for v in self._series.tolist():
+            parsed = _parse_datetime(v)
+            out.append(None if parsed is None else func(parsed))
+        return Series(out, self._series.name)
+
+    @property
+    def year(self) -> Series:
+        return self._component(lambda d: d.year)
+
+    @property
+    def month(self) -> Series:
+        return self._component(lambda d: d.month)
+
+    @property
+    def day(self) -> Series:
+        return self._component(lambda d: d.day)
+
+    @property
+    def dayofweek(self) -> Series:
+        return self._component(lambda d: d.weekday())
+
+    @property
+    def quarter(self) -> Series:
+        return self._component(lambda d: (d.month - 1) // 3 + 1)
+
+    @property
+    def dayofyear(self) -> Series:
+        return self._component(lambda d: d.timetuple().tm_yday)

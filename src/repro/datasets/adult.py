@@ -1,0 +1,130 @@
+"""Adult (census-income-style): 30,163 rows, 8 categorical + 6 numeric, Society.
+
+Planted structure — the dataset where SMARTFEAT gains most (+13.3%):
+
+* strong *group-level* income rates by occupation and education
+  (high-order GroupByThenAgg recovers them);
+* heavy-tailed capital gains where ``log`` (unary) linearises the effect;
+* an hours×education interaction (binary product);
+* age bands (unary bucketisation).
+
+Raw linear models see little of this, so the initial AUC is modest and
+operator-guided feature engineering lifts it substantially.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataframe import DataFrame
+from repro.datasets.schema import DatasetBundle, DatasetSpec
+from repro.datasets.synth import bucket_effect, sample_labels, standardize
+from repro.fm.knowledge import DOMAIN_THRESHOLDS
+
+SPEC = DatasetSpec(
+    name="adult",
+    n_categorical=8,
+    n_numeric=6,
+    n_rows=30163,
+    field="Society",
+    target="HighIncome",
+    paper_initial_auc_avg=76.81,
+)
+
+DESCRIPTIONS = {
+    "WorkClass": "Employment class of the worker",
+    "EducationLevel": "Highest education level attained",
+    "MaritalStatus": "Marital status",
+    "Occupation": "Occupation category",
+    "Relationship": "Household relationship status",
+    "Race": "Race of the worker",
+    "Sex": "Sex of the worker",
+    "NativeRegion": "Region of origin",
+    "Age": "Age of the worker in years",
+    "FnlWgt": "Census final sampling weight",
+    "EducationYears": "Number of years of education completed",
+    "CapitalGain": "Capital gains recorded in dollars",
+    "HoursPerWeek": "Hours worked per week",
+}
+
+_OCCUPATIONS = [
+    "exec-managerial", "prof-specialty", "tech-support", "sales",
+    "craft-repair", "adm-clerical", "machine-op", "transport",
+    "farming-fishing", "handlers-cleaners", "other-service", "priv-house-serv",
+]
+#: Latent per-occupation income propensity (group effect to be recovered).
+_OCC_EFFECT = {
+    "exec-managerial": 1.4, "prof-specialty": 1.3, "tech-support": 0.7,
+    "sales": 0.5, "craft-repair": 0.1, "adm-clerical": 0.0, "machine-op": -0.3,
+    "transport": -0.2, "farming-fishing": -0.7, "handlers-cleaners": -0.9,
+    "other-service": -1.0, "priv-house-serv": -1.3,
+}
+_EDU_LEVELS = ["dropout", "highschool", "some-college", "bachelors", "masters", "doctorate"]
+_EDU_EFFECT = {"dropout": -1.2, "highschool": -0.5, "some-college": 0.0,
+               "bachelors": 0.7, "masters": 1.1, "doctorate": 1.5}
+
+
+def generate(seed: int = 0, n_rows: int | None = None) -> DatasetBundle:
+    """Generate the synthetic Adult dataset."""
+    n = n_rows or SPEC.n_rows
+    rng = np.random.default_rng([seed, 404])
+    workclass = rng.choice(["private", "self-employed", "federal-gov", "state-gov", "local-gov"],
+                           size=n, p=[0.73, 0.11, 0.04, 0.05, 0.07])
+    education = rng.choice(_EDU_LEVELS, size=n, p=[0.12, 0.32, 0.26, 0.18, 0.09, 0.03])
+    marital = rng.choice(["married", "never-married", "divorced", "widowed"],
+                         size=n, p=[0.47, 0.33, 0.15, 0.05])
+    occupation = rng.choice(_OCCUPATIONS, size=n)
+    relationship = rng.choice(["husband", "wife", "own-child", "not-in-family", "unmarried"],
+                              size=n, p=[0.4, 0.05, 0.15, 0.26, 0.14])
+    race = rng.choice(["white", "black", "asian-pac", "amer-indian", "other"],
+                      size=n, p=[0.85, 0.09, 0.03, 0.01, 0.02])
+    sex = rng.choice(["male", "female"], size=n, p=[0.67, 0.33])
+    native = rng.choice(["north-america", "latin-america", "europe", "asia"],
+                        size=n, p=[0.9, 0.05, 0.02, 0.03])
+    age = np.clip(rng.gamma(7.0, 5.6, size=n), 17, 90).round(0)
+    fnlwgt = np.clip(rng.gamma(4.0, 47000, size=n), 12000, 1.5e6).round(0)
+    edu_years = np.array([{"dropout": 8, "highschool": 12, "some-college": 13,
+                           "bachelors": 16, "masters": 18, "doctorate": 21}[e] for e in education], dtype=float)
+    has_gain = rng.uniform(size=n) < 0.09
+    capital_gain = np.where(has_gain, rng.lognormal(8.2, 1.1, size=n), 0.0).round(0)
+    hours = np.clip(rng.normal(40, 12, size=n), 1, 99).round(0)
+
+    occ_effect = np.array([_OCC_EFFECT[o] for o in occupation])
+    edu_effect = np.array([_EDU_EFFECT[e] for e in education])
+    logit = (
+        1.3 * occ_effect
+        + 1.1 * edu_effect
+        + 1.2 * standardize(np.log1p(capital_gain))
+        + 0.8 * standardize(hours * edu_years)
+        + 0.9 * bucket_effect(age, DOMAIN_THRESHOLDS["age_generic"], [-1.0, 0.0, 0.6, 0.8, 0.4, 0.0])
+        + 0.7 * (marital == "married")
+    )
+    target = sample_labels(rng, logit, prevalence=0.25, noise_scale=1.7)
+    frame = DataFrame(
+        {
+            "WorkClass": workclass,
+            "EducationLevel": education,
+            "MaritalStatus": marital,
+            "Occupation": occupation,
+            "Relationship": relationship,
+            "Race": race,
+            "Sex": sex,
+            "NativeRegion": native,
+            "Age": age,
+            "FnlWgt": fnlwgt,
+            "EducationYears": edu_years,
+            "CapitalGain": capital_gain,
+            "HoursPerWeek": hours,
+            "HighIncome": target,
+        }
+    )
+    return DatasetBundle(
+        name=SPEC.name,
+        frame=frame,
+        target=SPEC.target,
+        descriptions=dict(DESCRIPTIONS),
+        title="Census income records (society)",
+        target_description="1 = annual income above 50K",
+        spec=SPEC,
+        notes={"signal": "occupation/education group rates, log capital gains, hours×education"},
+    )

@@ -1,0 +1,86 @@
+"""Diabetes (Pima-style): 769 rows, 9 numeric attributes incl. target, Health.
+
+Planted structure: threshold (band) effects on Glucose, BMI, and Age — the
+shapes clinical bucketisation recovers — plus a mild pedigree slope.
+Insulin and SkinThickness are zero-inflated (the classic Pima
+missing-as-zero convention), so an unguarded ratio like
+``Glucose / Insulin`` produces infinities: the mechanism behind CAAFE's
+reported Diabetes failure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataframe import DataFrame
+from repro.datasets.schema import DatasetBundle, DatasetSpec
+from repro.datasets.synth import bucket_effect, sample_labels
+from repro.fm.knowledge import DOMAIN_THRESHOLDS
+
+SPEC = DatasetSpec(
+    name="diabetes",
+    n_categorical=0,
+    n_numeric=9,
+    n_rows=769,
+    field="Health",
+    target="Outcome",
+    paper_initial_auc_avg=82.20,
+)
+
+DESCRIPTIONS = {
+    "Pregnancies": "Number of pregnancies",
+    "Glucose": "Plasma glucose concentration after an oral glucose tolerance test",
+    "BloodPressure": "Diastolic blood pressure in mm Hg",
+    "SkinThickness": "Triceps skin fold thickness in mm (0 means not measured)",
+    "Insulin": "2-hour serum insulin in mu U/ml (0 means not measured)",
+    "BMI": "Body mass index, weight in kg divided by squared height in m",
+    "DiabetesPedigree": "Diabetes pedigree function summarising family history",
+    "Age": "Age of the patient in years",
+}
+
+
+def generate(seed: int = 0, n_rows: int | None = None) -> DatasetBundle:
+    """Generate the synthetic Diabetes dataset."""
+    n = n_rows or SPEC.n_rows
+    rng = np.random.default_rng([seed, 101])
+    pregnancies = rng.poisson(2.8, size=n).astype(float)
+    glucose = np.clip(rng.normal(121, 31, size=n), 50, 250).round(0)
+    blood_pressure = np.clip(rng.normal(72, 12, size=n), 30, 130).round(0)
+    skin = np.where(rng.uniform(size=n) < 0.30, 0.0, np.clip(rng.normal(29, 10, n), 5, 70)).round(0)
+    insulin = np.where(rng.uniform(size=n) < 0.48, 0.0, np.clip(rng.gamma(2.2, 60, n), 10, 800)).round(0)
+    bmi = np.clip(rng.normal(32, 7, size=n), 15, 60).round(1)
+    pedigree = np.clip(rng.gamma(2.0, 0.24, size=n), 0.05, 2.5).round(3)
+    age = np.clip(rng.gamma(3.0, 11, size=n), 21, 81).round(0)
+
+    # Threshold-shaped clinical risk: exactly what bucketisation recovers.
+    logit = (
+        1.6 * bucket_effect(glucose, DOMAIN_THRESHOLDS["glucose"], [0.0, 0.8, 1.8, 2.6])
+        + 1.0 * bucket_effect(bmi, DOMAIN_THRESHOLDS["bmi"], [0.2, 0.0, 0.7, 1.3, 1.8])
+        + 0.8 * bucket_effect(age, DOMAIN_THRESHOLDS["age_generic"], [0, 0, 0.5, 1.0, 1.2, 1.2])
+        + 0.9 * pedigree
+        + 0.08 * pregnancies
+    )
+    outcome = sample_labels(rng, logit, prevalence=0.35, noise_scale=1.6)
+    frame = DataFrame(
+        {
+            "Pregnancies": pregnancies,
+            "Glucose": glucose,
+            "BloodPressure": blood_pressure,
+            "SkinThickness": skin,
+            "Insulin": insulin,
+            "BMI": bmi,
+            "DiabetesPedigree": pedigree,
+            "Age": age,
+            "Outcome": outcome,
+        }
+    )
+    return DatasetBundle(
+        name=SPEC.name,
+        frame=frame,
+        target=SPEC.target,
+        descriptions=dict(DESCRIPTIONS),
+        title="Pima-style diabetes screening records (health diagnostics)",
+        target_description="1 = patient develops diabetes",
+        spec=SPEC,
+        notes={"hazard": "Insulin/SkinThickness are zero-inflated; unguarded ratios explode"},
+    )

@@ -1,0 +1,58 @@
+"""Dataset registry: ``load_dataset(name)`` and Table 3 metadata."""
+
+from __future__ import annotations
+
+from repro.datasets import adult, bank, diabetes, heart, housing, lawschool, tennis, west_nile
+from repro.datasets.schema import DatasetBundle, DatasetSpec
+
+__all__ = ["DATASET_NAMES", "dataset_info", "list_datasets", "load_dataset"]
+
+_MODULES = {
+    "diabetes": diabetes,
+    "heart": heart,
+    "bank": bank,
+    "adult": adult,
+    "housing": housing,
+    "lawschool": lawschool,
+    "west_nile": west_nile,
+    "tennis": tennis,
+}
+
+DATASET_NAMES: tuple[str, ...] = tuple(_MODULES)
+"""The eight evaluation datasets, in the paper's Table 3 order."""
+
+_ALIASES = {
+    "west nile virus": "west_nile",
+    "west-nile": "west_nile",
+    "westnile": "west_nile",
+    "wnv": "west_nile",
+    "law school": "lawschool",
+}
+
+
+def _resolve(name: str) -> str:
+    key = name.strip().lower()
+    key = _ALIASES.get(key, key)
+    if key not in _MODULES:
+        raise ValueError(f"unknown dataset {name!r}; expected one of {DATASET_NAMES}")
+    return key
+
+
+def load_dataset(name: str, seed: int = 0, n_rows: int | None = None) -> DatasetBundle:
+    """Generate a dataset bundle by name.
+
+    ``n_rows`` overrides the Table 3 row count (tests and quick benches use
+    small sizes); the default regenerates the full-size dataset.  The same
+    ``(name, seed, n_rows)`` triple always produces identical data.
+    """
+    return _MODULES[_resolve(name)].generate(seed=seed, n_rows=n_rows)
+
+
+def dataset_info(name: str) -> DatasetSpec:
+    """Table 3 metadata for one dataset."""
+    return _MODULES[_resolve(name)].SPEC
+
+
+def list_datasets() -> list[DatasetSpec]:
+    """Table 3: the specs of all eight datasets in order."""
+    return [_MODULES[name].SPEC for name in DATASET_NAMES]

@@ -1,0 +1,65 @@
+"""Dataset descriptors: specs (Table 3 rows) and generated bundles."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dataframe import DataFrame
+
+__all__ = ["DatasetBundle", "DatasetSpec"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One row of the paper's Table 3.
+
+    ``n_categorical``/``n_numeric`` follow the paper's counting convention,
+    with the binary prediction class included in the numeric count.
+    """
+
+    name: str
+    n_categorical: int
+    n_numeric: int
+    n_rows: int
+    field: str
+    target: str
+    paper_initial_auc_avg: float
+    """Initial average-AUC reported in Table 4 (for shape comparisons)."""
+
+
+@dataclass
+class DatasetBundle:
+    """A generated dataset plus everything SMARTFEAT's input needs.
+
+    ``descriptions`` is the data card (column → description);
+    ``title``/``target_description`` feed the agenda header.
+    """
+
+    name: str
+    frame: DataFrame
+    target: str
+    descriptions: dict[str, str]
+    title: str
+    target_description: str
+    spec: DatasetSpec
+    notes: dict[str, str] = field(default_factory=dict)
+
+    def data_card(self) -> dict[str, str]:
+        """The column-description mapping (a Kaggle-style data card)."""
+        return dict(self.descriptions)
+
+    def feature_columns(self) -> list[str]:
+        return [c for c in self.frame.columns if c != self.target]
+
+    def names_only(self) -> "DatasetBundle":
+        """A copy without descriptions — the paper's descriptions ablation."""
+        return DatasetBundle(
+            name=self.name,
+            frame=self.frame,
+            target=self.target,
+            descriptions={},
+            title="",
+            target_description="",
+            spec=self.spec,
+            notes=dict(self.notes),
+        )

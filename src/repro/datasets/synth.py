@@ -1,0 +1,49 @@
+"""Shared machinery for planting label signal in synthetic datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["bucket_effect", "sample_labels", "sigmoid", "standardize"]
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -500, 500)))
+
+
+def standardize(x: np.ndarray) -> np.ndarray:
+    """Zero-mean/unit-variance a signal component (constant-safe)."""
+    x = np.asarray(x, dtype=np.float64)
+    scale = x.std()
+    return (x - x.mean()) / (scale if scale > 0 else 1.0)
+
+
+def bucket_effect(values: np.ndarray, edges: list[float], effects: list[float]) -> np.ndarray:
+    """A piecewise-constant (threshold) effect: the structure bucketisation
+    recovers.  ``effects[i]`` applies on ``(edges[i], edges[i+1]]``."""
+    if len(effects) != len(edges) - 1:
+        raise ValueError(
+            f"need {len(edges) - 1} effects for {len(edges)} edges, got {len(effects)}"
+        )
+    idx = np.clip(np.searchsorted(edges, values, side="left") - 1, 0, len(effects) - 1)
+    return np.asarray(effects, dtype=np.float64)[idx]
+
+
+def sample_labels(
+    rng: np.random.Generator,
+    logit: np.ndarray,
+    prevalence: float = 0.5,
+    noise_scale: float = 1.0,
+) -> np.ndarray:
+    """Draw binary labels whose Bayes signal is *logit*.
+
+    The logit is standardised and scaled by ``noise_scale`` (higher =
+    cleaner separation = higher attainable AUC), then shifted so the
+    positive rate is approximately *prevalence*.
+    """
+    if not 0.0 < prevalence < 1.0:
+        raise ValueError("prevalence must lie strictly between 0 and 1")
+    score = standardize(logit) * noise_scale
+    threshold_shift = float(np.quantile(score, 1.0 - prevalence))
+    probs = sigmoid(score - threshold_shift)
+    return (rng.uniform(size=len(score)) < probs).astype(np.int64)

@@ -1,0 +1,124 @@
+"""West Nile Virus (trap-surveillance-style): 10,507 rows, 3 categorical +
+8 numeric, Disease.
+
+Planted structure — the dataset where the paper says *diverse* feature
+types help and high-order operators are the most beneficial:
+
+* per-species infection propensity (a group rate GroupByThenAgg recovers);
+* seasonal week bands (bucketisation);
+* log mosquito counts (unary log);
+* a *city population density* effect that lives only in world knowledge —
+  the table stores city names; the density values come from the same
+  knowledge store the FM consults (the extractor's flagship feature);
+* a trap-level baseline (group effect over the Trap column).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataframe import DataFrame
+from repro.datasets.schema import DatasetBundle, DatasetSpec
+from repro.datasets.synth import bucket_effect, sample_labels, standardize
+from repro.fm.knowledge import default_knowledge
+
+SPEC = DatasetSpec(
+    name="west_nile",
+    n_categorical=3,
+    n_numeric=8,
+    n_rows=10507,
+    field="Disease",
+    target="WnvPresent",
+    paper_initial_auc_avg=78.96,
+)
+
+DESCRIPTIONS = {
+    "Species": "Mosquito species collected in the trap",
+    "Trap": "Identifier of the surveillance trap",
+    "City": "City where the trap is located",
+    "Latitude": "Latitude of the trap",
+    "WeekOfYear": "Week of the year of the observation",
+    "NumMosquitos": "Number of mosquitos caught in the trap",
+    "AvgTemperature": "Average temperature in the preceding week in Fahrenheit",
+    "Precipitation": "Total precipitation in the preceding week in inches",
+    "TrapElevation": "Elevation of the trap site in feet",
+    "DaylightHours": "Hours of daylight on the observation day",
+}
+
+_SPECIES = ["pipiens", "restuans", "pipiens-restuans", "salinarius", "territans", "tarsalis"]
+_SPECIES_EFFECT = {
+    "pipiens": 1.2,
+    "pipiens-restuans": 0.9,
+    "restuans": 0.4,
+    "salinarius": -0.5,
+    "territans": -1.1,
+    "tarsalis": -0.2,
+}
+_CITIES = ["CHI", "HOU", "DAL", "PHX", "ATL", "MIA", "AUS", "DEN"]
+
+
+def generate(seed: int = 0, n_rows: int | None = None) -> DatasetBundle:
+    """Generate the synthetic West Nile Virus dataset."""
+    n = n_rows or SPEC.n_rows
+    rng = np.random.default_rng([seed, 707])
+    knowledge = default_knowledge()
+    species = rng.choice(_SPECIES, size=n, p=[0.36, 0.28, 0.18, 0.08, 0.06, 0.04])
+    city = rng.choice(_CITIES, size=n, p=[0.3, 0.15, 0.12, 0.1, 0.1, 0.09, 0.08, 0.06])
+    trap = np.array([f"T{int(t):03d}" for t in rng.integers(1, 120, size=n)])
+    latitude = (41.6 + rng.uniform(0, 0.5, size=n)).round(4)
+    week = np.clip(rng.normal(30, 6, size=n), 22, 41).round(0)
+    temperature = np.clip(rng.normal(74, 7, size=n) + (week - 30) * 0.8, 48, 100).round(1)
+    precipitation = np.clip(rng.gamma(1.3, 0.5, size=n), 0, 8).round(2)
+    elevation = np.clip(rng.normal(600, 80, size=n), 350, 900).round(0)
+    daylight = np.clip(14.8 - 0.18 * np.abs(week - 26), 9, 15.2).round(2)
+
+    species_effect = np.array([_SPECIES_EFFECT[s] for s in species])
+    density = np.array([knowledge.lookup("city_population_density", c) for c in city])
+    # Per-trap latent site risk.  It manifests in the catch counts (risky
+    # sites catch more mosquitos), so the *per-trap mean* of NumMosquitos —
+    # a GroupByThenAgg feature over the 119-value Trap key that one-hot
+    # encoding cannot handle — denoises it.  This is why high-order
+    # operators are the most beneficial family on this dataset.
+    trap_ids = sorted(set(trap.tolist()))
+    trap_rng = np.random.default_rng([seed, 708])
+    trap_base = dict(zip(trap_ids, trap_rng.normal(0, 0.7, size=len(trap_ids))))
+    trap_effect = np.array([trap_base[t] for t in trap])
+    mosquitos = np.clip(
+        rng.gamma(1.6, 8.0, size=n) * np.exp(0.6 * trap_effect), 1, 900
+    ).round(0)
+
+    logit = (
+        1.0 * species_effect
+        + 0.9 * bucket_effect(week, [0, 26, 30, 35, 53], [-0.8, 0.3, 1.0, -0.4])
+        + 0.9 * standardize(np.log(density))
+        + 1.4 * trap_effect
+        + 0.3 * standardize(temperature)
+    )
+    target = sample_labels(rng, logit, prevalence=0.12, noise_scale=1.5)
+    frame = DataFrame(
+        {
+            "Species": species,
+            "Trap": trap,
+            "City": city,
+            "Latitude": latitude,
+            "WeekOfYear": week,
+            "NumMosquitos": mosquitos,
+            "AvgTemperature": temperature,
+            "Precipitation": precipitation,
+            "TrapElevation": elevation,
+            "DaylightHours": daylight,
+            "WnvPresent": target,
+        }
+    )
+    return DatasetBundle(
+        name=SPEC.name,
+        frame=frame,
+        target=SPEC.target,
+        descriptions=dict(DESCRIPTIONS),
+        title="West Nile virus mosquito trap surveillance (disease outbreak)",
+        target_description="1 = West Nile virus present in the trap sample",
+        spec=SPEC,
+        notes={
+            "signal": "species group rate + seasonal bands + city density (world knowledge)",
+        },
+    )

@@ -1,0 +1,119 @@
+"""Table 6: percentage of new features among the top-10 under three
+feature-selection metrics (information gain, RFE, tree importance)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines import AutoFeatLike, CAAFELike, FeaturetoolsDFS
+from repro.core import SmartFeat
+from repro.datasets.schema import DatasetBundle
+from repro.dataframe import DataFrame
+from repro.eval.harness import feature_matrix
+from repro.fm import SimulatedFM
+from repro.ml.feature_selection import (
+    mutual_info_classif,
+    rfe_ranking,
+    top_k_features,
+    tree_feature_importance,
+)
+
+__all__ = ["ImportanceRow", "importance_table", "top_k_new_fraction"]
+
+
+@dataclass
+class ImportanceRow:
+    """One method's Table 6 row."""
+
+    method: str
+    n_generated: int
+    n_selected: int
+    ig_at_k: float
+    rfe_at_k: float
+    fi_at_k: float
+    new_columns: list[str] = field(default_factory=list)
+
+
+def top_k_new_fraction(
+    frame: DataFrame,
+    target: str,
+    new_columns: list[str],
+    k: int = 10,
+    seed: int = 0,
+) -> tuple[float, float, float]:
+    """Fraction of new features in the top-*k* under IG / RFE / FI."""
+    X, y, names = feature_matrix(frame, target, strict=False)
+    new = set(new_columns)
+
+    def fraction(scores: np.ndarray) -> float:
+        top = top_k_features(scores, names, k=min(k, len(names)))
+        return sum(1 for name in top if name in new) / len(top)
+
+    ig = fraction(mutual_info_classif(X, y))
+    ranking = rfe_ranking(X, y)
+    rfe = fraction(-ranking.astype(np.float64))  # rank 1 = best
+    fi = fraction(tree_feature_importance(X, y, seed=seed))
+    return ig, rfe, fi
+
+
+def importance_table(
+    bundle: DatasetBundle,
+    methods: tuple[str, ...] = ("smartfeat", "caafe", "featuretools", "autofeat"),
+    k: int = 10,
+    seed: int = 0,
+    downstream_model: str = "random_forest",
+) -> list[ImportanceRow]:
+    """Run each method on *bundle* and compute its Table 6 row."""
+    rows: list[ImportanceRow] = []
+    for method in methods:
+        if method == "smartfeat":
+            tool = SmartFeat(
+                fm=SimulatedFM(seed=seed, model="gpt-4"),
+                function_fm=SimulatedFM(seed=seed + 1, model="gpt-3.5-turbo"),
+                downstream_model=downstream_model,
+            )
+            result = tool.fit_transform(
+                bundle.frame,
+                target=bundle.target,
+                descriptions=bundle.descriptions,
+                title=bundle.title,
+                target_description=bundle.target_description,
+            )
+            frame, new_columns = result.frame, result.new_columns
+            n_generated = len(new_columns) + len(result.rejections)
+            n_selected = len(new_columns)
+        elif method == "caafe":
+            caafe = CAAFELike(SimulatedFM(seed=seed, model="gpt-4"), seed=seed)
+            result = caafe.fit_transform(
+                bundle.frame,
+                bundle.target,
+                descriptions=bundle.descriptions,
+                title=bundle.title,
+            )
+            frame, new_columns = result.frame, result.new_columns
+            n_generated, n_selected = result.n_generated, result.n_selected
+        elif method == "featuretools":
+            result = FeaturetoolsDFS().fit_transform(bundle.frame, bundle.target)
+            frame, new_columns = result.frame, result.new_columns
+            n_generated, n_selected = result.n_generated, result.n_selected
+        elif method == "autofeat":
+            result = AutoFeatLike().fit_transform(bundle.frame, bundle.target)
+            frame, new_columns = result.frame, result.new_columns
+            n_generated, n_selected = result.n_generated, result.n_selected
+        else:
+            raise ValueError(f"unknown method {method!r}")
+        ig, rfe, fi = top_k_new_fraction(frame, bundle.target, new_columns, k=k, seed=seed)
+        rows.append(
+            ImportanceRow(
+                method=method,
+                n_generated=n_generated,
+                n_selected=n_selected,
+                ig_at_k=ig,
+                rfe_at_k=rfe,
+                fi_at_k=fi,
+                new_columns=list(new_columns),
+            )
+        )
+    return rows

@@ -1,0 +1,127 @@
+"""The paper's published numbers, as data.
+
+Hard-codes the evaluation tables of the paper (Tables 4–7 and the
+dataset facts of Table 3) so the benchmarks can render *paper vs
+measured* comparisons and score shape agreement (sign of the delta per
+cell) instead of eyeballing.
+
+All values transcribed from the CIDR 2024 paper text.
+"""
+
+from __future__ import annotations
+
+from repro.eval.reporting import render_table
+from repro.eval.runner import SweepResult
+
+__all__ = [
+    "PAPER_TABLE4_AVG",
+    "PAPER_TABLE5_MEDIAN",
+    "PAPER_TABLE6_TENNIS",
+    "PAPER_TABLE7_TENNIS",
+    "delta_sign_agreement",
+    "render_paper_comparison",
+]
+
+_DATASETS = (
+    "diabetes", "heart", "bank", "adult", "housing", "lawschool", "west_nile", "tennis",
+)
+
+#: Table 4 — average AUC.  None = "-" (failure / DNF) in the paper.
+PAPER_TABLE4_AVG: dict[str, dict[str, float | None]] = {
+    "initial": dict(zip(_DATASETS, (82.20, 67.38, 91.46, 76.81, 86.72, 84.00, 78.96, 77.93))),
+    "smartfeat": dict(zip(_DATASETS, (86.76, 72.15, 91.47, 87.00, 92.19, 83.68, 82.12, 87.39))),
+    "caafe": dict(zip(_DATASETS, (None, 69.67, 91.73, 83.10, 92.15, 83.86, 80.11, 88.50))),
+    "featuretools": dict(zip(_DATASETS, (82.24, 66.78, 91.04, 73.85, 79.47, 83.82, 73.12, 81.29))),
+    "autofeat": dict(zip(_DATASETS, (75.24, 64.92, None, None, 77.63, None, 70.90, 71.73))),
+}
+
+#: Table 5 — median AUC.
+PAPER_TABLE5_MEDIAN: dict[str, dict[str, float | None]] = {
+    "initial": dict(zip(_DATASETS, (83.18, 69.19, 92.77, 80.63, 91.28, 83.73, 77.66, 80.41))),
+    "smartfeat": dict(zip(_DATASETS, (87.78, 71.70, 92.86, 86.97, 90.97, 83.32, 82.06, 88.06))),
+    "caafe": dict(zip(_DATASETS, (None, 70.87, 93.06, 87.00, 92.84, 83.77, 80.90, 89.51))),
+    "featuretools": dict(zip(_DATASETS, (82.78, 69.37, 91.06, 68.91, 73.39, 83.74, 75.71, 83.03))),
+    "autofeat": dict(zip(_DATASETS, (84.20, 70.42, None, None, 75.65, None, 76.53, 67.83))),
+}
+
+#: Table 6 — Tennis feature-importance summary:
+#: (n_generated, n_selected or None, IG@10, RFE@10, FI@10) as fractions.
+PAPER_TABLE6_TENNIS: dict[str, tuple[int, int | None, float, float, float]] = {
+    "smartfeat": (25, None, 0.9, 0.8, 0.8),
+    "caafe": (5, None, 0.5, 0.5, 0.5),
+    "featuretools": (89, 35, 0.9, 0.9, 0.9),
+    "autofeat": (1978, 5, 0.1, 0.3, 0.3),
+}
+
+#: Table 7 — Tennis operator ablation, rows × models (LR, NB, RF, ET, DNN).
+PAPER_TABLE7_TENNIS: dict[str, dict[str, float]] = {
+    "Initial": {"lr": 88.17, "nb": 66.85, "rf": 80.41, "et": 79.14, "dnn": 84.50},
+    "+Unary": {"lr": 88.27, "nb": 65.16, "rf": 81.17, "et": 75.14, "dnn": 87.31},
+    "+Binary": {"lr": 88.51, "nb": 79.68, "rf": 87.38, "et": 88.02, "dnn": 87.57},
+    "+High-order": {"lr": 88.22, "nb": 66.49, "rf": 80.15, "et": 77.56, "dnn": 86.08},
+    "+Extractor": {"lr": 88.53, "nb": 90.00, "rf": 89.88, "et": 90.04, "dnn": 86.92},
+    "all": {"lr": 88.06, "nb": 84.05, "rf": 89.56, "et": 88.86, "dnn": 86.46},
+}
+
+
+def _paper_delta(method: str, dataset: str, table: dict) -> float | None:
+    """Paper's percentage delta vs Initial for one cell, None for '-'."""
+    value = table[method][dataset]
+    initial = table["initial"][dataset]
+    if value is None or initial in (None, 0):
+        return None
+    return (value - initial) / initial * 100.0
+
+
+def _measured_delta(result: SweepResult, method: str, dataset: str, aggregate: str) -> float | None:
+    outcome = result.outcomes.get((dataset, method))
+    initial = result.outcomes.get((dataset, "initial"))
+    if outcome is None or initial is None:
+        return None
+    measured = outcome.average_auc if aggregate == "average" else outcome.median_auc
+    base = initial.average_auc if aggregate == "average" else initial.median_auc
+    if measured is None or base in (None, 0):
+        return None
+    return (measured - base) / base * 100.0
+
+
+def delta_sign_agreement(
+    result: SweepResult, aggregate: str = "average", threshold: float = 1.0
+) -> tuple[int, int]:
+    """Score shape agreement against the paper: ``(agreeing, comparable)``.
+
+    A cell *agrees* when paper and measured deltas share a sign, or both
+    are within ±*threshold* percent ("flat agrees with flat").  Cells
+    where either side is a failure/DNF are skipped.
+    """
+    paper = PAPER_TABLE4_AVG if aggregate == "average" else PAPER_TABLE5_MEDIAN
+    agreeing = comparable = 0
+    for method in ("smartfeat", "caafe", "featuretools", "autofeat"):
+        for dataset in _DATASETS:
+            expected = _paper_delta(method, dataset, paper)
+            measured = _measured_delta(result, method, dataset, aggregate)
+            if expected is None or measured is None:
+                continue
+            comparable += 1
+            both_flat = abs(expected) < threshold and abs(measured) < threshold
+            if both_flat or (expected > 0) == (measured > 0):
+                agreeing += 1
+    return agreeing, comparable
+
+
+def render_paper_comparison(result: SweepResult, aggregate: str = "average") -> str:
+    """Side-by-side paper-vs-measured delta table (one row per method)."""
+    paper = PAPER_TABLE4_AVG if aggregate == "average" else PAPER_TABLE5_MEDIAN
+    rows = []
+    for method in ("smartfeat", "caafe", "featuretools", "autofeat"):
+        row = [method]
+        for dataset in _DATASETS:
+            expected = _paper_delta(method, dataset, paper)
+            measured = _measured_delta(result, method, dataset, aggregate)
+            left = "-" if expected is None else f"{expected:+.1f}"
+            right = "-" if measured is None else f"{measured:+.1f}"
+            row.append(f"{left} | {right}")
+        rows.append(row)
+    table = render_table(["Method (paper | ours, Δ%)", *_DATASETS], rows)
+    agreeing, comparable = delta_sign_agreement(result, aggregate)
+    return f"{table}\n\nDelta sign agreement: {agreeing}/{comparable} comparable cells"

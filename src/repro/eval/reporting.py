@@ -1,0 +1,75 @@
+"""Plain-text table renderers shaped like the paper's tables."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.eval.runner import SweepResult
+
+__all__ = ["render_auc_table", "render_table"]
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Fixed-width text table with a header rule."""
+    columns = [list(map(str, col)) for col in zip(headers, *rows)]
+    widths = [max(len(cell) for cell in col) for col in columns]
+    def line(cells):
+        return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+    out = [line(headers), "  ".join("-" * w for w in widths)]
+    out.extend(line(r) for r in rows)
+    return "\n".join(out)
+
+
+def _format_cell(value: float | None, initial: float | None, status: str) -> str:
+    """One Table 4/5 cell: ``AUC (+x.x%)`` / ``-`` for failures / ``DNF``."""
+    if status == "failed":
+        return "-"
+    if status == "dnf":
+        return "DNF"
+    if value is None:
+        return "?"
+    if initial is None or initial == 0:
+        return f"{value:.2f}"
+    delta = (value - initial) / initial * 100.0
+    if abs(delta) < 0.25:
+        tag = "(~)"
+    else:
+        tag = f"({delta:+.1f}%)"
+    return f"{value:.2f} {tag}"
+
+
+def render_auc_table(result: SweepResult, aggregate: str = "average") -> str:
+    """Render a sweep as the paper's Table 4 (average) or Table 5 (median).
+
+    Rows: Initial AUC then one row per method; columns: datasets; cells:
+    ``AUC (+delta%)`` with ``-`` for failures and ``DNF`` for timeouts.
+    """
+    if aggregate not in ("average", "median"):
+        raise ValueError("aggregate must be 'average' or 'median'")
+    datasets = list(result.config.datasets)
+    headers = ["Method", *datasets]
+    def agg(outcome):
+        return outcome.average_auc if aggregate == "average" else outcome.median_auc
+
+    initial_by_dataset = {}
+    for dataset in datasets:
+        outcome = result.outcomes.get((dataset, "initial"))
+        initial_by_dataset[dataset] = agg(outcome) if outcome else None
+    rows: list[list[str]] = []
+    first = ["Initial AUC"]
+    for dataset in datasets:
+        value = initial_by_dataset[dataset]
+        first.append(f"{value:.2f}" if value is not None else "?")
+    rows.append(first)
+    for method in result.config.methods:
+        if method == "initial":
+            continue
+        row = [method]
+        for dataset in datasets:
+            outcome = result.outcomes.get((dataset, method))
+            if outcome is None:
+                row.append("?")
+                continue
+            row.append(_format_cell(agg(outcome), initial_by_dataset[dataset], outcome.status))
+        rows.append(row)
+    return render_table(headers, rows)

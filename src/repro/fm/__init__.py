@@ -1,0 +1,53 @@
+"""Foundation-model substrate.
+
+The paper drives SMARTFEAT with OpenAI GPT-4 (operator selector) and
+GPT-3.5-turbo (function generator) through LangChain.  This environment has
+no network, so the substrate supplies:
+
+:class:`FMClient`
+    The protocol a real API client would implement (``complete(prompt) →
+    FMResponse``) with a per-client :class:`CallLedger` tracking calls,
+    tokens, simulated latency, and dollar cost.
+:class:`SimulatedFM`
+    A deterministic, seeded foundation-model simulator.  It reads only the
+    prompt text (never the raw data), infers column semantics with a
+    lexicon, consults an open-world knowledge store, and answers the
+    operator-selector / function-generator / CAAFE prompt shapes with
+    plausible natural-text responses, including executable Python.
+:class:`ScriptedFM` / :class:`RecordingFM` / :class:`ReplayFM`
+    Test doubles: canned responses, call recording, and replay.
+
+Why the substitution preserves behaviour: SMARTFEAT's contribution is the
+*architecture of FM interaction* — what is asked, how often, and how
+answers become executable functions.  Every code path (proposal vs
+sampling, parsing, codegen, row-level fallback, source suggestion, error
+handling) is exercised identically whether the text comes from GPT-4 or
+from the simulator.
+"""
+
+from repro.fm.base import CallLedger, FMClient, FMResponse
+from repro.fm.cost import CostModel, estimate_tokens
+from repro.fm.errors import FMBudgetExceededError, FMError, FMParseError
+from repro.fm.knowledge import KnowledgeStore, default_knowledge
+from repro.fm.lexicon import ColumnRole, infer_role
+from repro.fm.scripted import RecordingFM, ReplayFM, ScriptedFM
+from repro.fm.simulated import SimulatedFM
+
+__all__ = [
+    "CallLedger",
+    "ColumnRole",
+    "CostModel",
+    "FMBudgetExceededError",
+    "FMClient",
+    "FMError",
+    "FMParseError",
+    "FMResponse",
+    "KnowledgeStore",
+    "RecordingFM",
+    "ReplayFM",
+    "ScriptedFM",
+    "SimulatedFM",
+    "default_knowledge",
+    "estimate_tokens",
+    "infer_role",
+]

@@ -1,0 +1,100 @@
+"""The FM client protocol and per-client call accounting."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.fm.cost import CostModel, estimate_tokens
+
+__all__ = ["CallLedger", "FMClient", "FMResponse"]
+
+
+@dataclass(frozen=True)
+class FMResponse:
+    """One foundation-model completion with its accounting metadata."""
+
+    text: str
+    prompt_tokens: int
+    completion_tokens: int
+    latency_s: float
+    cost_usd: float
+    model: str = "simulated"
+
+
+@dataclass
+class CallLedger:
+    """Accumulates per-call accounting across a client's lifetime.
+
+    The evaluation harness reads these totals to reproduce the paper's
+    efficiency comparisons without real API access.
+    """
+
+    n_calls: int = 0
+    prompt_tokens: int = 0
+    completion_tokens: int = 0
+    latency_s: float = 0.0
+    cost_usd: float = 0.0
+    history: list[tuple[str, str]] = field(default_factory=list)
+    keep_history: bool = False
+
+    def record(self, prompt: str, response: FMResponse) -> None:
+        self.n_calls += 1
+        self.prompt_tokens += response.prompt_tokens
+        self.completion_tokens += response.completion_tokens
+        self.latency_s += response.latency_s
+        self.cost_usd += response.cost_usd
+        if self.keep_history:
+            self.history.append((prompt, response.text))
+
+    def snapshot(self) -> dict[str, float]:
+        """Totals as a plain dict (for reports and tests)."""
+        return {
+            "n_calls": self.n_calls,
+            "prompt_tokens": self.prompt_tokens,
+            "completion_tokens": self.completion_tokens,
+            "latency_s": round(self.latency_s, 3),
+            "cost_usd": round(self.cost_usd, 6),
+        }
+
+    def reset(self) -> None:
+        self.n_calls = 0
+        self.prompt_tokens = 0
+        self.completion_tokens = 0
+        self.latency_s = 0.0
+        self.cost_usd = 0.0
+        self.history.clear()
+
+
+class FMClient(abc.ABC):
+    """Abstract foundation-model client: text prompt in, text response out.
+
+    Subclasses implement :meth:`_complete_text`; the public
+    :meth:`complete` wraps it with token/latency/cost accounting so every
+    client — simulated or real — feeds the same efficiency bookkeeping.
+    """
+
+    def __init__(self, model: str = "simulated", cost_model: CostModel | None = None) -> None:
+        self.model = model
+        self.cost_model = cost_model or CostModel(model=model)
+        self.ledger = CallLedger()
+
+    @abc.abstractmethod
+    def _complete_text(self, prompt: str, temperature: float) -> str:
+        """Produce the raw completion text for *prompt*."""
+
+    def complete(self, prompt: str, temperature: float = 0.0) -> FMResponse:
+        """Run one completion and record it in the ledger."""
+        text = self._complete_text(prompt, temperature)
+        prompt_tokens = estimate_tokens(prompt)
+        completion_tokens = estimate_tokens(text)
+        response = FMResponse(
+            text=text,
+            prompt_tokens=prompt_tokens,
+            completion_tokens=completion_tokens,
+            latency_s=self.cost_model.latency(completion_tokens),
+            cost_usd=self.cost_model.price(prompt_tokens, completion_tokens),
+            model=self.model,
+        )
+        self.ledger.record(prompt, response)
+        return response

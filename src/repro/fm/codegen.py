@@ -1,0 +1,266 @@
+"""Transformation-source emission for the simulated function generator.
+
+The real system's GPT-3.5 turns a (feature name, relevant columns,
+description) triple into executable pandas code.  This module is the
+simulator's code-writing faculty: given the same triple — plus the data
+agenda embedded in the prompt — it emits Python source defining
+``def transform(df)`` that returns the new column (a Series) or columns
+(a DataFrame).
+
+Descriptions carry a machine-readable operator tag prefix (emitted by the
+simulated operator selector), e.g. ``"bucketization[age_insurance]: Age
+grouped into standard insurance bands"`` — mirroring how the paper reuses
+the operator description as the feature description.
+"""
+
+from __future__ import annotations
+
+from repro.fm.knowledge import KnowledgeStore
+
+__all__ = ["KNOWN_TAGS", "derivation_tag", "generate_transform_source", "parse_op_tag"]
+
+#: Operator tags the selector/codegen pipeline emits in descriptions.
+KNOWN_TAGS = frozenset(
+    {
+        "normalization",
+        "bucketization",
+        "log_transform",
+        "get_dummies",
+        "date_split",
+        "text_length",
+        "squared",
+        "is_missing",
+        "binary",
+        "groupby",
+        "knowledge_map",
+        "split_parts",
+        "composite_index",
+        "source",
+    }
+)
+
+
+def derivation_tag(description: str) -> str:
+    """The operator tag a generated feature's description starts with.
+
+    Original data-card descriptions are natural language and yield ``""``;
+    generated features carry tags like ``"binary"`` or ``"groupby"`` — the
+    FM reads these to avoid stacking operators nonsensically.
+    """
+    tag, _ = parse_op_tag(description)
+    return tag if tag in KNOWN_TAGS else ""
+
+
+def parse_op_tag(description: str) -> tuple[str, list[str]]:
+    """Split ``"op[arg1][arg2]: text"`` into ``("op", ["arg1", "arg2"])``.
+
+    Descriptions without a recognisable tag yield ``("", [])``.
+    """
+    head = description.split(":", 1)[0].strip()
+    if not head or " " in head.split("[", 1)[0]:
+        return "", []
+    if "[" in head:
+        op = head[: head.index("[")]
+        args = [part.rstrip("]") for part in head[head.index("[") + 1 :].split("[")]
+        return op, args
+    return head, []
+
+
+def _quote(name: str) -> str:
+    return repr(name)
+
+
+def _bucketization(column: str, args: list[str], knowledge: KnowledgeStore) -> str:
+    domain = args[0] if args else ""
+    try:
+        edges = knowledge.thresholds(domain)
+        edge_src = repr(edges)
+        return (
+            f"def transform(df):\n"
+            f"    # Domain-standard {domain or 'generic'} bands.\n"
+            f"    edges = {edge_src}\n"
+            f"    return pd.cut(df[{_quote(column)}], edges, labels=list(range(len(edges) - 1)))\n"
+        )
+    except KeyError:
+        return (
+            f"def transform(df):\n"
+            f"    # No domain-standard bands known; fall back to quartiles.\n"
+            f"    return pd.qcut(df[{_quote(column)}], 4, labels=[0, 1, 2, 3])\n"
+        )
+
+
+def _normalization(column: str, args: list[str]) -> str:
+    mode = args[0] if args else "zscore"
+    if mode == "minmax":
+        return (
+            f"def transform(df):\n"
+            f"    col = df[{_quote(column)}]\n"
+            f"    lo, hi = col.min(), col.max()\n"
+            f"    span = (hi - lo) or 1.0\n"
+            f"    return (col - lo) / span\n"
+        )
+    return (
+        f"def transform(df):\n"
+        f"    col = df[{_quote(column)}]\n"
+        f"    scale = col.std() or 1.0\n"
+        f"    return (col - col.mean()) / scale\n"
+    )
+
+
+def _log_transform(column: str) -> str:
+    return (
+        f"def transform(df):\n"
+        f"    # log1p of the non-negative part; keeps zeros/negatives safe.\n"
+        f"    return (df[{_quote(column)}].clip(0) + 1.0).apply(math.log)\n"
+    )
+
+
+def _squared(column: str) -> str:
+    return f"def transform(df):\n    return df[{_quote(column)}] ** 2\n"
+
+
+def _get_dummies(column: str) -> str:
+    return (
+        f"def transform(df):\n"
+        f"    return pd.get_dummies(df[{_quote(column)}], prefix={_quote(column)})\n"
+    )
+
+
+def _date_split(column: str) -> str:
+    return (
+        f"def transform(df):\n"
+        f"    col = df[{_quote(column)}]\n"
+        f"    return pd.DataFrame({{\n"
+        f"        {_quote(column + '_month')}: col.dt.month,\n"
+        f"        {_quote(column + '_dayofweek')}: col.dt.dayofweek,\n"
+        f"    }})\n"
+    )
+
+
+def _text_length(column: str) -> str:
+    return f"def transform(df):\n    return df[{_quote(column)}].str.len()\n"
+
+
+def _is_missing(column: str) -> str:
+    return (
+        f"def transform(df):\n"
+        f"    return df[{_quote(column)}].isna().astype(int)\n"
+    )
+
+
+def _binary(op: str, columns: list[str]) -> str:
+    a, b = columns[0], columns[1]
+    if op == "/":
+        return (
+            f"def transform(df):\n"
+            f"    # Guard against division by zero: null denominators propagate.\n"
+            f"    den = df[{_quote(b)}].apply(lambda v: v if not pd.isna(v) and v != 0 else None)\n"
+            f"    return df[{_quote(a)}] / den\n"
+        )
+    symbol = {"+": "+", "-": "-", "*": "*"}[op]
+    return (
+        f"def transform(df):\n"
+        f"    return df[{_quote(a)}] {symbol} df[{_quote(b)}]\n"
+    )
+
+
+def _groupby(args: list[str], columns: list[str]) -> str:
+    func = args[0] if args else "mean"
+    agg_col = columns[-1]
+    group_cols = columns[:-1]
+    return (
+        f"def transform(df):\n"
+        f"    return df.groupby({group_cols!r})[{_quote(agg_col)}].transform({_quote(func)})\n"
+    )
+
+
+def _knowledge_map(
+    topic: str, column: str, values: list[str], knowledge: KnowledgeStore
+) -> str:
+    mapping = knowledge.mapping_for(topic, values)
+    default = knowledge.default_for(topic)
+    entries = ", ".join(f"{k!r}: {v!r}" for k, v in mapping.items())
+    return (
+        f"def transform(df):\n"
+        f"    # Encoded world knowledge: {topic.replace('_', ' ')}.\n"
+        f"    lookup = {{{entries}}}\n"
+        f"    return df[{_quote(column)}].apply(lambda v: lookup.get(v, {default!r}))\n"
+    )
+
+
+def _split_parts(column: str, args: list[str]) -> str:
+    separator = args[0] if args else ","
+    return (
+        f"def transform(df):\n"
+        f"    parts = df[{_quote(column)}].str.split({separator!r}, expand=True)\n"
+        f"    parts = parts.rename(columns={{'0': {_quote(column + '_part0')}, '1': {_quote(column + '_part1')}}})\n"
+        f"    out = pd.DataFrame({{}})\n"
+        f"    for name in parts.columns:\n"
+        f"        out[name] = parts[name].str.strip()\n"
+        f"    return out\n"
+    )
+
+
+def _composite_index(columns: list[str]) -> str:
+    terms = []
+    weight = 1.0 / max(len(columns), 1)
+    body = [
+        "def transform(df):",
+        "    # Equal-weight z-score composite of the inputs.",
+        "    total = None",
+    ]
+    for col in columns:
+        body.append(f"    col = df[{_quote(col)}]")
+        body.append("    scale = col.std() or 1.0")
+        body.append(f"    part = ((col - col.mean()) / scale) * {weight!r}")
+        body.append("    total = part if total is None else total + part")
+    body.append("    return total")
+    del terms
+    return "\n".join(body) + "\n"
+
+
+def generate_transform_source(
+    name: str,
+    columns: list[str],
+    description: str,
+    knowledge: KnowledgeStore,
+    column_values: dict[str, list[str]] | None = None,
+) -> str:
+    """Emit ``def transform(df)`` source for one feature candidate.
+
+    Parameters mirror the function-generator prompt: the feature *name*,
+    its *columns*, the tagged *description*, and the categorical domains
+    (*column_values*) parsed from the agenda in the prompt.
+    """
+    op, args = parse_op_tag(description)
+    column = columns[0] if columns else ""
+    values = (column_values or {}).get(column, [])
+    if op == "bucketization":
+        return _bucketization(column, args, knowledge)
+    if op == "normalization":
+        return _normalization(column, args)
+    if op == "log_transform":
+        return _log_transform(column)
+    if op == "squared":
+        return _squared(column)
+    if op == "get_dummies":
+        return _get_dummies(column)
+    if op == "date_split":
+        return _date_split(column)
+    if op == "text_length":
+        return _text_length(column)
+    if op == "is_missing":
+        return _is_missing(column)
+    if op == "binary" and args and len(columns) >= 2:
+        return _binary(args[0], columns)
+    if op == "groupby":
+        return _groupby(args, columns)
+    if op == "knowledge_map" and args:
+        return _knowledge_map(args[0], column, values, knowledge)
+    if op == "split_parts":
+        return _split_parts(column, args)
+    if op == "composite_index":
+        return _composite_index(columns)
+    # Unknown intent: a defensible generic fallback (identity copy) that the
+    # validator will reject as redundant — mirroring an FM low-quality answer.
+    return f"def transform(df):\n    return df[{_quote(column)}]\n"

@@ -1,0 +1,52 @@
+"""API cost and latency model.
+
+The paper's efficiency argument (Figure 1, Section 1) is that row-level FM
+interactions are impractical on large tables because cost and latency grow
+with the number of rows, while feature-level interactions cost O(#features)
+calls.  This module makes that measurable: every simulated call is priced
+and timed with public API-style rates, so the Figure 1 benchmark can report
+calls, tokens, dollars, and modelled latency for both interaction styles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CostModel", "PRICE_TABLE", "estimate_tokens"]
+
+
+def estimate_tokens(text: str) -> int:
+    """Rough BPE token count: ~4 characters per token, at least 1."""
+    return max(1, len(text) // 4)
+
+
+#: $ per 1M tokens (prompt, completion) — public list prices at the time of
+#: the paper's evaluation (GPT-4 8k and GPT-3.5-turbo).
+PRICE_TABLE: dict[str, tuple[float, float]] = {
+    "gpt-4": (30.0, 60.0),
+    "gpt-3.5-turbo": (0.5, 1.5),
+    "simulated": (30.0, 60.0),  # priced as GPT-4 so cost shapes match
+}
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Prices and latency parameters for one model family.
+
+    Latency is modelled as ``base_latency_s + completion_tokens *
+    per_token_s`` — a fixed round-trip overhead plus autoregressive
+    decoding time, the structure that makes row-level loops slow.
+    """
+
+    model: str = "simulated"
+    base_latency_s: float = 0.6
+    per_token_s: float = 0.02
+
+    def price(self, prompt_tokens: int, completion_tokens: int) -> float:
+        """Dollar cost of one call."""
+        per_in, per_out = PRICE_TABLE.get(self.model, PRICE_TABLE["simulated"])
+        return (prompt_tokens * per_in + completion_tokens * per_out) / 1e6
+
+    def latency(self, completion_tokens: int) -> float:
+        """Modelled wall-clock seconds for one call."""
+        return self.base_latency_s + completion_tokens * self.per_token_s

@@ -1,0 +1,15 @@
+"""Exception hierarchy for the foundation-model substrate."""
+
+__all__ = ["FMBudgetExceededError", "FMError", "FMParseError"]
+
+
+class FMError(Exception):
+    """Base class for foundation-model interaction failures."""
+
+
+class FMParseError(FMError):
+    """An FM response could not be parsed into the expected structure."""
+
+
+class FMBudgetExceededError(FMError):
+    """A call/token/cost budget was exhausted mid-interaction."""

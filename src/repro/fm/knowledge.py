@@ -1,0 +1,228 @@
+"""Open-world knowledge store: the simulator's stand-in for FM pre-training.
+
+The paper's flagship extractor example derives *City Population Density*
+from a city name — knowledge no traditional AFE tool has.  The store below
+plays the role of the FM's encoded world knowledge.  Crucially, the
+synthetic dataset generators draw on the *same* store when planting label
+signal, so knowledge-based features genuinely correlate with the target
+for the same mechanistic reason they do in the paper.
+
+Topics are small curated tables plus a deterministic fallback estimator
+("an FM's plausible guess") for unseen keys.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["KnowledgeStore", "default_knowledge"]
+
+#: people per square mile (approximate public figures).
+CITY_POPULATION_DENSITY: dict[str, float] = {
+    "SF": 18630.0,
+    "San Francisco": 18630.0,
+    "NYC": 29300.0,
+    "New York": 29300.0,
+    "LA": 8300.0,
+    "Los Angeles": 8300.0,
+    "SEA": 9000.0,
+    "Seattle": 9000.0,
+    "CHI": 11840.0,
+    "Chicago": 11840.0,
+    "HOU": 3600.0,
+    "Houston": 3600.0,
+    "PHX": 3100.0,
+    "Phoenix": 3100.0,
+    "PHL": 11700.0,
+    "Philadelphia": 11700.0,
+    "SD": 4300.0,
+    "San Diego": 4300.0,
+    "DAL": 3850.0,
+    "Dallas": 3850.0,
+    "AUS": 3000.0,
+    "Austin": 3000.0,
+    "DEN": 4700.0,
+    "Denver": 4700.0,
+    "BOS": 13900.0,
+    "Boston": 13900.0,
+    "MIA": 12600.0,
+    "Miami": 12600.0,
+    "ATL": 3700.0,
+    "Atlanta": 3700.0,
+    "POR": 4900.0,
+    "Portland": 4900.0,
+}
+
+#: median household income, thousands of dollars (approximate).
+CITY_MEDIAN_INCOME: dict[str, float] = {
+    "SF": 126.0,
+    "San Francisco": 126.0,
+    "NYC": 75.0,
+    "New York": 75.0,
+    "LA": 70.0,
+    "Los Angeles": 70.0,
+    "SEA": 110.0,
+    "Seattle": 110.0,
+    "CHI": 66.0,
+    "Chicago": 66.0,
+    "HOU": 57.0,
+    "Houston": 57.0,
+    "PHX": 64.0,
+    "Phoenix": 64.0,
+    "PHL": 53.0,
+    "Philadelphia": 53.0,
+    "SD": 89.0,
+    "San Diego": 89.0,
+    "DAL": 58.0,
+    "Dallas": 58.0,
+    "AUS": 79.0,
+    "Austin": 79.0,
+    "DEN": 78.0,
+    "Denver": 78.0,
+    "BOS": 81.0,
+    "Boston": 81.0,
+    "MIA": 47.0,
+    "Miami": 47.0,
+    "ATL": 70.0,
+    "Atlanta": 70.0,
+    "POR": 76.0,
+    "Portland": 76.0,
+}
+
+#: car make → (segment, typical insurance risk multiplier ≥ 1.0).
+CAR_MAKE_RISK: dict[str, float] = {
+    "Honda": 1.00,
+    "Toyota": 0.95,
+    "Ford": 1.15,
+    "Chevrolet": 1.12,
+    "BMW": 1.45,
+    "Volkswagen": 1.05,
+    "Mercedes": 1.40,
+    "Audi": 1.38,
+    "Subaru": 0.92,
+    "Mazda": 0.98,
+    "Nissan": 1.08,
+    "Hyundai": 1.02,
+    "Kia": 1.03,
+    "Tesla": 1.30,
+    "Dodge": 1.35,
+    "Jeep": 1.18,
+}
+
+#: fraction of sporty/performance trims in the make's fleet.
+CAR_MAKE_SPORTY: dict[str, float] = {
+    "Honda": 0.15,
+    "Toyota": 0.10,
+    "Ford": 0.35,
+    "Chevrolet": 0.30,
+    "BMW": 0.55,
+    "Volkswagen": 0.20,
+    "Mercedes": 0.45,
+    "Audi": 0.50,
+    "Subaru": 0.25,
+    "Mazda": 0.30,
+    "Nissan": 0.25,
+    "Hyundai": 0.15,
+    "Kia": 0.15,
+    "Tesla": 0.60,
+    "Dodge": 0.60,
+    "Jeep": 0.20,
+}
+
+#: domain-standard bucket boundaries an FM would recall.
+DOMAIN_THRESHOLDS: dict[str, list[float]] = {
+    "age_insurance": [0, 21, 25, 35, 50, 65, 120],
+    "age_generic": [0, 18, 30, 45, 60, 75, 120],
+    "bmi": [0, 18.5, 25, 30, 35, 100],
+    "glucose": [0, 100, 126, 200, 500],
+    "blood_pressure": [0, 80, 90, 120, 140, 250],
+    "income_k": [0, 25, 50, 75, 100, 150, 10000],
+}
+
+_DATA_SOURCES: dict[str, list[str]] = {
+    "city_population_density": [
+        "US Census Bureau QuickFacts (census.gov/quickfacts)",
+        "Simplemaps US Cities Database (simplemaps.com/data/us-cities)",
+    ],
+    "city_median_income": [
+        "American Community Survey 5-year estimates (census.gov/programs-surveys/acs)",
+    ],
+    "car_make_risk": [
+        "IIHS insurance loss tables (iihs.org/ratings/insurance-losses-by-make-and-model)",
+    ],
+    "weather_history": [
+        "NOAA Climate Data Online (ncdc.noaa.gov/cdo-web)",
+    ],
+}
+
+
+def _plausible_guess(topic: str, key: str, low: float, high: float) -> float:
+    """Deterministic 'FM hallucination': a stable in-range value for unseen keys."""
+    digest = hashlib.sha256(f"{topic}:{key}".encode()).digest()
+    fraction = int.from_bytes(digest[:4], "big") / 2**32
+    return low + fraction * (high - low)
+
+
+class KnowledgeStore:
+    """Queryable world knowledge with topic tables and guess fallbacks."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, dict[str, float]] = {
+            "city_population_density": dict(CITY_POPULATION_DENSITY),
+            "city_median_income": dict(CITY_MEDIAN_INCOME),
+            "car_make_risk": dict(CAR_MAKE_RISK),
+            "car_make_sporty": dict(CAR_MAKE_SPORTY),
+        }
+        self._guess_ranges: dict[str, tuple[float, float]] = {
+            "city_population_density": (1500.0, 6000.0),
+            "city_median_income": (45.0, 85.0),
+            "car_make_risk": (0.9, 1.3),
+            "car_make_sporty": (0.1, 0.5),
+        }
+
+    @property
+    def topics(self) -> list[str]:
+        return sorted(self._tables)
+
+    def lookup(self, topic: str, key: str) -> float:
+        """Exact table value, or a deterministic plausible guess for unseen keys."""
+        if topic not in self._tables:
+            raise KeyError(f"unknown knowledge topic: {topic!r}")
+        table = self._tables[topic]
+        if key in table:
+            return table[key]
+        low, high = self._guess_ranges[topic]
+        return _plausible_guess(topic, key, low, high)
+
+    def knows(self, topic: str, key: str) -> bool:
+        """True when the value is curated rather than guessed."""
+        return topic in self._tables and key in self._tables[topic]
+
+    def mapping_for(self, topic: str, keys: list[str]) -> dict[str, float]:
+        """A literal ``{key: value}`` mapping for *keys* — what the FM embeds
+        in generated transformation code."""
+        return {key: round(self.lookup(topic, key), 2) for key in keys}
+
+    def default_for(self, topic: str) -> float:
+        """A sensible default for keys not in a generated mapping."""
+        low, high = self._guess_ranges[topic]
+        return round((low + high) / 2.0, 2)
+
+    def thresholds(self, domain: str) -> list[float]:
+        """Domain-standard bucket boundaries (e.g. insurance age bands)."""
+        if domain not in DOMAIN_THRESHOLDS:
+            raise KeyError(f"unknown threshold domain: {domain!r}")
+        return list(DOMAIN_THRESHOLDS[domain])
+
+    def sources_for(self, topic: str) -> list[str]:
+        """External data sources an FM would suggest for *topic*."""
+        return list(_DATA_SOURCES.get(topic, ["Kaggle Datasets (kaggle.com/datasets)"]))
+
+
+_DEFAULT = KnowledgeStore()
+
+
+def default_knowledge() -> KnowledgeStore:
+    """The shared knowledge store used by the simulator and the dataset
+    generators (same world, same facts)."""
+    return _DEFAULT

@@ -1,0 +1,74 @@
+"""Test doubles for FM clients: scripted, recording, and replay wrappers."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.fm.base import FMClient, FMResponse
+from repro.fm.errors import FMError
+
+__all__ = ["RecordingFM", "ReplayFM", "ScriptedFM"]
+
+
+class ScriptedFM(FMClient):
+    """Returns canned responses.
+
+    Accepts either a list (consumed in order; raises when exhausted) or a
+    callable ``prompt -> text`` for pattern-based stubs.
+    """
+
+    def __init__(self, responses: Sequence[str] | Callable[[str], str], model: str = "scripted") -> None:
+        super().__init__(model=model)
+        self._responses = responses
+        self._cursor = 0
+
+    def _complete_text(self, prompt: str, temperature: float) -> str:
+        if callable(self._responses):
+            return self._responses(prompt)
+        if self._cursor >= len(self._responses):
+            raise FMError(
+                f"ScriptedFM exhausted after {self._cursor} responses; prompt was: {prompt[:80]}..."
+            )
+        text = self._responses[self._cursor]
+        self._cursor += 1
+        return text
+
+
+class RecordingFM(FMClient):
+    """Wraps another client and records every ``(prompt, response)`` pair."""
+
+    def __init__(self, inner: FMClient) -> None:
+        super().__init__(model=inner.model, cost_model=inner.cost_model)
+        self.inner = inner
+        self.recording: list[tuple[str, str]] = []
+
+    def _complete_text(self, prompt: str, temperature: float) -> str:
+        text = self.inner._complete_text(prompt, temperature)
+        self.recording.append((prompt, text))
+        return text
+
+
+class ReplayFM(FMClient):
+    """Replays a recording captured by :class:`RecordingFM`.
+
+    Matches calls by sequence position and verifies the prompt prefix so
+    drifting call order fails loudly rather than silently mis-answering.
+    """
+
+    def __init__(self, recording: Sequence[tuple[str, str]], strict: bool = True) -> None:
+        super().__init__(model="replay")
+        self._recording = list(recording)
+        self._cursor = 0
+        self.strict = strict
+
+    def _complete_text(self, prompt: str, temperature: float) -> str:
+        if self._cursor >= len(self._recording):
+            raise FMError("ReplayFM exhausted: more calls than the recording contains")
+        recorded_prompt, text = self._recording[self._cursor]
+        self._cursor += 1
+        if self.strict and recorded_prompt[:120] != prompt[:120]:
+            raise FMError(
+                "ReplayFM prompt mismatch at call "
+                f"{self._cursor}: expected {recorded_prompt[:60]!r}..., got {prompt[:60]!r}..."
+            )
+        return text

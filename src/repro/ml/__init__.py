@@ -1,0 +1,70 @@
+"""Mini scikit-learn substrate for the SMARTFEAT reproduction.
+
+Implements exactly what the paper's evaluation needs, with a
+scikit-learn-compatible estimator API (``fit`` / ``predict`` /
+``predict_proba``):
+
+* the five downstream classifiers of Section 4.1 — LR, GaussianNB,
+  Random Forest, Extra Trees, and a 2×100-unit ReLU DNN;
+* Area Under the ROC Curve as the primary metric;
+* 75/25 splitting and (stratified) k-fold cross-validation;
+* the three Table 6 feature-selection metrics: information gain (mutual
+  information), recursive feature elimination, and Gini-based tree
+  feature importance.
+"""
+
+from repro.ml.base import BaseEstimator, clone
+from repro.ml.preprocessing import (
+    LabelEncoder,
+    MinMaxScaler,
+    SimpleImputer,
+    StandardScaler,
+)
+from repro.ml.metrics import accuracy_score, log_loss, roc_auc_score
+from repro.ml.linear import LinearRegressionScorer, LogisticRegression
+from repro.ml.naive_bayes import GaussianNB
+from repro.ml.neighbors import KNeighborsClassifier
+from repro.ml.tree import DecisionTreeClassifier
+from repro.ml.forest import ExtraTreesClassifier, RandomForestClassifier
+from repro.ml.neural import MLPClassifier
+from repro.ml.model_selection import (
+    KFold,
+    StratifiedKFold,
+    cross_val_auc,
+    train_test_split,
+)
+from repro.ml.feature_selection import (
+    mutual_info_classif,
+    rfe_ranking,
+    tree_feature_importance,
+)
+from repro.ml.registry import MODEL_NAMES, make_model
+
+__all__ = [
+    "BaseEstimator",
+    "DecisionTreeClassifier",
+    "ExtraTreesClassifier",
+    "GaussianNB",
+    "KFold",
+    "KNeighborsClassifier",
+    "LabelEncoder",
+    "LinearRegressionScorer",
+    "LogisticRegression",
+    "MLPClassifier",
+    "MODEL_NAMES",
+    "MinMaxScaler",
+    "RandomForestClassifier",
+    "SimpleImputer",
+    "StandardScaler",
+    "StratifiedKFold",
+    "accuracy_score",
+    "clone",
+    "cross_val_auc",
+    "log_loss",
+    "make_model",
+    "mutual_info_classif",
+    "rfe_ranking",
+    "roc_auc_score",
+    "train_test_split",
+    "tree_feature_importance",
+]

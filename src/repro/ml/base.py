@@ -1,0 +1,50 @@
+"""Estimator base class and cloning, mirroring the scikit-learn contract."""
+
+from __future__ import annotations
+
+import copy
+import inspect
+from typing import Any
+
+__all__ = ["BaseEstimator", "clone"]
+
+
+class BaseEstimator:
+    """Base class giving estimators ``get_params`` / ``set_params`` / ``repr``.
+
+    Subclasses must store every constructor argument as an attribute of the
+    same name (the scikit-learn convention); :func:`clone` relies on it.
+    """
+
+    @classmethod
+    def _param_names(cls) -> list[str]:
+        signature = inspect.signature(cls.__init__)
+        return [
+            name
+            for name, p in signature.parameters.items()
+            if name != "self" and p.kind != inspect.Parameter.VAR_KEYWORD
+        ]
+
+    def get_params(self) -> dict[str, Any]:
+        """Return constructor parameters as a dict."""
+        return {name: getattr(self, name) for name in self._param_names()}
+
+    def set_params(self, **params: Any) -> "BaseEstimator":
+        """Set constructor parameters in place; unknown names raise."""
+        valid = set(self._param_names())
+        for name, value in params.items():
+            if name not in valid:
+                raise ValueError(
+                    f"invalid parameter {name!r} for {type(self).__name__}; valid: {sorted(valid)}"
+                )
+            setattr(self, name, value)
+        return self
+
+    def __repr__(self) -> str:
+        args = ", ".join(f"{k}={v!r}" for k, v in self.get_params().items())
+        return f"{type(self).__name__}({args})"
+
+
+def clone(estimator: BaseEstimator) -> BaseEstimator:
+    """Return an unfitted copy of *estimator* with identical parameters."""
+    return type(estimator)(**copy.deepcopy(estimator.get_params()))

@@ -1,0 +1,92 @@
+"""Tree ensembles: Random Forest and Extra Trees (the paper's RF and ET)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator
+from repro.ml.tree import DecisionTreeClassifier
+
+__all__ = ["ExtraTreesClassifier", "RandomForestClassifier"]
+
+
+class _BaseForest(BaseEstimator):
+    """Shared fit/predict machinery for bagged tree ensembles."""
+
+    _splitter = "best"
+    _bootstrap = True
+
+    def __init__(
+        self,
+        n_estimators: int = 40,
+        max_depth: int | None = 12,
+        min_samples_leaf: int = 1,
+        max_features: int | float | str | None = "sqrt",
+        seed: int = 0,
+    ) -> None:
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self.estimators_: list[DecisionTreeClassifier] = []
+        self.feature_importances_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "_BaseForest":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y).astype(np.int64)
+        if self.n_estimators < 1:
+            raise ValueError("n_estimators must be positive")
+        rng = np.random.default_rng(self.seed)
+        self.estimators_ = []
+        importances = np.zeros(X.shape[1])
+        for i in range(self.n_estimators):
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                splitter=self._splitter,
+                seed=int(rng.integers(0, 2**31 - 1)),
+            )
+            if self._bootstrap:
+                idx = rng.integers(0, len(X), size=len(X))
+                # A bootstrap draw can miss a class on small data; redraw a few times.
+                for _ in range(10):
+                    if len(np.unique(y[idx])) > 1:
+                        break
+                    idx = rng.integers(0, len(X), size=len(X))
+                tree.fit(X[idx], y[idx])
+            else:
+                tree.fit(X, y)
+            self.estimators_.append(tree)
+            importances += tree.feature_importances_
+        total = importances.sum()
+        self.feature_importances_ = importances / total if total > 0 else importances
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if not self.estimators_:
+            raise RuntimeError(f"{type(self).__name__} is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        p1 = np.zeros(len(X))
+        for tree in self.estimators_:
+            p1 += tree.predict_proba(X)[:, 1]
+        p1 /= len(self.estimators_)
+        return np.column_stack([1.0 - p1, p1])
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(X)[:, 1] >= 0.5).astype(np.int64)
+
+
+class RandomForestClassifier(_BaseForest):
+    """Bootstrap-bagged CART trees with per-node ``sqrt`` feature sampling."""
+
+    _splitter = "best"
+    _bootstrap = True
+
+
+class ExtraTreesClassifier(_BaseForest):
+    """Extremely randomised trees: no bootstrap, random per-feature thresholds."""
+
+    _splitter = "random"
+    _bootstrap = False

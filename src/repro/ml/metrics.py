@@ -1,0 +1,53 @@
+"""Classification metrics: ROC AUC (the paper's primary metric) and helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["accuracy_score", "log_loss", "roc_auc_score"]
+
+
+def roc_auc_score(y_true: np.ndarray, y_score: np.ndarray) -> float:
+    """Area under the ROC curve via the Mann–Whitney U statistic.
+
+    Ties in *y_score* contribute half, matching scikit-learn.  Raises if
+    only one class is present, since AUC is undefined there.
+    """
+    y_true = np.asarray(y_true).astype(np.int64)
+    y_score = np.asarray(y_score, dtype=np.float64)
+    if y_true.shape != y_score.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_score.shape}")
+    n_pos = int((y_true == 1).sum())
+    n_neg = int((y_true == 0).sum())
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("roc_auc_score requires both classes present")
+    order = np.argsort(y_score, kind="stable")
+    ranks = np.empty(len(y_score), dtype=np.float64)
+    sorted_scores = y_score[order]
+    # Average ranks over tied groups.
+    i = 0
+    while i < len(sorted_scores):
+        j = i
+        while j + 1 < len(sorted_scores) and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        ranks[order[i : j + 1]] = 0.5 * (i + j) + 1.0
+        i = j + 1
+    rank_sum_pos = ranks[y_true == 1].sum()
+    u_statistic = rank_sum_pos - n_pos * (n_pos + 1) / 2.0
+    return float(u_statistic / (n_pos * n_neg))
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of exact label matches."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if len(y_true) == 0:
+        raise ValueError("accuracy_score on empty input")
+    return float((y_true == y_pred).mean())
+
+
+def log_loss(y_true: np.ndarray, y_prob: np.ndarray, eps: float = 1e-12) -> float:
+    """Binary cross-entropy of predicted positive-class probabilities."""
+    y_true = np.asarray(y_true, dtype=np.float64)
+    p = np.clip(np.asarray(y_prob, dtype=np.float64), eps, 1.0 - eps)
+    return float(-(y_true * np.log(p) + (1.0 - y_true) * np.log(1.0 - p)).mean())

@@ -1,0 +1,127 @@
+"""Data splitting and cross-validation.
+
+The paper's protocol (Section 4.1): random 75/25 train/test partition and
+10-fold cross-validation, AUC as the metric.  :func:`cross_val_auc` is the
+workhorse used by the evaluation harness and the CAAFE baseline's
+validation step.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, clone
+from repro.ml.metrics import roc_auc_score
+
+__all__ = ["KFold", "StratifiedKFold", "cross_val_auc", "train_test_split"]
+
+
+def train_test_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    test_size: float = 0.25,
+    seed: int = 0,
+    stratify: bool = True,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Random split into train/test; stratified on *y* by default.
+
+    The default ``test_size=0.25`` matches the paper's 75/25 partition.
+    """
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if len(X) != len(y):
+        raise ValueError("X and y length mismatch")
+    rng = np.random.default_rng(seed)
+    n = len(y)
+    if stratify:
+        test_idx: list[int] = []
+        for label in np.unique(y):
+            members = np.flatnonzero(y == label)
+            rng.shuffle(members)
+            n_test = max(1, int(round(test_size * len(members))))
+            test_idx.extend(members[:n_test].tolist())
+        test_mask = np.zeros(n, dtype=bool)
+        test_mask[test_idx] = True
+    else:
+        order = rng.permutation(n)
+        n_test = max(1, int(round(test_size * n)))
+        test_mask = np.zeros(n, dtype=bool)
+        test_mask[order[:n_test]] = True
+    return X[~test_mask], X[test_mask], y[~test_mask], y[test_mask]
+
+
+class KFold:
+    """Plain k-fold splitter over shuffled row positions."""
+
+    def __init__(self, n_splits: int = 10, seed: int = 0) -> None:
+        if n_splits < 2:
+            raise ValueError("n_splits must be at least 2")
+        self.n_splits = n_splits
+        self.seed = seed
+
+    def split(self, n_samples: int) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        if n_samples < self.n_splits:
+            raise ValueError(
+                f"cannot split {n_samples} samples into {self.n_splits} folds"
+            )
+        rng = np.random.default_rng(self.seed)
+        order = rng.permutation(n_samples)
+        folds = np.array_split(order, self.n_splits)
+        for i in range(self.n_splits):
+            test_idx = folds[i]
+            train_idx = np.concatenate([folds[j] for j in range(self.n_splits) if j != i])
+            yield train_idx, test_idx
+
+
+class StratifiedKFold:
+    """K-fold that preserves class proportions in every fold."""
+
+    def __init__(self, n_splits: int = 10, seed: int = 0) -> None:
+        if n_splits < 2:
+            raise ValueError("n_splits must be at least 2")
+        self.n_splits = n_splits
+        self.seed = seed
+
+    def split(self, y: np.ndarray) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        y = np.asarray(y)
+        rng = np.random.default_rng(self.seed)
+        per_class_folds: list[list[np.ndarray]] = []
+        for label in np.unique(y):
+            members = np.flatnonzero(y == label)
+            rng.shuffle(members)
+            per_class_folds.append(np.array_split(members, self.n_splits))
+        for i in range(self.n_splits):
+            test_idx = np.concatenate([folds[i] for folds in per_class_folds])
+            test_mask = np.zeros(len(y), dtype=bool)
+            test_mask[test_idx] = True
+            yield np.flatnonzero(~test_mask), np.flatnonzero(test_mask)
+
+
+def cross_val_auc(
+    model: BaseEstimator,
+    X: np.ndarray,
+    y: np.ndarray,
+    n_splits: int = 10,
+    seed: int = 0,
+) -> list[float]:
+    """Stratified k-fold cross-validated AUC scores for *model*.
+
+    A fresh clone is fitted per fold.  Folds where AUC is undefined (a
+    single class in the test fold — possible on tiny data) are skipped.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y).astype(np.int64)
+    splitter = StratifiedKFold(n_splits=n_splits, seed=seed)
+    scores: list[float] = []
+    for train_idx, test_idx in splitter.split(y):
+        if len(np.unique(y[test_idx])) < 2 or len(np.unique(y[train_idx])) < 2:
+            continue
+        fold_model = clone(model)
+        fold_model.fit(X[train_idx], y[train_idx])
+        prob = fold_model.predict_proba(X[test_idx])[:, 1]
+        scores.append(roc_auc_score(y[test_idx], prob))
+    if not scores:
+        raise ValueError("no valid folds: target appears single-class")
+    return scores

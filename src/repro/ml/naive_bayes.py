@@ -1,0 +1,68 @@
+"""Gaussian naive Bayes, the paper's "NB" downstream model."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator
+
+__all__ = ["GaussianNB"]
+
+
+class GaussianNB(BaseEstimator):
+    """Per-class Gaussian likelihoods with variance smoothing.
+
+    Mirrors scikit-learn's ``GaussianNB`` with
+    ``var_smoothing=1e-9 * max feature variance``.
+    """
+
+    def __init__(self, var_smoothing: float = 1e-9) -> None:
+        self.var_smoothing = var_smoothing
+        self.classes_: np.ndarray | None = None
+        self.theta_: np.ndarray | None = None
+        self.var_: np.ndarray | None = None
+        self.class_prior_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GaussianNB":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y)
+        self.classes_ = np.unique(y)
+        if len(self.classes_) < 2:
+            raise ValueError("GaussianNB needs at least two classes")
+        epsilon = self.var_smoothing * max(float(X.var(axis=0).max()), 1e-12)
+        theta, var, prior = [], [], []
+        for label in self.classes_:
+            members = X[y == label]
+            theta.append(members.mean(axis=0))
+            var.append(members.var(axis=0) + epsilon)
+            prior.append(len(members) / len(X))
+        self.theta_ = np.array(theta)
+        self.var_ = np.array(var)
+        self.class_prior_ = np.array(prior)
+        return self
+
+    def _joint_log_likelihood(self, X: np.ndarray) -> np.ndarray:
+        if self.theta_ is None:
+            raise RuntimeError("GaussianNB is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        out = np.empty((len(X), len(self.classes_)))
+        for i in range(len(self.classes_)):
+            log_prior = np.log(self.class_prior_[i])
+            gauss = -0.5 * np.sum(
+                np.log(2.0 * np.pi * self.var_[i])
+                + (X - self.theta_[i]) ** 2 / self.var_[i],
+                axis=1,
+            )
+            out[:, i] = log_prior + gauss
+        return out
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        jll = self._joint_log_likelihood(X)
+        jll -= jll.max(axis=1, keepdims=True)
+        probs = np.exp(jll)
+        probs /= probs.sum(axis=1, keepdims=True)
+        return probs
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        jll = self._joint_log_likelihood(X)
+        return self.classes_[jll.argmax(axis=1)]

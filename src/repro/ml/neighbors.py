@@ -1,0 +1,73 @@
+"""k-nearest-neighbours classifier.
+
+The paper motivates SMARTFEAT's model-aware prompting with KNN: "certain
+models like k-nearest-neighbors (KNN) tend to perform better when the
+data is normalized or has similar ranges".  This estimator lets that
+claim be tested directly (see ``benchmarks/bench_knn_normalization.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator
+
+__all__ = ["KNeighborsClassifier"]
+
+
+class KNeighborsClassifier(BaseEstimator):
+    """Brute-force Euclidean k-NN with distance-tie-free probability output.
+
+    Probabilities are the fraction of positive neighbours, which is what
+    AUC ranking needs.  Brute force is O(n_train · n_test); fine at the
+    working sizes of this reproduction.
+    """
+
+    def __init__(self, n_neighbors: int = 5) -> None:
+        if n_neighbors < 1:
+            raise ValueError("n_neighbors must be positive")
+        self.n_neighbors = n_neighbors
+        self._X: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KNeighborsClassifier":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y).astype(np.int64)
+        if len(X) != len(y):
+            raise ValueError("X and y length mismatch")
+        if len(X) < self.n_neighbors:
+            raise ValueError(
+                f"need at least n_neighbors={self.n_neighbors} training rows, got {len(X)}"
+            )
+        if not np.isfinite(X).all():
+            raise ValueError("X contains NaN or infinity; impute/sanitise first")
+        self._X = X
+        self._y = y
+        return self
+
+    def _neighbor_labels(self, X: np.ndarray) -> np.ndarray:
+        if self._X is None:
+            raise RuntimeError("KNeighborsClassifier is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        # Chunked distance computation keeps memory bounded.
+        out = np.empty((len(X), self.n_neighbors), dtype=np.int64)
+        chunk = max(1, 2_000_000 // max(len(self._X), 1))
+        train_sq = (self._X**2).sum(axis=1)
+        for start in range(0, len(X), chunk):
+            block = X[start : start + chunk]
+            d2 = (
+                (block**2).sum(axis=1)[:, None]
+                - 2.0 * block @ self._X.T
+                + train_sq[None, :]
+            )
+            nearest = np.argpartition(d2, self.n_neighbors - 1, axis=1)[:, : self.n_neighbors]
+            out[start : start + chunk] = self._y[nearest]
+        return out
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        labels = self._neighbor_labels(X)
+        p1 = labels.mean(axis=1)
+        return np.column_stack([1.0 - p1, p1])
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(X)[:, 1] >= 0.5).astype(np.int64)

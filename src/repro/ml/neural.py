@@ -1,0 +1,150 @@
+"""Feed-forward neural network: the paper's "DNN" downstream model.
+
+Architecture per Section 4.1: two hidden layers of 100 units each with
+ReLU activations, trained with Adam on minibatches.  Inputs are
+standardised internally so unscaled engineered features do not destabilise
+training (the substrate substitution for scikit-learn's well-conditioned
+solver is documented in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator
+
+__all__ = ["MLPClassifier"]
+
+
+class MLPClassifier(BaseEstimator):
+    """Two-hidden-layer ReLU network with Adam and early stopping.
+
+    Parameters
+    ----------
+    hidden:
+        Sizes of the hidden layers; the paper uses ``(100, 100)``.
+    lr, batch_size, max_epochs:
+        Adam learning rate, minibatch size, epoch budget.
+    tol, patience:
+        Early stopping: training stops after *patience* epochs without at
+        least *tol* improvement in training loss.
+    """
+
+    def __init__(
+        self,
+        hidden: tuple[int, int] = (100, 100),
+        lr: float = 1e-3,
+        batch_size: int = 128,
+        max_epochs: int = 60,
+        tol: float = 1e-4,
+        patience: int = 8,
+        l2: float = 1e-4,
+        seed: int = 0,
+    ) -> None:
+        self.hidden = hidden
+        self.lr = lr
+        self.batch_size = batch_size
+        self.max_epochs = max_epochs
+        self.tol = tol
+        self.patience = patience
+        self.l2 = l2
+        self.seed = seed
+        self._weights: list[np.ndarray] | None = None
+        self._biases: list[np.ndarray] | None = None
+        self._mean: np.ndarray | None = None
+        self._scale: np.ndarray | None = None
+        self.n_epochs_: int = 0
+
+    # ------------------------------------------------------------------
+    def _standardise(self, X: np.ndarray) -> np.ndarray:
+        return (X - self._mean) / self._scale
+
+    def _forward(self, X: np.ndarray) -> tuple[list[np.ndarray], np.ndarray]:
+        """Return per-layer activations and the output probability."""
+        activations = [X]
+        h = X
+        for W, b in zip(self._weights[:-1], self._biases[:-1]):
+            h = np.maximum(h @ W + b, 0.0)
+            activations.append(h)
+        logits = h @ self._weights[-1] + self._biases[-1]
+        probs = 1.0 / (1.0 + np.exp(-np.clip(logits[:, 0], -500, 500)))
+        return activations, probs
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "MLPClassifier":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-dimensional")
+        if not np.isfinite(X).all():
+            raise ValueError("X contains NaN or infinity; impute/sanitise first")
+        rng = np.random.default_rng(self.seed)
+        self._mean = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale == 0] = 1.0
+        self._scale = scale
+        Xs = self._standardise(X)
+        sizes = [X.shape[1], *self.hidden, 1]
+        self._weights = [
+            rng.normal(0.0, np.sqrt(2.0 / sizes[i]), size=(sizes[i], sizes[i + 1]))
+            for i in range(len(sizes) - 1)
+        ]
+        self._biases = [np.zeros(sizes[i + 1]) for i in range(len(sizes) - 1)]
+        m_w = [np.zeros_like(W) for W in self._weights]
+        v_w = [np.zeros_like(W) for W in self._weights]
+        m_b = [np.zeros_like(b) for b in self._biases]
+        v_b = [np.zeros_like(b) for b in self._biases]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+        best_loss = np.inf
+        stale_epochs = 0
+        n = len(Xs)
+        batch = min(self.batch_size, n)
+        for epoch in range(self.max_epochs):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            for start in range(0, n, batch):
+                rows = order[start : start + batch]
+                xb, yb = Xs[rows], y[rows]
+                activations, probs = self._forward(xb)
+                p = np.clip(probs, 1e-12, 1.0 - 1e-12)
+                epoch_loss += float(
+                    -(yb * np.log(p) + (1 - yb) * np.log(1 - p)).sum()
+                )
+                # Backward pass.
+                delta = ((probs - yb) / len(rows))[:, None]
+                grads_w: list[np.ndarray] = [None] * len(self._weights)
+                grads_b: list[np.ndarray] = [None] * len(self._biases)
+                for layer in range(len(self._weights) - 1, -1, -1):
+                    grads_w[layer] = activations[layer].T @ delta + self.l2 * self._weights[layer]
+                    grads_b[layer] = delta.sum(axis=0)
+                    if layer > 0:
+                        delta = (delta @ self._weights[layer].T) * (activations[layer] > 0)
+                step += 1
+                lr_t = self.lr * np.sqrt(1 - beta2**step) / (1 - beta1**step)
+                for layer in range(len(self._weights)):
+                    m_w[layer] = beta1 * m_w[layer] + (1 - beta1) * grads_w[layer]
+                    v_w[layer] = beta2 * v_w[layer] + (1 - beta2) * grads_w[layer] ** 2
+                    self._weights[layer] -= lr_t * m_w[layer] / (np.sqrt(v_w[layer]) + eps)
+                    m_b[layer] = beta1 * m_b[layer] + (1 - beta1) * grads_b[layer]
+                    v_b[layer] = beta2 * v_b[layer] + (1 - beta2) * grads_b[layer] ** 2
+                    self._biases[layer] -= lr_t * m_b[layer] / (np.sqrt(v_b[layer]) + eps)
+            epoch_loss /= n
+            self.n_epochs_ = epoch + 1
+            if epoch_loss < best_loss - self.tol:
+                best_loss = epoch_loss
+                stale_epochs = 0
+            else:
+                stale_epochs += 1
+                if stale_epochs >= self.patience:
+                    break
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if self._weights is None:
+            raise RuntimeError("MLPClassifier is not fitted")
+        Xs = self._standardise(np.asarray(X, dtype=np.float64))
+        _, probs = self._forward(Xs)
+        return np.column_stack([1.0 - probs, probs])
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(X)[:, 1] >= 0.5).astype(np.int64)

@@ -1,0 +1,146 @@
+"""Preprocessing transformers: scalers, label encoding, imputation.
+
+These back both the harness (factorisation of categoricals, as the paper's
+"standard data cleaning procedures") and the unary operator's normalisation
+transformations (min-max scaling vs. standardisation).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator
+
+__all__ = ["LabelEncoder", "MinMaxScaler", "SimpleImputer", "StandardScaler"]
+
+
+class StandardScaler(BaseEstimator):
+    """Standardise features to zero mean, unit variance (NaN-aware)."""
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        X = np.asarray(X, dtype=np.float64)
+        self.mean_ = np.nanmean(X, axis=0)
+        scale = np.nanstd(X, axis=0)
+        scale[scale == 0] = 1.0  # constant columns pass through unscaled
+        self.scale_ = scale
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None:
+            raise RuntimeError("StandardScaler is not fitted")
+        return (np.asarray(X, dtype=np.float64) - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None:
+            raise RuntimeError("StandardScaler is not fitted")
+        return np.asarray(X, dtype=np.float64) * self.scale_ + self.mean_
+
+
+class MinMaxScaler(BaseEstimator):
+    """Scale features linearly into ``[0, 1]`` (NaN-aware)."""
+
+    def __init__(self) -> None:
+        self.min_: np.ndarray | None = None
+        self.range_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "MinMaxScaler":
+        X = np.asarray(X, dtype=np.float64)
+        self.min_ = np.nanmin(X, axis=0)
+        data_range = np.nanmax(X, axis=0) - self.min_
+        data_range[data_range == 0] = 1.0
+        self.range_ = data_range
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.min_ is None:
+            raise RuntimeError("MinMaxScaler is not fitted")
+        return (np.asarray(X, dtype=np.float64) - self.min_) / self.range_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        if self.min_ is None:
+            raise RuntimeError("MinMaxScaler is not fitted")
+        return np.asarray(X, dtype=np.float64) * self.range_ + self.min_
+
+
+class LabelEncoder(BaseEstimator):
+    """Map arbitrary hashable labels to integers ``0..k-1``."""
+
+    def __init__(self) -> None:
+        self.classes_: list[Any] = []
+        self._lookup: dict[Any, int] = {}
+
+    def fit(self, values: list) -> "LabelEncoder":
+        self.classes_ = []
+        self._lookup = {}
+        for v in values:
+            if v not in self._lookup:
+                self._lookup[v] = len(self.classes_)
+                self.classes_.append(v)
+        return self
+
+    def transform(self, values: list) -> np.ndarray:
+        try:
+            return np.array([self._lookup[v] for v in values], dtype=np.int64)
+        except KeyError as exc:
+            raise ValueError(f"unseen label: {exc.args[0]!r}") from exc
+
+    def fit_transform(self, values: list) -> np.ndarray:
+        return self.fit(values).transform(values)
+
+    def inverse_transform(self, codes: np.ndarray) -> list:
+        return [self.classes_[int(c)] for c in codes]
+
+
+class SimpleImputer(BaseEstimator):
+    """Fill NaNs with a per-column statistic (``mean``, ``median``, ``constant``)."""
+
+    def __init__(self, strategy: str = "mean", fill_value: float = 0.0) -> None:
+        if strategy not in ("mean", "median", "constant"):
+            raise ValueError(f"unknown imputation strategy: {strategy!r}")
+        self.strategy = strategy
+        self.fill_value = fill_value
+        self.statistics_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "SimpleImputer":
+        import warnings
+
+        X = np.asarray(X, dtype=np.float64)
+        if self.strategy == "mean":
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)  # all-NaN columns
+                stats = np.nanmean(X, axis=0)
+        elif self.strategy == "median":
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                stats = np.nanmedian(X, axis=0)
+        else:
+            stats = np.full(X.shape[1], float(self.fill_value))
+        # All-NaN columns fall back to the constant fill value.
+        stats = np.where(np.isnan(stats), float(self.fill_value), stats)
+        self.statistics_ = stats
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.statistics_ is None:
+            raise RuntimeError("SimpleImputer is not fitted")
+        X = np.asarray(X, dtype=np.float64).copy()
+        for j in range(X.shape[1]):
+            mask = np.isnan(X[:, j])
+            if mask.any():
+                X[mask, j] = self.statistics_[j]
+        return X
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)

@@ -1,0 +1,246 @@
+"""CART decision tree with Gini impurity, feature importances, and the
+randomised-threshold mode used by Extra Trees.
+
+Split search is vectorised per node: one sort per candidate feature, prefix
+sums of class counts, and a closed-form Gini evaluation over every distinct
+split point.  Trees are stored as flat arrays for fast vectorised
+prediction.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator
+
+__all__ = ["DecisionTreeClassifier"]
+
+_LEAF = -1
+
+
+def _resolve_max_features(max_features: int | float | str | None, n_features: int) -> int:
+    """Translate a scikit-learn-style ``max_features`` spec into a count."""
+    if max_features is None:
+        return n_features
+    if max_features == "sqrt":
+        return max(1, int(math.sqrt(n_features)))
+    if max_features == "log2":
+        return max(1, int(math.log2(n_features))) if n_features > 1 else 1
+    if isinstance(max_features, float):
+        return max(1, int(max_features * n_features))
+    return max(1, min(int(max_features), n_features))
+
+
+class DecisionTreeClassifier(BaseEstimator):
+    """Binary-classification CART tree.
+
+    Parameters mirror scikit-learn: ``max_depth``, ``min_samples_split``,
+    ``min_samples_leaf``, ``max_features`` (``None``/``'sqrt'``/``'log2'``/
+    int/float).  ``splitter='random'`` draws one uniform threshold per
+    candidate feature (the Extra-Trees node splitter).
+    """
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | float | str | None = None,
+        splitter: str = "best",
+        seed: int = 0,
+    ) -> None:
+        if splitter not in ("best", "random"):
+            raise ValueError(f"unknown splitter: {splitter!r}")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.splitter = splitter
+        self.seed = seed
+        # Flat tree arrays, filled by fit().
+        self._feature: list[int] = []
+        self._threshold: list[float] = []
+        self._left: list[int] = []
+        self._right: list[int] = []
+        self._value: list[float] = []  # positive-class probability at node
+        self.feature_importances_: np.ndarray | None = None
+        self.n_features_: int = 0
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y).astype(np.int64)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-dimensional")
+        if len(X) != len(y):
+            raise ValueError("X and y length mismatch")
+        if len(X) == 0:
+            raise ValueError("cannot fit on empty data")
+        if not np.isfinite(X).all():
+            raise ValueError("X contains NaN or infinity; impute/sanitise first")
+        self.n_features_ = X.shape[1]
+        self._feature, self._threshold = [], []
+        self._left, self._right, self._value = [], [], []
+        self._importance_acc = np.zeros(self.n_features_)
+        rng = np.random.default_rng(self.seed)
+        self._build(X, y, np.arange(len(y)), depth=0, rng=rng)
+        total = self._importance_acc.sum()
+        self.feature_importances_ = (
+            self._importance_acc / total if total > 0 else np.zeros(self.n_features_)
+        )
+        del self._importance_acc
+        return self
+
+    def _new_node(self, pos_fraction: float) -> int:
+        node_id = len(self._feature)
+        self._feature.append(_LEAF)
+        self._threshold.append(0.0)
+        self._left.append(-1)
+        self._right.append(-1)
+        self._value.append(pos_fraction)
+        return node_id
+
+    def _build(
+        self, X: np.ndarray, y: np.ndarray, idx: np.ndarray, depth: int, rng
+    ) -> int:
+        n_node = len(idx)
+        n_pos = int(y[idx].sum())
+        node_id = self._new_node(n_pos / n_node)
+        is_pure = n_pos == 0 or n_pos == n_node
+        too_deep = self.max_depth is not None and depth >= self.max_depth
+        too_small = n_node < self.min_samples_split
+        if is_pure or too_deep or too_small:
+            return node_id
+        split = self._find_split(X, y, idx, rng)
+        if split is None:
+            return node_id
+        feature, threshold, gain, left_mask = split
+        self._importance_acc[feature] += gain * n_node
+        left_idx = idx[left_mask]
+        right_idx = idx[~left_mask]
+        self._feature[node_id] = feature
+        self._threshold[node_id] = threshold
+        self._left[node_id] = self._build(X, y, left_idx, depth + 1, rng)
+        self._right[node_id] = self._build(X, y, right_idx, depth + 1, rng)
+        return node_id
+
+    def _candidate_features(self, rng) -> np.ndarray:
+        k = _resolve_max_features(self.max_features, self.n_features_)
+        if k >= self.n_features_:
+            return np.arange(self.n_features_)
+        return rng.choice(self.n_features_, size=k, replace=False)
+
+    def _find_split(
+        self, X: np.ndarray, y: np.ndarray, idx: np.ndarray, rng
+    ) -> tuple[int, float, float, np.ndarray] | None:
+        """Return ``(feature, threshold, impurity_gain, left_mask)`` or None."""
+        n_node = len(idx)
+        y_node = y[idx]
+        total_pos = int(y_node.sum())
+        parent_gini = 1.0 - (total_pos / n_node) ** 2 - ((n_node - total_pos) / n_node) ** 2
+        msl = self.min_samples_leaf
+        best: tuple[float, int, float] | None = None  # (weighted_gini, feature, threshold)
+        for feature in self._candidate_features(rng):
+            values = X[idx, feature]
+            if self.splitter == "random":
+                lo, hi = values.min(), values.max()
+                if lo == hi:
+                    continue
+                threshold = float(rng.uniform(lo, hi))
+                left = values <= threshold
+                nl = int(left.sum())
+                nr = n_node - nl
+                if nl < msl or nr < msl:
+                    continue
+                pl = int(y_node[left].sum())
+                pr = total_pos - pl
+                gini_l = 1.0 - (pl / nl) ** 2 - ((nl - pl) / nl) ** 2
+                gini_r = 1.0 - (pr / nr) ** 2 - ((nr - pr) / nr) ** 2
+                weighted = (nl * gini_l + nr * gini_r) / n_node
+                if best is None or weighted < best[0]:
+                    best = (weighted, int(feature), threshold)
+                continue
+            order = np.argsort(values, kind="quicksort")
+            v_sorted = values[order]
+            if v_sorted[0] == v_sorted[-1]:
+                continue
+            y_sorted = y_node[order]
+            pos_prefix = np.cumsum(y_sorted)
+            # Split after position i-1 (left gets the first i rows) wherever
+            # the feature value changes.
+            change = np.flatnonzero(v_sorted[1:] != v_sorted[:-1]) + 1
+            if msl > 1:
+                change = change[(change >= msl) & (change <= n_node - msl)]
+            if len(change) == 0:
+                continue
+            nl = change.astype(np.float64)
+            nr = n_node - nl
+            pl = pos_prefix[change - 1].astype(np.float64)
+            pr = total_pos - pl
+            gini_l = 1.0 - (pl / nl) ** 2 - ((nl - pl) / nl) ** 2
+            gini_r = 1.0 - (pr / nr) ** 2 - ((nr - pr) / nr) ** 2
+            weighted = (nl * gini_l + nr * gini_r) / n_node
+            pick = int(np.argmin(weighted))
+            if best is None or weighted[pick] < best[0]:
+                split_at = change[pick]
+                threshold = 0.5 * (v_sorted[split_at - 1] + v_sorted[split_at])
+                best = (float(weighted[pick]), int(feature), float(threshold))
+        if best is None:
+            return None
+        weighted_gini, feature, threshold = best
+        gain = parent_gini - weighted_gini
+        if gain <= 1e-12:
+            return None
+        left_mask = X[idx, feature] <= threshold
+        # Guard against degenerate masks from float equality at the boundary.
+        if left_mask.all() or not left_mask.any():
+            return None
+        return feature, threshold, gain, left_mask
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if not self._feature:
+            raise RuntimeError("DecisionTreeClassifier is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        feature = np.asarray(self._feature)
+        threshold = np.asarray(self._threshold)
+        left = np.asarray(self._left)
+        right = np.asarray(self._right)
+        value = np.asarray(self._value)
+        node = np.zeros(len(X), dtype=np.int64)
+        active = feature[node] != _LEAF
+        while active.any():
+            rows = np.flatnonzero(active)
+            current = node[rows]
+            goes_left = X[rows, feature[current]] <= threshold[current]
+            node[rows] = np.where(goes_left, left[current], right[current])
+            active[rows] = feature[node[rows]] != _LEAF
+        p1 = value[node]
+        return np.column_stack([1.0 - p1, p1])
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(X)[:, 1] >= 0.5).astype(np.int64)
+
+    @property
+    def node_count(self) -> int:
+        """Total number of nodes in the fitted tree."""
+        return len(self._feature)
+
+    @property
+    def depth(self) -> int:
+        """Maximum root-to-leaf depth of the fitted tree."""
+        if not self._feature:
+            return 0
+
+        def walk(node: int) -> int:
+            if self._feature[node] == _LEAF:
+                return 0
+            return 1 + max(walk(self._left[node]), walk(self._right[node]))
+
+        return walk(0)

@@ -1,0 +1,61 @@
+"""Shared fixtures: the paper's Table 1 motivating example."""
+
+import pytest
+
+from repro.core import DataAgenda
+from repro.dataframe import DataFrame
+
+
+def make_insurance_frame() -> DataFrame:
+    """Table 1 of the paper, tiled to a workable size."""
+    return DataFrame(
+        {
+            "Sex": ["M", "F", "M", "F", "M", "F"] * 20,
+            "Age": [21, 35, 42, 22, 45, 56, 30, 28, 61, 33, 24, 39] * 10,
+            "Age of car": [6, 2, 8, 14, 3, 5, 1, 9, 4, 7, 12, 2] * 10,
+            "Make Model": [
+                "Honda, Civic",
+                "Toyota, Corolla",
+                "Ford, Mustang",
+                "Chevrolet, Cruze",
+                "BMW, X5",
+                "Volkswagen, Golf",
+            ]
+            * 20,
+            "Claim in last 6 months": [1, 0, 0, 1, 0, 0, 0, 1, 0, 0, 1, 0] * 10,
+            "City": ["SF", "LA", "SEA", "SF", "SEA", "LA"] * 20,
+            "Safe": [0, 1, 1, 0, 1, 1, 1, 0, 1, 1, 0, 1] * 10,
+        }
+    )
+
+
+INSURANCE_DESCRIPTIONS = {
+    "Sex": "Sex of the policyholder",
+    "Age": "Age of the policyholder in years",
+    "Age of car": "Age of the insured car in years",
+    "Make Model": "Make and model of the insured car",
+    "Claim in last 6 months": "Whether the policyholder filed a claim in the last 6 months",
+    "City": "City of residence",
+}
+
+
+@pytest.fixture
+def insurance_frame():
+    return make_insurance_frame()
+
+
+@pytest.fixture
+def insurance_descriptions():
+    return dict(INSURANCE_DESCRIPTIONS)
+
+
+@pytest.fixture
+def insurance_agenda(insurance_frame, insurance_descriptions):
+    return DataAgenda.from_dataframe(
+        insurance_frame,
+        target="Safe",
+        descriptions=insurance_descriptions,
+        title="Car insurance policyholders (insurance claims)",
+        target_description="1 = safe, unlikely to file a claim in the next 6 months",
+        model="decision_tree",
+    )

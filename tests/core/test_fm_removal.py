@@ -1,0 +1,108 @@
+"""Tests for FM-driven feature removal (§3.2 future work)."""
+
+import json
+
+import pytest
+
+from repro.core import SmartFeat
+from repro.core.types import OperatorFamily
+from repro.dataframe import DataFrame
+from repro.fm import ScriptedFM, SimulatedFM
+
+
+@pytest.fixture
+def money_frame():
+    """A MONEY column for which the FM proposes both log and normalization
+    (DNN downstream) — a redundant monotone pair the removal stage trims."""
+    return DataFrame(
+        {
+            "Income": [10.0, 50.0, 120.0, 80.0, 30.0, 60.0] * 20,
+            "Age": [25, 35, 45, 55, 30, 40] * 20,
+            "y": [0, 1, 1, 1, 0, 1] * 20,
+        }
+    )
+
+
+def run(frame, removal, **kwargs):
+    tool = SmartFeat(
+        fm=SimulatedFM(seed=0),
+        downstream_model="dnn",
+        operator_families=(OperatorFamily.UNARY,),
+        drop_heuristic=False,
+        fm_feature_removal=removal,
+        **kwargs,
+    )
+    return tool.fit_transform(
+        frame,
+        target="y",
+        descriptions={"Income": "Annual income in dollars", "Age": "Age in years"},
+    )
+
+
+class TestFmRemoval:
+    def test_off_by_default_keeps_redundant_pair(self, money_frame):
+        result = run(money_frame, removal=False)
+        assert "log_transform_Income" in result.frame.columns
+        assert "normalization_Income" in result.frame.columns
+        assert result.removed_by_fm == []
+
+    def test_removal_trims_monotone_duplicates(self, money_frame):
+        result = run(money_frame, removal=True)
+        # The FM keeps the domain-preferred transform (log for money) and
+        # removes the redundant one.
+        assert "log_transform_Income" in result.frame.columns
+        assert "normalization_Income" not in result.frame.columns
+        assert "normalization_Income" in result.removed_by_fm
+
+    def test_originals_and_target_never_removed(self, money_frame):
+        result = run(money_frame, removal=True)
+        assert "Income" in result.frame.columns
+        assert "Age" in result.frame.columns
+        assert "y" in result.frame.columns
+
+    def test_new_features_registry_updated(self, money_frame):
+        result = run(money_frame, removal=True)
+        for feature in result.new_features.values():
+            for column in feature.output_columns:
+                assert column in result.frame.columns
+        assert "normalization_Income" not in result.new_features
+
+    def test_hostile_removal_payload_ignored(self, money_frame):
+        """An FM trying to remove originals or the target is ignored."""
+        unary = (
+            "log_transform (certain): squash\n"
+            "normalization[minmax] (high): rescale"
+        )
+        removal = json.dumps({"remove": ["Income", "y", "Age", "not_a_column"]})
+        fm = ScriptedFM([unary, "none (certain): nothing", removal])
+        function_fm = SimulatedFM(seed=1)
+        tool = SmartFeat(
+            fm=fm,
+            function_fm=function_fm,
+            downstream_model="dnn",
+            operator_families=(OperatorFamily.UNARY,),
+            drop_heuristic=False,
+            fm_feature_removal=True,
+        )
+        result = tool.fit_transform(
+            money_frame,
+            target="y",
+            descriptions={"Income": "Annual income in dollars", "Age": "Age in years"},
+        )
+        assert result.removed_by_fm == []
+        assert "Income" in result.frame.columns
+        assert "y" in result.frame.columns
+
+    def test_garbled_removal_response_counts_error(self, money_frame):
+        unary = "log_transform (certain): squash"
+        fm = ScriptedFM([unary, "none (certain): nothing", "no json here"])
+        tool = SmartFeat(
+            fm=fm,
+            function_fm=SimulatedFM(seed=1),
+            downstream_model="dnn",
+            operator_families=(OperatorFamily.UNARY,),
+            drop_heuristic=False,
+            fm_feature_removal=True,
+        )
+        result = tool.fit_transform(money_frame, target="y")
+        assert result.errors.get("removal") == 1

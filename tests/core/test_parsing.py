@@ -1,0 +1,76 @@
+"""Unit tests for FM output parsers."""
+
+import pytest
+
+from repro.core.parsing import extract_code, parse_json_response, parse_proposals
+from repro.fm.errors import FMParseError
+
+
+class TestParseProposals:
+    def test_basic_lines(self):
+        text = (
+            "bucketization[age_insurance] (certain): Age bands\n"
+            "normalization[zscore] (medium): rescale"
+        )
+        out = parse_proposals(text)
+        assert out[0] == ("bucketization[age_insurance]", "certain", "Age bands")
+        assert out[1][1] == "medium"
+
+    def test_skips_prose(self):
+        text = "Here are my suggestions:\nlog_transform (high): squash\nHope this helps!"
+        assert len(parse_proposals(text)) == 1
+
+    def test_skips_none_tag(self):
+        assert parse_proposals("none (certain): nothing applies") == []
+
+    def test_empty_input(self):
+        assert parse_proposals("") == []
+
+    def test_invalid_confidence_skipped(self):
+        assert parse_proposals("log_transform (sure!): squash") == []
+
+
+class TestParseJson:
+    def test_plain_object(self):
+        assert parse_json_response('{"a": 1}') == {"a": 1}
+
+    def test_fenced_object(self):
+        assert parse_json_response('```json\n{"a": 1}\n```') == {"a": 1}
+
+    def test_object_with_surrounding_prose(self):
+        assert parse_json_response('Sure! {"a": 1} Let me know.') == {"a": 1}
+
+    def test_nested_object(self):
+        assert parse_json_response('{"a": {"b": 2}}') == {"a": {"b": 2}}
+
+    def test_no_json_raises(self):
+        with pytest.raises(FMParseError):
+            parse_json_response("I'm sorry, I cannot do that.")
+
+    def test_truncated_json_raises(self):
+        with pytest.raises(FMParseError):
+            parse_json_response('{"a": [1, 2')
+
+    def test_non_object_raises(self):
+        with pytest.raises(FMParseError):
+            parse_json_response("[1, 2, 3]")
+
+
+class TestExtractCode:
+    def test_fenced_python(self):
+        code = extract_code("```python\ndef transform(df):\n    return df['x']\n```")
+        assert code.startswith("def transform")
+        assert code.endswith("\n")
+
+    def test_fence_without_language(self):
+        assert "return" in extract_code("```\ndef transform(df):\n    return None\n```")
+
+    def test_raw_transform_accepted(self):
+        assert "def transform" in extract_code("def transform(df):\n    return df['x']")
+
+    def test_raw_assignment_accepted(self):
+        assert "df['x']" in extract_code("df['x'] = df['a'] / df['b']")
+
+    def test_prose_raises(self):
+        with pytest.raises(FMParseError):
+            extract_code("I would suggest normalising the Age column.")

@@ -1,0 +1,171 @@
+"""Integration tests for the SmartFeat pipeline (incl. the motivating example)."""
+
+import pytest
+
+from repro.core import SmartFeat
+from repro.core.types import OperatorFamily
+from repro.dataframe import DataFrame
+from repro.fm import ScriptedFM, SimulatedFM
+
+
+def run_tool(frame, descriptions, **kwargs):
+    tool = SmartFeat(
+        fm=SimulatedFM(seed=0, model="gpt-4"),
+        function_fm=SimulatedFM(seed=1, model="gpt-3.5-turbo"),
+        downstream_model=kwargs.pop("downstream_model", "decision_tree"),
+        **kwargs,
+    )
+    return tool.fit_transform(
+        frame,
+        target="Safe",
+        descriptions=descriptions,
+        title="Car insurance policyholders (insurance claims)",
+        target_description="1 = safe, unlikely to file a claim in the next 6 months",
+    )
+
+
+class TestMotivatingExample:
+    """The paper's F1-F4 walk-through (Example 1.1 and Figure 2)."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        from tests.core.conftest import INSURANCE_DESCRIPTIONS, make_insurance_frame
+
+        return run_tool(make_insurance_frame(), dict(INSURANCE_DESCRIPTIONS))
+
+    def test_f1_bucketized_age(self, result):
+        assert "bucketization_Age" in result.frame.columns
+
+    def test_f1_bucket_uses_age_21_threshold(self, result):
+        feature = result.new_features["bucketization_Age"]
+        assert "21" in feature.source_code
+
+    def test_f3_claim_probability_per_car_model(self, result):
+        assert any(
+            name.startswith("GroupBy_Make Model_mean_Claim")
+            for name in result.new_features
+        )
+
+    def test_f4_city_population_density(self, result):
+        assert "City_population_density" in result.frame.columns
+        density = result.frame["City_population_density"]
+        sf_rows = result.frame["City"] == "SF" if "City" in result.frame.columns else None
+        assert density.nunique() == 3  # SF / LA / SEA
+
+    def test_target_column_preserved(self, result):
+        assert "Safe" in result.frame.columns
+
+    def test_every_family_contributed(self, result):
+        families = {f.family for f in result.new_features.values()}
+        assert OperatorFamily.UNARY in families
+        assert OperatorFamily.HIGH_ORDER in families
+        assert OperatorFamily.EXTRACTOR in families
+
+    def test_provenance_has_source_code(self, result):
+        for feature in result.new_features.values():
+            if feature.source_code != "<row-level FM completion>":
+                assert "def transform" in feature.source_code
+
+    def test_fm_usage_accounted(self, result):
+        assert result.fm_usage["operator_selector"]["n_calls"] > 0
+        assert result.fm_usage["function_generator"]["cost_usd"] >= 0
+
+    def test_original_frame_untouched(self, insurance_frame, insurance_descriptions):
+        before = insurance_frame.columns[:]
+        run_tool(insurance_frame, insurance_descriptions)
+        assert insurance_frame.columns == before
+
+
+class TestConfiguration:
+    def test_family_ablation_unary_only(self, insurance_frame, insurance_descriptions):
+        result = run_tool(
+            insurance_frame,
+            insurance_descriptions,
+            operator_families=(OperatorFamily.UNARY,),
+        )
+        families = {f.family for f in result.new_features.values()}
+        assert families <= {OperatorFamily.UNARY}
+
+    def test_family_ablation_binary_only(self, insurance_frame, insurance_descriptions):
+        result = run_tool(
+            insurance_frame,
+            insurance_descriptions,
+            operator_families=(OperatorFamily.BINARY,),
+        )
+        families = {f.family for f in result.new_features.values()}
+        assert families <= {OperatorFamily.BINARY}
+
+    def test_sampling_budget_bounds_features(self, insurance_frame, insurance_descriptions):
+        narrow = run_tool(
+            insurance_frame,
+            insurance_descriptions,
+            sampling_budget=1,
+            operator_families=(OperatorFamily.HIGH_ORDER,),
+        )
+        assert len(narrow.new_features) <= 1
+
+    def test_drop_heuristic_disabled_keeps_originals(
+        self, insurance_frame, insurance_descriptions
+    ):
+        result = run_tool(insurance_frame, insurance_descriptions, drop_heuristic=False)
+        assert result.dropped == []
+        for column in ("Sex", "City", "Make Model"):
+            assert column in result.frame.columns
+
+    def test_invalid_row_policy_raises(self):
+        with pytest.raises(ValueError):
+            SmartFeat(fm=SimulatedFM(seed=0), row_level_policy="sometimes")
+
+    def test_names_only_yields_fewer_features(
+        self, insurance_frame, insurance_descriptions
+    ):
+        """The paper's description ablation: opaque context, weaker output."""
+        renamed = insurance_frame.rename(
+            columns={
+                "Age": "A1",
+                "Age of car": "A2",
+                "Make Model": "M1",
+                "Claim in last 6 months": "C1",
+                "City": "X1",
+                "Sex": "S1",
+            }
+        )
+        with_desc = run_tool(insurance_frame, insurance_descriptions)
+        names_only = SmartFeat(
+            fm=SimulatedFM(seed=0), downstream_model="decision_tree"
+        ).fit_transform(renamed, target="Safe")
+        assert len(names_only.new_features) < len(with_desc.new_features)
+
+
+class TestErrorHandling:
+    def test_error_prone_fm_still_completes(self, insurance_frame, insurance_descriptions):
+        tool = SmartFeat(
+            fm=SimulatedFM(seed=0, error_rate=0.5),
+            function_fm=SimulatedFM(seed=1, error_rate=0.5),
+            downstream_model="decision_tree",
+        )
+        result = tool.fit_transform(
+            insurance_frame, target="Safe", descriptions=insurance_descriptions
+        )
+        # Degraded but not crashed; errors recorded.
+        assert sum(result.errors.values()) > 0
+
+    def test_fully_broken_fm_yields_empty_result(self, insurance_frame):
+        fm = ScriptedFM(lambda prompt: "I'm sorry, I can't help with that.")
+        tool = SmartFeat(fm=fm, downstream_model="decision_tree")
+        result = tool.fit_transform(insurance_frame, target="Safe")
+        assert result.new_features == {}
+        assert "Safe" in result.frame.columns
+
+    def test_error_threshold_stops_sampling_early(self, insurance_frame):
+        fm = ScriptedFM(lambda prompt: "garbage that parses to nothing")
+        tool = SmartFeat(
+            fm=fm,
+            sampling_budget=10,
+            error_threshold=2,
+            operator_families=(OperatorFamily.BINARY,),
+            downstream_model="decision_tree",
+        )
+        result = tool.fit_transform(insurance_frame, target="Safe")
+        assert result.errors["binary"] == 2
+        assert fm.ledger.n_calls == 2  # stopped at the threshold, not the budget

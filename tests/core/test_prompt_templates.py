@@ -1,0 +1,107 @@
+"""Prompt-template contract tests.
+
+The simulator dispatches on marker phrases inside each template; these
+tests pin the contract so a template edit that breaks dispatch fails
+loudly here rather than as silent fallback answers downstream.
+"""
+
+import pytest
+
+from repro.core import DataAgenda, prompts
+from repro.core.types import FeatureCandidate, OperatorFamily
+from repro.dataframe import DataFrame
+from repro.fm.simulated import SimulatedFM
+
+
+@pytest.fixture
+def agenda():
+    frame = DataFrame({"Age": [20, 30, 40], "City": ["SF", "LA", "SF"], "y": [0, 1, 0]})
+    return DataAgenda.from_dataframe(
+        frame, target="y", descriptions={"Age": "Age in years", "City": "City of residence"},
+        title="demo", model="rf",
+    )
+
+
+@pytest.fixture
+def candidate():
+    return FeatureCandidate(
+        name="bucketization_Age",
+        columns=["Age"],
+        description="bucketization[age_generic]: bands",
+        family=OperatorFamily.UNARY,
+    )
+
+
+MARKERS = {
+    "unary": "Consider the unary operators on the attribute",
+    "binary_sampling": "binary arithmetic operator",
+    "binary_proposal": "List up to",
+    "high_order": "Generate a groupby feature",
+    "extractor": "Propose ONE extractor feature",
+    "function": "Generate the optimal Python function",
+    "repair": "Generate a corrected",
+    "row": "Respond with the value only",
+    "sources": "cannot be computed by a",
+    "removal": "should be removed before training",
+    "caafe": "You are an automated feature engineering assistant (CAAFE",
+}
+
+
+class TestDispatchMarkers:
+    def test_each_template_carries_its_marker(self, agenda, candidate):
+        built = {
+            "unary": prompts.unary_proposal_prompt(agenda, "Age"),
+            "binary_sampling": prompts.binary_sampling_prompt(agenda),
+            "binary_proposal": prompts.binary_proposal_prompt(agenda, 5),
+            "high_order": prompts.high_order_sampling_prompt(agenda),
+            "extractor": prompts.extractor_sampling_prompt(agenda),
+            "function": prompts.function_generation_prompt(agenda, candidate),
+            "repair": prompts.function_repair_prompt(agenda, candidate, "def transform(df): ...", "boom"),
+            "row": prompts.row_completion_prompt("f", {"City": "SF"}),
+            "sources": prompts.source_suggestion_prompt(agenda, candidate),
+            "removal": prompts.feature_removal_prompt(agenda),
+            "caafe": prompts.caafe_prompt(agenda, "sample", 0),
+        }
+        for kind, text in built.items():
+            assert MARKERS[kind] in text, kind
+
+    def test_markers_are_mutually_exclusive(self, agenda, candidate):
+        """No template accidentally contains another template's marker in a
+        way that would shadow its dispatch (the simulator checks in a fixed
+        order; earlier markers must not appear in later templates)."""
+        function_prompt = prompts.function_generation_prompt(agenda, candidate)
+        assert MARKERS["unary"] not in function_prompt
+        assert MARKERS["high_order"] not in function_prompt
+        removal_prompt = prompts.feature_removal_prompt(agenda)
+        assert MARKERS["binary_sampling"] not in removal_prompt
+
+    def test_every_template_gets_a_non_fallback_answer(self, agenda, candidate):
+        fm = SimulatedFM(seed=0)
+        fallback = "I am a language model"
+        built = [
+            prompts.unary_proposal_prompt(agenda, "Age"),
+            prompts.binary_sampling_prompt(agenda),
+            prompts.binary_proposal_prompt(agenda, 5),
+            prompts.high_order_sampling_prompt(agenda),
+            prompts.extractor_sampling_prompt(agenda),
+            prompts.function_generation_prompt(agenda, candidate),
+            prompts.row_completion_prompt("City_population_density", {"City": "SF"}),
+            prompts.source_suggestion_prompt(agenda, candidate),
+            prompts.feature_removal_prompt(agenda),
+            prompts.caafe_prompt(agenda, "sample", 0),
+        ]
+        for prompt in built:
+            answer = fm.complete(prompt, temperature=0.7).text
+            assert fallback not in answer, prompt[:80]
+
+    def test_agenda_embedded_in_every_contextual_template(self, agenda, candidate):
+        for text in (
+            prompts.unary_proposal_prompt(agenda, "Age"),
+            prompts.binary_sampling_prompt(agenda),
+            prompts.high_order_sampling_prompt(agenda),
+            prompts.extractor_sampling_prompt(agenda),
+            prompts.function_generation_prompt(agenda, candidate),
+            prompts.feature_removal_prompt(agenda),
+        ):
+            assert "Dataset description: demo" in text
+            assert "Prediction class: y" in text

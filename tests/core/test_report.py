@@ -1,0 +1,67 @@
+"""Tests for run summaries and provenance export."""
+
+import json
+
+import pytest
+
+from repro.core import SmartFeat
+from repro.core.report import provenance_json, result_summary
+from repro.fm import SimulatedFM
+
+
+@pytest.fixture(scope="module")
+def result():
+    from tests.core.conftest import INSURANCE_DESCRIPTIONS, make_insurance_frame
+
+    tool = SmartFeat(
+        fm=SimulatedFM(seed=0, model="gpt-4"),
+        function_fm=SimulatedFM(seed=1, model="gpt-3.5-turbo"),
+        downstream_model="decision_tree",
+    )
+    return tool.fit_transform(
+        make_insurance_frame(),
+        target="Safe",
+        descriptions=dict(INSURANCE_DESCRIPTIONS),
+        title="Car insurance policyholders (insurance claims)",
+        target_description="1 = safe",
+    )
+
+
+class TestSummary:
+    def test_counts_match(self, result):
+        text = result_summary(result)
+        assert f"{len(result.new_features)} features accepted" in text
+
+    def test_families_listed(self, result):
+        text = result_summary(result)
+        assert "unary" in text
+        assert "extractor" in text
+
+    def test_fm_usage_lines(self, result):
+        text = result_summary(result)
+        assert "FM usage [operator_selector]" in text
+        assert "$" in text
+
+
+class TestProvenance:
+    def test_valid_json_with_all_features(self, result):
+        payload = json.loads(provenance_json(result))
+        assert len(payload["features"]) == len(result.new_features)
+
+    def test_feature_records_complete(self, result):
+        payload = json.loads(provenance_json(result))
+        for record in payload["features"]:
+            assert record["name"]
+            assert record["family"] in ("unary", "binary", "high_order", "extractor")
+            assert isinstance(record["input_columns"], list)
+            assert record["output_columns"]
+
+    def test_source_code_included(self, result):
+        payload = json.loads(provenance_json(result))
+        coded = [r for r in payload["features"] if "def transform" in r["source_code"]]
+        assert coded
+
+    def test_usage_and_rejections_present(self, result):
+        payload = json.loads(provenance_json(result))
+        assert "fm_usage" in payload
+        assert "rejections" in payload

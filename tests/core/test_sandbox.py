@@ -1,0 +1,87 @@
+"""Unit tests for the generated-code sandbox."""
+
+import pytest
+
+from repro.core.sandbox import SandboxViolation, TransformError, run_script, run_transform
+from repro.dataframe import DataFrame, Series
+
+
+@pytest.fixture
+def frame():
+    return DataFrame({"a": [1.0, 2.0, 3.0], "b": [1.0, 0.0, 2.0]})
+
+
+class TestRunTransform:
+    def test_returns_series(self, frame):
+        out = run_transform("def transform(df):\n    return df['a'] * 2\n", frame)
+        assert isinstance(out, Series)
+        assert out.tolist() == [2.0, 4.0, 6.0]
+
+    def test_returns_dataframe(self, frame):
+        src = "def transform(df):\n    return pd.get_dummies(df['a'].astype(str), prefix='a')\n"
+        out = run_transform(src, frame)
+        assert isinstance(out, DataFrame)
+
+    def test_pd_np_math_available(self, frame):
+        src = (
+            "def transform(df):\n"
+            "    return df['a'].apply(lambda v: math.log(v + np.e))\n"
+        )
+        assert run_transform(src, frame).notna().all()
+
+    def test_syntax_error_raises_transform_error(self, frame):
+        with pytest.raises(TransformError, match="compile"):
+            run_transform("def transform(df)\n    return 1\n", frame)
+
+    def test_missing_transform_raises(self, frame):
+        with pytest.raises(TransformError, match="does not define"):
+            run_transform("x = 1\n", frame)
+
+    def test_runtime_error_raises(self, frame):
+        with pytest.raises(TransformError, match="raised"):
+            run_transform("def transform(df):\n    return df['missing_column']\n", frame)
+
+    def test_wrong_return_type_raises(self, frame):
+        with pytest.raises(TransformError, match="must return"):
+            run_transform("def transform(df):\n    return 42\n", frame)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "import os\ndef transform(df):\n    return df['a']\n",
+            "def transform(df):\n    __import__('os')\n    return df['a']\n",
+            "def transform(df):\n    open('/etc/passwd')\n    return df['a']\n",
+            "def transform(df):\n    eval('1+1')\n    return df['a']\n",
+            "def transform(df):\n    x = ().__class__.__subclasses__()\n    return df['a']\n",
+        ],
+    )
+    def test_forbidden_constructs_rejected(self, frame, bad):
+        with pytest.raises(SandboxViolation):
+            run_transform(bad, frame)
+
+    def test_original_frame_not_required_to_change(self, frame):
+        run_transform("def transform(df):\n    return df['a'] + df['b']\n", frame)
+        assert frame.columns == ["a", "b"]
+
+
+class TestRunScript:
+    def test_assignment_into_copy(self, frame):
+        out = run_script("df['c'] = df['a'] / df['b']\n", frame)
+        assert "c" in out.columns
+        assert "c" not in frame.columns  # original untouched
+
+    def test_division_by_zero_leaks_inf(self, frame):
+        # CAAFE-style unguarded division: inf must survive so the paper's
+        # Diabetes failure can reproduce downstream.
+        out = run_script("df['c'] = df['a'] / df['b']\n", frame)
+        import math
+
+        assert math.isinf(out["c"][1])
+
+    def test_script_error_raises(self, frame):
+        with pytest.raises(TransformError):
+            run_script("df['c'] = df['nope'] * 2\n", frame)
+
+    def test_forbidden_rejected(self, frame):
+        with pytest.raises(SandboxViolation):
+            run_script("import subprocess\n", frame)

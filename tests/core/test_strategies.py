@@ -1,0 +1,102 @@
+"""Tests for the proposal-vs-sampling strategy option (§3.2)."""
+
+import pytest
+
+from repro.core import OperatorSelector, SmartFeat
+from repro.core.types import OperatorFamily
+from repro.datasets import load_dataset
+from repro.fm import ScriptedFM, SimulatedFM
+
+
+@pytest.fixture(scope="module")
+def tennis():
+    return load_dataset("tennis", n_rows=300)
+
+
+class TestBinaryProposal:
+    def test_selector_parses_multiline_json(self, insurance_agenda):
+        fm = ScriptedFM(
+            [
+                '{"operator": "-", "columns": ["Age", "Age of car"], "name": "d1", "description": "binary[-]: a"}\n'
+                'not json at all\n'
+                '{"operator": "*", "columns": ["Age", "Age of car"], "name": "p1", "description": "binary[*]: b"}'
+            ]
+        )
+        candidates = OperatorSelector(fm).binary_candidates_proposal(insurance_agenda, k=5)
+        assert [c.name for c in candidates] == ["d1", "p1"]
+
+    def test_unknown_columns_skipped_not_raised(self, insurance_agenda):
+        fm = ScriptedFM(
+            ['{"operator": "-", "columns": ["Age", "Bogus"], "name": "d", "description": "x"}']
+        )
+        assert OperatorSelector(fm).binary_candidates_proposal(insurance_agenda) == []
+
+    def test_k_truncates(self, insurance_agenda):
+        line = '{"operator": "-", "columns": ["Age", "Age of car"], "name": "d%d", "description": "binary[-]: x"}'
+        fm = ScriptedFM(["\n".join(line % i for i in range(10))])
+        candidates = OperatorSelector(fm).binary_candidates_proposal(insurance_agenda, k=3)
+        assert len(candidates) == 3
+
+    def test_simulated_fm_answers_proposal(self, tennis):
+        from repro.core import DataAgenda, prompts
+
+        agenda = DataAgenda.from_dataframe(
+            tennis.frame, target=tennis.target, descriptions=tennis.descriptions
+        )
+        fm = SimulatedFM(seed=0)
+        candidates = OperatorSelector(fm).binary_candidates_proposal(agenda, k=6)
+        assert 1 <= len(candidates) <= 6
+        assert fm.ledger.n_calls == 1  # one call for the whole batch
+
+
+class TestStrategyInPipeline:
+    def test_invalid_strategy_raises(self):
+        with pytest.raises(ValueError):
+            SmartFeat(fm=SimulatedFM(seed=0), binary_strategy="guessing")
+
+    def test_proposal_uses_fewer_fm_calls(self, tennis):
+        def run(strategy):
+            fm = SimulatedFM(seed=0)
+            tool = SmartFeat(
+                fm=fm,
+                downstream_model="rf",
+                operator_families=(OperatorFamily.BINARY,),
+                binary_strategy=strategy,
+                sampling_budget=8,
+            )
+            result = tool.fit_transform(
+                tennis.frame, target=tennis.target, descriptions=tennis.descriptions
+            )
+            return result, fm.ledger.n_calls
+
+        _, proposal_calls = run("proposal")
+        _, sampling_calls = run("sampling")
+        assert proposal_calls < sampling_calls
+
+    def test_both_strategies_generate_binary_features(self, tennis):
+        for strategy in ("proposal", "sampling"):
+            tool = SmartFeat(
+                fm=SimulatedFM(seed=0),
+                downstream_model="rf",
+                operator_families=(OperatorFamily.BINARY,),
+                binary_strategy=strategy,
+            )
+            result = tool.fit_transform(
+                tennis.frame, target=tennis.target, descriptions=tennis.descriptions
+            )
+            assert result.new_features, strategy
+
+    def test_proposal_deterministic(self, tennis):
+        def names(seed):
+            tool = SmartFeat(
+                fm=SimulatedFM(seed=seed),
+                downstream_model="rf",
+                operator_families=(OperatorFamily.BINARY,),
+                binary_strategy="proposal",
+            )
+            result = tool.fit_transform(
+                tennis.frame, target=tennis.target, descriptions=tennis.descriptions
+            )
+            return sorted(result.new_features)
+
+        assert names(0) == names(1)  # top-k is seed-independent at temp 0

@@ -1,0 +1,125 @@
+"""Edge-case coverage for dataframe surface not exercised elsewhere."""
+
+import math
+
+import pytest
+
+from repro.dataframe import DataFrame, Series
+from repro.dataframe import pandas_facade as pd
+
+
+class TestSeriesEdges:
+    def test_head(self):
+        assert Series([1, 2, 3, 4]).head(2).tolist() == [1, 2]
+
+    def test_sample_without_replacement(self):
+        s = Series(list(range(20)))
+        out = s.sample(5, seed=3)
+        assert len(out) == 5
+        assert len(set(out.tolist())) == 5
+
+    def test_sample_caps_at_length(self):
+        assert len(Series([1, 2]).sample(10)) == 2
+
+    def test_idxmin(self):
+        assert Series([3.0, None, 1.0, 2.0]).idxmin() == 2
+
+    def test_any_all(self):
+        assert Series([0, 1, 0]).any()
+        assert not Series([0, 0]).any()
+        assert Series([1, 1]).all()
+
+    def test_rank_with_missing(self):
+        out = Series([2.0, None, 1.0]).rank()
+        assert out[0] == 2.0
+        assert math.isnan(out[1])
+        assert out[2] == 1.0
+
+    def test_quantile_interpolates(self):
+        assert Series([0.0, 1.0]).quantile(0.25) == 0.25
+
+    def test_empty_property(self):
+        assert Series([]).empty
+        assert not Series([1]).empty
+
+    def test_repr_truncates(self):
+        text = repr(Series(list(range(20)), name="long"))
+        assert "..." in text
+
+    def test_full_length_zero(self):
+        assert Series.full(0, 1).tolist() == []
+
+    def test_iter(self):
+        assert list(Series([1, 2])) == [1, 2]
+
+    def test_rename_copies(self):
+        a = Series([1, 2], name="a")
+        b = a.rename("b")
+        b[0] = 9
+        assert a[0] == 1
+
+
+class TestFrameEdges:
+    def test_index_is_range(self):
+        assert list(DataFrame({"x": [1, 2, 3]}).index) == [0, 1, 2]
+
+    def test_itertuples_yields_dicts(self):
+        rows = list(DataFrame({"a": [1], "b": [2]}).itertuples())
+        assert rows == [{"a": 1, "b": 2}]
+
+    def test_empty_frame_length_zero(self):
+        assert len(DataFrame()) == 0
+        assert DataFrame().columns == []
+
+    def test_iter_yields_column_names(self):
+        assert list(DataFrame({"a": [1], "b": [2]})) == ["a", "b"]
+
+    def test_non_string_column_assignment_rejected(self):
+        frame = DataFrame({"a": [1]})
+        with pytest.raises(TypeError):
+            frame[3] = [1]
+
+    def test_select_dtypes_bool(self):
+        frame = DataFrame({"flag": [True, False], "x": [1, 2]})
+        assert frame.select_dtypes("bool").columns == ["flag"]
+
+    def test_select_dtypes_invalid(self):
+        with pytest.raises(ValueError):
+            DataFrame({"a": [1]}).select_dtypes("complex")
+
+    def test_assign_does_not_mutate(self):
+        frame = DataFrame({"a": [1]})
+        frame.assign(b=[2])
+        assert "b" not in frame
+
+
+class TestPandasFacade:
+    def test_scalar_isna(self):
+        assert pd.isna(None)
+        assert pd.isna(float("nan"))
+        assert not pd.isna(0)
+        assert pd.notna("x")
+
+    def test_facade_exposes_core_functions(self):
+        for name in ("DataFrame", "Series", "cut", "qcut", "get_dummies", "concat", "factorize"):
+            assert hasattr(pd, name), name
+
+    def test_cut_through_facade(self):
+        out = pd.cut(Series([5, 15]), [0, 10, 20])
+        assert out.tolist() == [0, 1]
+
+
+class TestRenderTableEdges:
+    def test_empty_rows(self):
+        from repro.eval import render_table
+
+        text = render_table(["a", "bb"], [])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert len(lines) == 2  # header + rule only
+
+    def test_wide_cells_set_width(self):
+        from repro.eval import render_table
+
+        text = render_table(["h"], [["very-long-cell"]])
+        assert "very-long-cell" in text

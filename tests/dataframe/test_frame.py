@@ -1,0 +1,325 @@
+"""Unit tests for :mod:`repro.dataframe.frame`."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dataframe import DataFrame, Series
+
+
+@pytest.fixture
+def insurance():
+    """The paper's Table 1 motivating dataset."""
+    return DataFrame(
+        {
+            "Sex": ["M", "F", "M", "F", "M", "F"],
+            "Age": [21, 35, 42, 22, 45, 56],
+            "AgeOfCar": [6, 2, 8, 14, 3, 5],
+            "MakeModel": [
+                "Honda, Civic",
+                "Toyota, Corolla",
+                "Ford, Mustang",
+                "Chevrolet, Cruze",
+                "BMW, X5",
+                "Volkswagen, Golf",
+            ],
+            "Claim": [1, 0, 0, 1, 0, 0],
+            "City": ["SF", "LA", "SEA", "SF", "SEA", "LA"],
+            "Safe": [0, 1, 1, 0, 1, 1],
+        }
+    )
+
+
+class TestConstruction:
+    def test_from_dict(self, insurance):
+        assert insurance.shape == (6, 7)
+        assert insurance.columns[0] == "Sex"
+
+    def test_from_records(self):
+        df = DataFrame([{"a": 1, "b": 2}, {"a": 3}])
+        assert df.shape == (2, 2)
+        assert df["b"].isna().tolist() == [False, True]
+
+    def test_from_dataframe_copies(self, insurance):
+        copy = DataFrame(insurance)
+        copy["Age"][0] = 99
+        assert insurance["Age"][0] == 21
+
+    def test_empty(self):
+        df = DataFrame()
+        assert df.empty
+        assert df.shape == (0, 0)
+
+    def test_column_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            DataFrame({"a": [1, 2], "b": [1]})
+
+    def test_columns_selection_on_init(self):
+        df = DataFrame({"a": [1], "b": [2]}, columns=["b"])
+        assert df.columns == ["b"]
+
+    def test_unknown_column_selection_raises(self):
+        with pytest.raises(KeyError):
+            DataFrame({"a": [1]}, columns=["z"])
+
+    def test_bad_type_raises(self):
+        with pytest.raises(TypeError):
+            DataFrame(42)
+
+
+class TestIndexing:
+    def test_getitem_column(self, insurance):
+        assert isinstance(insurance["Age"], Series)
+        assert insurance["Age"].name == "Age"
+
+    def test_getitem_missing_column(self, insurance):
+        with pytest.raises(KeyError):
+            insurance["nope"]
+
+    def test_getitem_column_list(self, insurance):
+        sub = insurance[["Sex", "Age"]]
+        assert sub.columns == ["Sex", "Age"]
+
+    def test_boolean_mask(self, insurance):
+        young = insurance[insurance["Age"] < 30]
+        assert len(young) == 2
+        assert young["Safe"].tolist() == [0, 0]
+
+    def test_mask_length_mismatch_raises(self, insurance):
+        with pytest.raises(ValueError):
+            insurance[np.array([True])]
+
+    def test_slice_rows(self, insurance):
+        assert len(insurance[1:3]) == 2
+
+    def test_setitem_series(self, insurance):
+        insurance["AgeDoubled"] = insurance["Age"] * 2
+        assert insurance["AgeDoubled"].tolist()[0] == 42.0
+
+    def test_setitem_scalar_broadcasts(self, insurance):
+        insurance["flag"] = 1
+        assert insurance["flag"].tolist() == [1] * 6
+
+    def test_setitem_wrong_length_raises(self, insurance):
+        with pytest.raises(ValueError):
+            insurance["bad"] = [1, 2]
+
+    def test_setitem_renames_series(self, insurance):
+        s = Series([0] * 6, name="other")
+        insurance["mine"] = s
+        assert insurance["mine"].name == "mine"
+
+    def test_iloc_row(self, insurance):
+        row = insurance.iloc[0]
+        assert row["Sex"] == "M"
+        assert row.Age == 21
+
+    def test_iloc_slice(self, insurance):
+        assert len(insurance.iloc[0:2]) == 2
+
+    def test_iloc_list(self, insurance):
+        assert insurance.iloc[[5, 0]]["Age"].tolist() == [56, 21]
+
+    def test_contains(self, insurance):
+        assert "Age" in insurance
+        assert "nope" not in insurance
+
+
+class TestStructure:
+    def test_drop_single(self, insurance):
+        out = insurance.drop(columns="Sex")
+        assert "Sex" not in out
+        assert "Sex" in insurance
+
+    def test_drop_list(self, insurance):
+        out = insurance.drop(columns=["Sex", "City"])
+        assert out.shape == (6, 5)
+
+    def test_drop_missing_raises(self, insurance):
+        with pytest.raises(KeyError):
+            insurance.drop(columns="nope")
+
+    def test_drop_missing_ignore(self, insurance):
+        out = insurance.drop(columns="nope", errors="ignore")
+        assert out.shape == insurance.shape
+
+    def test_rename(self, insurance):
+        out = insurance.rename(columns={"Age": "age_years"})
+        assert "age_years" in out
+
+    def test_assign_value_and_callable(self, insurance):
+        out = insurance.assign(one=1, double_age=lambda d: d["Age"] * 2)
+        assert out["one"].tolist() == [1] * 6
+        assert out["double_age"][1] == 70.0
+        assert "one" not in insurance
+
+    def test_head_tail(self, insurance):
+        assert len(insurance.head(2)) == 2
+        assert insurance.tail(1)["Age"].tolist() == [56]
+
+    def test_sample_deterministic(self, insurance):
+        a = insurance.sample(3, seed=1)
+        b = insurance.sample(3, seed=1)
+        assert a.equals(b)
+
+    def test_sample_frac(self, insurance):
+        assert len(insurance.sample(frac=0.5, seed=0)) == 3
+
+    def test_sort_values_single(self, insurance):
+        out = insurance.sort_values("Age")
+        assert out["Age"].tolist() == sorted(insurance["Age"].tolist())
+
+    def test_sort_values_multi_stable(self):
+        df = DataFrame({"k": ["b", "a", "a"], "v": [1, 2, 1]})
+        out = df.sort_values(["k", "v"])
+        assert out["k"].tolist() == ["a", "a", "b"]
+        assert out["v"].tolist() == [1, 2, 1]
+
+    def test_sort_descending(self, insurance):
+        out = insurance.sort_values("Age", ascending=False)
+        assert out["Age"][0] == 56
+
+    def test_copy_independent(self, insurance):
+        c = insurance.copy()
+        c["Age"][0] = 0
+        assert insurance["Age"][0] == 21
+
+
+class TestMissingData:
+    def test_dropna(self):
+        df = DataFrame({"a": [1, None, 3], "b": ["x", "y", None]})
+        assert len(df.dropna()) == 1
+
+    def test_dropna_subset(self):
+        df = DataFrame({"a": [1, None, 3], "b": ["x", "y", None]})
+        assert len(df.dropna(subset=["a"])) == 2
+
+    def test_fillna_scalar(self):
+        df = DataFrame({"a": [1.0, None]})
+        assert df.fillna(0)["a"].tolist() == [1.0, 0.0]
+
+    def test_fillna_dict(self):
+        df = DataFrame({"a": [None], "b": [None]})
+        out = df.fillna({"a": 1})
+        assert out["a"].tolist() == [1.0]
+        assert out["b"].isna().tolist() == [True]
+
+    def test_isna_frame(self):
+        df = DataFrame({"a": [1.0, None]})
+        assert df.isna()["a"].tolist() == [False, True]
+
+
+class TestApplyIteration:
+    def test_apply_axis1_returns_series(self, insurance):
+        out = insurance.apply(lambda row: row["Age"] + row["AgeOfCar"], axis=1)
+        assert isinstance(out, Series)
+        assert out[0] == 27
+
+    def test_apply_axis1_row_mapping_access(self, insurance):
+        out = insurance.apply(lambda row: f"{row['City']}-{row['Sex']}", axis=1)
+        assert out[0] == "SF-M"
+
+    def test_apply_axis0(self, insurance):
+        means = insurance[["Age"]].apply(lambda s: s.mean(), axis=0)
+        assert means["Age"] == pytest.approx(36.833, abs=1e-3)
+
+    def test_iterrows(self, insurance):
+        rows = list(insurance.iterrows())
+        assert rows[0][0] == 0
+        assert rows[2][1]["City"] == "SEA"
+
+    def test_row_get_default(self, insurance):
+        _, row = next(insurance.iterrows())
+        assert row.get("nope", -1) == -1
+
+    def test_to_dict_records(self, insurance):
+        records = insurance.to_dict("records")
+        assert records[0]["Sex"] == "M"
+
+    def test_to_dict_invalid_orient(self, insurance):
+        with pytest.raises(ValueError):
+            insurance.to_dict("split")
+
+    def test_to_numpy_numeric(self):
+        df = DataFrame({"a": [1, 2], "b": [3.0, 4.0]})
+        arr = df.to_numpy()
+        assert arr.shape == (2, 2)
+        assert arr.dtype == np.float64
+
+
+class TestStatistics:
+    def test_select_dtypes_number(self, insurance):
+        nums = insurance.select_dtypes("number")
+        assert set(nums.columns) == {"Age", "AgeOfCar", "Claim", "Safe"}
+
+    def test_select_dtypes_object(self, insurance):
+        objs = insurance.select_dtypes("object")
+        assert set(objs.columns) == {"Sex", "MakeModel", "City"}
+
+    def test_numeric_and_categorical_helpers(self, insurance):
+        assert "Age" in insurance.numeric_columns()
+        assert "City" in insurance.categorical_columns()
+
+    def test_nunique(self, insurance):
+        assert insurance.nunique()["City"] == 3
+
+    def test_describe_has_eight_stats(self, insurance):
+        desc = insurance.describe()
+        assert len(desc) == 8
+        assert "Age" in desc
+
+    def test_corr_diagonal_is_one(self, insurance):
+        corr = insurance.corr()
+        age_idx = corr["column"].tolist().index("Age")
+        assert corr["Age"][age_idx] == pytest.approx(1.0)
+
+    def test_mean(self, insurance):
+        assert insurance.mean()["Claim"] == pytest.approx(2 / 6)
+
+
+class TestMerge:
+    def test_left_merge(self):
+        left = DataFrame({"k": ["a", "b", "c"], "v": [1, 2, 3]})
+        right = DataFrame({"k": ["a", "b"], "w": [10, 20]})
+        out = left.merge(right, on="k", how="left")
+        assert out["w"].tolist()[:2] == [10.0, 20.0]
+        assert out["w"].isna().tolist() == [False, False, True]
+
+    def test_inner_merge(self):
+        left = DataFrame({"k": ["a", "b", "c"], "v": [1, 2, 3]})
+        right = DataFrame({"k": ["a"], "w": [10]})
+        out = left.merge(right, on="k", how="inner")
+        assert len(out) == 1
+
+    def test_merge_duplicate_right_keys_expand(self):
+        left = DataFrame({"k": ["a"], "v": [1]})
+        right = DataFrame({"k": ["a", "a"], "w": [10, 20]})
+        out = left.merge(right, on="k")
+        assert out["w"].tolist() == [10, 20]
+
+    def test_bad_how_raises(self):
+        df = DataFrame({"k": ["a"]})
+        with pytest.raises(ValueError):
+            df.merge(df, on="k", how="outer")
+
+
+class TestEqualsAndRender:
+    def test_equals_with_nan(self):
+        a = DataFrame({"x": [1.0, None]})
+        b = DataFrame({"x": [1.0, None]})
+        assert a.equals(b)
+
+    def test_not_equals_different_values(self):
+        assert not DataFrame({"x": [1]}).equals(DataFrame({"x": [2]}))
+
+    def test_not_equals_different_columns(self):
+        assert not DataFrame({"x": [1]}).equals(DataFrame({"y": [1]}))
+
+    def test_to_string_contains_header(self, insurance):
+        text = insurance.to_string()
+        assert "Sex" in text and "Age" in text
+
+    def test_to_string_truncates(self, insurance):
+        text = insurance.to_string(max_rows=2)
+        assert "6 rows total" in text

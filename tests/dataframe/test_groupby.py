@@ -1,0 +1,111 @@
+"""Unit tests for :mod:`repro.dataframe.groupby`."""
+
+import pytest
+
+from repro.dataframe import DataFrame
+from repro.dataframe.groupby import resolve_aggregator
+
+
+@pytest.fixture
+def cars():
+    return DataFrame(
+        {
+            "model": ["civic", "civic", "golf", "golf", "golf"],
+            "city": ["SF", "LA", "SF", "SF", "LA"],
+            "claims": [1, 0, 0, 1, 1],
+            "price": [10.0, 12.0, 20.0, 22.0, 24.0],
+        }
+    )
+
+
+class TestTransform:
+    def test_transform_mean_preserves_length_and_order(self, cars):
+        out = cars.groupby("model")["claims"].transform("mean")
+        assert len(out) == len(cars)
+        assert out.tolist() == [0.5, 0.5, pytest.approx(2 / 3)] + [pytest.approx(2 / 3)] * 2
+
+    def test_transform_is_the_paper_idiom(self, cars):
+        # The high-order operator emits exactly this expression shape.
+        out = cars.groupby("model")["claims"].transform("mean")
+        assert out[0] == out[1]  # same group, same value
+
+    def test_transform_max(self, cars):
+        out = cars.groupby("model")["price"].transform("max")
+        assert out.tolist() == [12.0, 12.0, 24.0, 24.0, 24.0]
+
+    def test_transform_count(self, cars):
+        out = cars.groupby("model")["price"].transform("count")
+        assert out.tolist() == [2, 2, 3, 3, 3]
+
+    def test_transform_callable(self, cars):
+        out = cars.groupby("model")["price"].transform(lambda s: s.max() - s.min())
+        assert out.tolist() == [2.0, 2.0, 4.0, 4.0, 4.0]
+
+    def test_transform_numpy_style_callable(self, cars):
+        import numpy as np
+
+        out = cars.groupby("model")["price"].transform(np.mean)
+        assert out[0] == pytest.approx(11.0)
+
+    def test_multi_key_transform(self, cars):
+        out = cars.groupby(["model", "city"])["claims"].transform("sum")
+        assert out.tolist() == [1.0, 0.0, 1.0, 1.0, 1.0]
+
+
+class TestAgg:
+    def test_series_agg_returns_frame(self, cars):
+        out = cars.groupby("model")["price"].agg("mean")
+        assert set(out.columns) == {"model", "price"}
+        assert len(out) == 2
+
+    def test_agg_shortcuts(self, cars):
+        assert cars.groupby("model")["price"].mean()["price"].tolist() == [11.0, 22.0]
+        assert cars.groupby("model")["price"].max()["price"].tolist() == [12.0, 24.0]
+        assert cars.groupby("model")["price"].min()["price"].tolist() == [10.0, 20.0]
+        assert cars.groupby("model")["price"].sum()["price"].tolist() == [22.0, 66.0]
+        assert cars.groupby("model")["price"].count()["price"].tolist() == [2, 3]
+
+    def test_frame_agg_spec(self, cars):
+        out = cars.groupby("model").agg({"claims": "sum", "price": "mean"})
+        assert out["claims"].tolist() == [1, 2]
+        assert out["price"].tolist() == [11.0, 22.0]
+
+    def test_size(self, cars):
+        out = cars.groupby("city").size()
+        assert set(zip(out["city"].tolist(), out["size"].tolist())) == {("SF", 3), ("LA", 2)}
+
+    def test_groups_property(self, cars):
+        groups = cars.groupby("model").groups
+        assert groups["civic"] == [0, 1]
+
+    def test_len_is_group_count(self, cars):
+        assert len(cars.groupby("model")) == 2
+
+    def test_unknown_column_raises(self, cars):
+        with pytest.raises(KeyError):
+            cars.groupby("nope")
+        with pytest.raises(KeyError):
+            cars.groupby("model")["nope"]
+
+
+class TestResolveAggregator:
+    def test_known_names(self):
+        from repro.dataframe import Series
+
+        s = Series([1, 2, 3])
+        assert resolve_aggregator("mean")(s) == 2.0
+        assert resolve_aggregator("avg")(s) == 2.0
+        assert resolve_aggregator("average")(s) == 2.0
+        assert resolve_aggregator("SUM")(s) == 6.0
+        assert resolve_aggregator("nunique")(s) == 3
+        assert resolve_aggregator("first")(s) == 1
+        assert resolve_aggregator("last")(s) == 3
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            resolve_aggregator("frobnicate")
+
+    def test_mode_aggregator(self):
+        from repro.dataframe import Series
+
+        assert resolve_aggregator("mode")(Series(["a", "b", "b"])) == "b"

@@ -1,0 +1,34 @@
+"""Unit tests for :mod:`repro.dataframe.io`."""
+
+from repro.dataframe import DataFrame, read_csv
+from repro.dataframe.io import to_csv
+
+
+class TestCsvRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        df = DataFrame({"name": ["a", "b"], "x": [1, 2], "y": [1.5, None]})
+        path = tmp_path / "data.csv"
+        to_csv(df, path)
+        back = read_csv(path)
+        assert back.columns == ["name", "x", "y"]
+        assert back["x"].tolist() == [1, 2]
+        assert back["y"].isna().tolist() == [False, True]
+
+    def test_type_inference(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a,b,c\n1,2.5,hello\n2,3.5,world\n")
+        df = read_csv(path)
+        assert df["a"].tolist() == [1, 2]
+        assert df["b"].tolist() == [2.5, 3.5]
+        assert df["c"].tolist() == ["hello", "world"]
+
+    def test_short_rows_padded(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a,b\n1\n")
+        df = read_csv(path)
+        assert df["b"].isna().tolist() == [True]
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("")
+        assert read_csv(path).empty

@@ -1,0 +1,116 @@
+"""Property-based tests (hypothesis) for the dataframe substrate invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataframe import DataFrame, Series, concat, factorize, get_dummies, qcut
+
+finite_floats = st.floats(allow_nan=False, allow_infinity=False, width=32)
+small_floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+keys = st.sampled_from(["a", "b", "c", "d"])
+
+
+@given(st.lists(small_floats, min_size=1, max_size=50))
+def test_mean_between_min_and_max(values):
+    s = Series(values)
+    assert s.min() - 1e-9 <= s.mean() <= s.max() + 1e-9
+
+
+@given(st.lists(st.one_of(small_floats, st.none()), min_size=1, max_size=50))
+def test_count_plus_missing_equals_length(values):
+    s = Series(values)
+    assert s.count() + int(s.isna().to_numpy().sum()) == len(s)
+
+
+@given(st.lists(small_floats, min_size=1, max_size=30), small_floats)
+def test_add_then_subtract_scalar_roundtrips(values, scalar):
+    s = Series(values)
+    back = (s + scalar) - scalar
+    for orig, restored in zip(s.tolist(), back.tolist()):
+        assert math.isclose(orig, restored, rel_tol=1e-6, abs_tol=1e-3)
+
+
+@given(st.lists(st.text(alphabet="abcde", min_size=1, max_size=3), min_size=1, max_size=40))
+def test_factorize_roundtrip(values):
+    codes, uniques = factorize(Series(values))
+    assert [uniques[c] for c in codes] == values
+    assert len(set(uniques)) == len(uniques)
+
+
+@given(st.lists(st.sampled_from(["x", "y", "z"]), min_size=1, max_size=40))
+def test_dummies_partition_of_unity(values):
+    out = get_dummies(Series(values, name="c"))
+    for i in range(len(values)):
+        assert sum(out[c][i] for c in out.columns) == 1
+
+
+@given(
+    st.lists(keys, min_size=1, max_size=40),
+    st.lists(small_floats, min_size=1, max_size=40),
+)
+def test_groupby_transform_preserves_length_and_group_constancy(group_keys, values):
+    n = min(len(group_keys), len(values))
+    df = DataFrame({"k": group_keys[:n], "v": values[:n]})
+    out = df.groupby("k")["v"].transform("mean")
+    assert len(out) == n
+    by_key = {}
+    for key, val in zip(df["k"].tolist(), out.tolist()):
+        by_key.setdefault(key, val)
+        assert math.isclose(by_key[key], val, rel_tol=1e-9, abs_tol=1e-9)
+
+
+@given(
+    st.lists(keys, min_size=1, max_size=40),
+    st.lists(small_floats, min_size=1, max_size=40),
+)
+def test_groupby_sum_totals_match(group_keys, values):
+    n = min(len(group_keys), len(values))
+    df = DataFrame({"k": group_keys[:n], "v": values[:n]})
+    agg = df.groupby("k")["v"].agg("sum")
+    assert math.isclose(sum(agg["v"].tolist()), df["v"].sum(), rel_tol=1e-6, abs_tol=1e-3)
+
+
+@given(st.lists(small_floats, min_size=4, max_size=60), st.integers(min_value=2, max_value=5))
+def test_qcut_covers_all_non_missing(values, q):
+    out = qcut(Series(values), q)
+    assert out.notna().all()
+
+
+@given(st.lists(st.booleans(), min_size=1, max_size=40))
+def test_boolean_mask_selects_exactly_true_rows(mask):
+    df = DataFrame({"i": list(range(len(mask))), "m": mask})
+    out = df[df["m"]]
+    assert len(out) == sum(mask)
+    assert all(mask[i] for i in out["i"].tolist())
+
+
+@given(
+    st.lists(small_floats, min_size=1, max_size=20),
+    st.lists(small_floats, min_size=1, max_size=20),
+)
+def test_concat_rows_length_additive(a_vals, b_vals):
+    a = DataFrame({"x": a_vals})
+    b = DataFrame({"x": b_vals})
+    assert len(concat([a, b])) == len(a) + len(b)
+
+
+@given(st.lists(small_floats, min_size=1, max_size=40))
+def test_sort_values_is_ordered_permutation(values):
+    s = Series(values)
+    out = s.sort_values()
+    assert sorted(values) == out.tolist()
+
+
+@settings(max_examples=25)
+@given(
+    st.lists(
+        st.fixed_dictionaries({"k": keys, "v": small_floats}),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_dropna_never_increases_rows(records):
+    df = DataFrame(records)
+    assert len(df.dropna()) <= len(df)

@@ -1,0 +1,139 @@
+"""Unit tests for :mod:`repro.dataframe.reshape`."""
+
+import pytest
+
+from repro.dataframe import DataFrame, Series, concat, cut, factorize, get_dummies, qcut
+
+
+class TestGetDummies:
+    def test_series_dummies(self):
+        out = get_dummies(Series(["a", "b", "a"], name="col"))
+        assert out.columns == ["col_a", "col_b"]
+        assert out["col_a"].tolist() == [1, 0, 1]
+
+    def test_prefix_override(self):
+        out = get_dummies(Series(["x"], name="c"), prefix="p")
+        assert out.columns == ["p_x"]
+
+    def test_drop_first(self):
+        out = get_dummies(Series(["a", "b", "c"], name="c"), drop_first=True)
+        assert out.columns == ["c_b", "c_c"]
+
+    def test_missing_rows_all_zero(self):
+        out = get_dummies(Series(["a", None], name="c"))
+        assert out["c_a"].tolist() == [1, 0]
+
+    def test_frame_defaults_to_categoricals(self):
+        df = DataFrame({"cat": ["x", "y"], "num": [1, 2]})
+        out = get_dummies(df)
+        assert "cat" not in out
+        assert "num" in out
+        assert "cat_x" in out
+
+    def test_frame_selected_columns(self):
+        df = DataFrame({"a": ["x", "y"], "b": ["p", "q"]})
+        out = get_dummies(df, columns=["a"])
+        assert "b" in out and "a_x" in out and "b_p" not in out
+
+    def test_partition_of_unity(self):
+        s = Series(["a", "b", "c", "a"], name="c")
+        out = get_dummies(s)
+        sums = [sum(out[c][i] for c in out.columns) for i in range(4)]
+        assert sums == [1, 1, 1, 1]
+
+
+class TestFactorize:
+    def test_codes_and_uniques(self):
+        codes, uniques = factorize(Series(["b", "a", "b"]))
+        assert codes.tolist() == [0, 1, 0]
+        assert uniques == ["b", "a"]
+
+    def test_missing_is_minus_one(self):
+        codes, _ = factorize(Series(["a", None]))
+        assert codes.tolist() == [0, -1]
+
+    def test_roundtrip(self):
+        values = ["x", "y", "z", "y"]
+        codes, uniques = factorize(Series(values))
+        assert [uniques[c] for c in codes] == values
+
+
+class TestCut:
+    def test_labels(self):
+        out = cut(Series([5, 25, 70]), [0, 21, 65, 120], labels=["minor", "adult", "senior"])
+        assert out.tolist() == ["minor", "adult", "senior"]
+
+    def test_integer_codes_when_no_labels(self):
+        out = cut(Series([5, 25]), [0, 21, 65])
+        assert out.tolist() == [0, 1]
+
+    def test_left_edge_included_in_first_bin(self):
+        out = cut(Series([0]), [0, 10])
+        assert out.tolist() == [0]
+
+    def test_out_of_range_is_missing(self):
+        out = cut(Series([200]), [0, 10])
+        assert out.isna().tolist() == [True]
+
+    def test_right_false(self):
+        out = cut(Series([10]), [0, 10, 20], right=False)
+        assert out.tolist() == [1]
+
+    def test_missing_passthrough(self):
+        out = cut(Series([None, 5.0]), [0, 10])
+        assert out.isna().tolist() == [True, False]
+
+    def test_unsorted_edges_raise(self):
+        with pytest.raises(ValueError):
+            cut(Series([1]), [10, 0])
+
+    def test_wrong_label_count_raises(self):
+        with pytest.raises(ValueError):
+            cut(Series([1]), [0, 1, 2], labels=["only-one"])
+
+
+class TestQcut:
+    def test_even_split(self):
+        out = qcut(Series(list(range(8))), 4)
+        counts = out.value_counts()
+        assert all(v == 2 for v in counts.values())
+
+    def test_labels(self):
+        out = qcut(Series([1, 2, 3, 4]), 2, labels=["lo", "hi"])
+        assert out.tolist() == ["lo", "lo", "hi", "hi"]
+
+    def test_heavily_tied_data_collapses_bins(self):
+        out = qcut(Series([1, 1, 1, 1, 2]), 4)
+        assert out.notna().all()
+
+    def test_all_missing(self):
+        out = qcut(Series([None, None]), 2)
+        assert out.isna().all()
+
+
+class TestConcat:
+    def test_rows(self):
+        a = DataFrame({"x": [1], "y": ["a"]})
+        b = DataFrame({"x": [2], "y": ["b"]})
+        out = concat([a, b])
+        assert out["x"].tolist() == [1, 2]
+
+    def test_rows_with_missing_columns(self):
+        a = DataFrame({"x": [1]})
+        b = DataFrame({"y": [2]})
+        out = concat([a, b])
+        assert out["x"][0] == 1 and out["x"].isna().tolist() == [False, True]
+        assert out["y"][1] == 2 and out["y"].isna().tolist() == [True, False]
+
+    def test_columns(self):
+        a = DataFrame({"x": [1, 2]})
+        b = DataFrame({"y": [3, 4]})
+        out = concat([a, b], axis=1)
+        assert out.columns == ["x", "y"]
+
+    def test_empty_input(self):
+        assert concat([]).empty
+
+    def test_none_entries_skipped(self):
+        a = DataFrame({"x": [1]})
+        assert concat([a, None])["x"].tolist() == [1]

@@ -1,0 +1,83 @@
+"""Distributional sanity checks on the synthetic generators.
+
+Beyond schema conformance (Table 3), a credible stand-in dataset needs
+plausible marginals: bounded ranges, sensible prevalences, realistic
+category balances.  These tests pin those properties.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import DATASET_NAMES, load_dataset
+
+EXPECTED_PREVALENCE = {
+    # Target positive rate by construction (generator prevalence settings).
+    "diabetes": (0.25, 0.45),
+    "heart": (0.12, 0.35),
+    "bank": (0.06, 0.18),
+    "adult": (0.18, 0.33),
+    "housing": (0.4, 0.6),
+    "lawschool": (0.7, 0.9),
+    "west_nile": (0.06, 0.32),
+    "tennis": (0.4, 0.6),
+}
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+def test_target_prevalence_plausible(name):
+    bundle = load_dataset(name, n_rows=2000)
+    rate = float(np.mean(bundle.frame[bundle.target].tolist()))
+    low, high = EXPECTED_PREVALENCE[name]
+    assert low <= rate <= high, (name, rate)
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+def test_numeric_ranges_finite_and_varied(name):
+    bundle = load_dataset(name, n_rows=1000)
+    for column in bundle.frame.numeric_columns():
+        values = bundle.frame[column]._numeric()
+        assert np.isfinite(values).all(), (name, column)
+        if column != bundle.target:
+            assert np.unique(values).size > 1, (name, column)
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+def test_no_degenerate_categoricals(name):
+    bundle = load_dataset(name, n_rows=1000)
+    for column in bundle.frame.categorical_columns():
+        counts = bundle.frame[column].value_counts(normalize=True)
+        assert len(counts) >= 2, (name, column)
+        assert max(counts.values()) < 0.98, (name, column)
+
+
+class TestSpecificMarginals:
+    def test_diabetes_glucose_clinical_range(self):
+        frame = load_dataset("diabetes", n_rows=1000).frame
+        assert 90 <= frame["Glucose"].mean() <= 150
+
+    def test_adult_capital_gain_heavy_tail(self):
+        frame = load_dataset("adult", n_rows=3000).frame
+        gains = frame["CapitalGain"]
+        assert gains.median() == 0.0  # most workers record none
+        assert gains.max() > 10_000  # but the tail is long
+
+    def test_bank_pdays_999_sentinel(self):
+        frame = load_dataset("bank", n_rows=2000).frame
+        values = frame["DaysSincePrev"].value_counts()
+        assert values.get(999, 0) > 1000  # "not previously contacted"
+
+    def test_tennis_counts_scale_with_each_other(self):
+        # The match-length confounder correlates winners with errors.
+        frame = load_dataset("tennis", n_rows=900).frame
+        assert frame["WNR.1"].corr(frame["UFE.1"]) > 0.5
+
+    def test_housing_rooms_exceed_bedrooms(self):
+        frame = load_dataset("housing", n_rows=1000).frame
+        rooms = frame["TotalRooms"]._numeric()
+        bedrooms = frame["TotalBedrooms"]._numeric()
+        assert (rooms >= bedrooms).mean() > 0.99
+
+    def test_west_nile_week_in_season(self):
+        frame = load_dataset("west_nile", n_rows=1000).frame
+        weeks = frame["WeekOfYear"]._numeric()
+        assert weeks.min() >= 22 and weeks.max() <= 41

@@ -1,0 +1,176 @@
+"""Table 3 conformance tests for all eight synthetic datasets."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import DATASET_NAMES, dataset_info, list_datasets, load_dataset
+
+
+def classify_columns(bundle):
+    """Split feature columns per the Table 3 counting convention:
+    categorical = strings + binary flags; numeric = continuous features
+    plus the binary prediction class."""
+    categorical, numeric = [], []
+    for name in bundle.feature_columns():
+        series = bundle.frame[name]
+        if series.dtype == object:
+            categorical.append(name)
+        elif set(series.dropna().tolist()) <= {0, 1, 0.0, 1.0}:
+            categorical.append(name)
+        else:
+            numeric.append(name)
+    numeric.append(bundle.target)
+    return categorical, numeric
+
+
+SMALL = 400
+
+
+class TestRegistry:
+    def test_eight_datasets(self):
+        assert len(DATASET_NAMES) == 8
+        assert DATASET_NAMES == (
+            "diabetes", "heart", "bank", "adult", "housing", "lawschool", "west_nile", "tennis",
+        )
+
+    def test_aliases(self):
+        assert dataset_info("West Nile Virus").name == "west_nile"
+        assert dataset_info("WNV").name == "west_nile"
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            load_dataset("imagenet")
+
+    def test_list_datasets_order(self):
+        assert [s.name for s in list_datasets()] == list(DATASET_NAMES)
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+class TestEveryDataset:
+    def test_schema_matches_table3(self, name):
+        bundle = load_dataset(name, n_rows=SMALL)
+        categorical, numeric = classify_columns(bundle)
+        assert len(categorical) == bundle.spec.n_categorical, categorical
+        assert len(numeric) == bundle.spec.n_numeric, numeric
+
+    def test_full_size_row_count(self, name):
+        spec = dataset_info(name)
+        assert spec.n_rows > 0
+        # Row-count fidelity is checked on the two small datasets at full
+        # size (cheap); larger ones are exercised via n_rows overrides.
+        if spec.n_rows <= 5000:
+            assert len(load_dataset(name).frame) == spec.n_rows
+
+    def test_binary_target_with_both_classes(self, name):
+        bundle = load_dataset(name, n_rows=SMALL)
+        values = set(bundle.frame[bundle.target].tolist())
+        assert values == {0, 1}
+
+    def test_deterministic_under_seed(self, name):
+        a = load_dataset(name, seed=3, n_rows=SMALL)
+        b = load_dataset(name, seed=3, n_rows=SMALL)
+        assert a.frame.equals(b.frame)
+
+    def test_seeds_differ(self, name):
+        a = load_dataset(name, seed=1, n_rows=SMALL)
+        b = load_dataset(name, seed=2, n_rows=SMALL)
+        assert not a.frame.equals(b.frame)
+
+    def test_descriptions_cover_all_features(self, name):
+        bundle = load_dataset(name, n_rows=SMALL)
+        assert set(bundle.descriptions) == set(bundle.feature_columns())
+
+    def test_no_missing_values_after_generation(self, name):
+        # The paper applies dropna before feature engineering; generators
+        # emit clean frames directly.
+        bundle = load_dataset(name, n_rows=SMALL)
+        for column in bundle.frame.columns:
+            assert bundle.frame[column].notna().all(), column
+
+    def test_names_only_variant_strips_context(self, name):
+        bundle = load_dataset(name, n_rows=SMALL)
+        stripped = bundle.names_only()
+        assert stripped.descriptions == {}
+        assert stripped.title == ""
+        assert stripped.frame is bundle.frame
+
+    def test_field_label(self, name):
+        assert dataset_info(name).field in (
+            "Health", "Finance", "Society", "Education", "Disease", "Sports",
+        )
+
+
+class TestPlantedStructure:
+    """Spot checks that the planted effects exist in the generated data."""
+
+    def test_diabetes_insulin_zero_inflated(self):
+        bundle = load_dataset("diabetes", n_rows=1000)
+        zeros = (bundle.frame["Insulin"] == 0).to_numpy().mean()
+        assert zeros > 0.3  # the divide-by-zero hazard for CAAFE
+
+    def test_diabetes_glucose_signal(self):
+        bundle = load_dataset("diabetes", n_rows=1000)
+        frame = bundle.frame
+        high = frame[frame["Glucose"] > 126]["Outcome"].mean()
+        low = frame[frame["Glucose"] <= 100]["Outcome"].mean()
+        assert high > low + 0.15
+
+    def test_heart_pulse_pressure_signal(self):
+        bundle = load_dataset("heart", n_rows=2000)
+        frame = bundle.frame
+        pulse = frame["SysBP"] - frame["DiaBP"]
+        y = np.asarray(frame["TenYearCHD"].tolist())
+        pp = pulse.to_numpy()
+        assert np.corrcoef(pp, y)[0, 1] > 0.15
+
+    def test_bank_duration_dominates(self):
+        bundle = load_dataset("bank", n_rows=3000)
+        corr = bundle.frame["CallDuration"].corr(bundle.frame["Subscribed"])
+        assert corr > 0.25
+
+    def test_adult_occupation_group_rates_spread(self):
+        bundle = load_dataset("adult", n_rows=4000)
+        rates = bundle.frame.groupby("Occupation")["HighIncome"].agg("mean")
+        values = rates["HighIncome"].tolist()
+        assert max(values) - min(values) > 0.25
+
+    def test_housing_ratio_beats_raw(self):
+        bundle = load_dataset("housing", n_rows=4000)
+        frame = bundle.frame
+        ratio = frame["TotalRooms"] / frame["Households"]
+        raw = frame["TotalRooms"]
+        target = frame["AboveMedianValue"]
+        assert abs(ratio.corr(target)) > abs(raw.corr(target)) + 0.1
+
+    def test_west_nile_city_density_signal(self):
+        from repro.fm import default_knowledge
+
+        bundle = load_dataset("west_nile", n_rows=4000)
+        frame = bundle.frame
+        knowledge = default_knowledge()
+        density = frame["City"].map(
+            lambda c: knowledge.lookup("city_population_density", c)
+        )
+        y = np.asarray(frame["WnvPresent"].tolist())
+        assert np.corrcoef(np.log(density.to_numpy(float)), y)[0, 1] > 0.08
+
+    def test_west_nile_species_rates_spread(self):
+        bundle = load_dataset("west_nile", n_rows=4000)
+        rates = bundle.frame.groupby("Species")["WnvPresent"].agg("mean")
+        values = rates["WnvPresent"].tolist()
+        assert max(values) - min(values) > 0.08
+
+    def test_tennis_differential_beats_raw(self):
+        bundle = load_dataset("tennis", n_rows=900)
+        frame = bundle.frame
+        diff = frame["WNR.1"] - frame["UFE.1"]
+        target = frame["Result"]
+        assert abs(diff.corr(target)) > abs(frame["WNR.1"].corr(target)) + 0.05
+
+    def test_tennis_has_no_categoricals(self):
+        bundle = load_dataset("tennis", n_rows=300)
+        assert bundle.frame.categorical_columns() == []
+
+    def test_lawschool_lsat_linear_signal(self):
+        bundle = load_dataset("lawschool", n_rows=3000)
+        assert bundle.frame["LSAT"].corr(bundle.frame["PassedBar"]) > 0.3

@@ -1,0 +1,38 @@
+"""Additional efficiency-model tests: the Figure 1 cost mechanics."""
+
+import pytest
+
+from repro.datasets import load_dataset
+from repro.eval.efficiency import _row_level_cost
+from repro.fm.cost import CostModel
+
+
+class TestRowLevelCostModel:
+    def test_calls_equal_rows(self):
+        point = _row_level_cost(1234, record_tokens=50, cost_model=CostModel(model="gpt-4"))
+        assert point.n_calls == 1234
+
+    def test_cost_linear_in_rows(self):
+        model = CostModel(model="gpt-4")
+        small = _row_level_cost(100, 50, model)
+        large = _row_level_cost(10_000, 50, model)
+        assert large.cost_usd == pytest.approx(100 * small.cost_usd)
+        assert large.latency_s == pytest.approx(100 * small.latency_s)
+
+    def test_wider_records_cost_more(self):
+        model = CostModel(model="gpt-4")
+        narrow = _row_level_cost(1000, record_tokens=20, cost_model=model)
+        wide = _row_level_cost(1000, record_tokens=200, cost_model=model)
+        assert wide.cost_usd > narrow.cost_usd
+        assert wide.tokens > narrow.tokens
+
+
+class TestProfileIndependence:
+    def test_smartfeat_profile_does_not_scale_with_rows(self):
+        """The heart of Figure 1: the same dataset at 2× the rows yields an
+        identical FM-call count (generation is feature-level)."""
+        from repro.eval.efficiency import smartfeat_call_profile
+
+        small = smartfeat_call_profile(load_dataset("housing", n_rows=200), seed=0)
+        large = smartfeat_call_profile(load_dataset("housing", n_rows=400), seed=0)
+        assert small["n_calls"] == large["n_calls"]

@@ -1,0 +1,65 @@
+"""Unit tests for the evaluation harness."""
+
+import numpy as np
+import pytest
+
+from repro.dataframe import DataFrame
+from repro.eval.harness import NonFiniteFeaturesError, evaluate_models, feature_matrix
+
+
+@pytest.fixture
+def frame():
+    return DataFrame(
+        {
+            "num": [1.0, 2.0, 3.0, 4.0] * 25,
+            "cat": ["a", "b", "a", "c"] * 25,
+            "y": [0, 1, 0, 1] * 25,
+        }
+    )
+
+
+class TestFeatureMatrix:
+    def test_factorises_categoricals(self, frame):
+        X, y, names = feature_matrix(frame, "y")
+        assert names == ["num", "cat"]
+        assert set(np.unique(X[:, 1])) == {0.0, 1.0, 2.0}
+
+    def test_target_excluded(self, frame):
+        _, _, names = feature_matrix(frame, "y")
+        assert "y" not in names
+
+    def test_strict_rejects_infinity(self, frame):
+        frame["bad"] = [float("inf")] + [0.0] * 99
+        with pytest.raises(NonFiniteFeaturesError, match="bad"):
+            feature_matrix(frame, "y")
+
+    def test_strict_imputes_nan(self, frame):
+        frame["gappy"] = [None, 1.0, 2.0, 3.0] * 25
+        X, _, names = feature_matrix(frame, "y")
+        column = X[:, names.index("gappy")]
+        assert np.isfinite(column).all()
+        assert column[0] == 2.0  # median of {1,2,3}
+
+    def test_lenient_masks_everything(self, frame):
+        frame["bad"] = [float("inf"), float("nan")] + [0.0] * 98
+        X, _, _ = feature_matrix(frame, "y", strict=False)
+        assert np.isfinite(X).all()
+
+    def test_no_features_raises(self):
+        with pytest.raises(ValueError):
+            feature_matrix(DataFrame({"y": [0, 1]}), "y")
+
+
+class TestEvaluateModels:
+    def test_returns_percent_auc_per_model(self, frame):
+        out = evaluate_models(frame, "y", models=("lr", "nb"), n_splits=3)
+        assert set(out) == {"lr", "nb"}
+        for value in out.values():
+            assert 0.0 <= value <= 100.0
+
+    def test_strong_signal_high_auc(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, 200)
+        frame = DataFrame({"x": (y * 3 + rng.normal(0, 0.3, 200)).tolist(), "y": y.tolist()})
+        out = evaluate_models(frame, "y", models=("lr",), n_splits=3)
+        assert out["lr"] > 95.0

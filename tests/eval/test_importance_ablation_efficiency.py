@@ -1,0 +1,100 @@
+"""Tests for the Table 6 / Table 7 / Figure 1 machinery."""
+
+import pytest
+
+from repro.datasets import load_dataset
+from repro.eval.ablation import operator_ablation
+from repro.eval.efficiency import interaction_cost_comparison, smartfeat_call_profile
+from repro.eval.importance import importance_table, top_k_new_fraction
+
+
+@pytest.fixture(scope="module")
+def tennis():
+    return load_dataset("tennis", n_rows=350)
+
+
+class TestImportance:
+    def test_fraction_bounds(self, tennis):
+        from repro.core import SmartFeat
+        from repro.fm import SimulatedFM
+
+        result = SmartFeat(fm=SimulatedFM(seed=0), downstream_model="rf").fit_transform(
+            tennis.frame,
+            target=tennis.target,
+            descriptions=tennis.descriptions,
+            title=tennis.title,
+        )
+        ig, rfe, fi = top_k_new_fraction(
+            result.frame, tennis.target, result.new_columns, k=10
+        )
+        for value in (ig, rfe, fi):
+            assert 0.0 <= value <= 1.0
+
+    def test_no_new_features_zero_fraction(self, tennis):
+        ig, rfe, fi = top_k_new_fraction(tennis.frame, tennis.target, [], k=10)
+        assert (ig, rfe, fi) == (0.0, 0.0, 0.0)
+
+    def test_table_rows_for_two_methods(self, tennis):
+        rows = importance_table(tennis, methods=("smartfeat", "featuretools"), k=10)
+        by_method = {row.method: row for row in rows}
+        assert by_method["featuretools"].n_generated > by_method["smartfeat"].n_generated
+        assert by_method["smartfeat"].ig_at_k >= 0.0
+
+    def test_unknown_method_raises(self, tennis):
+        with pytest.raises(ValueError):
+            importance_table(tennis, methods=("mystery",))
+
+
+class TestAblation:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        bundle = load_dataset("tennis", n_rows=350)
+        return operator_ablation(bundle, models=("nb", "rf"), n_splits=3)
+
+    def test_six_rows_in_paper_order(self, rows):
+        assert [r.label for r in rows] == [
+            "Initial", "+Unary", "+Binary", "+High-order", "+Extractor", "all",
+        ]
+
+    def test_initial_has_no_new_features(self, rows):
+        assert rows[0].n_new_features == 0
+
+    def test_high_order_empty_on_tennis(self, rows):
+        # No categorical columns -> nothing to group by (Table 7's flat row).
+        high_order = next(r for r in rows if r.label == "+High-order")
+        assert high_order.n_new_features == 0
+
+    def test_binary_beats_initial_for_nb(self, rows):
+        initial = next(r for r in rows if r.label == "Initial")
+        binary = next(r for r in rows if r.label == "+Binary")
+        assert binary.auc_by_model["nb"] > initial.auc_by_model["nb"]
+
+    def test_average_property(self, rows):
+        row = rows[0]
+        assert row.average == pytest.approx(
+            sum(row.auc_by_model.values()) / len(row.auc_by_model)
+        )
+
+
+class TestEfficiency:
+    def test_row_level_scales_with_rows(self, tennis):
+        points = interaction_cost_comparison(tennis, row_counts=(100, 10_000))
+        row_level = {p.n_rows: p for p in points if p.style == "row_level"}
+        assert row_level[10_000].n_calls == 100 * row_level[100].n_calls
+        assert row_level[10_000].cost_usd > 50 * row_level[100].cost_usd
+
+    def test_feature_level_flat_in_rows(self, tennis):
+        points = interaction_cost_comparison(tennis, row_counts=(100, 10_000))
+        feature_level = [p for p in points if p.style == "feature_level"]
+        assert feature_level[0].n_calls == feature_level[1].n_calls
+        assert feature_level[0].cost_usd == feature_level[1].cost_usd
+
+    def test_feature_level_cheaper_at_scale(self, tennis):
+        points = interaction_cost_comparison(tennis, row_counts=(100_000,))
+        by_style = {p.style: p for p in points}
+        assert by_style["feature_level"].cost_usd < by_style["row_level"].cost_usd / 100
+
+    def test_call_profile_positive(self, tennis):
+        profile = smartfeat_call_profile(tennis)
+        assert profile["n_calls"] > 0
+        assert profile["cost_usd"] > 0

@@ -1,0 +1,90 @@
+"""Tests for the paper-reference comparison machinery."""
+
+import pytest
+
+from repro.eval.paper_reference import (
+    PAPER_TABLE4_AVG,
+    PAPER_TABLE5_MEDIAN,
+    PAPER_TABLE6_TENNIS,
+    PAPER_TABLE7_TENNIS,
+    delta_sign_agreement,
+    render_paper_comparison,
+)
+from repro.eval.runner import MethodOutcome, SweepConfig, SweepResult
+
+
+def _fake_sweep(smartfeat_delta: float) -> SweepResult:
+    config = SweepConfig(datasets=("adult",), methods=("initial", "smartfeat"), models=("lr",))
+    result = SweepResult(config=config)
+    result.outcomes[("adult", "initial")] = MethodOutcome(
+        dataset="adult", method="initial", auc_by_model={"lr": 76.81}
+    )
+    result.outcomes[("adult", "smartfeat")] = MethodOutcome(
+        dataset="adult",
+        method="smartfeat",
+        auc_by_model={"lr": 76.81 * (1 + smartfeat_delta / 100)},
+    )
+    return result
+
+
+class TestPaperNumbers:
+    def test_tables_cover_all_methods_and_datasets(self):
+        for table in (PAPER_TABLE4_AVG, PAPER_TABLE5_MEDIAN):
+            assert set(table) == {"initial", "smartfeat", "caafe", "featuretools", "autofeat"}
+            for row in table.values():
+                assert len(row) == 8
+
+    def test_known_failures_are_none(self):
+        assert PAPER_TABLE4_AVG["caafe"]["diabetes"] is None
+        assert PAPER_TABLE4_AVG["autofeat"]["bank"] is None
+        assert PAPER_TABLE4_AVG["autofeat"]["adult"] is None
+
+    def test_headline_numbers(self):
+        assert PAPER_TABLE4_AVG["smartfeat"]["adult"] == 87.00
+        assert PAPER_TABLE4_AVG["initial"]["adult"] == 76.81
+        assert PAPER_TABLE7_TENNIS["+Extractor"]["nb"] == 90.00
+        assert PAPER_TABLE6_TENNIS["autofeat"][0] == 1978
+
+
+class TestAgreement:
+    def test_matching_sign_counts(self):
+        # Paper's adult smartfeat delta is +13.3%; ours +10% agrees.
+        agreeing, comparable = delta_sign_agreement(_fake_sweep(+10.0))
+        assert (agreeing, comparable) == (1, 1)
+
+    def test_opposite_sign_disagrees(self):
+        agreeing, comparable = delta_sign_agreement(_fake_sweep(-10.0))
+        assert (agreeing, comparable) == (0, 1)
+
+    def test_flat_agrees_with_flat(self):
+        config = SweepConfig(datasets=("bank",), methods=("initial", "smartfeat"), models=("lr",))
+        result = SweepResult(config=config)
+        result.outcomes[("bank", "initial")] = MethodOutcome(
+            dataset="bank", method="initial", auc_by_model={"lr": 91.46}
+        )
+        result.outcomes[("bank", "smartfeat")] = MethodOutcome(
+            dataset="bank", method="smartfeat", auc_by_model={"lr": 91.20}
+        )
+        # Paper bank smartfeat delta ≈ 0; ours −0.3% — both flat -> agree.
+        agreeing, comparable = delta_sign_agreement(result)
+        assert (agreeing, comparable) == (1, 1)
+
+    def test_failures_excluded(self):
+        config = SweepConfig(datasets=("diabetes",), methods=("initial", "caafe"), models=("lr",))
+        result = SweepResult(config=config)
+        result.outcomes[("diabetes", "initial")] = MethodOutcome(
+            dataset="diabetes", method="initial", auc_by_model={"lr": 80.0}
+        )
+        result.outcomes[("diabetes", "caafe")] = MethodOutcome(
+            dataset="diabetes", method="caafe", status="failed"
+        )
+        # The paper cell is "-" too, so nothing is comparable.
+        assert delta_sign_agreement(result) == (0, 0)
+
+
+class TestRendering:
+    def test_comparison_table_renders(self):
+        text = render_paper_comparison(_fake_sweep(+10.0))
+        assert "paper | ours" in text
+        assert "+13.3 | +10.0" in text
+        assert "Delta sign agreement: 1/1" in text

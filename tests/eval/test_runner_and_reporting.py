@@ -1,0 +1,110 @@
+"""Integration tests for the sweep runner and the table renderers."""
+
+import pytest
+
+from repro.eval import SweepConfig, render_auc_table, run_sweep
+from repro.eval.runner import MethodOutcome, SweepResult
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    config = SweepConfig(
+        datasets=("tennis",),
+        methods=("initial", "smartfeat", "featuretools"),
+        models=("lr", "nb"),
+        n_rows=350,
+        n_splits=3,
+        time_limit_s=None,
+    )
+    return run_sweep(config)
+
+
+class TestRunSweep:
+    def test_all_cells_present(self, small_sweep):
+        assert set(small_sweep.outcomes) == {
+            ("tennis", "initial"),
+            ("tennis", "smartfeat"),
+            ("tennis", "featuretools"),
+        }
+
+    def test_initial_has_auc_for_every_model(self, small_sweep):
+        outcome = small_sweep.get("tennis", "initial")
+        assert set(outcome.auc_by_model) == {"lr", "nb"}
+        assert outcome.status == "ok"
+
+    def test_smartfeat_generates_features(self, small_sweep):
+        outcome = small_sweep.get("tennis", "smartfeat")
+        assert outcome.n_generated > 0
+        assert outcome.fm_calls > 0
+        assert outcome.fm_cost_usd > 0
+
+    def test_average_and_median_consistent(self, small_sweep):
+        outcome = small_sweep.get("tennis", "initial")
+        values = sorted(outcome.auc_by_model.values())
+        assert outcome.average_auc == pytest.approx(sum(values) / len(values))
+        assert outcome.median_auc == pytest.approx((values[0] + values[1]) / 2)
+
+    def test_modelled_time_extrapolates(self, small_sweep):
+        outcome = small_sweep.get("tennis", "featuretools")
+        assert outcome.modelled_s >= outcome.wall_s
+
+    def test_tiny_time_limit_records_dnf(self):
+        config = SweepConfig(
+            datasets=("tennis",),
+            methods=("autofeat",),
+            models=("lr",),
+            n_rows=300,
+            n_splits=3,
+            time_limit_s=0.001,
+        )
+        result = run_sweep(config)
+        assert result.get("tennis", "autofeat").status == "dnf"
+
+    def test_unknown_method_raises(self):
+        config = SweepConfig(
+            datasets=("tennis",), methods=("quantum",), models=("lr",), n_rows=300,
+            time_limit_s=None,
+        )
+        with pytest.raises(ValueError):
+            run_sweep(config)
+
+
+class TestRendering:
+    def test_table_shape(self, small_sweep):
+        text = render_auc_table(small_sweep, "average")
+        lines = text.splitlines()
+        assert lines[0].startswith("Method")
+        assert "tennis" in lines[0]
+        assert lines[2].startswith("Initial AUC")
+        assert any(line.startswith("smartfeat") for line in lines)
+
+    def test_median_table(self, small_sweep):
+        assert "Initial AUC" in render_auc_table(small_sweep, "median")
+
+    def test_bad_aggregate_raises(self, small_sweep):
+        with pytest.raises(ValueError):
+            render_auc_table(small_sweep, "mode")
+
+    def test_failed_renders_dash(self):
+        config = SweepConfig(datasets=("d",), methods=("initial", "caafe"), models=("lr",))
+        result = SweepResult(config=config)
+        result.outcomes[("d", "initial")] = MethodOutcome(
+            dataset="d", method="initial", auc_by_model={"lr": 80.0}
+        )
+        result.outcomes[("d", "caafe")] = MethodOutcome(
+            dataset="d", method="caafe", status="failed"
+        )
+        text = render_auc_table(result)
+        caafe_line = next(line for line in text.splitlines() if line.startswith("caafe"))
+        assert "-" in caafe_line
+
+    def test_dnf_renders_dnf(self):
+        config = SweepConfig(datasets=("d",), methods=("initial", "autofeat"), models=("lr",))
+        result = SweepResult(config=config)
+        result.outcomes[("d", "initial")] = MethodOutcome(
+            dataset="d", method="initial", auc_by_model={"lr": 80.0}
+        )
+        result.outcomes[("d", "autofeat")] = MethodOutcome(
+            dataset="d", method="autofeat", status="dnf"
+        )
+        assert "DNF" in render_auc_table(result)

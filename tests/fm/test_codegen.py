@@ -1,0 +1,155 @@
+"""Unit tests for FM code generation (the simulated function generator)."""
+
+import pytest
+
+from repro.core.sandbox import run_transform
+from repro.dataframe import DataFrame, Series
+from repro.fm import default_knowledge
+from repro.fm.codegen import derivation_tag, generate_transform_source, parse_op_tag
+
+
+@pytest.fixture
+def frame():
+    return DataFrame(
+        {
+            "Age": [18, 25, 40, 70],
+            "Income": [10.0, 50.0, 120.0, 80.0],
+            "City": ["SF", "LA", "SF", "SEA"],
+            "Date": ["2024-01-15", "2023-06-02", "2024-03-09", "2022-12-31"],
+            "Claims": [1, 0, 2, 0],
+            "Notes": ["Honda, Civic", "BMW, X5", "Ford, Focus", "Kia, Rio"],
+        }
+    )
+
+
+def realize(description, columns, frame, values=None):
+    source = generate_transform_source(
+        "feat", columns, description, default_knowledge(), column_values=values or {}
+    )
+    return run_transform(source, frame)
+
+
+class TestParseOpTag:
+    def test_plain(self):
+        assert parse_op_tag("log_transform: squash tail") == ("log_transform", [])
+
+    def test_args(self):
+        assert parse_op_tag("bucketization[age_insurance]: bands") == (
+            "bucketization",
+            ["age_insurance"],
+        )
+
+    def test_multiple_args(self):
+        assert parse_op_tag("knowledge_map[a][b]: x") == ("knowledge_map", ["a", "b"])
+
+    def test_natural_text_gives_empty(self):
+        assert parse_op_tag("Age of the policyholder in years") == ("", [])
+
+    def test_derivation_tag_filters_unknown(self):
+        assert derivation_tag("Sex: male or female") == ""
+        assert derivation_tag("binary[-]: difference") == "binary"
+
+
+class TestUnaryCodegen:
+    def test_bucketization_with_domain(self, frame):
+        out = realize("bucketization[age_insurance]: bands", ["Age"], frame)
+        assert isinstance(out, Series)
+        assert out.nunique() >= 2
+
+    def test_bucketization_unknown_domain_falls_back_to_quartiles(self, frame):
+        out = realize("bucketization[unknown_domain]: bands", ["Income"], frame)
+        assert out.notna().all()
+
+    def test_normalization_minmax(self, frame):
+        out = realize("normalization[minmax]: scale", ["Income"], frame)
+        assert out.min() == 0.0 and out.max() == 1.0
+
+    def test_normalization_zscore(self, frame):
+        out = realize("normalization[zscore]: scale", ["Income"], frame)
+        assert abs(out.mean()) < 1e-9
+
+    def test_log_transform_handles_zero(self):
+        frame = DataFrame({"x": [0.0, 10.0]})
+        out = realize("log_transform: squash", ["x"], frame)
+        assert out[0] == 0.0
+
+    def test_squared(self, frame):
+        out = realize("squared: square it", ["Age"], frame)
+        assert out[1] == 625.0
+
+    def test_get_dummies(self, frame):
+        out = realize("get_dummies: one-hot", ["City"], frame)
+        assert isinstance(out, DataFrame)
+        assert "City_SF" in out.columns
+
+    def test_date_split(self, frame):
+        out = realize("date_split: calendar parts", ["Date"], frame)
+        assert out["Date_month"].tolist() == [1, 6, 3, 12]
+
+    def test_text_length(self, frame):
+        out = realize("text_length: length", ["City"], frame)
+        assert out.tolist() == [2, 2, 2, 3]
+
+    def test_is_missing(self):
+        frame = DataFrame({"x": [1.0, None]})
+        out = realize("is_missing: flag", ["x"], frame)
+        assert out.tolist() == [0, 1]
+
+
+class TestBinaryCodegen:
+    def test_subtract(self, frame):
+        out = realize("binary[-]: diff", ["Income", "Age"], frame)
+        assert out[0] == -8.0
+
+    def test_divide_guards_zero(self):
+        frame = DataFrame({"a": [10.0, 10.0], "b": [2.0, 0.0]})
+        out = realize("binary[/]: ratio", ["a", "b"], frame)
+        assert out[0] == 5.0
+        assert out.isna().tolist() == [False, True]  # no inf leaks
+
+    def test_multiply(self, frame):
+        out = realize("binary[*]: product", ["Age", "Claims"], frame)
+        assert out.tolist() == [18.0, 0.0, 80.0, 0.0]
+
+
+class TestHighOrderCodegen:
+    def test_groupby_transform(self, frame):
+        out = realize("groupby[mean]: rate", ["City", "Claims"], frame)
+        assert out[0] == out[2] == 1.5  # SF group mean
+
+
+class TestExtractorCodegen:
+    def test_knowledge_map_uses_agenda_values(self, frame):
+        out = realize(
+            "knowledge_map[city_population_density]: density",
+            ["City"],
+            frame,
+            values={"City": ["SF", "LA", "SEA"]},
+        )
+        assert out[0] == 18630.0
+        assert out[1] == 8300.0
+
+    def test_knowledge_map_default_for_unlisted(self, frame):
+        out = realize(
+            "knowledge_map[city_population_density]: density",
+            ["City"],
+            frame,
+            values={"City": ["SF"]},  # LA/SEA not listed -> default
+        )
+        assert out[1] == out[3]
+
+    def test_split_parts(self, frame):
+        out = realize("split_parts[,]: split", ["Notes"], frame)
+        assert isinstance(out, DataFrame)
+        assert out["Notes_part0"].tolist() == ["Honda", "BMW", "Ford", "Kia"]
+        assert out["Notes_part1"].tolist() == ["Civic", "X5", "Focus", "Rio"]
+
+    def test_composite_index_zero_mean(self, frame):
+        out = realize("composite_index: combo", ["Age", "Income", "Claims"], frame)
+        assert abs(out.mean()) < 1e-9
+
+
+class TestFallback:
+    def test_unknown_tag_returns_identity(self, frame):
+        out = realize("mystery_op: who knows", ["Age"], frame)
+        assert out.tolist() == frame["Age"].tolist()

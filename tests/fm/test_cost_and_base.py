@@ -1,0 +1,103 @@
+"""Unit tests for the FM cost model, ledger, and client protocol."""
+
+import pytest
+
+from repro.fm import CostModel, FMError, RecordingFM, ReplayFM, ScriptedFM, estimate_tokens
+from repro.fm.cost import PRICE_TABLE
+
+
+class TestTokenEstimate:
+    def test_roughly_four_chars_per_token(self):
+        assert estimate_tokens("x" * 400) == 100
+
+    def test_minimum_one(self):
+        assert estimate_tokens("") == 1
+
+
+class TestCostModel:
+    def test_gpt4_pricier_than_gpt35(self):
+        gpt4 = CostModel(model="gpt-4")
+        gpt35 = CostModel(model="gpt-3.5-turbo")
+        assert gpt4.price(1000, 100) > gpt35.price(1000, 100)
+
+    def test_price_linear_in_tokens(self):
+        model = CostModel(model="gpt-4")
+        assert model.price(2000, 200) == pytest.approx(2 * model.price(1000, 100))
+
+    def test_latency_grows_with_completion(self):
+        model = CostModel()
+        assert model.latency(100) > model.latency(10)
+
+    def test_price_table_has_both_paper_models(self):
+        assert "gpt-4" in PRICE_TABLE
+        assert "gpt-3.5-turbo" in PRICE_TABLE
+
+    def test_unknown_model_priced_as_simulated(self):
+        model = CostModel(model="mystery-9000")
+        assert model.price(100, 10) == CostModel(model="simulated").price(100, 10)
+
+
+class TestLedger:
+    def test_accumulates_across_calls(self):
+        client = ScriptedFM(["short", "a considerably longer response body"])
+        client.complete("prompt one")
+        client.complete("prompt two")
+        snap = client.ledger.snapshot()
+        assert snap["n_calls"] == 2
+        assert snap["prompt_tokens"] > 0
+        assert snap["cost_usd"] > 0
+        assert snap["latency_s"] > 0
+
+    def test_reset(self):
+        client = ScriptedFM(["x"])
+        client.complete("p")
+        client.ledger.reset()
+        assert client.ledger.n_calls == 0
+
+    def test_history_kept_when_enabled(self):
+        client = ScriptedFM(["x"])
+        client.ledger.keep_history = True
+        client.complete("p")
+        assert client.ledger.history == [("p", "x")]
+
+
+class TestScriptedFM:
+    def test_sequential_responses(self):
+        client = ScriptedFM(["a", "b"])
+        assert client.complete("1").text == "a"
+        assert client.complete("2").text == "b"
+
+    def test_exhaustion_raises(self):
+        client = ScriptedFM(["only"])
+        client.complete("1")
+        with pytest.raises(FMError):
+            client.complete("2")
+
+    def test_callable_responses(self):
+        client = ScriptedFM(lambda prompt: prompt.upper())
+        assert client.complete("abc").text == "ABC"
+
+
+class TestRecordReplay:
+    def test_roundtrip(self):
+        inner = ScriptedFM(["first", "second"])
+        recorder = RecordingFM(inner)
+        recorder.complete("p1")
+        recorder.complete("p2")
+        replay = ReplayFM(recorder.recording)
+        assert replay.complete("p1").text == "first"
+        assert replay.complete("p2").text == "second"
+
+    def test_strict_replay_detects_prompt_drift(self):
+        replay = ReplayFM([("expected prompt", "resp")])
+        with pytest.raises(FMError):
+            replay.complete("completely different prompt" + "x" * 150)
+
+    def test_replay_exhaustion(self):
+        replay = ReplayFM([])
+        with pytest.raises(FMError):
+            replay.complete("p")
+
+    def test_lenient_replay(self):
+        replay = ReplayFM([("original", "resp")], strict=False)
+        assert replay.complete("anything").text == "resp"

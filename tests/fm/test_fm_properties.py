@@ -1,0 +1,71 @@
+"""Property-based tests for FM substrate invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fm import CostModel, KnowledgeStore, estimate_tokens
+from repro.fm.lexicon import infer_role, stat_polarity, tokenize_identifier
+
+texts = st.text(min_size=0, max_size=300)
+identifiers = st.from_regex(r"[A-Za-z][A-Za-z0-9_. ]{0,30}", fullmatch=True)
+
+
+@given(texts)
+def test_token_estimate_positive_and_monotone(text):
+    n = estimate_tokens(text)
+    assert n >= 1
+    assert estimate_tokens(text + "xxxx") >= n
+
+
+@given(st.integers(min_value=0, max_value=10**6), st.integers(min_value=0, max_value=10**5))
+def test_cost_non_negative_and_additive(prompt_tokens, completion_tokens):
+    model = CostModel(model="gpt-4")
+    cost = model.price(prompt_tokens, completion_tokens)
+    assert cost >= 0.0
+    # Doubling both token counts exactly doubles the price.
+    assert abs(model.price(2 * prompt_tokens, 2 * completion_tokens) - 2 * cost) < 1e-12
+
+
+@given(st.integers(min_value=0, max_value=10**5))
+def test_latency_at_least_base(completion_tokens):
+    model = CostModel()
+    assert model.latency(completion_tokens) >= model.base_latency_s
+
+
+@given(identifiers)
+def test_tokenizer_always_lowercase_tokens(name):
+    for token in tokenize_identifier(name):
+        assert token == token.lower()
+        assert token  # never empty
+
+
+@given(identifiers, texts)
+def test_infer_role_total(name, description):
+    # Role inference never raises, whatever the inputs.
+    infer_role(name, description)
+
+
+@given(identifiers, texts)
+def test_polarity_in_range(name, description):
+    assert stat_polarity(name, description) in (-1, 0, 1)
+
+
+@settings(max_examples=50)
+@given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz ", min_size=1, max_size=20))
+def test_knowledge_guesses_stable_and_in_range(key):
+    store = KnowledgeStore()
+    for topic in store.topics:
+        first = store.lookup(topic, key)
+        second = store.lookup(topic, key)
+        assert first == second
+        low, high = store._guess_ranges[topic]
+        if not store.knows(topic, key):
+            assert low <= first <= high
+
+
+@settings(max_examples=25)
+@given(st.lists(st.text(alphabet="ABCDEFGH", min_size=1, max_size=4), min_size=1, max_size=8, unique=True))
+def test_mapping_for_covers_all_keys(keys):
+    store = KnowledgeStore()
+    mapping = store.mapping_for("city_population_density", keys)
+    assert set(mapping) == set(keys)

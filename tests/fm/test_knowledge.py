@@ -1,0 +1,66 @@
+"""Unit tests for the open-world knowledge store."""
+
+import pytest
+
+from repro.fm import KnowledgeStore, default_knowledge
+
+
+class TestKnowledgeStore:
+    def test_curated_lookup(self):
+        store = KnowledgeStore()
+        assert store.lookup("city_population_density", "SF") == 18630.0
+        assert store.knows("city_population_density", "SF")
+
+    def test_abbreviation_and_full_name_agree(self):
+        store = KnowledgeStore()
+        assert store.lookup("city_population_density", "SF") == store.lookup(
+            "city_population_density", "San Francisco"
+        )
+
+    def test_unseen_key_gets_stable_plausible_guess(self):
+        store = KnowledgeStore()
+        a = store.lookup("city_population_density", "Smallville")
+        b = store.lookup("city_population_density", "Smallville")
+        assert a == b
+        assert 1500.0 <= a <= 6000.0
+        assert not store.knows("city_population_density", "Smallville")
+
+    def test_different_keys_guess_differently(self):
+        store = KnowledgeStore()
+        assert store.lookup("car_make_risk", "Xyzcar") != store.lookup(
+            "car_make_risk", "Qwkcar"
+        )
+
+    def test_unknown_topic_raises(self):
+        with pytest.raises(KeyError):
+            KnowledgeStore().lookup("lottery_numbers", "tomorrow")
+
+    def test_mapping_for(self):
+        store = KnowledgeStore()
+        mapping = store.mapping_for("car_make_risk", ["Honda", "BMW"])
+        assert mapping["BMW"] > mapping["Honda"]
+
+    def test_default_within_guess_range(self):
+        store = KnowledgeStore()
+        assert 1500.0 <= store.default_for("city_population_density") <= 6000.0
+
+    def test_thresholds(self):
+        store = KnowledgeStore()
+        bands = store.thresholds("age_insurance")
+        assert 21 in bands
+        assert bands == sorted(bands)
+
+    def test_unknown_threshold_domain_raises(self):
+        with pytest.raises(KeyError):
+            KnowledgeStore().thresholds("shoe_sizes")
+
+    def test_sources_always_nonempty(self):
+        store = KnowledgeStore()
+        assert store.sources_for("city_population_density")
+        assert store.sources_for("never_heard_of_it")
+
+    def test_default_knowledge_is_shared_instance(self):
+        assert default_knowledge() is default_knowledge()
+
+    def test_topics_listing(self):
+        assert "car_make_risk" in KnowledgeStore().topics

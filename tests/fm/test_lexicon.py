@@ -1,0 +1,63 @@
+"""Unit tests for semantic column-role inference."""
+
+import pytest
+
+from repro.fm import ColumnRole, infer_role
+from repro.fm.lexicon import tokenize_identifier
+
+
+class TestTokenizer:
+    def test_camel_case(self):
+        assert tokenize_identifier("AgeOfCar") == ["age", "of", "car"]
+
+    def test_snake_case(self):
+        assert tokenize_identifier("age_of_car") == ["age", "of", "car"]
+
+    def test_dotted_abbreviation(self):
+        assert tokenize_identifier("FSW.1") == ["fsw", "1"]
+
+    def test_mixed(self):
+        assert tokenize_identifier("Claim in last 6 months") == [
+            "claim", "in", "last", "6", "months",
+        ]
+
+
+class TestRoleInference:
+    @pytest.mark.parametrize(
+        "name,description,expected",
+        [
+            ("Age", "", ColumnRole.AGE),
+            ("Age of car", "Age of the insured car", ColumnRole.AGE),
+            ("City", "City of residence", ColumnRole.CITY),
+            ("income", "annual income in dollars", ColumnRole.MONEY),
+            ("Glucose", "plasma glucose concentration", ColumnRole.MEASUREMENT),
+            ("BloodPressure", "diastolic blood pressure", ColumnRole.MEASUREMENT),
+            ("n_children", "", ColumnRole.COUNT),
+            ("LSAT", "LSAT score of the applicant", ColumnRole.SCORE),
+            ("MakeModel", "Make and model of the car", ColumnRole.VEHICLE),
+            ("signup_date", "", ColumnRole.DATE),
+            ("customer_id", "unique identifier", ColumnRole.IDENTIFIER),
+            ("occupation", "", ColumnRole.OCCUPATION),
+            ("education", "highest degree", ColumnRole.EDUCATION),
+            ("species", "mosquito species", ColumnRole.SPECIES),
+        ],
+    )
+    def test_roles(self, name, description, expected):
+        assert infer_role(name, description) == expected
+
+    def test_description_beats_cryptic_name(self):
+        role = infer_role("FSW.1", "First serve percentage for player 1")
+        assert role in (ColumnRole.SCORE, ColumnRole.PERCENTAGE)
+        assert role != ColumnRole.UNKNOWN
+
+    def test_cryptic_name_alone_is_unknown(self):
+        assert infer_role("FSW.1") == ColumnRole.UNKNOWN
+
+    def test_categorical_dtype_fallback(self):
+        assert infer_role("blah", dtype="categorical") == ColumnRole.CATEGORY
+
+    def test_unknown_numeric(self):
+        assert infer_role("xyz_q") == ColumnRole.UNKNOWN
+
+    def test_city_beats_generic_location_order(self):
+        assert infer_role("city_name") == ColumnRole.CITY

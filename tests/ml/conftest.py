@@ -1,0 +1,25 @@
+"""Shared fixtures for ML substrate tests."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(scope="module")
+def linear_problem():
+    """A linearly separable-ish binary problem (n=600, d=6)."""
+    rng = np.random.default_rng(7)
+    X = rng.normal(size=(600, 6))
+    logit = 2.0 * X[:, 0] - 1.5 * X[:, 1] + 0.5 * X[:, 2]
+    y = (rng.uniform(size=600) < 1 / (1 + np.exp(-logit))).astype(int)
+    return X, y
+
+
+@pytest.fixture(scope="module")
+def nonlinear_problem():
+    """An interaction/XOR-style problem that linear models cannot solve."""
+    rng = np.random.default_rng(11)
+    X = rng.normal(size=(800, 5))
+    y = ((X[:, 0] * X[:, 1]) > 0).astype(int)
+    flip = rng.uniform(size=800) < 0.05
+    y = np.where(flip, 1 - y, y)
+    return X, y

@@ -1,0 +1,65 @@
+"""Unit tests for estimator base utilities and the model registry."""
+
+import numpy as np
+import pytest
+
+from repro.ml import MODEL_NAMES, clone, make_model
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.linear import LogisticRegression
+from repro.ml.naive_bayes import GaussianNB
+from repro.ml.neural import MLPClassifier
+
+
+class TestBaseEstimator:
+    def test_get_params(self):
+        model = RandomForestClassifier(n_estimators=7, max_depth=3)
+        params = model.get_params()
+        assert params["n_estimators"] == 7
+        assert params["max_depth"] == 3
+
+    def test_set_params(self):
+        model = LogisticRegression()
+        model.set_params(C=0.5)
+        assert model.C == 0.5
+
+    def test_set_invalid_param_raises(self):
+        with pytest.raises(ValueError):
+            LogisticRegression().set_params(bogus=1)
+
+    def test_repr_contains_params(self):
+        assert "C=1.0" in repr(LogisticRegression())
+
+    def test_clone_resets_fitted_state(self):
+        X = np.random.default_rng(0).normal(size=(50, 2))
+        y = np.array([0, 1] * 25)
+        model = LogisticRegression().fit(X, y)
+        fresh = clone(model)
+        assert fresh.coef_ is None
+        assert fresh.C == model.C
+
+
+class TestRegistry:
+    def test_all_five_models_constructible(self):
+        for name in MODEL_NAMES:
+            model = make_model(name)
+            assert hasattr(model, "fit")
+
+    def test_aliases(self):
+        assert isinstance(make_model("random_forest"), RandomForestClassifier)
+        assert isinstance(make_model("naive_bayes"), GaussianNB)
+        assert isinstance(make_model("mlp"), MLPClassifier)
+        assert isinstance(make_model("linear_regression"), LogisticRegression)
+
+    def test_case_insensitive(self):
+        assert isinstance(make_model("RF"), RandomForestClassifier)
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            make_model("svm")
+
+    def test_dnn_matches_paper_architecture(self):
+        dnn = make_model("dnn")
+        assert dnn.hidden == (100, 100)
+
+    def test_seed_passed_to_stochastic_models(self):
+        assert make_model("rf", seed=5).seed == 5

@@ -1,0 +1,86 @@
+"""Unit tests for :mod:`repro.ml.feature_selection`."""
+
+import numpy as np
+import pytest
+
+from repro.ml import mutual_info_classif, rfe_ranking, tree_feature_importance
+from repro.ml.feature_selection import top_k_features
+from repro.ml.forest import RandomForestClassifier
+
+
+@pytest.fixture(scope="module")
+def signal_and_noise():
+    """Column 0 is highly informative, 1 weakly, 2-4 pure noise."""
+    rng = np.random.default_rng(21)
+    n = 800
+    y = rng.integers(0, 2, size=n)
+    strong = y * 2.0 + rng.normal(0, 0.3, size=n)
+    weak = y * 0.4 + rng.normal(0, 1.0, size=n)
+    noise = rng.normal(size=(n, 3))
+    X = np.column_stack([strong, weak, noise])
+    return X, y
+
+
+class TestMutualInfo:
+    def test_ranks_signal_over_noise(self, signal_and_noise):
+        X, y = signal_and_noise
+        mi = mutual_info_classif(X, y)
+        assert mi[0] == mi.max()
+        assert mi[0] > mi[2]
+
+    def test_non_negative(self, signal_and_noise):
+        X, y = signal_and_noise
+        assert (mutual_info_classif(X, y) >= 0).all()
+
+    def test_independent_feature_near_zero(self, signal_and_noise):
+        X, y = signal_and_noise
+        mi = mutual_info_classif(X, y)
+        assert mi[2] < 0.05
+
+    def test_low_cardinality_uses_exact_bins(self):
+        rng = np.random.default_rng(3)
+        x = rng.integers(0, 2, size=400).astype(float)
+        y = x.astype(int)  # perfectly dependent
+        mi = mutual_info_classif(x.reshape(-1, 1), y)
+        assert mi[0] == pytest.approx(np.log(2), rel=0.05)
+
+
+class TestRfe:
+    def test_ranking_is_permutation(self, signal_and_noise):
+        X, y = signal_and_noise
+        ranking = rfe_ranking(X, y)
+        assert sorted(ranking.tolist()) == list(range(1, X.shape[1] + 1))
+
+    def test_signal_ranked_first(self, signal_and_noise):
+        X, y = signal_and_noise
+        ranking = rfe_ranking(X, y)
+        assert ranking[0] == 1
+
+    def test_tree_estimator_supported(self, signal_and_noise):
+        X, y = signal_and_noise
+        ranking = rfe_ranking(
+            X, y, estimator=RandomForestClassifier(n_estimators=5, max_depth=4)
+        )
+        assert ranking[0] <= 2
+
+
+class TestTreeImportance:
+    def test_signal_dominates(self, signal_and_noise):
+        X, y = signal_and_noise
+        fi = tree_feature_importance(X, y, n_estimators=10)
+        assert fi[0] == fi.max()
+
+    def test_normalised(self, signal_and_noise):
+        X, y = signal_and_noise
+        fi = tree_feature_importance(X, y, n_estimators=5)
+        assert fi.sum() == pytest.approx(1.0)
+
+
+class TestTopK:
+    def test_selects_highest(self):
+        names = ["a", "b", "c"]
+        assert top_k_features(np.array([0.1, 0.9, 0.5]), names, k=2) == ["b", "c"]
+
+    def test_stable_on_ties(self):
+        names = ["a", "b", "c"]
+        assert top_k_features(np.array([0.5, 0.5, 0.5]), names, k=2) == ["a", "b"]

@@ -1,0 +1,71 @@
+"""Unit tests for :mod:`repro.ml.metrics`."""
+
+import numpy as np
+import pytest
+
+from repro.ml import accuracy_score, log_loss, roc_auc_score
+
+
+class TestRocAuc:
+    def test_perfect_ranking_is_one(self):
+        y = np.array([0, 0, 1, 1])
+        s = np.array([0.1, 0.2, 0.8, 0.9])
+        assert roc_auc_score(y, s) == 1.0
+
+    def test_inverted_ranking_is_zero(self):
+        y = np.array([0, 0, 1, 1])
+        s = np.array([0.9, 0.8, 0.2, 0.1])
+        assert roc_auc_score(y, s) == 0.0
+
+    def test_random_constant_scores_give_half(self):
+        y = np.array([0, 1, 0, 1])
+        s = np.zeros(4)
+        assert roc_auc_score(y, s) == 0.5
+
+    def test_ties_count_half(self):
+        y = np.array([0, 1, 1])
+        s = np.array([0.5, 0.5, 0.9])
+        # Pairs: (neg .5, pos .5) tie -> 0.5; (neg .5, pos .9) win -> 1.
+        assert roc_auc_score(y, s) == pytest.approx(0.75)
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError):
+            roc_auc_score(np.array([1, 1]), np.array([0.5, 0.6]))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            roc_auc_score(np.array([0, 1]), np.array([0.5]))
+
+    def test_antisymmetry(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, size=50)
+        y[0], y[1] = 0, 1
+        s = rng.uniform(size=50)
+        assert roc_auc_score(y, s) + roc_auc_score(y, -s) == pytest.approx(1.0)
+
+    def test_monotone_transform_invariance(self):
+        rng = np.random.default_rng(1)
+        y = np.array([0, 1] * 20)
+        s = rng.uniform(size=40)
+        assert roc_auc_score(y, s) == pytest.approx(roc_auc_score(y, np.exp(3 * s)))
+
+
+class TestAccuracy:
+    def test_basic(self):
+        assert accuracy_score([0, 1, 1], [0, 1, 0]) == pytest.approx(2 / 3)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            accuracy_score([], [])
+
+
+class TestLogLoss:
+    def test_confident_correct_is_small(self):
+        assert log_loss([1, 0], [0.99, 0.01]) < 0.02
+
+    def test_confident_wrong_is_large(self):
+        assert log_loss([1], [0.01]) > 4.0
+
+    def test_probability_clipping(self):
+        # Exactly 0/1 probabilities must not produce infinities.
+        assert np.isfinite(log_loss([1, 0], [0.0, 1.0]))

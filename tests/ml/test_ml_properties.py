@@ -1,0 +1,88 @@
+"""Property-based tests for ML substrate invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.ml import (
+    DecisionTreeClassifier,
+    MinMaxScaler,
+    StandardScaler,
+    roc_auc_score,
+)
+from repro.ml.metrics import log_loss
+
+scores_strategy = hnp.arrays(
+    np.float64,
+    st.integers(min_value=4, max_value=60),
+    elements=st.floats(min_value=-100, max_value=100, allow_nan=False),
+)
+
+
+@given(scores_strategy, st.randoms(use_true_random=False))
+def test_auc_bounded_and_antisymmetric(scores, rnd):
+    n = len(scores)
+    y = np.array([rnd.randint(0, 1) for _ in range(n)])
+    y[0], y[1] = 0, 1  # both classes present
+    auc = roc_auc_score(y, scores)
+    assert 0.0 <= auc <= 1.0
+    assert abs(auc + roc_auc_score(y, -scores) - 1.0) < 1e-9
+
+
+@given(scores_strategy)
+def test_auc_of_labels_as_scores_is_perfect(scores):
+    n = len(scores)
+    y = np.zeros(n, dtype=int)
+    y[: n // 2] = 1
+    assert roc_auc_score(y, y.astype(float)) == 1.0
+
+
+@settings(max_examples=30)
+@given(
+    hnp.arrays(
+        np.float64,
+        st.tuples(st.integers(5, 40), st.integers(1, 5)),
+        elements=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    )
+)
+def test_scaler_inverse_roundtrip(X):
+    for scaler in (StandardScaler(), MinMaxScaler()):
+        restored = scaler.inverse_transform(scaler.fit_transform(X))
+        assert np.allclose(restored, X, rtol=1e-6, atol=1e-6)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=10, max_value=80), st.integers(min_value=0, max_value=1000))
+def test_unbounded_tree_memorises_training_data(n, seed):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 3))
+    # Distinct rows are almost sure; labels arbitrary.
+    y = rng.integers(0, 2, size=n)
+    y[0], y[1] = 0, 1
+    tree = DecisionTreeClassifier().fit(X, y)
+    assert (tree.predict(X) == y).all()
+
+
+@settings(max_examples=30)
+@given(
+    st.lists(st.floats(min_value=0.01, max_value=0.99), min_size=2, max_size=30),
+    st.randoms(use_true_random=False),
+)
+def test_log_loss_non_negative(probs, rnd):
+    y = np.array([rnd.randint(0, 1) for _ in probs])
+    assert log_loss(y, np.array(probs)) >= 0.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=20, max_value=100), st.integers(min_value=0, max_value=50))
+def test_tree_importances_valid_simplex(n, seed):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 4))
+    y = (X[:, 0] > 0).astype(int)
+    if len(np.unique(y)) < 2:
+        y[0] = 1 - y[0]
+    tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+    fi = tree.feature_importances_
+    assert (fi >= 0).all()
+    assert abs(fi.sum() - 1.0) < 1e-9 or fi.sum() == 0.0

@@ -1,0 +1,113 @@
+"""Unit tests for :mod:`repro.ml.model_selection`."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    GaussianNB,
+    KFold,
+    LogisticRegression,
+    StratifiedKFold,
+    cross_val_auc,
+    train_test_split,
+)
+
+
+class TestTrainTestSplit:
+    def test_default_quarter_test(self):
+        X = np.arange(100).reshape(-1, 1)
+        y = np.array([0, 1] * 50)
+        X_train, X_test, y_train, y_test = train_test_split(X, y)
+        assert len(X_test) == 24  # round(12.5) = 12 per class under stratification
+        assert len(X_train) + len(X_test) == 100
+
+    def test_stratification_preserves_balance(self):
+        y = np.array([0] * 80 + [1] * 20)
+        X = np.zeros((100, 1))
+        _, _, _, y_test = train_test_split(X, y, seed=5)
+        assert 0.15 <= y_test.mean() <= 0.25
+
+    def test_no_row_duplication_or_loss(self):
+        X = np.arange(40).reshape(-1, 1)
+        y = np.array([0, 1] * 20)
+        X_train, X_test, _, _ = train_test_split(X, y, seed=2)
+        combined = sorted(X_train[:, 0].tolist() + X_test[:, 0].tolist())
+        assert combined == list(range(40))
+
+    def test_deterministic(self):
+        X = np.arange(30).reshape(-1, 1)
+        y = np.array([0, 1] * 15)
+        a = train_test_split(X, y, seed=9)
+        b = train_test_split(X, y, seed=9)
+        assert np.array_equal(a[0], b[0])
+
+    def test_unstratified(self):
+        X = np.arange(20).reshape(-1, 1)
+        y = np.zeros(20)
+        X_train, X_test, _, _ = train_test_split(X, y, stratify=False, seed=0)
+        assert len(X_test) == 5
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((3, 1)), np.zeros(2))
+
+
+class TestKFold:
+    def test_partitions_everything_exactly_once(self):
+        kf = KFold(n_splits=4, seed=0)
+        seen = []
+        for _, test_idx in kf.split(23):
+            seen.extend(test_idx.tolist())
+        assert sorted(seen) == list(range(23))
+
+    def test_train_test_disjoint(self):
+        for train_idx, test_idx in KFold(n_splits=3).split(12):
+            assert not set(train_idx) & set(test_idx)
+
+    def test_too_few_samples_raises(self):
+        with pytest.raises(ValueError):
+            list(KFold(n_splits=5).split(3))
+
+    def test_bad_n_splits_raises(self):
+        with pytest.raises(ValueError):
+            KFold(n_splits=1)
+
+
+class TestStratifiedKFold:
+    def test_every_fold_has_both_classes(self):
+        y = np.array([0] * 40 + [1] * 10)
+        for _, test_idx in StratifiedKFold(n_splits=5).split(y):
+            assert set(y[test_idx]) == {0, 1}
+
+    def test_partitions_everything_exactly_once(self):
+        y = np.array([0, 1] * 25)
+        seen = []
+        for _, test_idx in StratifiedKFold(n_splits=5).split(y):
+            seen.extend(test_idx.tolist())
+        assert sorted(seen) == list(range(50))
+
+
+class TestCrossValAuc:
+    def test_returns_requested_fold_count(self, linear_problem):
+        X, y = linear_problem
+        scores = cross_val_auc(LogisticRegression(), X, y, n_splits=5)
+        assert len(scores) == 5
+        assert all(0.0 <= s <= 1.0 for s in scores)
+
+    def test_informative_beats_noise(self, linear_problem):
+        X, y = linear_problem
+        rng = np.random.default_rng(0)
+        noise = rng.normal(size=X.shape)
+        good = np.mean(cross_val_auc(GaussianNB(), X, y, n_splits=4))
+        bad = np.mean(cross_val_auc(GaussianNB(), noise, y, n_splits=4))
+        assert good > bad + 0.2
+
+    def test_model_left_unfitted(self, linear_problem):
+        X, y = linear_problem
+        model = LogisticRegression()
+        cross_val_auc(model, X, y, n_splits=3)
+        assert model.coef_ is None  # clones were fitted, not the original
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError):
+            cross_val_auc(GaussianNB(), np.zeros((20, 1)), np.zeros(20), n_splits=3)

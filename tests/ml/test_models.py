@@ -1,0 +1,230 @@
+"""Unit tests for the five downstream classifiers."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    DecisionTreeClassifier,
+    ExtraTreesClassifier,
+    GaussianNB,
+    LinearRegressionScorer,
+    LogisticRegression,
+    MLPClassifier,
+    RandomForestClassifier,
+    roc_auc_score,
+    train_test_split,
+)
+
+ALL_MODELS = [
+    LogisticRegression(),
+    LinearRegressionScorer(),
+    GaussianNB(),
+    DecisionTreeClassifier(max_depth=6),
+    RandomForestClassifier(n_estimators=10, max_depth=6),
+    ExtraTreesClassifier(n_estimators=10, max_depth=6),
+    MLPClassifier(hidden=(16, 16), max_epochs=25),
+]
+
+
+@pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: type(m).__name__)
+class TestEstimatorContract:
+    def test_beats_chance_on_linear_problem(self, model, linear_problem):
+        X, y = linear_problem
+        X_train, X_test, y_train, y_test = train_test_split(X, y, seed=0)
+        model.fit(X_train, y_train)
+        auc = roc_auc_score(y_test, model.predict_proba(X_test)[:, 1])
+        assert auc > 0.75, f"{type(model).__name__} AUC {auc:.3f}"
+
+    def test_predict_proba_valid_distribution(self, model, linear_problem):
+        X, y = linear_problem
+        model.fit(X, y)
+        probs = model.predict_proba(X[:50])
+        assert probs.shape == (50, 2)
+        assert np.all(probs >= 0) and np.all(probs <= 1)
+        assert np.allclose(probs.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_predict_is_binary(self, model, linear_problem):
+        X, y = linear_problem
+        model.fit(X, y)
+        preds = model.predict(X[:50])
+        assert set(np.unique(preds)) <= {0, 1}
+
+
+class TestLogisticRegression:
+    def test_coefficients_recover_signal_direction(self, linear_problem):
+        X, y = linear_problem
+        model = LogisticRegression().fit(X, y)
+        assert model.coef_[0] > 0
+        assert model.coef_[1] < 0
+
+    def test_regularisation_shrinks_weights(self, linear_problem):
+        X, y = linear_problem
+        loose = LogisticRegression(C=100.0).fit(X, y)
+        tight = LogisticRegression(C=0.01).fit(X, y)
+        assert np.abs(tight.coef_).sum() < np.abs(loose.coef_).sum()
+
+    def test_non_binary_target_raises(self):
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(np.zeros((3, 1)), np.array([0, 1, 2]))
+
+    def test_1d_input_raises(self):
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(np.zeros(3), np.array([0, 1, 0]))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            LogisticRegression().predict(np.zeros((1, 2)))
+
+
+class TestGaussianNB:
+    def test_priors_sum_to_one(self, linear_problem):
+        X, y = linear_problem
+        model = GaussianNB().fit(X, y)
+        assert model.class_prior_.sum() == pytest.approx(1.0)
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError):
+            GaussianNB().fit(np.zeros((3, 1)), np.array([1, 1, 1]))
+
+    def test_zero_variance_feature_smoothed(self):
+        X = np.array([[1.0, 0.0], [1.0, 1.0], [1.0, 0.5], [1.0, 0.9]])
+        y = np.array([0, 1, 0, 1])
+        model = GaussianNB().fit(X, y)
+        assert np.isfinite(model.predict_proba(X)).all()
+
+
+class TestDecisionTree:
+    def test_fits_training_data_perfectly_unbounded(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(100, 4))
+        y = rng.integers(0, 2, size=100)
+        y[0], y[1] = 0, 1
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert (tree.predict(X) == y).all()
+
+    def test_max_depth_respected(self, linear_problem):
+        X, y = linear_problem
+        tree = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        assert tree.depth <= 3
+
+    def test_min_samples_leaf_limits_nodes(self, linear_problem):
+        X, y = linear_problem
+        big = DecisionTreeClassifier(min_samples_leaf=1).fit(X, y)
+        small = DecisionTreeClassifier(min_samples_leaf=50).fit(X, y)
+        assert small.node_count < big.node_count
+
+    def test_feature_importances_sum_to_one(self, linear_problem):
+        X, y = linear_problem
+        tree = DecisionTreeClassifier(max_depth=5).fit(X, y)
+        assert tree.feature_importances_.sum() == pytest.approx(1.0)
+
+    def test_importances_favour_signal_features(self, linear_problem):
+        X, y = linear_problem
+        tree = DecisionTreeClassifier(max_depth=5).fit(X, y)
+        assert tree.feature_importances_[0] > tree.feature_importances_[5]
+
+    def test_solves_xor_unlike_linear(self, nonlinear_problem):
+        X, y = nonlinear_problem
+        X_train, X_test, y_train, y_test = train_test_split(X, y, seed=1)
+        tree_auc = roc_auc_score(
+            y_test,
+            DecisionTreeClassifier(max_depth=8)
+            .fit(X_train, y_train)
+            .predict_proba(X_test)[:, 1],
+        )
+        linear_auc = roc_auc_score(
+            y_test,
+            LogisticRegression().fit(X_train, y_train).predict_proba(X_test)[:, 1],
+        )
+        # Greedy trees find XOR only after the first (signal-free) split, so
+        # the bar is "clearly better than linear", not "near-perfect".
+        assert tree_auc > 0.8
+        assert linear_auc < 0.65
+
+    def test_nan_input_raises(self):
+        X = np.array([[np.nan], [1.0]])
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(X, np.array([0, 1]))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_constant_features_make_single_leaf(self):
+        X = np.ones((20, 3))
+        y = np.array([0, 1] * 10)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.node_count == 1
+        assert tree.predict_proba(X)[0, 1] == pytest.approx(0.5)
+
+    def test_bad_splitter_raises(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(splitter="worst")
+
+
+class TestForests:
+    def test_forest_beats_single_tree_on_noise(self, nonlinear_problem):
+        X, y = nonlinear_problem
+        X_train, X_test, y_train, y_test = train_test_split(X, y, seed=2)
+        tree = DecisionTreeClassifier(max_depth=3, seed=0).fit(X_train, y_train)
+        forest = RandomForestClassifier(n_estimators=20, max_depth=3, seed=0).fit(
+            X_train, y_train
+        )
+        tree_auc = roc_auc_score(y_test, tree.predict_proba(X_test)[:, 1])
+        forest_auc = roc_auc_score(y_test, forest.predict_proba(X_test)[:, 1])
+        assert forest_auc >= tree_auc - 0.02
+
+    def test_importances_normalised(self, linear_problem):
+        X, y = linear_problem
+        forest = RandomForestClassifier(n_estimators=5, max_depth=4).fit(X, y)
+        assert forest.feature_importances_.sum() == pytest.approx(1.0)
+
+    def test_deterministic_under_seed(self, linear_problem):
+        X, y = linear_problem
+        a = RandomForestClassifier(n_estimators=5, seed=42).fit(X, y)
+        b = RandomForestClassifier(n_estimators=5, seed=42).fit(X, y)
+        assert np.allclose(a.predict_proba(X), b.predict_proba(X))
+
+    def test_extra_trees_uses_all_rows(self, linear_problem):
+        X, y = linear_problem
+        et = ExtraTreesClassifier(n_estimators=3, seed=0)
+        assert et._bootstrap is False
+        et.fit(X, y)
+        assert len(et.estimators_) == 3
+
+    def test_zero_estimators_raises(self, linear_problem):
+        X, y = linear_problem
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_estimators=0).fit(X, y)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            RandomForestClassifier().predict(np.zeros((1, 2)))
+
+
+class TestMLP:
+    def test_learns_xor(self, nonlinear_problem):
+        X, y = nonlinear_problem
+        X_train, X_test, y_train, y_test = train_test_split(X, y, seed=3)
+        mlp = MLPClassifier(hidden=(32, 32), max_epochs=60, seed=0).fit(X_train, y_train)
+        auc = roc_auc_score(y_test, mlp.predict_proba(X_test)[:, 1])
+        assert auc > 0.9
+
+    def test_early_stopping_triggers(self, linear_problem):
+        X, y = linear_problem
+        mlp = MLPClassifier(hidden=(8, 8), max_epochs=500, patience=3, seed=0).fit(X, y)
+        assert mlp.n_epochs_ < 500
+
+    def test_deterministic_under_seed(self, linear_problem):
+        X, y = linear_problem
+        a = MLPClassifier(hidden=(8, 8), max_epochs=5, seed=9).fit(X, y)
+        b = MLPClassifier(hidden=(8, 8), max_epochs=5, seed=9).fit(X, y)
+        assert np.allclose(a.predict_proba(X), b.predict_proba(X))
+
+    def test_nan_raises(self):
+        with pytest.raises(ValueError):
+            MLPClassifier().fit(np.array([[np.nan]]), np.array([1]))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            MLPClassifier().predict_proba(np.zeros((1, 2)))

@@ -1,0 +1,77 @@
+"""Unit tests for :mod:`repro.ml.neighbors` and the paper's KNN claim."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    KNeighborsClassifier,
+    StandardScaler,
+    make_model,
+    roc_auc_score,
+    train_test_split,
+)
+
+
+class TestKNN:
+    def test_memorises_with_k1(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(60, 3))
+        y = rng.integers(0, 2, 60)
+        knn = KNeighborsClassifier(n_neighbors=1).fit(X, y)
+        assert (knn.predict(X) == y).all()
+
+    def test_beats_chance(self, linear_problem):
+        X, y = linear_problem
+        X_train, X_test, y_train, y_test = train_test_split(X, y, seed=0)
+        knn = KNeighborsClassifier(n_neighbors=7).fit(X_train, y_train)
+        auc = roc_auc_score(y_test, knn.predict_proba(X_test)[:, 1])
+        assert auc > 0.75
+
+    def test_proba_is_neighbor_fraction(self):
+        X = np.array([[0.0], [0.1], [0.2], [10.0]])
+        y = np.array([1, 1, 0, 0])
+        knn = KNeighborsClassifier(n_neighbors=3).fit(X, y)
+        assert knn.predict_proba(np.array([[0.05]]))[0, 1] == pytest.approx(2 / 3)
+
+    def test_invalid_k_raises(self):
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(n_neighbors=0)
+
+    def test_too_few_rows_raises(self):
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(n_neighbors=5).fit(np.zeros((3, 1)), np.zeros(3))
+
+    def test_nan_raises(self):
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(n_neighbors=1).fit(np.array([[np.nan]]), np.array([1]))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            KNeighborsClassifier().predict(np.zeros((1, 1)))
+
+    def test_registry_alias(self):
+        assert isinstance(make_model("knn"), KNeighborsClassifier)
+        assert isinstance(make_model("k_nearest_neighbors"), KNeighborsClassifier)
+
+
+class TestKnnNormalizationClaim:
+    """Section 1: KNN performs better when features have similar ranges."""
+
+    def test_scaling_helps_knn_with_mismatched_ranges(self):
+        rng = np.random.default_rng(5)
+        n = 500
+        y = rng.integers(0, 2, n)
+        informative = y + rng.normal(0, 0.6, n)          # range ~[-2, 3]
+        loud_noise = rng.normal(0, 1.0, n) * 1000.0      # range ~[-3000, 3000]
+        X = np.column_stack([informative, loud_noise])
+        X_train, X_test, y_train, y_test = train_test_split(X, y, seed=1)
+
+        raw = KNeighborsClassifier(n_neighbors=9).fit(X_train, y_train)
+        raw_auc = roc_auc_score(y_test, raw.predict_proba(X_test)[:, 1])
+
+        scaler = StandardScaler().fit(X_train)
+        scaled = KNeighborsClassifier(n_neighbors=9).fit(scaler.transform(X_train), y_train)
+        scaled_auc = roc_auc_score(
+            y_test, scaled.predict_proba(scaler.transform(X_test))[:, 1]
+        )
+        assert scaled_auc > raw_auc + 0.2

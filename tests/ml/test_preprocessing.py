@@ -1,0 +1,102 @@
+"""Unit tests for :mod:`repro.ml.preprocessing`."""
+
+import numpy as np
+import pytest
+
+from repro.ml import LabelEncoder, MinMaxScaler, SimpleImputer, StandardScaler
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(5.0, 3.0, size=(200, 3))
+        out = StandardScaler().fit_transform(X)
+        assert np.allclose(out.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(out.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_column_passthrough(self):
+        X = np.array([[1.0, 2.0], [1.0, 4.0]])
+        out = StandardScaler().fit_transform(X)
+        assert np.allclose(out[:, 0], 0.0)
+
+    def test_inverse_roundtrip(self):
+        X = np.array([[1.0, 10.0], [3.0, 20.0], [5.0, 40.0]])
+        scaler = StandardScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+    def test_nan_aware_fit(self):
+        X = np.array([[1.0], [np.nan], [3.0]])
+        scaler = StandardScaler().fit(X)
+        assert scaler.mean_[0] == pytest.approx(2.0)
+
+
+class TestMinMaxScaler:
+    def test_range(self):
+        X = np.array([[0.0], [5.0], [10.0]])
+        out = MinMaxScaler().fit_transform(X)
+        assert out.min() == 0.0 and out.max() == 1.0
+
+    def test_inverse_roundtrip(self):
+        X = np.array([[2.0, -1.0], [8.0, 3.0]])
+        scaler = MinMaxScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_constant_column(self):
+        X = np.array([[3.0], [3.0]])
+        out = MinMaxScaler().fit_transform(X)
+        assert np.allclose(out, 0.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            MinMaxScaler().transform(np.zeros((2, 2)))
+
+
+class TestLabelEncoder:
+    def test_fit_transform(self):
+        enc = LabelEncoder()
+        codes = enc.fit_transform(["b", "a", "b"])
+        assert codes.tolist() == [0, 1, 0]
+        assert enc.classes_ == ["b", "a"]
+
+    def test_inverse(self):
+        enc = LabelEncoder().fit(["x", "y"])
+        assert enc.inverse_transform(np.array([1, 0])) == ["y", "x"]
+
+    def test_unseen_raises(self):
+        enc = LabelEncoder().fit(["x"])
+        with pytest.raises(ValueError):
+            enc.transform(["z"])
+
+
+class TestSimpleImputer:
+    def test_mean(self):
+        X = np.array([[1.0, np.nan], [3.0, 4.0]])
+        out = SimpleImputer("mean").fit_transform(X)
+        assert out[0, 1] == 4.0
+
+    def test_median(self):
+        X = np.array([[1.0], [np.nan], [2.0], [9.0]])
+        out = SimpleImputer("median").fit_transform(X)
+        assert out[1, 0] == 2.0
+
+    def test_constant(self):
+        X = np.array([[np.nan]])
+        out = SimpleImputer("constant", fill_value=-7).fit_transform(X)
+        assert out[0, 0] == -7.0
+
+    def test_all_nan_column_uses_fill_value(self):
+        X = np.array([[np.nan], [np.nan]])
+        out = SimpleImputer("mean", fill_value=0.0).fit_transform(X)
+        assert np.allclose(out, 0.0)
+
+    def test_bad_strategy_raises(self):
+        with pytest.raises(ValueError):
+            SimpleImputer("mode")
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            SimpleImputer().transform(np.zeros((1, 1)))

@@ -1,0 +1,79 @@
+"""Coverage for decision-tree options used by the forest ensembles."""
+
+import numpy as np
+import pytest
+
+from repro.ml.tree import DecisionTreeClassifier, _resolve_max_features
+
+
+class TestMaxFeaturesResolution:
+    def test_none_uses_all(self):
+        assert _resolve_max_features(None, 16) == 16
+
+    def test_sqrt(self):
+        assert _resolve_max_features("sqrt", 16) == 4
+
+    def test_log2(self):
+        assert _resolve_max_features("log2", 16) == 4
+
+    def test_log2_single_feature(self):
+        assert _resolve_max_features("log2", 1) == 1
+
+    def test_fraction(self):
+        assert _resolve_max_features(0.5, 10) == 5
+
+    def test_int_capped_at_n_features(self):
+        assert _resolve_max_features(99, 7) == 7
+
+    def test_minimum_one(self):
+        assert _resolve_max_features(0.01, 10) == 1
+
+
+class TestFeatureSubsampling:
+    def test_restricted_features_still_fit(self, linear_problem):
+        X, y = linear_problem
+        tree = DecisionTreeClassifier(max_depth=4, max_features="sqrt", seed=1).fit(X, y)
+        assert tree.node_count > 1
+
+    def test_different_seeds_give_different_trees(self, linear_problem):
+        X, y = linear_problem
+        a = DecisionTreeClassifier(max_depth=4, max_features=1, seed=1).fit(X, y)
+        b = DecisionTreeClassifier(max_depth=4, max_features=1, seed=2).fit(X, y)
+        assert not np.allclose(a.predict_proba(X)[:, 1], b.predict_proba(X)[:, 1])
+
+
+class TestRandomSplitter:
+    def test_random_splitter_fits(self, linear_problem):
+        X, y = linear_problem
+        tree = DecisionTreeClassifier(max_depth=5, splitter="random", seed=0).fit(X, y)
+        from repro.ml import roc_auc_score
+
+        auc = roc_auc_score(y, tree.predict_proba(X)[:, 1])
+        assert auc > 0.6  # weaker than best-split, but informative
+
+    def test_random_splitter_deterministic_per_seed(self, linear_problem):
+        X, y = linear_problem
+        a = DecisionTreeClassifier(max_depth=4, splitter="random", seed=7).fit(X, y)
+        b = DecisionTreeClassifier(max_depth=4, splitter="random", seed=7).fit(X, y)
+        assert np.allclose(a.predict_proba(X), b.predict_proba(X))
+
+    def test_min_samples_leaf_respected_by_random_splits(self, linear_problem):
+        X, y = linear_problem
+        tree = DecisionTreeClassifier(
+            max_depth=8, splitter="random", min_samples_leaf=40, seed=0
+        ).fit(X, y)
+
+        def leaf_sizes(node, idx):
+            if tree._feature[node] == -1:
+                return [len(idx)]
+            mask = X[idx, tree._feature[node]] <= tree._threshold[node]
+            return leaf_sizes(tree._left[node], idx[mask]) + leaf_sizes(
+                tree._right[node], idx[~mask]
+            )
+
+        sizes = leaf_sizes(0, np.arange(len(X)))
+        assert min(sizes) >= 40
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.zeros((3, 1)), np.zeros(2))

@@ -1,0 +1,73 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_parses_options(self):
+        args = build_parser().parse_args(
+            ["run", "tennis", "--rows", "300", "--model", "lr", "--evaluate"]
+        )
+        assert args.source == "tennis"
+        assert args.rows == 300
+        assert args.evaluate
+
+    def test_compare_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "imagenet"])
+
+
+class TestDatasetsCommand:
+    def test_lists_all_eight(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("diabetes", "tennis", "west_nile"):
+            assert name in out
+
+
+class TestRunCommand:
+    def test_run_on_builtin(self, capsys):
+        assert main(["run", "tennis", "--rows", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "Generated" in out
+
+    def test_run_with_output_csv(self, tmp_path, capsys):
+        target = tmp_path / "enriched.csv"
+        assert main(["run", "tennis", "--rows", "300", "--output", str(target)]) == 0
+        assert target.exists()
+        header = target.read_text().splitlines()[0]
+        assert "Result" in header
+
+    def test_run_on_csv_source(self, tmp_path, capsys):
+        source = tmp_path / "data.csv"
+        rows = ["age,income,label"]
+        for i in range(60):
+            rows.append(f"{20 + i % 50},{30 + (i * 7) % 90},{i % 2}")
+        source.write_text("\n".join(rows) + "\n")
+        assert main(["run", str(source), "--target", "label"]) == 0
+
+    def test_csv_without_target_exits(self, tmp_path):
+        source = tmp_path / "data.csv"
+        source.write_text("a,b\n1,2\n")
+        with pytest.raises(SystemExit):
+            main(["run", str(source)])
+
+    def test_csv_with_bad_target_exits(self, tmp_path):
+        source = tmp_path / "data.csv"
+        source.write_text("a,b\n1,2\n")
+        with pytest.raises(SystemExit):
+            main(["run", str(source), "--target", "missing"])
+
+
+class TestCompareCommand:
+    def test_compare_prints_table(self, capsys):
+        assert main(["compare", "tennis", "--rows", "300", "--models", "lr,nb"]) == 0
+        out = capsys.readouterr().out
+        assert "Initial AUC" in out
+        assert "smartfeat" in out
