@@ -1,4 +1,5 @@
-"""Section 4.2 "Efficiency" — modelled full-scale runtimes and DNFs.
+"""Section 4.2 "Efficiency" — modelled full-scale runtimes and DNFs,
+plus the concurrent-execution critical-path benchmark.
 
 From the shared sweep: per method × dataset, the modelled full-scale
 time (working-sample wall time extrapolated to Table 3 row counts, plus
@@ -9,10 +10,95 @@ paper's findings:
 * AutoFeat exhausts the budget on the large datasets (Bank, Adult);
 * CAAFE is slower than SMARTFEAT in general, with its DNN-validated runs
   timing out on large datasets.
+
+The concurrency benchmark compares the serial and thread-pool FM
+executors on identical wave semantics: same accepted features, same
+ledger totals, ≥3× lower modelled critical-path latency at concurrency
+8.  ``python benchmarks/bench_efficiency.py`` runs it standalone (no
+pytest session) and writes ``BENCH_efficiency.json`` at the repo root
+for the performance trajectory.
 """
 
-from benchmarks.conftest import write_result
-from repro.eval import render_table
+import json
+from pathlib import Path
+
+from repro.datasets import load_dataset
+from repro.eval import concurrency_speedup_report, render_table
+
+CONCURRENCY = 8
+SPEEDUP_DATASETS = ("heart", "diabetes", "tennis")
+
+
+def run_concurrency_benchmark() -> dict:
+    """Serial vs thread-pool critical path across a few datasets."""
+    reports = [
+        concurrency_speedup_report(
+            load_dataset(name, n_rows=300), concurrency=CONCURRENCY
+        )
+        for name in SPEEDUP_DATASETS
+    ]
+    return {
+        "concurrency": CONCURRENCY,
+        "datasets": reports,
+        "min_speedup": min(r["speedup"] for r in reports),
+        "all_equivalent": all(
+            r["identical_features"] and r["identical_ledgers"] for r in reports
+        ),
+    }
+
+
+def render_concurrency_table(payload: dict) -> str:
+    rows = [
+        [
+            r["dataset"],
+            str(r["n_calls"]),
+            str(r["n_features"]),
+            f"{r['serial_critical_path_s']:,.1f}",
+            f"{r['concurrent_critical_path_s']:,.1f}",
+            f"{r['speedup']:.2f}x",
+            "yes" if r["identical_features"] and r["identical_ledgers"] else "NO",
+        ]
+        for r in payload["datasets"]
+    ]
+    return render_table(
+        [
+            "dataset",
+            "FM calls",
+            "features",
+            "serial (s)",
+            f"c={payload['concurrency']} (s)",
+            "speedup",
+            "equivalent",
+        ],
+        rows,
+    )
+
+
+def test_concurrent_critical_path(results_dir):
+    """Thread-pool execution: ≥3× shorter critical path, identical output."""
+    from benchmarks.conftest import write_result
+
+    payload = run_concurrency_benchmark()
+    write_result(
+        results_dir, "efficiency_concurrency.txt", render_concurrency_table(payload)
+    )
+    assert payload["all_equivalent"], payload
+    assert payload["min_speedup"] >= 3.0, payload
+
+
+def main() -> int:
+    payload = run_concurrency_benchmark()
+    print(render_concurrency_table(payload))
+    out = Path(__file__).resolve().parent.parent / "BENCH_efficiency.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
+    assert payload["all_equivalent"], "serial/concurrent runs diverged"
+    assert payload["min_speedup"] >= 3.0, f"speedup below 3x: {payload['min_speedup']}"
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
 
 
 def _cell(outcome) -> str:
@@ -24,6 +110,8 @@ def _cell(outcome) -> str:
 
 
 def test_efficiency_runtimes(benchmark, paper_sweep, results_dir):
+    from benchmarks.conftest import write_result
+
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # table is derived, not re-run
 
     datasets = paper_sweep.config.datasets

@@ -21,7 +21,7 @@ from repro.core import SmartFeat
 from repro.datasets import DATASET_NAMES, list_datasets, load_dataset
 from repro.eval import SweepConfig, render_auc_table, render_table, run_sweep
 from repro.eval.harness import evaluate_models
-from repro.fm import SimulatedFM
+from repro.fm import FMCache, SerialExecutor, SimulatedFM, ThreadPoolFMExecutor
 
 __all__ = ["build_parser", "main"]
 
@@ -43,6 +43,28 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--output", help="write the enriched table to this CSV path")
     run.add_argument("--evaluate", action="store_true", help="print before/after AUC")
+    run.add_argument(
+        "--concurrency",
+        type=int,
+        default=1,
+        help="max in-flight FM calls (1 = serial; >1 uses the thread-pool executor)",
+    )
+    run.add_argument(
+        "--wave-size",
+        type=int,
+        default=None,
+        help=(
+            "sampling draws speculatively issued per wave; a semantic knob — "
+            "it changes which candidates are drawn (default: --concurrency, "
+            "so the pool has work to fan out)"
+        ),
+    )
+    run.add_argument(
+        "--fm-cache",
+        metavar="PATH",
+        default=None,
+        help="persistent JSON cache for temperature-0 FM calls (created if missing)",
+    )
 
     compare = sub.add_parser("compare", help="compare methods on a built-in dataset")
     compare.add_argument("dataset", choices=DATASET_NAMES)
@@ -83,10 +105,25 @@ def _load_source(args) -> tuple:
 
 def _cmd_run(args) -> int:
     frame, target, descriptions, title, target_description = _load_source(args)
+    if args.concurrency < 1:
+        raise SystemExit("--concurrency must be >= 1")
+    if args.wave_size is not None and args.wave_size < 1:
+        raise SystemExit("--wave-size must be >= 1")
+    executor = (
+        ThreadPoolFMExecutor(args.concurrency) if args.concurrency > 1 else SerialExecutor()
+    )
+    cache = FMCache(path=args.fm_cache) if args.fm_cache else None
+    # --wave-size defaults to --concurrency so the pool has sampling work
+    # to fan out; pass --wave-size explicitly to fix the search semantics
+    # independently of the backend.
+    wave_size = args.wave_size if args.wave_size is not None else args.concurrency
     tool = SmartFeat(
         fm=SimulatedFM(seed=args.seed, model="gpt-4"),
         function_fm=SimulatedFM(seed=args.seed + 1, model="gpt-3.5-turbo"),
         downstream_model=args.model,
+        executor=executor,
+        cache=cache,
+        wave_size=wave_size,
     )
     result = tool.fit_transform(
         frame,
@@ -117,6 +154,16 @@ def _cmd_run(args) -> int:
 
         to_csv(result.frame, args.output)
         print(f"Wrote enriched table to {args.output}")
+    execution = result.fm_usage["execution"]
+    print(
+        f"FM execution: concurrency {execution['concurrency']}, "
+        f"{execution['summed_latency_s']:.0f}s summed latency, "
+        f"{execution['critical_path_s']:.0f}s critical path"
+        + (f", {execution['cache_hits']} cache hits" if execution["cache_hits"] else "")
+    )
+    if cache is not None:
+        cache.save()
+        print(f"FM cache: {len(cache)} entries saved to {args.fm_cache}")
     return 0
 
 

@@ -26,6 +26,7 @@ from repro.core.agenda import DataAgenda
 from repro.core.operator_selector import OperatorSelector
 from repro.core.function_generator import FunctionGenerator
 from repro.core.pipeline import SmartFeat, SmartFeatResult, complete_row_plan
+from repro.core.parsing import parse_scalar
 from repro.core.types import (
     FeatureCandidate,
     GeneratedFeature,
@@ -48,5 +49,6 @@ __all__ = [
     "SourceSuggestion",
     "ValidationConfig",
     "complete_row_plan",
+    "parse_scalar",
     "validate_output",
 ]

@@ -13,15 +13,22 @@ scenarios:
    ``row_level_policy``).
 3. **Source suggestion** — neither applies; the FM suggests external data
    sources.
+
+The first attempt of every scenario-1 generation and every row of a
+scenario-2 completion run at ``temperature == 0`` and are independent of
+one another, so :meth:`FunctionGenerator.realize_batch` fans them out
+through the configured :class:`~repro.fm.executor.FMExecutor`; only the
+(rare) error-correction retries stay serial, because each retry depends
+on the previous attempt's failure.
 """
 
 from __future__ import annotations
 
 from repro.core import prompts
 from repro.core.agenda import DataAgenda
-from repro.core.parsing import extract_code
+from repro.core.parsing import extract_code, parse_scalar
 from repro.core.sandbox import SandboxViolation, TransformError, run_transform
-from repro.fm.errors import FMParseError
+from repro.fm.errors import FMError, FMParseError
 from repro.core.types import (
     FeatureCandidate,
     GeneratedFeature,
@@ -30,10 +37,14 @@ from repro.core.types import (
     SourceSuggestion,
 )
 from repro.dataframe import DataFrame, Series
-from repro.fm.base import FMClient
+from repro.fm.base import FMClient, FMResponse
 from repro.fm.cost import estimate_tokens
+from repro.fm.executor import FMExecutor, FMRequest
 
 __all__ = ["FunctionGenerator", "RealizedFeature"]
+
+#: Exceptions that turn one candidate's realization into a rejection.
+REALIZE_ERRORS = (FMError, FMParseError, SandboxViolation, TransformError)
 
 
 class RealizedFeature:
@@ -53,11 +64,13 @@ class FunctionGenerator:
         row_limit: int = 200,
         preview_rows: int = 5,
         repair_retries: int = 1,
+        executor: FMExecutor | None = None,
     ) -> None:
         self.fm = fm
         self.row_limit = row_limit
         self.preview_rows = preview_rows
         self.repair_retries = repair_retries
+        self.executor = executor
 
     # ------------------------------------------------------------------
     def realize(
@@ -65,21 +78,79 @@ class FunctionGenerator:
         candidate: FeatureCandidate,
         agenda: DataAgenda,
         frame: DataFrame,
+        executor: FMExecutor | None = None,
     ) -> RealizedFeature | RowCompletionPlan | SourceSuggestion:
         """Dispatch a candidate to the appropriate §3.3 scenario."""
+        executor = executor or self.executor
         if candidate.kind == "source":
-            return self._suggest_sources(candidate, agenda)
+            return self._suggest_sources(candidate, agenda, executor=executor)
         if candidate.kind == "row_level":
-            return self._row_level(candidate, frame)
+            return self._row_level(candidate, frame, executor=executor)
         if candidate.family == OperatorFamily.HIGH_ORDER:
             return self._high_order_direct(candidate, frame)
-        return self._via_function(candidate, agenda, frame)
+        return self._via_function(candidate, agenda, frame, executor=executor)
+
+    def realize_batch(
+        self,
+        candidates: list[FeatureCandidate],
+        agenda: DataAgenda,
+        frame: DataFrame,
+        executor: FMExecutor | None = None,
+    ) -> list[RealizedFeature | RowCompletionPlan | SourceSuggestion | Exception]:
+        """Realize a wave of candidates, batching the first FM attempts.
+
+        Scenario-1 first attempts are deterministic and independent, so
+        they fan out as one batch; repairs and the other scenarios run
+        serially in candidate order.  Returns one outcome per candidate,
+        in order — a failed candidate yields the exception the serial
+        path would have raised, so callers keep per-candidate rejection
+        bookkeeping.
+        """
+        executor = executor or self.executor
+        first_attempts: dict[int, object] = {}
+        fn_indices = [
+            i
+            for i, candidate in enumerate(candidates)
+            if candidate.kind == "function" and candidate.family != OperatorFamily.HIGH_ORDER
+        ]
+        if fn_indices:
+            requests = [
+                FMRequest(prompts.function_generation_prompt(agenda, candidates[i]), 0.0)
+                for i in fn_indices
+            ]
+            for i, result in zip(fn_indices, self.fm.complete_batch(requests, executor)):
+                first_attempts[i] = result.response if result.ok else result.error
+        outcomes: list[RealizedFeature | RowCompletionPlan | SourceSuggestion | Exception] = []
+        for i, candidate in enumerate(candidates):
+            try:
+                if i in first_attempts:
+                    outcomes.append(
+                        self._via_function(
+                            candidate,
+                            agenda,
+                            frame,
+                            first_attempt=first_attempts[i],
+                            executor=executor,
+                        )
+                    )
+                else:
+                    outcomes.append(
+                        self.realize(candidate, agenda, frame, executor=executor)
+                    )
+            except REALIZE_ERRORS as exc:
+                outcomes.append(exc)
+        return outcomes
 
     # ------------------------------------------------------------------
     # Scenario 1a: FM-generated transformation function
     # ------------------------------------------------------------------
     def _via_function(
-        self, candidate: FeatureCandidate, agenda: DataAgenda, frame: DataFrame
+        self,
+        candidate: FeatureCandidate,
+        agenda: DataAgenda,
+        frame: DataFrame,
+        first_attempt: "FMResponse | Exception | None" = None,
+        executor: FMExecutor | None = None,
     ) -> RealizedFeature:
         prompt = prompts.function_generation_prompt(agenda, candidate)
         fm_calls = 0
@@ -87,7 +158,16 @@ class FunctionGenerator:
         result = None
         last_error: Exception | None = None
         for attempt in range(self.repair_retries + 1):
-            response = self.fm.complete(prompt, temperature=0.0 if attempt == 0 else 0.7)
+            if attempt == 0 and isinstance(first_attempt, Exception):
+                # The batched first attempt already failed at the client
+                # level; surface it exactly like a failing complete().
+                raise first_attempt
+            if attempt == 0 and first_attempt is not None:
+                response = first_attempt
+            else:
+                response = self._complete(
+                    prompt, 0.0 if attempt == 0 else 0.7, executor=executor
+                )
             fm_calls += 1
             try:
                 source = extract_code(response.text)
@@ -146,16 +226,17 @@ class FunctionGenerator:
     # Scenario 2: row-level completion with cost gating
     # ------------------------------------------------------------------
     def _row_level(
-        self, candidate: FeatureCandidate, frame: DataFrame
+        self,
+        candidate: FeatureCandidate,
+        frame: DataFrame,
+        executor: FMExecutor | None = None,
     ) -> RealizedFeature | RowCompletionPlan:
         relevant = candidate.columns or frame.columns
         n_rows = len(frame)
         if n_rows <= self.row_limit:
-            values = []
-            for _, row in frame.iterrows():
-                record = {c: row[c] for c in relevant}
-                prompt = prompts.row_completion_prompt(candidate.name, record)
-                values.append(self._parse_value(self.fm.complete(prompt, temperature=0.0).text))
+            values = self._complete_rows(
+                candidate.name, frame, relevant, executor=executor
+            )
             series = Series(values, candidate.name)
             feature = GeneratedFeature(
                 name=candidate.name,
@@ -168,11 +249,19 @@ class FunctionGenerator:
             )
             return RealizedFeature(feature, {candidate.name: series})
         # Too large: produce a preview and a cost projection for the user.
-        preview: list[tuple[dict, str]] = []
-        for _, row in frame.head(self.preview_rows).iterrows():
-            record = {c: row[c] for c in relevant}
-            prompt = prompts.row_completion_prompt(candidate.name, record)
-            preview.append((record, self.fm.complete(prompt, temperature=0.0).text))
+        preview_values = self._complete_rows(
+            candidate.name,
+            frame.head(self.preview_rows),
+            relevant,
+            raw=True,
+            executor=executor,
+        )
+        preview = [
+            ({c: row[c] for c in relevant}, text)
+            for (_, row), text in zip(
+                frame.head(self.preview_rows).iterrows(), preview_values
+            )
+        ]
         sample_prompt = prompts.row_completion_prompt(
             candidate.name, {c: frame[c][0] for c in relevant}
         )
@@ -187,25 +276,46 @@ class FunctionGenerator:
             estimated_calls=n_rows,
             estimated_cost_usd=round(cost, 4),
             estimated_latency_s=round(latency, 1),
+            relevant_columns=list(relevant),
         )
+
+    def _complete_rows(
+        self,
+        name: str,
+        frame: DataFrame,
+        columns: list[str],
+        raw: bool = False,
+        executor: FMExecutor | None = None,
+    ) -> list:
+        """One temperature-0 completion per row, batched through the
+        executor.  A client-level failure on any row aborts the whole
+        feature, as the serial loop did."""
+        requests = [
+            FMRequest(
+                prompts.row_completion_prompt(name, {c: row[c] for c in columns}), 0.0
+            )
+            for _, row in frame.iterrows()
+        ]
+        results = self.fm.complete_batch(requests, executor or self.executor)
+        texts = [result.unwrap().text for result in results]
+        return texts if raw else [parse_scalar(text) for text in texts]
 
     @staticmethod
     def _parse_value(text: str):
-        """Interpret a row-completion answer: number when possible."""
-        stripped = text.strip().strip('"')
-        try:
-            return float(stripped)
-        except ValueError:
-            return stripped if stripped and stripped.lower() != "unknown" else None
+        """Deprecated alias for :func:`repro.core.parsing.parse_scalar`."""
+        return parse_scalar(text)
 
     # ------------------------------------------------------------------
     # Scenario 3: external data sources
     # ------------------------------------------------------------------
     def _suggest_sources(
-        self, candidate: FeatureCandidate, agenda: DataAgenda
+        self,
+        candidate: FeatureCandidate,
+        agenda: DataAgenda,
+        executor: FMExecutor | None = None,
     ) -> SourceSuggestion:
         prompt = prompts.source_suggestion_prompt(agenda, candidate)
-        response = self.fm.complete(prompt, temperature=0.0)
+        response = self._complete(prompt, 0.0, executor=executor)
         sources = [
             line.lstrip("- ").strip()
             for line in response.text.splitlines()
@@ -214,6 +324,16 @@ class FunctionGenerator:
         return SourceSuggestion(
             name=candidate.name, description=candidate.description, sources=sources
         )
+
+    # ------------------------------------------------------------------
+    def _complete(
+        self, prompt: str, temperature: float, executor: FMExecutor | None = None
+    ) -> FMResponse:
+        """One call, routed through the configured executor when present."""
+        executor = executor or self.executor
+        if executor is not None:
+            return executor.complete(self.fm, prompt, temperature)
+        return self.fm.complete(prompt, temperature)
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -12,6 +12,12 @@ Holds the per-family prompt templates and the two prompting strategies:
 Outputs are :class:`~repro.core.types.FeatureCandidate` records carrying
 the paper's three selector outputs: feature name, relevant columns, and
 feature description.
+
+Both strategies have batch entry points (:meth:`unary_candidates_batch`,
+:meth:`sample_batch`): the calls of one batch are independent — unary
+proposals talk about different attributes, sampling draws are i.i.d. —
+so an :class:`~repro.fm.executor.FMExecutor` may fan them out
+concurrently without changing any answer.
 """
 
 from __future__ import annotations
@@ -21,7 +27,8 @@ from repro.core.agenda import DataAgenda
 from repro.core.parsing import parse_json_response, parse_proposals
 from repro.core.types import FeatureCandidate, OperatorFamily
 from repro.fm.base import FMClient
-from repro.fm.errors import FMParseError
+from repro.fm.errors import FMError, FMParseError
+from repro.fm.executor import FMExecutor, FMRequest
 
 __all__ = ["OperatorSelector"]
 
@@ -39,10 +46,12 @@ class OperatorSelector:
         fm: FMClient,
         temperature: float = 0.7,
         accepted_confidences: tuple[str, ...] = ACCEPTED_CONFIDENCES,
+        executor: FMExecutor | None = None,
     ) -> None:
         self.fm = fm
         self.temperature = temperature
         self.accepted_confidences = accepted_confidences
+        self.executor = executor
 
     # ------------------------------------------------------------------
     # Proposal strategy (unary)
@@ -54,11 +63,40 @@ class OperatorSelector:
         the description is the operator description (tag preserved for the
         function generator).
         """
-        if attr not in agenda:
-            raise KeyError(f"attribute {attr!r} not in agenda")
-        response = self.fm.complete(prompts.unary_proposal_prompt(agenda, attr), temperature=0.0)
+        return self.unary_candidates_batch(agenda, [attr])[0].unwrap()
+
+    def unary_candidates_batch(
+        self,
+        agenda: DataAgenda,
+        attrs: list[str],
+        executor: FMExecutor | None = None,
+    ) -> "list[_Parsed[list[FeatureCandidate]]]":
+        """One proposal call per attribute, fanned out as a single batch.
+
+        Returns one outcome per attribute, in order: the parsed candidate
+        list, or the error that call raised (so the pipeline can count it
+        without losing the rest of the batch).
+        """
+        for attr in attrs:
+            if attr not in agenda:
+                raise KeyError(f"attribute {attr!r} not in agenda")
+        requests = [
+            FMRequest(prompts.unary_proposal_prompt(agenda, attr), 0.0) for attr in attrs
+        ]
+        results = self.fm.complete_batch(requests, executor or self.executor)
+        outcomes: list[_Parsed[list[FeatureCandidate]]] = []
+        for attr, result in zip(attrs, results):
+            if not result.ok:
+                outcomes.append(_Parsed(error=result.error))
+                continue
+            outcomes.append(
+                _Parsed(value=self._parse_unary(result.response.text, attr))
+            )
+        return outcomes
+
+    def _parse_unary(self, text: str, attr: str) -> list[FeatureCandidate]:
         candidates: list[FeatureCandidate] = []
-        for tag, confidence, description in parse_proposals(response.text):
+        for tag, confidence, description in parse_proposals(text):
             if confidence not in self.accepted_confidences:
                 continue
             base = tag.split("[", 1)[0]
@@ -82,7 +120,7 @@ class OperatorSelector:
         One deterministic call returning up to *k* candidates — cheaper
         and duplicate-free, but less diverse than sampling in rich spaces.
         """
-        response = self.fm.complete(prompts.binary_proposal_prompt(agenda, k), temperature=0.0)
+        response = self._complete(prompts.binary_proposal_prompt(agenda, k), 0.0)
         candidates: list[FeatureCandidate] = []
         for line in response.text.splitlines():
             line = line.strip()
@@ -97,10 +135,58 @@ class OperatorSelector:
                 candidates.append(candidate)
         return candidates[:k]
 
+    def sample_batch(
+        self,
+        family: OperatorFamily,
+        agenda: DataAgenda,
+        n: int,
+        executor: FMExecutor | None = None,
+    ) -> "list[_Parsed[FeatureCandidate | None]]":
+        """*n* i.i.d. sampling draws for *family*, fanned out as one wave.
+
+        Every draw shares the same prompt (built once from the current
+        agenda); diversity comes from the sampling temperature.  Returns
+        one outcome per draw, in order — a candidate, None (the FM
+        declined), or the parse/client error the draw raised.
+        """
+        prompt_builders = {
+            OperatorFamily.BINARY: prompts.binary_sampling_prompt,
+            OperatorFamily.HIGH_ORDER: prompts.high_order_sampling_prompt,
+            OperatorFamily.EXTRACTOR: prompts.extractor_sampling_prompt,
+        }
+        prompt = prompt_builders[family](agenda)
+        requests = [FMRequest(prompt, self.temperature) for _ in range(n)]
+        results = self.fm.complete_batch(requests, executor or self.executor)
+        outcomes: list[_Parsed[FeatureCandidate | None]] = []
+        for result in results:
+            if not result.ok:
+                outcomes.append(_Parsed(error=result.error))
+                continue
+            try:
+                outcomes.append(
+                    _Parsed(value=self._parse_sample(family, result.response.text, agenda))
+                )
+            except (FMError, FMParseError) as exc:
+                outcomes.append(_Parsed(error=exc))
+        return outcomes
+
+    def _parse_sample(
+        self, family: OperatorFamily, text: str, agenda: DataAgenda
+    ) -> FeatureCandidate | None:
+        parsers = {
+            OperatorFamily.BINARY: self._parse_binary_sample,
+            OperatorFamily.HIGH_ORDER: self._parse_high_order_sample,
+            OperatorFamily.EXTRACTOR: self._parse_extractor_sample,
+        }
+        return parsers[family](text, agenda)
+
     def sample_binary(self, agenda: DataAgenda) -> FeatureCandidate | None:
         """One i.i.d.-sampled binary-operator candidate, or None."""
-        response = self.fm.complete(prompts.binary_sampling_prompt(agenda), temperature=self.temperature)
-        payload = parse_json_response(response.text)
+        response = self._complete(prompts.binary_sampling_prompt(agenda), self.temperature)
+        return self._parse_binary_sample(response.text, agenda)
+
+    def _parse_binary_sample(self, text: str, agenda: DataAgenda) -> FeatureCandidate | None:
+        payload = parse_json_response(text)
         return self._binary_from_payload(payload, agenda, strict=True)
 
     def _binary_from_payload(
@@ -139,8 +225,11 @@ class OperatorSelector:
         transformation expression doubles as the description, and the
         group-by plus aggregate columns are the relevant columns.
         """
-        response = self.fm.complete(prompts.high_order_sampling_prompt(agenda), temperature=self.temperature)
-        payload = parse_json_response(response.text)
+        response = self._complete(prompts.high_order_sampling_prompt(agenda), self.temperature)
+        return self._parse_high_order_sample(response.text, agenda)
+
+    def _parse_high_order_sample(self, text: str, agenda: DataAgenda) -> FeatureCandidate | None:
+        payload = parse_json_response(text)
         group_cols = payload.get("groupby_col") or []
         if isinstance(group_cols, str):
             group_cols = [group_cols]
@@ -165,8 +254,11 @@ class OperatorSelector:
 
     def sample_extractor(self, agenda: DataAgenda) -> FeatureCandidate | None:
         """One sampled extractor candidate, or None."""
-        response = self.fm.complete(prompts.extractor_sampling_prompt(agenda), temperature=self.temperature)
-        payload = parse_json_response(response.text)
+        response = self._complete(prompts.extractor_sampling_prompt(agenda), self.temperature)
+        return self._parse_extractor_sample(response.text, agenda)
+
+    def _parse_extractor_sample(self, text: str, agenda: DataAgenda) -> FeatureCandidate | None:
+        payload = parse_json_response(text)
         kind = payload.get("kind", "function")
         name = payload.get("name") or ""
         if not name or kind not in ("function", "row_level", "source"):
@@ -182,3 +274,29 @@ class OperatorSelector:
             family=OperatorFamily.EXTRACTOR,
             kind=kind,
         )
+
+    # ------------------------------------------------------------------
+    def _complete(self, prompt: str, temperature: float):
+        """One call, routed through the configured executor when present."""
+        if self.executor is not None:
+            return self.executor.complete(self.fm, prompt, temperature)
+        return self.fm.complete(prompt, temperature)
+
+
+class _Parsed:
+    """One batch outcome: a parsed value or the error that replaced it."""
+
+    __slots__ = ("value", "error")
+
+    def __init__(self, value=None, error: Exception | None = None) -> None:
+        self.value = value
+        self.error = error
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def unwrap(self):
+        if self.error is not None:
+            raise self.error
+        return self.value

@@ -7,7 +7,7 @@ import re
 
 from repro.fm.errors import FMParseError
 
-__all__ = ["extract_code", "parse_json_response", "parse_proposals"]
+__all__ = ["extract_code", "parse_json_response", "parse_proposals", "parse_scalar"]
 
 _PROPOSAL_LINE = re.compile(
     r"^(?P<tag>[a-z_]+(?:\[[^\]]*\])*)\s*\((?P<confidence>certain|high|medium|low)\)\s*:\s*(?P<desc>.+)$"
@@ -63,6 +63,19 @@ def parse_json_response(text: str) -> dict:
                     raise FMParseError("FM JSON response is not an object")
                 return parsed
     raise FMParseError(f"unbalanced JSON object in FM response: {text[:120]!r}")
+
+
+def parse_scalar(text: str) -> float | str | None:
+    """Interpret a row-completion answer: number when possible.
+
+    Quoted strings are unwrapped; numeric answers become floats; an empty
+    answer or an explicit ``unknown`` becomes None (a missing value).
+    """
+    stripped = text.strip().strip('"')
+    try:
+        return float(stripped)
+    except ValueError:
+        return stripped if stripped and stripped.lower() != "unknown" else None
 
 
 def extract_code(text: str) -> str:

@@ -12,6 +12,24 @@ Order of exploration (Section 3.2, "Generating the candidate feature set"):
 Each accepted feature's name and description are appended to the data
 agenda before the next iteration, so later operators can build on earlier
 generated features.
+
+Execution model
+---------------
+FM interactions are structured as *waves* of independent calls: the unary
+stage issues all per-attribute proposal calls as one batch, and each
+sampling stage speculatively issues ``min(remaining budget, wave_size)``
+draws per wave, then deduplicates, realizes (first attempts batched), and
+validates the wave's results in submission order, stopping at the error
+threshold.  ``wave_size`` is a *semantic* parameter — it determines which
+agenda snapshot each prompt sees — while the executor's concurrency is
+pure infrastructure: running the same waves on
+:class:`~repro.fm.executor.SerialExecutor` or a
+:class:`~repro.fm.executor.ThreadPoolFMExecutor` accepts identical
+features and records identical ledger totals, only the critical-path
+latency changes.  With ``wave_size=1`` the sampling stages degenerate to
+the paper's one-call-at-a-time loop; the unary stage is always one batch
+(its per-attribute proposals are mutually independent, so there is no
+within-stage feedback to preserve).
 """
 
 from __future__ import annotations
@@ -19,9 +37,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.agenda import DataAgenda
-from repro.core.function_generator import FunctionGenerator, RealizedFeature
+from repro.core.function_generator import (
+    REALIZE_ERRORS,
+    FunctionGenerator,
+    RealizedFeature,
+)
 from repro.core.operator_selector import OperatorSelector
-from repro.core.sandbox import SandboxViolation, TransformError
 from repro.core.types import (
     FeatureCandidate,
     GeneratedFeature,
@@ -29,11 +50,13 @@ from repro.core.types import (
     RowCompletionPlan,
     SourceSuggestion,
 )
-from repro.core.parsing import parse_json_response
+from repro.core.parsing import parse_json_response, parse_scalar
 from repro.core.validation import ValidationConfig, validate_output
 from repro.dataframe import DataFrame
 from repro.fm.base import FMClient
+from repro.fm.cache import FMCache
 from repro.fm.errors import FMError, FMParseError
+from repro.fm.executor import FMExecutor, FMRequest, SerialExecutor
 
 __all__ = ["SmartFeat", "SmartFeatResult"]
 
@@ -53,7 +76,8 @@ class SmartFeatResult:
     ``new_features`` maps feature name → provenance; ``dropped`` lists
     original features removed by the drop heuristic; ``suggestions`` and
     ``row_plans`` surface the §3.3 scenario-2/3 outputs; ``rejections``
-    records validator verdicts; ``fm_usage`` summarises API accounting.
+    records validator verdicts; ``fm_usage`` summarises API accounting,
+    including the execution layer's summed vs critical-path latency.
     """
 
     frame: DataFrame
@@ -112,6 +136,24 @@ class SmartFeat:
         Ask the FM to flag redundant generated features for removal after
         the search (the paper's §3.2 future-work direction; off by
         default).
+    executor:
+        FM execution backend; defaults to a per-instance
+        :class:`~repro.fm.executor.SerialExecutor`.  Swapping in a
+        :class:`~repro.fm.executor.ThreadPoolFMExecutor` changes only
+        wall-clock behaviour, never which features are accepted.
+    cache:
+        Optional :class:`~repro.fm.cache.FMCache` attached to both
+        clients: repeated runs over the same data re-issue zero
+        temperature-0 calls.  Note the attachment outlives this
+        instance — the clients keep serving from the cache until it is
+        detached (``fm.cache = None``).
+    wave_size:
+        Sampling draws speculatively issued per wave (and the agenda
+        snapshot granularity).  This is a *semantic* knob: it changes
+        which candidates are drawn.  It defaults to 1 — the paper's
+        serial loop — independent of the executor, so swapping backends
+        alone never changes results; raise it to give a concurrent
+        executor sampling work to fan out.
     """
 
     def __init__(
@@ -130,11 +172,16 @@ class SmartFeat:
         repair_retries: int = 1,
         binary_strategy: str = "sampling",
         fm_feature_removal: bool = False,
+        executor: FMExecutor | None = None,
+        cache: FMCache | None = None,
+        wave_size: int | None = None,
     ) -> None:
         if row_level_policy not in ("auto", "never", "always"):
             raise ValueError(f"invalid row_level_policy: {row_level_policy!r}")
         if binary_strategy not in ("sampling", "proposal"):
             raise ValueError(f"invalid binary_strategy: {binary_strategy!r}")
+        if wave_size is not None and wave_size < 1:
+            raise ValueError(f"wave_size must be >= 1, got {wave_size}")
         self.fm = fm
         self.function_fm = function_fm or fm
         self.downstream_model = downstream_model
@@ -146,11 +193,18 @@ class SmartFeat:
         self.drop_heuristic = drop_heuristic
         self.binary_strategy = binary_strategy
         self.fm_feature_removal = fm_feature_removal
-        self.selector = OperatorSelector(fm, temperature=temperature)
+        self.executor = executor or SerialExecutor()
+        self.cache = cache
+        if cache is not None:
+            self.fm.cache = cache
+            self.function_fm.cache = cache
+        self.wave_size = wave_size if wave_size is not None else 1
+        self.selector = OperatorSelector(fm, temperature=temperature, executor=self.executor)
         self.generator = FunctionGenerator(
             self.function_fm,
             row_limit=10**9 if row_level_policy == "always" else row_limit,
             repair_retries=repair_retries,
+            executor=self.executor,
         )
 
     # ------------------------------------------------------------------
@@ -209,6 +263,10 @@ class SmartFeat:
         }
         if self.function_fm is not self.fm:
             result.fm_usage["function_generator"] = self.function_fm.ledger.snapshot()
+        execution = dict(self.executor.stats.snapshot())
+        execution["concurrency"] = self.executor.concurrency
+        execution["wave_size"] = self.wave_size
+        result.fm_usage["execution"] = execution
         return result
 
     # ------------------------------------------------------------------
@@ -220,15 +278,26 @@ class SmartFeat:
         original_features: list[str],
         unary_transformed: set[str],
     ) -> None:
-        for attr in original_features:
-            try:
-                candidates = self.selector.unary_candidates(agenda, attr)
-            except (FMError, FMParseError):
-                result.errors["unary"] = result.errors.get("unary", 0) + 1
-                continue
-            for candidate in candidates:
-                if self._accept(candidate, working, agenda, result):
-                    unary_transformed.add(attr)
+        """Proposal strategy: every attribute's call is independent, so
+        the whole stage fans out as one batch, followed by one batch of
+        first-attempt function generations."""
+        proposals = self.selector.unary_candidates_batch(
+            agenda, original_features, executor=self.executor
+        )
+        ordered: list[tuple[str, FeatureCandidate]] = []
+        for attr, outcome in zip(original_features, proposals):
+            if not outcome.ok:
+                if isinstance(outcome.error, (FMError, FMParseError)):
+                    result.errors["unary"] = result.errors.get("unary", 0) + 1
+                    continue
+                raise outcome.error
+            ordered.extend((attr, candidate) for candidate in outcome.value)
+        realized = self.generator.realize_batch(
+            [candidate for _, candidate in ordered], agenda, working, executor=self.executor
+        )
+        for (attr, candidate), outcome in zip(ordered, realized):
+            if self._install(candidate, outcome, working, agenda, result):
+                unary_transformed.add(attr)
 
     def _binary_proposal_stage(
         self,
@@ -264,33 +333,54 @@ class SmartFeat:
         family: OperatorFamily,
         used_by_other_ops: set[str],
     ) -> None:
-        samplers = {
-            OperatorFamily.BINARY: self.selector.sample_binary,
-            OperatorFamily.HIGH_ORDER: self.selector.sample_high_order,
-            OperatorFamily.EXTRACTOR: self.selector.sample_extractor,
-        }
-        sampler = samplers[family]
+        """Sampling strategy as speculative waves.
+
+        Each wave issues ``min(remaining budget, wave_size)`` draws from
+        the current agenda, then parses, deduplicates, batch-realizes,
+        and validates the results in submission order.  Once the error
+        count crosses the threshold the stage stops — any later results
+        of the in-flight wave are discarded (already-spent speculation).
+        With ``wave_size=1`` this is exactly the paper's serial loop.
+        """
         errors = 0
         seen: set[str] = set()
-        for _ in range(self.sampling_budget):
-            if errors >= self.error_threshold:
-                break
-            try:
-                candidate = sampler(agenda)
-            except (FMError, FMParseError):
-                errors += 1
-                continue
-            if candidate is None:
-                errors += 1
-                continue
-            if candidate.name in seen or candidate.name in agenda:
-                errors += 1  # repeated feature counts as a generation error
-                continue
-            seen.add(candidate.name)
-            if self._accept(candidate, working, agenda, result):
-                used_by_other_ops.update(candidate.columns)
-            else:
-                errors += 1
+        issued = 0
+        while issued < self.sampling_budget and errors < self.error_threshold:
+            wave = min(self.wave_size, self.sampling_budget - issued)
+            samples = self.selector.sample_batch(
+                family, agenda, wave, executor=self.executor
+            )
+            issued += wave
+            # Parse/dedupe pass, truncated at the error threshold so the
+            # realization batch never pays for candidates we won't keep.
+            survivors: list[FeatureCandidate] = []
+            for outcome in samples:
+                if errors >= self.error_threshold:
+                    break
+                if not outcome.ok:
+                    if isinstance(outcome.error, (FMError, FMParseError)):
+                        errors += 1
+                        continue
+                    raise outcome.error
+                candidate = outcome.value
+                if candidate is None:
+                    errors += 1
+                    continue
+                if candidate.name in seen or candidate.name in agenda:
+                    errors += 1  # repeated feature counts as a generation error
+                    continue
+                seen.add(candidate.name)
+                survivors.append(candidate)
+            realized = self.generator.realize_batch(
+                survivors, agenda, working, executor=self.executor
+            )
+            for candidate, outcome in zip(survivors, realized):
+                if errors >= self.error_threshold:
+                    break
+                if self._install(candidate, outcome, working, agenda, result):
+                    used_by_other_ops.update(candidate.columns)
+                else:
+                    errors += 1
         result.errors[family.value] = errors
 
     # ------------------------------------------------------------------
@@ -304,8 +394,21 @@ class SmartFeat:
         """Realize, validate, and install one candidate; True on success."""
         try:
             realized = self.generator.realize(candidate, agenda, working)
-        except (FMError, FMParseError, SandboxViolation, TransformError) as exc:
-            result.rejections[candidate.name] = f"generation failed: {exc}"
+        except REALIZE_ERRORS as exc:
+            realized = exc
+        return self._install(candidate, realized, working, agenda, result)
+
+    def _install(
+        self,
+        candidate: FeatureCandidate,
+        realized: RealizedFeature | RowCompletionPlan | SourceSuggestion | Exception,
+        working: DataFrame,
+        agenda: DataAgenda,
+        result: SmartFeatResult,
+    ) -> bool:
+        """Validate and install one realized candidate; True on success."""
+        if isinstance(realized, Exception):
+            result.rejections[candidate.name] = f"generation failed: {realized}"
             return False
         if isinstance(realized, SourceSuggestion):
             result.suggestions.append(realized)
@@ -354,8 +457,8 @@ class SmartFeat:
 
         generated_columns = set(result.new_columns)
         try:
-            response = self.fm.complete(
-                _prompts.feature_removal_prompt(agenda), temperature=0.0
+            response = self.executor.complete(
+                self.fm, _prompts.feature_removal_prompt(agenda), temperature=0.0
             )
             payload = parse_json_response(response.text)
         except (FMError, FMParseError):
@@ -396,7 +499,7 @@ class SmartFeat:
 
 def drop_inplace(frame: DataFrame, column: str) -> None:
     """Remove *column* from *frame* without copying the other columns."""
-    frame._columns.pop(column, None)
+    frame.drop(column, errors="ignore", inplace=True)
 
 
 def complete_row_plan(
@@ -404,30 +507,39 @@ def complete_row_plan(
     plan: RowCompletionPlan,
     fm: FMClient,
     relevant_columns: list[str] | None = None,
+    executor: FMExecutor | None = None,
 ) -> SmartFeatResult:
     """Execute a deferred row-level completion plan (the user said yes).
 
     Section 3.3 defers row-level completion of large tables to the user,
     who weighs the preview against the projected cost.  This helper runs
-    the full completion over ``result.frame`` with *fm* and installs the
-    finished column; the plan is removed from ``result.row_plans``.
+    the full completion over ``result.frame`` with *fm* — batched through
+    *executor* when given — and installs the finished column; the plan is
+    removed from ``result.row_plans``.
+
+    The relevant columns come from, in order: the *relevant_columns*
+    override, the plan's own ``relevant_columns`` metadata, the preview
+    records (plans recorded before the metadata existed), and finally the
+    whole frame.
     """
     from repro.core import prompts as _prompts
-    from repro.core.function_generator import FunctionGenerator
 
     if plan not in result.row_plans:
         raise ValueError(f"plan {plan.name!r} is not pending on this result")
-    columns = relevant_columns
-    if columns is None:
-        columns = [c for c in result.frame.columns if c in plan.preview[0][0]] if plan.preview else []
+    columns = list(relevant_columns) if relevant_columns else list(plan.relevant_columns)
+    if not columns and plan.preview:
+        preview_record = plan.preview[0][0]
+        columns = [c for c in result.frame.columns if c in preview_record]
     if not columns:
         columns = result.frame.columns
-    generator = FunctionGenerator(fm)
-    values = []
-    for _, row in result.frame.iterrows():
-        record = {c: row[c] for c in columns}
-        prompt = _prompts.row_completion_prompt(plan.name, record)
-        values.append(generator._parse_value(fm.complete(prompt, temperature=0.0).text))
+    requests = [
+        FMRequest(
+            _prompts.row_completion_prompt(plan.name, {c: row[c] for c in columns}), 0.0
+        )
+        for _, row in result.frame.iterrows()
+    ]
+    responses = fm.complete_batch(requests, executor)
+    values = [parse_scalar(r.unwrap().text) for r in responses]
     from repro.dataframe import Series
 
     result.frame[plan.name] = Series(values, plan.name)

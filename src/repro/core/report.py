@@ -47,6 +47,14 @@ def result_summary(result: SmartFeatResult) -> str:
         for source in suggestion.sources:
             lines.append(f"  - {source}")
     for client, usage in result.fm_usage.items():
+        if client == "execution":
+            lines.append(
+                f"FM execution: concurrency {usage['concurrency']}, "
+                f"wave size {usage['wave_size']}, "
+                f"{usage['summed_latency_s']:.0f}s summed latency, "
+                f"{usage['critical_path_s']:.0f}s critical path"
+            )
+            continue
         lines.append(
             f"FM usage [{client}]: {usage['n_calls']} calls, "
             f"{usage['prompt_tokens'] + usage['completion_tokens']} tokens, "

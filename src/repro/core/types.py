@@ -67,7 +67,11 @@ class SourceSuggestion:
 class RowCompletionPlan:
     """Scenario 2 of Section 3.3 when the table is large: a preview of
     row-level completions plus the projected cost of completing every row,
-    for the user to decide on."""
+    for the user to decide on.
+
+    ``relevant_columns`` records which columns the selector deemed
+    relevant, so executing the plan later does not have to re-infer them
+    from the preview records."""
 
     name: str
     description: str
@@ -76,3 +80,4 @@ class RowCompletionPlan:
     estimated_calls: int
     estimated_cost_usd: float
     estimated_latency_s: float
+    relevant_columns: list[str] = field(default_factory=list)

@@ -207,14 +207,28 @@ class DataFrame:
     def copy(self) -> "DataFrame":
         return DataFrame(self)
 
-    def drop(self, columns: str | Sequence[str] | None = None, errors: str = "raise") -> "DataFrame":
-        """Return a copy without *columns* (a name or list of names)."""
+    def drop(
+        self,
+        columns: str | Sequence[str] | None = None,
+        errors: str = "raise",
+        inplace: bool = False,
+    ) -> "DataFrame | None":
+        """Remove *columns* (a name or list of names).
+
+        Returns a copy without the columns, or — with ``inplace=True`` —
+        removes them from this frame without copying the others and
+        returns None (matching pandas).
+        """
         if columns is None:
-            return self.copy()
+            return None if inplace else self.copy()
         names = [columns] if isinstance(columns, str) else list(columns)
         missing = [n for n in names if n not in self._columns]
         if missing and errors == "raise":
             raise KeyError(f"columns not found: {missing}")
+        if inplace:
+            for name in names:
+                self._columns.pop(name, None)
+            return None
         keep = [c for c in self.columns if c not in set(names)]
         return self[keep].copy()
 

@@ -16,12 +16,13 @@ from repro.eval.harness import evaluate_models, feature_matrix
 from repro.eval.runner import MethodOutcome, SweepConfig, run_sweep
 from repro.eval.importance import importance_table
 from repro.eval.ablation import operator_ablation
-from repro.eval.efficiency import interaction_cost_comparison
+from repro.eval.efficiency import concurrency_speedup_report, interaction_cost_comparison
 from repro.eval.reporting import render_auc_table, render_table
 
 __all__ = [
     "MethodOutcome",
     "SweepConfig",
+    "concurrency_speedup_report",
     "evaluate_models",
     "feature_matrix",
     "importance_table",

@@ -13,10 +13,16 @@ from dataclasses import dataclass
 
 from repro.core import SmartFeat
 from repro.datasets.schema import DatasetBundle
-from repro.fm import SimulatedFM
+from repro.fm import SerialExecutor, SimulatedFM, ThreadPoolFMExecutor
 from repro.fm.cost import CostModel, estimate_tokens
+from repro.fm.executor import FMExecutor
 
-__all__ = ["InteractionCostPoint", "interaction_cost_comparison", "smartfeat_call_profile"]
+__all__ = [
+    "InteractionCostPoint",
+    "concurrency_speedup_report",
+    "interaction_cost_comparison",
+    "smartfeat_call_profile",
+]
 
 
 @dataclass
@@ -46,12 +52,28 @@ def _row_level_cost(n_rows: int, record_tokens: int, cost_model: CostModel) -> I
     )
 
 
-def smartfeat_call_profile(bundle: DatasetBundle, seed: int = 0) -> dict[str, float]:
-    """Measure SMARTFEAT's actual FM footprint on *bundle* (all families)."""
+def smartfeat_call_profile(
+    bundle: DatasetBundle,
+    seed: int = 0,
+    executor: FMExecutor | None = None,
+    wave_size: int | None = None,
+) -> dict[str, float]:
+    """Measure SMARTFEAT's actual FM footprint on *bundle* (all families).
+
+    ``latency_s`` sums every call (the cost-accounting view);
+    ``critical_path_s`` is the modelled wall-clock under the given
+    executor's concurrency — equal to the sum when running serially.
+    """
     fm = SimulatedFM(seed=seed, model="gpt-4")
     function_fm = SimulatedFM(seed=seed + 1, model="gpt-3.5-turbo")
-    tool = SmartFeat(fm=fm, function_fm=function_fm, downstream_model="random_forest")
-    tool.fit_transform(
+    tool = SmartFeat(
+        fm=fm,
+        function_fm=function_fm,
+        downstream_model="random_forest",
+        executor=executor,
+        wave_size=wave_size,
+    )
+    result = tool.fit_transform(
         bundle.frame,
         target=bundle.target,
         descriptions=bundle.descriptions,
@@ -68,6 +90,8 @@ def smartfeat_call_profile(bundle: DatasetBundle, seed: int = 0) -> dict[str, fl
         ),
         "cost_usd": fm.ledger.cost_usd + function_fm.ledger.cost_usd,
         "latency_s": fm.ledger.latency_s + function_fm.ledger.latency_s,
+        "critical_path_s": result.fm_usage["execution"]["critical_path_s"],
+        "n_features": len(result.new_features),
     }
 
 
@@ -103,3 +127,68 @@ def interaction_cost_comparison(
             )
         )
     return points
+
+
+def concurrency_speedup_report(
+    bundle: DatasetBundle,
+    concurrency: int = 8,
+    seed: int = 0,
+) -> dict:
+    """Serial vs thread-pool execution of the same SMARTFEAT search.
+
+    Both runs use identical wave semantics (``wave_size=concurrency``),
+    so the executor backend is the only variable: the report verifies the
+    two runs accept the same features at the same ledger totals, and
+    quantifies how much shorter the modelled critical path becomes under
+    bounded concurrency.
+    """
+    serial = _instrumented_run(bundle, SerialExecutor(), concurrency, seed)
+    threaded = _instrumented_run(
+        bundle, ThreadPoolFMExecutor(concurrency), concurrency, seed
+    )
+    speedup = (
+        serial["critical_path_s"] / threaded["critical_path_s"]
+        if threaded["critical_path_s"] > 0
+        else 1.0
+    )
+    return {
+        "dataset": bundle.name,
+        "concurrency": concurrency,
+        "n_calls": serial["n_calls"],
+        "n_features": len(serial["features"]),
+        "summed_latency_s": serial["summed_latency_s"],
+        "serial_critical_path_s": serial["critical_path_s"],
+        "concurrent_critical_path_s": threaded["critical_path_s"],
+        "speedup": round(speedup, 2),
+        "identical_features": serial["features"] == threaded["features"],
+        "identical_ledgers": serial["ledgers"] == threaded["ledgers"],
+    }
+
+
+def _instrumented_run(
+    bundle: DatasetBundle, executor: FMExecutor, wave_size: int, seed: int
+) -> dict:
+    fm = SimulatedFM(seed=seed, model="gpt-4")
+    function_fm = SimulatedFM(seed=seed + 1, model="gpt-3.5-turbo")
+    tool = SmartFeat(
+        fm=fm,
+        function_fm=function_fm,
+        downstream_model="random_forest",
+        executor=executor,
+        wave_size=wave_size,
+    )
+    result = tool.fit_transform(
+        bundle.frame,
+        target=bundle.target,
+        descriptions=bundle.descriptions,
+        title=bundle.title,
+        target_description=bundle.target_description,
+    )
+    stats = executor.stats.snapshot()
+    return {
+        "features": sorted(result.new_features),
+        "ledgers": (fm.ledger.snapshot(), function_fm.ledger.snapshot()),
+        "n_calls": fm.ledger.n_calls + function_fm.ledger.n_calls,
+        "summed_latency_s": stats["summed_latency_s"],
+        "critical_path_s": stats["critical_path_s"],
+    }

@@ -16,6 +16,13 @@ no network, so the substrate supplies:
     plausible natural-text responses, including executable Python.
 :class:`ScriptedFM` / :class:`RecordingFM` / :class:`ReplayFM`
     Test doubles: canned responses, call recording, and replay.
+:class:`SerialExecutor` / :class:`ThreadPoolFMExecutor`
+    The execution layer: batches of independent calls run under one
+    concurrency contract (bounded fan-out, per-call retry, summed vs
+    critical-path latency accounting) with deterministic results.
+:class:`FMCache`
+    Exact-hit LRU over ``(model, prompt, temperature)`` for the
+    deterministic temperature-0 calls, optionally persisted to JSON.
 
 Why the substitution preserves behaviour: SMARTFEAT's contribution is the
 *architecture of FM interaction* — what is asked, how often, and how
@@ -26,8 +33,18 @@ from the simulator.
 """
 
 from repro.fm.base import CallLedger, FMClient, FMResponse
-from repro.fm.cost import CostModel, estimate_tokens
+from repro.fm.cache import FMCache
+from repro.fm.cost import CostModel, critical_path_seconds, estimate_tokens
 from repro.fm.errors import FMBudgetExceededError, FMError, FMParseError
+from repro.fm.executor import (
+    ExecutionStats,
+    FMExecutor,
+    FMRequest,
+    FMResult,
+    RetryPolicy,
+    SerialExecutor,
+    ThreadPoolFMExecutor,
+)
 from repro.fm.knowledge import KnowledgeStore, default_knowledge
 from repro.fm.lexicon import ColumnRole, infer_role
 from repro.fm.scripted import RecordingFM, ReplayFM, ScriptedFM
@@ -37,16 +54,25 @@ __all__ = [
     "CallLedger",
     "ColumnRole",
     "CostModel",
+    "ExecutionStats",
     "FMBudgetExceededError",
+    "FMCache",
     "FMClient",
     "FMError",
+    "FMExecutor",
     "FMParseError",
+    "FMRequest",
     "FMResponse",
+    "FMResult",
     "KnowledgeStore",
     "RecordingFM",
     "ReplayFM",
+    "RetryPolicy",
     "ScriptedFM",
+    "SerialExecutor",
     "SimulatedFM",
+    "ThreadPoolFMExecutor",
+    "critical_path_seconds",
     "default_knowledge",
     "estimate_tokens",
     "infer_role",

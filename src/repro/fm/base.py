@@ -1,11 +1,26 @@
-"""The FM client protocol and per-client call accounting."""
+"""The FM client protocol and per-client call accounting.
+
+The protocol is concurrency-aware: a call is split into *state
+reservation* (:meth:`FMClient._reserve_state`, cheap and thread-safe,
+always performed in submission order) and *text generation*
+(:meth:`FMClient._complete_with_state`, which may run on any thread).
+Deterministic backends key their entropy or cursor on the reserved state,
+so a batch of calls answers identically whether it runs serially or on a
+thread pool — the contract the executor layer builds on.
+"""
 
 from __future__ import annotations
 
 import abc
+import threading
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.fm.cost import CostModel, estimate_tokens
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fm.cache import FMCache
+    from repro.fm.executor import FMExecutor, FMRequest, FMResult
 
 __all__ = ["CallLedger", "FMClient", "FMResponse"]
 
@@ -27,7 +42,10 @@ class CallLedger:
     """Accumulates per-call accounting across a client's lifetime.
 
     The evaluation harness reads these totals to reproduce the paper's
-    efficiency comparisons without real API access.
+    efficiency comparisons without real API access.  Recording is
+    thread-safe so batched execution cannot corrupt the totals; cache
+    hits are tallied separately and never contribute calls, tokens, or
+    cost.
     """
 
     n_calls: int = 0
@@ -35,35 +53,48 @@ class CallLedger:
     completion_tokens: int = 0
     latency_s: float = 0.0
     cost_usd: float = 0.0
+    cache_hits: int = 0
     history: list[tuple[str, str]] = field(default_factory=list)
     keep_history: bool = False
 
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
     def record(self, prompt: str, response: FMResponse) -> None:
-        self.n_calls += 1
-        self.prompt_tokens += response.prompt_tokens
-        self.completion_tokens += response.completion_tokens
-        self.latency_s += response.latency_s
-        self.cost_usd += response.cost_usd
-        if self.keep_history:
-            self.history.append((prompt, response.text))
+        with self._lock:
+            self.n_calls += 1
+            self.prompt_tokens += response.prompt_tokens
+            self.completion_tokens += response.completion_tokens
+            self.latency_s += response.latency_s
+            self.cost_usd += response.cost_usd
+            if self.keep_history:
+                self.history.append((prompt, response.text))
+
+    def record_cache_hit(self) -> None:
+        with self._lock:
+            self.cache_hits += 1
 
     def snapshot(self) -> dict[str, float]:
         """Totals as a plain dict (for reports and tests)."""
-        return {
-            "n_calls": self.n_calls,
-            "prompt_tokens": self.prompt_tokens,
-            "completion_tokens": self.completion_tokens,
-            "latency_s": round(self.latency_s, 3),
-            "cost_usd": round(self.cost_usd, 6),
-        }
+        with self._lock:
+            return {
+                "n_calls": self.n_calls,
+                "prompt_tokens": self.prompt_tokens,
+                "completion_tokens": self.completion_tokens,
+                "latency_s": round(self.latency_s, 3),
+                "cost_usd": round(self.cost_usd, 6),
+                "cache_hits": self.cache_hits,
+            }
 
     def reset(self) -> None:
-        self.n_calls = 0
-        self.prompt_tokens = 0
-        self.completion_tokens = 0
-        self.latency_s = 0.0
-        self.cost_usd = 0.0
-        self.history.clear()
+        with self._lock:
+            self.n_calls = 0
+            self.prompt_tokens = 0
+            self.completion_tokens = 0
+            self.latency_s = 0.0
+            self.cost_usd = 0.0
+            self.cache_hits = 0
+            self.history.clear()
 
 
 class FMClient(abc.ABC):
@@ -72,23 +103,58 @@ class FMClient(abc.ABC):
     Subclasses implement :meth:`_complete_text`; the public
     :meth:`complete` wraps it with token/latency/cost accounting so every
     client — simulated or real — feeds the same efficiency bookkeeping.
+    Clients that keep per-call mutable state (a sampling counter, a
+    scripted cursor) additionally override :meth:`_reserve_state` and
+    :meth:`_complete_with_state` so batched execution stays deterministic.
     """
 
-    def __init__(self, model: str = "simulated", cost_model: CostModel | None = None) -> None:
+    def __init__(
+        self,
+        model: str = "simulated",
+        cost_model: CostModel | None = None,
+        cache: "FMCache | None" = None,
+    ) -> None:
         self.model = model
         self.cost_model = cost_model or CostModel(model=model)
+        self.cache = cache
         self.ledger = CallLedger()
 
+    # ------------------------------------------------------------------
+    # Generation protocol
+    # ------------------------------------------------------------------
     @abc.abstractmethod
     def _complete_text(self, prompt: str, temperature: float) -> str:
-        """Produce the raw completion text for *prompt*."""
+        """Produce the raw completion text for *prompt* (serial path)."""
 
-    def complete(self, prompt: str, temperature: float = 0.0) -> FMResponse:
-        """Run one completion and record it in the ledger."""
-        text = self._complete_text(prompt, temperature)
+    def _reserve_state(self, prompt: str, temperature: float) -> object | None:
+        """Thread-safely reserve per-call state in submission order.
+
+        Stateless clients return None.  Stateful clients (seeded
+        simulator, scripted cursor) return whatever
+        :meth:`_complete_with_state` needs so generation itself is pure.
+        """
+        return None
+
+    def _complete_with_state(
+        self, prompt: str, temperature: float, state: object | None
+    ) -> str:
+        """Generate text for a call whose state was already reserved."""
+        del state
+        return self._complete_text(prompt, temperature)
+
+    def _on_cache_hit(self, prompt: str, temperature: float) -> None:
+        """Hook invoked when a cache hit replaces a call.  Stateful
+        deterministic clients advance their per-call state here so a
+        warm-cache run stays on the cold run's trajectory."""
+
+    # ------------------------------------------------------------------
+    # Accounting helpers shared with the executor layer
+    # ------------------------------------------------------------------
+    def build_response(self, prompt: str, text: str) -> FMResponse:
+        """Wrap raw completion text with token/latency/cost metadata."""
         prompt_tokens = estimate_tokens(prompt)
         completion_tokens = estimate_tokens(text)
-        response = FMResponse(
+        return FMResponse(
             text=text,
             prompt_tokens=prompt_tokens,
             completion_tokens=completion_tokens,
@@ -96,5 +162,45 @@ class FMClient(abc.ABC):
             cost_usd=self.cost_model.price(prompt_tokens, completion_tokens),
             model=self.model,
         )
+
+    def _cache_get(self, prompt: str, temperature: float) -> FMResponse | None:
+        if self.cache is None:
+            return None
+        return self.cache.get(self.model, prompt, temperature)
+
+    def _cache_put(self, prompt: str, temperature: float, response: FMResponse) -> None:
+        if self.cache is not None:
+            self.cache.put(self.model, prompt, temperature, response)
+
+    # ------------------------------------------------------------------
+    # Public entry points
+    # ------------------------------------------------------------------
+    def complete(self, prompt: str, temperature: float = 0.0) -> FMResponse:
+        """Run one completion and record it in the ledger."""
+        cached = self._cache_get(prompt, temperature)
+        if cached is not None:
+            self._on_cache_hit(prompt, temperature)
+            self.ledger.record_cache_hit()
+            return cached
+        state = self._reserve_state(prompt, temperature)
+        text = self._complete_with_state(prompt, temperature, state)
+        response = self.build_response(prompt, text)
+        self._cache_put(prompt, temperature, response)
         self.ledger.record(prompt, response)
         return response
+
+    def complete_batch(
+        self,
+        requests: "list[FMRequest]",
+        executor: "FMExecutor | None" = None,
+    ) -> "list[FMResult]":
+        """Run a batch of requests under one concurrency contract.
+
+        Without an executor the batch runs serially; any
+        :class:`~repro.fm.executor.FMExecutor` backend may be substituted
+        and, for deterministic clients, produces identical responses and
+        ledger totals.
+        """
+        from repro.fm.executor import SerialExecutor
+
+        return (executor or SerialExecutor()).run(self, requests)

@@ -10,9 +10,10 @@ calls, tokens, dollars, and modelled latency for both interaction styles.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 
-__all__ = ["CostModel", "PRICE_TABLE", "estimate_tokens"]
+__all__ = ["CostModel", "PRICE_TABLE", "critical_path_seconds", "estimate_tokens"]
 
 
 def estimate_tokens(text: str) -> int:
@@ -50,3 +51,23 @@ class CostModel:
     def latency(self, completion_tokens: int) -> float:
         """Modelled wall-clock seconds for one call."""
         return self.base_latency_s + completion_tokens * self.per_token_s
+
+
+def critical_path_seconds(latencies: list[float], concurrency: int) -> float:
+    """Makespan of running *latencies* on ``concurrency`` workers in order.
+
+    Summed latency is what the calls *cost*; this is how long they *take*
+    when up to ``concurrency`` may be in flight at once.  Calls are
+    assigned greedily, in submission order, to the earliest-free worker —
+    exactly what a bounded thread pool does.  With ``concurrency == 1``
+    this degenerates to the plain sum.
+    """
+    if not latencies:
+        return 0.0
+    if concurrency <= 1:
+        return float(sum(latencies))
+    workers = [0.0] * min(concurrency, len(latencies))
+    heapq.heapify(workers)
+    for latency in latencies:
+        heapq.heapreplace(workers, workers[0] + latency)
+    return max(workers)

@@ -1,0 +1,291 @@
+"""The FM execution layer: one concurrency contract for every client.
+
+SMARTFEAT's interactions are feature-level, and most of them are
+independent of one another: the unary proposals for different attributes,
+the i.i.d. samples of one sampling wave, and the first-attempt function
+generations for a wave's surviving candidates share no state.  An
+:class:`FMExecutor` runs such a batch of :class:`FMRequest` records
+against one :class:`~repro.fm.base.FMClient` and returns per-request
+:class:`FMResult` records, with two backends:
+
+:class:`SerialExecutor`
+    One blocking call at a time (the seed behaviour).
+:class:`ThreadPoolFMExecutor`
+    Bounded thread-pool fan-out.  Determinism is preserved by reserving
+    each request's per-call client state (the simulator's sampling
+    counter, a scripted client's cursor) in submission order *before*
+    any thread runs, and by recording ledger entries in submission order
+    after all threads finish.  A batch therefore produces byte-identical
+    responses and ledger totals under either backend.
+
+Both backends apply a per-call :class:`RetryPolicy` and accumulate
+:class:`ExecutionStats`, which separates **summed latency** (what the
+calls cost — the accounting view) from **critical-path latency** (how
+long the batch takes on the wall clock under bounded concurrency).
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.fm.cost import critical_path_seconds
+from repro.fm.errors import FMError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fm.base import FMClient, FMResponse
+
+__all__ = [
+    "ExecutionStats",
+    "FMExecutor",
+    "FMRequest",
+    "FMResult",
+    "RetryPolicy",
+    "SerialExecutor",
+    "ThreadPoolFMExecutor",
+]
+
+
+@dataclass(frozen=True)
+class FMRequest:
+    """One completion to run: prompt text plus sampling temperature."""
+
+    prompt: str
+    temperature: float = 0.0
+
+
+@dataclass
+class FMResult:
+    """Outcome of one request: a response, or the exception it raised."""
+
+    request: FMRequest
+    response: "FMResponse | None" = None
+    error: Exception | None = None
+    cached: bool = False
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.response is not None
+
+    def unwrap(self) -> "FMResponse":
+        """The response, re-raising the recorded error on failure."""
+        if self.response is None:
+            assert self.error is not None
+            raise self.error
+        return self.response
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-call retry behaviour.
+
+    ``max_attempts`` counts the first try; the default of 1 disables
+    retries (deterministic clients gain nothing from them).  Only
+    exceptions matching ``retry_on`` are retried — parse-level failures
+    happen downstream of the client and never reach the executor.
+    ``backoff_s`` sleeps between attempts (kept at 0 for simulated
+    backends; HTTP backends should set it).
+    """
+
+    max_attempts: int = 1
+    retry_on: tuple[type[Exception], ...] = (FMError,)
+    backoff_s: float = 0.0
+
+    def should_retry(self, error: Exception, attempt: int) -> bool:
+        return attempt < self.max_attempts and isinstance(error, self.retry_on)
+
+
+@dataclass
+class ExecutionStats:
+    """Cumulative accounting across every batch an executor has run.
+
+    ``summed_latency_s`` adds up each executed call's modelled latency —
+    the cost-accounting view, identical under any backend.
+    ``critical_path_s`` is the modelled wall-clock: per batch, the
+    makespan of scheduling the calls' latencies onto ``concurrency``
+    workers in submission order.  Cache hits cost nothing on either axis.
+    """
+
+    n_batches: int = 0
+    n_calls: int = 0
+    n_errors: int = 0
+    n_retries: int = 0
+    cache_hits: int = 0
+    summed_latency_s: float = 0.0
+    critical_path_s: float = 0.0
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "n_batches": self.n_batches,
+            "n_calls": self.n_calls,
+            "n_errors": self.n_errors,
+            "n_retries": self.n_retries,
+            "cache_hits": self.cache_hits,
+            "summed_latency_s": round(self.summed_latency_s, 3),
+            "critical_path_s": round(self.critical_path_s, 3),
+        }
+
+
+class FMExecutor(abc.ABC):
+    """Runs batches of FM requests under one concurrency contract."""
+
+    #: Number of calls that may be in flight at once.
+    concurrency: int = 1
+
+    def __init__(self, retry: RetryPolicy | None = None) -> None:
+        self.retry = retry or RetryPolicy()
+        self.stats = ExecutionStats()
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def run(self, client: "FMClient", requests: list[FMRequest]) -> list[FMResult]:
+        """Execute *requests* against *client*, preserving request order."""
+
+    def complete(self, client: "FMClient", prompt: str, temperature: float = 0.0):
+        """Run a single call through the executor (raises on failure)."""
+        return self.run(client, [FMRequest(prompt, temperature)])[0].unwrap()
+
+    # ------------------------------------------------------------------
+    def _attempt(self, client: "FMClient", request: FMRequest, state: object) -> FMResult:
+        """One request through the retry loop (no ledger side effects).
+
+        The submission-order *state* is consumed by the first attempt;
+        retries reserve fresh state (only reachable for clients that
+        raise, which the deterministic backends never do).
+        """
+        attempt = 1
+        while True:
+            try:
+                text = client._complete_with_state(
+                    request.prompt, request.temperature, state
+                )
+                response = client.build_response(request.prompt, text)
+                return FMResult(request=request, response=response, attempts=attempt)
+            except Exception as exc:  # noqa: BLE001 - surfaced via FMResult
+                if not self.should_retry_error(exc, attempt):
+                    return FMResult(request=request, error=exc, attempts=attempt)
+                attempt += 1
+                if self.retry.backoff_s > 0:
+                    time.sleep(self.retry.backoff_s)
+                state = client._reserve_state(request.prompt, request.temperature)
+
+    def should_retry_error(self, error: Exception, attempt: int) -> bool:
+        return self.retry.should_retry(error, attempt)
+
+    # ------------------------------------------------------------------
+    def _finish_batch(
+        self, client: "FMClient", results: list[FMResult]
+    ) -> list[FMResult]:
+        """Record ledger/cache entries and stats in submission order."""
+        latencies: list[float] = []
+        for result in results:
+            self.stats.n_retries += result.attempts - 1
+            if result.cached:
+                self.stats.cache_hits += 1
+                client.ledger.record_cache_hit()
+                continue
+            if result.ok:
+                response = result.response
+                client.ledger.record(result.request.prompt, response)
+                client._cache_put(
+                    result.request.prompt, result.request.temperature, response
+                )
+                latencies.append(response.latency_s)
+                self.stats.n_calls += 1
+                self.stats.summed_latency_s += response.latency_s
+            else:
+                self.stats.n_errors += 1
+        self.stats.n_batches += 1
+        self.stats.critical_path_s += critical_path_seconds(
+            latencies, self.concurrency
+        )
+        return results
+
+
+class SerialExecutor(FMExecutor):
+    """One blocking call at a time — the paper's (and the seed's) loop."""
+
+    concurrency = 1
+
+    def run(self, client: "FMClient", requests: list[FMRequest]) -> list[FMResult]:
+        results: list[FMResult] = []
+        for request in requests:
+            cached = client._cache_get(request.prompt, request.temperature)
+            if cached is not None:
+                client._on_cache_hit(request.prompt, request.temperature)
+                results.append(FMResult(request=request, response=cached, cached=True))
+                continue
+            state = client._reserve_state(request.prompt, request.temperature)
+            results.append(self._attempt(client, request, state))
+        return self._finish_batch(client, results)
+
+
+class ThreadPoolFMExecutor(FMExecutor):
+    """Bounded thread-pool fan-out with deterministic state assignment.
+
+    One pool is created lazily and reused for the executor's lifetime;
+    it is torn down by :meth:`close` (or interpreter exit).
+    """
+
+    def __init__(self, concurrency: int = 8, retry: RetryPolicy | None = None) -> None:
+        if concurrency < 1:
+            raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+        super().__init__(retry=retry)
+        self.concurrency = concurrency
+        self._pool: ThreadPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.concurrency, thread_name_prefix="fm-executor"
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ThreadPoolFMExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def run(self, client: "FMClient", requests: list[FMRequest]) -> list[FMResult]:
+        results: list[FMResult | None] = [None] * len(requests)
+        pending: list[tuple[int, FMRequest, object]] = []
+        # Phase 1 (main thread, submission order): cache lookups and
+        # per-call state reservation.  This is what keeps seeded clients
+        # deterministic regardless of thread scheduling.
+        for index, request in enumerate(requests):
+            cached = client._cache_get(request.prompt, request.temperature)
+            if cached is not None:
+                client._on_cache_hit(request.prompt, request.temperature)
+                results[index] = FMResult(request=request, response=cached, cached=True)
+            else:
+                state = client._reserve_state(request.prompt, request.temperature)
+                pending.append((index, request, state))
+        # Phase 2: fan out the uncached calls.  A batch of one (single
+        # proposal calls, repairs, removal prompts) runs inline — no
+        # point paying a thread hand-off for zero parallelism.
+        if len(pending) == 1:
+            index, request, state = pending[0]
+            results[index] = self._attempt(client, request, state)
+        elif pending:
+            pool = self._ensure_pool()
+            futures = [
+                (index, pool.submit(self._attempt, client, request, state))
+                for index, request, state in pending
+            ]
+            for index, future in futures:
+                results[index] = future.result()
+        # Phase 3 (main thread, submission order): ledger + stats.
+        final = [result for result in results if result is not None]
+        assert len(final) == len(requests)
+        return self._finish_batch(client, final)

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Callable, Sequence
 
 from repro.fm.base import FMClient, FMResponse
@@ -14,37 +15,77 @@ class ScriptedFM(FMClient):
     """Returns canned responses.
 
     Accepts either a list (consumed in order; raises when exhausted) or a
-    callable ``prompt -> text`` for pattern-based stubs.
+    callable ``prompt -> text`` for pattern-based stubs.  The list cursor
+    is reserved thread-safely in submission order, so scripted clients
+    behave identically under batched and serial execution.
     """
 
     def __init__(self, responses: Sequence[str] | Callable[[str], str], model: str = "scripted") -> None:
         super().__init__(model=model)
         self._responses = responses
         self._cursor = 0
+        self._cursor_lock = threading.Lock()
+
+    def _reserve_state(self, prompt: str, temperature: float) -> int | None:
+        if callable(self._responses):
+            return None
+        with self._cursor_lock:
+            position = self._cursor
+            self._cursor += 1
+            return position
 
     def _complete_text(self, prompt: str, temperature: float) -> str:
+        return self._complete_with_state(
+            prompt, temperature, self._reserve_state(prompt, temperature)
+        )
+
+    def _complete_with_state(
+        self, prompt: str, temperature: float, state: object | None
+    ) -> str:
         if callable(self._responses):
             return self._responses(prompt)
-        if self._cursor >= len(self._responses):
+        assert isinstance(state, int)
+        if state >= len(self._responses):
             raise FMError(
-                f"ScriptedFM exhausted after {self._cursor} responses; prompt was: {prompt[:80]}..."
+                f"ScriptedFM exhausted after {len(self._responses)} responses; "
+                f"prompt was: {prompt[:80]}..."
             )
-        text = self._responses[self._cursor]
-        self._cursor += 1
-        return text
+        return self._responses[state]
 
 
 class RecordingFM(FMClient):
-    """Wraps another client and records every ``(prompt, response)`` pair."""
+    """Wraps another client and records every ``(prompt, response)`` pair.
+
+    The state-reservation protocol is forwarded to the inner client, so a
+    recording wrapper around a stateful deterministic client answers
+    identically under batched and serial execution.  Prompt/response
+    pairs are always matched; under a threaded executor they append in
+    completion order (replay such a recording serially).
+    """
 
     def __init__(self, inner: FMClient) -> None:
         super().__init__(model=inner.model, cost_model=inner.cost_model)
         self.inner = inner
         self.recording: list[tuple[str, str]] = []
+        self._recording_lock = threading.Lock()
+
+    def _reserve_state(self, prompt: str, temperature: float) -> object | None:
+        return self.inner._reserve_state(prompt, temperature)
+
+    def _on_cache_hit(self, prompt: str, temperature: float) -> None:
+        self.inner._on_cache_hit(prompt, temperature)
 
     def _complete_text(self, prompt: str, temperature: float) -> str:
-        text = self.inner._complete_text(prompt, temperature)
-        self.recording.append((prompt, text))
+        return self._complete_with_state(
+            prompt, temperature, self._reserve_state(prompt, temperature)
+        )
+
+    def _complete_with_state(
+        self, prompt: str, temperature: float, state: object | None
+    ) -> str:
+        text = self.inner._complete_with_state(prompt, temperature, state)
+        with self._recording_lock:
+            self.recording.append((prompt, text))
         return text
 
 
@@ -59,16 +100,30 @@ class ReplayFM(FMClient):
         super().__init__(model="replay")
         self._recording = list(recording)
         self._cursor = 0
+        self._cursor_lock = threading.Lock()
         self.strict = strict
 
+    def _reserve_state(self, prompt: str, temperature: float) -> int:
+        with self._cursor_lock:
+            position = self._cursor
+            self._cursor += 1
+            return position
+
     def _complete_text(self, prompt: str, temperature: float) -> str:
-        if self._cursor >= len(self._recording):
+        return self._complete_with_state(
+            prompt, temperature, self._reserve_state(prompt, temperature)
+        )
+
+    def _complete_with_state(
+        self, prompt: str, temperature: float, state: object | None
+    ) -> str:
+        assert isinstance(state, int)
+        if state >= len(self._recording):
             raise FMError("ReplayFM exhausted: more calls than the recording contains")
-        recorded_prompt, text = self._recording[self._cursor]
-        self._cursor += 1
+        recorded_prompt, text = self._recording[state]
         if self.strict and recorded_prompt[:120] != prompt[:120]:
             raise FMError(
                 "ReplayFM prompt mismatch at call "
-                f"{self._cursor}: expected {recorded_prompt[:60]!r}..., got {prompt[:60]!r}..."
+                f"{state + 1}: expected {recorded_prompt[:60]!r}..., got {prompt[:60]!r}..."
             )
         return text

@@ -24,6 +24,7 @@ from __future__ import annotations
 import hashlib
 import json
 import re
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -149,17 +150,39 @@ class SimulatedFM(FMClient):
         self.knowledge = knowledge or default_knowledge()
         self.error_rate = error_rate
         self._counter = 0
+        self._counter_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
-    def _rng(self, prompt: str, temperature: float) -> np.random.Generator:
-        entropy = self._counter if temperature > 0 else _stable_hash(prompt)
-        return np.random.default_rng([self.seed, entropy % 2**32])
+    def _reserve_state(self, prompt: str, temperature: float) -> int:
+        """Every call consumes the seeded counter, in submission order.
+
+        Sampling (``temperature > 0``) calls key their entropy on the
+        reserved counter value — the i.i.d. draws of the paper's search —
+        while deterministic calls key on the prompt text, so reordering
+        them inside a batch cannot change any answer.
+        """
+        with self._counter_lock:
+            self._counter += 1
+            return self._counter
+
+    def _on_cache_hit(self, prompt: str, temperature: float) -> None:
+        """A cache hit replaces a call the serial run would have made, so
+        it still consumes the counter — keeping warm-cache reruns on the
+        same sampling trajectory as the run that filled the cache."""
+        self._reserve_state(prompt, temperature)
 
     def _complete_text(self, prompt: str, temperature: float) -> str:
-        self._counter += 1
-        rng = self._rng(prompt, temperature)
+        return self._complete_with_state(
+            prompt, temperature, self._reserve_state(prompt, temperature)
+        )
+
+    def _complete_with_state(
+        self, prompt: str, temperature: float, state: object | None
+    ) -> str:
+        entropy = state if temperature > 0 and state is not None else _stable_hash(prompt)
+        rng = np.random.default_rng([self.seed, int(entropy) % 2**32])
         if self.error_rate > 0 and rng.uniform() < self.error_rate:
             return self._garbled(rng)
         agenda = parse_agenda(prompt)

@@ -1,0 +1,240 @@
+"""Serial-vs-concurrent pipeline equivalence and wave-execution edge cases.
+
+The executor backend is infrastructure: with identical wave semantics
+(`wave_size` fixed), a thread-pool run must accept exactly the features a
+serial run accepts, with identical ledger totals — only the modelled
+critical-path latency may differ.  These tests pin that contract, the
+speculative wave's error-threshold semantics, duplicate-candidate
+counting, and the warm-cache guarantee.
+"""
+
+import json
+
+import pytest
+
+from repro.core import SmartFeat
+from repro.core.types import OperatorFamily
+from repro.fm import (
+    FMCache,
+    ScriptedFM,
+    SerialExecutor,
+    SimulatedFM,
+    ThreadPoolFMExecutor,
+)
+
+CONCURRENCY = 8
+
+BINARY_JSON = json.dumps(
+    {
+        "operator": "-",
+        "columns": ["Age", "Age of car"],
+        "name": "age_gap",
+        "description": "binary[-]: difference of Age and Age of car",
+    }
+)
+GOOD_CODE = "```python\ndef transform(df):\n    return df['Age'] - df['Age of car']\n```"
+
+
+def _run(frame, descriptions, executor, wave_size, seed=0, **kwargs):
+    fm = SimulatedFM(seed=seed, model="gpt-4")
+    function_fm = SimulatedFM(seed=seed + 1, model="gpt-3.5-turbo")
+    tool = SmartFeat(
+        fm=fm,
+        function_fm=function_fm,
+        downstream_model="decision_tree",
+        executor=executor,
+        wave_size=wave_size,
+        **kwargs,
+    )
+    result = tool.fit_transform(
+        frame,
+        target="Safe",
+        descriptions=descriptions,
+        title="Car insurance policyholders (insurance claims)",
+        target_description="1 = safe, unlikely to file a claim in the next 6 months",
+    )
+    return result, fm, function_fm, tool
+
+
+class TestSerialConcurrentEquivalence:
+    @pytest.fixture(scope="class")
+    def pair(self, request):
+        from tests.core.conftest import INSURANCE_DESCRIPTIONS, make_insurance_frame
+
+        descriptions = dict(INSURANCE_DESCRIPTIONS)
+        serial = _run(
+            make_insurance_frame(), descriptions, SerialExecutor(), CONCURRENCY
+        )
+        threaded = _run(
+            make_insurance_frame(),
+            descriptions,
+            ThreadPoolFMExecutor(CONCURRENCY),
+            CONCURRENCY,
+        )
+        return serial, threaded
+
+    def test_identical_accepted_features(self, pair):
+        (serial, *_), (threaded, *_) = pair
+        assert sorted(serial.new_features) == sorted(threaded.new_features)
+        assert serial.new_columns == threaded.new_columns
+        assert serial.dropped == threaded.dropped
+
+    def test_identical_rejections_and_errors(self, pair):
+        (serial, *_), (threaded, *_) = pair
+        assert serial.rejections == threaded.rejections
+        assert serial.errors == threaded.errors
+
+    def test_identical_ledger_totals(self, pair):
+        (_, s_fm, s_ffm, _), (_, t_fm, t_ffm, _) = pair
+        assert s_fm.ledger.snapshot() == t_fm.ledger.snapshot()
+        assert s_ffm.ledger.snapshot() == t_ffm.ledger.snapshot()
+
+    def test_identical_generated_code(self, pair):
+        (serial, *_), (threaded, *_) = pair
+        for name, feature in serial.new_features.items():
+            assert threaded.new_features[name].source_code == feature.source_code
+
+    def test_summed_latency_identical_critical_path_shorter(self, pair):
+        (serial, *_, s_tool), (threaded, *_, t_tool) = pair
+        s_stats = s_tool.executor.stats
+        t_stats = t_tool.executor.stats
+        assert s_stats.summed_latency_s == pytest.approx(t_stats.summed_latency_s)
+        assert s_stats.critical_path_s == pytest.approx(s_stats.summed_latency_s)
+        # The acceptance bar: >= 3x shorter critical path at concurrency 8.
+        assert t_stats.critical_path_s <= s_stats.critical_path_s / 3.0
+
+    def test_execution_usage_reported(self, pair):
+        (_, *_, s_tool), (threaded, *_, t_tool) = pair
+        del s_tool
+        execution = threaded.fm_usage["execution"]
+        assert execution["concurrency"] == CONCURRENCY
+        assert execution["wave_size"] == CONCURRENCY
+        assert execution["critical_path_s"] < execution["summed_latency_s"]
+        assert t_tool.executor.concurrency == CONCURRENCY
+
+
+class TestWaveSemantics:
+    def test_error_threshold_stops_between_waves(self, insurance_frame):
+        """A wave of garbage stops the stage at the threshold without
+        issuing the next wave; the in-flight wave is already spent."""
+        fm = ScriptedFM(lambda prompt: "garbage that parses to nothing")
+        tool = SmartFeat(
+            fm=fm,
+            sampling_budget=12,
+            error_threshold=2,
+            operator_families=(OperatorFamily.BINARY,),
+            downstream_model="decision_tree",
+            wave_size=4,
+        )
+        result = tool.fit_transform(insurance_frame, target="Safe")
+        assert result.errors["binary"] == 2  # stopped at the threshold
+        assert fm.ledger.n_calls == 4  # one speculative wave, not the budget
+
+    def test_wave_size_one_matches_seed_serial_loop(self, insurance_frame):
+        fm = ScriptedFM(lambda prompt: "garbage that parses to nothing")
+        tool = SmartFeat(
+            fm=fm,
+            sampling_budget=10,
+            error_threshold=2,
+            operator_families=(OperatorFamily.BINARY,),
+            downstream_model="decision_tree",
+            wave_size=1,
+        )
+        result = tool.fit_transform(insurance_frame, target="Safe")
+        assert result.errors["binary"] == 2
+        assert fm.ledger.n_calls == 2  # no speculation at wave size 1
+
+    def test_duplicate_candidates_count_as_errors(self, insurance_frame):
+        """The same candidate re-sampled within or across waves counts
+        toward the error threshold (the paper's repeated-feature rule)."""
+        fm = ScriptedFM(lambda prompt: BINARY_JSON)
+        function_fm = ScriptedFM(lambda prompt: GOOD_CODE)
+        tool = SmartFeat(
+            fm=fm,
+            function_fm=function_fm,
+            sampling_budget=10,
+            error_threshold=3,
+            operator_families=(OperatorFamily.BINARY,),
+            downstream_model="decision_tree",
+            wave_size=2,
+        )
+        result = tool.fit_transform(insurance_frame, target="Safe")
+        assert "age_gap" in result.new_features  # first draw accepted
+        assert result.errors["binary"] == 3  # duplicates hit the threshold
+        # Wave 1: accept + dup.  Wave 2: dup + dup -> threshold.  4 draws.
+        assert fm.ledger.n_calls == 4
+
+    def test_invalid_wave_size_rejected(self):
+        with pytest.raises(ValueError):
+            SmartFeat(fm=SimulatedFM(seed=0), wave_size=0)
+
+    def test_wave_size_independent_of_executor(self):
+        """The executor is infrastructure: swapping it must not change
+        the search semantics, so wave_size defaults to 1 regardless."""
+        serial_tool = SmartFeat(fm=SimulatedFM(seed=0))
+        assert serial_tool.wave_size == 1
+        threaded_tool = SmartFeat(
+            fm=SimulatedFM(seed=0), executor=ThreadPoolFMExecutor(6)
+        )
+        assert threaded_tool.wave_size == 1
+
+    def test_default_backend_swap_is_behavior_preserving(self, insurance_frame, insurance_descriptions):
+        serial, s_fm, *_ = _run(
+            insurance_frame.copy(), insurance_descriptions, SerialExecutor(), None
+        )
+        threaded, t_fm, *_ = _run(
+            insurance_frame.copy(),
+            insurance_descriptions,
+            ThreadPoolFMExecutor(8),
+            None,
+        )
+        assert sorted(serial.new_features) == sorted(threaded.new_features)
+        assert s_fm.ledger.snapshot() == t_fm.ledger.snapshot()
+
+
+class TestWarmCache:
+    def test_repeat_run_issues_zero_new_temperature0_calls(
+        self, insurance_frame, insurance_descriptions
+    ):
+        cache = FMCache()
+
+        def run():
+            return _run(
+                insurance_frame.copy(),
+                insurance_descriptions,
+                SerialExecutor(),
+                1,
+                cache=cache,
+            )
+
+        cold, *_ = run()
+        cold_snapshot = cache.snapshot()
+        assert cold_snapshot["misses"] > 0 and cold_snapshot["hits"] == 0
+        warm, warm_fm, warm_ffm, _ = run()
+        warm_snapshot = cache.snapshot()
+        # Zero new temperature-0 executions: the miss count did not move.
+        assert warm_snapshot["misses"] == cold_snapshot["misses"]
+        assert warm_snapshot["hits"] == cold_snapshot["misses"]
+        assert warm_fm.ledger.cache_hits + warm_ffm.ledger.cache_hits > 0
+        # And the warm run reproduces the cold run's features exactly.
+        assert sorted(warm.new_features) == sorted(cold.new_features)
+
+    def test_warm_run_is_cheaper(self, insurance_frame, insurance_descriptions):
+        cache = FMCache()
+        _, cold_fm, cold_ffm, _ = _run(
+            insurance_frame.copy(),
+            insurance_descriptions,
+            SerialExecutor(),
+            1,
+            cache=cache,
+        )
+        _, warm_fm, warm_ffm, _ = _run(
+            insurance_frame.copy(),
+            insurance_descriptions,
+            SerialExecutor(),
+            1,
+            cache=cache,
+        )
+        cold_cost = cold_fm.ledger.cost_usd + cold_ffm.ledger.cost_usd
+        warm_cost = warm_fm.ledger.cost_usd + warm_ffm.ledger.cost_usd
+        assert warm_cost < cold_cost

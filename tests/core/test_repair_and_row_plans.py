@@ -116,3 +116,76 @@ class TestRowPlanCompletion:
         )
         with pytest.raises(ValueError):
             complete_row_plan(pending, bogus, SimulatedFM(seed=0))
+
+    def test_plan_records_relevant_columns(self, pending):
+        plan = pending.row_plans[0]
+        assert plan.relevant_columns  # selector metadata, not preview inference
+        assert set(plan.relevant_columns) <= set(pending.frame.columns)
+
+    def test_completion_uses_plan_metadata_columns(self, pending):
+        plan = pending.row_plans[0]
+        fm = SimulatedFM(seed=3)
+        fm.ledger.keep_history = True
+        complete_row_plan(pending, plan, fm)
+        prompt = fm.ledger.history[0][0]
+        for column in plan.relevant_columns:
+            assert column in prompt
+        irrelevant = set(pending.frame.columns) - set(plan.relevant_columns) - {plan.name}
+        for column in irrelevant:
+            assert f"{column}:" not in prompt
+        assert pending.new_features[plan.name].input_columns == list(plan.relevant_columns)
+
+    def test_legacy_plan_falls_back_to_preview_columns(self, pending):
+        plan = pending.row_plans[0]
+        plan.relevant_columns = []  # a plan recorded before the metadata existed
+        assert plan.preview
+        fm = SimulatedFM(seed=3)
+        complete_row_plan(pending, plan, fm)
+        assert plan.name in pending.frame.columns
+        preview_columns = [
+            c for c in pending.frame.columns if c in plan.preview[0][0]
+        ]
+        assert pending.new_features[plan.name].input_columns == preview_columns
+
+    def test_explicit_override_wins(self, pending):
+        plan = pending.row_plans[0]
+        fm = SimulatedFM(seed=3)
+        fm.ledger.keep_history = True
+        complete_row_plan(pending, plan, fm, relevant_columns=["City"])
+        assert pending.new_features[plan.name].input_columns == ["City"]
+
+    def test_executor_batches_the_rows(self, pending):
+        from repro.fm import ThreadPoolFMExecutor
+
+        plan = pending.row_plans[0]
+        fm = SimulatedFM(seed=3)
+        executor = ThreadPoolFMExecutor(8)
+        complete_row_plan(pending, plan, fm, executor=executor)
+        assert fm.ledger.n_calls == len(pending.frame)
+        stats = executor.stats
+        assert stats.critical_path_s < stats.summed_latency_s
+
+
+class TestParseScalar:
+    def test_numeric(self):
+        from repro.core.parsing import parse_scalar
+
+        assert parse_scalar(" 12.5 ") == 12.5
+        assert parse_scalar('"3"') == 3.0
+
+    def test_text_passthrough(self):
+        from repro.core.parsing import parse_scalar
+
+        assert parse_scalar("downtown") == "downtown"
+
+    def test_unknown_and_empty_are_missing(self):
+        from repro.core.parsing import parse_scalar
+
+        assert parse_scalar("unknown") is None
+        assert parse_scalar("UNKNOWN") is None
+        assert parse_scalar("   ") is None
+
+    def test_generator_alias_delegates(self):
+        from repro.core.function_generator import FunctionGenerator
+
+        assert FunctionGenerator._parse_value("7") == 7.0

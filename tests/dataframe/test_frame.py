@@ -144,6 +144,21 @@ class TestStructure:
         out = insurance.drop(columns="nope", errors="ignore")
         assert out.shape == insurance.shape
 
+    def test_drop_inplace_removes_without_copy(self, insurance):
+        age = insurance["Age"]
+        assert insurance.drop(columns="Sex", inplace=True) is None
+        assert "Sex" not in insurance
+        assert insurance["Age"] is age  # remaining columns not copied
+
+    def test_drop_inplace_list(self, insurance):
+        insurance.drop(columns=["Sex", "City"], inplace=True)
+        assert insurance.shape[1] == 5
+
+    def test_drop_inplace_missing_raises(self, insurance):
+        with pytest.raises(KeyError):
+            insurance.drop(columns="nope", inplace=True)
+        insurance.drop(columns="nope", errors="ignore", inplace=True)  # no-op
+
     def test_rename(self, insurance):
         out = insurance.rename(columns={"Age": "age_years"})
         assert "age_years" in out

@@ -36,3 +36,30 @@ class TestProfileIndependence:
         small = smartfeat_call_profile(load_dataset("housing", n_rows=200), seed=0)
         large = smartfeat_call_profile(load_dataset("housing", n_rows=400), seed=0)
         assert small["n_calls"] == large["n_calls"]
+
+    def test_serial_profile_critical_path_equals_summed(self):
+        from repro.eval.efficiency import smartfeat_call_profile
+
+        profile = smartfeat_call_profile(load_dataset("housing", n_rows=200), seed=0)
+        assert profile["critical_path_s"] == pytest.approx(
+            profile["latency_s"], abs=0.01
+        )
+
+
+class TestConcurrencySpeedup:
+    def test_threaded_execution_3x_faster_and_equivalent(self):
+        """The concurrent-execution acceptance bar: at concurrency 8 the
+        modelled critical path drops >= 3x while the accepted features
+        and ledger totals match the serial run exactly."""
+        from repro.eval.efficiency import concurrency_speedup_report
+
+        report = concurrency_speedup_report(
+            load_dataset("heart", n_rows=300), concurrency=8
+        )
+        assert report["identical_features"]
+        assert report["identical_ledgers"]
+        assert report["speedup"] >= 3.0
+        assert report["concurrent_critical_path_s"] < report["serial_critical_path_s"]
+        assert report["summed_latency_s"] == pytest.approx(
+            report["serial_critical_path_s"]
+        )

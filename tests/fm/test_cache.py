@@ -1,0 +1,156 @@
+"""Tests for the temperature-0 FM cache (LRU, persistence, integration)."""
+
+import threading
+
+import pytest
+
+from repro.fm import FMCache, FMRequest, ScriptedFM, SerialExecutor, SimulatedFM
+from repro.fm import ThreadPoolFMExecutor
+
+
+class TestCachePolicy:
+    def test_roundtrip_at_temperature_zero(self):
+        cache = FMCache()
+        client = SimulatedFM(seed=0)
+        response = client.build_response("p", "answer text")
+        cache.put("gpt-4", "p", 0.0, response)
+        hit = cache.get("gpt-4", "p", 0.0)
+        assert hit is not None
+        assert hit.text == "answer text"
+        assert hit.cost_usd == response.cost_usd
+
+    def test_sampling_temperature_never_cached(self):
+        cache = FMCache()
+        client = SimulatedFM(seed=0)
+        cache.put("gpt-4", "p", 0.7, client.build_response("p", "x"))
+        assert len(cache) == 0
+        assert cache.get("gpt-4", "p", 0.7) is None
+        assert cache.misses == 0  # sampling lookups bypass the stats too
+
+    def test_model_is_part_of_the_key(self):
+        cache = FMCache()
+        client = SimulatedFM(seed=0)
+        cache.put("gpt-4", "p", 0.0, client.build_response("p", "four"))
+        assert cache.get("gpt-3.5-turbo", "p", 0.0) is None
+
+    def test_lru_eviction(self):
+        cache = FMCache(max_entries=2)
+        client = SimulatedFM(seed=0)
+        for name in ("a", "b", "c"):
+            cache.put("m", name, 0.0, client.build_response(name, name))
+        assert cache.get("m", "a", 0.0) is None  # oldest evicted
+        assert cache.get("m", "c", 0.0) is not None
+        assert cache.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        cache = FMCache(max_entries=2)
+        client = SimulatedFM(seed=0)
+        cache.put("m", "a", 0.0, client.build_response("a", "a"))
+        cache.put("m", "b", 0.0, client.build_response("b", "b"))
+        cache.get("m", "a", 0.0)  # a becomes most recent
+        cache.put("m", "c", 0.0, client.build_response("c", "c"))
+        assert cache.get("m", "a", 0.0) is not None
+        assert cache.get("m", "b", 0.0) is None
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            FMCache(max_entries=0)
+
+
+class TestPersistence:
+    def test_save_and_load_roundtrip(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = FMCache(path=path)
+        client = SimulatedFM(seed=0)
+        cache.put("gpt-4", "prompt", 0.0, client.build_response("prompt", "cached answer"))
+        cache.save()
+        warm = FMCache(path=path)
+        hit = warm.get("gpt-4", "prompt", 0.0)
+        assert hit is not None and hit.text == "cached answer"
+
+    def test_save_without_path_raises(self):
+        with pytest.raises(ValueError):
+            FMCache().save()
+
+
+class TestClientIntegration:
+    def test_second_call_hits_without_rerunning(self):
+        fm = ScriptedFM(["first"], model="scripted")
+        fm.cache = FMCache()
+        a = fm.complete("p", temperature=0.0)
+        b = fm.complete("p", temperature=0.0)  # would exhaust the script
+        assert a.text == b.text == "first"
+        assert fm.ledger.n_calls == 1
+        assert fm.ledger.cache_hits == 1
+
+    def test_hits_add_no_cost_or_latency(self):
+        fm = SimulatedFM(seed=0)
+        fm.cache = FMCache()
+        fm.complete("deterministic prompt", temperature=0.0)
+        snap_cold = fm.ledger.snapshot()
+        fm.complete("deterministic prompt", temperature=0.0)
+        snap_warm = fm.ledger.snapshot()
+        assert snap_warm["n_calls"] == snap_cold["n_calls"]
+        assert snap_warm["cost_usd"] == snap_cold["cost_usd"]
+        assert snap_warm["latency_s"] == snap_cold["latency_s"]
+        assert snap_warm["cache_hits"] == 1
+
+    def test_cache_shared_across_clients_keyed_by_model(self):
+        cache = FMCache()
+        a = SimulatedFM(seed=0, model="gpt-4")
+        b = SimulatedFM(seed=0, model="gpt-4")
+        a.cache = cache
+        b.cache = cache
+        a.complete("shared prompt", temperature=0.0)
+        b.complete("shared prompt", temperature=0.0)
+        assert b.ledger.n_calls == 0
+        assert b.ledger.cache_hits == 1
+
+    def test_executor_batches_use_the_cache(self):
+        fm = SimulatedFM(seed=0)
+        fm.cache = FMCache()
+        requests = [FMRequest(f"p{i}", 0.0) for i in range(6)]
+        SerialExecutor().run(fm, requests)
+        executor = ThreadPoolFMExecutor(4)
+        results = executor.run(fm, requests)
+        assert all(r.cached for r in results)
+        assert executor.stats.cache_hits == 6
+        assert executor.stats.critical_path_s == 0.0
+
+    def test_warm_cache_keeps_sampling_trajectory(self):
+        """Cache hits consume the simulator's counter, so a warm rerun
+        draws the same sampling sequence as the cold run."""
+
+        def run(cache):
+            fm = SimulatedFM(seed=3)
+            fm.cache = cache
+            fm.complete("deterministic a", temperature=0.0)
+            drawn = fm.complete("sampled", temperature=0.9).text
+            fm.complete("deterministic b", temperature=0.0)
+            return drawn
+
+        cache = FMCache()
+        cold = run(cache)
+        warm = run(cache)
+        assert cold == warm
+
+
+class TestThreadSafety:
+    def test_concurrent_puts_and_gets(self):
+        cache = FMCache(max_entries=64)
+        client = SimulatedFM(seed=0)
+
+        def hammer(k: int):
+            for i in range(100):
+                name = f"t{k} p{i % 8}"
+                cache.put("m", name, 0.0, client.build_response(name, name))
+                cache.get("m", name, 0.0)
+
+        threads = [threading.Thread(target=hammer, args=(k,)) for k in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(cache) <= 64
+        snap = cache.snapshot()
+        assert snap["puts"] == 600

@@ -1,0 +1,235 @@
+"""Tests for the FM execution layer: backends, retries, accounting."""
+
+import threading
+import time
+
+import pytest
+
+from repro.fm import (
+    FMError,
+    FMRequest,
+    RetryPolicy,
+    ScriptedFM,
+    SerialExecutor,
+    SimulatedFM,
+    ThreadPoolFMExecutor,
+    critical_path_seconds,
+)
+from repro.fm.base import CallLedger, FMClient
+
+
+class SlowFM(FMClient):
+    """Sleeps per call and tracks how many calls ran at once."""
+
+    def __init__(self, delay_s: float = 0.02) -> None:
+        super().__init__(model="slow")
+        self.delay_s = delay_s
+        self._active = 0
+        self.max_active = 0
+        self._gauge = threading.Lock()
+
+    def _complete_text(self, prompt: str, temperature: float) -> str:
+        with self._gauge:
+            self._active += 1
+            self.max_active = max(self.max_active, self._active)
+        time.sleep(self.delay_s)
+        with self._gauge:
+            self._active -= 1
+        return f"echo:{prompt}"
+
+
+class FlakyFM(FMClient):
+    """Raises a transient error for the first *failures* of each prompt."""
+
+    def __init__(self, failures: int = 1) -> None:
+        super().__init__(model="flaky")
+        self.failures = failures
+        self.attempts: dict[str, int] = {}
+
+    def _complete_text(self, prompt: str, temperature: float) -> str:
+        seen = self.attempts.get(prompt, 0)
+        self.attempts[prompt] = seen + 1
+        if seen < self.failures:
+            raise FMError(f"transient failure {seen + 1} for {prompt}")
+        return f"ok:{prompt}"
+
+
+class TestCriticalPath:
+    def test_empty(self):
+        assert critical_path_seconds([], 4) == 0.0
+
+    def test_serial_is_sum(self):
+        assert critical_path_seconds([1.0, 2.0, 3.0], 1) == pytest.approx(6.0)
+
+    def test_fully_parallel_is_max(self):
+        assert critical_path_seconds([1.0, 2.0, 3.0], 3) == pytest.approx(3.0)
+
+    def test_greedy_in_order_assignment(self):
+        # Two workers, in-order: [3] | [1, 1, 1] -> makespan 3.
+        assert critical_path_seconds([3.0, 1.0, 1.0, 1.0], 2) == pytest.approx(3.0)
+        # Two workers: [2, 1] | [2] -> makespan 3.
+        assert critical_path_seconds([2.0, 2.0, 1.0], 2) == pytest.approx(3.0)
+
+    def test_never_below_longest_call(self):
+        assert critical_path_seconds([5.0, 0.1, 0.1], 8) == pytest.approx(5.0)
+
+
+class TestBackendEquivalence:
+    def _requests(self):
+        return [FMRequest(f"prompt {i}", 0.0 if i % 2 else 0.7) for i in range(12)]
+
+    def test_simulated_fm_identical_under_both_backends(self):
+        serial_fm = SimulatedFM(seed=7)
+        threaded_fm = SimulatedFM(seed=7)
+        serial = SerialExecutor().run(serial_fm, self._requests())
+        threaded = ThreadPoolFMExecutor(4).run(threaded_fm, self._requests())
+        assert [r.response.text for r in serial] == [r.response.text for r in threaded]
+        assert serial_fm.ledger.snapshot() == threaded_fm.ledger.snapshot()
+
+    def test_scripted_list_preserves_submission_order(self):
+        responses = [f"answer {i}" for i in range(10)]
+        fm = ScriptedFM(responses)
+        results = ThreadPoolFMExecutor(4).run(
+            fm, [FMRequest(f"p{i}") for i in range(10)]
+        )
+        assert [r.response.text for r in results] == responses
+
+    def test_ledger_history_in_submission_order(self):
+        fm = SimulatedFM(seed=0)
+        fm.ledger.keep_history = True
+        requests = [FMRequest(f"prompt {i}") for i in range(8)]
+        ThreadPoolFMExecutor(4).run(fm, requests)
+        assert [prompt for prompt, _ in fm.ledger.history] == [r.prompt for r in requests]
+
+    def test_complete_batch_defaults_to_serial(self):
+        fm = ScriptedFM(["a", "b"])
+        results = fm.complete_batch([FMRequest("1"), FMRequest("2")])
+        assert [r.response.text for r in results] == ["a", "b"]
+
+
+class TestConcurrencyBounds:
+    def test_thread_pool_actually_parallel(self):
+        fm = SlowFM(delay_s=0.03)
+        start = time.perf_counter()
+        ThreadPoolFMExecutor(8).run(fm, [FMRequest(f"p{i}") for i in range(8)])
+        elapsed = time.perf_counter() - start
+        assert fm.max_active > 1
+        assert elapsed < 8 * 0.03  # faster than the serial sum
+
+    def test_concurrency_is_bounded(self):
+        fm = SlowFM(delay_s=0.02)
+        ThreadPoolFMExecutor(3).run(fm, [FMRequest(f"p{i}") for i in range(12)])
+        assert fm.max_active <= 3
+
+    def test_invalid_concurrency_rejected(self):
+        with pytest.raises(ValueError):
+            ThreadPoolFMExecutor(0)
+
+
+class TestErrorsAndRetries:
+    def test_errors_surface_as_results_not_exceptions(self):
+        fm = ScriptedFM(["only one"])
+        results = SerialExecutor().run(fm, [FMRequest("a"), FMRequest("b")])
+        assert results[0].ok
+        assert not results[1].ok
+        assert isinstance(results[1].error, FMError)
+        with pytest.raises(FMError):
+            results[1].unwrap()
+
+    def test_no_retry_by_default(self):
+        fm = FlakyFM(failures=1)
+        results = SerialExecutor().run(fm, [FMRequest("p")])
+        assert not results[0].ok
+        assert fm.attempts["p"] == 1
+
+    def test_retry_policy_recovers_transient_failures(self):
+        fm = FlakyFM(failures=1)
+        executor = SerialExecutor(retry=RetryPolicy(max_attempts=2))
+        results = executor.run(fm, [FMRequest("p")])
+        assert results[0].ok
+        assert results[0].response.text == "ok:p"
+        assert results[0].attempts == 2
+        assert executor.stats.n_retries == 1
+
+    def test_retry_exhaustion_returns_last_error(self):
+        fm = FlakyFM(failures=5)
+        executor = ThreadPoolFMExecutor(2, retry=RetryPolicy(max_attempts=3))
+        results = executor.run(fm, [FMRequest("p")])
+        assert not results[0].ok
+        assert results[0].attempts == 3
+
+    def test_failed_calls_not_recorded_in_ledger(self):
+        fm = ScriptedFM(["only one"])
+        SerialExecutor().run(fm, [FMRequest("a"), FMRequest("b"), FMRequest("c")])
+        assert fm.ledger.n_calls == 1
+
+    def test_executor_complete_raises_on_failure(self):
+        fm = ScriptedFM([])
+        with pytest.raises(FMError):
+            SerialExecutor().complete(fm, "p")
+
+
+class TestStats:
+    def test_serial_critical_path_equals_sum(self):
+        fm = SimulatedFM(seed=0)
+        executor = SerialExecutor()
+        executor.run(fm, [FMRequest(f"p{i}") for i in range(5)])
+        stats = executor.stats
+        assert stats.critical_path_s == pytest.approx(stats.summed_latency_s)
+        assert stats.n_calls == 5
+        assert stats.n_batches == 1
+
+    def test_threaded_critical_path_below_sum(self):
+        fm = SimulatedFM(seed=0)
+        executor = ThreadPoolFMExecutor(4)
+        executor.run(fm, [FMRequest(f"p{i}") for i in range(8)])
+        stats = executor.stats
+        assert stats.critical_path_s < stats.summed_latency_s
+
+    def test_stats_accumulate_across_batches(self):
+        fm = SimulatedFM(seed=0)
+        executor = SerialExecutor()
+        executor.run(fm, [FMRequest("a")])
+        executor.run(fm, [FMRequest("b")])
+        assert executor.stats.n_batches == 2
+        assert executor.stats.n_calls == 2
+
+
+class TestLedgerThreadSafety:
+    def test_concurrent_recording_keeps_exact_totals(self):
+        ledger = CallLedger()
+        client = SimulatedFM(seed=0)
+        response = client.build_response("prompt", "four token text here")
+        n_threads, per_thread = 8, 250
+
+        def hammer():
+            for _ in range(per_thread):
+                ledger.record("prompt", response)
+                ledger.record_cache_hit()
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = n_threads * per_thread
+        assert ledger.n_calls == total
+        assert ledger.cache_hits == total
+        assert ledger.prompt_tokens == total * response.prompt_tokens
+        assert ledger.completion_tokens == total * response.completion_tokens
+        assert ledger.cost_usd == pytest.approx(total * response.cost_usd)
+
+    def test_concurrent_complete_calls_exact_ledger(self):
+        fm = SimulatedFM(seed=0)
+        n_threads, per_thread = 6, 40
+
+        def hammer(k: int):
+            for i in range(per_thread):
+                fm.complete(f"thread {k} call {i}")
+
+        threads = [threading.Thread(target=hammer, args=(k,)) for k in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert fm.ledger.n_calls == n_threads * per_thread
