@@ -14,7 +14,10 @@ paper's findings:
 The concurrency benchmark compares the serial and thread-pool FM
 executors on identical wave semantics: same accepted features, same
 ledger totals, ≥3× lower modelled critical-path latency at concurrency
-8.  ``python benchmarks/bench_efficiency.py`` runs it standalone (no
+8.  The sweep benchmark applies the same comparison one level up: the
+cell-parallel eval sweep must reproduce the serial sweep cell for cell
+with a ≥2.5× lower modelled sweep wall-clock at ``sweep_concurrency=4``.
+``python benchmarks/bench_efficiency.py`` runs both standalone (no
 pytest session) and writes ``BENCH_efficiency.json`` at the repo root
 for the performance trajectory.
 """
@@ -23,10 +26,19 @@ import json
 from pathlib import Path
 
 from repro.datasets import load_dataset
-from repro.eval import concurrency_speedup_report, render_table
+from repro.eval import SweepConfig, concurrency_speedup_report, render_table, run_sweep
 
 CONCURRENCY = 8
 SPEEDUP_DATASETS = ("heart", "diabetes", "tennis")
+SWEEP_CONCURRENCY = 4
+SWEEP_DATASETS = ("heart", "diabetes", "tennis")
+#: AutoFeat is excluded from the sweep benchmark: its modelled duration is
+#: pure measured-wall-time extrapolation (no fixed FM latency), so on a
+#: slow machine it becomes the makespan's long pole and the speedup number
+#: would measure the benchmark host, not the engine.  The FM-driven cells'
+#: modelled durations are dominated by deterministic simulated latency,
+#: keeping the assertion machine-independent.
+SWEEP_METHODS = ("initial", "smartfeat", "caafe", "featuretools")
 
 
 def run_concurrency_benchmark() -> dict:
@@ -74,6 +86,78 @@ def render_concurrency_table(payload: dict) -> str:
     )
 
 
+def _sweep_fingerprint(result) -> dict:
+    """Per-cell outcome identity, excluding real-time measurements."""
+    return {
+        f"{dataset}/{method}": (
+            outcome.status,
+            {model: round(auc, 9) for model, auc in outcome.auc_by_model.items()},
+            outcome.fm_calls,
+            round(outcome.fm_cost_usd, 9),
+        )
+        for (dataset, method), outcome in result.outcomes.items()
+    }
+
+
+def run_sweep_speedup_benchmark() -> dict:
+    """Serial vs cell-parallel eval sweep: identical cells, shorter makespan.
+
+    The modelled numbers extrapolate each cell's full-scale duration and
+    schedule them onto ``SWEEP_CONCURRENCY`` workers (the same greedy
+    makespan model the FM executor uses), so the headline speedup does
+    not depend on the benchmark machine's core count.
+    """
+    config = SweepConfig(
+        datasets=SWEEP_DATASETS,
+        methods=SWEEP_METHODS,
+        models=("lr", "nb"),
+        n_rows=250,
+        n_splits=3,
+        time_limit_s=None,
+    )
+    serial = run_sweep(config)
+    parallel = run_sweep(config, sweep_concurrency=SWEEP_CONCURRENCY)
+    modelled_serial = serial.modelled_serial_s
+    modelled_parallel = serial.modelled_wall_s(SWEEP_CONCURRENCY)
+    return {
+        "sweep_concurrency": SWEEP_CONCURRENCY,
+        "datasets": list(SWEEP_DATASETS),
+        "n_cells": len(serial.outcomes),
+        "status_counts": serial.status_counts(),
+        "total_fm_calls": serial.total_fm_calls,
+        "modelled_serial_s": round(modelled_serial, 1),
+        "modelled_parallel_s": round(modelled_parallel, 1),
+        "speedup": round(modelled_serial / modelled_parallel, 2),
+        "wall_serial_s": round(serial.wall_s, 2),
+        "wall_parallel_s": round(parallel.wall_s, 2),
+        "identical_cells": _sweep_fingerprint(serial) == _sweep_fingerprint(parallel),
+    }
+
+
+def render_sweep_speedup_table(payload: dict) -> str:
+    rows = [
+        [
+            "+".join(payload["datasets"]),
+            str(payload["n_cells"]),
+            f"{payload['modelled_serial_s']:,.1f}",
+            f"{payload['modelled_parallel_s']:,.1f}",
+            f"{payload['speedup']:.2f}x",
+            "yes" if payload["identical_cells"] else "NO",
+        ]
+    ]
+    return render_table(
+        [
+            "sweep",
+            "cells",
+            "serial (s)",
+            f"c={payload['sweep_concurrency']} (s)",
+            "speedup",
+            "equivalent",
+        ],
+        rows,
+    )
+
+
 def test_concurrent_critical_path(results_dir):
     """Thread-pool execution: ≥3× shorter critical path, identical output."""
     from benchmarks.conftest import write_result
@@ -86,14 +170,30 @@ def test_concurrent_critical_path(results_dir):
     assert payload["min_speedup"] >= 3.0, payload
 
 
+def test_sweep_parallel_speedup(results_dir):
+    """Cell-parallel sweep: ≥2.5× shorter modelled makespan, identical cells."""
+    from benchmarks.conftest import write_result
+
+    payload = run_sweep_speedup_benchmark()
+    write_result(results_dir, "efficiency_sweep.txt", render_sweep_speedup_table(payload))
+    assert payload["identical_cells"], payload
+    assert payload["speedup"] >= 2.5, payload
+
+
 def main() -> int:
     payload = run_concurrency_benchmark()
     print(render_concurrency_table(payload))
+    sweep_payload = run_sweep_speedup_benchmark()
+    payload["sweep"] = sweep_payload
+    print()
+    print(render_sweep_speedup_table(sweep_payload))
     out = Path(__file__).resolve().parent.parent / "BENCH_efficiency.json"
     out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {out}")
     assert payload["all_equivalent"], "serial/concurrent runs diverged"
     assert payload["min_speedup"] >= 3.0, f"speedup below 3x: {payload['min_speedup']}"
+    assert sweep_payload["identical_cells"], "serial/parallel sweeps diverged"
+    assert sweep_payload["speedup"] >= 2.5, f"sweep speedup below 2.5x: {sweep_payload['speedup']}"
     return 0
 
 

@@ -28,7 +28,7 @@ from repro.core.prompts import caafe_prompt
 from repro.core.sandbox import TransformError, run_script
 from repro.dataframe import DataFrame
 from repro.fm.base import FMClient
-from repro.fm.errors import FMError, FMParseError
+from repro.fm.errors import FMBudgetExceededError, FMError, FMParseError
 from repro.ml.base import BaseEstimator, clone
 from repro.ml.metrics import roc_auc_score
 from repro.ml.model_selection import train_test_split
@@ -95,6 +95,8 @@ class CAAFELike:
                 response = self.fm.complete(prompt, temperature=0.7)
                 code = extract_code(response.text)
                 candidate_frame = run_script(code, working)
+            except FMBudgetExceededError:
+                raise  # budget exhaustion ends the whole run, not one round
             except (FMError, FMParseError, TransformError):
                 continue
             new_columns = [c for c in candidate_frame.columns if c not in working.columns]

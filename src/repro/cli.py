@@ -19,9 +19,22 @@ import sys
 
 from repro.core import SmartFeat
 from repro.datasets import DATASET_NAMES, list_datasets, load_dataset
-from repro.eval import SweepConfig, render_auc_table, render_table, run_sweep
+from repro.eval import (
+    SweepConfig,
+    render_auc_table,
+    render_sweep_summary,
+    render_table,
+    run_sweep,
+)
 from repro.eval.harness import evaluate_models
-from repro.fm import FMCache, SerialExecutor, SimulatedFM, ThreadPoolFMExecutor
+from repro.fm import (
+    Budget,
+    FMBudgetExceededError,
+    FMCache,
+    SerialExecutor,
+    SimulatedFM,
+    ThreadPoolFMExecutor,
+)
 
 __all__ = ["build_parser", "main"]
 
@@ -65,13 +78,45 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="persistent JSON cache for temperature-0 FM calls (created if missing)",
     )
+    _add_budget_flags(run)
 
     compare = sub.add_parser("compare", help="compare methods on a built-in dataset")
     compare.add_argument("dataset", choices=DATASET_NAMES)
     compare.add_argument("--rows", type=int, default=900)
     compare.add_argument("--models", default="lr,nb,rf", help="comma-separated model names")
     compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument(
+        "--sweep-concurrency",
+        type=int,
+        default=1,
+        help="max (dataset, method) cells evaluated at once (1 = serial sweep)",
+    )
+    _add_budget_flags(compare, per_cell=True)
     return parser
+
+
+def _add_budget_flags(parser: argparse.ArgumentParser, per_cell: bool = False) -> None:
+    scope = "per sweep cell" if per_cell else "for the run"
+    parser.add_argument(
+        "--max-cost",
+        type=float,
+        default=None,
+        metavar="USD",
+        help=f"FM dollar budget {scope}; exceeding it stops FM calls",
+    )
+    parser.add_argument(
+        "--max-fm-calls",
+        type=int,
+        default=None,
+        metavar="N",
+        help=f"FM call budget {scope}; exceeding it stops FM calls",
+    )
+
+
+def _budget_from_args(args) -> Budget | None:
+    if args.max_cost is None and args.max_fm_calls is None:
+        return None
+    return Budget(max_cost_usd=args.max_cost, max_calls=args.max_fm_calls)
 
 
 def _cmd_datasets() -> int:
@@ -124,14 +169,20 @@ def _cmd_run(args) -> int:
         executor=executor,
         cache=cache,
         wave_size=wave_size,
+        budget=_budget_from_args(args),
     )
-    result = tool.fit_transform(
-        frame,
-        target=target,
-        descriptions=descriptions,
-        title=title,
-        target_description=target_description,
-    )
+    try:
+        result = tool.fit_transform(
+            frame,
+            target=target,
+            descriptions=descriptions,
+            title=title,
+            target_description=target_description,
+        )
+    except FMBudgetExceededError as exc:
+        if cache is not None:
+            cache.save()  # keep what was paid for; a rerun starts warm
+        raise SystemExit(f"aborted: {exc}")
     print(f"Generated {len(result.new_features)} features:")
     for feature in result.new_features.values():
         print(f"  [{feature.family.value:10s}] {feature.name}")
@@ -168,6 +219,8 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_compare(args) -> int:
+    if args.sweep_concurrency < 1:
+        raise SystemExit("--sweep-concurrency must be >= 1")
     config = SweepConfig(
         datasets=(args.dataset,),
         models=tuple(m.strip() for m in args.models.split(",") if m.strip()),
@@ -175,9 +228,14 @@ def _cmd_compare(args) -> int:
         n_splits=3,
         time_limit_s=None,
         seed=args.seed,
+        sweep_concurrency=args.sweep_concurrency,
+        max_cost_usd=args.max_cost,
+        max_fm_calls=args.max_fm_calls,
     )
     result = run_sweep(config, progress=lambda line: print(f"  {line}", file=sys.stderr))
     print(render_auc_table(result, aggregate="average"))
+    print(file=sys.stderr)
+    print(render_sweep_summary(result), file=sys.stderr)
     return 0
 
 

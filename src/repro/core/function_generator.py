@@ -28,7 +28,7 @@ from repro.core import prompts
 from repro.core.agenda import DataAgenda
 from repro.core.parsing import extract_code, parse_scalar
 from repro.core.sandbox import SandboxViolation, TransformError, run_transform
-from repro.fm.errors import FMError, FMParseError
+from repro.fm.errors import FMBudgetExceededError, FMError, FMParseError
 from repro.core.types import (
     FeatureCandidate,
     GeneratedFeature,
@@ -137,6 +137,8 @@ class FunctionGenerator:
                     outcomes.append(
                         self.realize(candidate, agenda, frame, executor=executor)
                     )
+            except FMBudgetExceededError:
+                raise  # budget exhaustion aborts the run, not one candidate
             except REALIZE_ERRORS as exc:
                 outcomes.append(exc)
         return outcomes

@@ -53,9 +53,9 @@ from repro.core.types import (
 from repro.core.parsing import parse_json_response, parse_scalar
 from repro.core.validation import ValidationConfig, validate_output
 from repro.dataframe import DataFrame
-from repro.fm.base import FMClient
+from repro.fm.base import Budget, FMClient
 from repro.fm.cache import FMCache
-from repro.fm.errors import FMError, FMParseError
+from repro.fm.errors import FMBudgetExceededError, FMError, FMParseError
 from repro.fm.executor import FMExecutor, FMRequest, SerialExecutor
 
 __all__ = ["SmartFeat", "SmartFeatResult"]
@@ -147,6 +147,15 @@ class SmartFeat:
         temperature-0 calls.  Note the attachment outlives this
         instance — the clients keep serving from the cache until it is
         detached (``fm.cache = None``).
+    budget:
+        Optional :class:`~repro.fm.base.Budget` attached to both
+        clients' ledgers (one shared meter, so it caps their *combined*
+        spend).  When a call crosses a limit,
+        :class:`~repro.fm.errors.FMBudgetExceededError` propagates out
+        of :meth:`fit_transform` — it is never absorbed as a generation
+        error, so callers can degrade gracefully (the eval sweep marks
+        the cell ``status="budget"``).  Like ``cache``, the attachment
+        outlives this instance.
     wave_size:
         Sampling draws speculatively issued per wave (and the agenda
         snapshot granularity).  This is a *semantic* knob: it changes
@@ -175,6 +184,7 @@ class SmartFeat:
         executor: FMExecutor | None = None,
         cache: FMCache | None = None,
         wave_size: int | None = None,
+        budget: Budget | None = None,
     ) -> None:
         if row_level_policy not in ("auto", "never", "always"):
             raise ValueError(f"invalid row_level_policy: {row_level_policy!r}")
@@ -198,6 +208,10 @@ class SmartFeat:
         if cache is not None:
             self.fm.cache = cache
             self.function_fm.cache = cache
+        self.budget = budget
+        if budget is not None:
+            self.fm.ledger.budget = budget
+            self.function_fm.ledger.budget = budget
         self.wave_size = wave_size if wave_size is not None else 1
         self.selector = OperatorSelector(fm, temperature=temperature, executor=self.executor)
         self.generator = FunctionGenerator(
@@ -287,6 +301,8 @@ class SmartFeat:
         ordered: list[tuple[str, FeatureCandidate]] = []
         for attr, outcome in zip(original_features, proposals):
             if not outcome.ok:
+                if isinstance(outcome.error, FMBudgetExceededError):
+                    raise outcome.error  # budget exhaustion aborts the run
                 if isinstance(outcome.error, (FMError, FMParseError)):
                     result.errors["unary"] = result.errors.get("unary", 0) + 1
                     continue
@@ -311,6 +327,8 @@ class SmartFeat:
             candidates = self.selector.binary_candidates_proposal(
                 agenda, k=self.sampling_budget
             )
+        except FMBudgetExceededError:
+            raise  # budget exhaustion aborts the run, not just the stage
         except (FMError, FMParseError):
             result.errors["binary"] = result.errors.get("binary", 0) + 1
             return
@@ -358,6 +376,8 @@ class SmartFeat:
                 if errors >= self.error_threshold:
                     break
                 if not outcome.ok:
+                    if isinstance(outcome.error, FMBudgetExceededError):
+                        raise outcome.error  # budget exhaustion aborts the run
                     if isinstance(outcome.error, (FMError, FMParseError)):
                         errors += 1
                         continue
@@ -394,6 +414,8 @@ class SmartFeat:
         """Realize, validate, and install one candidate; True on success."""
         try:
             realized = self.generator.realize(candidate, agenda, working)
+        except FMBudgetExceededError:
+            raise  # budget exhaustion aborts the run, not one candidate
         except REALIZE_ERRORS as exc:
             realized = exc
         return self._install(candidate, realized, working, agenda, result)
@@ -461,6 +483,8 @@ class SmartFeat:
                 self.fm, _prompts.feature_removal_prompt(agenda), temperature=0.0
             )
             payload = parse_json_response(response.text)
+        except FMBudgetExceededError:
+            raise  # budget exhaustion aborts the run, not just the stage
         except (FMError, FMParseError):
             result.errors["removal"] = result.errors.get("removal", 0) + 1
             return

@@ -13,15 +13,24 @@
 """
 
 from repro.eval.harness import evaluate_models, feature_matrix
-from repro.eval.runner import MethodOutcome, SweepConfig, run_sweep
+from repro.eval.runner import MethodOutcome, SweepConfig, SweepResult, run_sweep
 from repro.eval.importance import importance_table
 from repro.eval.ablation import operator_ablation
 from repro.eval.efficiency import concurrency_speedup_report, interaction_cost_comparison
-from repro.eval.reporting import render_auc_table, render_table
+from repro.eval.reporting import render_auc_table, render_sweep_summary, render_table
+from repro.eval.sweep_executor import (
+    SerialSweepExecutor,
+    SweepExecutor,
+    ThreadPoolSweepExecutor,
+)
 
 __all__ = [
     "MethodOutcome",
+    "SerialSweepExecutor",
     "SweepConfig",
+    "SweepExecutor",
+    "SweepResult",
+    "ThreadPoolSweepExecutor",
     "concurrency_speedup_report",
     "evaluate_models",
     "feature_matrix",
@@ -29,6 +38,7 @@ __all__ = [
     "interaction_cost_comparison",
     "operator_ablation",
     "render_auc_table",
+    "render_sweep_summary",
     "render_table",
     "run_sweep",
 ]

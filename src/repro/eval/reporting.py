@@ -6,7 +6,7 @@ from collections.abc import Sequence
 
 from repro.eval.runner import SweepResult
 
-__all__ = ["render_auc_table", "render_table"]
+__all__ = ["render_auc_table", "render_sweep_summary", "render_table"]
 
 
 def render_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
@@ -21,11 +21,16 @@ def render_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
 
 
 def _format_cell(value: float | None, initial: float | None, status: str) -> str:
-    """One Table 4/5 cell: ``AUC (+x.x%)`` / ``-`` for failures / ``DNF``."""
+    """One Table 4/5 cell: ``AUC (+x.x%)`` / ``-`` for failures / ``DNF`` /
+    ``BUDGET`` for FM-budget-exhausted cells / ``ERR`` for crashed ones."""
     if status == "failed":
         return "-"
     if status == "dnf":
         return "DNF"
+    if status == "budget":
+        return "BUDGET"
+    if status == "error":
+        return "ERR"
     if value is None:
         return "?"
     if initial is None or initial == 0:
@@ -73,3 +78,29 @@ def render_auc_table(result: SweepResult, aggregate: str = "average") -> str:
             row.append(_format_cell(agg(outcome), initial_by_dataset[dataset], outcome.status))
         rows.append(row)
     return render_table(headers, rows)
+
+
+def render_sweep_summary(result: SweepResult) -> str:
+    """One-paragraph sweep roll-up: cells by status, FM spend, wall clock.
+
+    The modelled line compares the full-scale serial sweep duration with
+    the makespan at the configured ``sweep_concurrency`` — the headline
+    number the efficiency benchmark tracks.
+    """
+    counts = result.status_counts()
+    status_text = ", ".join(f"{counts[s]} {s}" for s in sorted(counts)) or "no cells"
+    concurrency = result.config.sweep_concurrency
+    lines = [
+        f"cells: {len(result.outcomes)} ({status_text})",
+        f"fm: {result.total_fm_calls} calls, ${result.total_fm_cost_usd:.2f}",
+        f"sweep wall: {result.wall_s:.1f}s at sweep_concurrency={concurrency}",
+    ]
+    serial = result.modelled_serial_s
+    if serial > 0 and concurrency > 1:
+        parallel = result.modelled_wall_s()
+        speedup = serial / parallel if parallel > 0 else 1.0
+        lines.append(
+            f"modelled full-scale: {serial:,.0f}s serial -> {parallel:,.0f}s "
+            f"at concurrency {concurrency} ({speedup:.2f}x)"
+        )
+    return "\n".join(lines)

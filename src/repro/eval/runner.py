@@ -15,12 +15,32 @@ Protocol notes (Section 4.1/4.2 of the paper → this reproduction):
   timeouts on Bank/Adult and CAAFE's DNN timeouts on large datasets.
 * A method whose transformed frame breaks strict model fitting (e.g.
   CAAFE's divide-by-zero on Diabetes) records a **failure**.
+
+Execution model
+---------------
+Every (dataset, method) cell is an independent, order-insensitive job:
+it loads no global state, carries its own seeded FM clients, and writes
+only its own :class:`MethodOutcome`.  ``run_sweep`` therefore dispatches
+the cells through a pluggable
+:class:`~repro.eval.sweep_executor.SweepExecutor` —
+serial by default, a bounded thread pool at
+``SweepConfig.sweep_concurrency > 1`` — and assembles results in
+configuration order regardless of completion order, so serial and
+parallel sweeps produce identical outcomes for seeded clients (timing
+fields aside).  One caveat: DNF decisions extrapolate *measured* wall
+time, which scheduler contention inflates under heavy fan-out, so pin
+``time_limit_s=None`` when asserting exact serial/parallel equality on
+borderline cells.  Cells are fault-isolated: one crashing method records a
+``status="error"`` cell instead of killing the sweep, and a cell whose
+FM spend crosses the configured :class:`~repro.fm.base.Budget` degrades
+to ``status="budget"`` while every other cell proceeds untouched.
 """
 
 from __future__ import annotations
 
+import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.baselines import (
     AutoFeatLike,
@@ -33,7 +53,15 @@ from repro.core import SmartFeat
 from repro.datasets import load_dataset
 from repro.datasets.schema import DatasetBundle
 from repro.eval.harness import NonFiniteFeaturesError, evaluate_models
+from repro.eval.sweep_executor import (
+    SerialSweepExecutor,
+    SweepExecutor,
+    ThreadPoolSweepExecutor,
+)
 from repro.fm import SimulatedFM
+from repro.fm.base import Budget
+from repro.fm.cost import critical_path_seconds
+from repro.fm.errors import FMBudgetExceededError
 from repro.ml.registry import MODEL_NAMES
 
 __all__ = ["MethodOutcome", "SweepConfig", "SweepResult", "run_sweep"]
@@ -69,6 +97,17 @@ class SweepConfig:
     ``n_rows`` caps the working sample per dataset; ``time_limit_s`` is
     the modelled full-scale budget (the paper used one hour = 3600 s);
     ``None`` or ``0`` disables the limit.
+
+    ``sweep_concurrency`` caps how many (dataset, method) cells run at
+    once (1 = the seed's serial nested loop).  ``max_cost_usd`` /
+    ``max_fm_calls`` / ``max_fm_latency_s`` configure a *per-cell* FM
+    :class:`~repro.fm.base.Budget`: a cell that crosses a limit records
+    ``status="budget"`` without affecting any other cell.
+
+    Note that DNF decisions compare *measured* wall time (extrapolated)
+    against ``time_limit_s``; under heavy cell parallelism, scheduler
+    contention inflates measured times, so pin ``time_limit_s=None`` when
+    asserting serial/parallel equality.
     """
 
     datasets: tuple[str, ...] = (
@@ -87,26 +126,47 @@ class SweepConfig:
     n_splits: int = 3
     time_limit_s: float | None = 3600.0
     seed: int = 0
+    sweep_concurrency: int = 1
+    max_cost_usd: float | None = None
+    max_fm_calls: int | None = None
+    max_fm_latency_s: float | None = None
 
     @property
     def deadline_seconds(self) -> float | None:
         return self.time_limit_s if self.time_limit_s else None
+
+    def cell_budget(self) -> Budget | None:
+        """A fresh per-cell FM budget, or None when no limit is set."""
+        if (
+            self.max_cost_usd is None
+            and self.max_fm_calls is None
+            and self.max_fm_latency_s is None
+        ):
+            return None
+        return Budget(
+            max_cost_usd=self.max_cost_usd,
+            max_calls=self.max_fm_calls,
+            max_latency_s=self.max_fm_latency_s,
+        )
 
 
 @dataclass
 class MethodOutcome:
     """One (dataset, method) cell: per-model AUCs plus bookkeeping.
 
-    ``status`` summarises the cell; ``model_status`` records per-model
-    outcomes for model-aware methods (CAAFE's DNN can DNF while its other
-    runs complete, as in the paper).  ``modelled_s`` is the worst
-    per-run modelled full-scale time.
+    ``status`` summarises the cell — ``"ok"``, ``"partial"``, ``"dnf"``,
+    ``"failed"``, ``"budget"`` (FM budget exhausted mid-cell), or
+    ``"error"`` (the method crashed; the sweep continued without it).
+    ``model_status`` records per-model outcomes for model-aware methods
+    (CAAFE's DNN can DNF while its other runs complete, as in the
+    paper).  ``modelled_s`` is the worst per-run modelled full-scale
+    time.
     """
 
     dataset: str
     method: str
     auc_by_model: dict[str, float] = field(default_factory=dict)
-    status: str = "ok"  # "ok" | "dnf" | "failed" | "partial"
+    status: str = "ok"  # "ok" | "dnf" | "failed" | "partial" | "budget" | "error"
     detail: str = ""
     model_status: dict[str, str] = field(default_factory=dict)
     n_generated: int = 0
@@ -136,13 +196,52 @@ class MethodOutcome:
 
 @dataclass
 class SweepResult:
-    """All outcomes of a sweep, indexed by (dataset, method)."""
+    """All outcomes of a sweep, indexed by (dataset, method).
+
+    ``wall_s`` is the sweep's real elapsed time; the ``modelled_*``
+    accessors extrapolate the cells' modelled full-scale times to sweep
+    level, which is how the efficiency benchmark quantifies the win from
+    cell-level parallelism without needing full-scale hardware.
+    """
 
     config: SweepConfig
     outcomes: dict[tuple[str, str], MethodOutcome] = field(default_factory=dict)
+    wall_s: float = 0.0
 
     def get(self, dataset: str, method: str) -> MethodOutcome:
         return self.outcomes[(dataset, method)]
+
+    @property
+    def modelled_serial_s(self) -> float:
+        """Modelled full-scale sweep duration with cells run one by one."""
+        return sum(outcome.modelled_s for outcome in self.outcomes.values())
+
+    def modelled_wall_s(self, concurrency: int | None = None) -> float:
+        """Modelled full-scale sweep makespan under bounded cell fan-out.
+
+        Cells are assigned to ``concurrency`` workers greedily in
+        configuration order — the same schedule
+        :func:`~repro.fm.cost.critical_path_seconds` models for FM call
+        batches, applied one level up.
+        """
+        workers = concurrency if concurrency is not None else self.config.sweep_concurrency
+        durations = [outcome.modelled_s for outcome in self.outcomes.values()]
+        return critical_path_seconds(durations, max(workers, 1))
+
+    @property
+    def total_fm_calls(self) -> int:
+        return sum(outcome.fm_calls for outcome in self.outcomes.values())
+
+    @property
+    def total_fm_cost_usd(self) -> float:
+        return sum(outcome.fm_cost_usd for outcome in self.outcomes.values())
+
+    def status_counts(self) -> dict[str, int]:
+        """How many cells ended in each status (for summaries/tests)."""
+        counts: dict[str, int] = {}
+        for outcome in self.outcomes.values():
+            counts[outcome.status] = counts.get(outcome.status, 0) + 1
+        return counts
 
 
 def _transform_with_method(
@@ -151,6 +250,7 @@ def _transform_with_method(
     model_name: str,
     seed: int,
     deadline: Deadline,
+    budget: Budget | None = None,
 ):
     """Run one AFE method; returns (frame, n_generated, n_selected, fm)."""
     if method == "initial":
@@ -158,7 +258,12 @@ def _transform_with_method(
     if method == "smartfeat":
         fm = SimulatedFM(seed=seed, model="gpt-4")
         function_fm = SimulatedFM(seed=seed + 1, model="gpt-3.5-turbo")
-        tool = SmartFeat(fm=fm, function_fm=function_fm, downstream_model=model_name)
+        tool = SmartFeat(
+            fm=fm,
+            function_fm=function_fm,
+            downstream_model=model_name,
+            budget=budget,
+        )
         result = tool.fit_transform(
             bundle.frame,
             target=bundle.target,
@@ -172,7 +277,7 @@ def _transform_with_method(
         fm.ledger.n_calls += function_fm.ledger.n_calls
         return result.frame, n_new, n_new, fm
     if method == "caafe":
-        fm = SimulatedFM(seed=seed, model="gpt-4")
+        fm = SimulatedFM(seed=seed, model="gpt-4", budget=budget)
         caafe = CAAFELike(fm, validation_model=model_name, seed=seed)
         result = caafe.fit_transform(
             bundle.frame,
@@ -217,14 +322,23 @@ def _summarise_status(outcome: MethodOutcome) -> None:
     statuses = set(outcome.model_status.values())
     if statuses == {"ok"}:
         outcome.status = "ok"
+    elif "budget" in statuses:
+        # Budget exhaustion trumps partial success: the cell's remaining
+        # work was cut off by spend, not by the method's own behaviour.
+        outcome.status = "budget"
     elif "ok" not in statuses:
         outcome.status = "failed" if "failed" in statuses else "dnf"
     else:
         outcome.status = "partial"
 
 
-def _run_model_aware(outcome, bundle, method, config, scale_base) -> None:
-    """Per-model transform + evaluation, with per-model DNF accounting."""
+def _run_model_aware(outcome, bundle, method, config, scale_base, budget) -> None:
+    """Per-model transform + evaluation, with per-model DNF accounting.
+
+    The cell-level *budget* is shared across the per-model runs: once a
+    run crosses it, that model records ``"budget"`` and every later model
+    trips its pre-flight check immediately (no further spend).
+    """
     alpha = _TIME_SCALING_ALPHA[method]
     for model_name in config.models:
         started = time.monotonic()
@@ -232,10 +346,16 @@ def _run_model_aware(outcome, bundle, method, config, scale_base) -> None:
             frame, n_gen, n_sel, fm = _transform_with_method(
                 method, bundle, model_name, config.seed,
                 Deadline(seconds=config.deadline_seconds),
+                budget=budget,
             )
         except BaselineTimeoutError as exc:
             outcome.model_status[model_name] = "dnf"
             outcome.detail = str(exc)
+            continue
+        except FMBudgetExceededError as exc:
+            outcome.model_status[model_name] = "budget"
+            outcome.detail = str(exc)
+            outcome.wall_s += time.monotonic() - started
             continue
         wall = time.monotonic() - started
         outcome.wall_s += wall
@@ -289,25 +409,114 @@ def _run_model_agnostic(outcome, bundle, method, config, scale_base) -> None:
     _summarise_status(outcome)
 
 
-def run_sweep(config: SweepConfig | None = None, progress=None) -> SweepResult:
+def _run_cell(
+    config: SweepConfig, bundle: DatasetBundle, dataset_name: str, method: str
+) -> MethodOutcome:
+    """Execute one (dataset, method) cell with full fault isolation.
+
+    Never raises: a budget trip degrades the cell to ``status="budget"``
+    and any other exception to ``status="error"``, so one broken method
+    cannot take down the rest of the sweep.
+    """
+    outcome = MethodOutcome(dataset=dataset_name, method=method)
+    scale_base = bundle.spec.n_rows / max(len(bundle.frame), 1)
+    budget = config.cell_budget()
+    try:
+        if _model_aware(method):
+            _run_model_aware(outcome, bundle, method, config, scale_base, budget)
+            _summarise_status(outcome)
+        else:
+            _run_model_agnostic(outcome, bundle, method, config, scale_base)
+    except FMBudgetExceededError as exc:  # defensive: escaped per-model handling
+        outcome.status = "budget"
+        outcome.detail = str(exc)
+    except Exception as exc:  # noqa: BLE001 - cell isolation is the contract
+        outcome.status = "error"
+        outcome.detail = f"{type(exc).__name__}: {exc}"
+    if budget is not None and _model_aware(method):
+        # The budget meter is the ground truth for the cell's FM spend:
+        # a run that tripped mid-flight never returned its clients, so
+        # the per-run ledger harvest alone would underreport exactly the
+        # spend the budget exists to track.
+        outcome.fm_calls = budget.spent_calls
+        outcome.fm_cost_usd = budget.spent_cost_usd
+    return outcome
+
+
+def run_sweep(
+    config: SweepConfig | None = None,
+    progress=None,
+    sweep_concurrency: int | None = None,
+    sweep_executor: SweepExecutor | None = None,
+) -> SweepResult:
     """Run the full Table 4/5 sweep under *config*.
 
     *progress* is an optional callable receiving human-readable status
-    lines (benchmarks print them).
+    lines (benchmarks print them); it is invoked under a lock so
+    concurrent cells cannot interleave partial lines.
+
+    *sweep_concurrency* overrides ``config.sweep_concurrency``;
+    *sweep_executor* injects a custom backend (the caller keeps
+    ownership and must close it).  Cells are dispatched as independent
+    jobs and re-assembled in configuration order, so the result mapping
+    is identical under any backend.
     """
     config = config or SweepConfig()
-    result = SweepResult(config=config)
+    if sweep_concurrency is not None:
+        config = replace(config, sweep_concurrency=sweep_concurrency)
+    if sweep_executor is not None:
+        if sweep_concurrency is not None:
+            raise ValueError(
+                "pass either sweep_concurrency or sweep_executor, not both: "
+                "the executor's own fan-out is what actually runs"
+            )
+        # Reflect what will actually run, so SweepResult.modelled_wall_s
+        # and the summary report the injected backend's fan-out.
+        config = replace(
+            config, sweep_concurrency=getattr(sweep_executor, "concurrency", 1)
+        )
+    unknown = [m for m in config.methods if m not in METHOD_NAMES]
+    if unknown:
+        raise ValueError(f"unknown method {unknown[0]!r}; expected one of {METHOD_NAMES}")
+    if config.sweep_concurrency < 1:
+        raise ValueError(f"sweep_concurrency must be >= 1, got {config.sweep_concurrency}")
+
     say = progress or (lambda message: None)
-    for dataset_name in config.datasets:
-        bundle = load_dataset(dataset_name, seed=config.seed, n_rows=config.n_rows)
-        scale_base = bundle.spec.n_rows / max(len(bundle.frame), 1)
-        for method in config.methods:
-            outcome = MethodOutcome(dataset=dataset_name, method=method)
-            say(f"{dataset_name}: running {method}")
-            if _model_aware(method):
-                _run_model_aware(outcome, bundle, method, config, scale_base)
-                _summarise_status(outcome)
-            else:
-                _run_model_agnostic(outcome, bundle, method, config, scale_base)
-            result.outcomes[(dataset_name, method)] = outcome
+    say_lock = threading.Lock()
+
+    def locked_say(message: str) -> None:
+        with say_lock:
+            say(message)
+
+    # Bundles are loaded serially up front: dataset generation is the only
+    # shared mutable step, and loading is deterministic, so this keeps the
+    # parallel sweep byte-identical to the serial one.
+    bundles = {
+        name: load_dataset(name, seed=config.seed, n_rows=config.n_rows)
+        for name in config.datasets
+    }
+    cells = [(dataset, method) for dataset in config.datasets for method in config.methods]
+
+    def job(cell: tuple[str, str]) -> MethodOutcome:
+        dataset_name, method = cell
+        locked_say(f"{dataset_name}: running {method}")
+        return _run_cell(config, bundles[dataset_name], dataset_name, method)
+
+    executor = sweep_executor
+    owns_executor = executor is None
+    if executor is None:
+        executor = (
+            SerialSweepExecutor()
+            if config.sweep_concurrency == 1
+            else ThreadPoolSweepExecutor(config.sweep_concurrency)
+        )
+    started = time.monotonic()
+    try:
+        outcomes = executor.map(job, cells)
+    finally:
+        if owns_executor:
+            executor.close()
+    result = SweepResult(config=config, wall_s=time.monotonic() - started)
+    for cell, outcome in zip(cells, outcomes):
+        result.outcomes[cell] = outcome
     return result

@@ -1,0 +1,96 @@
+"""Pluggable execution backends for the evaluation sweep.
+
+The sweep's (dataset, method) cells are independent, order-insensitive
+jobs — exactly the shape :mod:`repro.fm.executor` handles for FM calls —
+so the same contract applies one level up: a :class:`SweepExecutor` maps
+a job function over the cells and returns results in submission order,
+with two backends:
+
+:class:`SerialSweepExecutor`
+    One cell at a time (the seed behaviour).
+:class:`ThreadPoolSweepExecutor`
+    Bounded thread-pool fan-out.  Cells carry their own seeded FM
+    clients and their own working frames, so thread scheduling cannot
+    change any cell's outcome — only the sweep's wall clock.
+
+Fault isolation lives in the job function (the runner catches per-cell
+exceptions and degrades the cell to ``status="error"``), so ``map`` here
+stays a plain order-preserving fan-out: an exception escaping a job is a
+runner bug and propagates.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Callable, Sequence
+from concurrent.futures import ThreadPoolExecutor
+from typing import TypeVar
+
+__all__ = ["SerialSweepExecutor", "SweepExecutor", "ThreadPoolSweepExecutor"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class SweepExecutor(abc.ABC):
+    """Runs independent sweep jobs under one concurrency contract."""
+
+    #: Number of cells that may run at once.
+    concurrency: int = 1
+
+    @abc.abstractmethod
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        """Apply *fn* to every item, returning results in item order."""
+
+    def close(self) -> None:
+        """Release any backing resources (idempotent; default no-op)."""
+
+    def __enter__(self) -> "SweepExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SerialSweepExecutor(SweepExecutor):
+    """One cell at a time — the seed's nested-loop sweep."""
+
+    concurrency = 1
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        return [fn(item) for item in items]
+
+
+class ThreadPoolSweepExecutor(SweepExecutor):
+    """Bounded thread-pool fan-out over sweep cells.
+
+    The pool is created lazily and reused across :meth:`map` calls; it is
+    torn down by :meth:`close` (or interpreter exit).  Results are
+    gathered in submission order regardless of completion order, so a
+    parallel sweep assembles the same result mapping as a serial one.
+    """
+
+    def __init__(self, concurrency: int = 4) -> None:
+        if concurrency < 1:
+            raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+        self.concurrency = concurrency
+        self._pool: ThreadPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.concurrency, thread_name_prefix="sweep"
+            )
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        if len(items) <= 1:
+            return [fn(item) for item in items]
+        pool = self._ensure_pool()
+        futures = [pool.submit(fn, item) for item in items]
+        return [future.result() for future in futures]

@@ -32,10 +32,10 @@ handling) is exercised identically whether the text comes from GPT-4 or
 from the simulator.
 """
 
-from repro.fm.base import CallLedger, FMClient, FMResponse
+from repro.fm.base import Budget, CallLedger, FMClient, FMResponse
 from repro.fm.cache import FMCache
 from repro.fm.cost import CostModel, critical_path_seconds, estimate_tokens
-from repro.fm.errors import FMBudgetExceededError, FMError, FMParseError
+from repro.fm.errors import FMBudgetExceededError, FMError, FMParseError, FMRateLimitError
 from repro.fm.executor import (
     ExecutionStats,
     FMExecutor,
@@ -51,6 +51,7 @@ from repro.fm.scripted import RecordingFM, ReplayFM, ScriptedFM
 from repro.fm.simulated import SimulatedFM
 
 __all__ = [
+    "Budget",
     "CallLedger",
     "ColumnRole",
     "CostModel",
@@ -61,6 +62,7 @@ __all__ = [
     "FMError",
     "FMExecutor",
     "FMParseError",
+    "FMRateLimitError",
     "FMRequest",
     "FMResponse",
     "FMResult",

@@ -7,6 +7,13 @@ always performed in submission order) and *text generation*
 Deterministic backends key their entropy or cursor on the reserved state,
 so a batch of calls answers identically whether it runs serially or on a
 thread pool — the contract the executor layer builds on.
+
+Cost control rides on the same accounting: a :class:`Budget` caps dollar
+cost, call count, and summed latency.  One budget may be shared by
+several clients (operator selector + function generator), in which case
+it caps their *combined* spend; every charge funnels through the
+budget's own lock, so concurrent execution cannot overshoot by more than
+the batch already in flight.
 """
 
 from __future__ import annotations
@@ -17,12 +24,13 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.fm.cost import CostModel, estimate_tokens
+from repro.fm.errors import FMBudgetExceededError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.fm.cache import FMCache
     from repro.fm.executor import FMExecutor, FMRequest, FMResult
 
-__all__ = ["CallLedger", "FMClient", "FMResponse"]
+__all__ = ["Budget", "CallLedger", "FMClient", "FMResponse"]
 
 
 @dataclass(frozen=True)
@@ -38,6 +46,97 @@ class FMResponse:
 
 
 @dataclass
+class Budget:
+    """Hard ceilings on FM spend, enforced as calls are recorded.
+
+    ``None`` disables an axis.  The crossing call is *charged* (its cost
+    was already incurred) and then raises
+    :class:`~repro.fm.errors.FMBudgetExceededError`; :meth:`check` is the
+    pre-flight guard executors run before dispatching a batch, so an
+    exhausted budget stops new work at batch granularity — identical
+    under the serial and thread-pool backends, which is what keeps a
+    budgeted run deterministic across executors.
+
+    The spend counters are mutable and lock-protected: one ``Budget``
+    instance is a shared meter, not a per-client configuration.  Attach
+    the same instance to several ledgers to cap their combined spend.
+    """
+
+    max_cost_usd: float | None = None
+    max_calls: int | None = None
+    max_latency_s: float | None = None
+    spent_cost_usd: float = field(default=0.0, init=False)
+    spent_calls: int = field(default=0, init=False)
+    spent_latency_s: float = field(default=0.0, init=False)
+
+    def __post_init__(self) -> None:
+        for name in ("max_cost_usd", "max_calls", "max_latency_s"):
+            limit = getattr(self, name)
+            if limit is not None and limit < 0:
+                raise ValueError(f"{name} must be >= 0, got {limit}")
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def charge(self, cost_usd: float = 0.0, latency_s: float = 0.0, calls: int = 1) -> None:
+        """Record spend; raise if this charge crossed a limit.
+
+        The charge is always applied — the call already happened — so the
+        counters stay an exact account of what was spent even when the
+        budget trips.
+        """
+        with self._lock:
+            self.spent_cost_usd += cost_usd
+            self.spent_latency_s += latency_s
+            self.spent_calls += calls
+            violation = self._violation_locked(strict=True)
+        if violation is not None:
+            raise FMBudgetExceededError(*violation)
+
+    def check(self) -> None:
+        """Pre-flight guard: raise if there is no headroom left."""
+        with self._lock:
+            violation = self._violation_locked(strict=False)
+        if violation is not None:
+            raise FMBudgetExceededError(*violation)
+
+    def exhausted(self) -> bool:
+        """True when no headroom remains on some axis."""
+        with self._lock:
+            return self._violation_locked(strict=False) is not None
+
+    def _violation_locked(self, strict: bool) -> tuple[str, str, float, float] | None:
+        """The first exhausted axis as error args, or None.
+
+        ``strict`` distinguishes post-charge (over the limit) from
+        pre-flight (at the limit: the next call could only overshoot).
+        """
+        axes = (
+            ("calls", self.max_calls, self.spent_calls),
+            ("cost_usd", self.max_cost_usd, self.spent_cost_usd),
+            ("latency_s", self.max_latency_s, self.spent_latency_s),
+        )
+        for axis, limit, spent in axes:
+            if limit is None:
+                continue
+            if spent > limit or (not strict and spent >= limit):
+                message = f"FM budget exceeded on {axis}: spent {spent:g} of {limit:g}"
+                return (message, axis, float(limit), float(spent))
+        return None
+
+    def snapshot(self) -> dict[str, float | None]:
+        """Limits and spend as a plain dict (for reports and tests)."""
+        with self._lock:
+            return {
+                "max_cost_usd": self.max_cost_usd,
+                "max_calls": self.max_calls,
+                "max_latency_s": self.max_latency_s,
+                "spent_cost_usd": round(self.spent_cost_usd, 6),
+                "spent_calls": self.spent_calls,
+                "spent_latency_s": round(self.spent_latency_s, 3),
+            }
+
+
+@dataclass
 class CallLedger:
     """Accumulates per-call accounting across a client's lifetime.
 
@@ -46,6 +145,12 @@ class CallLedger:
     thread-safe so batched execution cannot corrupt the totals; cache
     hits are tallied separately and never contribute calls, tokens, or
     cost.
+
+    An attached :class:`Budget` is charged on every recorded call:
+    :meth:`record` first updates the totals (the spend is real either
+    way), then lets the budget raise
+    :class:`~repro.fm.errors.FMBudgetExceededError` if the call crossed a
+    limit.
     """
 
     n_calls: int = 0
@@ -56,6 +161,7 @@ class CallLedger:
     cache_hits: int = 0
     history: list[tuple[str, str]] = field(default_factory=list)
     keep_history: bool = False
+    budget: "Budget | None" = None
 
     def __post_init__(self) -> None:
         self._lock = threading.Lock()
@@ -69,6 +175,13 @@ class CallLedger:
             self.cost_usd += response.cost_usd
             if self.keep_history:
                 self.history.append((prompt, response.text))
+        if self.budget is not None:
+            self.budget.charge(cost_usd=response.cost_usd, latency_s=response.latency_s)
+
+    def check_budget(self) -> None:
+        """Raise if the attached budget (if any) has no headroom left."""
+        if self.budget is not None:
+            self.budget.check()
 
     def record_cache_hit(self) -> None:
         with self._lock:
@@ -113,11 +226,12 @@ class FMClient(abc.ABC):
         model: str = "simulated",
         cost_model: CostModel | None = None,
         cache: "FMCache | None" = None,
+        budget: "Budget | None" = None,
     ) -> None:
         self.model = model
         self.cost_model = cost_model or CostModel(model=model)
         self.cache = cache
-        self.ledger = CallLedger()
+        self.ledger = CallLedger(budget=budget)
 
     # ------------------------------------------------------------------
     # Generation protocol
@@ -182,6 +296,7 @@ class FMClient(abc.ABC):
             self._on_cache_hit(prompt, temperature)
             self.ledger.record_cache_hit()
             return cached
+        self.ledger.check_budget()  # cache hits are free; only real calls are gated
         state = self._reserve_state(prompt, temperature)
         text = self._complete_with_state(prompt, temperature, state)
         response = self.build_response(prompt, text)

@@ -1,6 +1,13 @@
 """Exception hierarchy for the foundation-model substrate."""
 
-__all__ = ["FMBudgetExceededError", "FMError", "FMParseError"]
+from __future__ import annotations
+
+__all__ = [
+    "FMBudgetExceededError",
+    "FMError",
+    "FMParseError",
+    "FMRateLimitError",
+]
 
 
 class FMError(Exception):
@@ -11,5 +18,36 @@ class FMParseError(FMError):
     """An FM response could not be parsed into the expected structure."""
 
 
+class FMRateLimitError(FMError):
+    """The backend rejected a call with a rate limit (HTTP 429).
+
+    Transient by definition: a :class:`~repro.fm.executor.RetryPolicy`
+    with backoff is the intended recovery path.  ``retry_after_s`` carries
+    the server's suggested wait when one was provided.
+    """
+
+    def __init__(self, message: str = "rate limited", retry_after_s: float | None = None):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
 class FMBudgetExceededError(FMError):
-    """A call/token/cost budget was exhausted mid-interaction."""
+    """A call/cost/latency budget was exhausted mid-interaction.
+
+    ``axis`` names the exhausted dimension (``"calls"``, ``"cost_usd"``,
+    or ``"latency_s"``); ``limit`` and ``spent`` quantify it.  Budget
+    exhaustion is terminal for the run that hit it — it is never retried
+    (retrying spends more of what is already gone).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        axis: str | None = None,
+        limit: float | None = None,
+        spent: float | None = None,
+    ):
+        super().__init__(message)
+        self.axis = axis
+        self.limit = limit
+        self.spent = spent

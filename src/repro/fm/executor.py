@@ -33,7 +33,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.fm.cost import critical_path_seconds
-from repro.fm.errors import FMError
+from repro.fm.errors import FMBudgetExceededError, FMError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.fm.base import FMClient, FMResponse
@@ -86,17 +86,34 @@ class RetryPolicy:
     ``max_attempts`` counts the first try; the default of 1 disables
     retries (deterministic clients gain nothing from them).  Only
     exceptions matching ``retry_on`` are retried — parse-level failures
-    happen downstream of the client and never reach the executor.
-    ``backoff_s`` sleeps between attempts (kept at 0 for simulated
-    backends; HTTP backends should set it).
+    happen downstream of the client and never reach the executor, and
+    :class:`~repro.fm.errors.FMBudgetExceededError` is never retried
+    (retrying only spends more of an already-exhausted budget).
+
+    ``backoff_s`` is the sleep before the second attempt; each further
+    attempt multiplies it by ``backoff_multiplier`` (2.0 gives the
+    classic exponential schedule HTTP 429 handling wants), capped at
+    ``max_backoff_s``.  The defaults keep simulated backends at zero
+    sleep.
     """
 
     max_attempts: int = 1
     retry_on: tuple[type[Exception], ...] = (FMError,)
     backoff_s: float = 0.0
+    backoff_multiplier: float = 1.0
+    max_backoff_s: float | None = None
 
     def should_retry(self, error: Exception, attempt: int) -> bool:
+        if isinstance(error, FMBudgetExceededError):
+            return False
         return attempt < self.max_attempts and isinstance(error, self.retry_on)
+
+    def backoff_for(self, attempt: int) -> float:
+        """Seconds to sleep after failed attempt number *attempt* (1-based)."""
+        delay = self.backoff_s * (self.backoff_multiplier ** (attempt - 1))
+        if self.max_backoff_s is not None:
+            delay = min(delay, self.max_backoff_s)
+        return delay
 
 
 @dataclass
@@ -168,9 +185,10 @@ class FMExecutor(abc.ABC):
             except Exception as exc:  # noqa: BLE001 - surfaced via FMResult
                 if not self.should_retry_error(exc, attempt):
                     return FMResult(request=request, error=exc, attempts=attempt)
+                delay = self.retry.backoff_for(attempt)
                 attempt += 1
-                if self.retry.backoff_s > 0:
-                    time.sleep(self.retry.backoff_s)
+                if delay > 0:
+                    time.sleep(delay)
                 state = client._reserve_state(request.prompt, request.temperature)
 
     def should_retry_error(self, error: Exception, attempt: int) -> bool:
@@ -180,7 +198,13 @@ class FMExecutor(abc.ABC):
     def _finish_batch(
         self, client: "FMClient", results: list[FMResult]
     ) -> list[FMResult]:
-        """Record ledger/cache entries and stats in submission order."""
+        """Record ledger/cache entries and stats in submission order.
+
+        A budget that trips mid-batch is re-raised only after every
+        executed call has been accounted for — the calls already
+        happened, so the ledger and stats must reflect them exactly.
+        """
+        budget_error: FMBudgetExceededError | None = None
         latencies: list[float] = []
         for result in results:
             self.stats.n_retries += result.attempts - 1
@@ -190,7 +214,10 @@ class FMExecutor(abc.ABC):
                 continue
             if result.ok:
                 response = result.response
-                client.ledger.record(result.request.prompt, response)
+                try:
+                    client.ledger.record(result.request.prompt, response)
+                except FMBudgetExceededError as exc:
+                    budget_error = budget_error or exc
                 client._cache_put(
                     result.request.prompt, result.request.temperature, response
                 )
@@ -203,6 +230,8 @@ class FMExecutor(abc.ABC):
         self.stats.critical_path_s += critical_path_seconds(
             latencies, self.concurrency
         )
+        if budget_error is not None:
+            raise budget_error
         return results
 
 
@@ -212,6 +241,12 @@ class SerialExecutor(FMExecutor):
     concurrency = 1
 
     def run(self, client: "FMClient", requests: list[FMRequest]) -> list[FMResult]:
+        # Budget is enforced at batch granularity — one pre-flight check
+        # before the batch's *first real call* (cache hits are free, so a
+        # fully-cached batch is served even after exhaustion), plus a
+        # post-hoc raise if the batch crossed the line — so serial and
+        # threaded backends issue exactly the same calls.
+        budget_checked = False
         results: list[FMResult] = []
         for request in requests:
             cached = client._cache_get(request.prompt, request.temperature)
@@ -219,6 +254,9 @@ class SerialExecutor(FMExecutor):
                 client._on_cache_hit(request.prompt, request.temperature)
                 results.append(FMResult(request=request, response=cached, cached=True))
                 continue
+            if not budget_checked:
+                client.ledger.check_budget()
+                budget_checked = True
             state = client._reserve_state(request.prompt, request.temperature)
             results.append(self._attempt(client, request, state))
         return self._finish_batch(client, results)
@@ -258,6 +296,10 @@ class ThreadPoolFMExecutor(FMExecutor):
         self.close()
 
     def run(self, client: "FMClient", requests: list[FMRequest]) -> list[FMResult]:
+        # Same batch-granular budget contract as SerialExecutor.run: the
+        # check runs once, before the first uncached request reserves
+        # state, so fully-cached batches stay free after exhaustion.
+        budget_checked = False
         results: list[FMResult | None] = [None] * len(requests)
         pending: list[tuple[int, FMRequest, object]] = []
         # Phase 1 (main thread, submission order): cache lookups and
@@ -269,6 +311,9 @@ class ThreadPoolFMExecutor(FMExecutor):
                 client._on_cache_hit(request.prompt, request.temperature)
                 results[index] = FMResult(request=request, response=cached, cached=True)
             else:
+                if not budget_checked:
+                    client.ledger.check_budget()
+                    budget_checked = True
                 state = client._reserve_state(request.prompt, request.temperature)
                 pending.append((index, request, state))
         # Phase 2: fan out the uncached calls.  A batch of one (single

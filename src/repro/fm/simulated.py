@@ -29,7 +29,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.fm.base import FMClient
+from repro.fm.base import Budget, FMClient
 from repro.fm.codegen import derivation_tag, generate_transform_source
 from repro.fm.cost import CostModel
 from repro.fm.knowledge import KnowledgeStore, default_knowledge
@@ -144,8 +144,11 @@ class SimulatedFM(FMClient):
         knowledge: KnowledgeStore | None = None,
         error_rate: float = 0.0,
         cost_model: CostModel | None = None,
+        budget: "Budget | None" = None,
     ) -> None:
-        super().__init__(model=model, cost_model=cost_model or CostModel(model=model))
+        super().__init__(
+            model=model, cost_model=cost_model or CostModel(model=model), budget=budget
+        )
         self.seed = seed
         self.knowledge = knowledge or default_knowledge()
         self.error_rate = error_rate

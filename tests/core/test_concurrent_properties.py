@@ -1,0 +1,186 @@
+"""Property-based serial/threaded equivalence over the concurrency stack.
+
+`tests/core/test_concurrent_pipeline.py` pins fixed-case equivalence;
+these properties generalise it: for *random* wave sizes, concurrency
+levels, and scripted-client schedules, the serial and thread-pool
+executors must yield bit-identical pipeline outputs and ledger totals.
+Hypothesis drives the search; example counts are capped because every
+example runs a full (small) pipeline.
+"""
+
+import json
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import SmartFeat
+from repro.core.types import OperatorFamily
+from repro.dataframe import DataFrame
+from repro.fm import (
+    FMRequest,
+    ScriptedFM,
+    SerialExecutor,
+    SimulatedFM,
+    ThreadPoolFMExecutor,
+)
+
+
+def small_frame() -> DataFrame:
+    return DataFrame(
+        {
+            "Age": [21, 35, 42, 22, 45, 56, 30, 28] * 6,
+            "Income": [10.0, 25.0, 18.5, 40.0, 31.0, 22.0, 15.5, 60.0] * 6,
+            "City": ["SF", "LA", "SEA", "SF", "SEA", "LA", "SF", "LA"] * 6,
+            "Target": [0, 1, 1, 0, 1, 1, 0, 1] * 6,
+        }
+    )
+
+
+DESCRIPTIONS = {
+    "Age": "Age of the customer in years",
+    "Income": "Annual income in thousands of dollars",
+    "City": "City of residence",
+}
+
+
+# ----------------------------------------------------------------------
+# Executor-level: random batches against the seeded simulator.
+# ----------------------------------------------------------------------
+@given(
+    seed=st.integers(min_value=0, max_value=50),
+    concurrency=st.integers(min_value=2, max_value=8),
+    batch_sizes=st.lists(st.integers(min_value=1, max_value=9), min_size=1, max_size=4),
+    temperature_pattern=st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=30, deadline=None)
+def test_simulator_batches_identical_across_backends(
+    seed, concurrency, batch_sizes, temperature_pattern
+):
+    def run(executor):
+        fm = SimulatedFM(seed=seed)
+        texts = []
+        call = 0
+        for size in batch_sizes:
+            requests = [
+                FMRequest(
+                    f"prompt {call + i}",
+                    0.0 if (call + i) % temperature_pattern else 0.7,
+                )
+                for i in range(size)
+            ]
+            call += size
+            texts.extend(r.response.text for r in executor.run(fm, requests))
+        return texts, fm.ledger.snapshot(), executor.stats.summed_latency_s
+
+    serial_texts, serial_ledger, serial_latency = run(SerialExecutor())
+    with ThreadPoolFMExecutor(concurrency) as pool:
+        threaded_texts, threaded_ledger, threaded_latency = run(pool)
+    assert serial_texts == threaded_texts
+    assert serial_ledger == threaded_ledger
+    assert serial_latency == threaded_latency
+
+
+# ----------------------------------------------------------------------
+# Pipeline-level: random wave sizes and concurrency over the simulator.
+# ----------------------------------------------------------------------
+@given(
+    seed=st.integers(min_value=0, max_value=5),
+    wave_size=st.integers(min_value=1, max_value=6),
+    concurrency=st.integers(min_value=2, max_value=8),
+)
+@settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_pipeline_identical_across_backends(seed, wave_size, concurrency):
+    def run(executor):
+        fm = SimulatedFM(seed=seed, model="gpt-4")
+        function_fm = SimulatedFM(seed=seed + 1, model="gpt-3.5-turbo")
+        tool = SmartFeat(
+            fm=fm,
+            function_fm=function_fm,
+            downstream_model="decision_tree",
+            executor=executor,
+            wave_size=wave_size,
+        )
+        result = tool.fit_transform(
+            small_frame(), target="Target", descriptions=dict(DESCRIPTIONS)
+        )
+        return (
+            sorted(result.new_features),
+            result.dropped,
+            result.errors,
+            result.rejections,
+            fm.ledger.snapshot(),
+            function_fm.ledger.snapshot(),
+        )
+
+    serial = run(SerialExecutor())
+    with ThreadPoolFMExecutor(concurrency) as pool:
+        threaded = run(pool)
+    assert serial == threaded
+
+
+# ----------------------------------------------------------------------
+# Scripted schedules: adversarial mixes of valid, duplicate, and garbage
+# responses at random positions must fail identically on both backends.
+# ----------------------------------------------------------------------
+def _binary_candidate(index: int) -> str:
+    return json.dumps(
+        {
+            "operator": "-",
+            "columns": ["Age", "Income"],
+            "name": f"gap_{index}",
+            "description": f"binary[-]: gap variant {index}",
+        }
+    )
+
+
+GOOD_CODE = "```python\ndef transform(df):\n    return df['Age'] - df['Income']\n```"
+
+
+@given(
+    schedule=st.lists(
+        st.sampled_from(["valid", "garbage", "duplicate"]), min_size=2, max_size=12
+    ),
+    wave_size=st.integers(min_value=1, max_value=5),
+    concurrency=st.integers(min_value=2, max_value=6),
+    error_threshold=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_scripted_schedules_identical_across_backends(
+    schedule, wave_size, concurrency, error_threshold
+):
+    def responses():
+        out = []
+        for i, kind in enumerate(schedule):
+            if kind == "valid":
+                out.append(_binary_candidate(i))
+            elif kind == "duplicate":
+                out.append(_binary_candidate(0))
+            else:
+                out.append("garbage that parses to nothing")
+        return out
+
+    def run(executor):
+        fm = ScriptedFM(responses())
+        function_fm = ScriptedFM(lambda prompt: GOOD_CODE)
+        tool = SmartFeat(
+            fm=fm,
+            function_fm=function_fm,
+            downstream_model="decision_tree",
+            operator_families=(OperatorFamily.BINARY,),
+            sampling_budget=len(schedule),
+            error_threshold=error_threshold,
+            wave_size=wave_size,
+            executor=executor,
+        )
+        result = tool.fit_transform(small_frame(), target="Target")
+        return (
+            sorted(result.new_features),
+            result.errors,
+            fm.ledger.n_calls,
+            fm.ledger.snapshot(),
+        )
+
+    serial = run(SerialExecutor())
+    with ThreadPoolFMExecutor(concurrency) as pool:
+        threaded = run(pool)
+    assert serial == threaded

@@ -1,0 +1,225 @@
+"""Budget enforcement: ledger charging, executor granularity, pipeline
+propagation.  The contract under test: the crossing call is charged (its
+cost is real), :class:`FMBudgetExceededError` then stops further spend,
+cache hits stay free, and enforcement is batch-granular so serial and
+threaded backends issue exactly the same calls."""
+
+import pytest
+
+from repro.core import SmartFeat
+from repro.datasets import load_dataset
+from repro.fm import (
+    Budget,
+    FMBudgetExceededError,
+    FMCache,
+    FMRequest,
+    RetryPolicy,
+    ScriptedFM,
+    SerialExecutor,
+    SimulatedFM,
+    ThreadPoolFMExecutor,
+)
+
+
+class TestBudgetPrimitive:
+    def test_negative_limit_rejected(self):
+        for kwargs in ({"max_cost_usd": -0.1}, {"max_calls": -1}, {"max_latency_s": -2.0}):
+            with pytest.raises(ValueError):
+                Budget(**kwargs)
+
+    def test_unlimited_budget_never_trips(self):
+        budget = Budget()
+        for _ in range(100):
+            budget.charge(cost_usd=10.0, latency_s=10.0)
+        budget.check()
+
+    def test_crossing_charge_raises_with_diagnostics(self):
+        budget = Budget(max_cost_usd=1.0)
+        budget.charge(cost_usd=0.8)
+        with pytest.raises(FMBudgetExceededError) as exc_info:
+            budget.charge(cost_usd=0.5)
+        err = exc_info.value
+        assert err.axis == "cost_usd"
+        assert err.limit == pytest.approx(1.0)
+        assert err.spent == pytest.approx(1.3)
+        # The crossing charge was applied: the meter reads what was spent.
+        assert budget.spent_cost_usd == pytest.approx(1.3)
+
+    def test_check_raises_at_the_limit_not_before(self):
+        budget = Budget(max_calls=2)
+        budget.check()
+        budget.charge()
+        budget.check()  # 1 of 2: headroom remains
+        budget.charge()
+        with pytest.raises(FMBudgetExceededError):
+            budget.check()  # 2 of 2: the next call could only overshoot
+        assert budget.exhausted()
+
+    def test_latency_axis(self):
+        budget = Budget(max_latency_s=5.0)
+        with pytest.raises(FMBudgetExceededError) as exc_info:
+            budget.charge(latency_s=6.0)
+        assert exc_info.value.axis == "latency_s"
+
+    def test_snapshot_reports_limits_and_spend(self):
+        budget = Budget(max_calls=10, max_cost_usd=2.0)
+        budget.charge(cost_usd=0.25, latency_s=1.5)
+        snap = budget.snapshot()
+        assert snap["max_calls"] == 10
+        assert snap["spent_calls"] == 1
+        assert snap["spent_cost_usd"] == pytest.approx(0.25)
+        assert snap["max_latency_s"] is None
+
+
+class TestLedgerIntegration:
+    def test_single_call_path_trips_and_counts(self):
+        fm = SimulatedFM(seed=0, budget=Budget(max_calls=3))
+        for i in range(3):
+            fm.complete(f"p{i}")
+        with pytest.raises(FMBudgetExceededError):
+            fm.complete("p3")
+        # Pre-flight check stopped the 4th call before it executed.
+        assert fm.ledger.n_calls == 3
+
+    def test_shared_budget_caps_combined_spend(self):
+        budget = Budget(max_calls=4)
+        selector = SimulatedFM(seed=0, budget=budget)
+        generator = SimulatedFM(seed=1)
+        generator.ledger.budget = budget
+        selector.complete("a")
+        generator.complete("b")
+        selector.complete("c")
+        generator.complete("d")
+        with pytest.raises(FMBudgetExceededError):
+            selector.complete("e")
+        assert selector.ledger.n_calls + generator.ledger.n_calls == 4
+
+    def test_cache_hits_are_free(self):
+        cache = FMCache()
+        fm = SimulatedFM(seed=0, budget=Budget(max_calls=2))
+        fm.cache = cache
+        fm.complete("p0", temperature=0.0)
+        fm.complete("p1", temperature=0.0)
+        # Budget is exhausted, but replays of paid-for prompts still work.
+        assert fm.complete("p0", temperature=0.0).text
+        assert fm.ledger.cache_hits == 1
+        with pytest.raises(FMBudgetExceededError):
+            fm.complete("p2", temperature=0.0)
+
+
+class TestExecutorGranularity:
+    @pytest.mark.parametrize("make_executor", [SerialExecutor, lambda: ThreadPoolFMExecutor(4)])
+    def test_batch_crossing_budget_is_fully_accounted(self, make_executor):
+        budget = Budget(max_calls=5)
+        fm = SimulatedFM(seed=0)
+        fm.ledger.budget = budget
+        executor = make_executor()
+        with pytest.raises(FMBudgetExceededError):
+            executor.run(fm, [FMRequest(f"q{i}") for i in range(8)])
+        # The batch was in flight when the limit tripped: every executed
+        # call is on the ledger and the meter, none are lost.
+        assert fm.ledger.n_calls == 8
+        assert budget.spent_calls == 8
+        assert executor.stats.n_calls == 8
+
+    def test_serial_and_threaded_issue_identical_calls_under_budget(self):
+        ledgers = []
+        for executor in (SerialExecutor(), ThreadPoolFMExecutor(4)):
+            budget = Budget(max_calls=5)
+            fm = SimulatedFM(seed=0)
+            fm.ledger.budget = budget
+            with pytest.raises(FMBudgetExceededError):
+                executor.run(fm, [FMRequest(f"q{i}") for i in range(8)])
+            # An exhausted budget blocks the next batch outright.
+            with pytest.raises(FMBudgetExceededError):
+                executor.run(fm, [FMRequest("next")])
+            ledgers.append(fm.ledger.snapshot())
+        assert ledgers[0] == ledgers[1]
+
+    def test_exhausted_budget_blocks_batch_before_any_reservation(self):
+        budget = Budget(max_calls=0)
+        fm = ScriptedFM(["never used"])
+        fm.ledger.budget = budget
+        with pytest.raises(FMBudgetExceededError):
+            SerialExecutor().run(fm, [FMRequest("p")])
+        assert fm.ledger.n_calls == 0
+        # The scripted cursor never moved: no state was reserved.
+        assert fm._reserve_state("p", 0.0) == 0
+
+    def test_budget_error_is_never_retried(self):
+        policy = RetryPolicy(max_attempts=5)
+        assert not policy.should_retry(FMBudgetExceededError("over"), attempt=1)
+
+    @pytest.mark.parametrize("make_executor", [SerialExecutor, lambda: ThreadPoolFMExecutor(4)])
+    def test_fully_cached_batch_served_after_exhaustion(self, make_executor):
+        """Cache hits are free, so a batch answerable entirely from cache
+        succeeds even when the budget has no headroom left."""
+        cache = FMCache()
+        fm = SimulatedFM(seed=0)
+        fm.cache = cache
+        requests = [FMRequest(f"p{i}", 0.0) for i in range(4)]
+        SerialExecutor().run(fm, requests)  # pay once, warm the cache
+        fm.ledger.budget = Budget(max_calls=0)  # now fully exhausted
+        executor = make_executor()
+        results = executor.run(fm, requests)
+        assert all(r.cached for r in results)
+        # But one uncached request in the batch trips the pre-flight check.
+        with pytest.raises(FMBudgetExceededError):
+            executor.run(fm, requests + [FMRequest("uncached", 0.0)])
+
+
+class TestPipelinePropagation:
+    def test_fit_transform_raises_budget_error(self):
+        bundle = load_dataset("tennis", n_rows=120)
+        tool = SmartFeat(
+            fm=SimulatedFM(seed=0, model="gpt-4"),
+            function_fm=SimulatedFM(seed=1, model="gpt-3.5-turbo"),
+            budget=Budget(max_calls=6),
+        )
+        with pytest.raises(FMBudgetExceededError):
+            tool.fit_transform(
+                bundle.frame,
+                target=bundle.target,
+                descriptions=bundle.descriptions,
+                title=bundle.title,
+            )
+        combined = tool.fm.ledger.n_calls + tool.function_fm.ledger.n_calls
+        # Batch-granular enforcement: the in-flight batch completes, the
+        # next one never starts, so overshoot is bounded by one batch.
+        assert combined >= 6
+        assert tool.budget.spent_calls == combined
+
+    def test_budget_attaches_to_both_client_ledgers(self):
+        budget = Budget(max_cost_usd=1.0)
+        fm = SimulatedFM(seed=0)
+        function_fm = SimulatedFM(seed=1)
+        tool = SmartFeat(fm=fm, function_fm=function_fm, budget=budget)
+        assert fm.ledger.budget is budget
+        assert function_fm.ledger.budget is budget
+        assert tool.budget is budget
+
+    def test_generous_budget_changes_nothing(self):
+        from tests.core.conftest import INSURANCE_DESCRIPTIONS, make_insurance_frame
+
+        insurance_frame = make_insurance_frame()
+        insurance_descriptions = INSURANCE_DESCRIPTIONS
+
+        def run(budget):
+            fm = SimulatedFM(seed=0, model="gpt-4")
+            function_fm = SimulatedFM(seed=1, model="gpt-3.5-turbo")
+            tool = SmartFeat(
+                fm=fm,
+                function_fm=function_fm,
+                downstream_model="decision_tree",
+                budget=budget,
+            )
+            result = tool.fit_transform(
+                insurance_frame.copy(),
+                target="Safe",
+                descriptions=dict(insurance_descriptions),
+            )
+            return sorted(result.new_features), fm.ledger.snapshot()
+
+        unbudgeted = run(None)
+        budgeted = run(Budget(max_cost_usd=1e9, max_calls=10**9))
+        assert unbudgeted == budgeted

@@ -154,3 +154,127 @@ class TestThreadSafety:
         assert len(cache) <= 64
         snap = cache.snapshot()
         assert snap["puts"] == 600
+
+
+class TestCapacityBoundaries:
+    """LRU behaviour exactly at the capacity edge, where off-by-ones live."""
+
+    def _fill(self, cache, n, prefix="k"):
+        client = SimulatedFM(seed=0)
+        for i in range(n):
+            name = f"{prefix}{i}"
+            cache.put("m", name, 0.0, client.build_response(name, name))
+
+    def test_filling_to_exact_capacity_evicts_nothing(self):
+        cache = FMCache(max_entries=3)
+        self._fill(cache, 3)
+        assert len(cache) == 3
+        assert cache.evictions == 0
+        assert all(cache.get("m", f"k{i}", 0.0) is not None for i in range(3))
+
+    def test_one_past_capacity_evicts_exactly_one(self):
+        cache = FMCache(max_entries=3)
+        self._fill(cache, 4)
+        assert len(cache) == 3
+        assert cache.evictions == 1
+        assert cache.get("m", "k0", 0.0) is None  # the oldest went
+        assert all(cache.get("m", f"k{i}", 0.0) is not None for i in (1, 2, 3))
+
+    def test_capacity_one(self):
+        cache = FMCache(max_entries=1)
+        self._fill(cache, 5)
+        assert len(cache) == 1
+        assert cache.evictions == 4
+        assert cache.get("m", "k4", 0.0) is not None
+
+    def test_overwriting_existing_key_does_not_evict(self):
+        cache = FMCache(max_entries=2)
+        client = SimulatedFM(seed=0)
+        self._fill(cache, 2)
+        cache.put("m", "k1", 0.0, client.build_response("k1", "updated"))
+        assert len(cache) == 2
+        assert cache.evictions == 0
+        assert cache.get("m", "k1", 0.0).text == "updated"
+        assert cache.get("m", "k0", 0.0) is not None
+
+    def test_load_trims_to_capacity(self, tmp_path):
+        path = tmp_path / "cache.json"
+        big = FMCache(max_entries=10, path=path)
+        self._fill(big, 10)
+        big.save()
+        small = FMCache(max_entries=4, path=path)
+        assert len(small) == 4
+        assert small.evictions == 6
+
+
+class TestCorruptStores:
+    """A damaged persistent store must cost a cold start, never a crash."""
+
+    def _saved_store(self, tmp_path, n=4):
+        path = tmp_path / "cache.json"
+        cache = FMCache(path=path)
+        client = SimulatedFM(seed=0)
+        for i in range(n):
+            cache.put("m", f"p{i}", 0.0, client.build_response(f"p{i}", f"text {i}"))
+        cache.save()
+        return path
+
+    def test_truncated_store_recovers_empty_with_warning(self, tmp_path, capsys):
+        path = self._saved_store(tmp_path)
+        payload = path.read_text()
+        path.write_text(payload[: len(payload) // 2])
+        cache = FMCache(path=path)
+        assert len(cache) == 0
+        assert "ignoring unreadable FM cache" in capsys.readouterr().err
+        # The survivor is fully functional: put, get, save all work.
+        client = SimulatedFM(seed=0)
+        cache.put("m", "fresh", 0.0, client.build_response("fresh", "fresh"))
+        assert cache.get("m", "fresh", 0.0) is not None
+        cache.save()
+        assert len(FMCache(path=path)) == 1
+
+    def test_garbage_bytes_recover_empty_with_warning(self, tmp_path, capsys):
+        path = tmp_path / "cache.json"
+        path.write_text("not json at all {{{")
+        cache = FMCache(path=path)
+        assert len(cache) == 0
+        assert "ignoring unreadable FM cache" in capsys.readouterr().err
+
+    def test_wrong_toplevel_shape_recovers_empty(self, tmp_path, capsys):
+        import json as json_module
+
+        path = tmp_path / "cache.json"
+        for payload in ([1, 2, 3], {"entries": "not a dict"}):
+            path.write_text(json_module.dumps(payload))
+            cache = FMCache(path=path)
+            assert len(cache) == 0
+        assert "ignoring unreadable FM cache" in capsys.readouterr().err
+
+    def test_malformed_entries_are_skipped_not_fatal(self, tmp_path):
+        import json as json_module
+
+        path = self._saved_store(tmp_path, n=2)
+        payload = json_module.loads(path.read_text())
+        payload["entries"]["poison1"] = {"text": "missing fields"}
+        payload["entries"]["poison2"] = {
+            "text": 42,  # wrong type
+            "prompt_tokens": 1,
+            "completion_tokens": 1,
+            "latency_s": 0.1,
+            "cost_usd": 0.0,
+            "model": "m",
+        }
+        path.write_text(json_module.dumps(payload))
+        cache = FMCache(path=path)
+        assert len(cache) == 2  # the two healthy entries survived
+        assert cache.get("m", "p0", 0.0) is not None
+
+    def test_roundtrip_preserves_every_response_field(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = FMCache(path=path)
+        client = SimulatedFM(seed=0, model="gpt-4")
+        original = client.build_response("prompt text", "completion text")
+        cache.put("gpt-4", "prompt text", 0.0, original)
+        cache.save()
+        restored = FMCache(path=path).get("gpt-4", "prompt text", 0.0)
+        assert restored == original

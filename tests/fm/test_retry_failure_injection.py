@@ -1,0 +1,189 @@
+"""Failure injection for :class:`RetryPolicy`: transient errors (including
+a simulated HTTP 429 path) must exhaust retries exactly as configured,
+sleep the configured backoff sequence, and leave submission-order state
+reservation uncorrupted when a call fails permanently."""
+
+import threading
+
+import pytest
+
+from repro.fm import (
+    FMError,
+    FMParseError,
+    FMRateLimitError,
+    FMRequest,
+    RetryPolicy,
+    ScriptedFM,
+    SerialExecutor,
+    ThreadPoolFMExecutor,
+)
+from repro.fm.base import FMClient
+
+
+class FlakyFM(FMClient):
+    """Raises *error_factory()* for the first *failures* tries per prompt."""
+
+    def __init__(self, failures: int = 1, error_factory=FMError) -> None:
+        super().__init__(model="flaky")
+        self.failures = failures
+        self.error_factory = error_factory
+        self.attempts: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def _complete_text(self, prompt: str, temperature: float) -> str:
+        with self._lock:
+            seen = self.attempts.get(prompt, 0)
+            self.attempts[prompt] = seen + 1
+        if seen < self.failures:
+            raise self.error_factory(f"transient failure {seen + 1} for {prompt}")
+        return f"ok:{prompt}"
+
+
+class TestBackoffSchedule:
+    def test_constant_backoff_by_default(self):
+        policy = RetryPolicy(max_attempts=4, backoff_s=0.5)
+        assert [policy.backoff_for(a) for a in (1, 2, 3)] == [0.5, 0.5, 0.5]
+
+    def test_exponential_backoff(self):
+        policy = RetryPolicy(max_attempts=5, backoff_s=0.25, backoff_multiplier=2.0)
+        assert [policy.backoff_for(a) for a in (1, 2, 3, 4)] == [0.25, 0.5, 1.0, 2.0]
+
+    def test_backoff_cap(self):
+        policy = RetryPolicy(
+            max_attempts=6, backoff_s=1.0, backoff_multiplier=3.0, max_backoff_s=4.0
+        )
+        assert [policy.backoff_for(a) for a in (1, 2, 3, 4)] == [1.0, 3.0, 4.0, 4.0]
+
+    def test_executor_sleeps_the_configured_sequence(self, monkeypatch):
+        import repro.fm.executor as executor_module
+
+        slept: list[float] = []
+        monkeypatch.setattr(executor_module.time, "sleep", slept.append)
+        fm = FlakyFM(failures=3, error_factory=FMRateLimitError)
+        executor = SerialExecutor(
+            retry=RetryPolicy(max_attempts=4, backoff_s=0.1, backoff_multiplier=2.0)
+        )
+        results = executor.run(fm, [FMRequest("p")])
+        assert results[0].ok
+        assert results[0].attempts == 4
+        assert slept == pytest.approx([0.1, 0.2, 0.4])
+
+    def test_no_sleep_when_backoff_zero(self, monkeypatch):
+        import repro.fm.executor as executor_module
+
+        slept: list[float] = []
+        monkeypatch.setattr(executor_module.time, "sleep", slept.append)
+        fm = FlakyFM(failures=1)
+        SerialExecutor(retry=RetryPolicy(max_attempts=2)).run(fm, [FMRequest("p")])
+        assert slept == []
+
+
+class TestSimulated429:
+    def test_rate_limit_is_transient_and_recoverable(self):
+        fm = FlakyFM(failures=2, error_factory=FMRateLimitError)
+        executor = SerialExecutor(retry=RetryPolicy(max_attempts=3))
+        results = executor.run(fm, [FMRequest("p")])
+        assert results[0].ok
+        assert results[0].response.text == "ok:p"
+        assert executor.stats.n_retries == 2
+        assert fm.ledger.n_calls == 1  # retries are not extra ledger calls
+
+    def test_rate_limit_carries_retry_after(self):
+        err = FMRateLimitError("slow down", retry_after_s=1.5)
+        assert err.retry_after_s == 1.5
+        assert isinstance(err, FMError)
+
+    def test_persistent_429_exhausts_retries(self):
+        fm = FlakyFM(failures=99, error_factory=FMRateLimitError)
+        executor = ThreadPoolFMExecutor(2, retry=RetryPolicy(max_attempts=3))
+        results = executor.run(fm, [FMRequest("p")])
+        assert not results[0].ok
+        assert isinstance(results[0].error, FMRateLimitError)
+        assert results[0].attempts == 3
+        assert fm.attempts["p"] == 3  # exactly max_attempts tries, no more
+        assert executor.stats.n_errors == 1
+        assert fm.ledger.n_calls == 0  # nothing succeeded, nothing recorded
+
+    def test_retry_on_filter_excludes_other_errors(self):
+        policy = RetryPolicy(max_attempts=3, retry_on=(FMRateLimitError,))
+        fm = FlakyFM(failures=2, error_factory=FMParseError)
+        results = SerialExecutor(retry=policy).run(fm, [FMRequest("p")])
+        assert not results[0].ok
+        assert results[0].attempts == 1  # FMParseError not in retry_on
+
+
+class FailOnceByState(ScriptedFM):
+    """A list-scripted client whose *poison* cursor position raises once.
+
+    Models a stateful deterministic backend where one reserved slot dies:
+    the retry must reserve a *fresh* slot rather than reusing or
+    corrupting neighbours' reservations.
+    """
+
+    def __init__(self, responses, poison: int) -> None:
+        super().__init__(responses)
+        self.poison = poison
+        self.raised = False
+
+    def _complete_with_state(self, prompt, temperature, state):
+        if state == self.poison and not self.raised:
+            self.raised = True
+            raise FMError(f"state {state} died")
+        return super()._complete_with_state(prompt, temperature, state)
+
+
+class TestStateReservationUnderFailure:
+    @pytest.mark.parametrize(
+        "make_executor", [SerialExecutor, lambda retry=None: ThreadPoolFMExecutor(4, retry=retry)]
+    )
+    def test_permanent_failure_does_not_shift_neighbour_state(self, make_executor):
+        """With retries off, request 1 fails and requests 0/2/3 still get
+        exactly their submission-order responses."""
+        fm = FailOnceByState([f"r{i}" for i in range(4)], poison=1)
+        try:
+            executor = make_executor()
+        except TypeError:
+            executor = make_executor(None)
+        results = executor.run(fm, [FMRequest(f"p{i}") for i in range(4)])
+        assert [r.response.text if r.ok else None for r in results] == ["r0", None, "r2", "r3"]
+        assert isinstance(results[1].error, FMError)
+        assert fm.ledger.n_calls == 3
+
+    def test_serial_retry_reserves_the_next_slot(self):
+        """SerialExecutor reserves state lazily, one request at a time, so
+        a retry consumes the *next* cursor slot and later requests shift
+        — reservation order still never reuses or skips a slot."""
+        fm = FailOnceByState([f"r{i}" for i in range(5)], poison=1)
+        executor = SerialExecutor(retry=RetryPolicy(max_attempts=2))
+        results = executor.run(fm, [FMRequest(f"p{i}") for i in range(4)])
+        # Request 1's first try (slot 1) died; its retry got slot 2.
+        assert [r.response.text for r in results] == ["r0", "r2", "r3", "r4"]
+        assert results[1].attempts == 2
+        assert executor.stats.n_retries == 1
+
+    def test_threaded_retry_reserves_after_the_batch(self):
+        """ThreadPoolFMExecutor reserves the whole batch up front, so a
+        retry's fresh slot lands *after* the batch — the surviving
+        requests keep exactly their original submission-order slots.
+        (Divergence from the serial path is only reachable for clients
+        that raise; deterministic clients never do.)"""
+        fm = FailOnceByState([f"r{i}" for i in range(5)], poison=1)
+        executor = ThreadPoolFMExecutor(4, retry=RetryPolicy(max_attempts=2))
+        results = executor.run(fm, [FMRequest(f"p{i}") for i in range(4)])
+        # Slots 0-3 reserved up front; request 1's retry got slot 4.
+        assert [r.response.text for r in results] == ["r0", "r4", "r2", "r3"]
+        assert results[1].attempts == 2
+        assert executor.stats.n_retries == 1
+
+    def test_one_error_surfaces_once(self):
+        """A permanently failing call yields exactly one failed result —
+        it is not double-counted across retries."""
+        fm = ScriptedFM(["only"])
+        executor = SerialExecutor(retry=RetryPolicy(max_attempts=3))
+        results = executor.run(fm, [FMRequest("a"), FMRequest("b")])
+        assert results[0].ok
+        assert not results[1].ok
+        assert executor.stats.n_errors == 1
+        # Exhaustion attempts: first try + 2 retries, each reserving a
+        # fresh (also exhausted) slot.
+        assert results[1].attempts == 3
