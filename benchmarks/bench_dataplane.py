@@ -1,0 +1,231 @@
+"""Data-plane benchmark: element loops vs numpy kernels at 10⁴–10⁶ rows.
+
+PRs 1–2 made the FM control plane concurrent; this benchmark tracks the
+*data* plane — what it costs to realise features once the FM has answered.
+Four operations are timed on synthetic tables
+(:func:`repro.datasets.synth.make_synthetic_frame`):
+
+* ``groupby_agg`` — the paper's high-order idiom
+  ``df.groupby(col)[val].transform("mean")`` plus a keyed ``agg``;
+* ``generated_transform`` — applying FM-generated transform sources
+  (log-transform and masked division) through the sandbox;
+* ``feature_matrix`` — the evaluation harness's factorise/impute step;
+* ``fit_transform`` — the end-to-end pipeline against a zero-latency
+  simulated client (vectorized path only; the loop path lives on in
+  ``repro.dataframe.reference`` for the per-op comparisons).
+
+Each compared op runs both the retained loop reference and the vectorized
+path, asserts the outputs match (exact dtypes and missingness; float
+accumulations within a few ulp — summation order differs), and records
+the speedup.  ``python benchmarks/bench_dataplane.py`` runs standalone
+and writes ``BENCH_dataplane.json`` at the repo root;  ``--smoke`` runs a
+small row count and only the equivalence assertions (the CI regression
+gate).
+"""
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.sandbox import run_transform
+from repro.datasets.synth import make_synthetic_bundle, make_synthetic_frame
+from repro.dataframe import DataFrame
+from repro.dataframe.reference import (
+    FLOAT_RTOL,
+    REFERENCE_TRANSFORM_SOURCES,
+    assert_frame_equivalent,
+    assert_series_equivalent,
+    reference_feature_matrix,
+    reference_groupby_agg,
+    reference_groupby_transform,
+)
+from repro.eval.harness import feature_matrix
+from repro.fm.codegen import generate_transform_source
+from repro.fm.knowledge import KnowledgeStore
+
+ROW_COUNTS = (10_000, 100_000, 1_000_000)
+SMOKE_ROW_COUNTS = (2_000,)
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - start
+
+
+# ----------------------------------------------------------------------
+# Op: groupby aggregation (transform idiom + keyed agg)
+# ----------------------------------------------------------------------
+def _bench_groupby_keys(frame: DataFrame, transform_key: str, agg_key: str) -> dict:
+    def reference():
+        t = reference_groupby_transform(frame, transform_key, "Income", "mean")
+        a = reference_groupby_agg(frame, agg_key, "Balance", "sum")
+        return t, a
+
+    def vectorized():
+        t = frame.groupby(transform_key)["Income"].transform("mean")
+        a = frame.groupby(agg_key)["Balance"].agg("sum")
+        return t, a
+
+    (ref_t, ref_a), ref_s = _timed(reference)
+    (new_t, new_a), new_s = _timed(vectorized)
+    assert_series_equivalent(new_t, ref_t, f"groupby.transform[{transform_key}]")
+    assert_frame_equivalent(new_a, ref_a, f"groupby.agg[{agg_key}]")
+    return {"reference_s": ref_s, "vectorized_s": new_s}
+
+
+def bench_groupby(frame: DataFrame) -> dict:
+    """Integer group keys (segment ids): the fully radix-sorted fast path."""
+    return _bench_groupby_keys(frame, "SegmentId", "Age")
+
+
+def bench_groupby_str(frame: DataFrame) -> dict:
+    """String group keys: byte-packed sort keys (partial acceleration)."""
+    return _bench_groupby_keys(frame, "Segment", "City")
+
+
+# ----------------------------------------------------------------------
+# Op: generated-transform application through the sandbox
+# ----------------------------------------------------------------------
+def _generated_sources() -> list[tuple[str, str, str]]:
+    """(label, reference_source, vectorized_source) per generated feature."""
+    knowledge = KnowledgeStore()
+    log_ref = REFERENCE_TRANSFORM_SOURCES["log_transform"].format(col="Income")
+    log_new = generate_transform_source(
+        "log_Income", ["Income"], "log_transform: squash the tail", knowledge
+    )
+    div_ref = REFERENCE_TRANSFORM_SOURCES["binary_div"].format(a="Income", b="Balance")
+    div_new = generate_transform_source(
+        "Income_per_Balance", ["Income", "Balance"], "binary[/]: ratio", knowledge
+    )
+    return [("log_transform", log_ref, log_new), ("masked_division", div_ref, div_new)]
+
+
+def bench_generated_transform(frame: DataFrame) -> dict:
+    sources = _generated_sources()
+    ref_s = new_s = 0.0
+    for label, ref_src, new_src in sources:
+        ref_out, dt = _timed(lambda s=ref_src: run_transform(s, frame))
+        ref_s += dt
+        new_out, dt = _timed(lambda s=new_src: run_transform(s, frame))
+        new_s += dt
+        assert_series_equivalent(new_out, ref_out, f"generated.{label}")
+    return {"reference_s": ref_s, "vectorized_s": new_s}
+
+
+# ----------------------------------------------------------------------
+# Op: evaluation-harness feature matrix
+# ----------------------------------------------------------------------
+def bench_feature_matrix(frame: DataFrame) -> dict:
+    (rX, ry, rnames), ref_s = _timed(lambda: reference_feature_matrix(frame, "Target"))
+    (nX, ny, nnames), new_s = _timed(lambda: feature_matrix(frame, "Target"))
+    assert nnames == rnames, "feature_matrix: names diverge"
+    assert nX.dtype == rX.dtype and nX.shape == rX.shape
+    assert np.allclose(nX, rX, rtol=FLOAT_RTOL, atol=0.0, equal_nan=True)
+    assert (ny == ry).all()
+    return {"reference_s": ref_s, "vectorized_s": new_s}
+
+
+# ----------------------------------------------------------------------
+# Op: end-to-end fit_transform with a zero-latency simulated client
+# ----------------------------------------------------------------------
+def bench_fit_transform(n_rows: int, seed: int = 0) -> dict:
+    from repro.core import SmartFeat
+    from repro.fm import SimulatedFM
+
+    bundle = make_synthetic_bundle(n_rows, seed=seed)
+    pipeline = SmartFeat(SimulatedFM(seed=seed))
+    result, wall_s = _timed(
+        lambda: pipeline.fit_transform(
+            bundle["frame"],
+            bundle["target"],
+            descriptions=bundle["descriptions"],
+            title=bundle["title"],
+        )
+    )
+    return {
+        "wall_s": round(wall_s, 3),
+        "rows_per_s": round(n_rows / wall_s),
+        "n_new_features": len(result.new_features),
+        "dataplane": result.fm_usage["execution"]["dataplane"],
+    }
+
+
+COMPARED_OPS = {
+    "groupby_agg": bench_groupby,
+    "groupby_agg_str": bench_groupby_str,
+    "generated_transform": bench_generated_transform,
+    "feature_matrix": bench_feature_matrix,
+}
+
+
+def run(row_counts=ROW_COUNTS, fit_transform_rows=(10_000, 100_000), seed: int = 0) -> dict:
+    payload: dict = {"row_counts": list(row_counts), "ops": {}, "fit_transform": {}}
+    for n_rows in row_counts:
+        frame = make_synthetic_frame(n_rows, seed=seed)
+        for op, bench in COMPARED_OPS.items():
+            cell = bench(frame)
+            cell["speedup"] = round(cell["reference_s"] / cell["vectorized_s"], 2)
+            cell["reference_s"] = round(cell["reference_s"], 4)
+            cell["vectorized_s"] = round(cell["vectorized_s"], 4)
+            payload["ops"].setdefault(op, {})[str(n_rows)] = cell
+            print(
+                f"{op:>20} @ {n_rows:>9,} rows: "
+                f"loop {cell['reference_s']:8.4f}s  numpy {cell['vectorized_s']:8.4f}s  "
+                f"{cell['speedup']:6.1f}x"
+            )
+    for n_rows in fit_transform_rows:
+        cell = bench_fit_transform(n_rows, seed=seed)
+        payload["fit_transform"][str(n_rows)] = cell
+        print(
+            f"{'fit_transform':>20} @ {n_rows:>9,} rows: "
+            f"{cell['wall_s']:8.3f}s  ({cell['rows_per_s']:,} rows/s, "
+            f"{cell['n_new_features']} features)"
+        )
+    return payload
+
+
+def smoke() -> int:
+    """Equivalence-only pass at a small row count (the CI regression gate)."""
+    for n_rows in SMOKE_ROW_COUNTS:
+        frame = make_synthetic_frame(n_rows, seed=0)
+        for op, bench in COMPARED_OPS.items():
+            bench(frame)  # raises on any vectorized/reference divergence
+            print(f"smoke {op} @ {n_rows} rows: vectorized == reference")
+        cell = bench_fit_transform(n_rows, seed=0)
+        assert cell["n_new_features"] > 0, "pipeline produced no features"
+        print(f"smoke fit_transform @ {n_rows} rows: {cell['n_new_features']} features")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="small rows, equivalence assertions only"
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        return smoke()
+    payload = run()
+    at_100k = {op: payload["ops"][op]["100000"]["speedup"] for op in COMPARED_OPS}
+    out = Path(__file__).resolve().parent.parent / "BENCH_dataplane.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
+    for op in ("groupby_agg", "generated_transform"):
+        assert at_100k[op] >= 10.0, f"{op} speedup below 10x at 1e5 rows: {at_100k[op]}"
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
+
+
+# ----------------------------------------------------------------------
+# Pytest entry points (benchmarks/ is also collected as a suite)
+# ----------------------------------------------------------------------
+def test_dataplane_equivalence_smoke():
+    """Vectorized paths match the loop reference on the synthetic table."""
+    assert smoke() == 0

@@ -24,6 +24,8 @@ on the previous attempt's failure.
 
 from __future__ import annotations
 
+import threading
+
 from repro.core import prompts
 from repro.core.agenda import DataAgenda
 from repro.core.parsing import extract_code, parse_scalar
@@ -71,6 +73,28 @@ class FunctionGenerator:
         self.preview_rows = preview_rows
         self.repair_retries = repair_retries
         self.executor = executor
+        # Transform executions run on the fit_transform caller's thread
+        # (only FM completions fan out), so a thread-local slot keeps
+        # concurrent runs sharing one generator from crossing timers.
+        self._timer_slot = threading.local()
+
+    @property
+    def timer(self):
+        """Optional :class:`repro.core.timing.StageTimer` for this thread's
+        run; when set, every sandboxed transform execution is accounted
+        under ``"transform_exec"`` (the pipeline installs one per run)."""
+        return getattr(self._timer_slot, "value", None)
+
+    @timer.setter
+    def timer(self, value) -> None:
+        self._timer_slot.value = value
+
+    def _run_transform(self, source: str, frame: DataFrame):
+        timer = self.timer
+        if timer is None:
+            return run_transform(source, frame)
+        with timer.time("transform_exec"):
+            return run_transform(source, frame)
 
     # ------------------------------------------------------------------
     def realize(
@@ -173,7 +197,7 @@ class FunctionGenerator:
             fm_calls += 1
             try:
                 source = extract_code(response.text)
-                result = run_transform(source, frame)
+                result = self._run_transform(source, frame)
                 break
             except (FMParseError, SandboxViolation, TransformError) as exc:
                 last_error = exc
@@ -211,7 +235,7 @@ class FunctionGenerator:
             f"def transform(df):\n"
             f"    return df.groupby({group_cols!r})[{agg_col!r}].transform({function!r})\n"
         )
-        result = run_transform(source, frame)
+        result = self._run_transform(source, frame)
         values = self._as_columns(result, candidate.name)
         feature = GeneratedFeature(
             name=candidate.name,
@@ -258,11 +282,10 @@ class FunctionGenerator:
             raw=True,
             executor=executor,
         )
+        preview_names, preview_rows = frame.head(self.preview_rows).row_tuples(relevant)
         preview = [
-            ({c: row[c] for c in relevant}, text)
-            for (_, row), text in zip(
-                frame.head(self.preview_rows).iterrows(), preview_values
-            )
+            (dict(zip(preview_names, vals)), text)
+            for vals, text in zip(preview_rows, preview_values)
         ]
         sample_prompt = prompts.row_completion_prompt(
             candidate.name, {c: frame[c][0] for c in relevant}
@@ -291,12 +314,12 @@ class FunctionGenerator:
     ) -> list:
         """One temperature-0 completion per row, batched through the
         executor.  A client-level failure on any row aborts the whole
-        feature, as the serial loop did."""
+        feature, as the serial loop did.  Row dicts are assembled from one
+        up-front column extraction instead of a dict comprehension per row."""
+        names, rows = frame.row_tuples(columns)
         requests = [
-            FMRequest(
-                prompts.row_completion_prompt(name, {c: row[c] for c in columns}), 0.0
-            )
-            for _, row in frame.iterrows()
+            FMRequest(prompts.row_completion_prompt(name, dict(zip(names, vals))), 0.0)
+            for vals in rows
         ]
         results = self.fm.complete_batch(requests, executor or self.executor)
         texts = [result.unwrap().text for result in results]

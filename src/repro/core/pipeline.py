@@ -51,6 +51,7 @@ from repro.core.types import (
     SourceSuggestion,
 )
 from repro.core.parsing import parse_json_response, parse_scalar
+from repro.core.timing import StageTimer
 from repro.core.validation import ValidationConfig, validate_output
 from repro.dataframe import DataFrame
 from repro.fm.base import Budget, FMClient
@@ -248,30 +249,43 @@ class SmartFeat:
         original_features = [c for c in frame.columns if c != target]
         unary_transformed: set[str] = set()
         used_by_other_ops: set[str] = set()
+        timer = StageTimer()
+        self.generator.timer = timer
 
-        if OperatorFamily.UNARY in self.operator_families:
-            self._unary_stage(working, agenda, result, original_features, unary_transformed)
-        if OperatorFamily.BINARY in self.operator_families:
-            if self.binary_strategy == "proposal":
-                self._binary_proposal_stage(working, agenda, result, used_by_other_ops)
-            else:
-                self._sampling_stage(
-                    working, agenda, result, OperatorFamily.BINARY, used_by_other_ops
-                )
-        if OperatorFamily.HIGH_ORDER in self.operator_families:
-            self._sampling_stage(
-                working, agenda, result, OperatorFamily.HIGH_ORDER, used_by_other_ops
-            )
-        if OperatorFamily.EXTRACTOR in self.operator_families:
-            self._sampling_stage(
-                working, agenda, result, OperatorFamily.EXTRACTOR, used_by_other_ops
-            )
-        if self.drop_heuristic:
-            self._apply_drop_heuristic(
-                working, result, original_features, unary_transformed, used_by_other_ops
-            )
-        if self.fm_feature_removal:
-            self._fm_removal_stage(working, agenda, result)
+        try:
+            if OperatorFamily.UNARY in self.operator_families:
+                with timer.time("unary_stage"):
+                    self._unary_stage(
+                        working, agenda, result, original_features, unary_transformed
+                    )
+            if OperatorFamily.BINARY in self.operator_families:
+                with timer.time("binary_stage"):
+                    if self.binary_strategy == "proposal":
+                        self._binary_proposal_stage(working, agenda, result, used_by_other_ops)
+                    else:
+                        self._sampling_stage(
+                            working, agenda, result, OperatorFamily.BINARY, used_by_other_ops
+                        )
+            if OperatorFamily.HIGH_ORDER in self.operator_families:
+                with timer.time("high_order_stage"):
+                    self._sampling_stage(
+                        working, agenda, result, OperatorFamily.HIGH_ORDER, used_by_other_ops
+                    )
+            if OperatorFamily.EXTRACTOR in self.operator_families:
+                with timer.time("extractor_stage"):
+                    self._sampling_stage(
+                        working, agenda, result, OperatorFamily.EXTRACTOR, used_by_other_ops
+                    )
+            if self.drop_heuristic:
+                with timer.time("drop_heuristic"):
+                    self._apply_drop_heuristic(
+                        working, result, original_features, unary_transformed, used_by_other_ops
+                    )
+            if self.fm_feature_removal:
+                with timer.time("fm_removal_stage"):
+                    self._fm_removal_stage(working, agenda, result)
+        finally:
+            self.generator.timer = None
         result.fm_usage = {
             "operator_selector": self.fm.ledger.snapshot(),
         }
@@ -280,6 +294,10 @@ class SmartFeat:
         execution = dict(self.executor.stats.snapshot())
         execution["concurrency"] = self.executor.concurrency
         execution["wave_size"] = self.wave_size
+        # Data-plane wall clock per stage (plus sandboxed transform
+        # execution under "transform_exec"), next to the FM-side modelled
+        # latency so FM time vs dataframe time reads off one report.
+        execution["dataplane"] = timer.snapshot()
         result.fm_usage["execution"] = execution
         return result
 
@@ -556,11 +574,12 @@ def complete_row_plan(
         columns = [c for c in result.frame.columns if c in preview_record]
     if not columns:
         columns = result.frame.columns
+    names, rows = result.frame.row_tuples(columns)
     requests = [
         FMRequest(
-            _prompts.row_completion_prompt(plan.name, {c: row[c] for c in columns}), 0.0
+            _prompts.row_completion_prompt(plan.name, dict(zip(names, vals))), 0.0
         )
-        for _, row in result.frame.iterrows()
+        for vals in rows
     ]
     responses = fm.complete_batch(requests, executor)
     values = [parse_scalar(r.unwrap().text) for r in responses]

@@ -1,0 +1,51 @@
+"""Wall-clock accounting for the data plane.
+
+The FM execution layer already reports modelled latency (summed vs
+critical path) in ``result.fm_usage["execution"]``; :class:`StageTimer`
+adds the *dataframe* side — how long each pipeline stage and the sandboxed
+transform executions actually took — so FM time vs data-plane time is
+visible in one report.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+__all__ = ["StageTimer"]
+
+
+class StageTimer:
+    """Thread-safe accumulator of named wall-clock durations.
+
+    ``timer.time("unary_stage")`` is a context manager; :meth:`snapshot`
+    returns ``{name: {"seconds": total, "calls": n}}``.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._seconds: dict[str, float] = {}
+        self._calls: dict[str, int] = {}
+
+    @contextmanager
+    def time(self, stage: str):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            with self._lock:
+                self._seconds[stage] = self._seconds.get(stage, 0.0) + elapsed
+                self._calls[stage] = self._calls.get(stage, 0) + 1
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """Accumulated totals per stage (seconds rounded to microseconds)."""
+        with self._lock:
+            return {
+                stage: {
+                    "seconds": round(self._seconds[stage], 6),
+                    "calls": self._calls[stage],
+                }
+                for stage in self._seconds
+            }

@@ -307,6 +307,17 @@ class DataFrame:
     # ------------------------------------------------------------------
     # Row-wise application and iteration
     # ------------------------------------------------------------------
+    def row_tuples(self, columns: Sequence[str] | None = None):
+        """Iterate row value tuples over *columns* (default: all columns).
+
+        Each column is materialised once up front; the per-row cost is one
+        ``zip`` step — no dict, no per-row indexing.  This is the substrate
+        for :meth:`iterrows`/:meth:`itertuples` and the batched row-prompt
+        builders in the core pipeline.
+        """
+        names = list(columns) if columns is not None else self.columns
+        return names, zip(*[self._columns[n].tolist() for n in names])
+
     def apply(self, func: Callable, axis: int = 0) -> Series:
         """Apply *func* along an axis.
 
@@ -316,33 +327,30 @@ class DataFrame:
         returns a dict of results.
         """
         if axis == 1:
-            lists = {name: s.tolist() for name, s in self._columns.items()}
-            names = self.columns
-            out = [
-                func(Row({name: lists[name][i] for name in names}))
-                for i in range(len(self))
-            ]
+            names, rows = self.row_tuples()
+            out = [func(Row(dict(zip(names, vals)))) for vals in rows]
             return Series(out)
         return {name: func(s) for name, s in self._columns.items()}  # type: ignore[return-value]
 
     def iterrows(self):
         """Yield ``(position, Row)`` pairs."""
-        lists = {name: s.tolist() for name, s in self._columns.items()}
-        names = self.columns
-        for i in range(len(self)):
-            yield i, Row({name: lists[name][i] for name in names})
+        names, rows = self.row_tuples()
+        for i, vals in enumerate(rows):
+            yield i, Row(dict(zip(names, vals)))
 
     def itertuples(self):
         """Yield plain dicts per row (positional stand-in for namedtuples)."""
-        for _, row in self.iterrows():
-            yield row.to_dict()
+        names, rows = self.row_tuples()
+        for vals in rows:
+            yield dict(zip(names, vals))
 
     def to_dict(self, orient: str = "list") -> Any:
         """Export as ``{col: [values]}`` (``orient='list'``) or list of dicts."""
         if orient == "list":
             return {name: s.tolist() for name, s in self._columns.items()}
         if orient == "records":
-            return [row.to_dict() for _, row in self.iterrows()]
+            names, rows = self.row_tuples()
+            return [dict(zip(names, vals)) for vals in rows]
         raise ValueError(f"unsupported orient: {orient!r}")
 
     def to_numpy(self, dtype: Any = np.float64) -> np.ndarray:

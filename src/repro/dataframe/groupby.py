@@ -3,6 +3,17 @@
 The high-order operator in SMARTFEAT emits exactly the pandas idiom
 ``df.groupby(groupby_col)[agg_col].transform(function)``; this module
 implements that surface plus the aggregate forms the baselines use.
+
+Grouping is vectorised: key columns are factorised
+(:func:`repro.dataframe.kernels.factorize_values`), multi-key groups are
+combined by mixed-radix coding, and the built-in aggregations (``sum`` /
+``mean`` / ``min`` / ``max`` / ``count`` / ``size`` / ``first`` /
+``last``) run as sort-based segmented reductions
+(:func:`repro.dataframe.kernels.segmented_agg`) instead of per-group
+Python loops.  Callable specs, non-numeric reductions, and frames with
+missing key values keep the original per-group path — whose semantics
+(first-seen group order, every NaN key its own group) the fast path
+reproduces exactly.
 """
 
 from __future__ import annotations
@@ -12,6 +23,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.dataframe import kernels as _kernels
 from repro.dataframe.series import Series
 
 __all__ = ["DataFrameGroupBy", "SeriesGroupBy"]
@@ -32,6 +44,20 @@ _NAMED_AGGS: dict[str, Callable[[Series], Any]] = {
     "mode": lambda s: s.mode(),
     "first": lambda s: s[0] if len(s) else None,
     "last": lambda s: s[len(s) - 1] if len(s) else None,
+}
+
+#: Canonical segmented-reduction name per aggregate alias, where one exists.
+_SEGMENTED_NAMES = {
+    "mean": "mean",
+    "avg": "mean",
+    "average": "mean",
+    "sum": "sum",
+    "min": "min",
+    "max": "max",
+    "count": "count",
+    "size": "size",
+    "first": "first",
+    "last": "last",
 }
 
 
@@ -58,18 +84,167 @@ def resolve_aggregator(func: str | Callable) -> Callable[[Series], Any]:
     return _call
 
 
+def _segmented_name(func: str | Callable) -> str | None:
+    """The segmented-reduction name for *func*, or ``None`` for the loop path."""
+    if not isinstance(func, str):
+        return None
+    return _SEGMENTED_NAMES.get(func.strip().lower())
+
+
 class _GroupIndex:
-    """Shared grouping of row positions by key tuple."""
+    """Shared grouping of row positions by key tuple.
+
+    The fast path holds one stable sort of the key column(s): ``inverse``
+    maps each row to its group segment (sort order), ``order``/``starts``
+    delimit the segments.  First-seen group order — the hash path's
+    observable ordering for labels, ``agg`` rows, and :attr:`groups` — is
+    recovered lazily from each segment's first row position.  Frames with
+    missing or unorderable key values build the legacy hash grouping
+    directly, which also defines the semantics (each NaN key its own
+    group, ``None`` a single group).
+    """
 
     def __init__(self, frame, keys: Sequence[str]) -> None:
         self.keys = list(keys)
-        key_lists = [frame[k].tolist() for k in self.keys]
+        self.n_rows = len(frame)
+        self._frame = frame
+        self._groups: dict[Any, list[int]] | None = None
+        self._labels: list | None = None
+        self._first_to_sorted: np.ndarray | None = None
+        self.fast = False
+        self.n_groups = 0
+        self._build()
+
+    def _build(self) -> None:
+        grouped = _kernels.sorted_grouping(self._frame[self.keys[0]].values)
+        if grouped is None:
+            self._build_legacy()
+            return
+        for key in self.keys[1:]:
+            nxt = _kernels.sorted_grouping(self._frame[key].values)
+            if nxt is None:
+                self._build_legacy()
+                return
+            # Pairwise mixed-radix combine, re-grouped each step so the
+            # codes stay < n_rows² regardless of the key count.
+            combined = grouped[2] * np.int64(len(nxt[1])) + nxt[2]
+            grouped = _kernels.sorted_grouping(combined)
+        self.order, self.starts, self.inverse = grouped
+        self.n_groups = len(self.starts)
+        self.fast = True
+
+    def _build_legacy(self) -> None:
+        key_lists = [self._frame[k].tolist() for k in self.keys]
         groups: dict[Any, list[int]] = {}
         for i, key in enumerate(zip(*key_lists)):
             label = key[0] if len(key) == 1 else key
             groups.setdefault(label, []).append(i)
-        self.groups = groups
-        self.n_rows = len(frame)
+        self._groups = groups
+
+    def first_last_positions(self) -> tuple[np.ndarray, np.ndarray]:
+        """Row position of each segment's first and last member (sort order)."""
+        if self.n_groups == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        ends = np.append(self.starts[1:], self.n_rows) - 1
+        # The sort is stable, so segment starts are first occurrences.
+        return self.order[self.starts], self.order[ends]
+
+    def first_seen_order(self) -> np.ndarray:
+        """Segment ids ordered by first occurrence (the hash-path order)."""
+        if self._first_to_sorted is None:
+            firsts, _ = self.first_last_positions()
+            self._first_to_sorted = np.argsort(firsts, kind="stable")
+        return self._first_to_sorted
+
+    def labels(self) -> list:
+        """Group labels (scalars, or key tuples) in first-seen order."""
+        if self._labels is None:
+            if not self.fast:
+                self._labels = list(self.groups)
+            else:
+                firsts, _ = self.first_last_positions()
+                rows = firsts[self.first_seen_order()]
+                columns = []
+                for key in self.keys:
+                    values = self._frame[key].values[rows]
+                    columns.append(
+                        [v.item() if isinstance(v, np.generic) else v for v in values]
+                    )
+                if len(columns) == 1:
+                    self._labels = columns[0]
+                else:
+                    self._labels = [tuple(vals) for vals in zip(*columns)]
+        return self._labels
+
+    @property
+    def groups(self) -> dict[Any, list[int]]:
+        """Mapping of group label → list of row positions (lazy on fast path)."""
+        if self._groups is None:
+            chunks = np.split(self.order, self.starts[1:])
+            first_seen = self.first_seen_order()
+            self._groups = {
+                label: chunks[seg].tolist()
+                for label, seg in zip(self.labels(), first_seen)
+            }
+        return self._groups
+
+
+def _segmented_transform(
+    index: _GroupIndex, series: Series, op: str
+) -> Series | None:
+    """Vectorised per-group reduce + broadcast, or ``None`` for the loop path."""
+    per_segment = _segmented_values(index, series, op, first_seen=False)
+    if per_segment is None:
+        return None
+    out = per_segment[index.inverse]
+    if out.dtype == object:
+        # first/last of an object column can be all-numeric: re-coerce
+        # exactly like the loop path's Series(out.tolist()).
+        return Series(out.tolist(), series.name)
+    return Series._from_array(_kernels.match_coerce_float(out), series.name)
+
+
+#: Placeholder for ops (``size``) that reduce positions, not values.
+_NO_VALUES = np.empty(0, dtype=np.float64)
+
+
+def _segmented_values(
+    index: _GroupIndex, series: Series | None, op: str, first_seen: bool = True
+) -> np.ndarray | None:
+    """One value per group for a built-in aggregation, or ``None``.
+
+    ``first_seen=True`` orders the result like the hash path's group
+    iteration (what ``agg`` rows need); ``False`` keeps sort-segment
+    order (what a broadcast through ``inverse`` needs).
+    """
+    if not index.fast or index.n_rows == 0:
+        return None
+    out = _segmented_sorted(index, series, op)
+    if out is None or not first_seen:
+        return out
+    return out[index.first_seen_order()]
+
+
+def _segmented_sorted(
+    index: _GroupIndex, series: Series | None, op: str
+) -> np.ndarray | None:
+    """Per-segment aggregation in sort order (*series* unused for ``size``)."""
+    if op == "size":
+        return _kernels.segmented_agg(
+            "size", _NO_VALUES, index.order, index.starts
+        )
+    if op in ("first", "last"):
+        firsts, lasts = index.first_last_positions()
+        return series.values[firsts if op == "first" else lasts]
+    if op == "count":
+        from repro.dataframe.series import _isna_array
+
+        present = (~_isna_array(series.values)).astype(np.int64)
+        return np.add.reduceat(present[index.order], index.starts)
+    if series.dtype.kind not in "ifb":
+        return None
+    return _kernels.segmented_agg(op, series._numeric(), index.order, index.starts)
 
 
 class DataFrameGroupBy:
@@ -85,7 +260,7 @@ class DataFrameGroupBy:
         return self._index.groups
 
     def __len__(self) -> int:
-        return len(self._index.groups)
+        return self._index.n_groups if self._index.fast else len(self._index.groups)
 
     def __getitem__(self, column: str) -> "SeriesGroupBy":
         if column not in self._frame.columns:
@@ -94,23 +269,35 @@ class DataFrameGroupBy:
 
     def size(self):
         """Per-group row counts as a DataFrame of keys + ``size``."""
+        from repro.dataframe.frame import DataFrame
+
+        sizes = _segmented_values(self._index, None, "size")
+        if sizes is not None:
+            out = _key_columns(self._index)
+            out["size"] = sizes
+            return DataFrame(out)
         return self._agg_frame({"size": lambda rows, col=None: len(rows)}, None)
 
     def agg(self, spec: dict[str, str | Callable]):
         """Aggregate several columns at once: ``{column: func}`` → DataFrame."""
         from repro.dataframe.frame import DataFrame
 
-        out: dict[str, list] = {k: [] for k in self._index.keys}
-        for col in spec:
-            out[col] = []
-        for label, rows in self._index.groups.items():
-            key = (label,) if len(self._index.keys) == 1 else label
-            for k, v in zip(self._index.keys, key):
-                out[k].append(v)
-            for col, func in spec.items():
+        out: dict[str, Any] = _key_columns(self._index)
+        for col, func in spec.items():
+            series = self._frame[col]
+            op = _segmented_name(func)
+            fast = (
+                _segmented_values(self._index, series, op) if op is not None else None
+            )
+            if fast is not None:
+                out[col] = _agg_series(fast, col)
+            else:
                 reducer = resolve_aggregator(func)
-                sub = Series._from_array(self._frame[col].values[np.asarray(rows)], col)
-                out[col].append(reducer(sub))
+                values = []
+                for rows in self._index.groups.values():
+                    sub = Series._from_array(series.values[np.asarray(rows)], col)
+                    values.append(reducer(sub))
+                out[col] = values
         return DataFrame(out)
 
     def _agg_frame(self, spec: dict[str, Callable], column: str | None):
@@ -128,6 +315,23 @@ class DataFrameGroupBy:
         return DataFrame(out)
 
 
+def _key_columns(index: _GroupIndex) -> dict[str, list]:
+    """Key-column lists (one entry per group, first-seen order)."""
+    labels = index.labels()
+    if len(index.keys) == 1:
+        return {index.keys[0]: list(labels)}
+    return {
+        k: [label[j] for label in labels] for j, k in enumerate(index.keys)
+    }
+
+
+def _agg_series(per_group: np.ndarray, name: str | None) -> Series:
+    """Wrap per-group aggregate values, matching list-coercion dtypes."""
+    if per_group.dtype == object:
+        return Series([v.item() if isinstance(v, np.generic) else v for v in per_group], name)
+    return Series._from_array(_kernels.match_coerce_float(per_group), name)
+
+
 class SeriesGroupBy:
     """A single column grouped by the parent frame's keys."""
 
@@ -141,6 +345,11 @@ class SeriesGroupBy:
         This is the exact call emitted by the high-order operator:
         ``df.groupby(gcols)[acol].transform('mean')``.
         """
+        op = _segmented_name(func)
+        if op is not None:
+            fast = _segmented_transform(self._index, self._series, op)
+            if fast is not None:
+                return fast
         reducer = resolve_aggregator(func)
         out = np.empty(self._index.n_rows, dtype=object)
         for rows in self._index.groups.values():
@@ -153,9 +362,19 @@ class SeriesGroupBy:
         """Per-group reduce; returns a DataFrame of keys + aggregated value."""
         from repro.dataframe.frame import DataFrame
 
-        reducer = resolve_aggregator(func)
-        out: dict[str, list] = {k: [] for k in self._index.keys}
         name = self._series.name or "value"
+        op = _segmented_name(func)
+        fast = (
+            _segmented_values(self._index, self._series, op)
+            if op is not None and self._index.fast
+            else None
+        )
+        if fast is not None:
+            out: dict[str, Any] = _key_columns(self._index)
+            out[name] = _agg_series(fast, name)
+            return DataFrame(out)
+        reducer = resolve_aggregator(func)
+        out = {k: [] for k in self._index.keys}
         out[name] = []
         for label, rows in self._index.groups.items():
             key = (label,) if len(self._index.keys) == 1 else label

@@ -1,0 +1,429 @@
+"""Vectorized numpy kernels backing the dataframe hot paths.
+
+Every kernel here is a drop-in replacement for an element loop elsewhere in
+the package and must stay value- and dtype-identical to the retained
+reference implementations in :mod:`repro.dataframe.reference` — the
+property suite in ``tests/dataframe/test_vectorized_equivalence.py``
+enforces that, including NaN/None propagation.
+
+Conventions shared with :mod:`repro.dataframe.series`:
+
+* missing values are ``None``/``NaN`` (see :func:`is_missing_scalar`);
+* integer codes use ``-1`` for missing, mirroring ``factorize``;
+* classification of mixed Python values follows ``Series`` coercion rules
+  (all-bool → ``bool``, numeric → ``int64``/``float64``, else ``object``).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "coerce_listlike",
+    "factorize_values",
+    "is_missing_scalar",
+    "match_coerce_float",
+    "missing_mask",
+    "segmented_agg",
+    "sorted_grouping",
+    "take_uniques",
+]
+
+
+def match_coerce_float(values: np.ndarray) -> np.ndarray:
+    """Mirror list coercion's all-missing rule for a float64 result.
+
+    ``Series([...])`` turns a non-empty list with *no present values* into
+    an ``object`` column of ``None`` — so a vectorized float64 result that
+    came out all-NaN must downgrade the same way to stay dtype-identical
+    with the element-loop paths.
+    """
+    if values.dtype.kind == "f" and len(values) and np.isnan(values).all():
+        return np.full(len(values), None, dtype=object)
+    return values
+
+#: Segmented reductions :func:`segmented_agg` understands.
+SEGMENTED_OPS = frozenset({"sum", "mean", "min", "max", "count", "size"})
+
+
+def is_missing_scalar(value: Any) -> bool:
+    """Return ``True`` when *value* is one of the recognised missing markers."""
+    if value is None:
+        return True
+    if isinstance(value, float) and math.isnan(value):
+        return True
+    if isinstance(value, np.floating) and np.isnan(value):
+        return True
+    return False
+
+
+def missing_mask(values: np.ndarray) -> np.ndarray:
+    """Vectorised missing-value mask covering both NaN and ``None``."""
+    if values.dtype.kind == "f":
+        return np.isnan(values)
+    if values.dtype == object:
+        return np.array([is_missing_scalar(v) for v in values], dtype=bool)
+    return np.zeros(len(values), dtype=bool)
+
+
+# ----------------------------------------------------------------------
+# Single-pass list coercion
+# ----------------------------------------------------------------------
+def _classify(values) -> tuple[str, bool]:
+    """One pass over *values* → ``(kind, has_missing)``.
+
+    ``kind`` is ``"bool"``/``"int"``/``"float"``/``"object"``/``"empty"``
+    (``"empty"`` = no present values, which coerces to an all-``None``
+    object array).  The scan stops early once a non-numeric value forces
+    the object path — object construction re-examines elements anyway.
+    """
+    has_missing = False
+    n_present = 0
+    all_bool = True
+    any_float = False
+    for v in values:
+        if v is None:
+            has_missing = True
+            continue
+        if isinstance(v, (bool, np.bool_)):
+            n_present += 1
+            continue
+        if isinstance(v, (float, np.floating)):
+            if math.isnan(v):
+                has_missing = True
+            else:
+                n_present += 1
+                any_float = True
+                all_bool = False
+            continue
+        if isinstance(v, (int, np.integer)):
+            n_present += 1
+            all_bool = False
+            continue
+        return "object", True  # has_missing unused on the object path
+    if n_present == 0:
+        return "empty", has_missing
+    if all_bool:
+        return "bool", has_missing
+    if any_float or has_missing:
+        return "float", has_missing
+    return "int", False
+
+
+def coerce_listlike(values: list) -> np.ndarray:
+    """Coerce a Python list into a 1-D array: one classification pass, then
+    a single C-level construction (the seed scanned the list three times)."""
+    kind, has_missing = _classify(values)
+    if kind == "bool":
+        if has_missing:
+            return np.array(
+                [None if is_missing_scalar(v) else bool(v) for v in values], dtype=object
+            )
+        return np.array([bool(v) for v in values], dtype=bool)
+    if kind == "float":
+        # np.array converts None → NaN for float64 targets in one pass.
+        return np.array(values, dtype=np.float64)
+    if kind == "int":
+        return np.array(values, dtype=np.int64)
+    return np.array(
+        [None if is_missing_scalar(v) else v for v in values], dtype=object
+    )
+
+
+# ----------------------------------------------------------------------
+# Factorisation (np.unique fast path, dict fallback)
+# ----------------------------------------------------------------------
+def _factorize_loop(values: np.ndarray) -> tuple[np.ndarray, list]:
+    """Hash-based factorisation: the semantics of dict insertion order."""
+    uniques: list = []
+    lookup: dict = {}
+    codes = np.empty(len(values), dtype=np.int64)
+    for i, v in enumerate(values):
+        if is_missing_scalar(v):
+            codes[i] = -1
+            continue
+        if isinstance(v, np.generic):
+            v = v.item()
+        if v not in lookup:
+            lookup[v] = len(uniques)
+            uniques.append(v)
+        codes[i] = lookup[v]
+    return codes, uniques
+
+
+def _first_seen_renumber(
+    inverse: np.ndarray, first_index: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Remap sorted-unique codes to first-occurrence order.
+
+    ``inverse``/``first_index`` come from ``np.unique``; returns
+    ``(codes, order)`` where ``order`` positions sorted uniques in
+    first-seen order.
+    """
+    order = np.argsort(first_index, kind="stable")
+    rank = np.empty(len(order), dtype=np.int64)
+    rank[order] = np.arange(len(order), dtype=np.int64)
+    return rank[inverse], order
+
+
+def factorize_values(values: np.ndarray) -> tuple[np.ndarray, list]:
+    """Factorise an array: ``(codes, uniques)`` with ``-1`` for missing and
+    uniques in first-seen order, as Python scalars.
+
+    Numeric/boolean/sortable-object arrays go through ``np.unique``;
+    mixed-type object arrays (unorderable) fall back to the hash loop,
+    which is also the semantics reference.
+    """
+    n = len(values)
+    if n == 0:
+        return np.empty(0, dtype=np.int64), []
+    kind = values.dtype.kind
+    if kind in "iub":
+        uniq, first_index, inverse = np.unique(
+            values, return_index=True, return_inverse=True
+        )
+        codes, order = _first_seen_renumber(inverse, first_index)
+        return codes, [u.item() for u in uniq[order]]
+    if kind == "f":
+        mask = np.isnan(values)
+        if mask.all():
+            return np.full(n, -1, dtype=np.int64), []
+        present = values[~mask]
+        uniq, first_index, inverse = np.unique(
+            present, return_index=True, return_inverse=True
+        )
+        sub_codes, order = _first_seen_renumber(inverse, first_index)
+        codes = np.full(n, -1, dtype=np.int64)
+        codes[~mask] = sub_codes
+        return codes, [u.item() for u in uniq[order]]
+    if values.dtype == object:
+        if _all_strings(values):
+            # Strings are never missing markers: factorise byte-encoded
+            # keys directly (C-speed sort) and recover the original str
+            # objects from the first-occurrence positions.
+            try:
+                skeys = values.astype("S")
+            except UnicodeEncodeError:
+                skeys = values.astype("U")
+            _, first_index, inverse = np.unique(
+                skeys, return_index=True, return_inverse=True
+            )
+            codes, order = _first_seen_renumber(inverse, first_index)
+            return codes, [values[i] for i in first_index[order]]
+        try:
+            mask = missing_mask(values)
+            if mask.all():
+                return np.full(n, -1, dtype=np.int64), []
+            present = values[~mask]
+            uniq, first_index, inverse = np.unique(
+                present, return_index=True, return_inverse=True
+            )
+        except TypeError:  # unorderable mixed types
+            return _factorize_loop(values)
+        sub_codes, order = _first_seen_renumber(inverse, first_index)
+        codes = np.full(n, -1, dtype=np.int64)
+        codes[~mask] = sub_codes
+        return codes, [
+            u.item() if isinstance(u, np.generic) else u for u in uniq[order]
+        ]
+    return _factorize_loop(values)
+
+
+# ----------------------------------------------------------------------
+# Code → value materialisation with Series coercion semantics
+# ----------------------------------------------------------------------
+def take_uniques(choices: Sequence[Any], codes: np.ndarray) -> np.ndarray:
+    """Expand ``choices[codes]`` into an array, ``-1`` codes → missing.
+
+    The output dtype matches what ``Series([...])`` coercion would produce
+    for the fully expanded list; unused choices are dropped first so they
+    cannot influence the dtype (exactly like the expanded-list path).
+    """
+    codes = np.asarray(codes, dtype=np.int64)
+    n = len(codes)
+    choices = list(choices)
+    seen = np.zeros(len(choices) + 1, dtype=bool)
+    seen[codes] = True  # one O(n) pass; -1 codes land in the sentinel slot
+    has_missing_codes = bool(seen[-1])
+    used_list = np.flatnonzero(seen[:-1]).tolist()
+    if len(used_list) != len(choices):
+        remap = np.full(len(choices) + 1, -1, dtype=np.int64)
+        for new, old in enumerate(used_list):
+            remap[old] = new
+        codes = remap[codes]  # -1 stays -1 via the sentinel slot
+        choices = [choices[old] for old in used_list]
+    kind, has_missing = _classify(choices)
+    has_missing = has_missing or has_missing_codes
+    if kind in ("empty",) or (kind == "bool" and has_missing) or kind == "object":
+        lookup = np.empty(len(choices) + 1, dtype=object)
+        for i, c in enumerate(choices):
+            lookup[i] = None if is_missing_scalar(c) else c
+        lookup[-1] = None
+        return lookup[codes]
+    if kind == "bool":
+        lookup = np.array([bool(c) for c in choices], dtype=bool)
+        return lookup[codes]
+    if kind == "float" or has_missing:
+        lookup = np.empty(len(choices) + 1, dtype=np.float64)
+        for i, c in enumerate(choices):
+            lookup[i] = np.nan if is_missing_scalar(c) else float(c)
+        lookup[-1] = np.nan
+        return lookup[codes]
+    lookup = np.array([int(c) for c in choices], dtype=np.int64)
+    return lookup[codes]
+
+
+# ----------------------------------------------------------------------
+# Segmented (sort-based) group reductions
+# ----------------------------------------------------------------------
+def _all_strings(values: np.ndarray) -> bool:
+    """True when every element is a plain str safe for fixed-width keys.
+
+    Strings containing NUL are excluded: ``S``/``U`` dtypes pad with NUL,
+    so ``"a"`` and ``"a\\x00"`` would collide under fixed-width equality.
+    """
+    for v in values:
+        if type(v) is not str or "\x00" in v:
+            return False
+    return True
+
+
+def _string_sort_keys(values: np.ndarray) -> np.ndarray:
+    """Grouping-consistent sort keys for an all-string object array.
+
+    ASCII data byte-packs into ``uint64`` words (1-D for short strings,
+    2-D otherwise) so the sort runs as a radix/lexsort over integers
+    instead of string comparisons.  The resulting *order* is arbitrary but
+    total, and equal strings get equal keys — all that grouping needs.
+    Non-ASCII data falls back to fixed-width unicode keys.
+    """
+    try:
+        packed = values.astype("S")
+    except UnicodeEncodeError:
+        return values.astype("U")
+    width = packed.dtype.itemsize or 1
+    words = -(-width // 8)
+    if words * 8 != width:
+        packed = packed.astype(f"S{words * 8}")
+    matrix = packed.view(np.uint64).reshape(len(values), words)
+    return matrix[:, 0] if words == 1 else matrix
+
+
+def _compact_int_keys(values: np.ndarray) -> np.ndarray:
+    """Shift integer keys to zero and narrow the dtype.
+
+    Numpy's stable integer argsort is a radix sort whose cost scales with
+    the key width, so ``uint8``/``uint16`` keys sort several times faster
+    than spread-out ``int64`` values.
+    """
+    if not len(values):
+        return values
+    lo, hi = values.min(), values.max()
+    span = int(hi) - int(lo)  # Python ints: no int64 overflow
+    if span < 2**8:
+        return (values - lo).astype(np.uint8)
+    if span < 2**16:
+        return (values - lo).astype(np.uint16)
+    if span < 2**32:
+        return (values - lo).astype(np.uint32)
+    return values
+
+
+def _object_sort_keys(values: np.ndarray) -> np.ndarray | None:
+    """Sortable stand-in keys for an object array, or ``None`` to bail out.
+
+    Anything containing missing values or mixed types returns ``None``
+    (the callers' hash-based path keeps the exact semantics there).
+    """
+    if not _all_strings(values):
+        return None
+    return _string_sort_keys(values) if len(values) else values
+
+
+def sorted_grouping(
+    values: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray] | None:
+    """Group equal values with ONE stable argsort.
+
+    Returns ``(order, starts, inverse)``: ``order`` is a stable row
+    permutation placing equal values contiguously, ``starts`` the segment
+    offsets (one group per segment, ordered by sort key), and ``inverse``
+    each row's segment id.  Returns ``None`` when the values contain
+    missing entries or are unorderable — callers fall back to the hash
+    path, which defines the semantics (missing keys need its NaN-identity
+    behaviour).
+    """
+    n = len(values)
+    if n == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, empty
+    kind = values.dtype.kind
+    if kind == "f":
+        if np.isnan(values).any():
+            return None
+        keys = values
+    elif kind == "b":
+        keys = values.view(np.uint8)
+    elif kind in "iu":
+        keys = _compact_int_keys(values)
+    elif values.dtype == object:
+        keys = _object_sort_keys(values)
+        if keys is None:
+            return None
+    else:
+        return None
+    boundary = np.empty(n, dtype=bool)
+    boundary[0] = True
+    if keys.ndim == 2:  # byte-packed strings: one stable lexsort over words
+        order = np.lexsort(tuple(keys.T))
+        sorted_keys = keys[order]
+        np.any(sorted_keys[1:] != sorted_keys[:-1], axis=1, out=boundary[1:])
+    else:
+        order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[order]
+        np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=boundary[1:])
+    starts = np.flatnonzero(boundary)
+    segment = np.cumsum(boundary) - 1
+    inverse = np.empty(n, dtype=np.int64)
+    inverse[order] = segment
+    return order, starts, inverse
+
+
+def segmented_agg(
+    op: str, values: np.ndarray, order: np.ndarray, starts: np.ndarray
+) -> np.ndarray:
+    """Per-group reduction over float64 *values* pre-sorted by *order*.
+
+    NaN handling matches the ``Series`` reductions: ``sum`` skips NaN
+    (all-NaN group → 0.0), ``mean`` skips NaN (all-NaN → NaN), ``min``/
+    ``max`` skip NaN (all-NaN → NaN), ``count`` counts non-NaN, ``size``
+    counts rows.  Returns float64 except ``count``/``size`` (int64).
+    """
+    n = len(order)
+    n_groups = len(starts)
+    if n_groups == 0:
+        return np.empty(0, dtype=np.int64 if op in ("count", "size") else np.float64)
+    if op == "size":
+        return np.diff(np.append(starts, n)).astype(np.int64)
+    sorted_vals = values[order]
+    present = ~np.isnan(sorted_vals)
+    if op == "count":
+        return np.add.reduceat(present.astype(np.int64), starts)
+    if op == "sum":
+        return np.add.reduceat(np.where(present, sorted_vals, 0.0), starts)
+    if op == "mean":
+        sums = np.add.reduceat(np.where(present, sorted_vals, 0.0), starts)
+        counts = np.add.reduceat(present.astype(np.float64), starts)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            out = sums / counts
+        out[counts == 0] = np.nan
+        return out
+    if op == "min":
+        return np.fmin.reduceat(sorted_vals, starts)
+    if op == "max":
+        return np.fmax.reduceat(sorted_vals, starts)
+    raise ValueError(f"unknown segmented op {op!r}; expected one of {sorted(SEGMENTED_OPS)}")

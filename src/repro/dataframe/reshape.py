@@ -11,8 +11,9 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro.dataframe import kernels as _kernels
 from repro.dataframe.frame import DataFrame
-from repro.dataframe.series import Series, _is_missing_scalar
+from repro.dataframe.series import Series
 
 __all__ = ["concat", "cut", "factorize", "get_dummies", "qcut"]
 
@@ -31,13 +32,13 @@ def get_dummies(
     """
     if isinstance(data, Series):
         name = prefix if prefix is not None else (data.name or "col")
-        values = data.tolist()
-        categories = data.unique()
-        if drop_first:
-            categories = categories[1:]
-        out: dict[str, list[int]] = {}
-        for cat in categories:
-            out[f"{name}_{cat}"] = [int(v == cat) for v in values]
+        codes, categories = _kernels.factorize_values(data.values)
+        start = 1 if drop_first else 0
+        out: dict[str, np.ndarray] = {}
+        for j, cat in enumerate(categories):
+            if j < start:
+                continue
+            out[f"{name}_{cat}"] = (codes == j).astype(np.int64)
         return DataFrame(out)
     frame = data
     targets = list(columns) if columns is not None else frame.categorical_columns()
@@ -50,19 +51,12 @@ def get_dummies(
 
 
 def factorize(series: Series) -> tuple[np.ndarray, list]:
-    """Encode values as integer codes (missing → -1); return ``(codes, uniques)``."""
-    uniques: list = []
-    lookup: dict = {}
-    codes = np.empty(len(series), dtype=np.int64)
-    for i, v in enumerate(series.tolist()):
-        if _is_missing_scalar(v):
-            codes[i] = -1
-            continue
-        if v not in lookup:
-            lookup[v] = len(uniques)
-            uniques.append(v)
-        codes[i] = lookup[v]
-    return codes, uniques
+    """Encode values as integer codes (missing → -1); return ``(codes, uniques)``.
+
+    Vectorised through :func:`repro.dataframe.kernels.factorize_values`
+    (``np.unique(return_inverse=True)`` remapped to first-seen order).
+    """
+    return _kernels.factorize_values(series.values)
 
 
 def cut(
@@ -84,29 +78,27 @@ def cut(
         raise ValueError(
             f"expected {len(edges) - 1} labels for {len(edges)} edges, got {len(labels)}"
         )
-    out: list = []
-    for v in series.tolist():
-        if _is_missing_scalar(v):
-            out.append(None)
-            continue
-        x = float(v)
-        idx = None
-        for b in range(len(edges) - 1):
-            lo, hi = edges[b], edges[b + 1]
-            if right:
-                inside = (lo < x <= hi) or (b == 0 and x == lo)
-            else:
-                inside = (lo <= x < hi) or (b == len(edges) - 2 and x == hi)
-            if inside:
-                idx = b
-                break
-        if idx is None:
-            out.append(None)
-        elif labels is None:
-            out.append(idx)
+    n_bins = len(edges) - 1
+    data = series._numeric()
+    missing = np.isnan(data)
+    edge_arr = np.asarray(edges, dtype=np.float64)
+    with np.errstate(invalid="ignore"):
+        if right:
+            # edges[i-1] < x <= edges[i]  →  bin i-1; the left edge belongs
+            # to the first bin.
+            codes = np.searchsorted(edge_arr, data, side="left") - 1
+            codes[data == edge_arr[0]] = 0
         else:
-            out.append(labels[idx])
-    return Series(out, series.name)
+            # edges[i-1] <= x < edges[i]  →  bin i-1; the right edge
+            # belongs to the last bin.
+            codes = np.searchsorted(edge_arr, data, side="right") - 1
+            codes[data == edge_arr[-1]] = n_bins - 1
+    out_of_range = (codes < 0) | (codes >= n_bins)
+    codes[out_of_range | missing] = -1
+    choices = list(range(n_bins)) if labels is None else list(labels)
+    return Series._from_array(
+        _kernels.take_uniques(choices, codes), series.name
+    )
 
 
 def qcut(series: Series, q: int, labels: Sequence | None = None) -> Series:

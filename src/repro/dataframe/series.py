@@ -15,18 +15,15 @@ from typing import Any
 
 import numpy as np
 
+from repro.dataframe import kernels as _kernels
+
 __all__ = ["Series"]
 
+#: Missing-value scalar check, shared with the kernels module.
+_is_missing_scalar = _kernels.is_missing_scalar
 
-def _is_missing_scalar(value: Any) -> bool:
-    """Return ``True`` when *value* is one of the recognised missing markers."""
-    if value is None:
-        return True
-    if isinstance(value, float) and math.isnan(value):
-        return True
-    if isinstance(value, np.floating) and np.isnan(value):
-        return True
-    return False
+#: Missing-value mask, shared with the kernels module.
+_isna_array = _kernels.missing_mask
 
 
 def _coerce_values(values: Any) -> np.ndarray:
@@ -34,7 +31,8 @@ def _coerce_values(values: Any) -> np.ndarray:
 
     Lists of numbers become ``int64``/``float64``; anything containing
     strings or mixed types becomes an ``object`` array with ``None`` for
-    missing entries.
+    missing entries.  Lists are classified in a single pass
+    (:func:`repro.dataframe.kernels.coerce_listlike`).
     """
     if isinstance(values, Series):
         return values.to_numpy().copy()
@@ -44,33 +42,37 @@ def _coerce_values(values: Any) -> np.ndarray:
         if values.dtype.kind in "US":  # fixed-width strings -> object storage
             return values.astype(object)
         return values.copy()
-    values = list(values)
-    has_missing = any(_is_missing_scalar(v) for v in values)
-    non_missing = [v for v in values if not _is_missing_scalar(v)]
-    if non_missing and all(isinstance(v, (bool, np.bool_)) for v in non_missing):
-        if has_missing:
-            return np.array([None if _is_missing_scalar(v) else bool(v) for v in values], dtype=object)
-        return np.array([bool(v) for v in values], dtype=bool)
-    if non_missing and all(
-        isinstance(v, (int, float, np.integer, np.floating)) for v in non_missing
-    ):
-        if has_missing or any(isinstance(v, (float, np.floating)) for v in non_missing):
-            return np.array(
-                [np.nan if _is_missing_scalar(v) else float(v) for v in values], dtype=np.float64
-            )
-        return np.array([int(v) for v in values], dtype=np.int64)
-    return np.array(
-        [None if _is_missing_scalar(v) else v for v in values], dtype=object
-    )
+    return _kernels.coerce_listlike(list(values))
 
 
-def _isna_array(values: np.ndarray) -> np.ndarray:
-    """Vectorised missing-value mask covering both NaN and ``None``."""
-    if values.dtype.kind == "f":
-        return np.isnan(values)
-    if values.dtype == object:
-        return np.array([_is_missing_scalar(v) for v in values], dtype=bool)
-    return np.zeros(len(values), dtype=bool)
+#: Unary ufunc stand-ins for the ``math`` functions generated code applies
+#: element-wise.  ``math.floor``/``math.ceil`` are deliberately absent:
+#: they return ``int`` where the numpy versions return ``float64``.
+_UFUNC_EQUIVALENTS: dict[Any, np.ufunc] = {
+    math.log: np.log,
+    math.log2: np.log2,
+    math.log10: np.log10,
+    math.log1p: np.log1p,
+    math.exp: np.exp,
+    math.expm1: np.expm1,
+    math.sqrt: np.sqrt,
+    math.sin: np.sin,
+    math.cos: np.cos,
+    math.tan: np.tan,
+    math.tanh: np.tanh,
+    math.fabs: np.fabs,
+    abs: np.abs,
+}
+
+
+def _as_unary_ufunc(func: Any) -> np.ufunc | None:
+    """A vectorisable stand-in for *func*, or ``None`` to run the loop."""
+    if isinstance(func, np.ufunc) and func.nin == 1:
+        return func
+    try:
+        return _UFUNC_EQUIVALENTS.get(func)
+    except TypeError:  # unhashable callable
+        return None
 
 
 class Series:
@@ -227,36 +229,107 @@ class Series:
     # ------------------------------------------------------------------
     # Element-wise transforms
     # ------------------------------------------------------------------
+    def _apply_ufunc(self, ufunc: np.ufunc, exact_errors: bool) -> np.ndarray | None:
+        """Run *ufunc* over the numeric values, or ``None`` to use the loop.
+
+        With ``exact_errors`` the call runs under raising errstate so a
+        domain violation (``log(0)``, ``exp`` overflow …) falls back to the
+        element loop, which raises exactly what the scalar ``math``
+        function would have raised.
+        """
+        if self._values.dtype.kind not in "if":
+            return None
+        try:
+            if exact_errors:
+                with np.errstate(divide="raise", invalid="raise", over="raise", under="ignore"):
+                    return ufunc(self._values)
+            return ufunc(self._values)
+        except FloatingPointError:
+            return None
+
     def map(self, mapper: Callable[[Any], Any] | Mapping[Any, Any]) -> "Series":
         """Apply *mapper* (callable or dict) element-wise.
 
         Dict mappers translate unmapped keys to ``None``, matching pandas.
         Missing inputs propagate as missing without invoking the mapper.
+        Dict mappers and recognised ufuncs run vectorised (each distinct
+        value is looked up once); other callables run the element loop.
         """
         if isinstance(mapper, Mapping):
-            get = mapper.get
-            out = [None if _is_missing_scalar(v) else get(v) for v in self.tolist()]
-        else:
-            out = [None if _is_missing_scalar(v) else mapper(v) for v in self.tolist()]
+            try:
+                codes, uniques = _kernels.factorize_values(self._values)
+                mapped = [mapper.get(u) for u in uniques]
+            except TypeError:  # unhashable values: surface the same error shape
+                return Series(
+                    [None if _is_missing_scalar(v) else mapper.get(v) for v in self.tolist()],
+                    self.name,
+                )
+            return Series._from_array(_kernels.take_uniques(mapped, codes), self.name)
+        ufunc = _as_unary_ufunc(mapper)
+        if ufunc is not None:
+            out = self._apply_ufunc(ufunc, exact_errors=mapper is not ufunc)
+            # Missing inputs must stay missing without invoking the mapper;
+            # only a float result can represent that vectorised.
+            if out is not None and (
+                self._values.dtype.kind != "f"
+                or out.dtype.kind == "f"
+                or not np.isnan(self._values).any()
+            ):
+                if self._values.dtype.kind == "f" and out.dtype.kind == "f":
+                    out = np.where(np.isnan(self._values), np.nan, out)
+                return Series._from_array(_kernels.match_coerce_float(out), self.name)
+        out = [None if _is_missing_scalar(v) else mapper(v) for v in self.tolist()]
         return Series(out, self.name)
 
     def apply(self, func: Callable[[Any], Any]) -> "Series":
-        """Apply *func* to every element, including missing ones."""
+        """Apply *func* to every element, including missing ones.
+
+        Numpy ufuncs — and the ``math`` functions with exact ufunc
+        equivalents — dispatch to one vectorised call on numeric dtypes;
+        anything else runs the element loop.
+        """
+        ufunc = _as_unary_ufunc(func)
+        if ufunc is not None:
+            out = self._apply_ufunc(ufunc, exact_errors=func is not ufunc)
+            if out is not None:
+                return Series._from_array(_kernels.match_coerce_float(out), self.name)
         return Series([func(v) for v in self.tolist()], self.name)
 
     def astype(self, dtype: Any) -> "Series":
         """Cast to *dtype* (``float``, ``int``, ``str``, ``bool`` or numpy dtype)."""
+        kind = self._values.dtype.kind
         if dtype in (str, "str", "string"):
+            if kind in "ib":
+                return Series._from_array(
+                    self._values.astype(str).astype(object), self.name
+                )
             return Series(
                 [None if _is_missing_scalar(v) else str(v) for v in self.tolist()], self.name
             )
         if dtype in (float, "float", "float64"):
+            if kind in "ifb":
+                return Series._from_array(
+                    _kernels.match_coerce_float(self._values.astype(np.float64)), self.name
+                )
             return Series(
                 [np.nan if _is_missing_scalar(v) else float(v) for v in self.tolist()], self.name
             )
         if dtype in (int, "int", "int64"):
+            if kind == "f":
+                if np.isnan(self._values).any():
+                    raise ValueError("cannot convert float NaN to integer")
+                if np.isinf(self._values).any():
+                    raise OverflowError("cannot convert float infinity to integer")
+                if not (np.abs(self._values) < 2.0**63).all():
+                    # Out of int64 range: the loop raises the exact error.
+                    return Series([int(v) for v in self.tolist()], self.name)
+                return Series._from_array(self._values.astype(np.int64), self.name)
+            if kind in "ib":
+                return Series._from_array(self._values.astype(np.int64), self.name)
             return Series([int(v) for v in self.tolist()], self.name)
         if dtype in (bool, "bool"):
+            if kind in "ifb":
+                return Series._from_array(self._values.astype(bool), self.name)
             return Series([bool(v) for v in self.tolist()], self.name)
         return Series._from_array(self._values.astype(dtype), self.name)
 
@@ -294,6 +367,27 @@ class Series:
     def where(self, cond: "Series | np.ndarray", other: Any = None) -> "Series":
         """Keep values where *cond* holds, replace the rest with *other*."""
         mask = cond.to_numpy() if isinstance(cond, Series) else np.asarray(cond)
+        kind = self._values.dtype.kind
+        if kind in "if" and mask.dtype == bool and len(mask) == len(self._values):
+            if kind == "i" and mask.all():
+                # Nothing is replaced: the loop coerces the surviving ints
+                # back to int64 regardless of what `other` would have been.
+                if other is None or isinstance(other, (int, float, np.number)):
+                    return Series._from_array(self._values.copy(), self.name)
+            if other is None:
+                out = np.where(mask, self._values.astype(np.float64), np.nan)
+                return Series._from_array(_kernels.match_coerce_float(out), self.name)
+            if isinstance(other, (int, np.integer)) and not isinstance(other, (bool, np.bool_)):
+                if kind == "i":
+                    return Series._from_array(
+                        np.where(mask, self._values, np.int64(other)), self.name
+                    )
+                if mask.any():  # else no float survives: the loop coerces to int64
+                    out = np.where(mask, self._values, float(other))
+                    return Series._from_array(_kernels.match_coerce_float(out), self.name)
+            if isinstance(other, (float, np.floating)):
+                out = np.where(mask, self._values.astype(np.float64), float(other))
+                return Series._from_array(_kernels.match_coerce_float(out), self.name)
         out = [v if m else other for v, m in zip(self.tolist(), mask)]
         return Series(out, self.name)
 
@@ -301,11 +395,19 @@ class Series:
     # Reductions
     # ------------------------------------------------------------------
     def _numeric(self) -> np.ndarray:
-        """Return the values as ``float64`` (object arrays convert, missing→NaN)."""
-        if self._values.dtype.kind in "if":
+        """Return the values as ``float64`` (object arrays convert, missing→NaN).
+
+        Float64 input returns the live buffer (no copy) — treat the result
+        as read-only; every in-place consumer copies first (``clip``).
+        """
+        if self._values.dtype.kind in "ifb":
+            return self._values.astype(np.float64, copy=False)
+        try:
+            # Object arrays cast in one C pass: float() per element with
+            # None → NaN, identical to the loop below for convertible data.
             return self._values.astype(np.float64)
-        if self._values.dtype.kind == "b":
-            return self._values.astype(np.float64)
+        except (TypeError, ValueError):
+            pass
         out = np.empty(len(self._values), dtype=np.float64)
         for i, v in enumerate(self._values):
             if _is_missing_scalar(v):
@@ -364,41 +466,42 @@ class Series:
         """Number of non-missing entries."""
         return int((~_isna_array(self._values)).sum())
 
+    def _counts_first_seen(self) -> tuple[list, np.ndarray]:
+        """``(uniques, counts)`` over non-missing values in first-seen order."""
+        codes, uniques = _kernels.factorize_values(self._values)
+        present = codes[codes >= 0]
+        counts = np.bincount(present, minlength=len(uniques)) if len(uniques) else np.zeros(0, np.int64)
+        return uniques, counts
+
     def nunique(self, dropna: bool = True) -> int:
-        values = self.tolist()
         if dropna:
-            values = [v for v in values if not _is_missing_scalar(v)]
-        return len(set(values))
+            _, counts = self._counts_first_seen()
+            return len(counts)
+        # NaN markers are identity-distinct in a set, so keep the exact loop.
+        return len(set(self.tolist()))
 
     def unique(self) -> list:
         """Distinct non-missing values in first-seen order."""
-        seen: dict[Any, None] = {}
-        for v in self.tolist():
-            if not _is_missing_scalar(v) and v not in seen:
-                seen[v] = None
-        return list(seen)
+        uniques, _ = self._counts_first_seen()
+        return uniques
 
     def mode(self) -> Any:
         """Most frequent non-missing value (ties break on first-seen order)."""
-        counts: dict[Any, int] = {}
-        for v in self.tolist():
-            if not _is_missing_scalar(v):
-                counts[v] = counts.get(v, 0) + 1
-        if not counts:
+        uniques, counts = self._counts_first_seen()
+        if not uniques:
             return None
-        return max(counts, key=counts.get)
+        return uniques[int(np.argmax(counts))]
 
     def value_counts(self, normalize: bool = False) -> dict:
         """Frequency table of non-missing values, most frequent first."""
-        counts: dict[Any, int] = {}
-        for v in self.tolist():
-            if not _is_missing_scalar(v):
-                counts[v] = counts.get(v, 0) + 1
-        ordered = dict(sorted(counts.items(), key=lambda kv: -kv[1]))
+        uniques, counts = self._counts_first_seen()
+        # Stable sort on -count keeps first-seen order among ties, exactly
+        # like sorting the insertion-ordered dict.
+        order = np.argsort(-counts, kind="stable")
         if normalize:
-            total = sum(ordered.values())
-            return {k: v / total for k, v in ordered.items()}
-        return ordered
+            total = float(counts.sum())
+            return {uniques[i]: int(counts[i]) / total for i in order}
+        return {uniques[i]: int(counts[i]) for i in order}
 
     def idxmax(self) -> int:
         data = self._numeric()
@@ -566,6 +669,18 @@ class Series:
     def isin(self, values: Iterable[Any]) -> "Series":
         """Boolean mask of membership in *values*."""
         lookup = set(values)
+        if self._values.dtype.kind in "if" and all(
+            isinstance(v, (int, float, np.integer, np.floating))
+            and not isinstance(v, (bool, np.bool_))
+            and not _is_missing_scalar(v)
+            and abs(v) < 2.0**53  # exact as float64, so == semantics match
+            for v in lookup
+        ):
+            data = self._values.astype(np.float64)
+            if len(data) == 0 or bool((np.abs(data[~np.isnan(data)]) < 2.0**53).all()):
+                table = np.array(sorted(float(v) for v in lookup), dtype=np.float64)
+                out = np.isin(data, table)
+                return Series._from_array(out, self.name)
         out = np.array(
             [not _is_missing_scalar(v) and v in lookup for v in self.tolist()], dtype=bool
         )

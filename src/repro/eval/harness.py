@@ -31,11 +31,15 @@ def feature_matrix(
 
     Categorical columns are factorised (the paper's preprocessing);
     numeric columns pass through with missing values median-imputed (a
-    standard cleaning step).  With ``strict=True``, *infinite* values —
-    the product of unguarded division — raise
-    :class:`NonFiniteFeaturesError`, mirroring how scikit-learn models
-    fail on CAAFE's Diabetes output.  ``strict=False`` masks them to
-    large finite values (CAAFE's lenient internal validator).
+    standard cleaning step).  Every column converts in one vectorised
+    pass — ``factorize`` runs on ``np.unique`` codes and ``_numeric`` is
+    a C-level cast — so this scales to the row counts
+    ``benchmarks/bench_dataplane.py`` drives through it.  With
+    ``strict=True``, *infinite* values — the product of unguarded
+    division — raise :class:`NonFiniteFeaturesError`, mirroring how
+    scikit-learn models fail on CAAFE's Diabetes output.
+    ``strict=False`` masks them to large finite values (CAAFE's lenient
+    internal validator).
     """
     names: list[str] = []
     columns: list[np.ndarray] = []
@@ -52,11 +56,14 @@ def feature_matrix(
     if not columns:
         raise ValueError("no feature columns")
     X = np.column_stack(columns)
-    if strict and np.isinf(X).any():
-        bad = [names[j] for j in range(X.shape[1]) if np.isinf(X[:, j]).any()]
-        raise NonFiniteFeaturesError(
-            f"infinite values in features {bad[:5]} — models cannot fit"
-        )
+    if strict:
+        inf_mask = np.isinf(X)
+        if inf_mask.any():
+            per_column = inf_mask.any(axis=0)
+            bad = [names[j] for j in np.flatnonzero(per_column)]
+            raise NonFiniteFeaturesError(
+                f"infinite values in features {bad[:5]} — models cannot fit"
+            )
     if not strict:
         X = np.nan_to_num(X, nan=0.0, posinf=1e12, neginf=-1e12)
     elif np.isnan(X).any():

@@ -111,7 +111,8 @@ def _log_transform(column: str) -> str:
     return (
         f"def transform(df):\n"
         f"    # log1p of the non-negative part; keeps zeros/negatives safe.\n"
-        f"    return (df[{_quote(column)}].clip(0) + 1.0).apply(math.log)\n"
+        f"    # np.log dispatches as one vectorised ufunc call.\n"
+        f"    return (df[{_quote(column)}].clip(0) + 1.0).apply(np.log)\n"
     )
 
 
@@ -153,8 +154,9 @@ def _binary(op: str, columns: list[str]) -> str:
     if op == "/":
         return (
             f"def transform(df):\n"
-            f"    # Guard against division by zero: null denominators propagate.\n"
-            f"    den = df[{_quote(b)}].apply(lambda v: v if not pd.isna(v) and v != 0 else None)\n"
+            f"    # Guard against division by zero: zero/null denominators\n"
+            f"    # become missing via one vectorised mask, and propagate.\n"
+            f"    den = df[{_quote(b)}].where(df[{_quote(b)}] != 0)\n"
             f"    return df[{_quote(a)}] / den\n"
         )
     symbol = {"+": "+", "-": "-", "*": "*"}[op]
@@ -183,8 +185,10 @@ def _knowledge_map(
     return (
         f"def transform(df):\n"
         f"    # Encoded world knowledge: {topic.replace('_', ' ')}.\n"
+        f"    # Dict .map runs one lookup per distinct value; unmapped and\n"
+        f"    # missing inputs fall through to the default.\n"
         f"    lookup = {{{entries}}}\n"
-        f"    return df[{_quote(column)}].apply(lambda v: lookup.get(v, {default!r}))\n"
+        f"    return df[{_quote(column)}].map(lookup).fillna({default!r})\n"
     )
 
 
