@@ -132,6 +132,26 @@ class DataAgenda:
             lines.append(f"Downstream model: {self.model}")
         return "\n".join(lines)
 
+    def subset(self, names) -> "DataAgenda":
+        """A view of this agenda restricted to *names*, order preserved.
+
+        Entry objects are shared, not copied — the stage scheduler builds
+        one subset per sampling wave, so views must be cheap; treat them
+        as read-only.  Title, target, and model context are retained
+        (every stage prompt needs them).
+        """
+        keep = set(names)
+        out = DataAgenda(
+            title=self.title,
+            target=self.target,
+            target_description=self.target_description,
+            model=self.model,
+        )
+        for name, entry in self.entries.items():
+            if name in keep:
+                out.entries[name] = entry
+        return out
+
     def copy(self) -> "DataAgenda":
         out = DataAgenda(
             title=self.title,

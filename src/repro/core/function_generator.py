@@ -73,24 +73,31 @@ class FunctionGenerator:
         self.preview_rows = preview_rows
         self.repair_retries = repair_retries
         self.executor = executor
-        # Transform executions run on the fit_transform caller's thread
-        # (only FM completions fan out), so a thread-local slot keeps
-        # concurrent runs sharing one generator from crossing timers.
+        # Back-compat slot: callers are expected to pass the run's timer
+        # explicitly (the pipeline threads it through realize_batch), but
+        # code that still parks one on the generator keeps working.  The
+        # slot is thread-local so concurrent runs sharing one generator
+        # cannot cross their timers.
         self._timer_slot = threading.local()
 
     @property
     def timer(self):
-        """Optional :class:`repro.core.timing.StageTimer` for this thread's
-        run; when set, every sandboxed transform execution is accounted
-        under ``"transform_exec"`` (the pipeline installs one per run)."""
+        """Optional :class:`repro.core.timing.StageTimer` fallback for this
+        thread.  Deprecated in favour of the explicit ``timer=`` argument
+        on :meth:`realize`/:meth:`realize_batch`, which is what the
+        pipeline's stage scheduler uses (one timer per run, owned by the
+        run, never parked on shared state)."""
         return getattr(self._timer_slot, "value", None)
 
     @timer.setter
     def timer(self, value) -> None:
         self._timer_slot.value = value
 
-    def _run_transform(self, source: str, frame: DataFrame):
-        timer = self.timer
+    def _run_transform(self, source: str, frame: DataFrame, timer=None):
+        """Execute one sandboxed transform, accounting it (when a timer is
+        given, or parked on the thread-local slot) under
+        ``"transform_exec"``."""
+        timer = timer if timer is not None else self.timer
         if timer is None:
             return run_transform(source, frame)
         with timer.time("transform_exec"):
@@ -103,6 +110,7 @@ class FunctionGenerator:
         agenda: DataAgenda,
         frame: DataFrame,
         executor: FMExecutor | None = None,
+        timer=None,
     ) -> RealizedFeature | RowCompletionPlan | SourceSuggestion:
         """Dispatch a candidate to the appropriate §3.3 scenario."""
         executor = executor or self.executor
@@ -111,8 +119,8 @@ class FunctionGenerator:
         if candidate.kind == "row_level":
             return self._row_level(candidate, frame, executor=executor)
         if candidate.family == OperatorFamily.HIGH_ORDER:
-            return self._high_order_direct(candidate, frame)
-        return self._via_function(candidate, agenda, frame, executor=executor)
+            return self._high_order_direct(candidate, frame, timer=timer)
+        return self._via_function(candidate, agenda, frame, executor=executor, timer=timer)
 
     def realize_batch(
         self,
@@ -120,6 +128,7 @@ class FunctionGenerator:
         agenda: DataAgenda,
         frame: DataFrame,
         executor: FMExecutor | None = None,
+        timer=None,
     ) -> list[RealizedFeature | RowCompletionPlan | SourceSuggestion | Exception]:
         """Realize a wave of candidates, batching the first FM attempts.
 
@@ -155,11 +164,14 @@ class FunctionGenerator:
                             frame,
                             first_attempt=first_attempts[i],
                             executor=executor,
+                            timer=timer,
                         )
                     )
                 else:
                     outcomes.append(
-                        self.realize(candidate, agenda, frame, executor=executor)
+                        self.realize(
+                            candidate, agenda, frame, executor=executor, timer=timer
+                        )
                     )
             except FMBudgetExceededError:
                 raise  # budget exhaustion aborts the run, not one candidate
@@ -177,6 +189,7 @@ class FunctionGenerator:
         frame: DataFrame,
         first_attempt: "FMResponse | Exception | None" = None,
         executor: FMExecutor | None = None,
+        timer=None,
     ) -> RealizedFeature:
         prompt = prompts.function_generation_prompt(agenda, candidate)
         fm_calls = 0
@@ -197,7 +210,7 @@ class FunctionGenerator:
             fm_calls += 1
             try:
                 source = extract_code(response.text)
-                result = self._run_transform(source, frame)
+                result = self._run_transform(source, frame, timer=timer)
                 break
             except (FMParseError, SandboxViolation, TransformError) as exc:
                 last_error = exc
@@ -225,7 +238,7 @@ class FunctionGenerator:
     # Scenario 1b: high-order features need no FM interaction
     # ------------------------------------------------------------------
     def _high_order_direct(
-        self, candidate: FeatureCandidate, frame: DataFrame
+        self, candidate: FeatureCandidate, frame: DataFrame, timer=None
     ) -> RealizedFeature:
         params = candidate.params
         group_cols = params["groupby_col"]
@@ -235,7 +248,7 @@ class FunctionGenerator:
             f"def transform(df):\n"
             f"    return df.groupby({group_cols!r})[{agg_col!r}].transform({function!r})\n"
         )
-        result = self._run_transform(source, frame)
+        result = self._run_transform(source, frame, timer=timer)
         values = self._as_columns(result, candidate.name)
         feature = GeneratedFeature(
             name=candidate.name,

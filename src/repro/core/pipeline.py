@@ -30,6 +30,22 @@ latency changes.  With ``wave_size=1`` the sampling stages degenerate to
 the paper's one-call-at-a-time loop; the unary stage is always one batch
 (its per-attribute proposals are mutually independent, so there is no
 within-stage feedback to preserve).
+
+Stage graph
+-----------
+The stage sequence itself is no longer hard-coded: ``fit_transform``
+builds a :class:`~repro.core.scheduler.StageGraph` whose nodes declare
+which column *provenance tags* they read and write (``"originals"``,
+``"unary"``, ``"binary"``, …), and one
+:class:`~repro.core.scheduler.StageScheduler` call executes it.  Stage
+dispatch always follows the canonical §3.2 order — that keeps seeded
+clients reproducible — but the graph makes the search's real dependency
+structure explicit: under ``stage_plan="overlap"`` each stage sees only
+the columns its declared reads cover, the schedule report models the DAG
+makespan with independent stages overlapped, and (with
+``plan_budget=True``) the scheduler right-sizes each stage's sampling
+budget to the remaining :class:`~repro.fm.base.Budget` instead of
+aborting mid-flight.  See :mod:`repro.core.scheduler` for the contract.
 """
 
 from __future__ import annotations
@@ -43,6 +59,12 @@ from repro.core.function_generator import (
     RealizedFeature,
 )
 from repro.core.operator_selector import OperatorSelector
+from repro.core.scheduler import (
+    WILDCARD,
+    StageGraph,
+    StageNode,
+    StageScheduler,
+)
 from repro.core.types import (
     FeatureCandidate,
     GeneratedFeature,
@@ -59,7 +81,7 @@ from repro.fm.cache import FMCache
 from repro.fm.errors import FMBudgetExceededError, FMError, FMParseError
 from repro.fm.executor import FMExecutor, FMRequest, SerialExecutor
 
-__all__ = ["SmartFeat", "SmartFeatResult"]
+__all__ = ["SmartFeat", "SmartFeatResult", "StageContext"]
 
 _ALL_FAMILIES = (
     OperatorFamily.UNARY,
@@ -67,6 +89,9 @@ _ALL_FAMILIES = (
     OperatorFamily.HIGH_ORDER,
     OperatorFamily.EXTRACTOR,
 )
+
+#: Provenance tag carried by the input table's columns (and the target).
+ORIGINALS_TAG = "originals"
 
 
 @dataclass
@@ -78,7 +103,8 @@ class SmartFeatResult:
     original features removed by the drop heuristic; ``suggestions`` and
     ``row_plans`` surface the §3.3 scenario-2/3 outputs; ``rejections``
     records validator verdicts; ``fm_usage`` summarises API accounting,
-    including the execution layer's summed vs critical-path latency.
+    including the execution layer's summed vs critical-path latency and
+    the stage schedule (``fm_usage["execution"]["schedule"]``).
     """
 
     frame: DataFrame
@@ -98,6 +124,57 @@ class SmartFeatResult:
         for feature in self.new_features.values():
             out.extend(feature.output_columns)
         return out
+
+
+@dataclass
+class StageContext:
+    """Mutable state one ``fit_transform`` run threads through its stages.
+
+    The scheduler owns dispatch; the context owns the data: the working
+    frame and agenda every stage merges into (installation order *is*
+    the deterministic merge order), the provenance tag per column that
+    stage views are cut by, the drop-heuristic bookkeeping sets, the
+    run's timer, and the draw budgets the budget planner granted.
+    """
+
+    working: DataFrame
+    agenda: DataAgenda
+    result: SmartFeatResult
+    original_features: list[str]
+    target: str
+    timer: StageTimer
+    restrict_views: bool = False
+    column_tags: dict[str, str] = field(default_factory=dict)
+    unary_transformed: set[str] = field(default_factory=set)
+    used_by_other_ops: set[str] = field(default_factory=set)
+    granted_draws: dict[str, int] = field(default_factory=dict)
+
+    def view(self, node: StageNode) -> tuple[DataFrame, DataAgenda]:
+        """The frame and agenda *node* is allowed to see, per its reads.
+
+        Under the serial plan (and for wildcard readers) this is the
+        shared state — the paper's everything-so-far chain semantics.
+        Under the overlap plan the view is cut to the node's declared
+        reads plus its own writes, which is what makes the declared
+        stage independence real information-flow independence.  Views
+        share column/entry objects (no copies) and are rebuilt per wave,
+        so a stage always sees its own earlier installs.
+        """
+        if not self.restrict_views or WILDCARD in node.reads:
+            return self.working, self.agenda
+        allowed_tags = set(node.reads) | set(node.writes)
+        allowed = [
+            name
+            for name in self.working.columns
+            if name == self.target
+            or self.column_tags.get(name, ORIGINALS_TAG) in allowed_tags
+        ]
+        if len(allowed) == len(self.working.columns):
+            return self.working, self.agenda
+        return (
+            self.working.column_view(allowed),
+            self.agenda.subset(allowed),
+        )
 
 
 class SmartFeat:
@@ -155,7 +232,9 @@ class SmartFeat:
         :class:`~repro.fm.errors.FMBudgetExceededError` propagates out
         of :meth:`fit_transform` — it is never absorbed as a generation
         error, so callers can degrade gracefully (the eval sweep marks
-        the cell ``status="budget"``).  Like ``cache``, the attachment
+        the cell ``status="budget"``).  With ``plan_budget=True`` the
+        stage scheduler instead right-sizes the remaining stages to the
+        headroom and the run completes.  Like ``cache``, the attachment
         outlives this instance.
     wave_size:
         Sampling draws speculatively issued per wave (and the agenda
@@ -164,6 +243,22 @@ class SmartFeat:
         serial loop — independent of the executor, so swapping backends
         alone never changes results; raise it to give a concurrent
         executor sampling work to fan out.
+    stage_plan:
+        ``"serial"`` (default) — every stage sees the full
+        everything-so-far agenda, the paper's chain.  ``"overlap"`` —
+        each stage sees only the columns its declared reads cover, so
+        stages without read/write conflicts are genuinely independent
+        and the schedule models them overlapped.  On seeded clients the
+        two plans are result-identical (the reads cover everything the
+        FM's answers use — enforced by the equivalence suite); dispatch
+        order is canonical either way, so this is the stage-level
+        analogue of the executor contract.
+    plan_budget:
+        Enable budget-aware planning: the scheduler checks the budget's
+        remaining headroom before each stage, shrinks sampling budgets
+        and drops optional stages to fit, and absorbs a mid-stage budget
+        trip into the schedule report instead of raising.  Decisions
+        land in ``result.fm_usage["execution"]["schedule"]``.
     """
 
     def __init__(
@@ -186,6 +281,8 @@ class SmartFeat:
         cache: FMCache | None = None,
         wave_size: int | None = None,
         budget: Budget | None = None,
+        stage_plan: str = "serial",
+        plan_budget: bool = False,
     ) -> None:
         if row_level_policy not in ("auto", "never", "always"):
             raise ValueError(f"invalid row_level_policy: {row_level_policy!r}")
@@ -193,6 +290,8 @@ class SmartFeat:
             raise ValueError(f"invalid binary_strategy: {binary_strategy!r}")
         if wave_size is not None and wave_size < 1:
             raise ValueError(f"wave_size must be >= 1, got {wave_size}")
+        if stage_plan not in ("serial", "overlap"):
+            raise ValueError(f"invalid stage_plan: {stage_plan!r}")
         self.fm = fm
         self.function_fm = function_fm or fm
         self.downstream_model = downstream_model
@@ -214,6 +313,8 @@ class SmartFeat:
             self.fm.ledger.budget = budget
             self.function_fm.ledger.budget = budget
         self.wave_size = wave_size if wave_size is not None else 1
+        self.stage_plan = stage_plan
+        self.plan_budget = plan_budget
         self.selector = OperatorSelector(fm, temperature=temperature, executor=self.executor)
         self.generator = FunctionGenerator(
             self.function_fm,
@@ -235,6 +336,11 @@ class SmartFeat:
 
         *descriptions* is the data card (column → description).  Omitting
         it reproduces the paper's names-only ablation.
+
+        The search is one scheduler call over the stage graph that
+        :meth:`build_stage_graph` declares; ``stage_plan`` and
+        ``plan_budget`` (constructor knobs) select the view/overlap
+        semantics and the budget planner.
         """
         agenda = DataAgenda.from_dataframe(
             frame,
@@ -246,46 +352,26 @@ class SmartFeat:
         )
         working = frame.copy()
         result = SmartFeatResult(frame=working)
-        original_features = [c for c in frame.columns if c != target]
-        unary_transformed: set[str] = set()
-        used_by_other_ops: set[str] = set()
-        timer = StageTimer()
-        self.generator.timer = timer
-
-        try:
-            if OperatorFamily.UNARY in self.operator_families:
-                with timer.time("unary_stage"):
-                    self._unary_stage(
-                        working, agenda, result, original_features, unary_transformed
-                    )
-            if OperatorFamily.BINARY in self.operator_families:
-                with timer.time("binary_stage"):
-                    if self.binary_strategy == "proposal":
-                        self._binary_proposal_stage(working, agenda, result, used_by_other_ops)
-                    else:
-                        self._sampling_stage(
-                            working, agenda, result, OperatorFamily.BINARY, used_by_other_ops
-                        )
-            if OperatorFamily.HIGH_ORDER in self.operator_families:
-                with timer.time("high_order_stage"):
-                    self._sampling_stage(
-                        working, agenda, result, OperatorFamily.HIGH_ORDER, used_by_other_ops
-                    )
-            if OperatorFamily.EXTRACTOR in self.operator_families:
-                with timer.time("extractor_stage"):
-                    self._sampling_stage(
-                        working, agenda, result, OperatorFamily.EXTRACTOR, used_by_other_ops
-                    )
-            if self.drop_heuristic:
-                with timer.time("drop_heuristic"):
-                    self._apply_drop_heuristic(
-                        working, result, original_features, unary_transformed, used_by_other_ops
-                    )
-            if self.fm_feature_removal:
-                with timer.time("fm_removal_stage"):
-                    self._fm_removal_stage(working, agenda, result)
-        finally:
-            self.generator.timer = None
+        ctx = StageContext(
+            working=working,
+            agenda=agenda,
+            result=result,
+            original_features=[c for c in frame.columns if c != target],
+            target=target,
+            timer=StageTimer(),
+            # restrict_views is derived by the scheduler from its plan —
+            # one source of truth for view semantics vs report label.
+            column_tags={c: ORIGINALS_TAG for c in frame.columns},
+        )
+        graph = self.build_stage_graph(ctx)
+        scheduler = StageScheduler(
+            executor=self.executor,
+            clients=(self.fm, self.function_fm),
+            plan=self.stage_plan,
+            budget=self.budget,
+            plan_budget=self.plan_budget,
+        )
+        schedule = scheduler.execute(graph, ctx)
         result.fm_usage = {
             "operator_selector": self.fm.ledger.snapshot(),
         }
@@ -297,156 +383,321 @@ class SmartFeat:
         # Data-plane wall clock per stage (plus sandboxed transform
         # execution under "transform_exec"), next to the FM-side modelled
         # latency so FM time vs dataframe time reads off one report.
-        execution["dataplane"] = timer.snapshot()
+        execution["dataplane"] = ctx.timer.snapshot()
+        execution["schedule"] = schedule.report()
         result.fm_usage["execution"] = execution
         return result
 
     # ------------------------------------------------------------------
-    def _unary_stage(
-        self,
-        working: DataFrame,
-        agenda: DataAgenda,
-        result: SmartFeatResult,
-        original_features: list[str],
-        unary_transformed: set[str],
-    ) -> None:
+    # Stage graph construction
+    # ------------------------------------------------------------------
+    def build_stage_graph(self, ctx: StageContext) -> StageGraph:
+        """Declare the §3.2 search as a stage graph.
+
+        The reads/writes contract (what each stage's prompts and
+        transforms may depend on):
+
+        * ``unary`` reads the originals and writes ``unary`` columns.
+        * ``binary`` reads originals + unary (the paper: "binary
+          operators over original and unary features") and writes
+          ``binary`` columns.
+        * ``high_order`` reads originals + unary: group keys must
+          partition rows (categoricals, bucketisations) and aggregands
+          are interpretable base quantities — arithmetic composites are
+          neither, so ``binary`` outputs are not read.
+        * ``extractor`` reads originals + unary: entity lookups, splits,
+          and composites work off interpretable base columns.
+        * ``drop`` reads everything (it needs every stage's usage
+          bookkeeping) and writes ``originals`` (removal).
+        * ``fm_removal`` reads and writes everything, and is optional —
+          the budget planner drops it first.
+
+        Declaration order is the canonical dispatch order; the derived
+        hazard edges are what the overlap plan schedules by.  To add a
+        stage: append a node with honest reads/writes and a runner that
+        builds its prompts from ``ctx.view(node)`` and installs through
+        ``self._install`` — the scheduler handles dispatch, attribution,
+        views, and budget planning.
+        """
+        graph = StageGraph()
+        families = self.operator_families
+        unary_on = OperatorFamily.UNARY in families
+        base_reads = frozenset(
+            {ORIGINALS_TAG, "unary"} if unary_on else {ORIGINALS_TAG}
+        )
+        if unary_on:
+            graph.add(
+                StageNode(
+                    name="unary",
+                    runner=self._run_unary,
+                    reads=frozenset({ORIGINALS_TAG}),
+                    writes=frozenset({"unary"}),
+                    timer_key="unary_stage",
+                    planned_draws=len(ctx.original_features),
+                    calls_per_draw=3.0,  # one proposal + ~2 realizations
+                )
+            )
+        if OperatorFamily.BINARY in families:
+            runner = (
+                self._run_binary_proposal
+                if self.binary_strategy == "proposal"
+                else self._run_binary_sampling
+            )
+            graph.add(
+                StageNode(
+                    name="binary",
+                    runner=runner,
+                    reads=base_reads,
+                    writes=frozenset({"binary"}),
+                    timer_key="binary_stage",
+                    shrinkable=True,
+                    planned_draws=self.sampling_budget,
+                    calls_per_draw=(
+                        1.5 if self.binary_strategy == "proposal" else 2.0
+                    ),
+                )
+            )
+        if OperatorFamily.HIGH_ORDER in families:
+            graph.add(
+                StageNode(
+                    name="high_order",
+                    runner=self._run_high_order,
+                    reads=base_reads,
+                    writes=frozenset({"high_order"}),
+                    timer_key="high_order_stage",
+                    shrinkable=True,
+                    planned_draws=self.sampling_budget,
+                    calls_per_draw=1.0,  # realization needs no FM call
+                )
+            )
+        if OperatorFamily.EXTRACTOR in families:
+            graph.add(
+                StageNode(
+                    name="extractor",
+                    runner=self._run_extractor,
+                    reads=base_reads,
+                    writes=frozenset({"extractor"}),
+                    timer_key="extractor_stage",
+                    shrinkable=True,
+                    planned_draws=self.sampling_budget,
+                    calls_per_draw=2.0,
+                )
+            )
+        if self.drop_heuristic:
+            graph.add(
+                StageNode(
+                    name="drop",
+                    runner=self._run_drop,
+                    reads=frozenset({WILDCARD}),
+                    writes=frozenset({ORIGINALS_TAG}),
+                    timer_key="drop_heuristic",
+                    fm=False,
+                )
+            )
+        if self.fm_feature_removal:
+            graph.add(
+                StageNode(
+                    name="fm_removal",
+                    runner=self._run_fm_removal,
+                    reads=frozenset({WILDCARD}),
+                    writes=frozenset({WILDCARD}),
+                    timer_key="fm_removal_stage",
+                    optional=True,
+                    planned_draws=1,
+                )
+            )
+        return graph
+
+    @staticmethod
+    def _write_tag(node: StageNode) -> str:
+        """The provenance tag *node* stamps on columns it installs."""
+        concrete = [tag for tag in node.writes if tag != WILDCARD]
+        return concrete[0] if concrete else node.name
+
+    # ------------------------------------------------------------------
+    # Stage runners
+    # ------------------------------------------------------------------
+    def _run_unary(self, ctx: StageContext, node: StageNode) -> None:
         """Proposal strategy: every attribute's call is independent, so
         the whole stage fans out as one batch, followed by one batch of
         first-attempt function generations."""
+        frame_view, agenda_view = ctx.view(node)
         proposals = self.selector.unary_candidates_batch(
-            agenda, original_features, executor=self.executor
+            agenda_view, ctx.original_features, executor=self.executor
         )
+        result = ctx.result
         ordered: list[tuple[str, FeatureCandidate]] = []
-        for attr, outcome in zip(original_features, proposals):
+        for attr, outcome in zip(ctx.original_features, proposals):
             if not outcome.ok:
                 if isinstance(outcome.error, FMBudgetExceededError):
-                    raise outcome.error  # budget exhaustion aborts the run
+                    raise outcome.error  # budget exhaustion ends the stage
                 if isinstance(outcome.error, (FMError, FMParseError)):
                     result.errors["unary"] = result.errors.get("unary", 0) + 1
                     continue
                 raise outcome.error
             ordered.extend((attr, candidate) for candidate in outcome.value)
         realized = self.generator.realize_batch(
-            [candidate for _, candidate in ordered], agenda, working, executor=self.executor
+            [candidate for _, candidate in ordered],
+            agenda_view,
+            frame_view,
+            executor=self.executor,
+            timer=ctx.timer,
         )
         for (attr, candidate), outcome in zip(ordered, realized):
-            if self._install(candidate, outcome, working, agenda, result):
-                unary_transformed.add(attr)
+            if self._install(candidate, outcome, ctx, node):
+                ctx.unary_transformed.add(attr)
 
-    def _binary_proposal_stage(
-        self,
-        working: DataFrame,
-        agenda: DataAgenda,
-        result: SmartFeatResult,
-        used_by_other_ops: set[str],
-    ) -> None:
+    def _run_binary_sampling(self, ctx: StageContext, node: StageNode) -> None:
+        self._sampling_stage(ctx, node, OperatorFamily.BINARY)
+
+    def _run_high_order(self, ctx: StageContext, node: StageNode) -> None:
+        self._sampling_stage(ctx, node, OperatorFamily.HIGH_ORDER)
+
+    def _run_extractor(self, ctx: StageContext, node: StageNode) -> None:
+        self._sampling_stage(ctx, node, OperatorFamily.EXTRACTOR)
+
+    def _run_binary_proposal(self, ctx: StageContext, node: StageNode) -> None:
         """§3.2 strategy ablation: one proposal call instead of sampling."""
+        result = ctx.result
+        k = ctx.granted_draws.get(node.name, self.sampling_budget)
+        _, agenda_view = ctx.view(node)
         try:
-            candidates = self.selector.binary_candidates_proposal(
-                agenda, k=self.sampling_budget
-            )
+            candidates = self.selector.binary_candidates_proposal(agenda_view, k=k)
         except FMBudgetExceededError:
-            raise  # budget exhaustion aborts the run, not just the stage
+            raise  # budget exhaustion ends the stage, not just one call
         except (FMError, FMParseError):
             result.errors["binary"] = result.errors.get("binary", 0) + 1
             return
         errors = 0
-        for candidate in candidates:
-            if candidate.name in agenda:
-                errors += 1
-                continue
-            if self._accept(candidate, working, agenda, result):
-                used_by_other_ops.update(candidate.columns)
-            else:
-                errors += 1
-        result.errors["binary"] = errors
+        try:
+            for candidate in candidates:
+                frame_view, agenda_view = ctx.view(node)  # sees own installs
+                # Name dedupe runs against the *shared* agenda: it is merge
+                # bookkeeping (the name came from the FM, nothing flows back
+                # into a prompt), and checking the view instead would let a
+                # collision with an out-of-view column slip through to a
+                # realization call the serial plan never makes.
+                if candidate.name in ctx.agenda:
+                    errors += 1
+                    continue
+                if self._accept(candidate, frame_view, agenda_view, ctx, node):
+                    ctx.used_by_other_ops.update(candidate.columns)
+                else:
+                    errors += 1
+        finally:
+            # Recorded even when a budget trip truncates the stage, so
+            # error-rate reporting never mistakes a cut-off stage for a
+            # clean one.
+            result.errors["binary"] = errors
 
     def _sampling_stage(
-        self,
-        working: DataFrame,
-        agenda: DataAgenda,
-        result: SmartFeatResult,
-        family: OperatorFamily,
-        used_by_other_ops: set[str],
+        self, ctx: StageContext, node: StageNode, family: OperatorFamily
     ) -> None:
         """Sampling strategy as speculative waves.
 
         Each wave issues ``min(remaining budget, wave_size)`` draws from
-        the current agenda, then parses, deduplicates, batch-realizes,
-        and validates the results in submission order.  Once the error
-        count crosses the threshold the stage stops — any later results
-        of the in-flight wave are discarded (already-spent speculation).
-        With ``wave_size=1`` this is exactly the paper's serial loop.
+        the stage's current view, then parses, deduplicates,
+        batch-realizes, and validates the results in submission order.
+        Once the error count crosses the threshold the stage stops — any
+        later results of the in-flight wave are discarded
+        (already-spent speculation).  With ``wave_size=1`` this is
+        exactly the paper's serial loop.  The draw budget is
+        ``sampling_budget`` unless the budget planner granted less.
         """
+        result = ctx.result
+        draw_budget = ctx.granted_draws.get(node.name, self.sampling_budget)
         errors = 0
         seen: set[str] = set()
         issued = 0
-        while issued < self.sampling_budget and errors < self.error_threshold:
-            wave = min(self.wave_size, self.sampling_budget - issued)
-            samples = self.selector.sample_batch(
-                family, agenda, wave, executor=self.executor
-            )
-            issued += wave
-            # Parse/dedupe pass, truncated at the error threshold so the
-            # realization batch never pays for candidates we won't keep.
-            survivors: list[FeatureCandidate] = []
-            for outcome in samples:
-                if errors >= self.error_threshold:
-                    break
-                if not outcome.ok:
-                    if isinstance(outcome.error, FMBudgetExceededError):
-                        raise outcome.error  # budget exhaustion aborts the run
-                    if isinstance(outcome.error, (FMError, FMParseError)):
+        try:
+            while issued < draw_budget and errors < self.error_threshold:
+                frame_view, agenda_view = ctx.view(node)  # grows with own installs
+                wave = min(self.wave_size, draw_budget - issued)
+                samples = self.selector.sample_batch(
+                    family, agenda_view, wave, executor=self.executor
+                )
+                issued += wave
+                # Parse/dedupe pass, truncated at the error threshold so the
+                # realization batch never pays for candidates we won't keep.
+                survivors: list[FeatureCandidate] = []
+                for outcome in samples:
+                    if errors >= self.error_threshold:
+                        break
+                    if not outcome.ok:
+                        if isinstance(outcome.error, FMBudgetExceededError):
+                            raise outcome.error  # budget exhaustion ends the stage
+                        if isinstance(outcome.error, (FMError, FMParseError)):
+                            errors += 1
+                            continue
+                        raise outcome.error
+                    candidate = outcome.value
+                    if candidate is None:
                         errors += 1
                         continue
-                    raise outcome.error
-                candidate = outcome.value
-                if candidate is None:
-                    errors += 1
-                    continue
-                if candidate.name in seen or candidate.name in agenda:
-                    errors += 1  # repeated feature counts as a generation error
-                    continue
-                seen.add(candidate.name)
-                survivors.append(candidate)
-            realized = self.generator.realize_batch(
-                survivors, agenda, working, executor=self.executor
-            )
-            for candidate, outcome in zip(survivors, realized):
-                if errors >= self.error_threshold:
-                    break
-                if self._install(candidate, outcome, working, agenda, result):
-                    used_by_other_ops.update(candidate.columns)
-                else:
-                    errors += 1
-        result.errors[family.value] = errors
+                    # Name dedupe runs against the *shared* agenda (merge
+                    # bookkeeping, not FM input): checking the view would
+                    # let a collision with an out-of-view column through to
+                    # a realization call the serial plan never makes.
+                    if candidate.name in seen or candidate.name in ctx.agenda:
+                        errors += 1  # repeated feature counts as a generation error
+                        continue
+                    seen.add(candidate.name)
+                    survivors.append(candidate)
+                realized = self.generator.realize_batch(
+                    survivors,
+                    agenda_view,
+                    frame_view,
+                    executor=self.executor,
+                    timer=ctx.timer,
+                )
+                for candidate, outcome in zip(survivors, realized):
+                    if errors >= self.error_threshold:
+                        break
+                    if self._install(candidate, outcome, ctx, node):
+                        ctx.used_by_other_ops.update(candidate.columns)
+                    else:
+                        errors += 1
+        finally:
+            # Recorded even when a budget trip truncates the stage mid-wave,
+            # so error-rate reporting never mistakes a cut-off stage for a
+            # clean one.
+            result.errors[family.value] = errors
 
     # ------------------------------------------------------------------
     def _accept(
         self,
         candidate: FeatureCandidate,
-        working: DataFrame,
-        agenda: DataAgenda,
-        result: SmartFeatResult,
+        frame_view: DataFrame,
+        agenda_view: DataAgenda,
+        ctx: StageContext,
+        node: StageNode,
     ) -> bool:
         """Realize, validate, and install one candidate; True on success."""
         try:
-            realized = self.generator.realize(candidate, agenda, working)
+            realized = self.generator.realize(
+                candidate, agenda_view, frame_view, timer=ctx.timer
+            )
         except FMBudgetExceededError:
-            raise  # budget exhaustion aborts the run, not one candidate
+            raise  # budget exhaustion ends the stage, not one candidate
         except REALIZE_ERRORS as exc:
             realized = exc
-        return self._install(candidate, realized, working, agenda, result)
+        return self._install(candidate, realized, ctx, node)
 
     def _install(
         self,
         candidate: FeatureCandidate,
         realized: RealizedFeature | RowCompletionPlan | SourceSuggestion | Exception,
-        working: DataFrame,
-        agenda: DataAgenda,
-        result: SmartFeatResult,
+        ctx: StageContext,
+        node: StageNode,
     ) -> bool:
-        """Validate and install one realized candidate; True on success."""
+        """Validate and install one realized candidate; True on success.
+
+        Installation merges into the *shared* frame and agenda — stages
+        run in canonical order, so install order is the deterministic
+        merge order — and stamps each accepted column with the node's
+        provenance tag, which is what later stages' views are cut by.
+        """
+        working, agenda, result = ctx.working, ctx.agenda, ctx.result
         if isinstance(realized, Exception):
             result.rejections[candidate.name] = f"generation failed: {realized}"
             return False
@@ -465,11 +716,13 @@ class SmartFeat:
         if not report.ok:
             return False
         accepted_columns: list[str] = []
+        tag = self._write_tag(node)
         for column, series in report.accepted.items():
             if column in working.columns:
                 result.rejections[column] = "duplicate column name"
                 continue
             working[column] = series
+            ctx.column_tags[column] = tag
             accepted_columns.append(column)
             kind = "numeric" if series.dtype.kind in "ifb" else "categorical"
             uniques = series.unique()
@@ -487,14 +740,14 @@ class SmartFeat:
         return True
 
     # ------------------------------------------------------------------
-    def _fm_removal_stage(
-        self, working: DataFrame, agenda: DataAgenda, result: SmartFeatResult
-    ) -> None:
+    def _run_fm_removal(self, ctx: StageContext, node: StageNode) -> None:
         """FM-driven removal of redundant generated features (§3.2 future
         work, off by default).  Only generated columns may be removed —
         originals and the target are never eligible."""
         from repro.core import prompts as _prompts
 
+        del node  # wildcard reader: always works on the shared state
+        working, agenda, result = ctx.working, ctx.agenda, ctx.result
         generated_columns = set(result.new_columns)
         try:
             response = self.executor.complete(
@@ -502,7 +755,7 @@ class SmartFeat:
             )
             payload = parse_json_response(response.text)
         except FMBudgetExceededError:
-            raise  # budget exhaustion aborts the run, not just the stage
+            raise  # budget exhaustion ends the stage, not just the call
         except (FMError, FMParseError):
             result.errors["removal"] = result.errors.get("removal", 0) + 1
             return
@@ -523,20 +776,14 @@ class SmartFeat:
         }
 
     # ------------------------------------------------------------------
-    def _apply_drop_heuristic(
-        self,
-        working: DataFrame,
-        result: SmartFeatResult,
-        original_features: list[str],
-        unary_transformed: set[str],
-        used_by_other_ops: set[str],
-    ) -> None:
+    def _run_drop(self, ctx: StageContext, node: StageNode) -> None:
         """Remove originals superseded by a unary transform (Section 3.2)."""
-        for attr in original_features:
-            if attr in unary_transformed and attr not in used_by_other_ops:
-                if attr in working.columns:
-                    drop_inplace(working, attr)
-                    result.dropped.append(attr)
+        del node
+        for attr in ctx.original_features:
+            if attr in ctx.unary_transformed and attr not in ctx.used_by_other_ops:
+                if attr in ctx.working.columns:
+                    drop_inplace(ctx.working, attr)
+                    ctx.result.dropped.append(attr)
 
 
 def drop_inplace(frame: DataFrame, column: str) -> None:

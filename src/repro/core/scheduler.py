@@ -1,0 +1,523 @@
+"""The stage-graph scheduler: §3.2's stage chain as a dependency DAG.
+
+SMARTFEAT's search (Section 3.2) was written here, as in the paper, as a
+hard-coded sequence: unary → binary → high-order → extractor → drop →
+fm-removal.  But the sequence is really a *dependency graph* over column
+provenance: the binary stage must wait for the unary stage only because
+it **reads** unary-produced columns; the high-order and extractor stages
+read nothing the binary stage writes, so nothing in the search's
+semantics forces them to queue behind it.  This module makes that
+structure explicit:
+
+:class:`StageNode`
+    One search stage with declared ``reads``/``writes`` — sets of column
+    *provenance tags* (``"originals"``, ``"unary"``, … or the wildcard
+    ``"*"``).  The tags name where a column came from, so a node's
+    declaration is stable across datasets.
+:class:`StageGraph`
+    Declaration-ordered node list plus the hazard edges derived from the
+    declarations (read-after-write, write-after-write, and
+    write-after-read conflicts — exactly a compiler's data-dependence
+    test, applied to feature-search stages).
+:class:`StageScheduler`
+    Executes a graph and reports the schedule.
+
+Determinism contract (the PR 1/2 equivalence discipline, one level up)
+----------------------------------------------------------------------
+Stage *dispatch* always follows the canonical declaration order — the
+paper's chain — because the seeded simulator keys sampling entropy on
+each client's call counter, so reordering calls across stages would
+change the draws and make runs irreproducible.  What the ``plan``
+changes is
+
+* which columns each stage **sees** (``plan="overlap"`` hands every
+  stage a view restricted to its declared reads plus its own writes;
+  ``plan="serial"`` reproduces the chain's everything-so-far views), and
+* the **modelled timeline**: serial lays the stages end to end, overlap
+  starts each node at the latest finish of its hazard dependencies (the
+  classic DAG makespan, each node internally bounded by the executor's
+  concurrency).
+
+A seeded serial run and an overlapped run are therefore
+result-identical whenever the declared reads really cover everything the
+FM's answers depend on — which is precisely what the equivalence suite
+verifies.  Against a stateless production FM client the same graph
+admits physical stage fan-out through the shared executor; the modelled
+overlap makespan reported here is the wall-clock such a deployment
+would see.
+
+Budget-aware planning
+---------------------
+With ``plan_budget=True`` the scheduler consults the shared
+:class:`~repro.fm.base.Budget`'s remaining headroom before dispatching
+each node and *right-sizes* the work to fit instead of letting the node
+trip the meter mid-flight: sampling stages get their draw budgets shrunk
+(which shrinks their waves), optional nodes (fm-removal) are dropped,
+and a node that still overruns the estimate is truncated at the meter
+and recorded as such — ``fit_transform`` completes instead of raising
+:class:`~repro.fm.errors.FMBudgetExceededError`.  Every decision lands
+in ``result.fm_usage["execution"]["schedule"]``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.fm.errors import FMBudgetExceededError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fm.base import Budget, FMClient
+    from repro.fm.executor import FMExecutor
+
+__all__ = [
+    "NodeRecord",
+    "StageGraph",
+    "StageNode",
+    "StageScheduler",
+    "StageSchedule",
+    "WILDCARD",
+]
+
+#: Provenance tag matched by every other tag in hazard tests.
+WILDCARD = "*"
+
+#: Fallback per-call estimates for the budget planner, used before any
+#: call has been recorded (afterwards the ledger's own averages apply).
+#: They mirror a typical selector call under the simulated cost model.
+_DEFAULT_CALL_COST_USD = 0.05
+_DEFAULT_CALL_LATENCY_S = 3.0
+
+
+@dataclass(frozen=True)
+class StageNode:
+    """One search stage and its declared data dependencies.
+
+    ``reads``/``writes`` are column provenance tags.  ``runner`` executes
+    the stage against a context object (the pipeline's ``StageContext``)
+    and the node itself (so the stage can build its view and tag its
+    outputs).  ``fm`` marks nodes that issue FM calls (the budget planner
+    ignores pure data-plane nodes); ``optional`` nodes may be dropped by
+    the planner; ``shrinkable`` nodes accept a reduced draw budget via
+    ``ctx.granted_draws[name]``.  ``planned_draws``/``calls_per_draw``
+    feed the planner's spend estimate; ``timer_key`` is the data-plane
+    accounting key (kept stable with the pre-graph report format).
+    """
+
+    name: str
+    runner: Callable[[Any, "StageNode"], None]
+    reads: frozenset[str]
+    writes: frozenset[str]
+    timer_key: str
+    fm: bool = True
+    optional: bool = False
+    shrinkable: bool = False
+    planned_draws: int = 0
+    calls_per_draw: float = 1.0
+
+    @property
+    def planned_calls(self) -> int:
+        return math.ceil(self.planned_draws * self.calls_per_draw)
+
+
+def _overlaps(a: frozenset[str], b: frozenset[str]) -> bool:
+    if not a or not b:
+        return False
+    if WILDCARD in a or WILDCARD in b:
+        return True
+    return bool(a & b)
+
+
+class StageGraph:
+    """Declaration-ordered stage nodes plus derived hazard edges.
+
+    Declaration order is the canonical (serial) execution order, so the
+    derived edges always point backwards — the graph is acyclic by
+    construction.  :meth:`dependencies` returns, per node, the earlier
+    nodes it conflicts with: a read-after-write, write-after-write, or
+    write-after-read overlap on the declared tag sets.
+    """
+
+    def __init__(self, nodes: Iterable[StageNode] = ()) -> None:
+        self.nodes: list[StageNode] = []
+        self._by_name: dict[str, StageNode] = {}
+        for node in nodes:
+            self.add(node)
+
+    def add(self, node: StageNode) -> StageNode:
+        if node.name in self._by_name:
+            raise ValueError(f"duplicate stage node {node.name!r}")
+        self.nodes.append(node)
+        self._by_name[node.name] = node
+        return node
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> StageNode:
+        return self._by_name[name]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    @staticmethod
+    def conflicts(earlier: StageNode, later: StageNode) -> bool:
+        """True when *later* must wait for *earlier* (any data hazard)."""
+        return (
+            _overlaps(earlier.writes, later.reads)  # read-after-write
+            or _overlaps(earlier.writes, later.writes)  # write-after-write
+            or _overlaps(earlier.reads, later.writes)  # write-after-read
+        )
+
+    def dependencies(self) -> dict[str, tuple[str, ...]]:
+        """Per node, the earlier nodes it conflicts with (direct edges)."""
+        deps: dict[str, tuple[str, ...]] = {}
+        for i, later in enumerate(self.nodes):
+            deps[later.name] = tuple(
+                earlier.name
+                for earlier in self.nodes[:i]
+                if self.conflicts(earlier, later)
+            )
+        return deps
+
+
+@dataclass
+class NodeRecord:
+    """One scheduled node's outcome and accounting.
+
+    ``status`` is ``"ran"`` (full size), ``"shrunk"`` (ran at a reduced
+    draw budget), ``"truncated"`` (hit the budget meter mid-stage; its
+    partial results stand), or ``"skipped"`` (never dispatched).
+    ``critical_path_s`` is the node's modelled FM wall-clock at the
+    executor's concurrency; ``dataplane_s`` its measured dataframe time.
+    ``start_s``/``end_s`` place the node on the modelled overlap
+    timeline.
+    """
+
+    name: str
+    status: str = "ran"
+    reason: str = ""
+    depends_on: tuple[str, ...] = ()
+    planned_draws: int = 0
+    granted_draws: int | None = None
+    fm_calls: int = 0
+    cache_hits: int = 0
+    cost_usd: float = 0.0
+    summed_latency_s: float = 0.0
+    critical_path_s: float = 0.0
+    dataplane_s: float = 0.0
+    start_s: float = 0.0
+    end_s: float = 0.0
+    #: Real (measured) wall-clock span of the stage, as offsets from the
+    #: run's start — from the run timer's windows.  Distinct from the
+    #: modelled start_s/end_s; when stages physically overlap (real FM
+    #: backends), the measured windows are where that shows up.
+    measured_window: tuple[float, float] | None = None
+
+    @property
+    def duration_s(self) -> float:
+        """Modelled node duration: FM critical path plus data-plane time."""
+        return self.critical_path_s + self.dataplane_s
+
+    @property
+    def degraded(self) -> bool:
+        return self.status in ("shrunk", "skipped", "truncated")
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "status": self.status,
+            "reason": self.reason,
+            "depends_on": list(self.depends_on),
+            "planned_draws": self.planned_draws,
+            "granted_draws": self.granted_draws,
+            "fm_calls": self.fm_calls,
+            "cache_hits": self.cache_hits,
+            "cost_usd": round(self.cost_usd, 6),
+            "summed_latency_s": round(self.summed_latency_s, 3),
+            "critical_path_s": round(self.critical_path_s, 3),
+            "dataplane_s": round(self.dataplane_s, 6),
+            "start_s": round(self.start_s, 3),
+            "end_s": round(self.end_s, 3),
+            "measured_window_s": (
+                list(self.measured_window) if self.measured_window else None
+            ),
+        }
+
+
+@dataclass
+class StageSchedule:
+    """A finished schedule: per-node records plus the two makespans."""
+
+    plan: str
+    plan_budget: bool
+    records: list[NodeRecord] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def finalize(self) -> None:
+        """Lay the executed nodes on the serial and overlap timelines."""
+        ends: dict[str, float] = {}
+        cursor = 0.0
+        for record in self.records:
+            if record.status == "skipped":
+                record.start_s = record.end_s = max(
+                    (ends.get(dep, 0.0) for dep in record.depends_on), default=0.0
+                )
+                continue
+            record.start_s = max(
+                (ends.get(dep, 0.0) for dep in record.depends_on), default=0.0
+            )
+            record.end_s = record.start_s + record.duration_s
+            ends[record.name] = record.end_s
+            cursor += record.duration_s
+        self._makespan_serial = cursor
+        self._makespan_overlap = max(ends.values(), default=0.0)
+
+    @property
+    def makespan_serial_s(self) -> float:
+        """Modelled duration with the stages laid end to end."""
+        return self._makespan_serial
+
+    @property
+    def makespan_overlap_s(self) -> float:
+        """Modelled DAG makespan with independent stages overlapped."""
+        return self._makespan_overlap
+
+    @property
+    def overlap_speedup(self) -> float:
+        if self._makespan_overlap <= 0:
+            return 1.0
+        return self._makespan_serial / self._makespan_overlap
+
+    def critical_path(self) -> list[str]:
+        """Node names on the overlap timeline's longest chain."""
+        by_name = {r.name: r for r in self.records if r.status != "skipped"}
+        if not by_name:
+            return []
+        tail = max(by_name.values(), key=lambda r: r.end_s)
+        path = [tail.name]
+        while True:
+            gating = [
+                by_name[dep]
+                for dep in by_name[path[-1]].depends_on
+                if dep in by_name and abs(by_name[dep].end_s - by_name[path[-1]].start_s) < 1e-9
+            ]
+            if not gating:
+                break
+            path.append(max(gating, key=lambda r: r.end_s).name)
+        path.reverse()
+        return path
+
+    def degraded_nodes(self) -> list[str]:
+        return [r.name for r in self.records if r.degraded]
+
+    def report(self) -> dict:
+        """The ``execution["schedule"]`` payload."""
+        return {
+            "plan": self.plan,
+            "plan_budget": self.plan_budget,
+            "dispatch_order": [r.name for r in self.records if r.status != "skipped"],
+            "nodes": [r.as_dict() for r in self.records],
+            "makespan_serial_s": round(self._makespan_serial, 3),
+            "makespan_overlap_s": round(self._makespan_overlap, 3),
+            "overlap_speedup": round(self.overlap_speedup, 3),
+            "critical_path": self.critical_path(),
+            "degraded": self.degraded_nodes(),
+        }
+
+
+class StageScheduler:
+    """Dispatches a :class:`StageGraph` and assembles the schedule.
+
+    Nodes run in declaration order on the calling thread; FM batches a
+    node issues are attributed to it through the executor's
+    :meth:`~repro.fm.executor.FMExecutor.stage` scope, and client-ledger
+    deltas give the node's spend.  With ``plan_budget=True`` the
+    dispatcher consults the budget's headroom first (see the module
+    docstring for the policy) and absorbs mid-node
+    :class:`~repro.fm.errors.FMBudgetExceededError` into a
+    ``"truncated"`` record instead of re-raising.
+    """
+
+    def __init__(
+        self,
+        executor: "FMExecutor",
+        clients: tuple["FMClient", ...],
+        plan: str = "serial",
+        budget: "Budget | None" = None,
+        plan_budget: bool = False,
+    ) -> None:
+        if plan not in ("serial", "overlap"):
+            raise ValueError(f"invalid stage plan: {plan!r}")
+        self.executor = executor
+        # Deduplicate while preserving order (fm may be function_fm too).
+        seen: "dict[int, FMClient]" = {}
+        for client in clients:
+            seen.setdefault(id(client), client)
+        self.clients = tuple(seen.values())
+        self.plan = plan
+        self.budget = budget
+        self.plan_budget = plan_budget and budget is not None
+
+    # ------------------------------------------------------------------
+    def execute(self, graph: StageGraph, ctx) -> StageSchedule:
+        """Run every node and return the finalized schedule.
+
+        *ctx* is the pipeline's stage context; the scheduler touches only
+        its ``timer``, ``granted_draws``, and ``restrict_views`` fields —
+        the last is derived here from the plan (single source of truth),
+        so a context can never carry chain views under an ``overlap``
+        label or vice versa.  The node runners own the rest.
+        """
+        ctx.restrict_views = self.plan == "overlap"
+        schedule = StageSchedule(plan=self.plan, plan_budget=self.plan_budget)
+        deps = graph.dependencies()
+        for node in graph.nodes:
+            record = NodeRecord(
+                name=node.name,
+                depends_on=deps[node.name],
+                planned_draws=node.planned_draws,
+            )
+            schedule.records.append(record)
+            if not self._plan_node(node, record, ctx):
+                continue
+            ledger_before = self._ledger_totals()
+            batches_before = len(self.executor.batch_log)
+            dataplane_before = ctx.timer.seconds(node.timer_key)
+            try:
+                with self.executor.stage(node.name), ctx.timer.time(node.timer_key):
+                    node.runner(ctx, node)
+            except FMBudgetExceededError as exc:
+                if not self.plan_budget:
+                    self._account(
+                        record, ledger_before, batches_before, dataplane_before, ctx, node
+                    )
+                    schedule.finalize()
+                    raise
+                record.status = "truncated"
+                record.reason = f"budget meter tripped mid-stage: {exc.args[0]}"
+            self._account(
+                record, ledger_before, batches_before, dataplane_before, ctx, node
+            )
+        schedule.finalize()
+        return schedule
+
+    # ------------------------------------------------------------------
+    def _ledger_totals(self) -> tuple[int, int, float, float]:
+        calls = hits = 0
+        cost = latency = 0.0
+        for client in self.clients:
+            snap = client.ledger.snapshot()
+            calls += snap["n_calls"]
+            hits += snap["cache_hits"]
+            cost += snap["cost_usd"]
+            latency += snap["latency_s"]
+        return calls, hits, cost, latency
+
+    def _account(
+        self,
+        record: NodeRecord,
+        ledger_before: tuple[int, int, float, float],
+        batches_before: int,
+        dataplane_before: float,
+        ctx,
+        node: StageNode,
+    ) -> None:
+        calls, hits, cost, latency = self._ledger_totals()
+        record.fm_calls = calls - ledger_before[0]
+        record.cache_hits = hits - ledger_before[1]
+        record.cost_usd = cost - ledger_before[2]
+        record.summed_latency_s = latency - ledger_before[3]
+        # Only this node's batches count (the stage tag is thread-local,
+        # so another run sharing the executor cannot leak records in).
+        batches = [
+            batch
+            for batch in self.executor.batch_log[batches_before:]
+            if batch.stage == node.name
+        ]
+        record.critical_path_s = sum(batch.critical_path_s for batch in batches)
+        # Data-plane time is the stage's wall clock minus the time it sat
+        # inside executor.run — otherwise a backend with real latency
+        # (HTTP) would be double-counted against the modelled critical
+        # path in duration_s.  Near-zero for simulated clients.
+        blocked = sum(batch.wall_s for batch in batches)
+        record.dataplane_s = max(
+            0.0, ctx.timer.seconds(node.timer_key) - dataplane_before - blocked
+        )
+        record.measured_window = ctx.timer.windows().get(node.timer_key)
+
+    # ------------------------------------------------------------------
+    # Budget-aware planning
+    # ------------------------------------------------------------------
+    def _plan_node(self, node: StageNode, record: NodeRecord, ctx) -> bool:
+        """Decide whether/how large to dispatch *node*; False = skip."""
+        if not self.plan_budget or not node.fm:
+            return True
+        assert self.budget is not None
+        affordable = self._affordable_calls()
+        if affordable <= 0:
+            record.status = "skipped"
+            record.reason = "budget exhausted before dispatch"
+            return False
+        if node.planned_calls <= affordable:
+            return True
+        if node.shrinkable and node.planned_draws > 0:
+            granted = int(affordable / node.calls_per_draw)
+            if granted >= 1:
+                ctx.granted_draws[node.name] = granted
+                record.status = "shrunk"
+                record.granted_draws = granted
+                record.reason = (
+                    f"draw budget right-sized from {node.planned_draws} to "
+                    f"{granted} to fit remaining FM budget"
+                )
+                return True
+            record.status = "skipped"
+            record.reason = "remaining FM budget affords no sampling draw"
+            return False
+        if node.optional:
+            record.status = "skipped"
+            record.reason = "optional stage dropped to preserve FM budget"
+            return False
+        # Mandatory, unshrinkable, and over the estimate: dispatch anyway;
+        # the meter may truncate it, which execute() absorbs and records.
+        record.reason = (
+            f"estimated {node.planned_calls} calls exceed affordable "
+            f"{affordable}; dispatched tight"
+        )
+        return True
+
+    def _affordable_calls(self) -> int:
+        """How many more FM calls the budget's headroom can pay for.
+
+        The calls axis is exact; the cost and latency axes divide the
+        headroom by the run's average per-call spend so far (a fixed
+        prior before the first call).  Deterministic for seeded runs —
+        every input is ledger state, never wall-clock.
+        """
+        assert self.budget is not None
+        headroom = self.budget.headroom()
+        snap = self.budget.snapshot()
+        spent_calls = snap["spent_calls"]
+        avg_cost = (
+            snap["spent_cost_usd"] / spent_calls
+            if spent_calls
+            else _DEFAULT_CALL_COST_USD
+        )
+        avg_latency = (
+            snap["spent_latency_s"] / spent_calls
+            if spent_calls
+            else _DEFAULT_CALL_LATENCY_S
+        )
+        limits: list[float] = []
+        if headroom["calls"] is not None:
+            limits.append(headroom["calls"])
+        if headroom["cost_usd"] is not None:
+            limits.append(headroom["cost_usd"] / max(avg_cost, 1e-9))
+        if headroom["latency_s"] is not None:
+            limits.append(headroom["latency_s"] / max(avg_latency, 1e-9))
+        if not limits:
+            return 1 << 30
+        return int(min(limits))

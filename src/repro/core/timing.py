@@ -5,6 +5,15 @@ critical path) in ``result.fm_usage["execution"]``; :class:`StageTimer`
 adds the *dataframe* side — how long each pipeline stage and the sandboxed
 transform executions actually took — so FM time vs data-plane time is
 visible in one report.
+
+The timer is owned by one ``fit_transform`` call and passed explicitly to
+everything that accounts against it (the scheduler wraps each stage, the
+function generator receives it per ``realize_batch`` call); nothing is
+parked on shared attributes, so two concurrent runs sharing a generator
+or an executor can never cross their timers.  All mutation is
+lock-protected and the ``time`` scopes nest and overlap safely, which is
+what lets overlapped stages account on different threads against one
+timer.
 """
 
 from __future__ import annotations
@@ -20,13 +29,18 @@ class StageTimer:
     """Thread-safe accumulator of named wall-clock durations.
 
     ``timer.time("unary_stage")`` is a context manager; :meth:`snapshot`
-    returns ``{name: {"seconds": total, "calls": n}}``.
+    returns ``{name: {"seconds": total, "calls": n}}``.  :meth:`windows`
+    additionally exposes each stage's real-time span — first entry to
+    last exit, as offsets from the timer's creation — which the stage
+    scheduler uses to report measured (as opposed to modelled) overlap.
     """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
+        self._origin = time.perf_counter()
         self._seconds: dict[str, float] = {}
         self._calls: dict[str, int] = {}
+        self._windows: dict[str, tuple[float, float]] = {}
 
     @contextmanager
     def time(self, stage: str):
@@ -34,10 +48,22 @@ class StageTimer:
         try:
             yield
         finally:
-            elapsed = time.perf_counter() - start
+            end = time.perf_counter()
             with self._lock:
-                self._seconds[stage] = self._seconds.get(stage, 0.0) + elapsed
+                self._seconds[stage] = self._seconds.get(stage, 0.0) + (end - start)
                 self._calls[stage] = self._calls.get(stage, 0) + 1
+                first, _ = self._windows.get(
+                    stage, (start - self._origin, end - self._origin)
+                )
+                self._windows[stage] = (
+                    min(first, start - self._origin),
+                    end - self._origin,
+                )
+
+    def seconds(self, stage: str) -> float:
+        """Accumulated seconds for one stage (0.0 when never entered)."""
+        with self._lock:
+            return self._seconds.get(stage, 0.0)
 
     def snapshot(self) -> dict[str, dict[str, float]]:
         """Accumulated totals per stage (seconds rounded to microseconds)."""
@@ -48,4 +74,12 @@ class StageTimer:
                     "calls": self._calls[stage],
                 }
                 for stage in self._seconds
+            }
+
+    def windows(self) -> dict[str, tuple[float, float]]:
+        """Per-stage ``(first_start, last_end)`` offsets in seconds."""
+        with self._lock:
+            return {
+                stage: (round(first, 6), round(last, 6))
+                for stage, (first, last) in self._windows.items()
             }

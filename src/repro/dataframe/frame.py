@@ -207,6 +207,24 @@ class DataFrame:
     def copy(self) -> "DataFrame":
         return DataFrame(self)
 
+    def column_view(self, columns: Sequence[str]) -> "DataFrame":
+        """A frame over the *same* :class:`Series` objects, zero copies.
+
+        The stage scheduler uses this to hand each pipeline stage the
+        column subset its declared reads cover: building the view costs
+        one dict, not one array copy per column.  The view shares data
+        with this frame — treat it as read-only (adding columns to the
+        view is safe and does not affect this frame; mutating shared
+        Series values would).
+        """
+        missing = [c for c in columns if c not in self._columns]
+        if missing:
+            raise KeyError(f"columns not found: {missing}")
+        out = DataFrame()
+        for name in columns:
+            out._columns[name] = self._columns[name]
+        return out
+
     def drop(
         self,
         columns: str | Sequence[str] | None = None,

@@ -116,12 +116,18 @@ class _GroupIndex:
         self._build()
 
     def _build(self) -> None:
-        grouped = _kernels.sorted_grouping(self._frame[self.keys[0]].values)
+        # Per-column groupings come from Series.grouping(), which caches
+        # the stable sort (and the string S-encode step feeding it) on
+        # the column — repeated group-bys over the same key, the
+        # high-order operator's hot pattern, skip straight to the
+        # segment arrays.  Only the multi-key radix combine below is
+        # recomputed per group-by.
+        grouped = self._frame[self.keys[0]].grouping()
         if grouped is None:
             self._build_legacy()
             return
         for key in self.keys[1:]:
-            nxt = _kernels.sorted_grouping(self._frame[key].values)
+            nxt = self._frame[key].grouping()
             if nxt is None:
                 self._build_legacy()
                 return

@@ -87,11 +87,12 @@ class Series:
         Optional column name carried through operations.
     """
 
-    __slots__ = ("_values", "name")
+    __slots__ = ("_values", "name", "_grouping_cache")
 
     def __init__(self, data: Any, name: str | None = None) -> None:
         self._values = _coerce_values(data)
         self.name = name
+        self._grouping_cache = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -102,6 +103,7 @@ class Series:
         out = cls.__new__(cls)
         out._values = values
         out.name = name
+        out._grouping_cache = None
         return out
 
     @classmethod
@@ -125,7 +127,12 @@ class Series:
 
     @property
     def values(self) -> np.ndarray:
-        """The underlying numpy array (no copy)."""
+        """The underlying numpy array (no copy).
+
+        Writing into this buffer directly bypasses the bookkeeping
+        :meth:`__setitem__` performs (notably :meth:`grouping` cache
+        invalidation) — mutate through the Series, not the array.
+        """
         return self._values
 
     @property
@@ -172,6 +179,7 @@ class Series:
         return value.item() if isinstance(value, np.generic) else value
 
     def __setitem__(self, key: Any, value: Any) -> None:
+        self._grouping_cache = None  # in-place mutation invalidates grouping
         if isinstance(key, Series):
             key = key.to_numpy()
         if self._values.dtype.kind in "if" and isinstance(value, (int, float, np.number)):
@@ -194,6 +202,34 @@ class Series:
         rng = np.random.default_rng(seed)
         idx = rng.choice(len(self), size=min(n, len(self)), replace=False)
         return Series._from_array(self._values[np.sort(idx)], self.name)
+
+    # ------------------------------------------------------------------
+    # Grouping
+    # ------------------------------------------------------------------
+    def grouping(self):
+        """This column's sorted grouping, computed once and cached.
+
+        Returns :func:`repro.dataframe.kernels.sorted_grouping`'s
+        ``(order, starts, inverse)`` — or ``None`` when the column needs
+        the hash path (missing keys, unorderable values).  Group-bys
+        dominate the high-order operator's transforms and the same key
+        column is re-grouped for every candidate feature, so the cache
+        turns the per-group-by sort (and, for string keys, the S-encode
+        packing that dominates it) into a one-time cost per column.  The
+        cached arrays are shared across group-bys and marked read-only;
+        mutation through :meth:`__setitem__` invalidates the cache (the
+        entry is also keyed on the backing array's identity, so a
+        swapped-out buffer can never serve a stale grouping).  Writing
+        into the exposed :attr:`values` buffer directly is the one
+        mutation the cache cannot see — see that property's docstring.
+        """
+        if self._grouping_cache is None or self._grouping_cache[1] is not self._values:
+            grouped = _kernels.sorted_grouping(self._values)
+            if grouped is not None:
+                for arr in grouped:
+                    arr.flags.writeable = False
+            self._grouping_cache = (grouped, self._values)
+        return self._grouping_cache[0]
 
     # ------------------------------------------------------------------
     # Missing data

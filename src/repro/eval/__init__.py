@@ -16,8 +16,17 @@ from repro.eval.harness import evaluate_models, feature_matrix
 from repro.eval.runner import MethodOutcome, SweepConfig, SweepResult, run_sweep
 from repro.eval.importance import importance_table
 from repro.eval.ablation import operator_ablation
-from repro.eval.efficiency import concurrency_speedup_report, interaction_cost_comparison
-from repro.eval.reporting import render_auc_table, render_sweep_summary, render_table
+from repro.eval.efficiency import (
+    concurrency_speedup_report,
+    interaction_cost_comparison,
+    stage_overlap_report,
+)
+from repro.eval.reporting import (
+    render_auc_table,
+    render_schedule,
+    render_sweep_summary,
+    render_table,
+)
 from repro.eval.sweep_executor import (
     SerialSweepExecutor,
     SweepExecutor,
@@ -38,7 +47,9 @@ __all__ = [
     "interaction_cost_comparison",
     "operator_ablation",
     "render_auc_table",
+    "render_schedule",
     "render_sweep_summary",
     "render_table",
     "run_sweep",
+    "stage_overlap_report",
 ]

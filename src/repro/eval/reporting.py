@@ -6,7 +6,12 @@ from collections.abc import Sequence
 
 from repro.eval.runner import SweepResult
 
-__all__ = ["render_auc_table", "render_sweep_summary", "render_table"]
+__all__ = [
+    "render_auc_table",
+    "render_schedule",
+    "render_sweep_summary",
+    "render_table",
+]
 
 
 def render_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
@@ -80,12 +85,99 @@ def render_auc_table(result: SweepResult, aggregate: str = "average") -> str:
     return render_table(headers, rows)
 
 
+def _node_size(node: dict) -> str:
+    """A node's dispatch-size note: granted draws for shrunk nodes."""
+    if node["status"] == "shrunk" and node.get("granted_draws") is not None:
+        return f"{node['granted_draws']}/{node['planned_draws']} draws"
+    return ""
+
+
+def render_schedule(schedule: dict) -> str:
+    """Render one run's stage schedule: dispatch order, per-node status,
+    budget-planner decisions, and the modelled critical path.
+
+    *schedule* is the ``result.fm_usage["execution"]["schedule"]``
+    payload the stage scheduler writes.
+    """
+    header = (
+        f"stage plan: {schedule['plan']}"
+        f" (budget planning {'on' if schedule['plan_budget'] else 'off'})"
+    )
+    lines = [header, "dispatch: " + " -> ".join(schedule["dispatch_order"])]
+    rows = []
+    for node in schedule["nodes"]:
+        status = node["status"]
+        note = _node_size(node) or node.get("reason", "")
+        rows.append(
+            [
+                node["name"],
+                status,
+                str(node["fm_calls"]),
+                f"{node['critical_path_s']:.1f}",
+                f"{node['start_s']:.1f}-{node['end_s']:.1f}",
+                note,
+            ]
+        )
+    lines.append(
+        render_table(
+            ["stage", "status", "calls", "fm cp (s)", "window (s)", "note"], rows
+        )
+    )
+    degraded = schedule.get("degraded") or []
+    if degraded:
+        lines.append("degraded: " + ", ".join(degraded))
+    lines.append(
+        f"critical path: {' -> '.join(schedule['critical_path'])} — "
+        f"{schedule['makespan_overlap_s']:,.1f}s overlapped vs "
+        f"{schedule['makespan_serial_s']:,.1f}s serial "
+        f"({schedule['overlap_speedup']:.2f}x)"
+    )
+    return "\n".join(lines)
+
+
+def _schedule_summary_lines(result: SweepResult) -> list[str]:
+    """Stage-schedule roll-up across the sweep's SMARTFEAT cells."""
+    schedules = [
+        outcome.schedule
+        for outcome in result.outcomes.values()
+        if outcome.schedule is not None
+    ]
+    if not schedules:
+        return []
+    sample = schedules[0]
+    lines = [
+        f"stage plan: {sample['plan']} — dispatch "
+        + " -> ".join(sample["dispatch_order"])
+    ]
+    degraded: dict[str, int] = {}
+    for schedule in schedules:
+        for name in schedule.get("degraded", []):
+            degraded[name] = degraded.get(name, 0) + 1
+    if degraded:
+        parts = ", ".join(
+            f"{name} ({count} cells)" for name, count in sorted(degraded.items())
+        )
+        lines.append(f"degraded stages: {parts}")
+    longest = max(schedules, key=lambda s: s["makespan_overlap_s"])
+    lines.append(
+        f"stage critical path (worst cell): "
+        f"{' -> '.join(longest['critical_path'])} — "
+        f"{longest['makespan_overlap_s']:,.1f}s overlapped vs "
+        f"{longest['makespan_serial_s']:,.1f}s serial "
+        f"({longest['overlap_speedup']:.2f}x)"
+    )
+    return lines
+
+
 def render_sweep_summary(result: SweepResult) -> str:
     """One-paragraph sweep roll-up: cells by status, FM spend, wall clock.
 
     The modelled line compares the full-scale serial sweep duration with
     the makespan at the configured ``sweep_concurrency`` — the headline
-    number the efficiency benchmark tracks.
+    number the efficiency benchmark tracks.  When the sweep's SMARTFEAT
+    cells carried stage schedules, the per-stage dispatch order, any
+    budget-degraded stages, and the worst cell's critical path are
+    appended.
     """
     counts = result.status_counts()
     status_text = ", ".join(f"{counts[s]} {s}" for s in sorted(counts)) or "no cells"
@@ -103,4 +195,5 @@ def render_sweep_summary(result: SweepResult) -> str:
             f"modelled full-scale: {serial:,.0f}s serial -> {parallel:,.0f}s "
             f"at concurrency {concurrency} ({speedup:.2f}x)"
         )
+    lines.extend(_schedule_summary_lines(result))
     return "\n".join(lines)

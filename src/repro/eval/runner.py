@@ -104,6 +104,15 @@ class SweepConfig:
     :class:`~repro.fm.base.Budget`: a cell that crosses a limit records
     ``status="budget"`` without affecting any other cell.
 
+    ``stage_plan`` selects SMARTFEAT's stage-view semantics
+    (``"serial"`` — the paper's chain — or ``"overlap"`` — declared-read
+    views with the DAG schedule; see
+    :class:`~repro.core.scheduler.StageScheduler`), and
+    ``plan_budget=True`` turns on budget-aware stage planning: a
+    SMARTFEAT cell with a tight budget right-sizes its stages and
+    completes (recording degraded stages in its schedule) instead of
+    degrading the whole cell to ``status="budget"``.
+
     Note that DNF decisions compare *measured* wall time (extrapolated)
     against ``time_limit_s``; under heavy cell parallelism, scheduler
     contention inflates measured times, so pin ``time_limit_s=None`` when
@@ -130,6 +139,8 @@ class SweepConfig:
     max_cost_usd: float | None = None
     max_fm_calls: int | None = None
     max_fm_latency_s: float | None = None
+    stage_plan: str = "serial"
+    plan_budget: bool = False
 
     @property
     def deadline_seconds(self) -> float | None:
@@ -160,7 +171,9 @@ class MethodOutcome:
     ``model_status`` records per-model outcomes for model-aware methods
     (CAAFE's DNN can DNF while its other runs complete, as in the
     paper).  ``modelled_s`` is the worst per-run modelled full-scale
-    time.
+    time.  ``schedule`` is the SMARTFEAT stage-schedule report of the
+    cell's slowest run (None for other methods) — the sweep summary
+    renders dispatch order, degraded stages, and critical path from it.
     """
 
     dataset: str
@@ -175,6 +188,7 @@ class MethodOutcome:
     modelled_s: float = 0.0
     fm_cost_usd: float = 0.0
     fm_calls: int = 0
+    schedule: dict | None = None
 
     @property
     def average_auc(self) -> float | None:
@@ -251,10 +265,14 @@ def _transform_with_method(
     seed: int,
     deadline: Deadline,
     budget: Budget | None = None,
+    stage_plan: str = "serial",
+    plan_budget: bool = False,
 ):
-    """Run one AFE method; returns (frame, n_generated, n_selected, fm)."""
+    """Run one AFE method; returns (frame, n_generated, n_selected, fm,
+    schedule) — *schedule* is SMARTFEAT's stage-schedule report, None for
+    every other method."""
     if method == "initial":
-        return bundle.frame, 0, 0, None
+        return bundle.frame, 0, 0, None, None
     if method == "smartfeat":
         fm = SimulatedFM(seed=seed, model="gpt-4")
         function_fm = SimulatedFM(seed=seed + 1, model="gpt-3.5-turbo")
@@ -263,6 +281,8 @@ def _transform_with_method(
             function_fm=function_fm,
             downstream_model=model_name,
             budget=budget,
+            stage_plan=stage_plan,
+            plan_budget=plan_budget,
         )
         result = tool.fit_transform(
             bundle.frame,
@@ -275,7 +295,8 @@ def _transform_with_method(
         fm.ledger.latency_s += function_fm.ledger.latency_s
         fm.ledger.cost_usd += function_fm.ledger.cost_usd
         fm.ledger.n_calls += function_fm.ledger.n_calls
-        return result.frame, n_new, n_new, fm
+        schedule = result.fm_usage["execution"]["schedule"]
+        return result.frame, n_new, n_new, fm, schedule
     if method == "caafe":
         fm = SimulatedFM(seed=seed, model="gpt-4", budget=budget)
         caafe = CAAFELike(fm, validation_model=model_name, seed=seed)
@@ -287,13 +308,13 @@ def _transform_with_method(
             target_description=bundle.target_description,
             deadline=deadline,
         )
-        return result.frame, result.n_generated, result.n_selected, fm
+        return result.frame, result.n_generated, result.n_selected, fm, None
     if method == "featuretools":
         result = FeaturetoolsDFS().fit_transform(bundle.frame, bundle.target, deadline=deadline)
-        return result.frame, result.n_generated, result.n_selected, None
+        return result.frame, result.n_generated, result.n_selected, None, None
     if method == "autofeat":
         result = AutoFeatLike().fit_transform(bundle.frame, bundle.target, deadline=deadline)
-        return result.frame, result.n_generated, result.n_selected, None
+        return result.frame, result.n_generated, result.n_selected, None, None
     raise ValueError(f"unknown method {method!r}; expected one of {METHOD_NAMES}")
 
 
@@ -343,10 +364,12 @@ def _run_model_aware(outcome, bundle, method, config, scale_base, budget) -> Non
     for model_name in config.models:
         started = time.monotonic()
         try:
-            frame, n_gen, n_sel, fm = _transform_with_method(
+            frame, n_gen, n_sel, fm, schedule = _transform_with_method(
                 method, bundle, model_name, config.seed,
                 Deadline(seconds=config.deadline_seconds),
                 budget=budget,
+                stage_plan=config.stage_plan,
+                plan_budget=config.plan_budget,
             )
         except BaselineTimeoutError as exc:
             outcome.model_status[model_name] = "dnf"
@@ -368,6 +391,8 @@ def _run_model_aware(outcome, bundle, method, config, scale_base, budget) -> Non
             _VALIDATION_MODEL_CALIBRATION.get(model_name, 1.0) if method == "caafe" else 1.0
         )
         modelled = wall * calibration * (scale_base**alpha) + fm_latency
+        if modelled >= outcome.modelled_s and schedule is not None:
+            outcome.schedule = schedule  # keep the slowest run's schedule
         outcome.modelled_s = max(outcome.modelled_s, modelled)
         outcome.n_generated = max(outcome.n_generated, n_gen)
         outcome.n_selected = max(outcome.n_selected, n_sel)
@@ -385,7 +410,7 @@ def _run_model_agnostic(outcome, bundle, method, config, scale_base) -> None:
     """One transform shared across models; whole-cell DNF semantics."""
     started = time.monotonic()
     try:
-        frame, n_gen, n_sel, _ = _transform_with_method(
+        frame, n_gen, n_sel, _, _ = _transform_with_method(
             method, bundle, config.models[0], config.seed,
             Deadline(seconds=config.deadline_seconds),
         )

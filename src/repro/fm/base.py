@@ -123,6 +123,34 @@ class Budget:
                 return (message, axis, float(limit), float(spent))
         return None
 
+    def headroom(self) -> dict[str, float | None]:
+        """Remaining spend per axis: ``None`` for unlimited axes, else
+        ``max(0, limit - spent)``.
+
+        This is the budget-aware planner's input: the stage scheduler
+        reads the headroom before dispatching each stage node and
+        right-sizes the node's sampling budget (or skips optional nodes)
+        to fit, instead of letting the node trip the meter mid-flight.
+        """
+        with self._lock:
+            return {
+                "calls": (
+                    None
+                    if self.max_calls is None
+                    else max(0, self.max_calls - self.spent_calls)
+                ),
+                "cost_usd": (
+                    None
+                    if self.max_cost_usd is None
+                    else max(0.0, self.max_cost_usd - self.spent_cost_usd)
+                ),
+                "latency_s": (
+                    None
+                    if self.max_latency_s is None
+                    else max(0.0, self.max_latency_s - self.spent_latency_s)
+                ),
+            }
+
     def snapshot(self) -> dict[str, float | None]:
         """Limits and spend as a plain dict (for reports and tests)."""
         with self._lock:

@@ -27,8 +27,10 @@ long the batch takes on the wall clock under bounded concurrency).
 from __future__ import annotations
 
 import abc
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -39,6 +41,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.fm.base import FMClient, FMResponse
 
 __all__ = [
+    "BatchRecord",
     "ExecutionStats",
     "FMExecutor",
     "FMRequest",
@@ -116,6 +119,31 @@ class RetryPolicy:
         return delay
 
 
+@dataclass(frozen=True)
+class BatchRecord:
+    """Accounting for one executed batch, attributed to a pipeline stage.
+
+    ``stage`` is whatever scope the caller opened with
+    :meth:`FMExecutor.stage` (the stage-graph scheduler tags every batch
+    a stage node dispatches with the node's name; untagged batches record
+    ``None``).  The stage scheduler sums these records per node to report
+    per-stage FM spend and modelled critical path — the submission
+    interleaving across stages stays visible in one ordered log.
+    """
+
+    stage: str | None
+    model: str
+    n_calls: int
+    n_cached: int
+    n_errors: int
+    summed_latency_s: float
+    critical_path_s: float
+    #: Real elapsed seconds the run() call took (0.0 when unmeasured) —
+    #: lets schedule accounting separate time *blocked in the executor*
+    #: from a stage's own data-plane work.
+    wall_s: float = 0.0
+
+
 @dataclass
 class ExecutionStats:
     """Cumulative accounting across every batch an executor has run.
@@ -156,6 +184,32 @@ class FMExecutor(abc.ABC):
     def __init__(self, retry: RetryPolicy | None = None) -> None:
         self.retry = retry or RetryPolicy()
         self.stats = ExecutionStats()
+        #: Ordered per-batch accounting (one BatchRecord per run() call).
+        #: Grows with the executor's lifetime; pipeline runs create
+        #: per-instance executors, so the log stays run-sized in practice.
+        self.batch_log: list[BatchRecord] = []
+        self._stage_slot = threading.local()
+
+    @property
+    def _stage_tag(self) -> str | None:
+        return getattr(self._stage_slot, "tag", None)
+
+    @contextmanager
+    def stage(self, tag: str):
+        """Attribute every batch finished inside this scope to *tag*.
+
+        The scope is thread-local: a run() call is tagged with the scope
+        open on *its* dispatching thread, so two pipeline runs sharing
+        one executor from different threads cannot cross-tag each
+        other's batches.  Scopes nest, restoring the enclosing tag on
+        exit.
+        """
+        previous = self._stage_tag
+        self._stage_slot.tag = tag
+        try:
+            yield self
+        finally:
+            self._stage_slot.tag = previous
 
     # ------------------------------------------------------------------
     @abc.abstractmethod
@@ -196,7 +250,7 @@ class FMExecutor(abc.ABC):
 
     # ------------------------------------------------------------------
     def _finish_batch(
-        self, client: "FMClient", results: list[FMResult]
+        self, client: "FMClient", results: list[FMResult], started_at: float | None = None
     ) -> list[FMResult]:
         """Record ledger/cache entries and stats in submission order.
 
@@ -206,10 +260,13 @@ class FMExecutor(abc.ABC):
         """
         budget_error: FMBudgetExceededError | None = None
         latencies: list[float] = []
+        n_cached = 0
+        n_errors = 0
         for result in results:
             self.stats.n_retries += result.attempts - 1
             if result.cached:
                 self.stats.cache_hits += 1
+                n_cached += 1
                 client.ledger.record_cache_hit()
                 continue
             if result.ok:
@@ -226,9 +283,23 @@ class FMExecutor(abc.ABC):
                 self.stats.summed_latency_s += response.latency_s
             else:
                 self.stats.n_errors += 1
+                n_errors += 1
         self.stats.n_batches += 1
-        self.stats.critical_path_s += critical_path_seconds(
-            latencies, self.concurrency
+        batch_critical = critical_path_seconds(latencies, self.concurrency)
+        self.stats.critical_path_s += batch_critical
+        self.batch_log.append(
+            BatchRecord(
+                stage=self._stage_tag,
+                model=client.model,
+                n_calls=len(latencies),
+                n_cached=n_cached,
+                n_errors=n_errors,
+                summed_latency_s=sum(latencies),
+                critical_path_s=batch_critical,
+                wall_s=(
+                    time.perf_counter() - started_at if started_at is not None else 0.0
+                ),
+            )
         )
         if budget_error is not None:
             raise budget_error
@@ -246,6 +317,7 @@ class SerialExecutor(FMExecutor):
         # fully-cached batch is served even after exhaustion), plus a
         # post-hoc raise if the batch crossed the line — so serial and
         # threaded backends issue exactly the same calls.
+        started = time.perf_counter()
         budget_checked = False
         results: list[FMResult] = []
         for request in requests:
@@ -259,7 +331,7 @@ class SerialExecutor(FMExecutor):
                 budget_checked = True
             state = client._reserve_state(request.prompt, request.temperature)
             results.append(self._attempt(client, request, state))
-        return self._finish_batch(client, results)
+        return self._finish_batch(client, results, started_at=started)
 
 
 class ThreadPoolFMExecutor(FMExecutor):
@@ -299,6 +371,7 @@ class ThreadPoolFMExecutor(FMExecutor):
         # Same batch-granular budget contract as SerialExecutor.run: the
         # check runs once, before the first uncached request reserves
         # state, so fully-cached batches stay free after exhaustion.
+        started = time.perf_counter()
         budget_checked = False
         results: list[FMResult | None] = [None] * len(requests)
         pending: list[tuple[int, FMRequest, object]] = []
@@ -333,4 +406,4 @@ class ThreadPoolFMExecutor(FMExecutor):
         # Phase 3 (main thread, submission order): ledger + stats.
         final = [result for result in results if result is not None]
         assert len(final) == len(requests)
-        return self._finish_batch(client, final)
+        return self._finish_batch(client, final, started_at=started)

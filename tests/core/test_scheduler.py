@@ -1,0 +1,430 @@
+"""Unit coverage for the stage-graph scheduler layer.
+
+Graph hazard derivation, pipeline graph shape, schedule reporting,
+per-stage view restriction, budget-aware planning decisions, and the
+supporting pieces (Budget.headroom, StageTimer windows, Series grouping
+cache, executor batch attribution).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SmartFeat
+from repro.core.scheduler import StageGraph, StageNode, WILDCARD
+from repro.core.timing import StageTimer
+from repro.core.types import OperatorFamily
+from repro.dataframe import DataFrame, Series
+from repro.eval import render_schedule
+from repro.fm import (
+    Budget,
+    FMBudgetExceededError,
+    SerialExecutor,
+    SimulatedFM,
+)
+
+
+def _noop(ctx, node):
+    del ctx, node
+
+
+def _node(name, reads, writes, **kw):
+    return StageNode(
+        name=name,
+        runner=_noop,
+        reads=frozenset(reads),
+        writes=frozenset(writes),
+        timer_key=name,
+        **kw,
+    )
+
+
+def small_frame() -> DataFrame:
+    return DataFrame(
+        {
+            "Age": [21, 35, 42, 22, 45, 56, 30, 28] * 6,
+            "Income": [10.0, 25.0, 18.5, 40.0, 31.0, 22.0, 15.5, 60.0] * 6,
+            "City": ["SF", "LA", "SEA", "SF", "SEA", "LA", "SF", "LA"] * 6,
+            "Target": [0, 1, 1, 0, 1, 1, 0, 1] * 6,
+        }
+    )
+
+
+DESCRIPTIONS = {
+    "Age": "Age of the customer in years",
+    "Income": "Annual income in thousands of dollars",
+    "City": "City of residence",
+}
+
+
+def run_smartfeat(**kwargs):
+    fm = SimulatedFM(seed=0, model="gpt-4")
+    function_fm = SimulatedFM(seed=1, model="gpt-3.5-turbo")
+    tool = SmartFeat(fm=fm, function_fm=function_fm, **kwargs)
+    result = tool.fit_transform(
+        small_frame(), target="Target", descriptions=dict(DESCRIPTIONS)
+    )
+    return result, fm, function_fm, tool
+
+
+# ----------------------------------------------------------------------
+# StageGraph hazard derivation
+# ----------------------------------------------------------------------
+class TestStageGraph:
+    def test_read_after_write_is_an_edge(self):
+        graph = StageGraph(
+            [_node("a", {"originals"}, {"unary"}), _node("b", {"unary"}, {"binary"})]
+        )
+        assert graph.dependencies() == {"a": (), "b": ("a",)}
+
+    def test_disjoint_stages_are_independent(self):
+        graph = StageGraph(
+            [
+                _node("a", {"originals"}, {"unary"}),
+                _node("b", {"originals", "unary"}, {"binary"}),
+                _node("c", {"originals", "unary"}, {"high_order"}),
+            ]
+        )
+        deps = graph.dependencies()
+        assert deps["b"] == ("a",)
+        assert deps["c"] == ("a",)  # no edge to b: reads/writes disjoint
+
+    def test_write_after_write_is_an_edge(self):
+        graph = StageGraph(
+            [_node("a", set(), {"x"}), _node("b", set(), {"x"})]
+        )
+        assert graph.dependencies()["b"] == ("a",)
+
+    def test_write_after_read_is_an_edge(self):
+        graph = StageGraph(
+            [_node("a", {"x"}, {"y"}), _node("b", set(), {"x"})]
+        )
+        assert graph.dependencies()["b"] == ("a",)
+
+    def test_wildcard_conflicts_with_everything(self):
+        graph = StageGraph(
+            [
+                _node("a", {"originals"}, {"unary"}),
+                _node("z", {WILDCARD}, {"originals"}),
+            ]
+        )
+        assert graph.dependencies()["z"] == ("a",)
+
+    def test_duplicate_node_name_rejected(self):
+        graph = StageGraph([_node("a", set(), {"x"})])
+        with pytest.raises(ValueError, match="duplicate"):
+            graph.add(_node("a", set(), {"y"}))
+
+
+# ----------------------------------------------------------------------
+# Pipeline graph shape
+# ----------------------------------------------------------------------
+class TestPipelineGraph:
+    def _graph(self, **kwargs):
+        tool = SmartFeat(fm=SimulatedFM(seed=0), **kwargs)
+        ctx = type("Ctx", (), {"original_features": ["a", "b", "c"]})()
+        return tool.build_stage_graph(ctx)
+
+    def test_default_graph_nodes_and_edges(self):
+        graph = self._graph()
+        assert [n.name for n in graph.nodes] == [
+            "unary",
+            "binary",
+            "high_order",
+            "extractor",
+            "drop",
+        ]
+        deps = graph.dependencies()
+        assert deps["binary"] == ("unary",)
+        assert deps["high_order"] == ("unary",)  # independent of binary
+        assert deps["extractor"] == ("unary",)
+        assert set(deps["drop"]) == {"unary", "binary", "high_order", "extractor"}
+
+    def test_fm_removal_is_optional_and_last(self):
+        graph = self._graph(fm_feature_removal=True)
+        assert graph.nodes[-1].name == "fm_removal"
+        assert graph.nodes[-1].optional
+        assert "drop" in graph.dependencies()["fm_removal"]
+
+    def test_family_subsets_shrink_the_graph(self):
+        graph = self._graph(
+            operator_families=(OperatorFamily.BINARY,), drop_heuristic=False
+        )
+        assert [n.name for n in graph.nodes] == ["binary"]
+        assert graph.dependencies()["binary"] == ()
+
+    def test_sampling_nodes_are_shrinkable(self):
+        graph = self._graph()
+        assert not graph["unary"].shrinkable
+        assert all(graph[n].shrinkable for n in ("binary", "high_order", "extractor"))
+
+
+# ----------------------------------------------------------------------
+# Schedule report
+# ----------------------------------------------------------------------
+class TestScheduleReport:
+    def test_report_shape_and_timeline(self):
+        result, *_ = run_smartfeat(stage_plan="overlap")
+        schedule = result.fm_usage["execution"]["schedule"]
+        assert schedule["plan"] == "overlap"
+        assert schedule["dispatch_order"] == [
+            "unary",
+            "binary",
+            "high_order",
+            "extractor",
+            "drop",
+        ]
+        names = [n["name"] for n in schedule["nodes"]]
+        assert names == schedule["dispatch_order"]
+        assert schedule["makespan_overlap_s"] <= schedule["makespan_serial_s"]
+        assert schedule["overlap_speedup"] >= 1.0
+        assert schedule["critical_path"][0] == "unary"
+        for node in schedule["nodes"]:
+            assert node["end_s"] >= node["start_s"]
+            if node["name"] != "unary" and node["name"] != "drop":
+                # post-unary stages all start when unary ends
+                assert node["depends_on"] == ["unary"]
+
+    def test_serial_plan_reports_chain_semantics(self):
+        result, *_ = run_smartfeat(stage_plan="serial")
+        schedule = result.fm_usage["execution"]["schedule"]
+        assert schedule["plan"] == "serial"
+        # Same graph, same hazard edges: the report still shows the DAG
+        # (and what overlap would save) even when views were serial.
+        assert schedule["makespan_overlap_s"] <= schedule["makespan_serial_s"]
+
+    def test_per_node_attribution_sums_to_ledger(self):
+        result, fm, function_fm, _ = run_smartfeat()
+        schedule = result.fm_usage["execution"]["schedule"]
+        per_node = sum(n["fm_calls"] for n in schedule["nodes"])
+        assert per_node == fm.ledger.n_calls + function_fm.ledger.n_calls
+
+    def test_dataplane_keys_unchanged(self):
+        result, *_ = run_smartfeat()
+        dataplane = result.fm_usage["execution"]["dataplane"]
+        assert {"unary_stage", "binary_stage", "high_order_stage",
+                "extractor_stage", "drop_heuristic"} <= set(dataplane)
+        assert "transform_exec" in dataplane
+
+    def test_render_schedule_smoke(self):
+        result, *_ = run_smartfeat(stage_plan="overlap")
+        text = render_schedule(result.fm_usage["execution"]["schedule"])
+        assert "dispatch: unary -> binary -> high_order -> extractor -> drop" in text
+        assert "critical path:" in text
+
+
+# ----------------------------------------------------------------------
+# View restriction under the overlap plan
+# ----------------------------------------------------------------------
+class TestOverlapViews:
+    def _high_order_prompts(self, plan):
+        fm = SimulatedFM(seed=0, model="gpt-4")
+        fm.ledger.keep_history = True
+        tool = SmartFeat(
+            fm=fm,
+            function_fm=SimulatedFM(seed=1, model="gpt-3.5-turbo"),
+            stage_plan=plan,
+        )
+        result = tool.fit_transform(
+            small_frame(), target="Target", descriptions=dict(DESCRIPTIONS)
+        )
+        binary_features = [
+            name
+            for name, feature in result.new_features.items()
+            if feature.family == OperatorFamily.BINARY
+        ]
+        prompts = [
+            prompt
+            for prompt, _ in fm.ledger.history
+            if "Generate a groupby feature" in prompt
+        ]
+        return binary_features, prompts
+
+    def test_high_order_view_excludes_binary_columns(self):
+        binary_serial, serial_prompts = self._high_order_prompts("serial")
+        binary_overlap, overlap_prompts = self._high_order_prompts("overlap")
+        assert binary_serial and binary_serial == binary_overlap
+        feature = binary_serial[0]
+        # The chain's high-order prompts mention the binary feature; the
+        # overlap plan's declared-reads view cuts it out.
+        assert any(feature in p for p in serial_prompts)
+        assert not any(feature in p for p in overlap_prompts)
+
+    def test_serial_plan_views_are_shared_objects(self):
+        # plan="serial" must hand stages the shared frame/agenda (the
+        # legacy chain), not rebuilt views.
+        tool = SmartFeat(fm=SimulatedFM(seed=0), stage_plan="serial")
+        result = tool.fit_transform(small_frame(), target="Target")
+        assert result.frame is not None  # ran through the graph end to end
+
+    def test_invalid_stage_plan_rejected(self):
+        with pytest.raises(ValueError, match="stage_plan"):
+            SmartFeat(fm=SimulatedFM(seed=0), stage_plan="zigzag")
+
+
+# ----------------------------------------------------------------------
+# Budget-aware planning
+# ----------------------------------------------------------------------
+class TestBudgetPlanning:
+    def test_without_planning_budget_error_propagates(self):
+        with pytest.raises(FMBudgetExceededError):
+            run_smartfeat(budget=Budget(max_calls=5))
+
+    def test_planned_run_completes_and_records_decisions(self):
+        result, fm, function_fm, tool = run_smartfeat(
+            budget=Budget(max_calls=12), plan_budget=True, fm_feature_removal=True
+        )
+        schedule = result.fm_usage["execution"]["schedule"]
+        assert schedule["plan_budget"] is True
+        statuses = {n["name"]: n["status"] for n in schedule["nodes"]}
+        assert statuses["fm_removal"] == "skipped"  # optional drops first
+        assert schedule["degraded"]
+        # drop heuristic is data-plane only: never budget-gated.
+        assert statuses["drop"] == "ran"
+
+    def test_shrunk_node_records_granted_draws(self):
+        # Generous enough for unary, tight enough to shrink binary.
+        result, *_ = run_smartfeat(budget=Budget(max_calls=16), plan_budget=True)
+        nodes = {n["name"]: n for n in result.fm_usage["execution"]["schedule"]["nodes"]}
+        shrunk = [n for n in nodes.values() if n["status"] == "shrunk"]
+        assert shrunk
+        for node in shrunk:
+            assert 1 <= node["granted_draws"] < node["planned_draws"]
+
+    def test_skipped_nodes_make_no_calls(self):
+        result, *_ = run_smartfeat(budget=Budget(max_calls=8), plan_budget=True)
+        for node in result.fm_usage["execution"]["schedule"]["nodes"]:
+            if node["status"] == "skipped":
+                assert node["fm_calls"] == 0
+
+    def test_spend_overshoot_bounded_by_one_batch(self):
+        budget = Budget(max_calls=6)
+        result, fm, function_fm, _ = run_smartfeat(budget=budget, plan_budget=True)
+        # Batch-granular enforcement (the PR 2 contract): the overshoot
+        # is at most the in-flight batch, here the unary proposal batch.
+        assert budget.spent_calls <= 6 + len(DESCRIPTIONS)
+
+    def test_truncated_sampling_stage_still_records_errors(self):
+        # Long function-generation completions make actual per-call
+        # latency far exceed the planner's estimate, so the stage is
+        # dispatched and then truncated by the meter mid-wave — its
+        # error count must still land in result.errors.
+        import json
+
+        from repro.fm import ScriptedFM
+
+        def candidate(i):
+            return json.dumps(
+                {
+                    "operator": "-",
+                    "columns": ["Age", "Income"],
+                    "name": f"gap_{i}",
+                    "description": f"binary[-]: gap variant {i}",
+                }
+            )
+
+        padding = "\n".join(f"# padding line {i}" for i in range(120))
+        code = (
+            f"```python\n{padding}\ndef transform(df):\n"
+            "    return df['Age'] - df['Income']\n```"
+        )
+        fm = ScriptedFM([candidate(i) for i in range(20)])
+        function_fm = ScriptedFM(lambda prompt: code)
+        tool = SmartFeat(
+            fm=fm,
+            function_fm=function_fm,
+            budget=Budget(max_latency_s=20.0),
+            plan_budget=True,
+            operator_families=(OperatorFamily.BINARY,),
+            drop_heuristic=False,
+        )
+        result = tool.fit_transform(small_frame(), target="Target")
+        statuses = {
+            n["name"]: n["status"]
+            for n in result.fm_usage["execution"]["schedule"]["nodes"]
+        }
+        assert statuses["binary"] == "truncated"
+        assert "binary" in result.errors
+
+    def test_headroom_axes(self):
+        budget = Budget(max_calls=10, max_cost_usd=1.0)
+        budget.charge(cost_usd=0.25)
+        head = budget.headroom()
+        assert head["calls"] == 9
+        assert head["cost_usd"] == pytest.approx(0.75)
+        assert head["latency_s"] is None
+
+
+# ----------------------------------------------------------------------
+# Supporting pieces
+# ----------------------------------------------------------------------
+class TestStageTimerWindows:
+    def test_windows_track_first_start_and_last_end(self):
+        timer = StageTimer()
+        with timer.time("a"):
+            pass
+        with timer.time("a"):
+            pass
+        with timer.time("b"):
+            pass
+        windows = timer.windows()
+        assert set(windows) == {"a", "b"}
+        first, last = windows["a"]
+        assert 0.0 <= first <= last
+        assert timer.snapshot()["a"]["calls"] == 2
+        assert timer.seconds("missing") == 0.0
+
+
+class TestSeriesGroupingCache:
+    def test_grouping_is_cached(self):
+        s = Series(["x", "y", "x", "z"] * 10, "key")
+        first = s.grouping()
+        assert first is s.grouping()
+        order, starts, inverse = first
+        assert not order.flags.writeable  # shared result is frozen
+
+    def test_setitem_invalidates(self):
+        s = Series(["x", "y", "x", "z"], "key")
+        before = s.grouping()
+        s[0] = "z"
+        after = s.grouping()
+        assert after is not before
+        # Correctness after mutation: z,y,x,z -> segments reflect new data.
+        frame = DataFrame({"key": ["z", "y", "x", "z"], "v": [1.0, 2.0, 3.0, 4.0]})
+        expected = frame.groupby("key")["v"].transform("sum").tolist()
+        frame2 = DataFrame({"key": ["x", "y", "x", "z"], "v": [1.0, 2.0, 3.0, 4.0]})
+        frame2["key"][0] = "z"  # mutate through the cached Series
+        got = frame2.groupby("key")["v"].transform("sum").tolist()
+        assert got == expected
+
+    def test_missing_keys_cache_the_hash_fallback(self):
+        s = Series(["x", None, "x"], "key")
+        assert s.grouping() is None
+        assert s.grouping() is None  # cached negative
+
+    def test_repeated_groupbys_share_the_index_arrays(self):
+        frame = DataFrame({"key": ["a", "b", "a", "c"] * 25, "v": list(range(100))})
+        g1 = frame.groupby("key")["v"].transform("mean")
+        g2 = frame.groupby("key")["v"].transform("mean")
+        assert g1.tolist() == g2.tolist()
+        assert frame["key"].grouping() is frame["key"].grouping()
+
+
+class TestExecutorBatchLog:
+    def test_batches_attributed_to_stage_scope(self):
+        from repro.fm import FMRequest
+
+        fm = SimulatedFM(seed=0)
+        executor = SerialExecutor()
+        with executor.stage("alpha"):
+            executor.run(fm, [FMRequest("p1"), FMRequest("p2")])
+        executor.run(fm, [FMRequest("p3")])
+        assert [b.stage for b in executor.batch_log] == ["alpha", None]
+        assert executor.batch_log[0].n_calls == 2
+
+    def test_stage_scopes_nest(self):
+        executor = SerialExecutor()
+        with executor.stage("outer"):
+            with executor.stage("inner"):
+                assert executor._stage_tag == "inner"
+            assert executor._stage_tag == "outer"
+        assert executor._stage_tag is None

@@ -1,0 +1,281 @@
+"""Property-based serial/overlap equivalence over the stage scheduler.
+
+The stage-graph contract, one level above the executor properties in
+``test_concurrent_properties.py``: for *random* operator-family subsets,
+wave sizes, concurrency levels, seeds, and injected rate-limit failures,
+a seeded pipeline must produce identical results — frame values,
+accepted-feature order, drop/rejection bookkeeping, and ledger call
+counts — under ``stage_plan="serial"`` and ``stage_plan="overlap"``.
+
+This is the proof that each stage's declared reads cover everything the
+FM's answers actually depend on: the overlap plan cuts every stage's
+prompts down to its declared view, so any hidden information flow would
+change a draw and fail the property.  (Token totals legitimately differ
+— narrower views mean shorter prompts — so ledgers are compared on call
+counts, the quantity the §3.2 efficiency claim is about.)
+"""
+
+import json
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import SmartFeat
+from repro.core.types import OperatorFamily
+from repro.dataframe import DataFrame
+from repro.fm import (
+    FMRateLimitError,
+    RetryPolicy,
+    ScriptedFM,
+    SerialExecutor,
+    SimulatedFM,
+    ThreadPoolFMExecutor,
+)
+
+FAMILY_SUBSETS = [
+    (
+        OperatorFamily.UNARY,
+        OperatorFamily.BINARY,
+        OperatorFamily.HIGH_ORDER,
+        OperatorFamily.EXTRACTOR,
+    ),
+    (OperatorFamily.UNARY, OperatorFamily.BINARY, OperatorFamily.HIGH_ORDER),
+    (OperatorFamily.UNARY, OperatorFamily.HIGH_ORDER, OperatorFamily.EXTRACTOR),
+    (OperatorFamily.BINARY, OperatorFamily.HIGH_ORDER, OperatorFamily.EXTRACTOR),
+    (OperatorFamily.UNARY, OperatorFamily.EXTRACTOR),
+    (OperatorFamily.BINARY, OperatorFamily.HIGH_ORDER),
+]
+
+
+def small_frame() -> DataFrame:
+    return DataFrame(
+        {
+            "Age": [21, 35, 42, 22, 45, 56, 30, 28] * 6,
+            "Income": [10.0, 25.0, 18.5, 40.0, 31.0, 22.0, 15.5, 60.0] * 6,
+            "City": ["SF", "LA", "SEA", "SF", "SEA", "LA", "SF", "LA"] * 6,
+            "Target": [0, 1, 1, 0, 1, 1, 0, 1] * 6,
+        }
+    )
+
+
+DESCRIPTIONS = {
+    "Age": "Age of the customer in years",
+    "Income": "Annual income in thousands of dollars",
+    "City": "City of residence",
+}
+
+
+def frame_values(frame: DataFrame) -> dict[str, list]:
+    return {column: frame[column].tolist() for column in frame.columns}
+
+
+def frames_equal(a: dict[str, list], b: dict[str, list]) -> bool:
+    if list(a) != list(b):
+        return False
+    for column in a:
+        if len(a[column]) != len(b[column]):
+            return False
+        for x, y in zip(a[column], b[column]):
+            if x is None or y is None:
+                if x is not y:
+                    return False
+            elif isinstance(x, float) and isinstance(y, float):
+                if x != y and not (x != x and y != y):  # NaN == NaN here
+                    return False
+            elif x != y:
+                return False
+    return True
+
+
+def fingerprint(result, clients) -> tuple:
+    """Everything the equivalence contract covers, ready to compare."""
+    return (
+        list(result.new_features),  # accepted features, in acceptance order
+        result.dropped,
+        result.removed_by_fm,
+        result.errors,
+        result.rejections,
+        [plan.name for plan in result.row_plans],
+        [s.name for s in result.suggestions],
+        [(c.ledger.n_calls, c.ledger.cache_hits) for c in clients],
+    )
+
+
+class RateLimitedSimulatedFM(SimulatedFM):
+    """SimulatedFM that 429s once per *fail_every*-th reserved call.
+
+    Failures key on the reserved counter value, so both plans (which
+    issue the same call sequence) hit identical failures at identical
+    positions; the retry reserves fresh state exactly like a real
+    re-issued call.
+    """
+
+    def __init__(self, fail_every: int, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.fail_every = fail_every
+        self._failed: set[int] = set()
+
+    def _complete_with_state(self, prompt, temperature, state):
+        if (
+            isinstance(state, int)
+            and state % self.fail_every == 0
+            and state not in self._failed
+        ):
+            self._failed.add(state)
+            raise FMRateLimitError(f"simulated 429 at call {state}")
+        return super()._complete_with_state(prompt, temperature, state)
+
+
+def run_plan(
+    plan: str,
+    seed: int,
+    wave_size: int,
+    concurrency: int,
+    families,
+    fail_every: int | None = None,
+    fm_feature_removal: bool = False,
+):
+    if fail_every is not None:
+        fm = RateLimitedSimulatedFM(fail_every, seed=seed, model="gpt-4")
+        function_fm = RateLimitedSimulatedFM(
+            fail_every, seed=seed + 1, model="gpt-3.5-turbo"
+        )
+        retry = RetryPolicy(max_attempts=3)
+    else:
+        fm = SimulatedFM(seed=seed, model="gpt-4")
+        function_fm = SimulatedFM(seed=seed + 1, model="gpt-3.5-turbo")
+        retry = None
+    if concurrency == 1:
+        executor = SerialExecutor(retry=retry)
+    else:
+        executor = ThreadPoolFMExecutor(concurrency, retry=retry)
+    try:
+        tool = SmartFeat(
+            fm=fm,
+            function_fm=function_fm,
+            downstream_model="decision_tree",
+            executor=executor,
+            wave_size=wave_size,
+            operator_families=families,
+            stage_plan=plan,
+            fm_feature_removal=fm_feature_removal,
+        )
+        result = tool.fit_transform(
+            small_frame(), target="Target", descriptions=dict(DESCRIPTIONS)
+        )
+        return fingerprint(result, (fm, function_fm)), frame_values(result.frame)
+    finally:
+        if isinstance(executor, ThreadPoolFMExecutor):
+            executor.close()
+
+
+# ----------------------------------------------------------------------
+# Core property: serial plan == overlap plan on seeded clients.
+# ----------------------------------------------------------------------
+@given(
+    seed=st.integers(min_value=0, max_value=30),
+    wave_size=st.integers(min_value=1, max_value=6),
+    concurrency=st.sampled_from([1, 4, 8]),
+    families=st.sampled_from(FAMILY_SUBSETS),
+    removal=st.booleans(),
+)
+@settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_serial_and_overlap_plans_identical(
+    seed, wave_size, concurrency, families, removal
+):
+    serial_fp, serial_frame = run_plan(
+        "serial", seed, wave_size, concurrency, families, fm_feature_removal=removal
+    )
+    overlap_fp, overlap_frame = run_plan(
+        "overlap", seed, wave_size, concurrency, families, fm_feature_removal=removal
+    )
+    assert serial_fp == overlap_fp
+    assert frames_equal(serial_frame, overlap_frame)
+
+
+# ----------------------------------------------------------------------
+# With injected 429s + retries: the schedule must stay equivalent.
+# ----------------------------------------------------------------------
+@given(
+    seed=st.integers(min_value=0, max_value=10),
+    wave_size=st.integers(min_value=1, max_value=4),
+    fail_every=st.integers(min_value=3, max_value=9),
+    concurrency=st.sampled_from([1, 4]),
+)
+@settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_plans_identical_under_rate_limits(seed, wave_size, fail_every, concurrency):
+    families = FAMILY_SUBSETS[0]
+    serial_fp, serial_frame = run_plan(
+        "serial", seed, wave_size, concurrency, families, fail_every=fail_every
+    )
+    overlap_fp, overlap_frame = run_plan(
+        "overlap", seed, wave_size, concurrency, families, fail_every=fail_every
+    )
+    assert serial_fp == overlap_fp
+    assert frames_equal(serial_frame, overlap_frame)
+
+
+# ----------------------------------------------------------------------
+# Scripted adversarial schedules: garbage/duplicate mixes at random
+# positions must fail identically under both plans.
+# ----------------------------------------------------------------------
+def _binary_candidate(index: int) -> str:
+    return json.dumps(
+        {
+            "operator": "-",
+            "columns": ["Age", "Income"],
+            "name": f"gap_{index}",
+            "description": f"binary[-]: gap variant {index}",
+        }
+    )
+
+
+GOOD_CODE = "```python\ndef transform(df):\n    return df['Age'] - df['Income']\n```"
+
+
+@given(
+    schedule=st.lists(
+        st.sampled_from(["valid", "garbage", "duplicate"]), min_size=2, max_size=10
+    ),
+    wave_size=st.integers(min_value=1, max_value=5),
+    error_threshold=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_scripted_schedules_identical_across_plans(
+    schedule, wave_size, error_threshold
+):
+    def responses():
+        out = []
+        for i, kind in enumerate(schedule):
+            if kind == "valid":
+                out.append(_binary_candidate(i))
+            elif kind == "duplicate":
+                out.append(_binary_candidate(0))
+            else:
+                out.append("garbage that parses to nothing")
+        return out
+
+    def run(plan):
+        fm = ScriptedFM(responses())
+        function_fm = ScriptedFM(lambda prompt: GOOD_CODE)
+        tool = SmartFeat(
+            fm=fm,
+            function_fm=function_fm,
+            downstream_model="decision_tree",
+            operator_families=(OperatorFamily.BINARY,),
+            sampling_budget=len(schedule),
+            error_threshold=error_threshold,
+            wave_size=wave_size,
+            stage_plan=plan,
+        )
+        result = tool.fit_transform(small_frame(), target="Target")
+        return (
+            list(result.new_features),
+            result.errors,
+            fm.ledger.n_calls,
+        ), frame_values(result.frame)
+
+    serial_fp, serial_frame = run("serial")
+    overlap_fp, overlap_frame = run("overlap")
+    assert serial_fp == overlap_fp
+    assert frames_equal(serial_frame, overlap_frame)
