@@ -18,6 +18,7 @@ import argparse
 import sys
 
 from repro.core import SmartFeat
+from repro.core.pipeline import resolve_executor
 from repro.datasets import DATASET_NAMES, list_datasets, load_dataset
 from repro.eval import (
     SweepConfig,
@@ -32,9 +33,7 @@ from repro.fm import (
     Budget,
     FMBudgetExceededError,
     FMCache,
-    SerialExecutor,
     SimulatedFM,
-    ThreadPoolFMExecutor,
 )
 
 __all__ = ["build_parser", "main"]
@@ -60,8 +59,20 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--concurrency",
         type=int,
-        default=1,
-        help="max in-flight FM calls (1 = serial; >1 uses the thread-pool executor)",
+        default=None,
+        help="max in-flight FM calls (default 1 = serial; >1 uses the thread-pool executor)",
+    )
+    run.add_argument(
+        "--executor",
+        choices=("serial", "thread", "async"),
+        default=None,
+        help=(
+            "FM execution backend (default: serial, or thread when "
+            "--concurrency > 1).  'async' runs batches on an executor-owned "
+            "asyncio event loop — the backend a real HTTP client plugs "
+            "into.  --concurrency bounds thread/async in-flight calls "
+            "(explicit values are honoured exactly; unset defaults to 8)"
+        ),
     )
     run.add_argument(
         "--wave-size",
@@ -177,7 +188,7 @@ def _load_source(args) -> tuple:
 
 def _cmd_run(args) -> int:
     frame, target, descriptions, title, target_description = _load_source(args)
-    if args.concurrency < 1:
+    if args.concurrency is not None and args.concurrency < 1:
         raise SystemExit("--concurrency must be >= 1")
     if args.plan_budget and _budget_from_args(args) is None:
         raise SystemExit(
@@ -186,14 +197,18 @@ def _cmd_run(args) -> int:
         )
     if args.wave_size is not None and args.wave_size < 1:
         raise SystemExit("--wave-size must be >= 1")
-    executor = (
-        ThreadPoolFMExecutor(args.concurrency) if args.concurrency > 1 else SerialExecutor()
-    )
+    backend = args.executor or ("thread" if (args.concurrency or 1) > 1 else "serial")
+    if backend == "serial" and (args.concurrency or 1) > 1:
+        raise SystemExit("--executor serial conflicts with --concurrency > 1")
+    # An explicit --concurrency is honoured exactly (even 1: a real
+    # rate-limit bound); only an unset one falls back to the backend's
+    # default of 8 for thread/async.
+    executor = resolve_executor(backend, args.concurrency)
     cache = FMCache(path=args.fm_cache) if args.fm_cache else None
-    # --wave-size defaults to --concurrency so the pool has sampling work
-    # to fan out; pass --wave-size explicitly to fix the search semantics
-    # independently of the backend.
-    wave_size = args.wave_size if args.wave_size is not None else args.concurrency
+    # --wave-size defaults to the backend's concurrency so the pool (or
+    # loop) has sampling work to fan out; pass --wave-size explicitly to
+    # fix the search semantics independently of the backend.
+    wave_size = args.wave_size if args.wave_size is not None else executor.concurrency
     tool = SmartFeat(
         fm=SimulatedFM(seed=args.seed, model="gpt-4"),
         function_fm=SimulatedFM(seed=args.seed + 1, model="gpt-3.5-turbo"),
@@ -217,6 +232,10 @@ def _cmd_run(args) -> int:
         if cache is not None:
             cache.save()  # keep what was paid for; a rerun starts warm
         raise SystemExit(f"aborted: {exc}")
+    finally:
+        close = getattr(executor, "close", None)
+        if close is not None:  # thread pool / event loop backends hold threads
+            close()
     print(f"Generated {len(result.new_features)} features:")
     for feature in result.new_features.values():
         print(f"  [{feature.family.value:10s}] {feature.name}")

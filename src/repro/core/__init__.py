@@ -25,7 +25,12 @@ Components (Section 3 of the paper):
 from repro.core.agenda import DataAgenda
 from repro.core.operator_selector import OperatorSelector
 from repro.core.function_generator import FunctionGenerator
-from repro.core.pipeline import SmartFeat, SmartFeatResult, complete_row_plan
+from repro.core.pipeline import (
+    SmartFeat,
+    SmartFeatResult,
+    complete_row_plan,
+    resolve_executor,
+)
 from repro.core.parsing import parse_scalar
 from repro.core.types import (
     FeatureCandidate,
@@ -50,5 +55,6 @@ __all__ = [
     "ValidationConfig",
     "complete_row_plan",
     "parse_scalar",
+    "resolve_executor",
     "validate_output",
 ]

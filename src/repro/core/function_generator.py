@@ -24,8 +24,6 @@ on the previous attempt's failure.
 
 from __future__ import annotations
 
-import threading
-
 from repro.core import prompts
 from repro.core.agenda import DataAgenda
 from repro.core.parsing import extract_code, parse_scalar
@@ -73,31 +71,17 @@ class FunctionGenerator:
         self.preview_rows = preview_rows
         self.repair_retries = repair_retries
         self.executor = executor
-        # Back-compat slot: callers are expected to pass the run's timer
-        # explicitly (the pipeline threads it through realize_batch), but
-        # code that still parks one on the generator keeps working.  The
-        # slot is thread-local so concurrent runs sharing one generator
-        # cannot cross their timers.
-        self._timer_slot = threading.local()
-
-    @property
-    def timer(self):
-        """Optional :class:`repro.core.timing.StageTimer` fallback for this
-        thread.  Deprecated in favour of the explicit ``timer=`` argument
-        on :meth:`realize`/:meth:`realize_batch`, which is what the
-        pipeline's stage scheduler uses (one timer per run, owned by the
-        run, never parked on shared state)."""
-        return getattr(self._timer_slot, "value", None)
-
-    @timer.setter
-    def timer(self, value) -> None:
-        self._timer_slot.value = value
 
     def _run_transform(self, source: str, frame: DataFrame, timer=None):
-        """Execute one sandboxed transform, accounting it (when a timer is
-        given, or parked on the thread-local slot) under
-        ``"transform_exec"``."""
-        timer = timer if timer is not None else self.timer
+        """Execute one sandboxed transform, accounting it under
+        ``"transform_exec"`` when a timer is given.
+
+        The timer always arrives explicitly (the pipeline threads the
+        run's :class:`~repro.core.timing.StageTimer` through
+        ``realize``/``realize_batch``); the generator never parks one on
+        shared state, so physically concurrent stages sharing a
+        generator can never cross their timers.
+        """
         if timer is None:
             return run_transform(source, frame)
         with timer.time("transform_exec"):

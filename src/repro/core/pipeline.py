@@ -50,6 +50,7 @@ aborting mid-flight.  See :mod:`repro.core.scheduler` for the contract.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.core.agenda import DataAgenda
@@ -79,9 +80,40 @@ from repro.dataframe import DataFrame
 from repro.fm.base import Budget, FMClient
 from repro.fm.cache import FMCache
 from repro.fm.errors import FMBudgetExceededError, FMError, FMParseError
-from repro.fm.executor import FMExecutor, FMRequest, SerialExecutor
+from repro.fm.executor import (
+    AsyncFMExecutor,
+    FMExecutor,
+    FMRequest,
+    SerialExecutor,
+    ThreadPoolFMExecutor,
+)
 
-__all__ = ["SmartFeat", "SmartFeatResult", "StageContext"]
+__all__ = ["SmartFeat", "SmartFeatResult", "StageContext", "resolve_executor"]
+
+#: Default in-flight bound when an executor is selected by name.
+_DEFAULT_EXECUTOR_CONCURRENCY = 8
+
+
+def resolve_executor(name: str, concurrency: int | None = None) -> FMExecutor:
+    """Build an FM executor from a backend name.
+
+    ``"serial"`` ignores *concurrency*; ``"thread"`` and ``"async"``
+    default to ``8`` in-flight calls.  This is the string form behind
+    ``SmartFeat(executor="async")`` and the CLI's ``--executor``.
+    """
+    # None means "not specified"; explicit values (including invalid
+    # ones like 0) pass through so the constructors validate them.
+    if concurrency is None:
+        concurrency = _DEFAULT_EXECUTOR_CONCURRENCY
+    if name == "serial":
+        return SerialExecutor()
+    if name == "thread":
+        return ThreadPoolFMExecutor(concurrency)
+    if name == "async":
+        return AsyncFMExecutor(concurrency)
+    raise ValueError(
+        f"unknown executor backend {name!r}: expected 'serial', 'thread', or 'async'"
+    )
 
 _ALL_FAMILIES = (
     OperatorFamily.UNARY,
@@ -144,10 +176,17 @@ class StageContext:
     target: str
     timer: StageTimer
     restrict_views: bool = False
+    #: Set by the scheduler when independent stages really run
+    #: concurrently; views and installs then serialise on ``lock``.
+    physical: bool = False
     column_tags: dict[str, str] = field(default_factory=dict)
     unary_transformed: set[str] = field(default_factory=set)
     used_by_other_ops: set[str] = field(default_factory=set)
     granted_draws: dict[str, int] = field(default_factory=dict)
+    #: Guards the shared frame/agenda/bookkeeping under physical stage
+    #: fan-out.  Re-entrant because an install may re-read shared state;
+    #: uncontended (sequential dispatch) it costs nanoseconds.
+    lock: threading.RLock = field(default_factory=threading.RLock)
 
     def view(self, node: StageNode) -> tuple[DataFrame, DataAgenda]:
         """The frame and agenda *node* is allowed to see, per its reads.
@@ -159,22 +198,28 @@ class StageContext:
         stage independence real information-flow independence.  Views
         share column/entry objects (no copies) and are rebuilt per wave,
         so a stage always sees its own earlier installs.
+
+        Under *physical* fan-out the whole cut happens inside the
+        context lock and always materialises a view (never the shared
+        objects), so a stage's snapshot cannot change under it while a
+        concurrent stage installs.
         """
-        if not self.restrict_views or WILDCARD in node.reads:
-            return self.working, self.agenda
-        allowed_tags = set(node.reads) | set(node.writes)
-        allowed = [
-            name
-            for name in self.working.columns
-            if name == self.target
-            or self.column_tags.get(name, ORIGINALS_TAG) in allowed_tags
-        ]
-        if len(allowed) == len(self.working.columns):
-            return self.working, self.agenda
-        return (
-            self.working.column_view(allowed),
-            self.agenda.subset(allowed),
-        )
+        with self.lock:
+            if not self.restrict_views or WILDCARD in node.reads:
+                return self.working, self.agenda
+            allowed_tags = set(node.reads) | set(node.writes)
+            allowed = [
+                name
+                for name in self.working.columns
+                if name == self.target
+                or self.column_tags.get(name, ORIGINALS_TAG) in allowed_tags
+            ]
+            if not self.physical and len(allowed) == len(self.working.columns):
+                return self.working, self.agenda
+            return (
+                self.working.column_view(allowed),
+                self.agenda.subset(allowed),
+            )
 
 
 class SmartFeat:
@@ -215,10 +260,19 @@ class SmartFeat:
         the search (the paper's §3.2 future-work direction; off by
         default).
     executor:
-        FM execution backend; defaults to a per-instance
-        :class:`~repro.fm.executor.SerialExecutor`.  Swapping in a
-        :class:`~repro.fm.executor.ThreadPoolFMExecutor` changes only
-        wall-clock behaviour, never which features are accepted.
+        FM execution backend: an :class:`~repro.fm.executor.FMExecutor`
+        instance or one of the names ``"serial"`` / ``"thread"`` /
+        ``"async"`` (resolved by :func:`resolve_executor` at the default
+        concurrency of 8).  Defaults to a per-instance
+        :class:`~repro.fm.executor.SerialExecutor`.  On seeded clients,
+        swapping backends changes only wall-clock behaviour, never which
+        features are accepted; with stateless clients (e.g.
+        :class:`~repro.fm.transport.TransportFMClient`) a concurrent
+        backend additionally lets ``stage_plan="overlap"`` fan
+        independent stages out physically.  A string-selected backend is
+        *owned* by the instance — its worker threads / event loop are
+        released by :meth:`close` (or ``with SmartFeat(...) as tool:``);
+        a passed-in instance stays the caller's to close.
     cache:
         Optional :class:`~repro.fm.cache.FMCache` attached to both
         clients: repeated runs over the same data re-issue zero
@@ -277,7 +331,7 @@ class SmartFeat:
         repair_retries: int = 1,
         binary_strategy: str = "sampling",
         fm_feature_removal: bool = False,
-        executor: FMExecutor | None = None,
+        executor: FMExecutor | str | None = None,
         cache: FMCache | None = None,
         wave_size: int | None = None,
         budget: Budget | None = None,
@@ -303,6 +357,12 @@ class SmartFeat:
         self.drop_heuristic = drop_heuristic
         self.binary_strategy = binary_strategy
         self.fm_feature_removal = fm_feature_removal
+        # An executor resolved from a name is owned by this instance:
+        # close() tears its threads/loop down.  A passed-in instance
+        # belongs to the caller (it may be shared across tools).
+        self._owns_executor = isinstance(executor, str)
+        if isinstance(executor, str):
+            executor = resolve_executor(executor)
         self.executor = executor or SerialExecutor()
         self.cache = cache
         if cache is not None:
@@ -322,6 +382,25 @@ class SmartFeat:
             repair_retries=repair_retries,
             executor=self.executor,
         )
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the executor **if this instance created it** (the
+        string forms ``executor="thread"`` / ``"async"`` own a worker
+        pool or event-loop thread that otherwise lives until process
+        exit).  Caller-supplied executor instances are left running —
+        they may be shared.  Idempotent; the tool stays usable (the
+        backends restart themselves on the next batch)."""
+        if self._owns_executor:
+            close = getattr(self.executor, "close", None)
+            if close is not None:
+                close()
+
+    def __enter__(self) -> "SmartFeat":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def fit_transform(
@@ -696,34 +775,38 @@ class SmartFeat:
         run in canonical order, so install order is the deterministic
         merge order — and stamps each accepted column with the node's
         provenance tag, which is what later stages' views are cut by.
+
+        Under physical stage fan-out several stages install concurrently
+        (install order then follows completion order — real backends make
+        no ordering promise).  The context lock guards only the *merge*:
+        a half-merged feature must never be visible to a concurrent
+        stage's view.  The O(rows) work — validation screens and the
+        accepted columns' kind/values classification — runs before the
+        lock, so overlapped stages do not serialize on each other's
+        screening.  (The row count is stable for the whole run: stages
+        only add or drop columns, so reading it up front is safe.)
         """
         working, agenda, result = ctx.working, ctx.agenda, ctx.result
         if isinstance(realized, Exception):
-            result.rejections[candidate.name] = f"generation failed: {realized}"
+            with ctx.lock:
+                result.rejections[candidate.name] = f"generation failed: {realized}"
             return False
         if isinstance(realized, SourceSuggestion):
-            result.suggestions.append(realized)
+            with ctx.lock:
+                result.suggestions.append(realized)
             return False
         if isinstance(realized, RowCompletionPlan):
-            result.row_plans.append(realized)
+            with ctx.lock:
+                result.row_plans.append(realized)
             return False
         assert isinstance(realized, RealizedFeature)
+        with ctx.lock:
+            n_rows = len(working)
         report = validate_output(
-            _merge_columns(realized), len(working), self.validation, candidate.name
+            _merge_columns(realized), n_rows, self.validation, candidate.name
         )
-        for column, reason in report.rejected.items():
-            result.rejections[column] = reason
-        if not report.ok:
-            return False
-        accepted_columns: list[str] = []
-        tag = self._write_tag(node)
+        classified: list[tuple[str, object, str, list[str]]] = []
         for column, series in report.accepted.items():
-            if column in working.columns:
-                result.rejections[column] = "duplicate column name"
-                continue
-            working[column] = series
-            ctx.column_tags[column] = tag
-            accepted_columns.append(column)
             kind = "numeric" if series.dtype.kind in "ifb" else "categorical"
             uniques = series.unique()
             if set(uniques) <= {0, 1, 0.0, 1.0, True, False}:
@@ -731,13 +814,28 @@ class SmartFeat:
             values: list[str] = []
             if kind == "categorical" and len(uniques) <= 15:
                 values = [str(v) for v in uniques]
-            agenda.add(column, kind, candidate.description, values=values)
-        if not accepted_columns:
-            return False
-        feature = realized.feature
-        feature.output_columns = accepted_columns
-        result.new_features[feature.name] = feature
-        return True
+            classified.append((column, series, kind, values))
+        with ctx.lock:
+            for column, reason in report.rejected.items():
+                result.rejections[column] = reason
+            if not report.ok:
+                return False
+            accepted_columns: list[str] = []
+            tag = self._write_tag(node)
+            for column, series, kind, values in classified:
+                if column in working.columns:
+                    result.rejections[column] = "duplicate column name"
+                    continue
+                working[column] = series
+                ctx.column_tags[column] = tag
+                accepted_columns.append(column)
+                agenda.add(column, kind, candidate.description, values=values)
+            if not accepted_columns:
+                return False
+            feature = realized.feature
+            feature.output_columns = accepted_columns
+            result.new_features[feature.name] = feature
+            return True
 
     # ------------------------------------------------------------------
     def _run_fm_removal(self, ctx: StageContext, node: StageNode) -> None:

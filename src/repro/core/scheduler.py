@@ -62,6 +62,7 @@ in ``result.fm_usage["execution"]["schedule"]``.
 from __future__ import annotations
 
 import math
+import threading
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
@@ -249,10 +250,17 @@ class NodeRecord:
 
 @dataclass
 class StageSchedule:
-    """A finished schedule: per-node records plus the two makespans."""
+    """A finished schedule: per-node records plus the two makespans.
+
+    ``physical`` marks a run whose independent stages really executed
+    concurrently (stateless clients through a shared concurrent
+    executor) — there the *measured* per-node windows, not just the
+    modelled timeline, show the overlap.
+    """
 
     plan: str
     plan_budget: bool
+    physical: bool = False
     records: list[NodeRecord] = field(default_factory=list)
 
     # ------------------------------------------------------------------
@@ -313,16 +321,29 @@ class StageSchedule:
     def degraded_nodes(self) -> list[str]:
         return [r.name for r in self.records if r.degraded]
 
+    @property
+    def measured_makespan_s(self) -> float:
+        """Real wall-clock span of the executed stages (first start to
+        last end of the measured per-node windows; 0.0 when unmeasured).
+        Under physical overlap this is shorter than the sum of the
+        windows — the proof the fan-out actually happened."""
+        windows = [r.measured_window for r in self.records if r.measured_window]
+        if not windows:
+            return 0.0
+        return max(end for _, end in windows) - min(start for start, _ in windows)
+
     def report(self) -> dict:
         """The ``execution["schedule"]`` payload."""
         return {
             "plan": self.plan,
             "plan_budget": self.plan_budget,
+            "physical_overlap": self.physical,
             "dispatch_order": [r.name for r in self.records if r.status != "skipped"],
             "nodes": [r.as_dict() for r in self.records],
             "makespan_serial_s": round(self._makespan_serial, 3),
             "makespan_overlap_s": round(self._makespan_overlap, 3),
             "overlap_speedup": round(self.overlap_speedup, 3),
+            "measured_makespan_s": round(self.measured_makespan_s, 6),
             "critical_path": self.critical_path(),
             "degraded": self.degraded_nodes(),
         }
@@ -331,14 +352,28 @@ class StageSchedule:
 class StageScheduler:
     """Dispatches a :class:`StageGraph` and assembles the schedule.
 
-    Nodes run in declaration order on the calling thread; FM batches a
-    node issues are attributed to it through the executor's
+    By default nodes run in declaration order on the calling thread; FM
+    batches a node issues are attributed to it through the executor's
     :meth:`~repro.fm.executor.FMExecutor.stage` scope, and client-ledger
     deltas give the node's spend.  With ``plan_budget=True`` the
     dispatcher consults the budget's headroom first (see the module
     docstring for the policy) and absorbs mid-node
     :class:`~repro.fm.errors.FMBudgetExceededError` into a
     ``"truncated"`` record instead of re-raising.
+
+    **Physical overlap.**  When the plan is ``"overlap"``, the executor
+    is concurrent, and every client reports
+    :meth:`~repro.fm.base.FMClient.is_stateless` (e.g. a
+    transport-backed HTTP client, whose entropy lives server-side), the
+    canonical dispatch order protects nothing — no counter, no cursor —
+    so the scheduler runs each node on its own thread as soon as its
+    hazard dependencies finish.  All stages share the one executor
+    (whose in-flight bound spans them), so the overlap the serial
+    dispatcher only *models* becomes measured wall-clock.  Per-node
+    spend is then attributed from stage-tagged
+    :class:`~repro.fm.executor.BatchRecord` entries (ledger deltas would
+    cross-count concurrent stages).  ``physical="off"`` forces the
+    sequential dispatcher regardless.
     """
 
     def __init__(
@@ -348,9 +383,12 @@ class StageScheduler:
         plan: str = "serial",
         budget: "Budget | None" = None,
         plan_budget: bool = False,
+        physical: str = "auto",
     ) -> None:
         if plan not in ("serial", "overlap"):
             raise ValueError(f"invalid stage plan: {plan!r}")
+        if physical not in ("auto", "off"):
+            raise ValueError(f"invalid physical mode: {physical!r}")
         self.executor = executor
         # Deduplicate while preserving order (fm may be function_fm too).
         seen: "dict[int, FMClient]" = {}
@@ -360,20 +398,39 @@ class StageScheduler:
         self.plan = plan
         self.budget = budget
         self.plan_budget = plan_budget and budget is not None
+        self.physical = physical
+
+    def _physical_overlap(self) -> bool:
+        """Whether this run may fan independent stages out for real."""
+        if self.physical == "off" or self.plan != "overlap":
+            return False
+        if getattr(self.executor, "concurrency", 1) <= 1:
+            return False
+        return all(
+            getattr(client, "is_stateless", lambda: False)()
+            for client in self.clients
+        )
 
     # ------------------------------------------------------------------
     def execute(self, graph: StageGraph, ctx) -> StageSchedule:
         """Run every node and return the finalized schedule.
 
         *ctx* is the pipeline's stage context; the scheduler touches only
-        its ``timer``, ``granted_draws``, and ``restrict_views`` fields —
-        the last is derived here from the plan (single source of truth),
+        its ``timer``, ``granted_draws``, ``restrict_views``, and
+        ``physical`` fields — the view/physical flags are derived here
+        from the plan and client statefulness (single source of truth),
         so a context can never carry chain views under an ``overlap``
         label or vice versa.  The node runners own the rest.
         """
         ctx.restrict_views = self.plan == "overlap"
-        schedule = StageSchedule(plan=self.plan, plan_budget=self.plan_budget)
+        physical = self._physical_overlap()
+        ctx.physical = physical
+        schedule = StageSchedule(
+            plan=self.plan, plan_budget=self.plan_budget, physical=physical
+        )
         deps = graph.dependencies()
+        if physical:
+            return self._execute_physical(graph, deps, ctx, schedule)
         for node in graph.nodes:
             record = NodeRecord(
                 name=node.name,
@@ -442,6 +499,137 @@ class StageScheduler:
         # inside executor.run — otherwise a backend with real latency
         # (HTTP) would be double-counted against the modelled critical
         # path in duration_s.  Near-zero for simulated clients.
+        blocked = sum(batch.wall_s for batch in batches)
+        record.dataplane_s = max(
+            0.0, ctx.timer.seconds(node.timer_key) - dataplane_before - blocked
+        )
+        record.measured_window = ctx.timer.windows().get(node.timer_key)
+
+    # ------------------------------------------------------------------
+    # Physical stage fan-out (stateless clients, concurrent executor)
+    # ------------------------------------------------------------------
+    def _execute_physical(
+        self,
+        graph: StageGraph,
+        deps: dict[str, tuple[str, ...]],
+        ctx,
+        schedule: StageSchedule,
+    ) -> StageSchedule:
+        """Dispatch each node on its own thread once its hazards resolve.
+
+        A condition variable coordinates the launch loop with node
+        completions; budget planning (:meth:`_plan_node`) still happens
+        on the dispatching thread, right before launch.  A node failure
+        stops further launches, lets in-flight nodes drain, and re-raises
+        the earliest failure in declaration order — mirroring what the
+        sequential dispatcher's first raise would have surfaced.
+        Mid-node budget trips are absorbed per ``plan_budget`` exactly as
+        in sequential dispatch.
+        """
+        records: dict[str, NodeRecord] = {}
+        for node in graph.nodes:
+            record = NodeRecord(
+                name=node.name,
+                depends_on=deps[node.name],
+                planned_draws=node.planned_draws,
+            )
+            schedule.records.append(record)
+            records[node.name] = record
+        cond = threading.Condition()
+        done: set[str] = set()
+        launched: set[str] = set()
+        failures: dict[str, BaseException] = {}
+        threads: list[threading.Thread] = []
+
+        def worker(node: StageNode, record: NodeRecord) -> None:
+            batches_before = len(self.executor.batch_log)
+            dataplane_before = ctx.timer.seconds(node.timer_key)
+            error: BaseException | None = None
+            try:
+                with self.executor.stage(node.name), ctx.timer.time(node.timer_key):
+                    node.runner(ctx, node)
+            except FMBudgetExceededError as exc:
+                if self.plan_budget:
+                    record.status = "truncated"
+                    record.reason = f"budget meter tripped mid-stage: {exc.args[0]}"
+                else:
+                    error = exc
+            except BaseException as exc:  # noqa: BLE001 - re-raised by dispatcher
+                error = exc
+            self._account_physical(record, batches_before, dataplane_before, ctx, node)
+            with cond:
+                done.add(node.name)
+                if error is not None:
+                    failures[node.name] = error
+                cond.notify_all()
+
+        with cond:
+            while True:
+                if not failures:
+                    for node in graph.nodes:
+                        if node.name in launched:
+                            continue
+                        if any(dep not in done for dep in deps[node.name]):
+                            continue
+                        record = records[node.name]
+                        launched.add(node.name)
+                        if not self._plan_node(node, record, ctx):
+                            done.add(node.name)
+                            continue
+                        thread = threading.Thread(
+                            target=worker,
+                            args=(node, record),
+                            name=f"stage-{node.name}",
+                            daemon=True,
+                        )
+                        threads.append(thread)
+                        thread.start()
+                in_flight = sum(1 for name in launched if name not in done)
+                if failures and in_flight == 0:
+                    break
+                if len(done) == len(graph.nodes):
+                    break
+                cond.wait()
+        for thread in threads:
+            thread.join()
+        if failures:
+            for node in graph.nodes:  # never-dispatched nodes stay visible
+                if node.name not in launched:
+                    records[node.name].status = "skipped"
+                    records[node.name].reason = "not dispatched: an earlier stage failed"
+        schedule.finalize()
+        if failures:
+            for node in graph.nodes:  # earliest failure in declaration order
+                if node.name in failures:
+                    raise failures[node.name]
+        return schedule
+
+    def _account_physical(
+        self,
+        record: NodeRecord,
+        batches_before: int,
+        dataplane_before: float,
+        ctx,
+        node: StageNode,
+    ) -> None:
+        """Per-node accounting from stage-tagged batch records.
+
+        Ledger deltas are meaningless when several stages charge one
+        ledger concurrently; the executor's batch log carries each
+        batch's stage tag (thread-local, set by the worker's ``stage()``
+        scope) plus its call/cache/cost/latency totals, which sum to
+        exactly what the ledger-delta path reports in sequential mode.
+        """
+        batches = [
+            batch
+            for batch in self.executor.batch_log[batches_before:]
+            if batch.stage == node.name
+        ]
+        record.fm_calls = sum(batch.n_calls for batch in batches)
+        record.cache_hits = sum(batch.n_cached for batch in batches)
+        record.cost_usd = sum(batch.cost_usd for batch in batches)
+        record.summed_latency_s = sum(batch.summed_latency_s for batch in batches)
+        record.critical_path_s = sum(batch.critical_path_s for batch in batches)
         blocked = sum(batch.wall_s for batch in batches)
         record.dataplane_s = max(
             0.0, ctx.timer.seconds(node.timer_key) - dataplane_before - blocked

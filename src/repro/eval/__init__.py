@@ -19,6 +19,7 @@ from repro.eval.ablation import operator_ablation
 from repro.eval.efficiency import (
     concurrency_speedup_report,
     interaction_cost_comparison,
+    physical_overlap_report,
     stage_overlap_report,
 )
 from repro.eval.reporting import (
@@ -46,6 +47,7 @@ __all__ = [
     "importance_table",
     "interaction_cost_comparison",
     "operator_ablation",
+    "physical_overlap_report",
     "render_auc_table",
     "render_schedule",
     "render_sweep_summary",

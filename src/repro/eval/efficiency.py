@@ -9,11 +9,19 @@ independent of table size.  This module prices both styles with the same
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from repro.core import SmartFeat
 from repro.datasets.schema import DatasetBundle
-from repro.fm import SerialExecutor, SimulatedFM, ThreadPoolFMExecutor
+from repro.fm import (
+    AsyncFMExecutor,
+    SerialExecutor,
+    SimulatedFM,
+    SimulatedHTTPTransport,
+    ThreadPoolFMExecutor,
+    TransportFMClient,
+)
 from repro.fm.cost import CostModel, estimate_tokens
 from repro.fm.executor import FMExecutor
 
@@ -21,6 +29,7 @@ __all__ = [
     "InteractionCostPoint",
     "concurrency_speedup_report",
     "interaction_cost_comparison",
+    "physical_overlap_report",
     "smartfeat_call_profile",
     "stage_overlap_report",
 ]
@@ -291,5 +300,130 @@ def stage_overlap_report(
             serial["n_calls"] == overlap["n_calls"]
             and serial["cache_hits"] == overlap["cache_hits"]
         ),
+        "schedule": overlap["schedule"],
+    }
+
+
+def _transport_run(
+    bundle: DatasetBundle,
+    stage_plan: str,
+    concurrency: int,
+    base_latency_s: float,
+    seed: int,
+    wave_size: int,
+    sampling_budget: int,
+) -> dict:
+    """One SMARTFEAT search over transport-backed stateless clients.
+
+    The seeded simulators sit *behind* the transport as the server's
+    text generator (a real API's entropy is server-side too), so the
+    clients themselves are stateless and the overlap plan may physically
+    fan independent stages out.  Latency is real: the transport sleeps.
+    """
+    selector_server = SimulatedFM(seed=seed, model="gpt-4")
+    generator_server = SimulatedFM(seed=seed + 1, model="gpt-3.5-turbo")
+    fm = TransportFMClient(
+        SimulatedHTTPTransport(
+            responder=lambda req: selector_server._complete_text(
+                req.prompt, req.temperature
+            ),
+            base_latency_s=base_latency_s,
+            jitter_s=0.0,
+            seed=seed,
+        ),
+        model="gpt-4",
+    )
+    function_fm = TransportFMClient(
+        SimulatedHTTPTransport(
+            responder=lambda req: generator_server._complete_text(
+                req.prompt, req.temperature
+            ),
+            base_latency_s=base_latency_s,
+            jitter_s=0.0,
+            seed=seed + 1,
+        ),
+        model="gpt-3.5-turbo",
+    )
+    with AsyncFMExecutor(concurrency) as executor:
+        tool = SmartFeat(
+            fm=fm,
+            function_fm=function_fm,
+            downstream_model="random_forest",
+            executor=executor,
+            wave_size=wave_size,
+            sampling_budget=sampling_budget,
+            stage_plan=stage_plan,
+        )
+        started = time.perf_counter()
+        result = tool.fit_transform(
+            bundle.frame,
+            target=bundle.target,
+            descriptions=bundle.descriptions,
+            title=bundle.title,
+            target_description=bundle.target_description,
+        )
+        wall_s = time.perf_counter() - started
+    return {
+        "wall_s": wall_s,
+        "n_features": len(result.new_features),
+        "n_calls": fm.ledger.n_calls + function_fm.ledger.n_calls,
+        "schedule": result.fm_usage["execution"]["schedule"],
+    }
+
+
+def physical_overlap_report(
+    bundle: DatasetBundle,
+    concurrency: int = 8,
+    base_latency_s: float = 0.03,
+    seed: int = 0,
+    wave_size: int = 4,
+    sampling_budget: int = 8,
+) -> dict:
+    """Measured (not modelled) stage overlap against a stateless client.
+
+    Runs the same search twice through transport-backed clients with
+    real per-call latency on the async executor: once with the serial
+    stage chain, once with ``stage_plan="overlap"`` — where the
+    scheduler detects the stateless clients and physically fans the
+    independent stages out through the shared event loop.  The report's
+    ``stages_overlapped`` counts post-unary stages whose *measured*
+    windows intersect; on a serial plan that count is zero by
+    construction.  Feature identity is **not** asserted here: against a
+    server-side-entropy backend, concurrent plans may legitimately draw
+    different candidates — exactly like a real deployment.
+    """
+    serial = _transport_run(
+        bundle, "serial", concurrency, base_latency_s, seed, wave_size, sampling_budget
+    )
+    overlap = _transport_run(
+        bundle, "overlap", concurrency, base_latency_s, seed, wave_size, sampling_budget
+    )
+    windows = {
+        node["name"]: node["measured_window_s"]
+        for node in overlap["schedule"]["nodes"]
+        if node["measured_window_s"] and node["fm_calls"] > 0
+    }
+    names = list(windows)
+    overlapped_pairs = [
+        (a, b)
+        for i, a in enumerate(names)
+        for b in names[i + 1 :]
+        if windows[a][0] < windows[b][1] and windows[b][0] < windows[a][1]
+    ]
+    speedup = serial["wall_s"] / overlap["wall_s"] if overlap["wall_s"] > 0 else 1.0
+    return {
+        "dataset": bundle.name,
+        "concurrency": concurrency,
+        "base_latency_s": base_latency_s,
+        "wall_serial_s": round(serial["wall_s"], 3),
+        "wall_overlap_s": round(overlap["wall_s"], 3),
+        "measured_speedup": round(speedup, 2),
+        "physical_overlap": overlap["schedule"]["physical_overlap"],
+        "serial_plan_physical": serial["schedule"]["physical_overlap"],
+        "stages_overlapped": [list(pair) for pair in overlapped_pairs],
+        "n_calls_serial": serial["n_calls"],
+        "n_calls_overlap": overlap["n_calls"],
+        "n_features_serial": serial["n_features"],
+        "n_features_overlap": overlap["n_features"],
         "schedule": overlap["schedule"],
     }

@@ -16,10 +16,19 @@ no network, so the substrate supplies:
     plausible natural-text responses, including executable Python.
 :class:`ScriptedFM` / :class:`RecordingFM` / :class:`ReplayFM`
     Test doubles: canned responses, call recording, and replay.
-:class:`SerialExecutor` / :class:`ThreadPoolFMExecutor`
+:class:`SerialExecutor` / :class:`ThreadPoolFMExecutor` / :class:`AsyncFMExecutor`
     The execution layer: batches of independent calls run under one
     concurrency contract (bounded fan-out, per-call retry, summed vs
-    critical-path latency accounting) with deterministic results.
+    critical-path latency accounting) with deterministic results.  The
+    async backend owns its own event loop and is the seam every real
+    HTTP deployment plugs into.
+:class:`TransportFMClient` / :class:`SimulatedHTTPTransport`
+    The production client shape: an :class:`FMClient` over a pluggable
+    request/response transport with real latency and HTTP-style failure
+    modes (429 + ``Retry-After``, 5xx, timeouts, resets), driving the
+    :class:`RetryPolicy` backoff schedule end-to-end.  Stateless by
+    construction, so the stage scheduler can physically overlap
+    independent stages through it.
 :class:`FMCache`
     Exact-hit LRU over ``(model, prompt, temperature)`` for the
     deterministic temperature-0 calls, optionally persisted to JSON.
@@ -35,8 +44,18 @@ from the simulator.
 from repro.fm.base import Budget, CallLedger, FMClient, FMResponse
 from repro.fm.cache import FMCache
 from repro.fm.cost import CostModel, critical_path_seconds, estimate_tokens
-from repro.fm.errors import FMBudgetExceededError, FMError, FMParseError, FMRateLimitError
+from repro.fm.errors import (
+    FMBudgetExceededError,
+    FMConnectionError,
+    FMError,
+    FMParseError,
+    FMRateLimitError,
+    FMServerError,
+    FMTimeoutError,
+    FMTransportError,
+)
 from repro.fm.executor import (
+    AsyncFMExecutor,
     ExecutionStats,
     FMExecutor,
     FMRequest,
@@ -49,8 +68,19 @@ from repro.fm.knowledge import KnowledgeStore, default_knowledge
 from repro.fm.lexicon import ColumnRole, infer_role
 from repro.fm.scripted import RecordingFM, ReplayFM, ScriptedFM
 from repro.fm.simulated import SimulatedFM
+from repro.fm.transport import (
+    ScriptedTransport,
+    SimulatedHTTPTransport,
+    Transport,
+    TransportConnectionReset,
+    TransportFMClient,
+    TransportRequest,
+    TransportResponse,
+    TransportTimeout,
+)
 
 __all__ = [
+    "AsyncFMExecutor",
     "Budget",
     "CallLedger",
     "ColumnRole",
@@ -59,6 +89,7 @@ __all__ = [
     "FMBudgetExceededError",
     "FMCache",
     "FMClient",
+    "FMConnectionError",
     "FMError",
     "FMExecutor",
     "FMParseError",
@@ -66,14 +97,25 @@ __all__ = [
     "FMRequest",
     "FMResponse",
     "FMResult",
+    "FMServerError",
+    "FMTimeoutError",
+    "FMTransportError",
     "KnowledgeStore",
     "RecordingFM",
     "ReplayFM",
     "RetryPolicy",
     "ScriptedFM",
+    "ScriptedTransport",
     "SerialExecutor",
     "SimulatedFM",
+    "SimulatedHTTPTransport",
     "ThreadPoolFMExecutor",
+    "Transport",
+    "TransportConnectionReset",
+    "TransportFMClient",
+    "TransportRequest",
+    "TransportResponse",
+    "TransportTimeout",
     "critical_path_seconds",
     "default_knowledge",
     "estimate_tokens",

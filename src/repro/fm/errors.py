@@ -4,9 +4,13 @@ from __future__ import annotations
 
 __all__ = [
     "FMBudgetExceededError",
+    "FMConnectionError",
     "FMError",
     "FMParseError",
     "FMRateLimitError",
+    "FMServerError",
+    "FMTimeoutError",
+    "FMTransportError",
 ]
 
 
@@ -16,6 +20,32 @@ class FMError(Exception):
 
 class FMParseError(FMError):
     """An FM response could not be parsed into the expected structure."""
+
+
+class FMTransportError(FMError):
+    """A request failed at the transport layer, below the FM protocol.
+
+    Covers everything a real HTTP backend can do to a call besides
+    answering it: server errors, wire timeouts, dropped connections.
+    Transient like a rate limit — a :class:`~repro.fm.executor.RetryPolicy`
+    whose ``retry_on`` includes :class:`FMError` (the default) retries it.
+    """
+
+
+class FMServerError(FMTransportError):
+    """The backend answered with a server-side failure (HTTP 5xx)."""
+
+    def __init__(self, message: str = "server error", status: int | None = None):
+        super().__init__(message)
+        self.status = status
+
+
+class FMTimeoutError(FMTransportError):
+    """The call exceeded the transport's deadline before answering."""
+
+
+class FMConnectionError(FMTransportError):
+    """The connection dropped mid-request (reset, broken pipe)."""
 
 
 class FMRateLimitError(FMError):

@@ -17,8 +17,16 @@ against one :class:`~repro.fm.base.FMClient` and returns per-request
     any thread runs, and by recording ledger entries in submission order
     after all threads finish.  A batch therefore produces byte-identical
     responses and ledger totals under either backend.
+:class:`AsyncFMExecutor`
+    ``asyncio`` fan-out on an event loop the executor owns (a dedicated
+    daemon thread), bounded by a semaphore.  The same submission-order
+    reservation contract applies, so seeded clients stay bit-identical;
+    clients with a native coroutine path
+    (:meth:`~repro.fm.base.FMClient._acomplete_with_state`, e.g. a
+    transport-backed HTTP client) overlap their waits on the loop itself,
+    while plain synchronous clients are offloaded to worker threads.
 
-Both backends apply a per-call :class:`RetryPolicy` and accumulate
+All backends apply a per-call :class:`RetryPolicy` and accumulate
 :class:`ExecutionStats`, which separates **summed latency** (what the
 calls cost — the accounting view) from **critical-path latency** (how
 long the batch takes on the wall clock under bounded concurrency).
@@ -27,6 +35,8 @@ long the batch takes on the wall clock under bounded concurrency).
 from __future__ import annotations
 
 import abc
+import asyncio
+import concurrent.futures
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -41,6 +51,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.fm.base import FMClient, FMResponse
 
 __all__ = [
+    "AsyncFMExecutor",
     "BatchRecord",
     "ExecutionStats",
     "FMExecutor",
@@ -118,6 +129,24 @@ class RetryPolicy:
             delay = min(delay, self.max_backoff_s)
         return delay
 
+    def delay_for(self, error: Exception, attempt: int) -> float:
+        """Seconds to sleep before retrying *error* after attempt *attempt*.
+
+        A server-provided ``Retry-After`` hint (an
+        :class:`~repro.fm.errors.FMRateLimitError` with ``retry_after_s``)
+        overrides the computed backoff schedule — the server knows when
+        capacity returns; guessing earlier only earns another 429.
+        ``max_backoff_s`` still caps the hint, protecting callers from a
+        pathological server answer.
+        """
+        retry_after = getattr(error, "retry_after_s", None)
+        if retry_after is not None:
+            delay = max(0.0, float(retry_after))
+            if self.max_backoff_s is not None:
+                delay = min(delay, self.max_backoff_s)
+            return delay
+        return self.backoff_for(attempt)
+
 
 @dataclass(frozen=True)
 class BatchRecord:
@@ -142,6 +171,11 @@ class BatchRecord:
     #: lets schedule accounting separate time *blocked in the executor*
     #: from a stage's own data-plane work.
     wall_s: float = 0.0
+    #: Dollar spend of the batch's successful calls.  With physically
+    #: overlapped stages the stage scheduler cannot attribute spend by
+    #: ledger deltas (several stages charge one ledger concurrently), so
+    #: the batch record carries it.
+    cost_usd: float = 0.0
 
 
 @dataclass
@@ -189,6 +223,9 @@ class FMExecutor(abc.ABC):
         #: per-instance executors, so the log stays run-sized in practice.
         self.batch_log: list[BatchRecord] = []
         self._stage_slot = threading.local()
+        # Physically overlapped stages finish batches from several
+        # threads at once; stats and the batch log are shared.
+        self._account_lock = threading.Lock()
 
     @property
     def _stage_tag(self) -> str | None:
@@ -239,7 +276,7 @@ class FMExecutor(abc.ABC):
             except Exception as exc:  # noqa: BLE001 - surfaced via FMResult
                 if not self.should_retry_error(exc, attempt):
                     return FMResult(request=request, error=exc, attempts=attempt)
-                delay = self.retry.backoff_for(attempt)
+                delay = self.retry.delay_for(exc, attempt)
                 attempt += 1
                 if delay > 0:
                     time.sleep(delay)
@@ -247,6 +284,34 @@ class FMExecutor(abc.ABC):
 
     def should_retry_error(self, error: Exception, attempt: int) -> bool:
         return self.retry.should_retry(error, attempt)
+
+    # ------------------------------------------------------------------
+    def _prepare_batch(
+        self, client: "FMClient", requests: list[FMRequest]
+    ) -> tuple[list[FMResult | None], list[tuple[int, FMRequest, object]]]:
+        """Phase 1 of the batch-backend contract, on the calling thread
+        in submission order: serve cache hits, run the one-shot budget
+        pre-flight before the first uncached request, and reserve every
+        remaining request's per-call client state up front.  This single
+        implementation is what keeps the thread-pool and async backends
+        bit-identical on seeded clients.  (SerialExecutor reserves
+        lazily, one request at a time, and does not use it.)
+        """
+        budget_checked = False
+        results: list[FMResult | None] = [None] * len(requests)
+        pending: list[tuple[int, FMRequest, object]] = []
+        for index, request in enumerate(requests):
+            cached = client._cache_get(request.prompt, request.temperature)
+            if cached is not None:
+                client._on_cache_hit(request.prompt, request.temperature)
+                results[index] = FMResult(request=request, response=cached, cached=True)
+            else:
+                if not budget_checked:
+                    client.ledger.check_budget()
+                    budget_checked = True
+                state = client._reserve_state(request.prompt, request.temperature)
+                pending.append((index, request, state))
+        return results, pending
 
     # ------------------------------------------------------------------
     def _finish_batch(
@@ -257,50 +322,60 @@ class FMExecutor(abc.ABC):
         A budget that trips mid-batch is re-raised only after every
         executed call has been accounted for — the calls already
         happened, so the ledger and stats must reflect them exactly.
+
+        The whole pass holds the executor's accounting lock: physically
+        overlapped stages finish batches from several threads, and stats
+        plus the batch log must stay coherent under that interleaving.
         """
         budget_error: FMBudgetExceededError | None = None
         latencies: list[float] = []
+        cost_usd = 0.0
         n_cached = 0
         n_errors = 0
-        for result in results:
-            self.stats.n_retries += result.attempts - 1
-            if result.cached:
-                self.stats.cache_hits += 1
-                n_cached += 1
-                client.ledger.record_cache_hit()
-                continue
-            if result.ok:
-                response = result.response
-                try:
-                    client.ledger.record(result.request.prompt, response)
-                except FMBudgetExceededError as exc:
-                    budget_error = budget_error or exc
-                client._cache_put(
-                    result.request.prompt, result.request.temperature, response
+        with self._account_lock:
+            for result in results:
+                self.stats.n_retries += result.attempts - 1
+                if result.cached:
+                    self.stats.cache_hits += 1
+                    n_cached += 1
+                    client.ledger.record_cache_hit()
+                    continue
+                if result.ok:
+                    response = result.response
+                    try:
+                        client.ledger.record(result.request.prompt, response)
+                    except FMBudgetExceededError as exc:
+                        budget_error = budget_error or exc
+                    client._cache_put(
+                        result.request.prompt, result.request.temperature, response
+                    )
+                    latencies.append(response.latency_s)
+                    cost_usd += response.cost_usd
+                    self.stats.n_calls += 1
+                    self.stats.summed_latency_s += response.latency_s
+                else:
+                    self.stats.n_errors += 1
+                    n_errors += 1
+            self.stats.n_batches += 1
+            batch_critical = critical_path_seconds(latencies, self.concurrency)
+            self.stats.critical_path_s += batch_critical
+            self.batch_log.append(
+                BatchRecord(
+                    stage=self._stage_tag,
+                    model=client.model,
+                    n_calls=len(latencies),
+                    n_cached=n_cached,
+                    n_errors=n_errors,
+                    summed_latency_s=sum(latencies),
+                    critical_path_s=batch_critical,
+                    wall_s=(
+                        time.perf_counter() - started_at
+                        if started_at is not None
+                        else 0.0
+                    ),
+                    cost_usd=cost_usd,
                 )
-                latencies.append(response.latency_s)
-                self.stats.n_calls += 1
-                self.stats.summed_latency_s += response.latency_s
-            else:
-                self.stats.n_errors += 1
-                n_errors += 1
-        self.stats.n_batches += 1
-        batch_critical = critical_path_seconds(latencies, self.concurrency)
-        self.stats.critical_path_s += batch_critical
-        self.batch_log.append(
-            BatchRecord(
-                stage=self._stage_tag,
-                model=client.model,
-                n_calls=len(latencies),
-                n_cached=n_cached,
-                n_errors=n_errors,
-                summed_latency_s=sum(latencies),
-                critical_path_s=batch_critical,
-                wall_s=(
-                    time.perf_counter() - started_at if started_at is not None else 0.0
-                ),
             )
-        )
         if budget_error is not None:
             raise budget_error
         return results
@@ -347,19 +422,24 @@ class ThreadPoolFMExecutor(FMExecutor):
         super().__init__(retry=retry)
         self.concurrency = concurrency
         self._pool: ThreadPoolExecutor | None = None
+        # Physically overlapped stages call run() concurrently; pool
+        # creation and teardown must not race.
+        self._pool_lock = threading.Lock()
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(
-                max_workers=self.concurrency, thread_name_prefix="fm-executor"
-            )
-        return self._pool
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.concurrency, thread_name_prefix="fm-executor"
+                )
+            return self._pool
 
     def close(self) -> None:
         """Shut the worker pool down (idempotent)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def __enter__(self) -> "ThreadPoolFMExecutor":
         return self
@@ -368,27 +448,11 @@ class ThreadPoolFMExecutor(FMExecutor):
         self.close()
 
     def run(self, client: "FMClient", requests: list[FMRequest]) -> list[FMResult]:
-        # Same batch-granular budget contract as SerialExecutor.run: the
-        # check runs once, before the first uncached request reserves
-        # state, so fully-cached batches stay free after exhaustion.
+        # Phase 1 (main thread, submission order): see _prepare_batch —
+        # this is what keeps seeded clients deterministic regardless of
+        # thread scheduling.
         started = time.perf_counter()
-        budget_checked = False
-        results: list[FMResult | None] = [None] * len(requests)
-        pending: list[tuple[int, FMRequest, object]] = []
-        # Phase 1 (main thread, submission order): cache lookups and
-        # per-call state reservation.  This is what keeps seeded clients
-        # deterministic regardless of thread scheduling.
-        for index, request in enumerate(requests):
-            cached = client._cache_get(request.prompt, request.temperature)
-            if cached is not None:
-                client._on_cache_hit(request.prompt, request.temperature)
-                results[index] = FMResult(request=request, response=cached, cached=True)
-            else:
-                if not budget_checked:
-                    client.ledger.check_budget()
-                    budget_checked = True
-                state = client._reserve_state(request.prompt, request.temperature)
-                pending.append((index, request, state))
+        results, pending = self._prepare_batch(client, requests)
         # Phase 2: fan out the uncached calls.  A batch of one (single
         # proposal calls, repairs, removal prompts) runs inline — no
         # point paying a thread hand-off for zero parallelism.
@@ -407,3 +471,232 @@ class ThreadPoolFMExecutor(FMExecutor):
         final = [result for result in results if result is not None]
         assert len(final) == len(requests)
         return self._finish_batch(client, final, started_at=started)
+
+
+class AsyncFMExecutor(FMExecutor):
+    """``asyncio`` fan-out on an event loop the executor owns.
+
+    The loop runs on one dedicated daemon thread, created lazily on the
+    first batch and torn down by :meth:`close` (idempotent; the executor
+    is reusable afterwards — the next batch starts a fresh loop).
+    Because the loop is private, ``run()`` works from any thread,
+    including threads that already have a running event loop of their
+    own, and several threads may run batches concurrently — in-flight
+    requests across all of them share one semaphore bounded by
+    ``concurrency``.  This is what lets the stage scheduler physically
+    fan independent stages out through a single shared backend.
+
+    The determinism contract is the thread-pool executor's: cache
+    lookups, the budget pre-flight check, and per-call state reservation
+    happen on the *calling* thread in submission order before anything is
+    dispatched, and ledger recording happens on the calling thread in
+    submission order after the batch completes.  Seeded clients are
+    therefore bit-identical across serial, threaded, and async backends.
+
+    Clients that implement the coroutine path
+    (:meth:`~repro.fm.base.FMClient._acomplete_with_state`, e.g.
+    :class:`~repro.fm.transport.TransportFMClient`) overlap their waits
+    on the loop itself; plain synchronous clients fall back to the base
+    implementation, which offloads the blocking call to the loop's
+    default thread pool — still concurrent, just thread-backed.  Note
+    the fallback's cancellation caveat: a cancelled coroutine abandons
+    its worker thread, it cannot interrupt the blocking call itself.
+    """
+
+    def __init__(self, concurrency: int = 8, retry: RetryPolicy | None = None) -> None:
+        if concurrency < 1:
+            raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+        super().__init__(retry=retry)
+        self.concurrency = concurrency
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._semaphore: asyncio.Semaphore | None = None
+        self._lifecycle = threading.Lock()
+        # Batch futures whose run() is still blocked on them; close()
+        # cancels any that the loop drain could not resolve (a submission
+        # racing the shutdown may never get its task created).
+        self._pending: set[concurrent.futures.Future] = set()
+
+    # ------------------------------------------------------------------
+    # Event-loop lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_loop(self) -> tuple[asyncio.AbstractEventLoop, asyncio.Semaphore]:
+        with self._lifecycle:
+            return self._ensure_loop_locked()
+
+    def _ensure_loop_locked(self) -> tuple[asyncio.AbstractEventLoop, asyncio.Semaphore]:
+        if self._loop is None:
+            loop = asyncio.new_event_loop()
+            ready = threading.Event()
+            thread = threading.Thread(
+                target=self._loop_main,
+                args=(loop, ready),
+                name="fm-async-executor",
+                daemon=True,
+            )
+            thread.start()
+            ready.wait()
+            self._loop = loop
+            self._thread = thread
+            # Binds to the loop on first await (3.10+ semantics); a
+            # fresh loop after close() gets a fresh semaphore.
+            self._semaphore = asyncio.Semaphore(self.concurrency)
+        assert self._semaphore is not None
+        return self._loop, self._semaphore
+
+    def _submit(self, client: "FMClient", pending) -> concurrent.futures.Future:
+        """Create (if needed) the loop and submit one batch, atomically
+        with respect to :meth:`close` — either the batch lands on a loop
+        close() has not stopped yet (the drain, or failing that close()'s
+        future sweep, resolves it), or on a fresh loop created after the
+        close.  Either way the returned future always resolves."""
+        with self._lifecycle:
+            loop, semaphore = self._ensure_loop_locked()
+            future = asyncio.run_coroutine_threadsafe(
+                self._run_batch(client, pending, semaphore), loop
+            )
+            self._pending.add(future)
+            return future
+
+    def _loop_main(self, loop: asyncio.AbstractEventLoop, ready: threading.Event) -> None:
+        asyncio.set_event_loop(loop)
+        # Sync clients fall back to run_in_executor(None, ...); size the
+        # loop's default pool to the executor's own bound, or a small
+        # machine's cpu+4 default would silently cap effective fan-out
+        # below the semaphore.  The drain's shutdown_default_executor()
+        # tears it down.
+        loop.set_default_executor(
+            ThreadPoolExecutor(
+                max_workers=self.concurrency, thread_name_prefix="fm-async-worker"
+            )
+        )
+        loop.call_soon(ready.set)
+        try:
+            loop.run_forever()
+        finally:
+            # Drain: whatever close() interrupted gets cancelled and
+            # awaited, so no in-flight request outlives the executor.
+            pending = asyncio.all_tasks(loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.run_until_complete(loop.shutdown_default_executor())
+            asyncio.set_event_loop(None)
+            loop.close()
+
+    def close(self) -> None:
+        """Stop the loop, cancel in-flight requests, join the thread.
+
+        Idempotent; a later :meth:`run` starts a fresh loop.  Batches
+        blocked in :meth:`run` on other threads raise
+        :class:`~repro.fm.errors.FMError` once their tasks are cancelled.
+        """
+        with self._lifecycle:
+            loop, thread = self._loop, self._thread
+            self._loop = self._thread = self._semaphore = None
+            stale = list(self._pending)
+            self._pending.clear()
+        if loop is not None and not loop.is_closed():
+            loop.call_soon_threadsafe(loop.stop)
+        if thread is not None:
+            thread.join()
+        # A submission that raced the stop may have landed in the
+        # callback queue after the drain snapshotted its tasks — its
+        # batch future would never resolve and the waiting run() would
+        # block forever.  Cancelling here wakes every such waiter (a
+        # no-op for futures the drain already resolved).
+        for future in stale:
+            future.cancel()
+
+    def __enter__(self) -> "AsyncFMExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def run(self, client: "FMClient", requests: list[FMRequest]) -> list[FMResult]:
+        # Phase 1 (calling thread, submission order): _prepare_batch —
+        # the same cache/budget/reservation contract as the thread pool.
+        started = time.perf_counter()
+        results, pending = self._prepare_batch(client, requests)
+        # Phase 2: fan the uncached calls out on the owned loop and block
+        # until the whole batch resolves.
+        if pending:
+            future = self._submit(client, pending)
+            try:
+                outcomes = future.result()
+            except (asyncio.CancelledError, concurrent.futures.CancelledError):
+                raise FMError(
+                    "async executor closed while a batch was in flight"
+                ) from None
+            finally:
+                with self._lifecycle:
+                    self._pending.discard(future)
+            for (index, _, _), outcome in zip(pending, outcomes):
+                results[index] = outcome
+        # Phase 3 (calling thread, submission order): ledger + stats.
+        final = [result for result in results if result is not None]
+        assert len(final) == len(requests)
+        return self._finish_batch(client, final, started_at=started)
+
+    async def _run_batch(
+        self,
+        client: "FMClient",
+        pending: list[tuple[int, FMRequest, object]],
+        semaphore: asyncio.Semaphore,
+    ) -> list[FMResult]:
+        # Async-aware budget re-check on the loop side: with physically
+        # overlapped stages another batch may have exhausted the shared
+        # budget between this batch's submission and its dispatch.  On a
+        # single-dispatch (sequential) run the phase-1 check already
+        # passed and budget state cannot have changed, so this repeat is
+        # a no-op — backend equivalence on seeded clients is preserved.
+        await client.ledger.acheck_budget()
+        tasks = [
+            asyncio.create_task(
+                self._attempt_async(client, request, state, semaphore),
+                name=f"fm-call-{index}",
+            )
+            for index, request, state in pending
+        ]
+        return await asyncio.gather(*tasks)
+
+    async def _attempt_async(
+        self,
+        client: "FMClient",
+        request: FMRequest,
+        state: object,
+        semaphore: asyncio.Semaphore,
+    ) -> FMResult:
+        """One request through the retry loop, without blocking the loop.
+
+        Mirrors :meth:`FMExecutor._attempt`: the reserved *state* feeds
+        the first attempt; retries honour the server's ``Retry-After``
+        hint (else the computed backoff) via ``asyncio.sleep``, then
+        reserve fresh state.  Cancellation propagates — the surrounding
+        batch translates it into a clean executor-closed error.
+        """
+        async with semaphore:
+            attempt = 1
+            while True:
+                try:
+                    text = await client._acomplete_with_state(
+                        request.prompt, request.temperature, state
+                    )
+                    response = client.build_response(request.prompt, text)
+                    return FMResult(request=request, response=response, attempts=attempt)
+                except asyncio.CancelledError:
+                    raise
+                except Exception as exc:  # noqa: BLE001 - surfaced via FMResult
+                    if not self.should_retry_error(exc, attempt):
+                        return FMResult(request=request, error=exc, attempts=attempt)
+                    delay = self.retry.delay_for(exc, attempt)
+                    attempt += 1
+                    if delay > 0:
+                        await asyncio.sleep(delay)
+                    state = client._reserve_state(request.prompt, request.temperature)

@@ -1,0 +1,457 @@
+"""A transport-backed FM client: the shape of a real HTTP backend.
+
+Everything above this module treats a foundation model as ``prompt in,
+text out``; this module supplies the layer a production deployment puts
+under that contract — a request/response **transport** with the failure
+modes real APIs actually have (rate limits with ``Retry-After``, server
+errors, timeouts, connection resets) and the latency that makes
+request-level concurrency worth building.
+
+:class:`Transport`
+    The protocol: ``send(TransportRequest) -> TransportResponse``, plus a
+    coroutine ``asend`` (default: ``send`` offloaded to a worker thread)
+    so the async executor can overlap waits on its event loop.
+:class:`SimulatedHTTPTransport`
+    A stand-in HTTP server: per-request latency drawn from a seeded
+    distribution, failure injection on every axis, and *real* sleeps
+    (``time.sleep`` / ``asyncio.sleep``) so measured makespans mean what
+    they claim.  Outcomes are a deterministic function of
+    ``(seed, prompt, attempt)`` — independent of thread or task
+    interleaving — so failure-injection tests are reproducible under any
+    executor.
+:class:`ScriptedTransport`
+    Exact outcome scripting for adversarial tests: a list of responses
+    and exceptions consumed in send order.
+:class:`TransportFMClient`
+    An :class:`~repro.fm.base.FMClient` over any transport.  It keeps no
+    per-call state (``is_stateless()`` is True) — entropy, retries, and
+    rate limiting all live server-side — which is exactly what lets the
+    stage scheduler physically fan independent stages out through one
+    shared async executor.
+
+Status mapping (client side): 2xx returns the body text; 429 raises
+:class:`~repro.fm.errors.FMRateLimitError` carrying the server's
+``Retry-After``; 5xx raises :class:`~repro.fm.errors.FMServerError`;
+wire-level :class:`TransportTimeout` / :class:`TransportConnectionReset`
+raise :class:`~repro.fm.errors.FMTimeoutError` /
+:class:`~repro.fm.errors.FMConnectionError`.  All of these are
+:class:`~repro.fm.errors.FMError` subclasses, so the executor's
+:class:`~repro.fm.executor.RetryPolicy` drives recovery end-to-end —
+including honouring ``Retry-After`` over the computed backoff schedule.
+"""
+
+from __future__ import annotations
+
+import abc
+import asyncio
+import contextvars
+import hashlib
+import random
+import threading
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, replace
+
+from repro.fm.base import FMClient
+from repro.fm.cost import CostModel
+from repro.fm.errors import (
+    FMConnectionError,
+    FMError,
+    FMRateLimitError,
+    FMServerError,
+    FMTimeoutError,
+)
+
+__all__ = [
+    "ScriptedTransport",
+    "SimulatedHTTPTransport",
+    "Transport",
+    "TransportConnectionReset",
+    "TransportFMClient",
+    "TransportRequest",
+    "TransportResponse",
+    "TransportTimeout",
+]
+
+
+@dataclass(frozen=True)
+class TransportRequest:
+    """One wire-level completion request."""
+
+    model: str
+    prompt: str
+    temperature: float = 0.0
+
+
+@dataclass(frozen=True)
+class TransportResponse:
+    """One wire-level answer: an HTTP-style status plus the body text.
+
+    ``retry_after_s`` carries the server's ``Retry-After`` header on 429
+    responses; ``latency_s`` is how long the server took (the simulated
+    transport reports the latency it actually slept).
+    """
+
+    status: int
+    text: str = ""
+    retry_after_s: float | None = None
+    latency_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+class TransportTimeout(Exception):
+    """The wire-level deadline expired before the server answered."""
+
+
+class TransportConnectionReset(Exception):
+    """The connection dropped mid-request (reset, broken pipe)."""
+
+
+class Transport(abc.ABC):
+    """Pluggable request/response channel under :class:`TransportFMClient`.
+
+    Implementations may *return* failure statuses (429, 5xx) or *raise*
+    :class:`TransportTimeout` / :class:`TransportConnectionReset` for
+    failures that never produce a response — mirroring how an HTTP
+    library behaves.
+    """
+
+    @abc.abstractmethod
+    def send(self, request: TransportRequest) -> TransportResponse:
+        """Execute one request, blocking until the response (or failure)."""
+
+    async def asend(self, request: TransportRequest) -> TransportResponse:
+        """Coroutine form of :meth:`send`.
+
+        The default offloads the blocking :meth:`send` to the running
+        loop's default thread pool; transports with a native async path
+        override this to await on the loop itself.
+        """
+        return await asyncio.get_running_loop().run_in_executor(
+            None, self.send, request
+        )
+
+
+# ----------------------------------------------------------------------
+# Simulated HTTP transport: latency + failure injection, deterministic.
+# ----------------------------------------------------------------------
+@dataclass
+class TransportStats:
+    """Counters a transport accumulates across its lifetime (lock-free
+    reads are fine; writers hold the transport's lock)."""
+
+    n_sent: int = 0
+    n_ok: int = 0
+    n_rate_limited: int = 0
+    n_server_errors: int = 0
+    n_timeouts: int = 0
+    n_resets: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "n_sent": self.n_sent,
+            "n_ok": self.n_ok,
+            "n_rate_limited": self.n_rate_limited,
+            "n_server_errors": self.n_server_errors,
+            "n_timeouts": self.n_timeouts,
+            "n_resets": self.n_resets,
+        }
+
+
+def _default_responder(request: TransportRequest) -> str:
+    digest = hashlib.sha256(request.prompt.encode()).hexdigest()[:12]
+    return f"simulated completion {digest}"
+
+
+class SimulatedHTTPTransport(Transport):
+    """Models a rate-limited HTTP completion endpoint.
+
+    Parameters
+    ----------
+    responder:
+        ``TransportRequest -> str`` producing the success body.  The
+        *server* may be stateful (e.g. delegating to a seeded
+        :class:`~repro.fm.simulated.SimulatedFM` for sampling diversity);
+        the *client* above this transport stays stateless either way.
+    base_latency_s / jitter_s:
+        Per-request service time: ``base + U(0, jitter)``, drawn from a
+        seeded RNG keyed on ``(seed, prompt, attempt)``.
+    rate_limit_rate / server_error_rate / timeout_rate / reset_rate:
+        Per-request failure probabilities, evaluated in that order from
+        one uniform draw keyed the same way — so a given ``(prompt,
+        attempt)`` pair always meets the same fate regardless of how the
+        executor interleaves it.  An *attempt* is the per-prompt send
+        count this transport has seen, which is how retry recovery
+        happens naturally: the first send of a prompt may 429, its retry
+        is a different attempt and re-rolls.
+    retry_after_s:
+        The ``Retry-After`` value attached to 429 responses.
+    sleep:
+        When True (default), actually sleep the drawn latency —
+        ``time.sleep`` in :meth:`send`, ``asyncio.sleep`` in
+        :meth:`asend` — so measured wall clocks reflect real overlap.
+        Set False for fast logical tests.
+    """
+
+    def __init__(
+        self,
+        responder: Callable[[TransportRequest], str] | None = None,
+        base_latency_s: float = 0.02,
+        jitter_s: float = 0.01,
+        rate_limit_rate: float = 0.0,
+        server_error_rate: float = 0.0,
+        timeout_rate: float = 0.0,
+        reset_rate: float = 0.0,
+        retry_after_s: float = 0.05,
+        seed: int = 0,
+        sleep: bool = True,
+    ) -> None:
+        total = rate_limit_rate + server_error_rate + timeout_rate + reset_rate
+        if total > 1.0:
+            raise ValueError(f"failure rates sum to {total}, must be <= 1")
+        self.responder = responder or _default_responder
+        self.base_latency_s = base_latency_s
+        self.jitter_s = jitter_s
+        self.rate_limit_rate = rate_limit_rate
+        self.server_error_rate = server_error_rate
+        self.timeout_rate = timeout_rate
+        self.reset_rate = reset_rate
+        self.retry_after_s = retry_after_s
+        self.seed = seed
+        self.sleep = sleep
+        self.stats = TransportStats()
+        self._lock = threading.Lock()
+        self._attempts: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def _next_attempt(self, prompt: str) -> int:
+        with self._lock:
+            attempt = self._attempts.get(prompt, 0) + 1
+            self._attempts[prompt] = attempt
+            self.stats.n_sent += 1
+            return attempt
+
+    def _plan(self, request: TransportRequest) -> tuple[float, str]:
+        """Draw (latency, outcome) for this send, keyed on request identity."""
+        attempt = self._next_attempt(request.prompt)
+        key = f"{self.seed}:{attempt}:{request.prompt}"
+        rng = random.Random(key)
+        latency = self.base_latency_s + rng.uniform(0.0, self.jitter_s)
+        roll = rng.random()
+        if roll < self.rate_limit_rate:
+            outcome = "rate_limit"
+        elif roll < self.rate_limit_rate + self.server_error_rate:
+            outcome = "server_error"
+        elif roll < self.rate_limit_rate + self.server_error_rate + self.timeout_rate:
+            outcome = "timeout"
+        elif roll < (
+            self.rate_limit_rate
+            + self.server_error_rate
+            + self.timeout_rate
+            + self.reset_rate
+        ):
+            outcome = "reset"
+        else:
+            outcome = "ok"
+        return latency, outcome
+
+    def _settle(self, request: TransportRequest, latency: float, outcome: str) -> TransportResponse:
+        """Turn a planned outcome into a response or a raised failure."""
+        with self._lock:
+            if outcome == "ok":
+                self.stats.n_ok += 1
+            elif outcome == "rate_limit":
+                self.stats.n_rate_limited += 1
+            elif outcome == "server_error":
+                self.stats.n_server_errors += 1
+            elif outcome == "timeout":
+                self.stats.n_timeouts += 1
+            else:
+                self.stats.n_resets += 1
+        if outcome == "timeout":
+            raise TransportTimeout(f"deadline expired after {latency:.3f}s")
+        if outcome == "reset":
+            raise TransportConnectionReset("connection reset by peer")
+        if outcome == "rate_limit":
+            return TransportResponse(
+                status=429, retry_after_s=self.retry_after_s, latency_s=latency
+            )
+        if outcome == "server_error":
+            return TransportResponse(status=503, latency_s=latency)
+        return TransportResponse(
+            status=200, text=self.responder(request), latency_s=latency
+        )
+
+    # ------------------------------------------------------------------
+    def send(self, request: TransportRequest) -> TransportResponse:
+        latency, outcome = self._plan(request)
+        if self.sleep and latency > 0:
+            time.sleep(latency)
+        return self._settle(request, latency, outcome)
+
+    async def asend(self, request: TransportRequest) -> TransportResponse:
+        latency, outcome = self._plan(request)
+        if self.sleep and latency > 0:
+            await asyncio.sleep(latency)
+        return self._settle(request, latency, outcome)
+
+
+# ----------------------------------------------------------------------
+# Scripted transport: exact adversarial schedules for tests.
+# ----------------------------------------------------------------------
+class ScriptedTransport(Transport):
+    """Replays a scripted sequence of outcomes in send order.
+
+    Each script entry is a :class:`TransportResponse`, an exception
+    *instance* to raise (e.g. ``TransportTimeout(...)``), or a plain
+    string (shorthand for a 200 response with that body).  The cursor is
+    lock-protected; exhaustion raises :class:`TransportConnectionReset`
+    (the server hung up), which keeps exhaustion itself retryable and
+    visible rather than a test-harness crash.  Every request is appended
+    to :attr:`requests` for assertion.
+    """
+
+    def __init__(
+        self, script: list[TransportResponse | Exception | str]
+    ) -> None:
+        self.script = list(script)
+        self.requests: list[TransportRequest] = []
+        self._cursor = 0
+        self._lock = threading.Lock()
+
+    def _next(self, request: TransportRequest) -> TransportResponse | Exception:
+        with self._lock:
+            self.requests.append(request)
+            position = self._cursor
+            self._cursor += 1
+        if position >= len(self.script):
+            return TransportConnectionReset(
+                f"scripted transport exhausted after {len(self.script)} sends"
+            )
+        entry = self.script[position]
+        if isinstance(entry, str):
+            return TransportResponse(status=200, text=entry)
+        return entry
+
+    def send(self, request: TransportRequest) -> TransportResponse:
+        outcome = self._next(request)
+        if isinstance(outcome, Exception):
+            raise outcome
+        return outcome
+
+    async def asend(self, request: TransportRequest) -> TransportResponse:
+        # No wire to wait on; yield once so cancellation points exist.
+        await asyncio.sleep(0)
+        return self.send(request)
+
+
+# ----------------------------------------------------------------------
+# The client: FMClient protocol over a transport.
+# ----------------------------------------------------------------------
+#: Latency the transport reported for the call this context is building a
+#: response for.  A ContextVar is the one mechanism that is correct on
+#: both dispatch paths: each worker thread has its own context, and each
+#: asyncio task gets a copy of the context at creation — so concurrent
+#: calls can never see each other's measurement, and the client itself
+#: stays stateless.
+_MEASURED_LATENCY: contextvars.ContextVar[float | None] = contextvars.ContextVar(
+    "transport_measured_latency", default=None
+)
+
+
+class TransportFMClient(FMClient):
+    """An :class:`~repro.fm.base.FMClient` speaking through a transport.
+
+    This is the production shape: all per-call state (rate limiting,
+    sampling entropy, retries-seen) lives on the server side of the
+    transport, so the client itself is stateless —
+    :meth:`~repro.fm.base.FMClient.is_stateless` is True and the stage
+    scheduler may physically overlap independent stages through it.
+
+    Under a synchronous executor, calls go through :meth:`Transport.send`
+    (blocking); under :class:`~repro.fm.executor.AsyncFMExecutor`, the
+    overridden coroutine path awaits :meth:`Transport.asend` on the
+    executor's loop — thousands of in-flight requests without a thread
+    apiece.
+    """
+
+    def __init__(
+        self,
+        transport: Transport,
+        model: str = "transport",
+        cost_model: CostModel | None = None,
+        cache=None,
+        budget=None,
+    ) -> None:
+        super().__init__(
+            model=model,
+            cost_model=cost_model or CostModel(model=model),
+            cache=cache,
+            budget=budget,
+        )
+        self.transport = transport
+
+    # ------------------------------------------------------------------
+    def build_response(self, prompt: str, text: str):
+        """Wrap the completion, preferring the transport's *measured*
+        latency over the token-modelled estimate.
+
+        Real backends have real latency; reporting the cost model's
+        token-based guess for them would make the ledger and per-stage
+        schedule attribution fiction.  A transport that reported no
+        latency (``latency_s=0.0``, e.g. a bare scripted response) keeps
+        the modelled value.
+        """
+        response = super().build_response(prompt, text)
+        measured = _MEASURED_LATENCY.get()
+        if measured is not None:
+            _MEASURED_LATENCY.set(None)
+            if measured > 0:
+                response = replace(response, latency_s=measured)
+        return response
+
+    def _raise_for_response(self, response: TransportResponse) -> str:
+        if response.ok:
+            _MEASURED_LATENCY.set(response.latency_s)
+            return response.text
+        if response.status == 429:
+            raise FMRateLimitError(
+                "rate limited (HTTP 429)", retry_after_s=response.retry_after_s
+            )
+        if response.status >= 500:
+            raise FMServerError(
+                f"server error (HTTP {response.status})", status=response.status
+            )
+        raise FMError(f"transport request failed (HTTP {response.status})")
+
+    @staticmethod
+    def _raise_for_wire_failure(exc: Exception) -> str:
+        """One mapping for wire-level failures, shared by both paths so
+        sync and async executors always classify them identically."""
+        if isinstance(exc, TransportTimeout):
+            raise FMTimeoutError(str(exc)) from exc
+        if isinstance(exc, TransportConnectionReset):
+            raise FMConnectionError(str(exc)) from exc
+        raise exc
+
+    def _complete_text(self, prompt: str, temperature: float) -> str:
+        request = TransportRequest(self.model, prompt, temperature)
+        try:
+            response = self.transport.send(request)
+        except (TransportTimeout, TransportConnectionReset) as exc:
+            return self._raise_for_wire_failure(exc)
+        return self._raise_for_response(response)
+
+    async def _acomplete_with_state(
+        self, prompt: str, temperature: float, state: object | None
+    ) -> str:
+        del state  # stateless: nothing was reserved
+        request = TransportRequest(self.model, prompt, temperature)
+        try:
+            response = await self.transport.asend(request)
+        except (TransportTimeout, TransportConnectionReset) as exc:
+            return self._raise_for_wire_failure(exc)
+        return self._raise_for_response(response)

@@ -428,3 +428,230 @@ class TestExecutorBatchLog:
                 assert executor._stage_tag == "inner"
             assert executor._stage_tag == "outer"
         assert executor._stage_tag is None
+
+
+# ----------------------------------------------------------------------
+# Physical stage fan-out (stateless clients, concurrent executor)
+# ----------------------------------------------------------------------
+class _Ctx:
+    """Minimal stage context for driving StageScheduler directly."""
+
+    def __init__(self):
+        self.timer = StageTimer()
+        self.granted_draws = {}
+
+
+def _stateless_client():
+    from repro.fm import ScriptedTransport, TransportFMClient
+
+    return TransportFMClient(ScriptedTransport([f"r{i}" for i in range(64)]))
+
+
+class TestPhysicalOverlap:
+    def _scheduler(self, executor, clients, **kwargs):
+        from repro.core.scheduler import StageScheduler
+
+        return StageScheduler(executor=executor, clients=clients, **kwargs)
+
+    def test_detection_requires_overlap_concurrency_and_statelessness(self):
+        from repro.fm import ThreadPoolFMExecutor
+
+        stateless = (_stateless_client(),)
+        seeded = (SimulatedFM(seed=0),)
+        with ThreadPoolFMExecutor(2) as pool:
+            assert self._scheduler(pool, stateless, plan="overlap")._physical_overlap()
+            assert not self._scheduler(pool, stateless, plan="serial")._physical_overlap()
+            assert not self._scheduler(pool, seeded, plan="overlap")._physical_overlap()
+            assert not self._scheduler(
+                pool, stateless, plan="overlap", physical="off"
+            )._physical_overlap()
+        assert not self._scheduler(
+            SerialExecutor(), stateless, plan="overlap"
+        )._physical_overlap()
+
+    def test_independent_nodes_really_run_concurrently(self):
+        """Two hazard-free nodes must pass a 2-party barrier — impossible
+        under sequential dispatch."""
+        import threading
+
+        from repro.fm import ThreadPoolFMExecutor
+
+        barrier = threading.Barrier(2, timeout=10)
+        met: list[str] = []
+
+        def meet(ctx, node):
+            barrier.wait()
+            met.append(node.name)
+
+        graph = StageGraph(
+            [
+                StageNode(
+                    name=name,
+                    runner=meet,
+                    reads=frozenset({"originals"}),
+                    writes=frozenset({name}),
+                    timer_key=name,
+                    fm=False,
+                )
+                for name in ("left", "right")
+            ]
+        )
+        with ThreadPoolFMExecutor(2) as pool:
+            scheduler = self._scheduler(pool, (_stateless_client(),), plan="overlap")
+            schedule = scheduler.execute(graph, _Ctx())
+        assert schedule.physical
+        assert sorted(met) == ["left", "right"]
+        assert schedule.report()["physical_overlap"] is True
+
+    def test_failure_stops_launches_and_reraises(self):
+        from repro.fm import ThreadPoolFMExecutor
+
+        ran: list[str] = []
+
+        def ok(ctx, node):
+            ran.append(node.name)
+
+        def boom(ctx, node):
+            raise RuntimeError("stage died")
+
+        graph = StageGraph(
+            [
+                StageNode(
+                    name="a",
+                    runner=boom,
+                    reads=frozenset({"originals"}),
+                    writes=frozenset({"unary"}),
+                    timer_key="a",
+                    fm=False,
+                ),
+                StageNode(
+                    name="b",
+                    runner=ok,
+                    reads=frozenset({"unary"}),
+                    writes=frozenset({"binary"}),
+                    timer_key="b",
+                    fm=False,
+                ),
+            ]
+        )
+        with ThreadPoolFMExecutor(2) as pool:
+            scheduler = self._scheduler(pool, (_stateless_client(),), plan="overlap")
+            with pytest.raises(RuntimeError, match="stage died"):
+                scheduler.execute(graph, _Ctx())
+        assert ran == []  # b never launched: its dependency failed
+
+    def test_physical_attribution_sums_to_ledger(self):
+        """Batch-tag attribution must equal what ledger deltas would have
+        said: per-node fm_calls/cost sum to the client ledger totals."""
+        from repro.fm import FMRequest, ThreadPoolFMExecutor
+
+        client = _stateless_client()
+
+        def call_twice(ctx, node):
+            # Runs on the node's own thread; the stage scope is set there.
+            executor.run(client, [FMRequest(f"{node.name}-1"), FMRequest(f"{node.name}-2")])
+
+        graph = StageGraph(
+            [
+                StageNode(
+                    name=name,
+                    runner=call_twice,
+                    reads=frozenset({"originals"}),
+                    writes=frozenset({name}),
+                    timer_key=name,
+                )
+                for name in ("x", "y", "z")
+            ]
+        )
+        with ThreadPoolFMExecutor(3) as executor:
+            scheduler = self._scheduler(executor, (client,), plan="overlap")
+            schedule = scheduler.execute(graph, _Ctx())
+        assert schedule.physical
+        by_name = {r.name: r for r in schedule.records}
+        assert all(by_name[n].fm_calls == 2 for n in ("x", "y", "z"))
+        assert sum(r.fm_calls for r in schedule.records) == client.ledger.n_calls
+        assert sum(r.cost_usd for r in schedule.records) == pytest.approx(
+            client.ledger.cost_usd
+        )
+
+    def test_budget_planner_skips_in_physical_mode(self):
+        from repro.fm import ThreadPoolFMExecutor
+
+        budget = Budget(max_calls=0)
+        ran: list[str] = []
+
+        def should_not_run(ctx, node):
+            ran.append(node.name)
+
+        graph = StageGraph(
+            [
+                StageNode(
+                    name="fm_stage",
+                    runner=should_not_run,
+                    reads=frozenset({"originals"}),
+                    writes=frozenset({"unary"}),
+                    timer_key="fm_stage",
+                    planned_draws=4,
+                )
+            ]
+        )
+        with ThreadPoolFMExecutor(2) as pool:
+            scheduler = self._scheduler(
+                pool,
+                (_stateless_client(),),
+                plan="overlap",
+                budget=budget,
+                plan_budget=True,
+            )
+            schedule = scheduler.execute(graph, _Ctx())
+        assert ran == []
+        assert schedule.records[0].status == "skipped"
+
+    def test_pipeline_physical_run_schedules_and_completes(self):
+        """End-to-end: SmartFeat over stateless transport clients with an
+        overlap plan reports physical_overlap and produces features."""
+        from repro.fm import (
+            SimulatedHTTPTransport,
+            ThreadPoolFMExecutor,
+            TransportFMClient,
+        )
+
+        selector_server = SimulatedFM(seed=0, model="gpt-4")
+        generator_server = SimulatedFM(seed=1, model="gpt-3.5-turbo")
+        fm = TransportFMClient(
+            SimulatedHTTPTransport(
+                responder=lambda req: selector_server._complete_text(
+                    req.prompt, req.temperature
+                ),
+                sleep=False,
+            ),
+            model="gpt-4",
+        )
+        function_fm = TransportFMClient(
+            SimulatedHTTPTransport(
+                responder=lambda req: generator_server._complete_text(
+                    req.prompt, req.temperature
+                ),
+                sleep=False,
+            ),
+            model="gpt-3.5-turbo",
+        )
+        with ThreadPoolFMExecutor(4) as executor:
+            tool = SmartFeat(
+                fm=fm,
+                function_fm=function_fm,
+                executor=executor,
+                wave_size=2,
+                sampling_budget=4,
+                stage_plan="overlap",
+            )
+            result = tool.fit_transform(
+                small_frame(), target="Target", descriptions=dict(DESCRIPTIONS)
+            )
+        schedule = result.fm_usage["execution"]["schedule"]
+        assert schedule["physical_overlap"] is True
+        assert result.new_features
+        total_calls = fm.ledger.n_calls + function_fm.ledger.n_calls
+        assert (
+            sum(n["fm_calls"] for n in schedule["nodes"]) == total_calls
+        )

@@ -1,0 +1,227 @@
+"""Event-loop hygiene for :class:`AsyncFMExecutor`.
+
+The async backend owns its event loop, so its lifecycle is its problem:
+these tests pin that it shuts down cleanly under pytest (no leaked
+threads, tasks, or loops), works when the calling thread already has a
+running loop, survives reuse after close, and that cancelling a run
+mid-flight (closing the executor under a blocked ``fit_transform``)
+leaves no orphaned in-flight requests behind.
+"""
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.core import SmartFeat
+from repro.dataframe import DataFrame
+from repro.fm import (
+    AsyncFMExecutor,
+    FMError,
+    FMRequest,
+    ScriptedFM,
+    SimulatedFM,
+    Transport,
+    TransportFMClient,
+    TransportRequest,
+    TransportResponse,
+)
+
+LOOP_THREAD_NAME = "fm-async-executor"
+
+
+def _loop_threads() -> list[threading.Thread]:
+    return [
+        thread
+        for thread in threading.enumerate()
+        if thread.name.startswith(LOOP_THREAD_NAME)
+    ]
+
+
+class TestLifecycle:
+    def test_no_thread_until_first_batch(self):
+        executor = AsyncFMExecutor(2)
+        assert not _loop_threads()
+        executor.run(SimulatedFM(seed=0), [FMRequest("p")])
+        assert len(_loop_threads()) == 1
+        executor.close()
+        assert not _loop_threads()
+
+    def test_close_is_idempotent_and_safe_before_use(self):
+        executor = AsyncFMExecutor(2)
+        executor.close()
+        executor.close()
+        with AsyncFMExecutor(2) as scoped:
+            scoped.run(SimulatedFM(seed=0), [FMRequest("p")])
+        scoped.close()
+        assert not _loop_threads()
+
+    def test_reusable_after_close(self):
+        fm = ScriptedFM([f"r{i}" for i in range(4)])
+        executor = AsyncFMExecutor(2)
+        first = executor.run(fm, [FMRequest("a"), FMRequest("b")])
+        executor.close()
+        second = executor.run(fm, [FMRequest("c"), FMRequest("d")])
+        executor.close()
+        assert [r.response.text for r in first + second] == ["r0", "r1", "r2", "r3"]
+        assert not _loop_threads()
+
+    def test_results_preserve_request_order(self):
+        fm = ScriptedFM([f"r{i}" for i in range(8)])
+        with AsyncFMExecutor(4) as executor:
+            results = executor.run(fm, [FMRequest(f"p{i}") for i in range(8)])
+        assert [r.response.text for r in results] == [f"r{i}" for i in range(8)]
+        assert executor.stats.n_calls == 8
+        assert executor.stats.n_batches == 1
+
+    def test_concurrency_validated(self):
+        with pytest.raises(ValueError):
+            AsyncFMExecutor(0)
+
+
+class TestRunningLoopInterop:
+    def test_run_works_inside_a_running_event_loop(self):
+        """Calling run() from a coroutine must not collide with the
+        caller's loop — the executor dispatches on its own loop.  (The
+        call still blocks the calling coroutine, like any sync call.)"""
+        fm = SimulatedFM(seed=0)
+
+        async def driver():
+            with AsyncFMExecutor(2) as executor:
+                return executor.run(fm, [FMRequest("p0"), FMRequest("p1")])
+
+        results = asyncio.run(driver())
+        assert all(r.ok for r in results)
+        assert not _loop_threads()
+
+    def test_two_threads_share_one_executor(self):
+        """Concurrent run() calls from different threads share the loop
+        and the in-flight bound; results stay per-batch coherent."""
+        executor = AsyncFMExecutor(4)
+        fm = SimulatedFM(seed=0)
+        outcomes: dict[str, list] = {}
+
+        def batch(name: str) -> None:
+            outcomes[name] = executor.run(
+                fm, [FMRequest(f"{name}-{i}") for i in range(6)]
+            )
+
+        threads = [threading.Thread(target=batch, args=(n,)) for n in ("a", "b")]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        executor.close()
+        assert all(r.ok for r in outcomes["a"] + outcomes["b"])
+        assert [r.request.prompt for r in outcomes["a"]] == [
+            f"a-{i}" for i in range(6)
+        ]
+        assert executor.stats.n_calls == 12
+        assert not _loop_threads()
+
+
+class BlockingTransport(Transport):
+    """asend blocks on an event that is never set; send answers fast.
+
+    ``started`` fires once the first request is in flight, so tests can
+    close the executor at a known-bad moment.
+    """
+
+    def __init__(self) -> None:
+        self.started = threading.Event()
+        self.n_in_flight = 0
+        self._lock = threading.Lock()
+
+    def send(self, request: TransportRequest) -> TransportResponse:
+        return TransportResponse(status=200, text="sync ok")
+
+    async def asend(self, request: TransportRequest) -> TransportResponse:
+        with self._lock:
+            self.n_in_flight += 1
+        self.started.set()
+        try:
+            await asyncio.Event().wait()  # blocks until cancelled
+            raise AssertionError("unreachable")
+        finally:
+            with self._lock:
+                self.n_in_flight -= 1
+
+
+class TestCancellation:
+    def test_close_cancels_in_flight_requests(self):
+        transport = BlockingTransport()
+        client = TransportFMClient(transport)
+        executor = AsyncFMExecutor(4)
+        error: list[BaseException] = []
+
+        def blocked_run() -> None:
+            try:
+                executor.run(client, [FMRequest(f"p{i}") for i in range(3)])
+            except BaseException as exc:  # noqa: BLE001 - asserted below
+                error.append(exc)
+
+        worker = threading.Thread(target=blocked_run)
+        worker.start()
+        assert transport.started.wait(timeout=10)
+        executor.close()
+        worker.join(timeout=10)
+        assert not worker.is_alive()
+        assert error and isinstance(error[0], FMError)
+        # No orphans: every in-flight request was cancelled and unwound
+        # (the finally ran), the loop thread is gone, the loop is closed.
+        assert transport.n_in_flight == 0
+        assert not _loop_threads()
+        assert client.ledger.n_calls == 0  # nothing half-recorded
+
+    def test_cancelled_fit_transform_leaves_no_orphans(self):
+        """Closing the executor under a blocked fit_transform surfaces a
+        clean error on the pipeline thread and strands nothing."""
+        transport = BlockingTransport()
+        frame = DataFrame(
+            {
+                "Age": [21, 35, 42, 22] * 4,
+                "Income": [10.0, 25.0, 18.5, 40.0] * 4,
+                "Target": [0, 1, 1, 0] * 4,
+            }
+        )
+        executor = AsyncFMExecutor(4)
+        tool = SmartFeat(
+            fm=TransportFMClient(transport),
+            function_fm=TransportFMClient(BlockingTransport()),
+            executor=executor,
+        )
+        error: list[BaseException] = []
+
+        def run_pipeline() -> None:
+            try:
+                tool.fit_transform(frame, target="Target")
+            except BaseException as exc:  # noqa: BLE001 - asserted below
+                error.append(exc)
+
+        worker = threading.Thread(target=run_pipeline)
+        worker.start()
+        assert transport.started.wait(timeout=10)
+        time.sleep(0.05)  # let the batch get fully in flight
+        executor.close()
+        worker.join(timeout=10)
+        assert not worker.is_alive()
+        assert error and isinstance(error[0], FMError)
+        assert transport.n_in_flight == 0
+        assert not _loop_threads()
+
+    def test_no_tasks_survive_a_normal_batch(self):
+        executor = AsyncFMExecutor(4)
+        executor.run(SimulatedFM(seed=0), [FMRequest(f"p{i}") for i in range(5)])
+        loop, _ = executor._ensure_loop()
+        tasks = asyncio.run_coroutine_threadsafe(
+            _snapshot_tasks(), loop
+        ).result(timeout=10)
+        executor.close()
+        # Only the snapshot helper itself may be visible.
+        assert tasks <= 1
+        assert not _loop_threads()
+
+
+async def _snapshot_tasks() -> int:
+    return len(asyncio.all_tasks())
