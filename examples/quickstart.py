@@ -5,8 +5,10 @@ Usage::
     python examples/quickstart.py [dataset-name]
 
 Loads one of the eight evaluation datasets (default: tennis), runs the
-full SMARTFEAT search (all four operator families), and prints the
-generated features, their provenance, and the AUC before/after.
+full SMARTFEAT search (all four operator families), prints the
+generated features, their provenance, and the AUC before/after — then
+exports the fitted run as a compiled :class:`FeaturePlan`, reloads it
+from JSON, and replays it on fresh rows with no FM in the loop.
 """
 
 import sys
@@ -54,6 +56,25 @@ def main() -> None:
     print(
         f"\nFM footprint: {usage['n_calls']} selector calls, "
         f"${usage['cost_usd']:.4f} modelled cost — independent of table size."
+    )
+
+    # --- Fit / serve split: export the run as a compiled plan and replay
+    # it on fresh rows with zero FM calls and no sandbox exec. ---
+    from repro.serve import FeaturePlan, FeatureServer
+
+    plan = tool.export_plan(result, bundle.frame, bundle.target)
+    counts = plan.counts()
+    print(
+        f"\nCompiled plan: {counts['compiled']}/{len(plan.features)} features "
+        f"pure-numpy, fingerprint {plan.fingerprint[:12]}…"
+    )
+
+    plan = FeaturePlan.from_json(plan.to_json())  # JSON round-trip
+    fresh = load_dataset(name, seed=7, n_rows=200).frame  # unseen rows
+    served = FeatureServer(plan=plan).transform(fresh)
+    print(
+        f"Served {len(fresh)} fresh rows -> {len(served.columns)} columns "
+        "(same features, no FM in the loop)."
     )
 
 

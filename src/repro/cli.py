@@ -10,6 +10,11 @@ Commands
 ``compare``
     Run the method comparison (initial / SMARTFEAT / baselines) on a
     built-in dataset and print the Table 4-style row.
+``plan export`` / ``plan apply``
+    The fit/serve split: ``export`` fits SMARTFEAT and writes the
+    compiled :class:`~repro.serve.FeaturePlan` JSON (or saves it into a
+    plan registry); ``apply`` replays a plan over fresh CSV rows with no
+    FM client in the loop.
 """
 
 from __future__ import annotations
@@ -106,6 +111,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_stage_plan_flags(compare)
     _add_budget_flags(compare, per_cell=True)
+
+    plan = sub.add_parser("plan", help="compile and replay serving FeaturePlans")
+    plan_sub = plan.add_subparsers(dest="plan_command", required=True)
+
+    export = plan_sub.add_parser(
+        "export", help="fit SMARTFEAT and write the compiled plan JSON"
+    )
+    export.add_argument(
+        "source", help=f"dataset name ({', '.join(DATASET_NAMES)}) or a CSV path"
+    )
+    export.add_argument("--target", help="target column (required for CSV sources)")
+    export.add_argument("--rows", type=int, default=400, help="row cap for built-in datasets")
+    export.add_argument("--seed", type=int, default=0)
+    export.add_argument("--out", help="write the plan JSON to this path")
+    export.add_argument("--registry", help="plan registry directory to save into")
+    export.add_argument(
+        "--name", help="plan name inside the registry (default: the source name)"
+    )
+
+    apply_ = plan_sub.add_parser(
+        "apply", help="replay a compiled plan over fresh CSV rows (no FM)"
+    )
+    apply_.add_argument("--plan", help="path to a plan JSON file")
+    apply_.add_argument("--registry", help="plan registry directory to load from")
+    apply_.add_argument("--name", help="plan name inside the registry")
+    apply_.add_argument("--version", type=int, default=None, help="registry plan version")
+    apply_.add_argument("--csv", required=True, help="CSV of rows to transform")
+    apply_.add_argument("--out", help="write the featured rows to this CSV path")
     return parser
 
 
@@ -300,6 +333,79 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _cmd_plan_export(args) -> int:
+    from repro.serve import PlanRegistry
+
+    if not args.out and not args.registry:
+        raise SystemExit("pass --out and/or --registry to store the exported plan")
+    frame, target, descriptions, title, target_description = _load_source(args)
+    tool = SmartFeat(
+        fm=SimulatedFM(seed=args.seed, model="gpt-4"),
+        function_fm=SimulatedFM(seed=args.seed + 1, model="gpt-3.5-turbo"),
+        compile_plan=True,
+    )
+    result = tool.fit_transform(
+        frame,
+        target=target,
+        descriptions=descriptions,
+        title=title,
+        target_description=target_description,
+    )
+    plan = result.plan
+    counts = plan.counts()
+    print(
+        f"Compiled plan: {len(plan.features)} features "
+        f"({counts['compiled']} compiled, {counts['fallback']} fallback, "
+        f"{counts['omitted']} omitted), fingerprint {plan.fingerprint[:12]}…"
+    )
+    for spec in plan.features:
+        if spec.status != "compiled":
+            print(f"  [{spec.status}] {spec.name}: {spec.reason}")
+    if args.out:
+        plan.save(args.out)
+        print(f"Wrote plan to {args.out}")
+    if args.registry:
+        name = args.name or (
+            args.source if args.source in DATASET_NAMES else "plan"
+        )
+        version = PlanRegistry(args.registry).save(plan, name)
+        print(f"Saved to registry {args.registry} as {name} v{version}")
+    return 0
+
+
+def _cmd_plan_apply(args) -> int:
+    from repro.dataframe import read_csv
+    from repro.serve import FeaturePlan, PlanError, PlanRegistry
+
+    if bool(args.plan) == bool(args.registry):
+        raise SystemExit("pass exactly one of --plan or --registry/--name")
+    try:
+        if args.plan:
+            plan = FeaturePlan.load(args.plan)
+        else:
+            if not args.name:
+                raise SystemExit("--registry needs --name")
+            plan = PlanRegistry(args.registry).load(args.name, args.version)
+        rows = read_csv(args.csv)
+        featured = plan.apply(rows)
+    except PlanError as exc:
+        raise SystemExit(f"plan apply failed: {exc}")
+    print(
+        f"Applied plan ({len(plan.features)} features) to {len(rows)} rows: "
+        f"{len(featured.columns)} columns out"
+    )
+    if args.out:
+        from repro.dataframe.io import to_csv
+
+        to_csv(featured, args.out)
+        print(f"Wrote featured rows to {args.out}")
+    else:
+        preview = ", ".join(featured.columns[:8])
+        more = len(featured.columns) - 8
+        print(f"Columns: {preview}" + (f" … +{more} more" if more > 0 else ""))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "datasets":
@@ -308,6 +414,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "plan":
+        if args.plan_command == "export":
+            return _cmd_plan_export(args)
+        return _cmd_plan_apply(args)
     raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
 
 

@@ -52,6 +52,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.core.agenda import DataAgenda
 from repro.core.function_generator import (
@@ -148,6 +149,10 @@ class SmartFeatResult:
     rejections: dict[str, str] = field(default_factory=dict)
     errors: dict[str, int] = field(default_factory=dict)
     fm_usage: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: Compiled serving artifact (:class:`repro.serve.FeaturePlan`) when the
+    #: run was built with ``compile_plan=True``; ``None`` otherwise.  Typed
+    #: loosely so the core pipeline never imports the serve layer eagerly.
+    plan: Any = None
 
     @property
     def new_columns(self) -> list[str]:
@@ -313,6 +318,10 @@ class SmartFeat:
         and drops optional stages to fit, and absorbs a mid-stage budget
         trip into the schedule report instead of raising.  Decisions
         land in ``result.fm_usage["execution"]["schedule"]``.
+    compile_plan:
+        After fitting, also compile the accepted features into a serving
+        :class:`~repro.serve.FeaturePlan` and attach it as
+        ``result.plan`` — see :meth:`export_plan`.
     """
 
     def __init__(
@@ -337,6 +346,7 @@ class SmartFeat:
         budget: Budget | None = None,
         stage_plan: str = "serial",
         plan_budget: bool = False,
+        compile_plan: bool = False,
     ) -> None:
         if row_level_policy not in ("auto", "never", "always"):
             raise ValueError(f"invalid row_level_policy: {row_level_policy!r}")
@@ -375,6 +385,7 @@ class SmartFeat:
         self.wave_size = wave_size if wave_size is not None else 1
         self.stage_plan = stage_plan
         self.plan_budget = plan_budget
+        self.compile_plan = compile_plan
         self.selector = OperatorSelector(fm, temperature=temperature, executor=self.executor)
         self.generator = FunctionGenerator(
             self.function_fm,
@@ -465,7 +476,28 @@ class SmartFeat:
         execution["dataplane"] = ctx.timer.snapshot()
         execution["schedule"] = schedule.report()
         result.fm_usage["execution"] = execution
+        if self.compile_plan:
+            result.plan = self.export_plan(result, frame, target)
         return result
+
+    # ------------------------------------------------------------------
+    # Serving plan export
+    # ------------------------------------------------------------------
+    def export_plan(self, result, frame, target, knowledge=None, metadata=None):
+        """Compile *result* into a serving :class:`~repro.serve.FeaturePlan`.
+
+        The plan replays the run's accepted features as a pure-numpy
+        program (no FM client, no sandbox exec on the hot path) — see
+        :mod:`repro.serve`.  *frame* must be the original input frame the
+        run was fitted on; per-feature verification rebuilds the fit
+        state from it and only marks a feature ``compiled`` when replay
+        is bit-identical to ``result.frame``.
+        """
+        from repro.serve.compiler import compile_plan as _compile_plan
+
+        return _compile_plan(
+            result, frame, target, knowledge=knowledge, metadata=metadata
+        )
 
     # ------------------------------------------------------------------
     # Stage graph construction

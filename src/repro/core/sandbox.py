@@ -9,6 +9,7 @@ dataframe facade (``pd``), ``np``, ``math``, and a minimal set of builtins
 from __future__ import annotations
 
 import math
+import threading
 from typing import Any
 
 import numpy as np
@@ -16,7 +17,13 @@ import numpy as np
 from repro.dataframe import DataFrame, Series
 from repro.dataframe import pandas_facade as _pd
 
-__all__ = ["SandboxViolation", "TransformError", "run_script", "run_transform"]
+__all__ = [
+    "SandboxViolation",
+    "TransformError",
+    "clear_compile_cache",
+    "run_script",
+    "run_transform",
+]
 
 
 class SandboxViolation(Exception):
@@ -85,6 +92,39 @@ def _check_source(source: str) -> None:
             raise SandboxViolation(f"forbidden construct in generated code: {token!r}")
 
 
+#: Compiled code objects keyed on ``(filename, source)``.  The legacy
+#: replay path re-executes the same handful of accepted transforms per
+#: batch; caching skips both the forbidden-token scan and ``compile()``
+#: on repeats.  Sources that fail either step are never cached, so
+#: violations and syntax errors re-raise on every call.
+_COMPILE_CACHE: dict[tuple[str, str], Any] = {}
+_COMPILE_CACHE_LIMIT = 512
+_COMPILE_LOCK = threading.Lock()
+
+
+def clear_compile_cache() -> None:
+    """Drop every cached code object (test/benchmark isolation hook)."""
+    with _COMPILE_LOCK:
+        _COMPILE_CACHE.clear()
+
+
+def _compiled(source: str, filename: str):
+    """Vetted, compiled code for *source* — cached per ``(filename, source)``."""
+    key = (filename, source)
+    with _COMPILE_LOCK:
+        code = _COMPILE_CACHE.get(key)
+    if code is not None:
+        return code
+    _check_source(source)
+    code = compile(source, filename, "exec")
+    with _COMPILE_LOCK:
+        if len(_COMPILE_CACHE) >= _COMPILE_CACHE_LIMIT:
+            # Bounded FIFO: drop the oldest entry; recompiling is cheap.
+            _COMPILE_CACHE.pop(next(iter(_COMPILE_CACHE)))
+        _COMPILE_CACHE[key] = code
+    return code
+
+
 def _namespace() -> dict[str, Any]:
     return {
         "__builtins__": dict(_SAFE_BUILTINS),
@@ -103,13 +143,12 @@ def run_transform(source: str, frame: DataFrame) -> Series | DataFrame:
     :class:`TransformError` when the code fails to compile, define
     ``transform``, or execute.
     """
-    _check_source(source)
     namespace = _namespace()
     try:
-        code = compile(source, "<fm-transform>", "exec")
-        exec(code, namespace)  # noqa: S102 - sandboxed on purpose
+        code = _compiled(source, "<fm-transform>")
     except SyntaxError as exc:
         raise TransformError(f"generated code does not compile: {exc}") from exc
+    exec(code, namespace)  # noqa: S102 - sandboxed on purpose
     transform = namespace.get("transform")
     if not callable(transform):
         raise TransformError("generated code does not define transform(df)")
@@ -129,15 +168,15 @@ def run_script(source: str, frame: DataFrame) -> DataFrame:
 
     The frame is copied first; the mutated copy is returned.
     """
-    _check_source(source)
     namespace = _namespace()
     working = frame.copy()
     namespace["df"] = working
     try:
-        code = compile(source, "<fm-script>", "exec")
-        exec(code, namespace)  # noqa: S102 - sandboxed on purpose
+        code = _compiled(source, "<fm-script>")
     except SyntaxError as exc:
         raise TransformError(f"generated script does not compile: {exc}") from exc
+    try:
+        exec(code, namespace)  # noqa: S102 - sandboxed on purpose
     except Exception as exc:
         raise TransformError(f"generated script raised {type(exc).__name__}: {exc}") from exc
     result = namespace["df"]

@@ -1,0 +1,526 @@
+"""Frozen transform expressions: the serving IR behind compiled FeaturePlans.
+
+A fitted SMARTFEAT run's accepted features are generated ``def
+transform(df)`` sources.  Serving replays them millions of times, where a
+sandboxed ``exec`` per call is pure overhead — so each source form the
+code generator emits (:mod:`repro.fm.codegen`) has a mirror here as a
+JSON-safe expression node that evaluates through the same
+Series/kernel operations the source would have hit, making replay
+value- and dtype-identical to ``fit_transform``'s frame.
+
+Two node families exist:
+
+* **frozen** nodes (``col``/``add``/``cut``/``dict_map``/``group_lookup``
+  …) are pure data — column references, constants, and frozen fit-time
+  statistics — and are what a serialized plan contains;
+* **fit** nodes (``fit_mean``/``fit_qcut``/``fit_group_table`` …) stand
+  for statistics the source would recompute per call.  They exist only
+  in compile-time templates: :func:`freeze_expr` resolves each one
+  against the fitted frame into a frozen node, and
+  :func:`validate_expr` rejects them in anything claiming to be a plan.
+
+Evaluation deliberately routes through the public ``Series`` operations
+(``where``/``map``/``fillna``/``apply`` on ufuncs, the ``cut``/``qcut``
+reshape kernels, and the segmented group machinery) rather than raw
+numpy — those carry the package's exact missingness and dtype-coercion
+rules, which is what makes bit-identical replay provable.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.dataframe import kernels as _kernels
+from repro.dataframe import reshape as _reshape
+from repro.dataframe.series import Series
+
+__all__ = [
+    "EXPR_OPS",
+    "FIT_OPS",
+    "ExprError",
+    "evaluate_feature",
+    "expr_columns",
+    "freeze_expr",
+    "is_frozen",
+    "validate_expr",
+]
+
+
+class ExprError(Exception):
+    """A transform expression cannot be frozen, validated, or evaluated."""
+
+
+#: Unary ufuncs a frozen expression may apply.  Evaluation passes the
+#: ufunc object itself to ``Series.apply`` — the same call shape the
+#: generated ``.apply(np.log)`` source makes, so domain violations
+#: (``log`` of a negative) produce the identical NaN/warning behaviour.
+_UFUNCS: dict[str, np.ufunc] = {
+    "log": np.log,
+    "log1p": np.log1p,
+    "log2": np.log2,
+    "log10": np.log10,
+    "exp": np.exp,
+    "sqrt": np.sqrt,
+    "abs": np.abs,
+}
+
+_ARITH = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "div": lambda a, b: a / b,
+    "pow": lambda a, b: a ** b,
+}
+
+#: Frozen (serializable) node kinds.
+EXPR_OPS = frozenset(
+    {
+        "col",
+        "const",
+        *_ARITH,
+        "clip",
+        "ufunc",
+        "where_nonzero",
+        "isna_int",
+        "cut",
+        "qcut_collapsed",
+        "dict_map",
+        "fillna",
+        "str_len",
+        "date_split",
+        "dummies",
+        "split_parts",
+        "group_lookup",
+    }
+)
+
+#: Compile-time-only node kinds; :func:`freeze_expr` resolves these.
+FIT_OPS = frozenset(
+    {
+        "fit_mean",
+        "fit_std_or1",
+        "fit_min",
+        "fit_span_or1",
+        "fit_qcut",
+        "fit_categories",
+        "fit_group_table",
+        "fit_split_outputs",
+    }
+)
+
+#: Node kinds producing several named columns at once.
+_MULTI_OUTPUT = frozenset({"date_split", "dummies", "split_parts"})
+
+#: Child-expression slots a node may carry.
+_CHILD_SLOTS = ("arg", "left", "right")
+
+
+# ----------------------------------------------------------------------
+# Validation / inspection
+# ----------------------------------------------------------------------
+def _walk(node: dict):
+    yield node
+    for slot in _CHILD_SLOTS:
+        child = node.get(slot)
+        if isinstance(child, dict):
+            yield from _walk(child)
+
+
+def validate_expr(node: Any) -> None:
+    """Raise :class:`ExprError` unless *node* is a well-formed frozen tree."""
+    if not isinstance(node, dict) or "op" not in node:
+        raise ExprError(f"expression node must be a dict with an 'op' key, got {node!r}")
+    for sub in _walk(node):
+        if not isinstance(sub, dict) or "op" not in sub:
+            raise ExprError(f"malformed expression node: {sub!r}")
+        op = sub["op"]
+        if op in FIT_OPS:
+            raise ExprError(
+                f"expression contains unfrozen fit-time node {op!r}; "
+                f"plans must be frozen with freeze_expr() before serialization"
+            )
+        if op not in EXPR_OPS:
+            raise ExprError(f"unknown expression op {op!r}")
+
+
+def is_frozen(node: dict) -> bool:
+    """True when no fit-time node remains anywhere in the tree."""
+    return all(sub.get("op") not in FIT_OPS for sub in _walk(node))
+
+
+def expr_columns(node: dict) -> list[str]:
+    """Input columns the expression reads, in first-reference order."""
+    seen: dict[str, None] = {}
+    for sub in _walk(node):
+        op = sub.get("op")
+        if op == "col":
+            seen.setdefault(sub["name"], None)
+        elif op == "group_lookup" or op == "fit_group_table":
+            for key in sub["keys"]:
+                seen.setdefault(key, None)
+            if "agg_col" in sub:
+                seen.setdefault(sub["agg_col"], None)
+        elif "column" in sub:
+            seen.setdefault(sub["column"], None)
+    return list(seen)
+
+
+# ----------------------------------------------------------------------
+# Evaluation
+# ----------------------------------------------------------------------
+def _operand(node: dict, frame) -> Any:
+    """Evaluate an arithmetic operand: ``const`` → scalar, else Series.
+
+    Scalar constants must stay plain Python numbers so the Series
+    arithmetic takes the same scalar-broadcast path the generated source
+    took with its literal/computed statistics.
+    """
+    if node["op"] == "const":
+        return node["value"]
+    return _evaluate(node, frame)
+
+
+def _evaluate(node: dict, frame) -> Series:
+    op = node["op"]
+    if op == "col":
+        return frame[node["name"]]
+    if op in _ARITH:
+        return _ARITH[op](_operand(node["left"], frame), _operand(node["right"], frame))
+    if op == "clip":
+        return _evaluate(node["arg"], frame).clip(node.get("lower"), node.get("upper"))
+    if op == "ufunc":
+        fn = node["fn"]
+        if fn not in _UFUNCS:
+            raise ExprError(f"unknown ufunc {fn!r}")
+        return _evaluate(node["arg"], frame).apply(_UFUNCS[fn])
+    if op == "where_nonzero":
+        arg = _evaluate(node["arg"], frame)
+        return arg.where(arg != 0)
+    if op == "isna_int":
+        return frame[node["column"]].isna().astype(int)
+    if op == "cut":
+        return _reshape.cut(
+            frame[node["column"]],
+            list(node["edges"]),
+            labels=list(node["labels"]) if node.get("labels") is not None else None,
+            right=node.get("right", True),
+        )
+    if op == "qcut_collapsed":
+        return _eval_qcut_collapsed(frame[node["column"]])
+    if op == "dict_map":
+        mapping = dict(zip(node["keys"], node["values"]))
+        return frame[node["column"]].map(mapping)
+    if op == "fillna":
+        return _evaluate(node["arg"], frame).fillna(node["value"])
+    if op == "str_len":
+        series = frame[node["column"]]
+        fast = _kernels.str_lengths(series.values)
+        if fast is not None:
+            return Series._from_array(fast, series.name)
+        return series.str.len()
+    if op == "group_lookup":
+        return _eval_group_lookup(node, frame)
+    if op in _MULTI_OUTPUT:
+        raise ExprError(f"multi-output op {op!r} must be evaluated via evaluate_feature()")
+    if op == "const":
+        raise ExprError("a bare constant is not a column expression")
+    raise ExprError(f"unknown expression op {op!r}")
+
+
+def _eval_qcut_collapsed(series: Series) -> Series:
+    """Replay of degenerate ``qcut`` fits (all edges tied, or no data).
+
+    Mirrors ``Series([0 if not isnan(v) else None])`` — present values
+    collapse into the single bin, missing stays missing, and the
+    all-missing case coerces to an object column of ``None``.
+    """
+    data = series._numeric()
+    missing = np.isnan(data)
+    if len(data) and missing.all():
+        return Series._from_array(np.full(len(data), None, dtype=object), series.name)
+    if not missing.any():
+        return Series._from_array(np.zeros(len(data), dtype=np.int64), series.name)
+    return Series._from_array(np.where(missing, np.nan, 0.0), series.name)
+
+
+def _unbox(value: Any) -> Any:
+    return value.item() if isinstance(value, np.generic) else value
+
+
+def _eval_group_lookup(node: dict, frame) -> Series:
+    """Broadcast a frozen per-group table along the batch's grouping.
+
+    The fast path reuses the cached ``Series.grouping()`` encode through
+    ``_GroupIndex`` — one stable sort (and, for string keys, one
+    S-encode) per key column per batch, shared across every
+    groupby-bearing feature in the plan — then looks each *segment* up
+    once and broadcasts via the inverse permutation, exactly like the
+    fitted ``transform`` did.  Unseen groups take ``fill``.
+    """
+    from repro.dataframe.groupby import _GroupIndex
+
+    keys = node["keys"]
+    single = len(keys) == 1
+    table: dict = {}
+    for row in node["table"]:
+        table[row[0] if single else tuple(row[:-1])] = row[-1]
+    fill = node.get("fill")
+    if len(frame) == 0:
+        return Series([])
+    index = _GroupIndex(frame, keys)
+    if index.fast:
+        firsts, _ = index.first_last_positions()
+        key_cols = [frame[k].values[firsts] for k in keys]
+        if single:
+            per = [table.get(_unbox(v), fill) for v in key_cols[0]]
+        else:
+            per = [
+                table.get(tuple(_unbox(v) for v in tup), fill)
+                for tup in zip(*key_cols)
+            ]
+        return _broadcast_per_group(per, index.inverse, node["value_kind"])
+    # Hash-path grouping (missing/unorderable keys): per-row lookup keeps
+    # the NaN-key semantics — NaN never equals a table key, so it fills.
+    key_lists = [frame[k].tolist() for k in keys]
+    values = [
+        table.get(tup[0] if single else tup, fill) for tup in zip(*key_lists)
+    ]
+    return Series(values)
+
+
+def _broadcast_per_group(per: list, inverse: np.ndarray, value_kind: str) -> Series:
+    if value_kind == "object" or (
+        value_kind == "int64" and any(v is None for v in per)
+    ):
+        arr = np.empty(len(per), dtype=object)
+        for i, v in enumerate(per):
+            arr[i] = v
+        return Series(arr[inverse].tolist())
+    if value_kind == "float64":
+        arr = np.array(
+            [np.nan if v is None else float(v) for v in per], dtype=np.float64
+        )
+        return Series._from_array(_kernels.match_coerce_float(arr[inverse]))
+    arr = np.array(per, dtype=np.int64)
+    return Series._from_array(arr[inverse])
+
+
+def _eval_date_split(node: dict, frame) -> dict[str, Series]:
+    series = frame[node["column"]]
+    outputs = [(part, name) for part, name in node["outputs"]]
+    parts = _kernels.iso_date_parts(series.values)
+    if parts is not None and all(part in parts for part, _ in outputs):
+        return {
+            name: Series._from_array(parts[part].copy(), name)
+            for part, name in outputs
+        }
+    accessor = series.dt
+    return {name: getattr(accessor, part).rename(name) for part, name in outputs}
+
+
+def _eval_dummies(node: dict, frame) -> dict[str, Series]:
+    codes, uniques = _kernels.factorize_values(frame[node["column"]].values)
+    position = {u: j for j, u in enumerate(uniques)}
+    out: dict[str, Series] = {}
+    for category, name in zip(node["categories"], node["names"]):
+        j = position.get(category, -2)  # -2 matches nothing, incl. missing (-1)
+        out[name] = Series._from_array((codes == j).astype(np.int64), name)
+    return out
+
+
+def _split_parts_fast(values: np.ndarray, sep: str, names: list[str]):
+    """Vectorized ``str.split`` via repeated ``np.char.partition``.
+
+    Only the all-strings case (the common serve batch) qualifies; any
+    missing value falls back to the per-row loop.  Each partition peels
+    one piece: rows whose previous partition found no separator have no
+    further pieces, matching ``pieces[i] if i < len(pieces) else None``.
+    """
+    if values.dtype != object or len(values) == 0:
+        return None
+    if not _kernels._all_strings(values):
+        return None
+    rest = values.astype("U")
+    out: dict[str, Series] = {}
+    has_piece = np.ones(len(rest), dtype=bool)
+    for name in names:
+        parts = np.char.partition(rest, sep)
+        column = np.empty(len(rest), dtype=object)
+        column[:] = np.char.strip(parts[:, 0]).tolist()
+        if not has_piece.all():
+            column[~has_piece] = None
+        out[name] = Series._from_array(column, name)
+        has_piece = has_piece & (parts[:, 1] != "")
+        rest = parts[:, 2]
+    return out
+
+
+def _eval_split_parts(node: dict, frame) -> dict[str, Series]:
+    sep, names = node["sep"], node["outputs"]
+    fast = _split_parts_fast(frame[node["column"]].values, sep, names)
+    if fast is not None:
+        return fast
+    columns: list[list] = [[] for _ in names]
+    for value in frame[node["column"]].tolist():
+        if _kernels.is_missing_scalar(value):
+            for lst in columns:
+                lst.append(None)
+            continue
+        pieces = str(value).split(sep)
+        for i, lst in enumerate(columns):
+            lst.append(pieces[i].strip() if i < len(pieces) else None)
+    return {name: Series(lst, name) for name, lst in zip(names, columns)}
+
+
+def evaluate_feature(node: dict, frame) -> Series | dict[str, Series]:
+    """Evaluate a frozen expression against *frame*.
+
+    Single-column expressions return a :class:`Series`; the multi-output
+    forms (``date_split``/``dummies``/``split_parts``) return an ordered
+    ``{column name: Series}`` mapping.
+    """
+    op = node.get("op")
+    if op == "date_split":
+        return _eval_date_split(node, frame)
+    if op == "dummies":
+        return _eval_dummies(node, frame)
+    if op == "split_parts":
+        return _eval_split_parts(node, frame)
+    return _evaluate(node, frame)
+
+
+# ----------------------------------------------------------------------
+# Freezing fit-time statistics
+# ----------------------------------------------------------------------
+def _const(value: Any) -> dict:
+    if isinstance(value, np.generic):
+        value = value.item()
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ExprError(f"fit-time statistic is not numeric: {value!r}")
+    return {"op": "const", "value": value}
+
+
+def _freeze_qcut(node: dict, frame) -> dict:
+    kind, edges = _reshape.qcut_params(frame[node["column"]], node["q"])
+    if kind != "cut":
+        return {"op": "qcut_collapsed", "column": node["column"]}
+    labels = node.get("labels")
+    if labels is not None:
+        labels = list(labels)[: len(edges) - 1]
+    return {
+        "op": "cut",
+        "column": node["column"],
+        "edges": [float(e) for e in edges],
+        "labels": labels,
+        "right": True,
+    }
+
+
+def _freeze_categories(node: dict, frame) -> dict:
+    _, uniques = _kernels.factorize_values(frame[node["column"]].values)
+    prefix = node["prefix"]
+    return {
+        "op": "dummies",
+        "column": node["column"],
+        "categories": list(uniques),
+        "names": [f"{prefix}_{cat}" for cat in uniques],
+    }
+
+
+def _freeze_group_table(node: dict, frame) -> dict:
+    from repro.dataframe.groupby import (
+        _GroupIndex,
+        _segmented_name,
+        _segmented_values,
+    )
+
+    keys, agg_col = node["keys"], node["agg_col"]
+    op = _segmented_name(node["agg"])
+    if op is None:
+        raise ExprError(f"aggregate {node['agg']!r} has no segmented form")
+    index = _GroupIndex(frame, keys)
+    per = _segmented_values(
+        index, frame[agg_col] if op != "size" else None, op, first_seen=True
+    )
+    if per is None:
+        raise ExprError(
+            f"groupby over {keys!r} needs the hash path at fit time; cannot freeze"
+        )
+    kind = per.dtype.kind
+    value_kind = "int64" if kind in "iu" else "float64" if kind == "f" else "object"
+    single = len(keys) == 1
+    table = []
+    for label, value in zip(index.labels(), per):
+        parts = [label] if single else list(label)
+        table.append([*(_unbox(p) for p in parts), _unbox(value)])
+    return {
+        "op": "group_lookup",
+        "keys": list(keys),
+        "agg": node["agg"],
+        "table": table,
+        "value_kind": value_kind,
+        "fill": None,
+    }
+
+
+def _freeze_split_outputs(node: dict, frame) -> dict:
+    column, sep = node["column"], node["sep"]
+    width = 0
+    for value in frame[column].tolist():
+        if not _kernels.is_missing_scalar(value):
+            width = max(width, len(str(value).split(sep)))
+    if width == 0:
+        raise ExprError(f"split_parts saw no present values in {column!r} at fit time")
+    names = []
+    for i in range(width):
+        # Mirrors the generated rename: parts 0/1 get friendly names, the
+        # rest keep the stringified positional name the frame gave them.
+        names.append(f"{column}_part{i}" if i < 2 else str(i))
+    return {"op": "split_parts", "column": column, "sep": sep, "outputs": names}
+
+
+def _freeze_stat(node: dict, frame) -> dict:
+    series = frame[node["column"]]
+    op = node["op"]
+    if op == "fit_mean":
+        return _const(series.mean())
+    if op == "fit_std_or1":
+        return _const(series.std() or 1.0)
+    if op == "fit_min":
+        return _const(series.min())
+    lo, hi = series.min(), series.max()
+    if not isinstance(lo, (int, float)) or not isinstance(hi, (int, float)):
+        raise ExprError(f"column {node['column']!r} has no numeric range to freeze")
+    return _const((hi - lo) or 1.0)
+
+
+_FIT_FREEZERS = {
+    "fit_mean": _freeze_stat,
+    "fit_std_or1": _freeze_stat,
+    "fit_min": _freeze_stat,
+    "fit_span_or1": _freeze_stat,
+    "fit_qcut": _freeze_qcut,
+    "fit_categories": _freeze_categories,
+    "fit_group_table": _freeze_group_table,
+    "fit_split_outputs": _freeze_split_outputs,
+}
+
+
+def freeze_expr(node: dict, frame) -> dict:
+    """Resolve every fit-time node against the fitted *frame*.
+
+    Returns a frozen tree safe to serialize; raises :class:`ExprError`
+    when a statistic cannot be captured (the compiler then falls back to
+    carrying the sandbox source).
+    """
+    op = node.get("op")
+    if op in _FIT_FREEZERS:
+        return _FIT_FREEZERS[op](node, frame)
+    out = dict(node)
+    for slot in _CHILD_SLOTS:
+        child = out.get(slot)
+        if isinstance(child, dict):
+            out[slot] = freeze_expr(child, frame)
+    return out

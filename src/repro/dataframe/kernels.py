@@ -26,10 +26,12 @@ __all__ = [
     "coerce_listlike",
     "factorize_values",
     "is_missing_scalar",
+    "iso_date_parts",
     "match_coerce_float",
     "missing_mask",
     "segmented_agg",
     "sorted_grouping",
+    "str_lengths",
     "take_uniques",
 ]
 
@@ -391,6 +393,90 @@ def sorted_grouping(
     inverse = np.empty(n, dtype=np.int64)
     inverse[order] = segment
     return order, starts, inverse
+
+
+# ----------------------------------------------------------------------
+# Serving replay kernels (plan hot path)
+# ----------------------------------------------------------------------
+def str_lengths(values: np.ndarray) -> np.ndarray | None:
+    """Vectorised ``len()`` per element for an all-string object array.
+
+    Returns ``None`` whenever the exact semantics of the element loop
+    (``len(str(v))`` with ``None`` for missing) cannot be reproduced with
+    one C call — missing entries, non-``str`` elements, or embedded NUL
+    bytes (fixed-width encodings pad with NUL, so lengths would misreport).
+    Callers fall back to ``Series.str.len()``.
+    """
+    if values.dtype != object or not _all_strings(values):
+        return None
+    try:
+        # ASCII data: byte length == character length, at 1 byte/char.
+        packed = values.astype("S")
+    except UnicodeEncodeError:
+        packed = values.astype("U")
+    return np.char.str_len(packed).astype(np.int64)
+
+
+def iso_date_parts(values: np.ndarray) -> dict[str, np.ndarray] | None:
+    """Date components for an all-string ``YYYY-MM-DD`` object array.
+
+    One ``datetime64`` parse yields every component the date-split
+    operator needs — versus one ``strptime`` per element *per component*
+    on the accessor path.  Returns ``None`` (caller falls back to the
+    ``Series.dt`` loop) unless every element is a plain 10-character
+    ISO-date string that numpy parses; both paths use the proleptic
+    Gregorian calendar, so the components agree exactly.
+    """
+    if values.dtype != object or len(values) == 0 or not _all_strings(values):
+        return None
+    try:
+        packed = values.astype("S")
+    except UnicodeEncodeError:
+        return None
+    if packed.dtype.itemsize != 10:
+        return None
+    mat = packed.view(np.uint8).reshape(len(values), 10)
+    shape_ok = (mat[:, 4] == ord("-")) & (mat[:, 7] == ord("-"))
+    for pos in (0, 1, 2, 3, 5, 6, 8, 9):
+        byte = mat[:, pos]
+        shape_ok &= (byte >= ord("0")) & (byte <= ord("9"))
+    if not shape_ok.all():
+        return None
+    zero = np.int64(ord("0"))
+    digit = lambda pos: mat[:, pos].astype(np.int64) - zero  # noqa: E731
+    year = digit(0) * 1000 + digit(1) * 100 + digit(2) * 10 + digit(3)
+    month = digit(5) * 10 + digit(6)
+    day = digit(8) * 10 + digit(9)
+    # Proleptic-Gregorian validity: an out-of-range date must fall back so
+    # the accessor path raises the same error fitting would have.
+    leap = ((year % 4 == 0) & (year % 100 != 0)) | (year % 400 == 0)
+    month_ok = (month >= 1) & (month <= 12)
+    month_lengths = np.array(
+        [31, 31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31], dtype=np.int64
+    )
+    limit = month_lengths[np.where(month_ok, month, 0)] + (
+        (month == 2) & leap
+    )
+    if not (month_ok & (day >= 1) & (day <= limit)).all():
+        return None
+    # Days since 1970-01-01 by the civil-calendar formula (shifted March
+    # years), all integer ufuncs — no per-element parse.
+    shifted = year - (month <= 2)
+    era = shifted // 400
+    year_of_era = shifted - era * 400
+    month_shifted = np.where(month > 2, month - 3, month + 9)
+    day_of_year = (153 * month_shifted + 2) // 5 + day - 1
+    day_of_era = (
+        year_of_era * 365 + year_of_era // 4 - year_of_era // 100 + day_of_year
+    )
+    day_idx = era * 146097 + day_of_era - 719468
+    return {
+        "year": year,
+        "month": month,
+        "day": day,
+        # 1970-01-01 was a Thursday; Monday == 0 like datetime.weekday().
+        "dayofweek": (day_idx + 3) % 7,
+    }
 
 
 def segmented_agg(

@@ -15,7 +15,7 @@ from repro.dataframe import kernels as _kernels
 from repro.dataframe.frame import DataFrame
 from repro.dataframe.series import Series
 
-__all__ = ["concat", "cut", "factorize", "get_dummies", "qcut"]
+__all__ = ["concat", "cut", "factorize", "get_dummies", "qcut", "qcut_params"]
 
 
 def get_dummies(
@@ -101,19 +101,38 @@ def cut(
     )
 
 
-def qcut(series: Series, q: int, labels: Sequence | None = None) -> Series:
-    """Quantile-based bucketisation into *q* (approximately) equal-count bins."""
+def qcut_params(series: Series, q: int) -> tuple[str, np.ndarray | None]:
+    """Resolve the quantile bin edges ``qcut`` would use for *series*.
+
+    Returns ``(kind, edges)``: ``("cut", edges)`` for the regular case,
+    ``("collapsed", None)`` when duplicate quantiles leave fewer than two
+    distinct edges (everything lands in one bin), or ``("empty", None)``
+    when there are no present values.  This is the single source of truth
+    shared by :func:`qcut` and the FeaturePlan freezer, so a compiled plan
+    captures exactly the edges the fitted transform used.
+    """
     data = series._numeric()
     present = data[~np.isnan(data)]
     if len(present) == 0:
-        return Series([None] * len(series), series.name)
+        return "empty", None
     quantiles = np.quantile(present, np.linspace(0, 1, q + 1))
     # Collapse duplicate edges (heavily tied data) to keep bins valid.
     edges = np.unique(quantiles)
     if len(edges) < 2:
-        return Series([0 if not np.isnan(v) else None for v in data], series.name)
+        return "collapsed", None
     edges[0] -= 1e-9
     edges[-1] += 1e-9
+    return "cut", edges
+
+
+def qcut(series: Series, q: int, labels: Sequence | None = None) -> Series:
+    """Quantile-based bucketisation into *q* (approximately) equal-count bins."""
+    kind, edges = qcut_params(series, q)
+    if kind == "empty":
+        return Series([None] * len(series), series.name)
+    if kind == "collapsed":
+        data = series._numeric()
+        return Series([0 if not np.isnan(v) else None for v in data], series.name)
     effective_labels = None
     if labels is not None:
         effective_labels = list(labels)[: len(edges) - 1]

@@ -1,0 +1,41 @@
+"""Serving layer: compiled FeaturePlans replayed without FM, sandbox, or scheduler.
+
+``fit_transform`` is the search; this package is what production traffic
+touches.  A :class:`FeaturePlan` freezes a fitted run's accepted features
+into a versioned JSON artifact of pure-numpy expressions
+(:mod:`repro.dataframe.expr`); :class:`PlanRegistry` stores and version-pins
+plans on disk; :class:`FeatureServer` is the batched, thread-safe
+``transform(rows)`` entry point.
+"""
+
+from repro.serve.compiler import compile_plan, frames_identical, series_identical
+from repro.serve.plan import (
+    PLAN_SCHEMA_VERSION,
+    FeaturePlan,
+    FeatureSpec,
+    PlanError,
+    PlanNotFoundError,
+    PlanSchemaError,
+    PlanVersionError,
+    column_kind,
+    schema_fingerprint,
+)
+from repro.serve.registry import PlanRegistry
+from repro.serve.server import FeatureServer
+
+__all__ = [
+    "PLAN_SCHEMA_VERSION",
+    "FeaturePlan",
+    "FeatureServer",
+    "FeatureSpec",
+    "PlanError",
+    "PlanNotFoundError",
+    "PlanRegistry",
+    "PlanSchemaError",
+    "PlanVersionError",
+    "column_kind",
+    "compile_plan",
+    "frames_identical",
+    "schema_fingerprint",
+    "series_identical",
+]

@@ -1,0 +1,365 @@
+"""The FeaturePlan artifact: a fitted run's features as replayable data.
+
+A plan records, per accepted feature, its column provenance and either a
+frozen expression tree (:mod:`repro.dataframe.expr` — the pure-numpy hot
+path) or, for the rare form the IR cannot represent, the original sandbox
+source as an explicit fallback.  Plans carry an input-schema fingerprint
+and a schema version: loading validates both, so a plan can never be
+silently replayed against the wrong table shape or by a reader that does
+not understand its encoding.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.dataframe.expr import ExprError, evaluate_feature, validate_expr
+from repro.dataframe.frame import DataFrame
+from repro.dataframe.series import Series
+
+__all__ = [
+    "PLAN_SCHEMA_VERSION",
+    "FeaturePlan",
+    "FeatureSpec",
+    "PlanError",
+    "PlanNotFoundError",
+    "PlanSchemaError",
+    "PlanVersionError",
+    "column_kind",
+    "schema_fingerprint",
+]
+
+#: Current plan encoding version.  Bump when the serialized shape changes;
+#: readers migrate older versions explicitly and refuse newer ones.
+PLAN_SCHEMA_VERSION = 2
+
+
+class PlanError(Exception):
+    """Base class for plan compilation/serialization/replay failures."""
+
+
+class PlanVersionError(PlanError):
+    """The plan's schema version is newer than this reader understands."""
+
+
+class PlanSchemaError(PlanError):
+    """The plan payload, or the frame it is applied to, has the wrong shape."""
+
+
+class PlanNotFoundError(PlanError):
+    """The registry has no plan under the requested name/version."""
+
+
+def column_kind(series: Series) -> str:
+    """The coarse schema kind a plan records per input column.
+
+    ``numeric`` covers int and float (a serve batch may legitimately
+    arrive with ``Age`` as float where fit saw int); ``bool`` and
+    ``object`` stay distinct because the replay kernels branch on them.
+    """
+    kind = series.dtype.kind
+    if kind in "if":
+        return "numeric"
+    if kind == "b":
+        return "bool"
+    return "object"
+
+
+def schema_fingerprint(input_schema: list[tuple[str, str]]) -> str:
+    """Stable digest of the ordered ``(column, kind)`` input contract."""
+    payload = "|".join(f"{name}={kind}" for name, kind in input_schema)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@dataclass
+class FeatureSpec:
+    """One accepted feature's replay recipe.
+
+    ``status`` is ``"compiled"`` (frozen expression), ``"fallback"``
+    (sandbox source carried verbatim), or ``"omitted"`` (not replayable;
+    ``reason`` says why — the plan records it so the gap is loud).
+    """
+
+    name: str
+    family: str
+    description: str
+    input_columns: list[str]
+    output_columns: list[str]
+    status: str
+    expr: dict | None = None
+    fallback_source: str | None = None
+    reason: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "family": self.family,
+            "description": self.description,
+            "input_columns": list(self.input_columns),
+            "output_columns": list(self.output_columns),
+            "status": self.status,
+            "expr": self.expr,
+            "fallback_source": self.fallback_source,
+            "reason": self.reason,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FeatureSpec":
+        try:
+            spec = cls(
+                name=data["name"],
+                family=data.get("family", ""),
+                description=data.get("description", ""),
+                input_columns=list(data["input_columns"]),
+                output_columns=list(data["output_columns"]),
+                status=data["status"],
+                expr=data.get("expr"),
+                fallback_source=data.get("fallback_source"),
+                reason=data.get("reason", ""),
+            )
+        except KeyError as exc:
+            raise PlanSchemaError(f"feature spec is missing field {exc}") from exc
+        if spec.status == "compiled":
+            if spec.expr is None:
+                raise PlanSchemaError(f"compiled feature {spec.name!r} has no expression")
+            try:
+                validate_expr(spec.expr)
+            except ExprError as exc:
+                raise PlanSchemaError(f"feature {spec.name!r}: {exc}") from exc
+        elif spec.status == "fallback":
+            if not spec.fallback_source:
+                raise PlanSchemaError(f"fallback feature {spec.name!r} has no source")
+        elif spec.status != "omitted":
+            raise PlanSchemaError(
+                f"feature {spec.name!r} has unknown status {spec.status!r}"
+            )
+        if not spec.output_columns and spec.status != "omitted":
+            raise PlanSchemaError(f"feature {spec.name!r} declares no output columns")
+        return spec
+
+
+@dataclass
+class FeaturePlan:
+    """A versioned, serializable replay program for a fitted run."""
+
+    input_columns: list[str]
+    input_schema: list[tuple[str, str]]
+    target: str
+    features: list[FeatureSpec]
+    drop_columns: list[str] = field(default_factory=list)
+    schema_version: int = PLAN_SCHEMA_VERSION
+    fingerprint: str = ""
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.input_schema = [(name, kind) for name, kind in self.input_schema]
+        if not self.fingerprint:
+            self.fingerprint = schema_fingerprint(self.input_schema)
+
+    # ------------------------------------------------------------------
+    # Validation and replay
+    # ------------------------------------------------------------------
+    def validate_frame(self, frame: DataFrame) -> None:
+        """Raise :class:`PlanSchemaError` unless *frame* matches the plan's
+        input contract (the target column is optional at serve time)."""
+        problems = []
+        for name, kind in self.input_schema:
+            if name not in frame:
+                problems.append(f"missing column {name!r} (expected kind {kind})")
+                continue
+            actual = column_kind(frame[name])
+            if actual != kind:
+                problems.append(
+                    f"column {name!r} has kind {actual}, plan expects {kind}"
+                )
+        if problems:
+            raise PlanSchemaError(
+                f"frame does not match plan schema fingerprint "
+                f"{self.fingerprint[:12]}…: " + "; ".join(problems)
+            )
+
+    def apply(self, frame: DataFrame) -> DataFrame:
+        """Replay the plan against *frame* and return the featured frame.
+
+        Pure data-plane work: input columns are shared (zero copy), each
+        feature evaluates through the kernel layer (or its recorded
+        sandbox fallback), and the fitted run's dropped originals are
+        removed at the end — reproducing ``fit_transform``'s output frame
+        column-for-column.  The input frame itself is never mutated.
+        """
+        self.validate_frame(frame)
+        present = [c for c in self.input_columns if c in frame]
+        working = frame.column_view(present)
+        for spec in self.features:
+            if spec.status == "omitted":
+                continue
+            if spec.status == "compiled":
+                out = evaluate_feature(spec.expr, working)
+            else:
+                out = self._run_fallback(spec, working)
+            self._install(spec, out, working)
+        to_drop = [c for c in self.drop_columns if c in working]
+        if to_drop:
+            working.drop(columns=to_drop, inplace=True)
+        return working
+
+    @staticmethod
+    def _run_fallback(spec: FeatureSpec, working: DataFrame):
+        from repro.core.sandbox import TransformError, run_transform
+
+        try:
+            return run_transform(spec.fallback_source, working)
+        except TransformError as exc:
+            raise PlanError(
+                f"fallback source for feature {spec.name!r} failed: {exc}"
+            ) from exc
+
+    @staticmethod
+    def _install(spec: FeatureSpec, out: Any, working: DataFrame) -> None:
+        if isinstance(out, Series):
+            if len(spec.output_columns) != 1:
+                raise PlanError(
+                    f"feature {spec.name!r} produced one column, plan expects "
+                    f"{len(spec.output_columns)}"
+                )
+            working[spec.output_columns[0]] = out
+            return
+        for name in spec.output_columns:
+            if name not in out:
+                raise PlanError(
+                    f"feature {spec.name!r} did not produce column {name!r}"
+                )
+            working[name] = out[name]
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": self.schema_version,
+            "fingerprint": self.fingerprint,
+            "target": self.target,
+            "input_columns": list(self.input_columns),
+            "input_schema": [[name, kind] for name, kind in self.input_schema],
+            "drop_columns": list(self.drop_columns),
+            "metadata": self.metadata,
+            "features": [spec.to_dict() for spec in self.features],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FeaturePlan":
+        if not isinstance(data, dict):
+            raise PlanSchemaError("plan payload must be a JSON object")
+        version = data.get("schema_version")
+        if not isinstance(version, int):
+            raise PlanSchemaError("plan has no integer schema_version field")
+        if version > PLAN_SCHEMA_VERSION:
+            raise PlanVersionError(
+                f"plan schema_version {version} is newer than the supported "
+                f"version {PLAN_SCHEMA_VERSION}; upgrade the reader"
+            )
+        while version < PLAN_SCHEMA_VERSION:
+            migrate = _MIGRATIONS.get(version)
+            if migrate is None:
+                raise PlanVersionError(
+                    f"no migration registered from plan schema_version {version}"
+                )
+            data = migrate(dict(data))
+            version = data["schema_version"]
+        try:
+            schema = [(name, kind) for name, kind in data["input_schema"]]
+            plan = cls(
+                input_columns=list(data["input_columns"]),
+                input_schema=schema,
+                target=data["target"],
+                features=[FeatureSpec.from_dict(f) for f in data["features"]],
+                drop_columns=list(data.get("drop_columns", [])),
+                schema_version=PLAN_SCHEMA_VERSION,
+                fingerprint="",
+                metadata=dict(data.get("metadata", {})),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise PlanSchemaError(f"malformed plan payload: {exc!r}") from exc
+        stored = data.get("fingerprint", "")
+        if stored and stored != plan.fingerprint:
+            raise PlanSchemaError(
+                f"plan fingerprint mismatch: stored {stored[:12]}… but the "
+                f"input schema hashes to {plan.fingerprint[:12]}… — the plan "
+                f"file was edited or corrupted"
+            )
+        return plan
+
+    @classmethod
+    def from_json(cls, text: str) -> "FeaturePlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise PlanSchemaError(f"plan is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "FeaturePlan":
+        try:
+            with open(path, encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as exc:
+            raise PlanNotFoundError(f"cannot read plan file {path!r}: {exc}") from exc
+        return cls.from_json(text)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def new_columns(self) -> list[str]:
+        """Every output column the plan produces, in install order."""
+        out: list[str] = []
+        for spec in self.features:
+            if spec.status != "omitted":
+                out.extend(spec.output_columns)
+        return out
+
+    def counts(self) -> dict[str, int]:
+        """How many features compiled / fell back / were omitted."""
+        out = {"compiled": 0, "fallback": 0, "omitted": 0}
+        for spec in self.features:
+            out[spec.status] = out.get(spec.status, 0) + 1
+        return out
+
+
+def _migrate_v1(data: dict) -> dict:
+    """v1 → v2: flat ``columns`` mapping became ordered ``input_schema``.
+
+    v1 plans (the pre-release shape) recorded ``{"columns": {name: kind}}``
+    with no fingerprint and no explicit column order; the migration
+    reconstructs both, appending the target to the column order when it
+    was not listed.
+    """
+    columns = data.get("columns")
+    if not isinstance(columns, dict):
+        raise PlanSchemaError("v1 plan has no 'columns' mapping to migrate")
+    target = data.get("target", "")
+    input_schema = [[name, kind] for name, kind in columns.items()]
+    input_columns = data.get("input_columns") or [
+        *columns.keys(),
+        *([target] if target and target not in columns else []),
+    ]
+    out = dict(data)
+    out.pop("columns", None)
+    out["input_schema"] = input_schema
+    out["input_columns"] = input_columns
+    out["fingerprint"] = ""  # recomputed from the migrated schema
+    out["schema_version"] = 2
+    return out
+
+
+_MIGRATIONS = {1: _migrate_v1}

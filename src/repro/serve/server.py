@@ -1,0 +1,84 @@
+"""Batched serving entry point over a compiled FeaturePlan.
+
+``FeatureServer.transform(rows)`` is the production-traffic surface: it
+accepts a :class:`DataFrame` or a list of row dicts, validates the batch
+against the plan's schema fingerprint, and replays the plan's pure-numpy
+program.  Plans are immutable once loaded and replay never mutates shared
+state (per-call frames are per-caller; the one shared write — a Series
+grouping-cache fill — is an idempotent publish of identical data), so one
+server instance is safe under concurrent callers.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Mapping, Sequence
+
+from repro.dataframe.frame import DataFrame
+from repro.serve.plan import FeaturePlan, PlanError
+from repro.serve.registry import PlanRegistry
+
+__all__ = ["FeatureServer"]
+
+
+class FeatureServer:
+    """Serve one plan directly, or any plan out of a registry.
+
+    Parameters
+    ----------
+    plan:
+        A plan to serve directly (no registry needed).
+    registry, name, version:
+        Registry-backed resolution: *name* (and optional *version*) select
+        the plan; omitted versions follow the registry pin/latest rules.
+    """
+
+    def __init__(
+        self,
+        plan: FeaturePlan | None = None,
+        registry: PlanRegistry | None = None,
+        name: str | None = None,
+        version: int | None = None,
+    ) -> None:
+        if plan is None and registry is None:
+            raise PlanError("FeatureServer needs a plan or a registry")
+        self._plan = plan
+        self._registry = registry
+        self._default_name = name
+        self._default_version = version
+        self._lock = threading.Lock()
+
+    def plan_for(
+        self, name: str | None = None, version: int | None = None
+    ) -> FeaturePlan:
+        """Resolve the plan a call should replay (registry cache behind a lock)."""
+        if name is None and self._plan is not None:
+            return self._plan
+        if self._registry is None:
+            raise PlanError(f"no registry configured to resolve plan {name!r}")
+        resolved = name if name is not None else self._default_name
+        if resolved is None:
+            raise PlanError("no plan name given and no default configured")
+        with self._lock:
+            return self._registry.load(
+                resolved, version if version is not None else self._default_version
+            )
+
+    def transform(
+        self,
+        rows: DataFrame | Sequence[Mapping],
+        name: str | None = None,
+        version: int | None = None,
+    ) -> DataFrame:
+        """Replay the plan over a batch of rows; returns the featured frame.
+
+        The batch may be a DataFrame or a list of row dicts.  Schema
+        mismatches raise :class:`repro.serve.plan.PlanSchemaError` listing
+        every offending column.
+        """
+        plan = self.plan_for(name, version)
+        if isinstance(rows, DataFrame):
+            frame = rows
+        else:
+            frame = DataFrame(list(rows))
+        return plan.apply(frame)

@@ -1,0 +1,100 @@
+"""The sandbox compile cache: repeated replays skip recompilation."""
+
+import threading
+
+import pytest
+
+from repro.core import sandbox
+from repro.core.sandbox import (
+    SandboxViolation,
+    TransformError,
+    clear_compile_cache,
+    run_script,
+    run_transform,
+)
+from repro.dataframe import DataFrame
+from repro.dataframe.series import Series
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_compile_cache()
+    yield
+    clear_compile_cache()
+
+
+@pytest.fixture
+def frame():
+    return DataFrame({"x": Series([1.0, 2.0, 3.0])})
+
+
+SOURCE = "def transform(df):\n    return df['x'] * 2\n"
+
+
+class TestCompileCache:
+    def test_repeat_run_hits_cache(self, frame):
+        run_transform(SOURCE, frame)
+        assert (("<fm-transform>", SOURCE)) in sandbox._COMPILE_CACHE
+        code_first = sandbox._COMPILE_CACHE[("<fm-transform>", SOURCE)]
+        run_transform(SOURCE, frame)
+        assert sandbox._COMPILE_CACHE[("<fm-transform>", SOURCE)] is code_first
+
+    def test_results_identical_across_cache_hits(self, frame):
+        first = run_transform(SOURCE, frame)
+        second = run_transform(SOURCE, frame)
+        assert first.tolist() == second.tolist()
+
+    def test_transform_and_script_keys_do_not_collide(self, frame):
+        src = "def transform(df):\n    return df['x'] + 1\n"
+        run_transform(src, frame)
+        assert ("<fm-transform>", src) in sandbox._COMPILE_CACHE
+        assert ("<fm-script>", src) not in sandbox._COMPILE_CACHE
+
+    def test_violation_raises_every_call(self, frame):
+        bad = "import os\ndef transform(df):\n    return df['x']\n"
+        for _ in range(2):
+            with pytest.raises(SandboxViolation):
+                run_transform(bad, frame)
+        assert ("<fm-transform>", bad) not in sandbox._COMPILE_CACHE
+
+    def test_syntax_error_not_cached(self, frame):
+        bad = "def transform(df)\n    return df['x']\n"
+        with pytest.raises(TransformError, match="does not compile"):
+            run_transform(bad, frame)
+        assert ("<fm-transform>", bad) not in sandbox._COMPILE_CACHE
+
+    def test_cache_is_bounded(self, frame):
+        limit = sandbox._COMPILE_CACHE_LIMIT
+        for i in range(limit + 10):
+            run_transform(f"def transform(df):\n    return df['x'] + {i}\n", frame)
+        assert len(sandbox._COMPILE_CACHE) <= limit
+
+    def test_run_script_uses_cache(self, frame):
+        src = "df['y'] = df['x'] + 1\n"
+        out = run_script(src, frame)
+        assert out["y"].tolist() == [2.0, 3.0, 4.0]
+        assert ("<fm-script>", src) in sandbox._COMPILE_CACHE
+
+    def test_clear_compile_cache(self, frame):
+        run_transform(SOURCE, frame)
+        clear_compile_cache()
+        assert not sandbox._COMPILE_CACHE
+
+    def test_concurrent_compilation_is_safe(self, frame):
+        errors = []
+
+        def worker(tag):
+            try:
+                for i in range(50):
+                    src = f"def transform(df):\n    return df['x'] + {i % 7}\n"
+                    out = run_transform(src, frame)
+                    assert out.tolist() == [1.0 + i % 7, 2.0 + i % 7, 3.0 + i % 7]
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors, errors[0]

@@ -1,0 +1,204 @@
+"""Plan compilation: statuses, verification, fallbacks, and the
+shared-grouping encode satellite."""
+
+import numpy as np
+import pytest
+
+from repro.core.types import GeneratedFeature, OperatorFamily
+from repro.dataframe import DataFrame
+from repro.dataframe import kernels
+from repro.dataframe.series import Series
+from repro.eval.serving import (
+    ALL_DATASETS,
+    build_demo_result,
+    fit_and_export,
+    sandbox_replay,
+)
+from repro.serve import FeaturePlan, compile_plan, frames_identical, series_identical
+
+
+def feature(name, columns, description, source, outputs=None, family=OperatorFamily.UNARY):
+    return GeneratedFeature(
+        name=name,
+        family=family,
+        input_columns=list(columns),
+        description=description,
+        output_columns=outputs or [name],
+        source_code=source,
+    )
+
+
+def result_of(frame, features):
+    """Realize *features* in order the way fit_transform would."""
+    from repro.core.sandbox import run_transform
+    from repro.core.pipeline import SmartFeatResult
+
+    working = frame.column_view(frame.columns)
+    table = {}
+    for feat in features:
+        out = run_transform(feat.source_code, working)
+        if isinstance(out, Series):
+            working[feat.output_columns[0]] = out.rename(feat.output_columns[0])
+        else:
+            for name in feat.output_columns:
+                working[name] = out[name]
+        table[feat.name] = feat
+    return SmartFeatResult(frame=working, new_features=table)
+
+
+@pytest.fixture
+def frame():
+    return DataFrame(
+        {
+            "x": Series([1.0, 2.0, 3.0, 4.0, 5.0]),
+            "g": Series(["a", "b", "a", "b", "a"]),
+            "Target": Series([0, 1, 0, 1, 0]),
+        }
+    )
+
+
+class TestStatuses:
+    def test_codegen_source_compiles(self, frame):
+        src = (
+            "def transform(df):\n"
+            "    col = df['x']\n"
+            "    return (col - col.mean()) / (col.std() or 1.0)\n"
+        )
+        result = result_of(frame, [feature("x_z", ["x"], "normalization[zscore]: z", src)])
+        plan = compile_plan(result, frame, "Target")
+        assert plan.features[0].status == "compiled"
+        assert plan.features[0].expr is not None
+
+    def test_divergent_source_falls_back_to_sandbox(self, frame):
+        # The description claims zscore but the source computes something
+        # else (a misbehaving FM): verification must catch the mismatch
+        # and carry the source as an explicit fallback.
+        src = "def transform(df):\n    return df['x'] * 3.0\n"
+        result = result_of(frame, [feature("x_z", ["x"], "normalization[zscore]: z", src)])
+        plan = compile_plan(result, frame, "Target")
+        spec = plan.features[0]
+        assert spec.status == "fallback"
+        assert spec.fallback_source == src
+        assert "not bit-identical" in spec.reason
+        replayed = plan.apply(frame)
+        assert series_identical(replayed["x_z"], result.frame["x_z"])
+
+    def test_feature_on_vanished_column_is_omitted(self, frame):
+        src = "def transform(df):\n    return df['ghost'] * 2\n"
+        feat = feature("ghost_x", ["ghost"], "squared: ghost", src)
+        from repro.core.pipeline import SmartFeatResult
+
+        working = frame.column_view(frame.columns)
+        working["ghost_x"] = Series([1.0] * len(frame))
+        result = SmartFeatResult(frame=working, new_features={"ghost_x": feat})
+        plan = compile_plan(result, frame, "Target")
+        assert plan.features[0].status == "omitted"
+        assert plan.features[0].reason
+        # replay still works, skipping the omitted feature
+        out = plan.apply(frame)
+        assert "ghost_x" not in out
+
+    def test_row_level_single_column_becomes_dict_map(self, frame):
+        feat = feature(
+            "g_code",
+            ["g"],
+            "knowledge lookup",
+            "<row-level FM completion>",
+        )
+        from repro.core.pipeline import SmartFeatResult
+
+        working = frame.column_view(frame.columns)
+        working["g_code"] = Series([1, 2, 1, 2, 1])
+        result = SmartFeatResult(frame=working, new_features={"g_code": feat})
+        plan = compile_plan(result, frame, "Target")
+        assert plan.features[0].status == "compiled"
+        assert plan.features[0].expr["op"] == "dict_map"
+        out = plan.apply(frame)
+        assert series_identical(out["g_code"], working["g_code"])
+
+
+class TestDropReplay:
+    def test_dropped_columns_removed_at_serve_time(self):
+        result, frame = build_demo_result(80, seed=3)
+        assert result.dropped  # the demo workload drops single-use originals
+        plan = compile_plan(result, frame, "Target")
+        out = plan.apply(frame)
+        for column in result.dropped:
+            assert column not in out
+            assert column in frame  # input untouched
+        identical, detail = frames_identical(out, result.frame)
+        assert identical, detail
+
+
+class TestSharedGroupingEncode:
+    def test_group_features_share_one_key_encode(self, monkeypatch):
+        """Two groupby features over the same key column must trigger one
+        sorted-grouping encode per batch, not one per feature."""
+        frame = DataFrame(
+            {
+                "g": Series(["a", "b", "a", "b", "c"]),
+                "u": Series([1.0, 2.0, 3.0, 4.0, 5.0]),
+                "v": Series([5.0, 4.0, 3.0, 2.0, 1.0]),
+                "Target": Series([0, 1, 0, 1, 0]),
+            }
+        )
+        features = [
+            feature(
+                "g_mean_u",
+                ["g", "u"],
+                "groupby[mean]: mean u per g",
+                "def transform(df):\n    return df.groupby(['g'])['u'].transform('mean')\n",
+                family=OperatorFamily.HIGH_ORDER,
+            ),
+            feature(
+                "g_max_v",
+                ["g", "v"],
+                "groupby[max]: max v per g",
+                "def transform(df):\n    return df.groupby(['g'])['v'].transform('max')\n",
+                family=OperatorFamily.HIGH_ORDER,
+            ),
+        ]
+        result = result_of(frame, features)
+        plan = compile_plan(result, frame, "Target")
+        assert [s.status for s in plan.features] == ["compiled", "compiled"]
+
+        calls = []
+        real = kernels.sorted_grouping
+
+        def counting(values):
+            calls.append(values)
+            return real(values)
+
+        monkeypatch.setattr(kernels, "sorted_grouping", counting)
+        fresh = frame.column_view(frame.columns)  # new Series cache state? no — shared
+        out = plan.apply(fresh)
+        identical, detail = frames_identical(out, result.frame)
+        assert identical, detail
+        # one encode for the shared "g" key column, despite two features
+        g_encodes = [v for v in calls if len(v) == 5 and v.dtype == object]
+        assert len(g_encodes) <= 1
+
+
+class TestEndToEnd:
+    def test_fitted_dataset_roundtrip(self):
+        bundle, result = fit_and_export("diabetes", n_rows=240, seed=0)
+        plan = FeaturePlan.from_json(result.plan.to_json())
+        counts = plan.counts()
+        assert counts["omitted"] == 0
+        identical, detail = frames_identical(plan.apply(bundle["frame"]), result.frame)
+        assert identical, detail
+
+    def test_sandbox_replay_matches_fit(self):
+        result, frame = build_demo_result(100, seed=1)
+        identical, detail = frames_identical(sandbox_replay(result, frame), result.frame)
+        assert identical, detail
+
+    def test_all_datasets_listed(self):
+        assert "synthetic" in ALL_DATASETS and len(ALL_DATASETS) == 9
+
+    def test_compile_metadata_records_counts(self):
+        result, frame = build_demo_result(60, seed=0)
+        plan = compile_plan(result, frame, "Target")
+        meta = plan.metadata["compile"]
+        assert meta["n_features"] == len(plan.features)
+        assert meta["compiled"] == plan.counts()["compiled"]

@@ -1,0 +1,146 @@
+"""FeaturePlan serialization: round-trip identity, versioning, migration."""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.eval.serving import build_demo_result
+from repro.serve import (
+    PLAN_SCHEMA_VERSION,
+    FeaturePlan,
+    FeatureSpec,
+    PlanSchemaError,
+    PlanVersionError,
+    compile_plan,
+    frames_identical,
+)
+
+
+def demo_plan(n_rows=60, seed=0):
+    result, frame = build_demo_result(n_rows, seed=seed)
+    return compile_plan(result, frame, "Target"), result, frame
+
+
+class TestRoundTrip:
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        n_rows=st.integers(min_value=30, max_value=120),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    def test_every_codegen_form_replays_identically(self, n_rows, seed):
+        """fit → compile → JSON → load → replay is bit-identical for a
+        workload that exercises every operator form the codegen emits."""
+        plan, result, frame = demo_plan(n_rows, seed)
+        counts = plan.counts()
+        assert counts["fallback"] == 0 and counts["omitted"] == 0, counts
+        loaded = FeaturePlan.from_json(plan.to_json())
+        identical, detail = frames_identical(loaded.apply(frame), result.frame)
+        assert identical, detail
+
+    def test_json_is_valid_and_versioned(self):
+        plan, _, _ = demo_plan()
+        payload = json.loads(plan.to_json())
+        assert payload["schema_version"] == PLAN_SCHEMA_VERSION
+        assert payload["fingerprint"] == plan.fingerprint
+        assert len(payload["features"]) == len(plan.features)
+
+    def test_save_load_file(self, tmp_path):
+        plan, result, frame = demo_plan()
+        path = str(tmp_path / "plan.json")
+        plan.save(path)
+        loaded = FeaturePlan.load(path)
+        assert loaded.fingerprint == plan.fingerprint
+        identical, detail = frames_identical(loaded.apply(frame), result.frame)
+        assert identical, detail
+
+
+class TestVersioning:
+    def test_newer_schema_version_refused_loudly(self):
+        plan, _, _ = demo_plan()
+        payload = plan.to_dict()
+        payload["schema_version"] = PLAN_SCHEMA_VERSION + 1
+        with pytest.raises(PlanVersionError, match="upgrade the reader"):
+            FeaturePlan.from_dict(payload)
+
+    def test_missing_schema_version_refused(self):
+        plan, _, _ = demo_plan()
+        payload = plan.to_dict()
+        del payload["schema_version"]
+        with pytest.raises(PlanSchemaError, match="schema_version"):
+            FeaturePlan.from_dict(payload)
+
+    def test_v1_payload_migrates(self):
+        """A simulated pre-release v1 plan (flat ``columns`` mapping, no
+        fingerprint) migrates to the current shape and replays."""
+        plan, result, frame = demo_plan()
+        payload = plan.to_dict()
+        payload["schema_version"] = 1
+        payload["columns"] = {name: kind for name, kind in payload.pop("input_schema")}
+        payload.pop("fingerprint")
+        migrated = FeaturePlan.from_dict(payload)
+        assert migrated.schema_version == PLAN_SCHEMA_VERSION
+        assert migrated.fingerprint == plan.fingerprint
+        identical, detail = frames_identical(migrated.apply(frame), result.frame)
+        assert identical, detail
+
+    def test_unknown_old_version_fails_loudly(self):
+        plan, _, _ = demo_plan()
+        payload = plan.to_dict()
+        payload["schema_version"] = 0
+        with pytest.raises(PlanVersionError, match="no migration"):
+            FeaturePlan.from_dict(payload)
+
+
+class TestTampering:
+    def test_fingerprint_mismatch_detected(self):
+        plan, _, _ = demo_plan()
+        payload = plan.to_dict()
+        payload["input_schema"] = payload["input_schema"][:-1]  # drop a column
+        with pytest.raises(PlanSchemaError, match="fingerprint mismatch"):
+            FeaturePlan.from_dict(payload)
+
+    def test_compiled_spec_requires_expression(self):
+        with pytest.raises(PlanSchemaError, match="no expression"):
+            FeatureSpec.from_dict(
+                {
+                    "name": "f",
+                    "input_columns": ["a"],
+                    "output_columns": ["f"],
+                    "status": "compiled",
+                }
+            )
+
+    def test_fit_node_smuggled_into_plan_rejected(self):
+        with pytest.raises(PlanSchemaError):
+            FeatureSpec.from_dict(
+                {
+                    "name": "f",
+                    "input_columns": ["a"],
+                    "output_columns": ["f"],
+                    "status": "compiled",
+                    "expr": {"op": "fit_mean", "column": "a"},
+                }
+            )
+
+    def test_unknown_status_rejected(self):
+        with pytest.raises(PlanSchemaError, match="unknown status"):
+            FeatureSpec.from_dict(
+                {
+                    "name": "f",
+                    "input_columns": ["a"],
+                    "output_columns": ["f"],
+                    "status": "mystery",
+                }
+            )
+
+    def test_schema_mismatch_at_apply_lists_all_problems(self):
+        plan, _, frame = demo_plan()
+        wrong = frame.column_view([c for c in frame.columns if c != "Age"])
+        with pytest.raises(PlanSchemaError, match="Age"):
+            plan.apply(wrong)

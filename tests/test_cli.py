@@ -71,3 +71,125 @@ class TestCompareCommand:
         out = capsys.readouterr().out
         assert "Initial AUC" in out
         assert "smartfeat" in out
+
+
+class TestPlanCommands:
+    @staticmethod
+    def _write_csv(path, n_rows=80):
+        rows = ["age,income,label"]
+        for i in range(n_rows):
+            rows.append(f"{20 + i % 50},{30 + (i * 7) % 90},{i % 2}")
+        path.write_text("\n".join(rows) + "\n")
+
+    def test_parser_accepts_plan_export(self):
+        args = build_parser().parse_args(
+            ["plan", "export", "tennis", "--rows", "240", "--out", "plan.json"]
+        )
+        assert args.plan_command == "export"
+        assert args.source == "tennis"
+        assert args.out == "plan.json"
+
+    def test_parser_accepts_plan_apply(self):
+        args = build_parser().parse_args(
+            ["plan", "apply", "--plan", "p.json", "--csv", "rows.csv"]
+        )
+        assert args.plan_command == "apply"
+        assert args.csv == "rows.csv"
+
+    def test_export_requires_destination(self, tmp_path):
+        source = tmp_path / "data.csv"
+        self._write_csv(source)
+        with pytest.raises(SystemExit, match="--out"):
+            main(["plan", "export", str(source), "--target", "label"])
+
+    def test_export_then_apply_roundtrip(self, tmp_path, capsys):
+        source = tmp_path / "data.csv"
+        self._write_csv(source)
+        plan_path = tmp_path / "plan.json"
+        assert (
+            main(
+                [
+                    "plan",
+                    "export",
+                    str(source),
+                    "--target",
+                    "label",
+                    "--out",
+                    str(plan_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Compiled plan" in out and plan_path.exists()
+
+        featured = tmp_path / "featured.csv"
+        assert (
+            main(
+                [
+                    "plan",
+                    "apply",
+                    "--plan",
+                    str(plan_path),
+                    "--csv",
+                    str(source),
+                    "--out",
+                    str(featured),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Applied plan" in out and featured.exists()
+
+    def test_export_to_registry_and_apply(self, tmp_path, capsys):
+        source = tmp_path / "data.csv"
+        self._write_csv(source)
+        registry = tmp_path / "registry"
+        assert (
+            main(
+                [
+                    "plan",
+                    "export",
+                    str(source),
+                    "--target",
+                    "label",
+                    "--registry",
+                    str(registry),
+                    "--name",
+                    "demo",
+                ]
+            )
+            == 0
+        )
+        assert "demo v1" in capsys.readouterr().out
+        assert (
+            main(
+                [
+                    "plan",
+                    "apply",
+                    "--registry",
+                    str(registry),
+                    "--name",
+                    "demo",
+                    "--csv",
+                    str(source),
+                ]
+            )
+            == 0
+        )
+        assert "Columns:" in capsys.readouterr().out
+
+    def test_apply_schema_mismatch_exits_loudly(self, tmp_path):
+        source = tmp_path / "data.csv"
+        self._write_csv(source)
+        plan_path = tmp_path / "plan.json"
+        main(["plan", "export", str(source), "--target", "label", "--out", str(plan_path)])
+        wrong = tmp_path / "wrong.csv"
+        wrong.write_text("something,else\n1,2\n")
+        with pytest.raises(SystemExit, match="plan apply failed"):
+            main(["plan", "apply", "--plan", str(plan_path), "--csv", str(wrong)])
+
+    def test_apply_requires_exactly_one_source(self, tmp_path):
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(["plan", "apply", "--csv", "rows.csv"])
