@@ -38,7 +38,10 @@ from repro.fm import (
     Budget,
     FMBudgetExceededError,
     FMCache,
+    HedgePolicy,
     SimulatedFM,
+    live_provider_configured,
+    provider_from_env,
 )
 
 __all__ = ["build_parser", "main"]
@@ -94,6 +97,44 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="persistent JSON cache for temperature-0 FM calls (created if missing)",
+    )
+    run.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help=(
+            "checkpoint the search state to this file after every "
+            "completed stage, so a killed run can be resumed"
+        ),
+    )
+    run.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "resume from --checkpoint: completed stages are restored "
+            "(zero re-spent FM calls) and only the remainder runs"
+        ),
+    )
+    run.add_argument(
+        "--adaptive-concurrency",
+        action="store_true",
+        help=(
+            "AIMD concurrency control: back off multiplicatively on "
+            "429/5xx backpressure, recover additively on success "
+            "(bounded above by --concurrency)"
+        ),
+    )
+    run.add_argument(
+        "--hedge",
+        type=float,
+        default=None,
+        metavar="QUANTILE",
+        help=(
+            "hedged requests: once a call outlives this latency quantile "
+            "(e.g. 0.95), issue a duplicate and take the first answer "
+            "(only applies to stateless clients; the simulated client is "
+            "stateful, so this knob matters for transport-backed runs)"
+        ),
     )
     _add_stage_plan_flags(run)
     _add_budget_flags(run)
@@ -219,6 +260,26 @@ def _load_source(args) -> tuple:
     return frame, args.target, None, "", ""
 
 
+def _make_clients(args) -> tuple:
+    """The config-selected FM pair: live HTTP transports when the
+    environment opts in (``SMARTFEAT_PROVIDER`` + ``SMARTFEAT_API_KEY``),
+    the seeded simulator otherwise.  CI never sets the variables, so the
+    live path is never exercised there."""
+    if live_provider_configured():
+        fm = provider_from_env()
+        function_fm = provider_from_env()
+        print(
+            f"Using live provider (model {fm.model}); "
+            "unset SMARTFEAT_PROVIDER to run on the simulator",
+            file=sys.stderr,
+        )
+        return fm, function_fm
+    return (
+        SimulatedFM(seed=args.seed, model="gpt-4"),
+        SimulatedFM(seed=args.seed + 1, model="gpt-3.5-turbo"),
+    )
+
+
 def _cmd_run(args) -> int:
     frame, target, descriptions, title, target_description = _load_source(args)
     if args.concurrency is not None and args.concurrency < 1:
@@ -230,21 +291,31 @@ def _cmd_run(args) -> int:
         )
     if args.wave_size is not None and args.wave_size < 1:
         raise SystemExit("--wave-size must be >= 1")
+    if args.resume and not args.checkpoint:
+        raise SystemExit("--resume requires --checkpoint")
+    if args.hedge is not None and not (0.0 < args.hedge < 1.0):
+        raise SystemExit("--hedge must be a quantile in (0, 1)")
     backend = args.executor or ("thread" if (args.concurrency or 1) > 1 else "serial")
     if backend == "serial" and (args.concurrency or 1) > 1:
         raise SystemExit("--executor serial conflicts with --concurrency > 1")
     # An explicit --concurrency is honoured exactly (even 1: a real
     # rate-limit bound); only an unset one falls back to the backend's
     # default of 8 for thread/async.
-    executor = resolve_executor(backend, args.concurrency)
+    executor = resolve_executor(
+        backend,
+        args.concurrency,
+        adaptive=True if args.adaptive_concurrency else None,
+        hedge=HedgePolicy(quantile=args.hedge) if args.hedge is not None else None,
+    )
     cache = FMCache(path=args.fm_cache) if args.fm_cache else None
     # --wave-size defaults to the backend's concurrency so the pool (or
     # loop) has sampling work to fan out; pass --wave-size explicitly to
     # fix the search semantics independently of the backend.
     wave_size = args.wave_size if args.wave_size is not None else executor.concurrency
+    fm, function_fm = _make_clients(args)
     tool = SmartFeat(
-        fm=SimulatedFM(seed=args.seed, model="gpt-4"),
-        function_fm=SimulatedFM(seed=args.seed + 1, model="gpt-3.5-turbo"),
+        fm=fm,
+        function_fm=function_fm,
         downstream_model=args.model,
         executor=executor,
         cache=cache,
@@ -252,6 +323,8 @@ def _cmd_run(args) -> int:
         budget=_budget_from_args(args),
         stage_plan=args.stage_plan,
         plan_budget=args.plan_budget,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
     )
     try:
         result = tool.fit_transform(
@@ -339,11 +412,8 @@ def _cmd_plan_export(args) -> int:
     if not args.out and not args.registry:
         raise SystemExit("pass --out and/or --registry to store the exported plan")
     frame, target, descriptions, title, target_description = _load_source(args)
-    tool = SmartFeat(
-        fm=SimulatedFM(seed=args.seed, model="gpt-4"),
-        function_fm=SimulatedFM(seed=args.seed + 1, model="gpt-3.5-turbo"),
-        compile_plan=True,
-    )
+    fm, function_fm = _make_clients(args)
+    tool = SmartFeat(fm=fm, function_fm=function_fm, compile_plan=True)
     result = tool.fit_transform(
         frame,
         target=target,

@@ -23,6 +23,12 @@ Components (Section 3 of the paper):
 """
 
 from repro.core.agenda import DataAgenda
+from repro.core.checkpoint import (
+    CheckpointMismatchError,
+    CheckpointStore,
+    restore_run,
+    snapshot_run,
+)
 from repro.core.operator_selector import OperatorSelector
 from repro.core.function_generator import FunctionGenerator
 from repro.core.pipeline import (
@@ -42,6 +48,8 @@ from repro.core.types import (
 from repro.core.validation import ValidationConfig, validate_output
 
 __all__ = [
+    "CheckpointMismatchError",
+    "CheckpointStore",
     "DataAgenda",
     "FeatureCandidate",
     "FunctionGenerator",
@@ -56,5 +64,7 @@ __all__ = [
     "complete_row_plan",
     "parse_scalar",
     "resolve_executor",
+    "restore_run",
+    "snapshot_run",
     "validate_output",
 ]

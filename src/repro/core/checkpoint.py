@@ -1,0 +1,355 @@
+"""Checkpointed search state: kill a run mid-graph, resume without re-spending.
+
+The FM spend of a SMARTFEAT run is the expensive part; a crash (or an
+operator Ctrl-C) that throws away five completed stages re-buys them on
+the next attempt.  This module snapshots the run at **stage-node
+granularity** — after every node the scheduler completes — and restores
+it on resume:
+
+- the working frame's columns (values + dtypes, in column order),
+- the data agenda (the evolving prompt context),
+- the accumulated :class:`~repro.core.pipeline.SmartFeatResult` payload
+  (accepted features, drops, rejections, suggestions, row plans),
+- the stage context's bookkeeping (column provenance tags, the drop
+  heuristic's sets, planner-granted draw budgets),
+- each FM client's ledger totals and per-call checkpoint state (the
+  simulator's sampling counter, a scripted client's cursor), and
+- the shared :class:`~repro.fm.base.Budget`'s spend counters.
+
+A resumed run hands the scheduler the completed node names; those nodes
+are marked ``"restored"`` and never dispatched, so the resumed run
+issues **zero** FM calls for work the killed run already paid for — and,
+because the clients' per-call state is restored too, the remaining
+stages draw exactly the samples the uninterrupted run would have drawn:
+the output frame is bit-identical.
+
+Writes are atomic (tmp file + ``os.replace``) so a kill *during* a
+checkpoint write leaves the previous checkpoint intact.  A checkpoint
+records a fingerprint of the input (column names/dtypes, row count,
+target, title); resuming against different data fails loudly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.agenda import AgendaEntry, DataAgenda
+from repro.core.types import (
+    GeneratedFeature,
+    OperatorFamily,
+    RowCompletionPlan,
+    SourceSuggestion,
+)
+from repro.dataframe import DataFrame, Series
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.pipeline import StageContext
+    from repro.fm.base import Budget, FMClient
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "CheckpointMismatchError",
+    "CheckpointStore",
+    "fingerprint",
+    "restore_run",
+    "snapshot_run",
+]
+
+CHECKPOINT_VERSION = 1
+
+
+class CheckpointMismatchError(ValueError):
+    """The checkpoint does not belong to this (data, target, title) run."""
+
+
+def _json_default(value):
+    """Make numpy scalars (row-plan previews carry them) serializable."""
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    return str(value)
+
+
+class CheckpointStore:
+    """One checkpoint file with atomic writes.
+
+    ``save`` serialises through a temp file in the same directory and
+    ``os.replace``s it over the target — readers (and a kill mid-write)
+    only ever see a complete previous state or a complete new one.
+    A lock serialises writers: under physical stage fan-out two nodes may
+    finish (and checkpoint) at the same moment.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def load(self) -> dict | None:
+        """The stored payload, or ``None`` when no checkpoint exists."""
+        try:
+            raw = self.path.read_text()
+        except FileNotFoundError:
+            return None
+        return json.loads(raw)
+
+    def save(self, payload: dict) -> None:
+        with self._lock:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = self.path.with_name(self.path.name + ".tmp")
+            tmp.write_text(
+                json.dumps(payload, default=_json_default, allow_nan=True)
+            )
+            os.replace(tmp, self.path)
+
+    def clear(self) -> None:
+        with self._lock:
+            try:
+                self.path.unlink()
+            except FileNotFoundError:
+                pass
+
+
+# ----------------------------------------------------------------------
+# Fingerprinting
+# ----------------------------------------------------------------------
+def fingerprint(frame: DataFrame, target: str, title: str = "") -> dict:
+    """Identity of the (data, task) a checkpoint belongs to."""
+    return {
+        "columns": [[name, frame[name].dtype.str] for name in frame.columns],
+        "n_rows": len(frame),
+        "target": target,
+        "title": title,
+    }
+
+
+def _unique_clients(clients) -> list:
+    seen: dict[int, object] = {}
+    for client in clients:
+        seen.setdefault(id(client), client)
+    return list(seen.values())
+
+
+# ----------------------------------------------------------------------
+# Snapshot
+# ----------------------------------------------------------------------
+def snapshot_run(
+    ctx: "StageContext",
+    clients,
+    budget: "Budget | None",
+    completed,
+    run_fingerprint: dict,
+) -> dict:
+    """Serialise the run's full restorable state after a node completed.
+
+    Caller holds ``ctx.lock`` (or is the only thread): the frame, agenda,
+    and result must not be mid-merge while they are being read.
+    """
+    frame = ctx.working
+    columns = [
+        {
+            "name": name,
+            "dtype": frame[name].dtype.str,
+            "values": frame[name].tolist(),
+        }
+        for name in frame.columns
+    ]
+    agenda = ctx.agenda
+    result = ctx.result
+    return {
+        "version": CHECKPOINT_VERSION,
+        "fingerprint": run_fingerprint,
+        "completed": list(completed),
+        "context": {
+            "columns": columns,
+            "column_tags": dict(ctx.column_tags),
+            "unary_transformed": sorted(ctx.unary_transformed),
+            "used_by_other_ops": sorted(ctx.used_by_other_ops),
+            "granted_draws": dict(ctx.granted_draws),
+            "agenda": {
+                "title": agenda.title,
+                "target": agenda.target,
+                "target_description": agenda.target_description,
+                "model": agenda.model,
+                "entries": [
+                    {
+                        "name": entry.name,
+                        "kind": entry.kind,
+                        "description": entry.description,
+                        "values": list(entry.values),
+                    }
+                    for entry in agenda.entries.values()
+                ],
+            },
+            "result": {
+                "new_features": [
+                    {
+                        "name": feature.name,
+                        "family": feature.family.value,
+                        "input_columns": list(feature.input_columns),
+                        "description": feature.description,
+                        "output_columns": list(feature.output_columns),
+                        "source_code": feature.source_code,
+                        "fm_calls": feature.fm_calls,
+                    }
+                    for feature in result.new_features.values()
+                ],
+                "dropped": list(result.dropped),
+                "removed_by_fm": list(result.removed_by_fm),
+                "rejections": dict(result.rejections),
+                "errors": dict(result.errors),
+                "suggestions": [
+                    {
+                        "name": s.name,
+                        "description": s.description,
+                        "sources": list(s.sources),
+                    }
+                    for s in result.suggestions
+                ],
+                "row_plans": [
+                    {
+                        "name": p.name,
+                        "description": p.description,
+                        "preview": [
+                            [dict(record), text] for record, text in p.preview
+                        ],
+                        "n_rows": p.n_rows,
+                        "estimated_calls": p.estimated_calls,
+                        "estimated_cost_usd": p.estimated_cost_usd,
+                        "estimated_latency_s": p.estimated_latency_s,
+                        "relevant_columns": list(p.relevant_columns),
+                    }
+                    for p in result.row_plans
+                ],
+            },
+        },
+        "clients": [
+            {
+                "model": client.model,
+                "state": client.checkpoint_state(),
+                "ledger": client.ledger.snapshot(),
+            }
+            for client in _unique_clients(clients)
+        ],
+        "budget": None if budget is None else budget.snapshot(),
+    }
+
+
+# ----------------------------------------------------------------------
+# Restore
+# ----------------------------------------------------------------------
+def restore_run(
+    payload: dict,
+    ctx: "StageContext",
+    clients,
+    budget: "Budget | None",
+    run_fingerprint: dict,
+) -> frozenset[str]:
+    """Rehydrate *ctx*, *clients*, and *budget* from a checkpoint payload.
+
+    Returns the completed node names for the scheduler's ``completed``
+    parameter.  Raises :class:`CheckpointMismatchError` when the payload
+    belongs to different data or an incompatible checkpoint version.
+    """
+    if payload.get("version") != CHECKPOINT_VERSION:
+        raise CheckpointMismatchError(
+            f"checkpoint version {payload.get('version')!r} != "
+            f"expected {CHECKPOINT_VERSION}"
+        )
+    if payload.get("fingerprint") != run_fingerprint:
+        raise CheckpointMismatchError(
+            "checkpoint fingerprint does not match this run's data/target/title "
+            "— refusing to resume against different input"
+        )
+    context = payload["context"]
+    # Working frame: rebuild columns with their recorded dtypes in the
+    # recorded order, then swap the rebuilt frame into the context AND
+    # the result (they must stay one object — installs mutate it).
+    frame = DataFrame()
+    for column in context["columns"]:
+        values = np.array(column["values"], dtype=np.dtype(column["dtype"]))
+        frame[column["name"]] = Series._from_array(values, column["name"])
+    ctx.working = frame
+    ctx.result.frame = frame
+    ctx.column_tags = dict(context["column_tags"])
+    ctx.unary_transformed = set(context["unary_transformed"])
+    ctx.used_by_other_ops = set(context["used_by_other_ops"])
+    ctx.granted_draws = dict(context["granted_draws"])
+    # Agenda: same object identity, rebuilt entries.
+    spec = context["agenda"]
+    ctx.agenda.title = spec["title"]
+    ctx.agenda.target = spec["target"]
+    ctx.agenda.target_description = spec["target_description"]
+    ctx.agenda.model = spec["model"]
+    ctx.agenda.entries = {
+        entry["name"]: AgendaEntry(
+            entry["name"], entry["kind"], entry["description"], list(entry["values"])
+        )
+        for entry in spec["entries"]
+    }
+    # Result payload.
+    result = ctx.result
+    spec = context["result"]
+    result.new_features = {
+        feature["name"]: GeneratedFeature(
+            name=feature["name"],
+            family=OperatorFamily(feature["family"]),
+            input_columns=list(feature["input_columns"]),
+            description=feature["description"],
+            output_columns=list(feature["output_columns"]),
+            source_code=feature["source_code"],
+            fm_calls=feature["fm_calls"],
+        )
+        for feature in spec["new_features"]
+    }
+    result.dropped = list(spec["dropped"])
+    result.removed_by_fm = list(spec["removed_by_fm"])
+    result.rejections = dict(spec["rejections"])
+    result.errors = dict(spec["errors"])
+    result.suggestions = [
+        SourceSuggestion(s["name"], s["description"], list(s["sources"]))
+        for s in spec["suggestions"]
+    ]
+    result.row_plans = [
+        RowCompletionPlan(
+            name=p["name"],
+            description=p["description"],
+            preview=[(dict(record), text) for record, text in p["preview"]],
+            n_rows=p["n_rows"],
+            estimated_calls=p["estimated_calls"],
+            estimated_cost_usd=p["estimated_cost_usd"],
+            estimated_latency_s=p["estimated_latency_s"],
+            relevant_columns=list(p["relevant_columns"]),
+        )
+        for p in spec["row_plans"]
+    ]
+    # Clients: ledgers + per-call state, matched positionally (the order
+    # snapshot_run serialised is the order the caller passes here).
+    unique = _unique_clients(clients)
+    saved = payload["clients"]
+    if len(saved) != len(unique):
+        raise CheckpointMismatchError(
+            f"checkpoint has {len(saved)} client records, run has {len(unique)}"
+        )
+    for client, record in zip(unique, saved):
+        client.ledger.restore(record["ledger"])
+        client.restore_checkpoint_state(record["state"])
+    if budget is not None and payload.get("budget") is not None:
+        spent = payload["budget"]
+        budget.restore_spent(
+            cost_usd=spent["spent_cost_usd"],
+            calls=spent["spent_calls"],
+            latency_s=spent["spent_latency_s"],
+        )
+    return frozenset(payload["completed"])

@@ -55,6 +55,12 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.core.agenda import DataAgenda
+from repro.core.checkpoint import (
+    CheckpointStore,
+    fingerprint as checkpoint_fingerprint,
+    restore_run,
+    snapshot_run,
+)
 from repro.core.function_generator import (
     REALIZE_ERRORS,
     FunctionGenerator,
@@ -85,6 +91,7 @@ from repro.fm.executor import (
     AsyncFMExecutor,
     FMExecutor,
     FMRequest,
+    RetryPolicy,
     SerialExecutor,
     ThreadPoolFMExecutor,
 )
@@ -95,23 +102,36 @@ __all__ = ["SmartFeat", "SmartFeatResult", "StageContext", "resolve_executor"]
 _DEFAULT_EXECUTOR_CONCURRENCY = 8
 
 
-def resolve_executor(name: str, concurrency: int | None = None) -> FMExecutor:
+def resolve_executor(
+    name: str,
+    concurrency: int | None = None,
+    retry: "RetryPolicy | None" = None,
+    adaptive=None,
+    hedge=None,
+) -> FMExecutor:
     """Build an FM executor from a backend name.
 
     ``"serial"`` ignores *concurrency*; ``"thread"`` and ``"async"``
     default to ``8`` in-flight calls.  This is the string form behind
     ``SmartFeat(executor="async")`` and the CLI's ``--executor``.
+    *retry*, *adaptive* (an :class:`~repro.fm.adaptive.AIMDController`
+    or ``True``), and *hedge* (a :class:`~repro.fm.hedging.HedgePolicy`)
+    pass through to the executor's traffic policies.
     """
     # None means "not specified"; explicit values (including invalid
     # ones like 0) pass through so the constructors validate them.
     if concurrency is None:
         concurrency = _DEFAULT_EXECUTOR_CONCURRENCY
     if name == "serial":
-        return SerialExecutor()
+        return SerialExecutor(retry=retry, adaptive=adaptive, hedge=hedge)
     if name == "thread":
-        return ThreadPoolFMExecutor(concurrency)
+        return ThreadPoolFMExecutor(
+            concurrency, retry=retry, adaptive=adaptive, hedge=hedge
+        )
     if name == "async":
-        return AsyncFMExecutor(concurrency)
+        return AsyncFMExecutor(
+            concurrency, retry=retry, adaptive=adaptive, hedge=hedge
+        )
     raise ValueError(
         f"unknown executor backend {name!r}: expected 'serial', 'thread', or 'async'"
     )
@@ -322,6 +342,20 @@ class SmartFeat:
         After fitting, also compile the accepted features into a serving
         :class:`~repro.serve.FeaturePlan` and attach it as
         ``result.plan`` — see :meth:`export_plan`.
+    checkpoint:
+        Path (or :class:`~repro.core.checkpoint.CheckpointStore`) to
+        checkpoint the search to: after every completed stage node the
+        full restorable state — frame, agenda, result, ledgers, client
+        sampling state, budget spend — is written atomically.  ``None``
+        (default) disables checkpointing.
+    resume:
+        With ``checkpoint`` set: restore the stored state before
+        scheduling, mark the recorded nodes ``"restored"``, and run only
+        what is left — at zero re-spent FM calls, producing a frame
+        bit-identical to the uninterrupted run (the checkpoint also
+        restores the clients' per-call sampling state).  A checkpoint
+        from different data/target/title fails loudly.  When no
+        checkpoint file exists yet, the run simply starts fresh.
     """
 
     def __init__(
@@ -347,6 +381,8 @@ class SmartFeat:
         stage_plan: str = "serial",
         plan_budget: bool = False,
         compile_plan: bool = False,
+        checkpoint: "str | CheckpointStore | None" = None,
+        resume: bool = False,
     ) -> None:
         if row_level_policy not in ("auto", "never", "always"):
             raise ValueError(f"invalid row_level_policy: {row_level_policy!r}")
@@ -386,6 +422,13 @@ class SmartFeat:
         self.stage_plan = stage_plan
         self.plan_budget = plan_budget
         self.compile_plan = compile_plan
+        if resume and checkpoint is None:
+            raise ValueError("resume=True requires a checkpoint path/store")
+        if checkpoint is None or isinstance(checkpoint, CheckpointStore):
+            self.checkpoint = checkpoint
+        else:
+            self.checkpoint = CheckpointStore(checkpoint)
+        self.resume = resume
         self.selector = OperatorSelector(fm, temperature=temperature, executor=self.executor)
         self.generator = FunctionGenerator(
             self.function_fm,
@@ -454,12 +497,48 @@ class SmartFeat:
             column_tags={c: ORIGINALS_TAG for c in frame.columns},
         )
         graph = self.build_stage_graph(ctx)
+        completed: frozenset[str] = frozenset()
+        on_node_complete = None
+        if self.checkpoint is not None:
+            run_fingerprint = checkpoint_fingerprint(frame, target, title)
+            if self.resume:
+                payload = self.checkpoint.load()
+                if payload is not None:
+                    completed = restore_run(
+                        payload,
+                        ctx,
+                        (self.fm, self.function_fm),
+                        self.budget,
+                        run_fingerprint,
+                    )
+            finished: list[str] = list(completed)
+            store = self.checkpoint
+
+            def on_node_complete(node) -> None:
+                # Under physical fan-out several nodes finish (and
+                # checkpoint) concurrently; the snapshot must not read a
+                # mid-merge frame, and the finished list is shared.
+                with ctx.lock:
+                    if node.name not in finished:
+                        finished.append(node.name)
+                    store.save(
+                        snapshot_run(
+                            ctx,
+                            (self.fm, self.function_fm),
+                            self.budget,
+                            finished,
+                            run_fingerprint,
+                        )
+                    )
+
         scheduler = StageScheduler(
             executor=self.executor,
             clients=(self.fm, self.function_fm),
             plan=self.stage_plan,
             budget=self.budget,
             plan_budget=self.plan_budget,
+            completed=completed,
+            on_node_complete=on_node_complete,
         )
         schedule = scheduler.execute(graph, ctx)
         result.fm_usage = {

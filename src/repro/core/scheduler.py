@@ -190,7 +190,9 @@ class NodeRecord:
 
     ``status`` is ``"ran"`` (full size), ``"shrunk"`` (ran at a reduced
     draw budget), ``"truncated"`` (hit the budget meter mid-stage; its
-    partial results stand), or ``"skipped"`` (never dispatched).
+    partial results stand), ``"skipped"`` (never dispatched), or
+    ``"restored"`` (completed by an earlier, checkpointed run — its
+    outputs were rehydrated, so this run never dispatched it).
     ``critical_path_s`` is the node's modelled FM wall-clock at the
     executor's concurrency; ``dataplane_s`` its measured dataframe time.
     ``start_s``/``end_s`` place the node on the modelled overlap
@@ -269,7 +271,7 @@ class StageSchedule:
         ends: dict[str, float] = {}
         cursor = 0.0
         for record in self.records:
-            if record.status == "skipped":
+            if record.status in ("skipped", "restored"):
                 record.start_s = record.end_s = max(
                     (ends.get(dep, 0.0) for dep in record.depends_on), default=0.0
                 )
@@ -301,7 +303,11 @@ class StageSchedule:
 
     def critical_path(self) -> list[str]:
         """Node names on the overlap timeline's longest chain."""
-        by_name = {r.name: r for r in self.records if r.status != "skipped"}
+        by_name = {
+            r.name: r
+            for r in self.records
+            if r.status not in ("skipped", "restored")
+        }
         if not by_name:
             return []
         tail = max(by_name.values(), key=lambda r: r.end_s)
@@ -338,7 +344,11 @@ class StageSchedule:
             "plan": self.plan,
             "plan_budget": self.plan_budget,
             "physical_overlap": self.physical,
-            "dispatch_order": [r.name for r in self.records if r.status != "skipped"],
+            "dispatch_order": [
+                r.name
+                for r in self.records
+                if r.status not in ("skipped", "restored")
+            ],
             "nodes": [r.as_dict() for r in self.records],
             "makespan_serial_s": round(self._makespan_serial, 3),
             "makespan_overlap_s": round(self._makespan_overlap, 3),
@@ -384,6 +394,8 @@ class StageScheduler:
         budget: "Budget | None" = None,
         plan_budget: bool = False,
         physical: str = "auto",
+        completed: Iterable[str] = (),
+        on_node_complete: Callable[[StageNode], None] | None = None,
     ) -> None:
         if plan not in ("serial", "overlap"):
             raise ValueError(f"invalid stage plan: {plan!r}")
@@ -399,6 +411,20 @@ class StageScheduler:
         self.budget = budget
         self.plan_budget = plan_budget and budget is not None
         self.physical = physical
+        #: Node names a checkpointed earlier run already completed: they
+        #: are marked ``"restored"`` and never dispatched (their outputs
+        #: arrived with the restored context, their spend with the
+        #: restored ledgers — re-running would re-spend).
+        self.completed = frozenset(completed)
+        #: Called after each node this run finishes (any terminal state —
+        #: ran/shrunk/truncated/skipped, never a raised failure), on the
+        #: thread that completed the node.  The pipeline's checkpoint
+        #: writer hangs off this.
+        self.on_node_complete = on_node_complete
+
+    def _node_done(self, node: StageNode) -> None:
+        if self.on_node_complete is not None:
+            self.on_node_complete(node)
 
     def _physical_overlap(self) -> bool:
         """Whether this run may fan independent stages out for real."""
@@ -438,7 +464,12 @@ class StageScheduler:
                 planned_draws=node.planned_draws,
             )
             schedule.records.append(record)
+            if node.name in self.completed:
+                record.status = "restored"
+                record.reason = "completed by a checkpointed earlier run"
+                continue
             if not self._plan_node(node, record, ctx):
+                self._node_done(node)
                 continue
             ledger_before = self._ledger_totals()
             batches_before = len(self.executor.batch_log)
@@ -458,6 +489,7 @@ class StageScheduler:
             self._account(
                 record, ledger_before, batches_before, dataplane_before, ctx, node
             )
+            self._node_done(node)
         schedule.finalize()
         return schedule
 
@@ -538,6 +570,12 @@ class StageScheduler:
         cond = threading.Condition()
         done: set[str] = set()
         launched: set[str] = set()
+        for node in graph.nodes:  # checkpoint-restored nodes never dispatch
+            if node.name in self.completed:
+                records[node.name].status = "restored"
+                records[node.name].reason = "completed by a checkpointed earlier run"
+                done.add(node.name)
+                launched.add(node.name)
         failures: dict[str, BaseException] = {}
         threads: list[threading.Thread] = []
 
@@ -557,6 +595,8 @@ class StageScheduler:
             except BaseException as exc:  # noqa: BLE001 - re-raised by dispatcher
                 error = exc
             self._account_physical(record, batches_before, dataplane_before, ctx, node)
+            if error is None:
+                self._node_done(node)
             with cond:
                 done.add(node.name)
                 if error is not None:
@@ -575,6 +615,7 @@ class StageScheduler:
                         launched.add(node.name)
                         if not self._plan_node(node, record, ctx):
                             done.add(node.name)
+                            self._node_done(node)
                             continue
                         thread = threading.Thread(
                             target=worker,

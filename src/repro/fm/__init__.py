@@ -41,6 +41,7 @@ handling) is exercised identically whether the text comes from GPT-4 or
 from the simulator.
 """
 
+from repro.fm.adaptive import AIMDController, AsyncConcurrencyGate, ConcurrencyGate
 from repro.fm.base import Budget, CallLedger, FMClient, FMResponse
 from repro.fm.cache import FMCache
 from repro.fm.cost import CostModel, critical_path_seconds, estimate_tokens
@@ -55,6 +56,7 @@ from repro.fm.errors import (
     FMTransportError,
 )
 from repro.fm.executor import (
+    DEFAULT_RETRY_AFTER_CAP_S,
     AsyncFMExecutor,
     ExecutionStats,
     FMExecutor,
@@ -64,7 +66,15 @@ from repro.fm.executor import (
     SerialExecutor,
     ThreadPoolFMExecutor,
 )
+from repro.fm.hedging import HedgePolicy, LatencyTracker
 from repro.fm.knowledge import KnowledgeStore, default_knowledge
+from repro.fm.providers import (
+    AnthropicMessagesTransport,
+    HTTPProviderTransport,
+    OpenAIChatTransport,
+    live_provider_configured,
+    provider_from_env,
+)
 from repro.fm.lexicon import ColumnRole, infer_role
 from repro.fm.scripted import RecordingFM, ReplayFM, ScriptedFM
 from repro.fm.simulated import SimulatedFM
@@ -80,11 +90,16 @@ from repro.fm.transport import (
 )
 
 __all__ = [
+    "AIMDController",
+    "AnthropicMessagesTransport",
+    "AsyncConcurrencyGate",
     "AsyncFMExecutor",
     "Budget",
     "CallLedger",
     "ColumnRole",
+    "ConcurrencyGate",
     "CostModel",
+    "DEFAULT_RETRY_AFTER_CAP_S",
     "ExecutionStats",
     "FMBudgetExceededError",
     "FMCache",
@@ -100,7 +115,11 @@ __all__ = [
     "FMServerError",
     "FMTimeoutError",
     "FMTransportError",
+    "HTTPProviderTransport",
+    "HedgePolicy",
     "KnowledgeStore",
+    "LatencyTracker",
+    "OpenAIChatTransport",
     "RecordingFM",
     "ReplayFM",
     "RetryPolicy",
@@ -120,4 +139,6 @@ __all__ = [
     "default_knowledge",
     "estimate_tokens",
     "infer_role",
+    "live_provider_configured",
+    "provider_from_env",
 ]

@@ -175,6 +175,22 @@ class Budget:
                 "spent_latency_s": round(self.spent_latency_s, 3),
             }
 
+    def restore_spent(
+        self, cost_usd: float, calls: int, latency_s: float
+    ) -> None:
+        """Overwrite the spend counters from a checkpoint snapshot.
+
+        Resuming a killed run must put the shared meter back exactly
+        where the checkpointed stages left it — otherwise the remaining
+        stages would be planned against headroom the original run had
+        already spent.  Never raises: restoring is bookkeeping, not a
+        new charge.
+        """
+        with self._lock:
+            self.spent_cost_usd = float(cost_usd)
+            self.spent_calls = int(calls)
+            self.spent_latency_s = float(latency_s)
+
 
 @dataclass
 class CallLedger:
@@ -199,6 +215,19 @@ class CallLedger:
     latency_s: float = 0.0
     cost_usd: float = 0.0
     cache_hits: int = 0
+    #: Dead time spent sleeping between retry attempts (backoff and
+    #: server ``Retry-After`` waits).  Charged to the budget's latency
+    #: axis when recorded — a 429 storm burns wall-clock even while no
+    #: call is in flight, and ``max_latency_s`` must see that.
+    wait_s: float = 0.0
+    #: Hedged-request accounting: duplicates issued, duplicates
+    #: abandoned/cancelled after losing the race, and the dollar spend
+    #: of losers that completed anyway (real spend server-side, but
+    #: *never* folded into ``cost_usd``/``n_calls`` — exactly one result
+    #: per logical request reaches the main totals).
+    hedges_issued: int = 0
+    hedges_abandoned: int = 0
+    hedge_wasted_cost_usd: float = 0.0
     history: list[tuple[str, str]] = field(default_factory=list)
     keep_history: bool = False
     budget: "Budget | None" = None
@@ -232,6 +261,38 @@ class CallLedger:
         with self._lock:
             self.cache_hits += 1
 
+    def record_wait(self, seconds: float) -> None:
+        """Account retry/backoff sleep time before it is slept.
+
+        The wait is recorded (and the budget's latency axis charged)
+        *before* the executor sleeps, so an exhausted ``max_latency_s``
+        surfaces immediately instead of after one more dead wait.  The
+        raise, if any, happens after the totals are updated — the time
+        will be spent either way once the caller decided to wait.
+        """
+        if seconds <= 0:
+            return
+        with self._lock:
+            self.wait_s += seconds
+        if self.budget is not None:
+            self.budget.charge(latency_s=seconds, calls=0)
+
+    def record_hedge_issued(self) -> None:
+        with self._lock:
+            self.hedges_issued += 1
+
+    def record_hedge_abandoned(self, wasted_cost_usd: float = 0.0) -> None:
+        """Tally a losing hedge duplicate (cancelled or raced out).
+
+        ``wasted_cost_usd`` is the loser's spend when it completed anyway
+        (a real provider bills both sides of the race); it is tracked
+        separately so the main cost totals keep meaning "what produced
+        the results".
+        """
+        with self._lock:
+            self.hedges_abandoned += 1
+            self.hedge_wasted_cost_usd += wasted_cost_usd
+
     def snapshot(self) -> dict[str, float]:
         """Totals as a plain dict (for reports and tests)."""
         with self._lock:
@@ -242,7 +303,33 @@ class CallLedger:
                 "latency_s": round(self.latency_s, 3),
                 "cost_usd": round(self.cost_usd, 6),
                 "cache_hits": self.cache_hits,
+                "wait_s": round(self.wait_s, 3),
+                "hedges_issued": self.hedges_issued,
+                "hedges_abandoned": self.hedges_abandoned,
+                "hedge_wasted_cost_usd": round(self.hedge_wasted_cost_usd, 6),
             }
+
+    def restore(self, snapshot: dict) -> None:
+        """Overwrite the totals from a checkpoint snapshot.
+
+        The inverse of :meth:`snapshot` for the resumable-run path: a
+        resumed run's ledger starts where the killed run's last completed
+        stage left it, so completed-stage spend is never double-counted
+        (and never re-spent — the stages themselves are not re-run).
+        """
+        with self._lock:
+            self.n_calls = int(snapshot["n_calls"])
+            self.prompt_tokens = int(snapshot["prompt_tokens"])
+            self.completion_tokens = int(snapshot["completion_tokens"])
+            self.latency_s = float(snapshot["latency_s"])
+            self.cost_usd = float(snapshot["cost_usd"])
+            self.cache_hits = int(snapshot["cache_hits"])
+            self.wait_s = float(snapshot.get("wait_s", 0.0))
+            self.hedges_issued = int(snapshot.get("hedges_issued", 0))
+            self.hedges_abandoned = int(snapshot.get("hedges_abandoned", 0))
+            self.hedge_wasted_cost_usd = float(
+                snapshot.get("hedge_wasted_cost_usd", 0.0)
+            )
 
     def reset(self) -> None:
         with self._lock:
@@ -252,6 +339,10 @@ class CallLedger:
             self.latency_s = 0.0
             self.cost_usd = 0.0
             self.cache_hits = 0
+            self.wait_s = 0.0
+            self.hedges_issued = 0
+            self.hedges_abandoned = 0
+            self.hedge_wasted_cost_usd = 0.0
             self.history.clear()
 
 
@@ -339,6 +430,33 @@ class FMClient(abc.ABC):
             type(self)._reserve_state is FMClient._reserve_state
             and type(self)._on_cache_hit is FMClient._on_cache_hit
         )
+
+    # ------------------------------------------------------------------
+    # Checkpoint protocol (resumable runs)
+    # ------------------------------------------------------------------
+    def checkpoint_state(self) -> object | None:
+        """The client's per-call mutable state as a JSON-safe value.
+
+        Stateless clients return ``None``.  Stateful deterministic
+        clients (the simulator's sampling counter, a scripted cursor)
+        return whatever :meth:`restore_checkpoint_state` needs to put a
+        *fresh* instance back on the same trajectory — the mechanism that
+        makes a resumed run bit-identical to an uninterrupted one.
+        """
+        return None
+
+    def restore_checkpoint_state(self, state: object | None) -> None:
+        """Restore state captured by :meth:`checkpoint_state`.
+
+        The default accepts only ``None``: a stateful client that
+        recorded real state into a checkpoint but cannot restore it must
+        fail loudly, not resume onto a silently different trajectory.
+        """
+        if state is not None:
+            raise ValueError(
+                f"{type(self).__name__} cannot restore checkpoint state "
+                f"{state!r}: override restore_checkpoint_state()"
+            )
 
     # ------------------------------------------------------------------
     # Accounting helpers shared with the executor layer

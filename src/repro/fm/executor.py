@@ -44,8 +44,10 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro.fm.adaptive import AIMDController, AsyncConcurrencyGate, ConcurrencyGate
 from repro.fm.cost import critical_path_seconds
 from repro.fm.errors import FMBudgetExceededError, FMError
+from repro.fm.hedging import HedgePolicy, LatencyTracker
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.fm.base import FMClient, FMResponse
@@ -53,6 +55,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "AsyncFMExecutor",
     "BatchRecord",
+    "DEFAULT_RETRY_AFTER_CAP_S",
     "ExecutionStats",
     "FMExecutor",
     "FMRequest",
@@ -61,6 +64,12 @@ __all__ = [
     "SerialExecutor",
     "ThreadPoolFMExecutor",
 ]
+
+#: Ceiling on a server-supplied ``Retry-After`` when the policy sets no
+#: ``max_backoff_s`` of its own.  A hostile or buggy server answering
+#: ``Retry-After: 3600`` must not park a worker for an hour — an hour of
+#: dead time is indistinguishable from a hang to everything upstream.
+DEFAULT_RETRY_AFTER_CAP_S = 60.0
 
 
 @dataclass(frozen=True)
@@ -135,16 +144,19 @@ class RetryPolicy:
         A server-provided ``Retry-After`` hint (an
         :class:`~repro.fm.errors.FMRateLimitError` with ``retry_after_s``)
         overrides the computed backoff schedule — the server knows when
-        capacity returns; guessing earlier only earns another 429.
-        ``max_backoff_s`` still caps the hint, protecting callers from a
-        pathological server answer.
+        capacity returns; guessing earlier only earns another 429.  The
+        hint is never honoured verbatim: ``max_backoff_s`` caps it when
+        set, and :data:`DEFAULT_RETRY_AFTER_CAP_S` otherwise, so a
+        hostile ``Retry-After: 3600`` cannot park a worker for an hour.
         """
         retry_after = getattr(error, "retry_after_s", None)
         if retry_after is not None:
-            delay = max(0.0, float(retry_after))
-            if self.max_backoff_s is not None:
-                delay = min(delay, self.max_backoff_s)
-            return delay
+            cap = (
+                self.max_backoff_s
+                if self.max_backoff_s is not None
+                else DEFAULT_RETRY_AFTER_CAP_S
+            )
+            return min(max(0.0, float(retry_after)), cap)
         return self.backoff_for(attempt)
 
 
@@ -196,6 +208,10 @@ class ExecutionStats:
     cache_hits: int = 0
     summed_latency_s: float = 0.0
     critical_path_s: float = 0.0
+    #: Hedged-request outcomes (always zero against stateful clients,
+    #: where hedging is structurally inert).
+    hedges_issued: int = 0
+    hedges_won: int = 0
 
     def snapshot(self) -> dict[str, float]:
         return {
@@ -206,6 +222,8 @@ class ExecutionStats:
             "cache_hits": self.cache_hits,
             "summed_latency_s": round(self.summed_latency_s, 3),
             "critical_path_s": round(self.critical_path_s, 3),
+            "hedges_issued": self.hedges_issued,
+            "hedges_won": self.hedges_won,
         }
 
 
@@ -215,7 +233,12 @@ class FMExecutor(abc.ABC):
     #: Number of calls that may be in flight at once.
     concurrency: int = 1
 
-    def __init__(self, retry: RetryPolicy | None = None) -> None:
+    def __init__(
+        self,
+        retry: RetryPolicy | None = None,
+        adaptive: AIMDController | bool | None = None,
+        hedge: HedgePolicy | None = None,
+    ) -> None:
         self.retry = retry or RetryPolicy()
         self.stats = ExecutionStats()
         #: Ordered per-batch accounting (one BatchRecord per run() call).
@@ -226,6 +249,64 @@ class FMExecutor(abc.ABC):
         # Physically overlapped stages finish batches from several
         # threads at once; stats and the batch log are shared.
         self._account_lock = threading.Lock()
+        #: AIMD controller throttling admission on 429/5xx backpressure.
+        #: ``True`` builds one bounded by this executor's concurrency; a
+        #: passed-in controller may be shared across executors.
+        if adaptive is True:
+            adaptive = AIMDController(ceiling=max(1, self.concurrency))
+        self.adaptive: AIMDController | None = adaptive or None
+        #: Hedged-request policy; only applied to stateless clients (a
+        #: hedge re-sends a logical call, which is undefined when calls
+        #: consume client state — so seeded clients are never hedged).
+        self.hedge: HedgePolicy | None = hedge
+        self.hedge_tracker = LatencyTracker()
+        self._hedge_pool: ThreadPoolExecutor | None = None
+        self._hedge_pool_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Traffic-policy plumbing (AIMD feedback, hedge workers)
+    # ------------------------------------------------------------------
+    def _observe_outcome(self, error: Exception | None) -> None:
+        """Feed one attempt outcome to the adaptive controller (if any)."""
+        if self.adaptive is not None:
+            self.adaptive.observe(error)
+
+    def _ensure_hedge_pool(self) -> ThreadPoolExecutor:
+        with self._hedge_pool_lock:
+            if self._hedge_pool is None:
+                # Primary + shadow per in-flight logical call, so a fully
+                # hedged batch can never starve itself.
+                self._hedge_pool = ThreadPoolExecutor(
+                    max_workers=2 * max(1, self.concurrency),
+                    thread_name_prefix="fm-hedge",
+                )
+            return self._hedge_pool
+
+    def _close_hedge_pool(self) -> None:
+        with self._hedge_pool_lock:
+            pool, self._hedge_pool = self._hedge_pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def close(self) -> None:
+        """Release executor-owned workers (idempotent; subclasses extend)."""
+        self._close_hedge_pool()
+
+    def policy_snapshot(self) -> dict:
+        """Current adaptive/hedging state, for reports and benchmarks."""
+        return {
+            "adaptive": None if self.adaptive is None else self.adaptive.snapshot(),
+            "hedge": (
+                None
+                if self.hedge is None
+                else {
+                    "quantile": self.hedge.quantile,
+                    "latency": self.hedge_tracker.snapshot(),
+                    "issued": self.stats.hedges_issued,
+                    "won": self.stats.hedges_won,
+                }
+            ),
+        }
 
     @property
     def _stage_tag(self) -> str | None:
@@ -264,6 +345,12 @@ class FMExecutor(abc.ABC):
         The submission-order *state* is consumed by the first attempt;
         retries reserve fresh state (only reachable for clients that
         raise, which the deterministic backends never do).
+
+        Retry sleeps are charged to the client's wait accounting (and so
+        to the budget's latency axis) *before* they are slept — a 429
+        storm's dead time is spend, and ``max_latency_s`` must meter it.
+        A wait that trips the budget is returned as this request's error
+        (budget errors are never retried) instead of being slept at all.
         """
         attempt = 1
         while True:
@@ -272,18 +359,122 @@ class FMExecutor(abc.ABC):
                     request.prompt, request.temperature, state
                 )
                 response = client.build_response(request.prompt, text)
+                self._observe_outcome(None)
                 return FMResult(request=request, response=response, attempts=attempt)
             except Exception as exc:  # noqa: BLE001 - surfaced via FMResult
+                self._observe_outcome(exc)
                 if not self.should_retry_error(exc, attempt):
                     return FMResult(request=request, error=exc, attempts=attempt)
                 delay = self.retry.delay_for(exc, attempt)
                 attempt += 1
                 if delay > 0:
+                    try:
+                        client.ledger.record_wait(delay)
+                    except FMBudgetExceededError as budget_exc:
+                        return FMResult(
+                            request=request, error=budget_exc, attempts=attempt - 1
+                        )
                     time.sleep(delay)
                 state = client._reserve_state(request.prompt, request.temperature)
 
     def should_retry_error(self, error: Exception, attempt: int) -> bool:
         return self.retry.should_retry(error, attempt)
+
+    # ------------------------------------------------------------------
+    def _hedging_active(self, client: "FMClient") -> bool:
+        """Hedging applies only to stateless clients: re-sending a call
+        that consumes client state (a counter, a cursor) would double-
+        consume it and break the submission-order reservation contract —
+        so seeded deterministic clients never see a hedge."""
+        return self.hedge is not None and client.is_stateless()
+
+    def _run_one(self, client: "FMClient", request: FMRequest, state: object) -> FMResult:
+        """One logical request: adaptive admission, then (hedged) attempt.
+
+        This is what the serial loop and the thread-pool workers call.
+        The gate bounds *logical* calls; a hedge shadow rides its
+        primary's slot (bounded over-commit of one duplicate per armed
+        hedge — the point is to spend a little extra capacity rescuing
+        the tail).
+        """
+        gate = self._thread_gate()
+        if gate is None:
+            return self._attempt_maybe_hedged(client, request, state)
+        with gate:
+            return self._attempt_maybe_hedged(client, request, state)
+
+    def _thread_gate(self) -> ConcurrencyGate | None:
+        """The adaptive admission gate for thread-backed dispatch, if any
+        (subclasses with real fan-out create one; serial needs none)."""
+        return None
+
+    def _attempt_maybe_hedged(
+        self, client: "FMClient", request: FMRequest, state: object
+    ) -> FMResult:
+        if not self._hedging_active(client):
+            return self._attempt(client, request, state)
+        assert self.hedge is not None
+        delay = self.hedge.delay_s(self.hedge_tracker)
+        if delay is None:
+            # Cold start with no fallback delay: run plain, feed the tracker.
+            started = time.monotonic()
+            result = self._attempt(client, request, state)
+            if result.ok:
+                self.hedge_tracker.observe(time.monotonic() - started)
+            return result
+        pool = self._ensure_hedge_pool()
+
+        def timed() -> tuple[FMResult, float]:
+            started = time.monotonic()
+            outcome = self._attempt(client, request, state)
+            return outcome, time.monotonic() - started
+
+        primary = pool.submit(timed)
+        done, _ = concurrent.futures.wait([primary], timeout=delay)
+        if primary in done:
+            result, elapsed = primary.result()
+            if result.ok:
+                self.hedge_tracker.observe(elapsed)
+            return result
+        # The primary outlived the armed quantile: issue the duplicate
+        # and take whichever lands first.
+        shadow = pool.submit(timed)
+        with self._account_lock:
+            self.stats.hedges_issued += 1
+        client.ledger.record_hedge_issued()
+        done, pending = concurrent.futures.wait(
+            [primary, shadow], return_when=concurrent.futures.FIRST_COMPLETED
+        )
+        winner = primary if primary in done else shadow
+        loser = shadow if winner is primary else primary
+        if winner is shadow:
+            with self._account_lock:
+                self.stats.hedges_won += 1
+        if loser.done():
+            self._settle_hedge_loser(client, loser)
+        else:
+            # A blocking call cannot be interrupted; abandon the loser —
+            # its result never reaches _finish_batch, so the ledger's
+            # main totals see exactly one result per logical request.
+            loser.add_done_callback(
+                lambda future: self._settle_hedge_loser(client, future)
+            )
+        result, elapsed = winner.result()
+        if result.ok:
+            self.hedge_tracker.observe(elapsed)
+        return result
+
+    @staticmethod
+    def _settle_hedge_loser(client: "FMClient", future) -> None:
+        wasted = 0.0
+        if not future.cancelled():
+            try:
+                outcome, _ = future.result()
+            except BaseException:  # noqa: BLE001 - loser accounting only
+                outcome = None
+            if outcome is not None and outcome.ok:
+                wasted = outcome.response.cost_usd
+        client.ledger.record_hedge_abandoned(wasted)
 
     # ------------------------------------------------------------------
     def _prepare_batch(
@@ -405,7 +596,7 @@ class SerialExecutor(FMExecutor):
                 client.ledger.check_budget()
                 budget_checked = True
             state = client._reserve_state(request.prompt, request.temperature)
-            results.append(self._attempt(client, request, state))
+            results.append(self._run_one(client, request, state))
         return self._finish_batch(client, results, started_at=started)
 
 
@@ -416,15 +607,27 @@ class ThreadPoolFMExecutor(FMExecutor):
     it is torn down by :meth:`close` (or interpreter exit).
     """
 
-    def __init__(self, concurrency: int = 8, retry: RetryPolicy | None = None) -> None:
+    def __init__(
+        self,
+        concurrency: int = 8,
+        retry: RetryPolicy | None = None,
+        adaptive: AIMDController | bool | None = None,
+        hedge: HedgePolicy | None = None,
+    ) -> None:
         if concurrency < 1:
             raise ValueError(f"concurrency must be >= 1, got {concurrency}")
-        super().__init__(retry=retry)
+        # Set before super().__init__ so adaptive=True sizes its ceiling
+        # (and the hedge pool its workers) to the real fan-out bound.
         self.concurrency = concurrency
+        super().__init__(retry=retry, adaptive=adaptive, hedge=hedge)
+        self._gate = ConcurrencyGate(self.adaptive) if self.adaptive else None
         self._pool: ThreadPoolExecutor | None = None
         # Physically overlapped stages call run() concurrently; pool
         # creation and teardown must not race.
         self._pool_lock = threading.Lock()
+
+    def _thread_gate(self) -> ConcurrencyGate | None:
+        return self._gate
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
         with self._pool_lock:
@@ -435,11 +638,12 @@ class ThreadPoolFMExecutor(FMExecutor):
             return self._pool
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+        """Shut the worker pools down (idempotent)."""
         with self._pool_lock:
             pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True)
+        self._close_hedge_pool()
 
     def __enter__(self) -> "ThreadPoolFMExecutor":
         return self
@@ -458,11 +662,11 @@ class ThreadPoolFMExecutor(FMExecutor):
         # point paying a thread hand-off for zero parallelism.
         if len(pending) == 1:
             index, request, state = pending[0]
-            results[index] = self._attempt(client, request, state)
+            results[index] = self._run_one(client, request, state)
         elif pending:
             pool = self._ensure_pool()
             futures = [
-                (index, pool.submit(self._attempt, client, request, state))
+                (index, pool.submit(self._run_one, client, request, state))
                 for index, request, state in pending
             ]
             for index, future in futures:
@@ -503,14 +707,22 @@ class AsyncFMExecutor(FMExecutor):
     its worker thread, it cannot interrupt the blocking call itself.
     """
 
-    def __init__(self, concurrency: int = 8, retry: RetryPolicy | None = None) -> None:
+    def __init__(
+        self,
+        concurrency: int = 8,
+        retry: RetryPolicy | None = None,
+        adaptive: AIMDController | bool | None = None,
+        hedge: HedgePolicy | None = None,
+    ) -> None:
         if concurrency < 1:
             raise ValueError(f"concurrency must be >= 1, got {concurrency}")
-        super().__init__(retry=retry)
+        # Set before super().__init__ so adaptive=True sizes its ceiling
+        # to the real fan-out bound.
         self.concurrency = concurrency
+        super().__init__(retry=retry, adaptive=adaptive, hedge=hedge)
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
-        self._semaphore: asyncio.Semaphore | None = None
+        self._limiter: asyncio.Semaphore | AsyncConcurrencyGate | None = None
         self._lifecycle = threading.Lock()
         # Batch futures whose run() is still blocked on them; close()
         # cancels any that the loop drain could not resolve (a submission
@@ -520,11 +732,15 @@ class AsyncFMExecutor(FMExecutor):
     # ------------------------------------------------------------------
     # Event-loop lifecycle
     # ------------------------------------------------------------------
-    def _ensure_loop(self) -> tuple[asyncio.AbstractEventLoop, asyncio.Semaphore]:
+    def _ensure_loop(
+        self,
+    ) -> tuple[asyncio.AbstractEventLoop, "asyncio.Semaphore | AsyncConcurrencyGate"]:
         with self._lifecycle:
             return self._ensure_loop_locked()
 
-    def _ensure_loop_locked(self) -> tuple[asyncio.AbstractEventLoop, asyncio.Semaphore]:
+    def _ensure_loop_locked(
+        self,
+    ) -> tuple[asyncio.AbstractEventLoop, "asyncio.Semaphore | AsyncConcurrencyGate"]:
         if self._loop is None:
             loop = asyncio.new_event_loop()
             ready = threading.Event()
@@ -539,10 +755,15 @@ class AsyncFMExecutor(FMExecutor):
             self._loop = loop
             self._thread = thread
             # Binds to the loop on first await (3.10+ semantics); a
-            # fresh loop after close() gets a fresh semaphore.
-            self._semaphore = asyncio.Semaphore(self.concurrency)
-        assert self._semaphore is not None
-        return self._loop, self._semaphore
+            # fresh loop after close() gets a fresh limiter.  With an
+            # adaptive controller the fixed semaphore becomes an
+            # AIMD-driven admission gate (same async-with surface).
+            if self.adaptive is not None:
+                self._limiter = AsyncConcurrencyGate(self.adaptive)
+            else:
+                self._limiter = asyncio.Semaphore(self.concurrency)
+        assert self._limiter is not None
+        return self._loop, self._limiter
 
     def _submit(self, client: "FMClient", pending) -> concurrent.futures.Future:
         """Create (if needed) the loop and submit one batch, atomically
@@ -551,9 +772,9 @@ class AsyncFMExecutor(FMExecutor):
         future sweep, resolves it), or on a fresh loop created after the
         close.  Either way the returned future always resolves."""
         with self._lifecycle:
-            loop, semaphore = self._ensure_loop_locked()
+            loop, limiter = self._ensure_loop_locked()
             future = asyncio.run_coroutine_threadsafe(
-                self._run_batch(client, pending, semaphore), loop
+                self._run_batch(client, pending, limiter), loop
             )
             self._pending.add(future)
             return future
@@ -597,7 +818,7 @@ class AsyncFMExecutor(FMExecutor):
         """
         with self._lifecycle:
             loop, thread = self._loop, self._thread
-            self._loop = self._thread = self._semaphore = None
+            self._loop = self._thread = self._limiter = None
             stale = list(self._pending)
             self._pending.clear()
         if loop is not None and not loop.is_closed():
@@ -611,6 +832,7 @@ class AsyncFMExecutor(FMExecutor):
         # no-op for futures the drain already resolved).
         for future in stale:
             future.cancel()
+        self._close_hedge_pool()
 
     def __enter__(self) -> "AsyncFMExecutor":
         return self
@@ -648,7 +870,7 @@ class AsyncFMExecutor(FMExecutor):
         self,
         client: "FMClient",
         pending: list[tuple[int, FMRequest, object]],
-        semaphore: asyncio.Semaphore,
+        limiter: "asyncio.Semaphore | AsyncConcurrencyGate",
     ) -> list[FMResult]:
         # Async-aware budget re-check on the loop side: with physically
         # overlapped stages another batch may have exhausted the shared
@@ -659,7 +881,7 @@ class AsyncFMExecutor(FMExecutor):
         await client.ledger.acheck_budget()
         tasks = [
             asyncio.create_task(
-                self._attempt_async(client, request, state, semaphore),
+                self._attempt_async(client, request, state, limiter),
                 name=f"fm-call-{index}",
             )
             for index, request, state in pending
@@ -671,32 +893,118 @@ class AsyncFMExecutor(FMExecutor):
         client: "FMClient",
         request: FMRequest,
         state: object,
-        semaphore: asyncio.Semaphore,
+        limiter: "asyncio.Semaphore | AsyncConcurrencyGate",
+    ) -> FMResult:
+        """One logical request: admission, then a (possibly hedged) attempt.
+
+        The limiter bounds *logical* calls; as in the sync path, a hedge
+        shadow rides its primary's slot (bounded over-commit of one
+        duplicate per armed hedge).
+        """
+        async with limiter:
+            if self._hedging_active(client):
+                return await self._attempt_async_hedged(client, request, state)
+            return await self._attempt_async_plain(client, request, state)
+
+    async def _attempt_async_plain(
+        self, client: "FMClient", request: FMRequest, state: object
     ) -> FMResult:
         """One request through the retry loop, without blocking the loop.
 
         Mirrors :meth:`FMExecutor._attempt`: the reserved *state* feeds
         the first attempt; retries honour the server's ``Retry-After``
         hint (else the computed backoff) via ``asyncio.sleep``, then
-        reserve fresh state.  Cancellation propagates — the surrounding
-        batch translates it into a clean executor-closed error.
+        reserve fresh state.  Retry sleeps are charged to the ledger's
+        wait accounting before they are slept, exactly as in the sync
+        loop; a wait that trips the budget becomes the request's error.
+        Cancellation propagates — the surrounding batch translates it
+        into a clean executor-closed error.
         """
-        async with semaphore:
-            attempt = 1
-            while True:
-                try:
-                    text = await client._acomplete_with_state(
-                        request.prompt, request.temperature, state
-                    )
-                    response = client.build_response(request.prompt, text)
-                    return FMResult(request=request, response=response, attempts=attempt)
-                except asyncio.CancelledError:
-                    raise
-                except Exception as exc:  # noqa: BLE001 - surfaced via FMResult
-                    if not self.should_retry_error(exc, attempt):
-                        return FMResult(request=request, error=exc, attempts=attempt)
-                    delay = self.retry.delay_for(exc, attempt)
-                    attempt += 1
-                    if delay > 0:
-                        await asyncio.sleep(delay)
-                    state = client._reserve_state(request.prompt, request.temperature)
+        attempt = 1
+        while True:
+            try:
+                text = await client._acomplete_with_state(
+                    request.prompt, request.temperature, state
+                )
+                response = client.build_response(request.prompt, text)
+                self._observe_outcome(None)
+                return FMResult(request=request, response=response, attempts=attempt)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - surfaced via FMResult
+                self._observe_outcome(exc)
+                if not self.should_retry_error(exc, attempt):
+                    return FMResult(request=request, error=exc, attempts=attempt)
+                delay = self.retry.delay_for(exc, attempt)
+                attempt += 1
+                if delay > 0:
+                    try:
+                        client.ledger.record_wait(delay)
+                    except FMBudgetExceededError as budget_exc:
+                        return FMResult(
+                            request=request, error=budget_exc, attempts=attempt - 1
+                        )
+                    await asyncio.sleep(delay)
+                state = client._reserve_state(request.prompt, request.temperature)
+
+    async def _attempt_async_hedged(
+        self, client: "FMClient", request: FMRequest, state: object
+    ) -> FMResult:
+        """The hedged race on the loop: primary task, quantile-armed
+        shadow task, first completion wins, loser *cancelled* (the async
+        path can actually interrupt its loser, unlike the sync pool).
+        The loser's outcome — if it completed before cancellation — is
+        tallied only in the ledger's hedge counters, never its main
+        totals, preserving one-result-per-logical-request."""
+        assert self.hedge is not None
+        loop = asyncio.get_running_loop()
+
+        async def timed() -> tuple[FMResult, float]:
+            started = loop.time()
+            outcome = await self._attempt_async_plain(client, request, state)
+            return outcome, loop.time() - started
+
+        delay = self.hedge.delay_s(self.hedge_tracker)
+        if delay is None:
+            # Cold start with no fallback delay: run plain, feed the tracker.
+            started = loop.time()
+            result = await self._attempt_async_plain(client, request, state)
+            if result.ok:
+                self.hedge_tracker.observe(loop.time() - started)
+            return result
+        primary = asyncio.ensure_future(timed())
+        done, _ = await asyncio.wait({primary}, timeout=delay)
+        if primary in done:
+            result, elapsed = primary.result()
+            if result.ok:
+                self.hedge_tracker.observe(elapsed)
+            return result
+        # The primary outlived the armed quantile: issue the duplicate
+        # and take whichever lands first.
+        shadow = asyncio.ensure_future(timed())
+        with self._account_lock:
+            self.stats.hedges_issued += 1
+        client.ledger.record_hedge_issued()
+        done, _ = await asyncio.wait(
+            {primary, shadow}, return_when=asyncio.FIRST_COMPLETED
+        )
+        winner = primary if primary in done else shadow
+        loser = shadow if winner is primary else primary
+        if winner is shadow:
+            with self._account_lock:
+                self.stats.hedges_won += 1
+        if not loser.done():
+            loser.cancel()
+            # gather(return_exceptions=True) swallows the loser's
+            # CancelledError without masking cancellation of *this* task.
+            await asyncio.gather(loser, return_exceptions=True)
+        wasted = 0.0
+        if loser.done() and not loser.cancelled() and loser.exception() is None:
+            outcome, _ = loser.result()
+            if outcome.ok:
+                wasted = outcome.response.cost_usd
+        client.ledger.record_hedge_abandoned(wasted)
+        result, elapsed = winner.result()
+        if result.ok:
+            self.hedge_tracker.observe(elapsed)
+        return result

@@ -1,0 +1,300 @@
+"""Live provider transports: real HTTP endpoints behind the Transport seam.
+
+Everything in the repo runs against simulated/scripted transports; this
+module is the one place that speaks to an actual completion API.  Two
+wire dialects cover the field — the OpenAI ``chat/completions`` shape
+(which most open-weight servers also speak) and the Anthropic
+``messages`` shape — each as a :class:`Transport` subclass, so the whole
+executor stack (retry, AIMD, hedging, checkpointing) applies to live
+traffic unchanged.
+
+Built on :mod:`urllib.request` only: no SDK dependency, and the HTTP
+``opener`` is injectable so every parse/error path is unit-testable
+offline.  Error mapping mirrors :class:`SimulatedHTTPTransport`'s
+contract: HTTP 429 becomes a 429 :class:`TransportResponse` carrying the
+server's ``Retry-After``; 5xx becomes a 5xx response; wire-level
+timeouts raise :class:`TransportTimeout` and connection failures raise
+:class:`TransportConnectionReset` — so the executor's
+:class:`~repro.fm.executor.RetryPolicy` and the AIMD controller see live
+providers exactly as they see the simulator.
+
+Live use is **opt-in via environment variables** and never exercised in
+CI (tests requiring a live provider are *skipped*, visibly, when the
+variables are unset):
+
+- ``SMARTFEAT_PROVIDER`` — ``openai`` or ``anthropic``
+- ``SMARTFEAT_API_KEY`` — bearer / x-api-key credential
+- ``SMARTFEAT_MODEL`` — model name sent on the wire
+- ``SMARTFEAT_BASE_URL`` — optional endpoint override (proxies,
+  OpenAI-compatible local servers)
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+import os
+import time
+import urllib.error
+import urllib.request
+from collections.abc import Callable, Mapping
+
+from repro.fm.cost import CostModel
+from repro.fm.transport import (
+    Transport,
+    TransportConnectionReset,
+    TransportFMClient,
+    TransportRequest,
+    TransportResponse,
+    TransportTimeout,
+)
+
+__all__ = [
+    "AnthropicMessagesTransport",
+    "ENV_API_KEY",
+    "ENV_BASE_URL",
+    "ENV_MODEL",
+    "ENV_PROVIDER",
+    "HTTPProviderTransport",
+    "OpenAIChatTransport",
+    "live_provider_configured",
+    "provider_from_env",
+]
+
+ENV_PROVIDER = "SMARTFEAT_PROVIDER"
+ENV_API_KEY = "SMARTFEAT_API_KEY"
+ENV_BASE_URL = "SMARTFEAT_BASE_URL"
+ENV_MODEL = "SMARTFEAT_MODEL"
+
+
+def _parse_retry_after(value: str | None) -> float | None:
+    if value is None:
+        return None
+    try:
+        return max(0.0, float(value))
+    except ValueError:
+        # HTTP-date form (or garbage): no usable hint; let the retry
+        # policy fall back to its computed backoff schedule.
+        return None
+
+
+class HTTPProviderTransport(Transport):
+    """Shared machinery for JSON-over-HTTP completion providers.
+
+    Subclasses define the dialect: :meth:`build_request` maps a
+    :class:`TransportRequest` to ``(url, headers, body)``, and
+    :meth:`parse_success` extracts the completion text from a decoded
+    2xx payload.
+
+    ``opener`` is the function that actually performs the HTTP exchange
+    (default :func:`urllib.request.urlopen`); tests inject a fake to
+    exercise every status/error path without a network.
+    """
+
+    def __init__(
+        self,
+        api_key: str,
+        model: str,
+        base_url: str,
+        timeout_s: float = 120.0,
+        max_tokens: int = 1024,
+        opener: Callable | None = None,
+    ) -> None:
+        if not api_key:
+            raise ValueError("api_key must be non-empty")
+        self.api_key = api_key
+        self.model = model
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+        self.max_tokens = max_tokens
+        self._opener = opener or urllib.request.urlopen
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def build_request(
+        self, request: TransportRequest
+    ) -> tuple[str, dict[str, str], bytes]:
+        """The wire form: ``(url, headers, encoded JSON body)``."""
+
+    @abc.abstractmethod
+    def parse_success(self, payload: dict) -> str:
+        """Extract the completion text from a decoded 2xx payload."""
+
+    # ------------------------------------------------------------------
+    def send(self, request: TransportRequest) -> TransportResponse:
+        url, headers, body = self.build_request(request)
+        http_request = urllib.request.Request(
+            url, data=body, headers=headers, method="POST"
+        )
+        started = time.monotonic()
+        try:
+            with self._opener(http_request, timeout=self.timeout_s) as raw:
+                payload = json.loads(raw.read().decode("utf-8"))
+                status = getattr(raw, "status", 200)
+        except urllib.error.HTTPError as exc:
+            latency = time.monotonic() - started
+            retry_after = _parse_retry_after(exc.headers.get("Retry-After"))
+            return TransportResponse(
+                status=exc.code, retry_after_s=retry_after, latency_s=latency
+            )
+        except TimeoutError as exc:  # socket.timeout is TimeoutError on 3.10+
+            raise TransportTimeout(
+                f"provider did not answer within {self.timeout_s}s"
+            ) from exc
+        except urllib.error.URLError as exc:
+            if isinstance(exc.reason, TimeoutError):
+                raise TransportTimeout(
+                    f"provider did not answer within {self.timeout_s}s"
+                ) from exc
+            raise TransportConnectionReset(str(exc.reason)) from exc
+        except (ConnectionError, OSError) as exc:
+            raise TransportConnectionReset(str(exc)) from exc
+        latency = time.monotonic() - started
+        return TransportResponse(
+            status=status, text=self.parse_success(payload), latency_s=latency
+        )
+
+
+class OpenAIChatTransport(HTTPProviderTransport):
+    """The OpenAI ``chat/completions`` dialect (and its many imitators)."""
+
+    DEFAULT_BASE_URL = "https://api.openai.com/v1"
+
+    def __init__(
+        self,
+        api_key: str,
+        model: str = "gpt-4o-mini",
+        base_url: str | None = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(
+            api_key=api_key,
+            model=model,
+            base_url=base_url or self.DEFAULT_BASE_URL,
+            **kwargs,
+        )
+
+    def build_request(
+        self, request: TransportRequest
+    ) -> tuple[str, dict[str, str], bytes]:
+        body = {
+            "model": self.model,
+            "messages": [{"role": "user", "content": request.prompt}],
+            "temperature": request.temperature,
+            "max_tokens": self.max_tokens,
+        }
+        headers = {
+            "Content-Type": "application/json",
+            "Authorization": f"Bearer {self.api_key}",
+        }
+        return (
+            f"{self.base_url}/chat/completions",
+            headers,
+            json.dumps(body).encode("utf-8"),
+        )
+
+    def parse_success(self, payload: dict) -> str:
+        return payload["choices"][0]["message"]["content"]
+
+
+class AnthropicMessagesTransport(HTTPProviderTransport):
+    """The Anthropic ``messages`` dialect."""
+
+    DEFAULT_BASE_URL = "https://api.anthropic.com"
+    API_VERSION = "2023-06-01"
+
+    def __init__(
+        self,
+        api_key: str,
+        model: str = "claude-3-5-haiku-latest",
+        base_url: str | None = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(
+            api_key=api_key,
+            model=model,
+            base_url=base_url or self.DEFAULT_BASE_URL,
+            **kwargs,
+        )
+
+    def build_request(
+        self, request: TransportRequest
+    ) -> tuple[str, dict[str, str], bytes]:
+        body = {
+            "model": self.model,
+            "max_tokens": self.max_tokens,
+            "temperature": request.temperature,
+            "messages": [{"role": "user", "content": request.prompt}],
+        }
+        headers = {
+            "Content-Type": "application/json",
+            "x-api-key": self.api_key,
+            "anthropic-version": self.API_VERSION,
+        }
+        return (
+            f"{self.base_url}/v1/messages",
+            headers,
+            json.dumps(body).encode("utf-8"),
+        )
+
+    def parse_success(self, payload: dict) -> str:
+        blocks = payload.get("content", [])
+        return "".join(
+            block.get("text", "") for block in blocks if block.get("type") == "text"
+        )
+
+
+# ----------------------------------------------------------------------
+# Env-var opt-in factory
+# ----------------------------------------------------------------------
+_PROVIDERS: dict[str, type[HTTPProviderTransport]] = {
+    "openai": OpenAIChatTransport,
+    "anthropic": AnthropicMessagesTransport,
+}
+
+
+def live_provider_configured(env: Mapping[str, str] | None = None) -> bool:
+    """Whether the environment opts in to a live provider.
+
+    This is the gate CI relies on: when it returns False, live-provider
+    tests must *skip* (visibly), never silently pass.
+    """
+    env = os.environ if env is None else env
+    return bool(env.get(ENV_PROVIDER)) and bool(env.get(ENV_API_KEY))
+
+
+def provider_from_env(
+    env: Mapping[str, str] | None = None,
+    opener: Callable | None = None,
+    **client_kwargs,
+) -> TransportFMClient:
+    """Build the config-selected live client from environment variables.
+
+    Raises :class:`ValueError` when the environment does not opt in or
+    names an unknown provider — callers that want optional behaviour
+    check :func:`live_provider_configured` first.
+    """
+    env = os.environ if env is None else env
+    provider = (env.get(ENV_PROVIDER) or "").strip().lower()
+    if not provider:
+        raise ValueError(f"{ENV_PROVIDER} is unset: no live provider configured")
+    if provider not in _PROVIDERS:
+        known = ", ".join(sorted(_PROVIDERS))
+        raise ValueError(f"unknown provider {provider!r} (known: {known})")
+    api_key = env.get(ENV_API_KEY) or ""
+    if not api_key:
+        raise ValueError(f"{ENV_API_KEY} is unset: refusing to build a live client")
+    transport_kwargs: dict = {"api_key": api_key}
+    if env.get(ENV_MODEL):
+        transport_kwargs["model"] = env[ENV_MODEL]
+    if env.get(ENV_BASE_URL):
+        transport_kwargs["base_url"] = env[ENV_BASE_URL]
+    if opener is not None:
+        transport_kwargs["opener"] = opener
+    transport = _PROVIDERS[provider](**transport_kwargs)
+    return TransportFMClient(
+        transport,
+        model=transport.model,
+        cost_model=CostModel(model=transport.model),
+        **client_kwargs,
+    )

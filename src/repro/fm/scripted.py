@@ -52,6 +52,22 @@ class ScriptedFM(FMClient):
             )
         return self._responses[state]
 
+    # ------------------------------------------------------------------
+    # Checkpoint protocol: the script cursor is the per-call state.
+    def checkpoint_state(self) -> object | None:
+        if callable(self._responses):
+            return None
+        with self._cursor_lock:
+            return {"cursor": self._cursor}
+
+    def restore_checkpoint_state(self, state: object | None) -> None:
+        if state is None:
+            return
+        if not isinstance(state, dict) or "cursor" not in state:
+            raise ValueError(f"unrecognised ScriptedFM checkpoint state: {state!r}")
+        with self._cursor_lock:
+            self._cursor = int(state["cursor"])
+
 
 class RecordingFM(FMClient):
     """Wraps another client and records every ``(prompt, response)`` pair.
@@ -127,3 +143,17 @@ class ReplayFM(FMClient):
                 f"{state + 1}: expected {recorded_prompt[:60]!r}..., got {prompt[:60]!r}..."
             )
         return text
+
+    # ------------------------------------------------------------------
+    # Checkpoint protocol: the replay cursor is the per-call state.
+    def checkpoint_state(self) -> object | None:
+        with self._cursor_lock:
+            return {"cursor": self._cursor}
+
+    def restore_checkpoint_state(self, state: object | None) -> None:
+        if state is None:
+            return
+        if not isinstance(state, dict) or "cursor" not in state:
+            raise ValueError(f"unrecognised ReplayFM checkpoint state: {state!r}")
+        with self._cursor_lock:
+            self._cursor = int(state["cursor"])

@@ -176,6 +176,22 @@ class SimulatedFM(FMClient):
         same sampling trajectory as the run that filled the cache."""
         self._reserve_state(prompt, temperature)
 
+    # ------------------------------------------------------------------
+    # Checkpoint protocol: the sampling counter IS the client's per-call
+    # state, so restoring it puts a resumed run back on the exact
+    # sampling trajectory the interrupted run was on.
+    def checkpoint_state(self) -> object | None:
+        with self._counter_lock:
+            return {"counter": self._counter}
+
+    def restore_checkpoint_state(self, state: object | None) -> None:
+        if state is None:
+            return
+        if not isinstance(state, dict) or "counter" not in state:
+            raise ValueError(f"unrecognised SimulatedFM checkpoint state: {state!r}")
+        with self._counter_lock:
+            self._counter = int(state["counter"])
+
     def _complete_text(self, prompt: str, temperature: float) -> str:
         return self._complete_with_state(
             prompt, temperature, self._reserve_state(prompt, temperature)

@@ -189,6 +189,20 @@ class SimulatedHTTPTransport(Transport):
         is a different attempt and re-rolls.
     retry_after_s:
         The ``Retry-After`` value attached to 429 responses.
+    spike_rate / spike_latency_s:
+        Tail-latency injection: with probability ``spike_rate`` a request
+        pays ``spike_latency_s`` *extra* service time (a cold shard, a GC
+        pause).  The spike roll is drawn *after* the latency and outcome
+        rolls from the same keyed RNG, so enabling spikes changes
+        nothing about which requests succeed or fail under a given seed —
+        it is what hedging benchmarks point their p99 at.
+    capacity:
+        In-flight admission cap modelling a concurrency-limited server:
+        while ``capacity`` requests are being serviced, further sends are
+        answered instantly with 429 + ``Retry-After`` (no service time
+        consumed).  ``None`` (default) disables the cap.  This is the
+        load shape AIMD adapts to — a fixed high client concurrency
+        slams into 429 storms, an adaptive one settles near capacity.
     sleep:
         When True (default), actually sleep the drawn latency —
         ``time.sleep`` in :meth:`send`, ``asyncio.sleep`` in
@@ -206,12 +220,19 @@ class SimulatedHTTPTransport(Transport):
         timeout_rate: float = 0.0,
         reset_rate: float = 0.0,
         retry_after_s: float = 0.05,
+        spike_rate: float = 0.0,
+        spike_latency_s: float = 0.0,
+        capacity: int | None = None,
         seed: int = 0,
         sleep: bool = True,
     ) -> None:
         total = rate_limit_rate + server_error_rate + timeout_rate + reset_rate
         if total > 1.0:
             raise ValueError(f"failure rates sum to {total}, must be <= 1")
+        if not 0.0 <= spike_rate <= 1.0:
+            raise ValueError(f"spike_rate must be in [0, 1], got {spike_rate}")
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.responder = responder or _default_responder
         self.base_latency_s = base_latency_s
         self.jitter_s = jitter_s
@@ -220,11 +241,15 @@ class SimulatedHTTPTransport(Transport):
         self.timeout_rate = timeout_rate
         self.reset_rate = reset_rate
         self.retry_after_s = retry_after_s
+        self.spike_rate = spike_rate
+        self.spike_latency_s = spike_latency_s
+        self.capacity = capacity
         self.seed = seed
         self.sleep = sleep
         self.stats = TransportStats()
         self._lock = threading.Lock()
         self._attempts: dict[str, int] = {}
+        self._in_flight = 0
 
     # ------------------------------------------------------------------
     def _next_attempt(self, prompt: str) -> int:
@@ -256,6 +281,10 @@ class SimulatedHTTPTransport(Transport):
             outcome = "reset"
         else:
             outcome = "ok"
+        # Spike roll drawn last so enabling spikes never perturbs the
+        # latency/outcome draws of an existing seed.
+        if self.spike_rate > 0.0 and rng.random() < self.spike_rate:
+            latency += self.spike_latency_s
         return latency, outcome
 
     def _settle(self, request: TransportRequest, latency: float, outcome: str) -> TransportResponse:
@@ -286,16 +315,51 @@ class SimulatedHTTPTransport(Transport):
         )
 
     # ------------------------------------------------------------------
+    # Capacity admission: a concurrency-limited server sheds load with
+    # an instant 429 instead of queueing.  Only meaningful when requests
+    # spend real time in flight (``sleep=True``).
+    def _try_admit(self) -> bool:
+        if self.capacity is None:
+            return True
+        with self._lock:
+            if self._in_flight >= self.capacity:
+                self.stats.n_sent += 1
+                self.stats.n_rate_limited += 1
+                return False
+            self._in_flight += 1
+            return True
+
+    def _release(self) -> None:
+        if self.capacity is not None:
+            with self._lock:
+                self._in_flight -= 1
+
+    def _overload_response(self) -> TransportResponse:
+        return TransportResponse(
+            status=429, retry_after_s=self.retry_after_s, latency_s=0.0
+        )
+
+    # ------------------------------------------------------------------
     def send(self, request: TransportRequest) -> TransportResponse:
-        latency, outcome = self._plan(request)
-        if self.sleep and latency > 0:
-            time.sleep(latency)
+        if not self._try_admit():
+            return self._overload_response()
+        try:
+            latency, outcome = self._plan(request)
+            if self.sleep and latency > 0:
+                time.sleep(latency)
+        finally:
+            self._release()
         return self._settle(request, latency, outcome)
 
     async def asend(self, request: TransportRequest) -> TransportResponse:
-        latency, outcome = self._plan(request)
-        if self.sleep and latency > 0:
-            await asyncio.sleep(latency)
+        if not self._try_admit():
+            return self._overload_response()
+        try:
+            latency, outcome = self._plan(request)
+            if self.sleep and latency > 0:
+                await asyncio.sleep(latency)
+        finally:
+            self._release()
         return self._settle(request, latency, outcome)
 
 

@@ -1,8 +1,11 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import argparse
+
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import _make_clients, build_parser, main
+from repro.fm import SimulatedFM, TransportFMClient
 
 
 class TestParser:
@@ -21,6 +24,58 @@ class TestParser:
     def test_compare_rejects_unknown_dataset(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["compare", "imagenet"])
+
+    def test_run_parses_transport_flags(self):
+        args = build_parser().parse_args(
+            [
+                "run",
+                "tennis",
+                "--checkpoint",
+                "state.json",
+                "--resume",
+                "--adaptive-concurrency",
+                "--hedge",
+                "0.9",
+            ]
+        )
+        assert args.checkpoint == "state.json"
+        assert args.resume
+        assert args.adaptive_concurrency
+        assert args.hedge == 0.9
+
+    def test_resume_requires_checkpoint(self):
+        with pytest.raises(SystemExit, match="--resume requires --checkpoint"):
+            main(["run", "tennis", "--rows", "200", "--resume"])
+
+    def test_hedge_must_be_a_quantile(self):
+        with pytest.raises(SystemExit, match="quantile"):
+            main(["run", "tennis", "--rows", "200", "--hedge", "1.5"])
+
+
+class TestClientSelection:
+    """The FM pair is config-selected: simulator by default, live HTTP
+    transports when the environment opts in (construction only — no
+    request is ever issued here)."""
+
+    ARGS = argparse.Namespace(seed=0)
+
+    def test_defaults_to_simulator(self, monkeypatch):
+        monkeypatch.delenv("SMARTFEAT_PROVIDER", raising=False)
+        monkeypatch.delenv("SMARTFEAT_API_KEY", raising=False)
+        fm, function_fm = _make_clients(self.ARGS)
+        assert isinstance(fm, SimulatedFM)
+        assert isinstance(function_fm, SimulatedFM)
+
+    def test_env_opt_in_selects_live_transport(self, monkeypatch, capsys):
+        monkeypatch.setenv("SMARTFEAT_PROVIDER", "openai")
+        monkeypatch.setenv("SMARTFEAT_API_KEY", "test-key")
+        monkeypatch.setenv("SMARTFEAT_MODEL", "gpt-4o-mini")
+        fm, function_fm = _make_clients(self.ARGS)
+        assert isinstance(fm, TransportFMClient)
+        assert isinstance(function_fm, TransportFMClient)
+        assert fm.is_stateless()  # hedging eligibility rides on this
+        assert fm.model == "gpt-4o-mini"
+        assert "live provider" in capsys.readouterr().err
 
 
 class TestDatasetsCommand:
@@ -43,6 +98,37 @@ class TestRunCommand:
         assert target.exists()
         header = target.read_text().splitlines()[0]
         assert "Result" in header
+
+    def test_run_with_checkpoint_then_resume(self, tmp_path, capsys):
+        path = tmp_path / "state.json"
+        base_args = ["run", "tennis", "--rows", "300", "--checkpoint", str(path)]
+        assert main(base_args) == 0
+        first = capsys.readouterr().out
+        assert path.exists()
+        # Resuming from a finished checkpoint restores every stage and
+        # reproduces the run without re-running the search.
+        assert main(base_args + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        assert first.splitlines()[0] == second.splitlines()[0]  # same feature count
+
+    def test_run_with_adaptive_and_hedge_flags(self, capsys):
+        # Simulated clients are stateful, so --hedge is inert here; the
+        # flags must still wire through and the run must stay green.
+        assert (
+            main(
+                [
+                    "run",
+                    "tennis",
+                    "--rows",
+                    "300",
+                    "--adaptive-concurrency",
+                    "--hedge",
+                    "0.95",
+                ]
+            )
+            == 0
+        )
+        assert "Generated" in capsys.readouterr().out
 
     def test_run_on_csv_source(self, tmp_path, capsys):
         source = tmp_path / "data.csv"

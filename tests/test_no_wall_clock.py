@@ -1,0 +1,58 @@
+"""Regression guard: no wall-clock timing in duration measurements.
+
+``time.time()`` is the wrong clock for measuring elapsed durations: NTP
+slews and DST/admin clock steps make it jump, which silently corrupts
+time-limit enforcement (a baseline's one-hour budget) and reported
+wall/makespan numbers.  Every duration in this codebase is measured with
+``time.monotonic()`` or ``time.perf_counter()``; this test greps the
+whole source tree so a future edit cannot quietly reintroduce the bug.
+
+(The transports' simulated latencies and the executors' hedge timers
+were audited in the same sweep — they already used monotonic clocks.)
+"""
+
+import re
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+WALL_CLOCK = re.compile(r"\btime\.time\(\)")
+
+#: Files whose elapsed-time arithmetic the eval/baseline time limits
+#: depend on directly — the original bugfix targets, pinned explicitly
+#: so a rename doesn't silently drop them from the sweep.
+CRITICAL = [
+    SRC / "repro" / "eval" / "runner.py",
+    SRC / "repro" / "baselines" / "base.py",
+]
+
+
+def _offending_lines(path: Path) -> list[tuple[int, str]]:
+    lines = path.read_text().splitlines()
+    return [
+        (number, line.strip())
+        for number, line in enumerate(lines, start=1)
+        if WALL_CLOCK.search(line) and not line.lstrip().startswith("#")
+    ]
+
+
+def test_critical_timing_files_exist_and_use_monotonic_clocks():
+    for path in CRITICAL:
+        assert path.exists(), f"timing-critical file moved: {path}"
+        text = path.read_text()
+        assert "time.monotonic" in text, (
+            f"{path} no longer uses time.monotonic for durations"
+        )
+        assert not _offending_lines(path)
+
+
+def test_no_wall_clock_timing_anywhere_in_src():
+    offenders = {}
+    for path in sorted(SRC.rglob("*.py")):
+        found = _offending_lines(path)
+        if found:
+            offenders[str(path.relative_to(SRC))] = found
+    assert not offenders, (
+        "time.time() used for timing — use time.monotonic()/perf_counter(): "
+        f"{offenders}"
+    )
