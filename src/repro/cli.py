@@ -180,6 +180,30 @@ def build_parser() -> argparse.ArgumentParser:
     apply_.add_argument("--version", type=int, default=None, help="registry plan version")
     apply_.add_argument("--csv", required=True, help="CSV of rows to transform")
     apply_.add_argument("--out", help="write the featured rows to this CSV path")
+    apply_.add_argument(
+        "--failure-policy",
+        choices=["strict", "degrade"],
+        default="strict",
+        help=(
+            "strict (default): any failing feature fails the batch; "
+            "degrade: failing features yield NaN columns and a health report"
+        ),
+    )
+    apply_.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=0,
+        help=(
+            "open a per-feature circuit breaker after this many consecutive "
+            "failures (0 disables breakers)"
+        ),
+    )
+    apply_.add_argument(
+        "--watchdog-timeout",
+        type=float,
+        default=None,
+        help="wall-clock seconds a sandbox-fallback feature may take per batch",
+    )
     return parser
 
 
@@ -445,25 +469,50 @@ def _cmd_plan_export(args) -> int:
 
 def _cmd_plan_apply(args) -> int:
     from repro.dataframe import read_csv
-    from repro.serve import FeaturePlan, PlanError, PlanRegistry
+    from repro.serve import FeaturePlan, FeatureServer, PlanError, PlanRegistry
 
     if bool(args.plan) == bool(args.registry):
         raise SystemExit("pass exactly one of --plan or --registry/--name")
     try:
         if args.plan:
             plan = FeaturePlan.load(args.plan)
+            server = FeatureServer(
+                plan=plan,
+                failure_policy=args.failure_policy,
+                breaker_threshold=args.breaker_threshold,
+                watchdog_timeout=args.watchdog_timeout,
+            )
         else:
             if not args.name:
                 raise SystemExit("--registry needs --name")
-            plan = PlanRegistry(args.registry).load(args.name, args.version)
+            registry = PlanRegistry(args.registry)
+            server = FeatureServer(
+                registry=registry,
+                name=args.name,
+                version=args.version,
+                failure_policy=args.failure_policy,
+                breaker_threshold=args.breaker_threshold,
+                watchdog_timeout=args.watchdog_timeout,
+            )
+            plan = server.plan_for()
         rows = read_csv(args.csv)
-        featured = plan.apply(rows)
+        featured, report = server.transform_with_report(rows)
     except PlanError as exc:
         raise SystemExit(f"plan apply failed: {exc}")
     print(
         f"Applied plan ({len(plan.features)} features) to {len(rows)} rows: "
         f"{len(featured.columns)} columns out"
     )
+    if args.failure_policy == "degrade":
+        health = server.health()
+        apply_report = report.apply_report
+        print(
+            f"Health: {health['status']} — "
+            f"{apply_report.degraded_fraction:.0%} of features degraded, "
+            f"{health['rows_quarantined']} rows quarantined"
+        )
+        for feature in apply_report.failures():
+            print(f"  [{feature.status}] {feature.feature}: {feature.reason}")
     if args.out:
         from repro.dataframe.io import to_csv
 

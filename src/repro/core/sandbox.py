@@ -8,6 +8,7 @@ dataframe facade (``pd``), ``np``, ``math``, and a minimal set of builtins
 
 from __future__ import annotations
 
+import ast
 import math
 import threading
 from typing import Any
@@ -86,10 +87,71 @@ _SAFE_BUILTINS = {
 }
 
 
+#: Modules generated code may import.  The namespace already injects
+#: ``np``/``math``, so imports are never *needed* — but re-importing an
+#: exposed module is harmless, while anything else is an escape attempt.
+_ALLOWED_IMPORTS = frozenset({"math", "numpy"})
+
+#: Bare names whose mere mention is an escape attempt.  The token scan
+#: only catches the call spelling (``eval(``); the AST check catches
+#: aliasing (``f = eval``) too.
+_FORBIDDEN_NAMES = frozenset(
+    {
+        "eval",
+        "exec",
+        "open",
+        "compile",
+        "globals",
+        "locals",
+        "vars",
+        "getattr",
+        "setattr",
+        "delattr",
+        "breakpoint",
+        "input",
+        "__import__",
+        "__builtins__",
+    }
+)
+
+
 def _check_source(source: str) -> None:
+    """Two-stage vetting: substring pre-filter, then an AST walk.
+
+    The token scan is a cheap fast-reject for the obvious spellings; it is
+    trivially bypassed by whitespace (``import  os``) or attribute
+    chaining (``x.__class__``), so the real gate is the AST check: only
+    allowlisted imports, no dunder attribute access, no forbidden names.
+    """
     for token in _FORBIDDEN_TOKENS:
         if token in source:
             raise SandboxViolation(f"forbidden construct in generated code: {token!r}")
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return  # compile() reports syntax errors as TransformError
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root not in _ALLOWED_IMPORTS:
+                    raise SandboxViolation(
+                        f"forbidden import of module {alias.name!r} in generated code"
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            root = (node.module or "").split(".")[0]
+            if node.level or root not in _ALLOWED_IMPORTS:
+                raise SandboxViolation(
+                    f"forbidden import from module {node.module!r} in generated code"
+                )
+        elif isinstance(node, ast.Attribute) and node.attr.startswith("__"):
+            raise SandboxViolation(
+                f"forbidden dunder attribute access {node.attr!r} in generated code"
+            )
+        elif isinstance(node, ast.Name) and node.id in _FORBIDDEN_NAMES:
+            raise SandboxViolation(
+                f"forbidden name {node.id!r} in generated code"
+            )
 
 
 #: Compiled code objects keyed on ``(filename, source)``.  The legacy
@@ -125,9 +187,24 @@ def _compiled(source: str, filename: str):
     return code
 
 
+def _safe_import(name, globals=None, locals=None, fromlist=(), level=0):
+    """Runtime backstop to the AST import check: only allowlisted modules.
+
+    The exec namespace needs *an* ``__import__`` for the (vetted)
+    ``import math`` / ``import numpy`` statements generated code
+    sometimes opens with; this one re-checks the allowlist so a bypass of
+    the static pass still cannot load anything else.
+    """
+    import builtins
+
+    if level or name.split(".")[0] not in _ALLOWED_IMPORTS:
+        raise SandboxViolation(f"forbidden import of module {name!r} in generated code")
+    return builtins.__import__(name, globals, locals, fromlist, level)
+
+
 def _namespace() -> dict[str, Any]:
     return {
-        "__builtins__": dict(_SAFE_BUILTINS),
+        "__builtins__": {**_SAFE_BUILTINS, "__import__": _safe_import},
         "pd": _pd,
         "np": np,
         "math": math,
@@ -179,7 +256,7 @@ def run_script(source: str, frame: DataFrame) -> DataFrame:
         exec(code, namespace)  # noqa: S102 - sandboxed on purpose
     except Exception as exc:
         raise TransformError(f"generated script raised {type(exc).__name__}: {exc}") from exc
-    result = namespace["df"]
+    result = namespace.get("df")
     if not isinstance(result, DataFrame):
-        raise TransformError("script rebound df to a non-DataFrame")
+        raise TransformError("script deleted or rebound df to a non-DataFrame")
     return result

@@ -170,6 +170,18 @@ def expr_columns(node: dict) -> list[str]:
 # ----------------------------------------------------------------------
 # Evaluation
 # ----------------------------------------------------------------------
+def _col(frame, name: str) -> Series:
+    """Column lookup that fails as :class:`ExprError`, not a bare KeyError.
+
+    A serving frame missing a column a frozen expression reads must
+    surface as a typed, per-feature failure the resilience layer can
+    isolate — not as a ``KeyError`` thrown from deep inside a kernel.
+    """
+    if name not in frame:
+        raise ExprError(f"expression reads column {name!r} absent from the frame")
+    return frame[name]
+
+
 def _operand(node: dict, frame) -> Any:
     """Evaluate an arithmetic operand: ``const`` → scalar, else Series.
 
@@ -185,7 +197,7 @@ def _operand(node: dict, frame) -> Any:
 def _evaluate(node: dict, frame) -> Series:
     op = node["op"]
     if op == "col":
-        return frame[node["name"]]
+        return _col(frame, node["name"])
     if op in _ARITH:
         return _ARITH[op](_operand(node["left"], frame), _operand(node["right"], frame))
     if op == "clip":
@@ -199,23 +211,23 @@ def _evaluate(node: dict, frame) -> Series:
         arg = _evaluate(node["arg"], frame)
         return arg.where(arg != 0)
     if op == "isna_int":
-        return frame[node["column"]].isna().astype(int)
+        return _col(frame, node["column"]).isna().astype(int)
     if op == "cut":
         return _reshape.cut(
-            frame[node["column"]],
+            _col(frame, node["column"]),
             list(node["edges"]),
             labels=list(node["labels"]) if node.get("labels") is not None else None,
             right=node.get("right", True),
         )
     if op == "qcut_collapsed":
-        return _eval_qcut_collapsed(frame[node["column"]])
+        return _eval_qcut_collapsed(_col(frame, node["column"]))
     if op == "dict_map":
         mapping = dict(zip(node["keys"], node["values"]))
-        return frame[node["column"]].map(mapping)
+        return _col(frame, node["column"]).map(mapping)
     if op == "fillna":
         return _evaluate(node["arg"], frame).fillna(node["value"])
     if op == "str_len":
-        series = frame[node["column"]]
+        series = _col(frame, node["column"])
         fast = _kernels.str_lengths(series.values)
         if fast is not None:
             return Series._from_array(fast, series.name)
@@ -308,7 +320,7 @@ def _broadcast_per_group(per: list, inverse: np.ndarray, value_kind: str) -> Ser
 
 
 def _eval_date_split(node: dict, frame) -> dict[str, Series]:
-    series = frame[node["column"]]
+    series = _col(frame, node["column"])
     outputs = [(part, name) for part, name in node["outputs"]]
     parts = _kernels.iso_date_parts(series.values)
     if parts is not None and all(part in parts for part, _ in outputs):
@@ -321,7 +333,7 @@ def _eval_date_split(node: dict, frame) -> dict[str, Series]:
 
 
 def _eval_dummies(node: dict, frame) -> dict[str, Series]:
-    codes, uniques = _kernels.factorize_values(frame[node["column"]].values)
+    codes, uniques = _kernels.factorize_values(_col(frame, node["column"]).values)
     position = {u: j for j, u in enumerate(uniques)}
     out: dict[str, Series] = {}
     for category, name in zip(node["categories"], node["names"]):
@@ -359,7 +371,7 @@ def _split_parts_fast(values: np.ndarray, sep: str, names: list[str]):
 
 def _eval_split_parts(node: dict, frame) -> dict[str, Series]:
     sep, names = node["sep"], node["outputs"]
-    fast = _split_parts_fast(frame[node["column"]].values, sep, names)
+    fast = _split_parts_fast(_col(frame, node["column"]).values, sep, names)
     if fast is not None:
         return fast
     columns: list[list] = [[] for _ in names]

@@ -12,6 +12,7 @@
   the paper's tables.
 """
 
+from repro.eval.chaos import CHAOS_MODES, ChaosSchedule, FaultInjector, hostile_rows
 from repro.eval.harness import evaluate_models, feature_matrix
 from repro.eval.runner import MethodOutcome, SweepConfig, SweepResult, run_sweep
 from repro.eval.importance import importance_table
@@ -35,6 +36,9 @@ from repro.eval.sweep_executor import (
 )
 
 __all__ = [
+    "CHAOS_MODES",
+    "ChaosSchedule",
+    "FaultInjector",
     "MethodOutcome",
     "SerialSweepExecutor",
     "SweepConfig",
@@ -44,6 +48,7 @@ __all__ = [
     "concurrency_speedup_report",
     "evaluate_models",
     "feature_matrix",
+    "hostile_rows",
     "importance_table",
     "interaction_cost_comparison",
     "operator_ablation",

@@ -21,11 +21,32 @@ from repro.serve.plan import (
     schema_fingerprint,
 )
 from repro.serve.registry import PlanRegistry
-from repro.serve.server import FeatureServer
+from repro.serve.resilience import (
+    FAILURE_POLICIES,
+    ApplyReport,
+    BatchValidationError,
+    BreakerBoard,
+    CircuitBreaker,
+    FeatureReport,
+    QuarantineReport,
+    SandboxWatchdog,
+    ServerStats,
+    ValidationLimits,
+    WatchdogTimeout,
+    WatchdogViolation,
+    validate_rows,
+)
+from repro.serve.server import FeatureServer, ServeReport
 
 __all__ = [
+    "FAILURE_POLICIES",
     "PLAN_SCHEMA_VERSION",
+    "ApplyReport",
+    "BatchValidationError",
+    "BreakerBoard",
+    "CircuitBreaker",
     "FeaturePlan",
+    "FeatureReport",
     "FeatureServer",
     "FeatureSpec",
     "PlanError",
@@ -33,9 +54,17 @@ __all__ = [
     "PlanRegistry",
     "PlanSchemaError",
     "PlanVersionError",
+    "QuarantineReport",
+    "SandboxWatchdog",
+    "ServeReport",
+    "ServerStats",
+    "ValidationLimits",
+    "WatchdogTimeout",
+    "WatchdogViolation",
     "column_kind",
     "compile_plan",
     "frames_identical",
     "schema_fingerprint",
     "series_identical",
+    "validate_rows",
 ]

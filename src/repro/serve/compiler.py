@@ -399,7 +399,14 @@ def compile_plan(
     return plan
 
 
-def _spec(feature, status: str, expr=None, fallback_source=None, reason="") -> FeatureSpec:
+def _spec(
+    feature, status: str, expr=None, fallback_source=None, reason="", expected=None
+) -> FeatureSpec:
+    # Freeze the fitted outputs' schema kinds alongside the recipe so the
+    # serve-path watchdog can sanity-check what a fallback returns.
+    kinds = None
+    if expected is not None and all(n in expected for n in feature.output_columns):
+        kinds = [column_kind(expected[n]) for n in feature.output_columns]
     return FeatureSpec(
         name=feature.name,
         family=_family_name(feature.family),
@@ -410,6 +417,7 @@ def _spec(feature, status: str, expr=None, fallback_source=None, reason="") -> F
         expr=expr,
         fallback_source=fallback_source,
         reason=reason,
+        output_kinds=kinds,
     )
 
 
@@ -428,7 +436,7 @@ def _compile_feature(feature, rebuild, expected, knowledge) -> FeatureSpec:
                 series_identical(outputs[name], expected[name]) for name in expected
             ):
                 json.dumps(frozen)  # plans must round-trip; reject exotic scalars
-                return _spec(feature, "compiled", expr=frozen)
+                return _spec(feature, "compiled", expr=frozen, expected=expected)
             reason = "compiled replay not bit-identical to fitted output"
         except ExprError as exc:
             reason = str(exc)
@@ -448,6 +456,7 @@ def _compile_feature(feature, rebuild, expected, knowledge) -> FeatureSpec:
                 "fallback",
                 fallback_source=feature.source_code,
                 reason=reason,
+                expected=expected,
             )
         reason = f"{reason}; sandbox replay also diverged".lstrip("; ")
     return _spec(feature, "omitted", reason=reason)

@@ -92,6 +92,12 @@ class FeatureSpec:
     expr: dict | None = None
     fallback_source: str | None = None
     reason: str = ""
+    #: Optional per-output-column schema kinds (parallel to
+    #: ``output_columns``), recorded at compile time so the serve-path
+    #: watchdog can sanity-check fallback output dtypes.  Optional and
+    #: additive: old plans lack it (readers use ``.get``), so no schema
+    #: version bump — absent kinds just skip the dtype check.
+    output_kinds: list[str] | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -104,6 +110,7 @@ class FeatureSpec:
             "expr": self.expr,
             "fallback_source": self.fallback_source,
             "reason": self.reason,
+            "output_kinds": list(self.output_kinds) if self.output_kinds else None,
         }
 
     @classmethod
@@ -119,6 +126,9 @@ class FeatureSpec:
                 expr=data.get("expr"),
                 fallback_source=data.get("fallback_source"),
                 reason=data.get("reason", ""),
+                output_kinds=(
+                    list(data["output_kinds"]) if data.get("output_kinds") else None
+                ),
             )
         except KeyError as exc:
             raise PlanSchemaError(f"feature spec is missing field {exc}") from exc
@@ -162,26 +172,44 @@ class FeaturePlan:
     # ------------------------------------------------------------------
     # Validation and replay
     # ------------------------------------------------------------------
-    def validate_frame(self, frame: DataFrame) -> None:
-        """Raise :class:`PlanSchemaError` unless *frame* matches the plan's
-        input contract (the target column is optional at serve time)."""
+    def schema_problems(self, frame: DataFrame) -> list[tuple[str, str, str]]:
+        """Every schema-contract violation in *frame* as
+        ``(column, expected kind, problem)`` — empty when the frame
+        conforms (the target column is optional at serve time)."""
         problems = []
         for name, kind in self.input_schema:
             if name not in frame:
-                problems.append(f"missing column {name!r} (expected kind {kind})")
+                problems.append(
+                    (name, kind, f"missing column {name!r} (expected kind {kind})")
+                )
                 continue
             actual = column_kind(frame[name])
             if actual != kind:
                 problems.append(
-                    f"column {name!r} has kind {actual}, plan expects {kind}"
+                    (name, kind, f"column {name!r} has kind {actual}, plan expects {kind}")
                 )
+        return problems
+
+    def validate_frame(self, frame: DataFrame) -> None:
+        """Raise :class:`PlanSchemaError` unless *frame* matches the plan's
+        input contract."""
+        problems = self.schema_problems(frame)
         if problems:
             raise PlanSchemaError(
                 f"frame does not match plan schema fingerprint "
-                f"{self.fingerprint[:12]}…: " + "; ".join(problems)
+                f"{self.fingerprint[:12]}…: "
+                + "; ".join(text for _name, _kind, text in problems)
             )
 
-    def apply(self, frame: DataFrame) -> DataFrame:
+    def apply(
+        self,
+        frame: DataFrame,
+        *,
+        failure_policy: str = "strict",
+        breakers=None,
+        watchdog=None,
+        evaluator=None,
+    ) -> DataFrame:
         """Replay the plan against *frame* and return the featured frame.
 
         Pure data-plane work: input columns are shared (zero copy), each
@@ -189,22 +217,69 @@ class FeaturePlan:
         sandbox fallback), and the fitted run's dropped originals are
         removed at the end — reproducing ``fit_transform``'s output frame
         column-for-column.  The input frame itself is never mutated.
+
+        ``failure_policy="strict"`` (the default) fails the whole batch
+        on the first misbehaving feature — the historical contract, and
+        with no resilience extras it runs the original zero-overhead
+        loop.  ``"degrade"`` isolates failures per feature (NaN-filled
+        columns); pass *breakers* (a
+        :class:`~repro.serve.resilience.BreakerBoard`), *watchdog* (a
+        :class:`~repro.serve.resilience.SandboxWatchdog`), or the chaos
+        *evaluator* seam to layer in the rest — see
+        :meth:`apply_with_report` for the reporting variant.
         """
-        self.validate_frame(frame)
-        present = [c for c in self.input_columns if c in frame]
-        working = frame.column_view(present)
-        for spec in self.features:
-            if spec.status == "omitted":
-                continue
-            if spec.status == "compiled":
-                out = evaluate_feature(spec.expr, working)
-            else:
-                out = self._run_fallback(spec, working)
-            self._install(spec, out, working)
-        to_drop = [c for c in self.drop_columns if c in working]
-        if to_drop:
-            working.drop(columns=to_drop, inplace=True)
-        return working
+        if failure_policy == "strict" and breakers is None and watchdog is None and evaluator is None:
+            self.validate_frame(frame)
+            present = [c for c in self.input_columns if c in frame]
+            working = frame.column_view(present)
+            for spec in self.features:
+                if spec.status == "omitted":
+                    continue
+                if spec.status == "compiled":
+                    out = evaluate_feature(spec.expr, working)
+                else:
+                    out = self._run_fallback(spec, working)
+                self._install(spec, out, working)
+            to_drop = [c for c in self.drop_columns if c in working]
+            if to_drop:
+                working.drop(columns=to_drop, inplace=True)
+            return working
+        out, _report = self.apply_with_report(
+            frame,
+            failure_policy=failure_policy,
+            breakers=breakers,
+            watchdog=watchdog,
+            evaluator=evaluator,
+        )
+        return out
+
+    def apply_with_report(
+        self,
+        frame: DataFrame,
+        *,
+        failure_policy: str = "degrade",
+        breakers=None,
+        watchdog=None,
+        evaluator=None,
+    ):
+        """Resilient replay: ``(featured frame, ApplyReport)``.
+
+        The per-feature fault-isolation engine lives in
+        :mod:`repro.serve.resilience` (imported lazily here to keep the
+        strict hot path free of it); healthy features evaluate through
+        the identical calls :meth:`apply` makes, so their outputs are
+        bit-identical to a fault-free strict run.
+        """
+        from repro.serve.resilience import apply_with_report as _apply
+
+        return _apply(
+            self,
+            frame,
+            failure_policy=failure_policy,
+            breakers=breakers,
+            watchdog=watchdog,
+            evaluator=evaluator,
+        )
 
     @staticmethod
     def _run_fallback(spec: FeatureSpec, working: DataFrame):

@@ -36,6 +36,10 @@ class PlanRegistry:
         self.root = root
         self._lock = threading.Lock()
         self._cache: dict[tuple[str, int], FeaturePlan] = {}
+        #: Bumped on every save/pin/unpin through *this* instance; part of
+        #: :meth:`state_token` so in-process mutations invalidate server
+        #: plan caches immediately even when filesystem mtimes are coarse.
+        self._generation = 0
 
     # ------------------------------------------------------------------
     # Paths
@@ -63,6 +67,7 @@ class PlanRegistry:
             version = (self._versions_unlocked(name) or [0])[-1] + 1
             plan.save(self._plan_path(name, version))
             self._cache[(name, version)] = plan
+            self._generation += 1
             return version
 
     def _versions_unlocked(self, name: str) -> list[int]:
@@ -114,6 +119,7 @@ class PlanRegistry:
             os.makedirs(self.root, exist_ok=True)
             with open(self._pins_path, "w", encoding="utf-8") as handle:
                 json.dump(pins, handle, indent=2)
+            self._generation += 1
 
     def unpin(self, name: str) -> None:
         with self._lock:
@@ -121,11 +127,31 @@ class PlanRegistry:
             if pins.pop(name, None) is not None:
                 with open(self._pins_path, "w", encoding="utf-8") as handle:
                     json.dump(pins, handle, indent=2)
+                self._generation += 1
 
     def pinned(self, name: str) -> int | None:
         """The pinned version of *name*, or ``None``."""
         with self._lock:
             return self._read_pins().get(name)
+
+    def state_token(self, name: str) -> tuple:
+        """Cheap opaque token that changes whenever *name*'s pin-or-latest
+        resolution could change.
+
+        Combines this instance's mutation generation (exact for
+        in-process saves/pins) with the pins-file and plan-directory
+        ``mtime_ns`` (eventually correct for cross-process writers).  A
+        server caching a resolved plan revalidates by comparing tokens —
+        two stat calls instead of re-reading plan JSON per batch.
+        """
+        with self._lock:
+            generation = self._generation
+        def _mtime(path: str) -> int:
+            try:
+                return os.stat(path).st_mtime_ns
+            except OSError:
+                return -1
+        return (generation, _mtime(self._pins_path), _mtime(self._plan_dir(name)))
 
     # ------------------------------------------------------------------
     # Load

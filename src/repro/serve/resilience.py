@@ -1,0 +1,843 @@
+"""Serve-path resilience: fault isolation, breakers, quarantine, watchdog.
+
+``FeaturePlan.apply`` is all-or-nothing by design — ``strict`` mode, the
+default, fails the whole batch the moment one feature misbehaves, which
+is the right contract for offline replay and tests.  Production traffic
+needs the opposite: a misbehaving feature (a sandbox fallback that
+raises, a drifted column, a hostile row value) should cost exactly its
+own column, with the blast radius recorded, never the batch.  This
+module is that degraded-mode machinery:
+
+* :func:`apply_with_report` — the per-feature isolation loop behind
+  ``failure_policy="degrade"``: a failing feature yields a NaN-filled
+  column plus a structured :class:`FeatureReport`; healthy features
+  evaluate through the exact same code path as strict mode, so their
+  outputs stay bit-identical to a fault-free run.
+* :class:`CircuitBreaker` / :class:`BreakerBoard` — per-feature
+  closed → open → half-open breakers with thread-safe, *call-count*
+  based state (no wall clock, so trips and recoveries are exactly
+  reproducible in tests).
+* :class:`SandboxWatchdog` — wall-clock timeout plus output sanity
+  (row count, dtype, no input-frame mutation) around sandbox-fallback
+  evaluation, so FM-generated code can hang or explode without taking
+  the server down.
+* :func:`validate_rows` — typed coercion of row-dict batches against the
+  plan's schema fingerprint with per-cell patching and per-row
+  quarantine, so hostile input surfaces as a reasoned
+  :class:`QuarantineReport` instead of a deep-in-kernel crash.
+* :class:`ServerStats` — the cumulative counters behind
+  ``FeatureServer.health()`` / ``stats()``.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+import threading
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.dataframe.frame import DataFrame
+from repro.dataframe.series import Series
+from repro.serve.plan import PlanError, PlanSchemaError, column_kind
+
+__all__ = [
+    "FAILURE_POLICIES",
+    "ApplyReport",
+    "BatchValidationError",
+    "BreakerBoard",
+    "CircuitBreaker",
+    "FeatureReport",
+    "QuarantineReport",
+    "SandboxWatchdog",
+    "ServerStats",
+    "ValidationLimits",
+    "WatchdogTimeout",
+    "WatchdogViolation",
+    "apply_with_report",
+    "plan_known_categories",
+    "validate_rows",
+]
+
+#: ``strict`` is today's contract (one bad feature fails the batch) and
+#: stays the default; ``degrade`` NaN-fills failing features and reports.
+FAILURE_POLICIES = ("strict", "degrade")
+
+
+class WatchdogTimeout(PlanError):
+    """A guarded fallback exceeded its wall-clock budget."""
+
+
+class WatchdogViolation(PlanError):
+    """A guarded fallback returned insane output or mutated its input."""
+
+
+class BatchValidationError(PlanError):
+    """A row-dict batch cannot be served at all (empty, or fully hostile)."""
+
+
+# ----------------------------------------------------------------------
+# Per-feature reports
+# ----------------------------------------------------------------------
+@dataclass
+class FeatureReport:
+    """One feature's outcome in one ``apply`` call.
+
+    ``status`` is ``ok`` (served normally), ``failed`` (evaluation raised
+    — NaN-filled under degrade), ``skipped`` (breaker open — NaN-filled
+    without burning evaluation time), or ``omitted`` (the plan itself
+    never compiled it).  ``error`` is the exception class name for
+    ``failed``; ``reason`` is human-readable in every non-ok case.
+    """
+
+    feature: str
+    status: str
+    error: str = ""
+    reason: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "feature": self.feature,
+            "status": self.status,
+            "error": self.error,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class ApplyReport:
+    """Structured outcome of one resilient ``apply`` call."""
+
+    policy: str
+    reports: list[FeatureReport] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(r.status in ("ok", "omitted") for r in self.reports)
+
+    def by_status(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for report in self.reports:
+            out[report.status] = out.get(report.status, 0) + 1
+        return out
+
+    @property
+    def degraded_fraction(self) -> float:
+        """Fraction of served (non-omitted) features that were NaN-filled."""
+        served = [r for r in self.reports if r.status != "omitted"]
+        if not served:
+            return 0.0
+        bad = sum(1 for r in served if r.status != "ok")
+        return bad / len(served)
+
+    def failures(self) -> list[FeatureReport]:
+        return [r for r in self.reports if r.status in ("failed", "skipped")]
+
+    def to_dict(self) -> dict:
+        return {
+            "policy": self.policy,
+            "degraded_fraction": self.degraded_fraction,
+            "by_status": self.by_status(),
+            "features": [r.to_dict() for r in self.reports],
+        }
+
+
+# ----------------------------------------------------------------------
+# Circuit breakers
+# ----------------------------------------------------------------------
+class CircuitBreaker:
+    """Closed → open → half-open breaker with deterministic, counted state.
+
+    State advances on *calls*, never on wall-clock time: after
+    ``failure_threshold`` consecutive failures the breaker opens and the
+    next ``cooldown_calls`` calls are refused outright; the call after
+    that is admitted as the half-open probe, whose outcome closes or
+    re-opens the breaker.  Count-based cooldown keeps trip/recovery
+    schedules exactly reproducible under seeded fault injection, and the
+    single lock makes the counters safe under concurrent callers.
+    """
+
+    def __init__(self, failure_threshold: int = 3, cooldown_calls: int = 5) -> None:
+        if failure_threshold < 1 or cooldown_calls < 1:
+            raise ValueError("breaker thresholds must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.cooldown_calls = cooldown_calls
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._consecutive_failures = 0
+        self._cooldown_left = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def allow(self) -> bool:
+        """Admit or refuse one call (refusals count down the cooldown)."""
+        with self._lock:
+            if self._state == "closed":
+                return True
+            if self._state == "open":
+                if self._cooldown_left > 0:
+                    self._cooldown_left -= 1
+                    return False
+                self._state = "half_open"
+                return True  # this call is the probe
+            return False  # half_open: a probe is already in flight
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._state = "closed"
+            self._consecutive_failures = 0
+            self._cooldown_left = 0
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._consecutive_failures += 1
+            if (
+                self._state == "half_open"
+                or self._consecutive_failures >= self.failure_threshold
+            ):
+                self._state = "open"
+                self._cooldown_left = self.cooldown_calls
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "cooldown_left": self._cooldown_left,
+            }
+
+
+class BreakerBoard:
+    """Per-feature breakers sharing one configuration, created on demand."""
+
+    def __init__(self, failure_threshold: int = 3, cooldown_calls: int = 5) -> None:
+        self.failure_threshold = failure_threshold
+        self.cooldown_calls = cooldown_calls
+        self._lock = threading.Lock()
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    def get(self, feature: str) -> CircuitBreaker:
+        with self._lock:
+            breaker = self._breakers.get(feature)
+            if breaker is None:
+                breaker = CircuitBreaker(self.failure_threshold, self.cooldown_calls)
+                self._breakers[feature] = breaker
+            return breaker
+
+    def snapshot(self) -> dict[str, dict]:
+        with self._lock:
+            items = list(self._breakers.items())
+        return {name: breaker.snapshot() for name, breaker in items}
+
+
+# ----------------------------------------------------------------------
+# Sandbox watchdog
+# ----------------------------------------------------------------------
+def _series_equal(a: Series, b: Series) -> bool:
+    av, bv = a.values, b.values
+    if av.dtype != bv.dtype or av.shape != bv.shape:
+        return False
+    if av.dtype.kind == "f":
+        return bool(np.array_equal(av, bv, equal_nan=True))
+    if av.dtype.kind == "O":
+        for x, y in zip(av.tolist(), bv.tolist()):
+            if x is y:
+                continue
+            if (
+                isinstance(x, float)
+                and isinstance(y, float)
+                and math.isnan(x)
+                and math.isnan(y)
+            ):
+                continue
+            if x != y:
+                return False
+        return True
+    return bool(np.array_equal(av, bv))
+
+
+class SandboxWatchdog:
+    """Wall-clock budget + output sanity around fallback evaluation.
+
+    The guarded callable runs in a daemon worker thread under a
+    ``sys.settrace`` hook; on timeout the hook is armed to raise
+    :class:`WatchdogTimeout` at the worker's next bytecode line, which
+    interrupts pure-Python busy loops (a C-level hang cannot be
+    interrupted, but the daemon thread cannot block process exit
+    either).  The budget is enforced with ``Thread.join(timeout)`` — no
+    polling, no wall-clock reads.
+    """
+
+    def __init__(self, timeout_s: float = 2.0, join_grace_s: float = 0.5) -> None:
+        if timeout_s <= 0:
+            raise ValueError("watchdog timeout must be positive")
+        self.timeout_s = timeout_s
+        self.join_grace_s = join_grace_s
+
+    def run(self, fn: Callable[[], Any]) -> Any:
+        """Run ``fn()`` under the wall-clock budget; re-raise its errors."""
+        cancel = threading.Event()
+        holder: dict[str, Any] = {}
+
+        def tracer(frame, event, arg):
+            if cancel.is_set():
+                raise WatchdogTimeout("watchdog cancelled the transform")
+            return tracer
+
+        def worker() -> None:
+            sys.settrace(tracer)
+            try:
+                holder["result"] = fn()
+            except BaseException as exc:  # noqa: BLE001 - ferried to caller
+                holder["error"] = exc
+            finally:
+                sys.settrace(None)
+
+        thread = threading.Thread(
+            target=worker, name="sandbox-watchdog", daemon=True
+        )
+        thread.start()
+        thread.join(self.timeout_s)
+        if thread.is_alive():
+            cancel.set()
+            thread.join(self.join_grace_s)
+            raise WatchdogTimeout(
+                f"transform exceeded its {self.timeout_s:.3f}s wall-clock budget"
+            )
+        if "error" in holder:
+            raise holder["error"]
+        return holder["result"]
+
+    def run_guarded(self, spec, working: DataFrame, fn: Callable[[DataFrame], Any]):
+        """Run ``fn(guard)`` on a defensive copy and sanity-check the output.
+
+        The copy means a mutating transform can never corrupt the
+        caller's frame; comparing the copy back against the original
+        afterwards turns the attempted mutation into a loud
+        :class:`WatchdogViolation`, as are a wrong row count and (when
+        the spec records ``output_kinds``) a wrong output dtype kind.
+        """
+        guard = working.copy()
+        out = self.run(lambda: fn(guard))
+        if guard.columns != working.columns or any(
+            not _series_equal(guard[name], working[name]) for name in working.columns
+        ):
+            raise WatchdogViolation(
+                f"feature {spec.name!r} transform mutated its input frame"
+            )
+        n_rows = len(working)
+        kinds = getattr(spec, "output_kinds", None) or {}
+        if isinstance(kinds, Sequence) and not isinstance(kinds, Mapping):
+            kinds = dict(zip(spec.output_columns, kinds))
+        for name, series in _iter_outputs(spec, out):
+            if len(series) != n_rows:
+                raise WatchdogViolation(
+                    f"feature {spec.name!r} produced {len(series)} rows "
+                    f"for a {n_rows}-row batch"
+                )
+            expected = kinds.get(name)
+            if expected is not None and column_kind(series) != expected:
+                raise WatchdogViolation(
+                    f"feature {spec.name!r} output {name!r} has kind "
+                    f"{column_kind(series)}, plan recorded {expected}"
+                )
+        return out
+
+
+def _iter_outputs(spec, out):
+    """Yield ``(column name, Series)`` from a transform's raw output."""
+    if isinstance(out, Series):
+        name = spec.output_columns[0] if spec.output_columns else out.name
+        yield name, out
+        return
+    if isinstance(out, DataFrame):
+        for name in spec.output_columns:
+            if name in out:
+                yield name, out[name]
+        return
+    if isinstance(out, Mapping):
+        for name, series in out.items():
+            if isinstance(series, Series):
+                yield name, series
+
+
+# ----------------------------------------------------------------------
+# Resilient apply
+# ----------------------------------------------------------------------
+def _nan_fill(spec, working: DataFrame, n_rows: int) -> None:
+    for name in spec.output_columns:
+        working[name] = Series._from_array(np.full(n_rows, np.nan), name)
+
+
+def apply_with_report(
+    plan,
+    frame: DataFrame,
+    *,
+    failure_policy: str = "degrade",
+    breakers: BreakerBoard | None = None,
+    watchdog: SandboxWatchdog | None = None,
+    evaluator: Callable | None = None,
+) -> tuple[DataFrame, ApplyReport]:
+    """Replay *plan* with per-feature fault isolation.
+
+    The engine behind ``FeaturePlan.apply_with_report``.  Healthy
+    features run through the identical evaluation calls the strict path
+    makes (same ``evaluate_feature`` / fallback, same install), so their
+    outputs are bit-identical to a fault-free strict run.  A failing
+    feature costs exactly its own output columns: under ``degrade`` they
+    are NaN-filled and the failure is recorded in the returned
+    :class:`ApplyReport`; under ``strict`` the original exception
+    propagates (after the breaker, if any, counts it).
+
+    ``evaluator`` is the chaos seam: when given, every feature
+    evaluation routes through ``evaluator(spec, frame, default)`` where
+    ``default()`` performs the normal evaluation — fault injectors wrap
+    it, production never sets it.
+    """
+    if failure_policy not in FAILURE_POLICIES:
+        raise PlanError(
+            f"unknown failure_policy {failure_policy!r}; "
+            f"expected one of {FAILURE_POLICIES}"
+        )
+    degrade = failure_policy == "degrade"
+    problems = plan.schema_problems(frame)
+    unavailable: dict[str, str] = {}
+    if problems:
+        if not degrade:
+            plan.validate_frame(frame)  # raises with the canonical message
+        unavailable = {name: problem for name, _kind, problem in problems}
+    present = [
+        c for c in plan.input_columns if c in frame and c not in unavailable
+    ]
+    working = frame.column_view(present)
+    n_rows = len(frame)
+    report = ApplyReport(policy=failure_policy)
+
+    for spec in plan.features:
+        if spec.status == "omitted":
+            report.reports.append(
+                FeatureReport(spec.name, "omitted", reason=spec.reason)
+            )
+            continue
+        missing = [c for c in spec.input_columns if c not in working]
+        if missing:
+            reasons = "; ".join(
+                unavailable.get(c, f"column {c!r} unavailable") for c in missing
+            )
+            _nan_fill(spec, working, n_rows)
+            report.reports.append(
+                FeatureReport(
+                    spec.name, "failed", error="PlanSchemaError",
+                    reason=f"input unavailable: {reasons}",
+                )
+            )
+            continue
+        breaker = breakers.get(spec.name) if breakers is not None else None
+        if breaker is not None and not breaker.allow():
+            if not degrade:
+                raise PlanError(
+                    f"circuit breaker open for feature {spec.name!r}"
+                )
+            _nan_fill(spec, working, n_rows)
+            report.reports.append(
+                FeatureReport(
+                    spec.name, "skipped", error="CircuitOpen",
+                    reason="circuit breaker open",
+                )
+            )
+            continue
+        try:
+            out = _evaluate_spec(plan, spec, working, watchdog, evaluator)
+            plan._install(spec, out, working)
+        except Exception as exc:  # noqa: BLE001 - isolation is the point
+            if breaker is not None:
+                breaker.record_failure()
+            if not degrade:
+                raise
+            _nan_fill(spec, working, n_rows)
+            report.reports.append(
+                FeatureReport(
+                    spec.name, "failed", error=type(exc).__name__, reason=str(exc)
+                )
+            )
+            continue
+        if breaker is not None:
+            breaker.record_success()
+        report.reports.append(FeatureReport(spec.name, "ok"))
+
+    to_drop = [c for c in plan.drop_columns if c in working]
+    if to_drop:
+        working.drop(columns=to_drop, inplace=True)
+    return working, report
+
+
+def _evaluate_spec(plan, spec, working, watchdog, evaluator):
+    """One feature's evaluation, optionally chaos-wrapped and guarded.
+
+    The watchdog engages for sandbox fallbacks (untrusted FM source) and
+    for any evaluation routed through a chaos ``evaluator`` — compiled
+    expressions on the production path stay unguarded, they are pure
+    data-plane numpy with nothing to time out.
+    """
+    from repro.dataframe.expr import evaluate_feature
+
+    def default_on(frame):
+        if spec.status == "compiled":
+            return evaluate_feature(spec.expr, frame)
+        return plan._run_fallback(spec, frame)
+
+    guard_needed = spec.status == "fallback" or evaluator is not None
+    if watchdog is not None and guard_needed:
+        if evaluator is None:
+            return watchdog.run_guarded(spec, working, default_on)
+        return watchdog.run_guarded(
+            spec, working, lambda g: evaluator(spec, g, lambda: default_on(g))
+        )
+    if evaluator is not None:
+        return evaluator(spec, working, lambda: default_on(working))
+    return default_on(working)
+
+
+# ----------------------------------------------------------------------
+# Hostile-input validation / quarantine
+# ----------------------------------------------------------------------
+@dataclass
+class ValidationLimits:
+    """Knobs bounding what a row-dict batch may contain.
+
+    ``max_string_chars`` quarantines oversized strings before they reach
+    the object kernels; ``nan_flood_fraction`` is the per-column NaN
+    fraction above which the batch is flagged (a flood is a *warning* —
+    NaN is a legal value — but a sudden all-NaN column is usually an
+    upstream outage, and health checks want to see it).
+    ``max_patch_examples`` caps the per-cell patch examples kept in the
+    report so a hostile batch cannot balloon memory.
+    """
+
+    max_string_chars: int = 10_000
+    nan_flood_fraction: float = 0.5
+    max_patch_examples: int = 20
+
+
+@dataclass
+class QuarantineReport:
+    """What :func:`validate_rows` did to a row-dict batch."""
+
+    total_rows: int = 0
+    kept_rows: int = 0
+    quarantined: list[tuple[int, str]] = field(default_factory=list)
+    patched_cells: int = 0
+    patches: list[tuple[int, str, str]] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def quarantined_rows(self) -> int:
+        return len(self.quarantined)
+
+    def to_dict(self) -> dict:
+        return {
+            "total_rows": self.total_rows,
+            "kept_rows": self.kept_rows,
+            "quarantined_rows": self.quarantined_rows,
+            "quarantined": [
+                {"row": idx, "reason": reason} for idx, reason in self.quarantined
+            ],
+            "patched_cells": self.patched_cells,
+            "patches": [
+                {"row": idx, "column": col, "reason": reason}
+                for idx, col, reason in self.patches
+            ],
+            "warnings": list(self.warnings),
+        }
+
+
+_MISSING = object()
+
+
+def _coerce_numeric(value: Any):
+    """``(float value, patch reason | None)`` or ``(None, quarantine reason)``."""
+    if value is _MISSING or value is None:
+        return float("nan"), None
+    if isinstance(value, bool):
+        return float(value), "bool coerced to numeric"
+    if isinstance(value, (int, float, np.integer, np.floating)):
+        value = float(value)
+        if math.isinf(value):
+            return float("nan"), "inf patched to NaN"
+        return value, None
+    if isinstance(value, str):
+        try:
+            parsed = float(value)
+        except ValueError:
+            return None, f"non-numeric string {value[:40]!r} in numeric column"
+        if math.isinf(parsed):
+            return float("nan"), "inf patched to NaN"
+        return parsed, "numeric string coerced"
+    return None, f"value of type {type(value).__name__} in numeric column"
+
+
+def _coerce_bool(value: Any):
+    if isinstance(value, (bool, np.bool_)):
+        return bool(value), None
+    if isinstance(value, (int, np.integer)) and value in (0, 1):
+        return bool(value), "0/1 coerced to bool"
+    if value is _MISSING or value is None:
+        return None, "missing value in boolean column"
+    return None, f"value of type {type(value).__name__} in boolean column"
+
+
+def _coerce_object(value: Any, limits: ValidationLimits):
+    if value is _MISSING or value is None:
+        return None, None
+    if isinstance(value, str):
+        if len(value) > limits.max_string_chars:
+            return None, (
+                f"string of {len(value)} chars exceeds "
+                f"max_string_chars={limits.max_string_chars}"
+            )
+        try:
+            value.encode("utf-8")
+        except UnicodeEncodeError:
+            return None, "string is not UTF-8-encodable"
+        return value, None
+    if isinstance(value, (bool, int, float, np.bool_, np.integer, np.floating)):
+        return value, None
+    return None, f"value of type {type(value).__name__} in object column"
+
+
+def validate_rows(
+    plan,
+    rows: Sequence[Mapping],
+    limits: ValidationLimits | None = None,
+    *,
+    strict: bool = False,
+) -> tuple[DataFrame, QuarantineReport]:
+    """Coerce a row-dict batch against *plan*'s schema, quarantining hostiles.
+
+    Cell-level problems with an obvious safe reading are *patched* (inf →
+    NaN, numeric string → float, missing key → NaN/None) and counted;
+    problems with no safe reading (nested values, un-coercible dtypes,
+    oversized or non-UTF-8 strings, a non-mapping row) *quarantine the
+    whole row* with a reason.  Surviving rows become a frame whose
+    columns already carry the plan's expected dtypes, so
+    ``validate_frame`` passes by construction.
+
+    ``strict=True`` converts any quarantine *or patch* into a raised
+    :class:`BatchValidationError` — the strict-policy contract is that a
+    hostile batch fails loudly rather than being silently shrunk or
+    repaired.  An empty batch, or a batch with no surviving rows, always
+    raises.
+    """
+    limits = limits or ValidationLimits()
+    rows = list(rows)
+    report = QuarantineReport(total_rows=len(rows))
+    if not rows:
+        raise BatchValidationError("empty batch: no rows to transform")
+    schema = plan.input_schema
+    kept: list[int] = []
+    columns: dict[str, list] = {name: [] for name, _ in schema}
+
+    for idx, row in enumerate(rows):
+        if not isinstance(row, Mapping):
+            report.quarantined.append(
+                (idx, f"row is not a mapping (got {type(row).__name__})")
+            )
+            continue
+        staged: dict[str, Any] = {}
+        patches: list[tuple[str, str]] = []
+        reason = None
+        for name, kind in schema:
+            value = row.get(name, _MISSING)
+            if isinstance(value, (Mapping, list, tuple, set)):
+                reason = f"nested value of type {type(value).__name__} in column {name!r}"
+                break
+            if kind == "numeric":
+                coerced, note = _coerce_numeric(value)
+                if coerced is None:
+                    reason = f"column {name!r}: {note}"
+                    break
+            elif kind == "bool":
+                coerced, note = _coerce_bool(value)
+                if coerced is None:
+                    reason = f"column {name!r}: {note}"
+                    break
+            else:
+                coerced, note = _coerce_object(value, limits)
+                if note is not None:
+                    reason = f"column {name!r}: {note}"
+                    break
+            if value is _MISSING and kind != "bool":
+                patches.append((name, "missing key defaulted"))
+            elif note is not None:
+                patches.append((name, note))
+            staged[name] = coerced
+        if reason is not None:
+            report.quarantined.append((idx, reason))
+            continue
+        kept.append(idx)
+        for name, note in patches:
+            report.patched_cells += 1
+            if len(report.patches) < limits.max_patch_examples:
+                report.patches.append((idx, name, note))
+        for name, _kind in schema:
+            columns[name].append(staged[name])
+
+    report.kept_rows = len(kept)
+    if strict and (report.quarantined or report.patched_cells):
+        if report.quarantined:
+            idx, first = report.quarantined[0]
+            detail = f"row {idx}: {first}"
+        else:
+            idx, col, note = report.patches[0]
+            detail = f"row {idx}, column {col!r}: {note}"
+        raise BatchValidationError(
+            f"{report.quarantined_rows} rows quarantined and "
+            f"{report.patched_cells} cells patched out of {report.total_rows} "
+            f"rows under strict policy; first: {detail}"
+        )
+    if not kept:
+        sample = "; ".join(
+            f"row {idx}: {reason}" for idx, reason in report.quarantined[:3]
+        )
+        raise BatchValidationError(
+            f"no rows survived validation ({report.total_rows} quarantined): {sample}"
+        )
+
+    data: dict[str, Any] = {}
+    for name, kind in schema:
+        values = columns[name]
+        if kind == "numeric":
+            array = np.asarray(values, dtype=np.float64)
+        elif kind == "bool":
+            array = np.asarray(values, dtype=bool)
+        else:
+            array = np.empty(len(values), dtype=object)
+            array[:] = values
+        data[name] = Series._from_array(array, name)
+    # Plan input columns outside the serve schema (the target, when the
+    # batch carries it) pass through untouched, as the raw-DataFrame path
+    # would keep them.
+    schema_names = {name for name, _ in schema}
+    for name in plan.input_columns:
+        if name in schema_names or name not in rows[kept[0]]:
+            continue
+        data[name] = [rows[idx].get(name) for idx in kept]
+    frame = DataFrame(data)
+
+    for name, kind in schema:
+        if kind != "numeric":
+            continue
+        values = frame[name].values
+        flood = float(np.isnan(values).mean()) if len(values) else 0.0
+        if flood > limits.nan_flood_fraction:
+            report.warnings.append(
+                f"column {name!r}: NaN fraction {flood:.2f} exceeds "
+                f"flood threshold {limits.nan_flood_fraction:.2f}"
+            )
+    known = plan_known_categories(plan)
+    for name, categories in known.items():
+        if name not in frame:
+            continue
+        values = frame[name].values
+        unknown = sum(
+            1 for v in values.tolist() if v is not None and v not in categories
+        )
+        if unknown:
+            report.warnings.append(
+                f"column {name!r}: {unknown} values outside the "
+                f"{len(categories)} categories the plan froze"
+            )
+    return frame, report
+
+
+def plan_known_categories(plan) -> dict[str, set]:
+    """Category vocabularies the plan froze, per input column.
+
+    Derived from ``dummies`` / ``dict_map`` / ``group_lookup`` nodes —
+    the forms whose fit-time statistics enumerate the values they saw.
+    A serve-time value outside the set is not an error (the kernels all
+    have an unseen-value path), but a surge of them is drift worth
+    flagging.
+    """
+    out: dict[str, set] = {}
+    for spec in plan.features:
+        if spec.status != "compiled" or spec.expr is None:
+            continue
+        stack = [spec.expr]
+        while stack:
+            node = stack.pop()
+            if not isinstance(node, dict):
+                continue
+            op = node.get("op")
+            if op == "dummies":
+                out.setdefault(node["column"], set()).update(node["categories"])
+            elif op == "dict_map":
+                out.setdefault(node["column"], set()).update(node["keys"])
+            elif op == "group_lookup":
+                for j, key in enumerate(node["keys"]):
+                    out.setdefault(key, set()).update(
+                        row[j] for row in node.get("table", [])
+                    )
+            for child in node.values():
+                if isinstance(child, dict):
+                    stack.append(child)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Cumulative server stats
+# ----------------------------------------------------------------------
+class ServerStats:
+    """Thread-safe cumulative counters behind the server health surface."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._batches = 0
+        self._rows_in = 0
+        self._rows_served = 0
+        self._rows_quarantined = 0
+        self._cells_patched = 0
+        self._features: dict[str, dict[str, int]] = {}
+
+    def record(
+        self,
+        *,
+        rows_in: int,
+        rows_served: int,
+        quarantine: QuarantineReport | None = None,
+        apply_report: ApplyReport | None = None,
+    ) -> None:
+        with self._lock:
+            self._batches += 1
+            self._rows_in += rows_in
+            self._rows_served += rows_served
+            if quarantine is not None:
+                self._rows_quarantined += quarantine.quarantined_rows
+                self._cells_patched += quarantine.patched_cells
+            if apply_report is not None:
+                for feature in apply_report.reports:
+                    if feature.status == "omitted":
+                        continue
+                    counts = self._features.setdefault(
+                        feature.feature, {"ok": 0, "failed": 0, "skipped": 0}
+                    )
+                    counts[feature.status] = counts.get(feature.status, 0) + 1
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "batches": self._batches,
+                "rows_in": self._rows_in,
+                "rows_served": self._rows_served,
+                "rows_quarantined": self._rows_quarantined,
+                "cells_patched": self._cells_patched,
+                "features": {
+                    name: dict(counts) for name, counts in self._features.items()
+                },
+            }

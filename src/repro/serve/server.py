@@ -7,6 +7,20 @@ program.  Plans are immutable once loaded and replay never mutates shared
 state (per-call frames are per-caller; the one shared write — a Series
 grouping-cache fill — is an idempotent publish of identical data), so one
 server instance is safe under concurrent callers.
+
+Registry-backed resolution is cached per ``(name, version)``: explicit
+versions are immutable and cached forever; pin-or-latest resolution
+revalidates against :meth:`PlanRegistry.state_token` (two stat calls)
+instead of re-reading plan JSON on every batch, and no disk I/O ever
+happens while the server lock is held.
+
+Resilience is opt-in per server: ``failure_policy="degrade"`` NaN-fills
+failing features instead of failing the batch, per-feature circuit
+breakers stop burning sandbox time on persistently broken fallbacks, a
+watchdog bounds fallback wall-clock and output sanity, and row-dict
+batches are coerced/quarantined against the plan schema.
+:meth:`FeatureServer.health` and :meth:`FeatureServer.stats` expose the
+accumulated picture.
 """
 
 from __future__ import annotations
@@ -17,8 +31,42 @@ from collections.abc import Mapping, Sequence
 from repro.dataframe.frame import DataFrame
 from repro.serve.plan import FeaturePlan, PlanError
 from repro.serve.registry import PlanRegistry
+from repro.serve.resilience import (
+    FAILURE_POLICIES,
+    ApplyReport,
+    BreakerBoard,
+    QuarantineReport,
+    SandboxWatchdog,
+    ServerStats,
+    ValidationLimits,
+    validate_rows,
+)
 
-__all__ = ["FeatureServer"]
+__all__ = ["FeatureServer", "ServeReport"]
+
+
+class ServeReport:
+    """Everything one resilient ``transform_with_report`` call observed."""
+
+    def __init__(
+        self,
+        apply_report: ApplyReport,
+        quarantine: QuarantineReport | None = None,
+    ) -> None:
+        self.apply_report = apply_report
+        self.quarantine = quarantine
+
+    @property
+    def ok(self) -> bool:
+        clean_rows = self.quarantine is None or not self.quarantine.quarantined
+        return self.apply_report.ok and clean_rows
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "apply": self.apply_report.to_dict(),
+            "quarantine": self.quarantine.to_dict() if self.quarantine else None,
+        }
 
 
 class FeatureServer:
@@ -31,6 +79,23 @@ class FeatureServer:
     registry, name, version:
         Registry-backed resolution: *name* (and optional *version*) select
         the plan; omitted versions follow the registry pin/latest rules.
+    failure_policy:
+        ``"strict"`` (default — one bad feature or hostile row fails the
+        batch loudly, the historical contract) or ``"degrade"`` (failing
+        features NaN-fill, hostile rows quarantine, everything is
+        reported).
+    breaker_threshold, breaker_cooldown:
+        Per-feature circuit breakers: open after *breaker_threshold*
+        consecutive failures, admit a half-open probe after
+        *breaker_cooldown* refused calls.  ``breaker_threshold=0``
+        disables breakers.
+    watchdog_timeout:
+        Wall-clock seconds a sandbox-fallback feature may spend per
+        batch (plus output sanity checks).  ``None`` disables the
+        watchdog.
+    limits:
+        :class:`~repro.serve.resilience.ValidationLimits` for row-dict
+        batches (string size, NaN-flood threshold).
     """
 
     def __init__(
@@ -39,19 +104,54 @@ class FeatureServer:
         registry: PlanRegistry | None = None,
         name: str | None = None,
         version: int | None = None,
+        *,
+        failure_policy: str = "strict",
+        breaker_threshold: int = 0,
+        breaker_cooldown: int = 5,
+        watchdog_timeout: float | None = None,
+        limits: ValidationLimits | None = None,
     ) -> None:
         if plan is None and registry is None:
             raise PlanError("FeatureServer needs a plan or a registry")
+        if failure_policy not in FAILURE_POLICIES:
+            raise PlanError(
+                f"unknown failure_policy {failure_policy!r}; "
+                f"expected one of {FAILURE_POLICIES}"
+            )
         self._plan = plan
         self._registry = registry
         self._default_name = name
         self._default_version = version
         self._lock = threading.Lock()
+        self._plan_cache: dict[tuple[str, int | None], tuple[tuple | None, FeaturePlan]] = {}
+        self.failure_policy = failure_policy
+        self.breakers = (
+            BreakerBoard(breaker_threshold, breaker_cooldown)
+            if breaker_threshold > 0
+            else None
+        )
+        self.watchdog = (
+            SandboxWatchdog(watchdog_timeout) if watchdog_timeout else None
+        )
+        self.limits = limits or ValidationLimits()
+        self.stats_board = ServerStats()
 
+    # ------------------------------------------------------------------
+    # Plan resolution
+    # ------------------------------------------------------------------
     def plan_for(
         self, name: str | None = None, version: int | None = None
     ) -> FeaturePlan:
-        """Resolve the plan a call should replay (registry cache behind a lock)."""
+        """Resolve the plan a call should replay.
+
+        Registry resolution is cached: an explicit *version* names an
+        immutable artifact and is cached unconditionally; pin-or-latest
+        resolution is cached against the registry's
+        :meth:`~repro.serve.registry.PlanRegistry.state_token`, so a
+        save/pin/unpin invalidates on the next call.  All registry I/O
+        happens outside the server lock — the lock only guards the
+        cache dict.
+        """
         if name is None and self._plan is not None:
             return self._plan
         if self._registry is None:
@@ -59,11 +159,21 @@ class FeatureServer:
         resolved = name if name is not None else self._default_name
         if resolved is None:
             raise PlanError("no plan name given and no default configured")
+        wanted = version if version is not None else self._default_version
+        key = (resolved, wanted)
+        token = None if wanted is not None else self._registry.state_token(resolved)
         with self._lock:
-            return self._registry.load(
-                resolved, version if version is not None else self._default_version
-            )
+            cached = self._plan_cache.get(key)
+        if cached is not None and cached[0] == token:
+            return cached[1]
+        plan = self._registry.load(resolved, wanted)
+        with self._lock:
+            self._plan_cache[key] = (token, plan)
+        return plan
 
+    # ------------------------------------------------------------------
+    # Transform
+    # ------------------------------------------------------------------
     def transform(
         self,
         rows: DataFrame | Sequence[Mapping],
@@ -72,13 +182,89 @@ class FeatureServer:
     ) -> DataFrame:
         """Replay the plan over a batch of rows; returns the featured frame.
 
-        The batch may be a DataFrame or a list of row dicts.  Schema
-        mismatches raise :class:`repro.serve.plan.PlanSchemaError` listing
-        every offending column.
+        The batch may be a DataFrame or a list of row dicts.  Under the
+        default strict policy, schema mismatches raise
+        :class:`repro.serve.plan.PlanSchemaError` and hostile row dicts
+        raise :class:`repro.serve.resilience.BatchValidationError` —
+        always a typed ``PlanError`` subclass, never an internal
+        traceback.  Under ``degrade``, hostile rows quarantine and
+        failing features NaN-fill; use :meth:`transform_with_report` to
+        see what happened.
         """
+        frame, _report = self.transform_with_report(rows, name, version)
+        return frame
+
+    def transform_with_report(
+        self,
+        rows: DataFrame | Sequence[Mapping],
+        name: str | None = None,
+        version: int | None = None,
+    ) -> tuple[DataFrame, ServeReport]:
+        """Like :meth:`transform`, also returning the :class:`ServeReport`."""
         plan = self.plan_for(name, version)
+        degrade = self.failure_policy == "degrade"
+        quarantine: QuarantineReport | None = None
         if isinstance(rows, DataFrame):
             frame = rows
         else:
-            frame = DataFrame(list(rows))
-        return plan.apply(frame)
+            frame, quarantine = validate_rows(
+                plan, rows, self.limits, strict=not degrade
+            )
+        rows_in = quarantine.total_rows if quarantine else len(frame)
+        if not degrade and self.breakers is None and self.watchdog is None:
+            # Strict with no extras: the historical zero-overhead path.
+            out = plan.apply(frame)
+            report = ServeReport(ApplyReport(policy="strict"), quarantine)
+            self.stats_board.record(rows_in=rows_in, rows_served=len(out))
+            return out, report
+        out, apply_report = plan.apply_with_report(
+            frame,
+            failure_policy=self.failure_policy,
+            breakers=self.breakers,
+            watchdog=self.watchdog,
+        )
+        report = ServeReport(apply_report, quarantine)
+        self.stats_board.record(
+            rows_in=rows_in,
+            rows_served=len(out),
+            quarantine=quarantine,
+            apply_report=apply_report,
+        )
+        return out, report
+
+    # ------------------------------------------------------------------
+    # Health / stats surface
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Cumulative counters: batches, rows, quarantines, per-feature
+        success/failure/skip counts, current breaker states."""
+        out = self.stats_board.snapshot()
+        out["failure_policy"] = self.failure_policy
+        out["breakers"] = self.breakers.snapshot() if self.breakers else {}
+        return out
+
+    def health(self) -> dict:
+        """Condensed liveness view: ``status`` is ``"ok"`` when nothing is
+        failing, ``"degraded"`` when any feature is failing or any
+        breaker is non-closed — the payload says which."""
+        stats = self.stats()
+        failing = sorted(
+            feature
+            for feature, counts in stats["features"].items()
+            if counts.get("failed", 0) or counts.get("skipped", 0)
+        )
+        open_breakers = sorted(
+            feature
+            for feature, snap in stats["breakers"].items()
+            if snap["state"] != "closed"
+        )
+        status = "ok" if not failing and not open_breakers else "degraded"
+        return {
+            "status": status,
+            "failure_policy": self.failure_policy,
+            "batches": stats["batches"],
+            "rows_served": stats["rows_served"],
+            "rows_quarantined": stats["rows_quarantined"],
+            "failing_features": failing,
+            "open_breakers": open_breakers,
+        }

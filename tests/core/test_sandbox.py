@@ -64,6 +64,50 @@ class TestRunTransform:
         assert frame.columns == ["a", "b"]
 
 
+class TestASTVetting:
+    """The AST pass catches spellings the substring pre-filter misses."""
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            # extra whitespace defeats the "import os" token
+            "import  os\ndef transform(df):\n    return df['a']\n",
+            "import os as o\ndef transform(df):\n    return df['a']\n",
+            "from os import path\ndef transform(df):\n    return df['a']\n",
+            "from os.path import join\ndef transform(df):\n    return df['a']\n",
+            "from . import something\ndef transform(df):\n    return df['a']\n",
+            # dunder attribute access without the __subclasses__ token
+            "def transform(df):\n    x = df.__class__\n    return df['a']\n",
+            "def transform(df):\n    x = (1).__add__(2)\n    return df['a']\n",
+            # aliasing a forbidden name without calling it
+            "def transform(df):\n    f = eval\n    return df['a']\n",
+            "def transform(df):\n    g = getattr\n    return df['a']\n",
+        ],
+    )
+    def test_adversarial_sources_rejected(self, frame, bad):
+        with pytest.raises(SandboxViolation):
+            run_transform(bad, frame)
+
+    @pytest.mark.parametrize(
+        "ok",
+        [
+            # re-importing the exposed modules is harmless and allowed
+            "import math\ndef transform(df):\n    return df['a'].apply(lambda v: math.sqrt(v))\n",
+            "import numpy\ndef transform(df):\n    return df['a'] * numpy.e\n",
+            "from math import sqrt\ndef transform(df):\n    return df['a'].apply(lambda v: sqrt(v))\n",
+        ],
+    )
+    def test_allowlisted_imports_still_run(self, frame, ok):
+        out = run_transform(ok, frame)
+        assert out.notna().all()
+
+    def test_syntax_error_still_reports_as_transform_error(self, frame):
+        # the AST pass must not convert unparsable source into a
+        # SandboxViolation — compile() owns the syntax-error message
+        with pytest.raises(TransformError, match="compile"):
+            run_transform("def transform(df)\n    return 1\n", frame)
+
+
 class TestRunScript:
     def test_assignment_into_copy(self, frame):
         out = run_script("df['c'] = df['a'] / df['b']\n", frame)
@@ -85,3 +129,13 @@ class TestRunScript:
     def test_forbidden_rejected(self, frame):
         with pytest.raises(SandboxViolation):
             run_script("import subprocess\n", frame)
+
+    def test_del_df_raises_transform_error(self, frame):
+        # regression: `del df` used to escape as a bare KeyError from the
+        # namespace lookup instead of a typed TransformError
+        with pytest.raises(TransformError, match="deleted or rebound"):
+            run_script("del df\n", frame)
+
+    def test_rebound_df_raises_transform_error(self, frame):
+        with pytest.raises(TransformError, match="deleted or rebound"):
+            run_script("df = 42\n", frame)
