@@ -163,6 +163,8 @@ COMPARED_OPS = {
 
 
 def run(row_counts=ROW_COUNTS, fit_transform_rows=(10_000, 100_000), seed: int = 0) -> dict:
+    from conftest import peak_rss_mb
+
     payload: dict = {"row_counts": list(row_counts), "ops": {}, "fit_transform": {}}
     for n_rows in row_counts:
         frame = make_synthetic_frame(n_rows, seed=seed)
@@ -185,6 +187,8 @@ def run(row_counts=ROW_COUNTS, fit_transform_rows=(10_000, 100_000), seed: int =
             f"{cell['wall_s']:8.3f}s  ({cell['rows_per_s']:,} rows/s, "
             f"{cell['n_new_features']} features)"
         )
+    payload["peak_rss_mb"] = round(peak_rss_mb(), 1)
+    print(f"peak RSS: {payload['peak_rss_mb']} MB")
     return payload
 
 

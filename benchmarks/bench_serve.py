@@ -182,12 +182,16 @@ def concurrency_section(serve_rows: int) -> dict:
 
 
 def run(mode: str) -> dict:
+    from conftest import peak_rss_mb
+
     report = {
         "mode": mode,
         "identity": identity_section(FIT_ROWS[mode]),
         "throughput": throughput_section(SERVE_ROWS[mode]),
         "concurrency": concurrency_section(SERVE_ROWS[mode]),
     }
+    report["peak_rss_mb"] = round(peak_rss_mb(), 1)
+    print(f"peak RSS: {report['peak_rss_mb']} MB")
     return report
 
 

@@ -10,6 +10,8 @@ and a modelled full-scale time budget of 600 s (the simulator-scale
 equivalent of the paper's one-hour limit — see EXPERIMENTS.md).
 """
 
+import resource
+import sys
 from pathlib import Path
 
 import pytest
@@ -17,6 +19,20 @@ import pytest
 from repro.eval import SweepConfig, run_sweep
 
 BENCH_SWEEP_CONFIG = SweepConfig(n_rows=1200, n_splits=3, time_limit_s=600.0, seed=0)
+
+
+def peak_rss_mb() -> float:
+    """Process-lifetime peak resident set size, in MB (10⁶ bytes — the
+    same unit ``memory_budget_mb`` uses).
+
+    ``ru_maxrss`` is monotone over the process lifetime: it never goes
+    down, so two phases whose peaks should be *compared* (in-memory vs
+    sharded) must each run in their own subprocess.  Linux reports the
+    counter in KiB, macOS in bytes.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    scale = 1 if sys.platform == "darwin" else 1024
+    return peak * scale / 1e6
 
 
 @pytest.fixture(scope="session")

@@ -181,6 +181,17 @@ def build_parser() -> argparse.ArgumentParser:
     apply_.add_argument("--csv", required=True, help="CSV of rows to transform")
     apply_.add_argument("--out", help="write the featured rows to this CSV path")
     apply_.add_argument(
+        "--chunk-rows",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "stream the CSV through the plan N rows at a time instead of "
+            "loading it whole (out-of-core: bounded memory, incremental "
+            "--out writes, output bit-identical to the unchunked path)"
+        ),
+    )
+    apply_.add_argument(
         "--failure-policy",
         choices=["strict", "degrade"],
         default="strict",
@@ -495,6 +506,10 @@ def _cmd_plan_apply(args) -> int:
                 watchdog_timeout=args.watchdog_timeout,
             )
             plan = server.plan_for()
+        if args.chunk_rows is not None:
+            if args.chunk_rows < 1:
+                raise SystemExit("--chunk-rows must be >= 1")
+            return _plan_apply_streaming(args, server, plan)
         rows = read_csv(args.csv)
         featured, report = server.transform_with_report(rows)
     except PlanError as exc:
@@ -521,6 +536,49 @@ def _cmd_plan_apply(args) -> int:
     else:
         preview = ", ".join(featured.columns[:8])
         more = len(featured.columns) - 8
+        print(f"Columns: {preview}" + (f" … +{more} more" if more > 0 else ""))
+    return 0
+
+
+def _plan_apply_streaming(args, server, plan) -> int:
+    """``plan apply --chunk-rows N``: replay the plan over a CSV shard
+    stream, never holding more than one chunk (plus its featured output).
+
+    A one-pass schema scan pins every chunk to the whole-file column
+    dtypes, so each shard is bit-identical to the matching row slice of
+    ``read_csv`` and the streamed output matches the unchunked path
+    column-for-column; ``--out`` appends shard-by-shard (header once).
+    """
+    from repro.dataframe.io import read_csv_shards, scan_csv_kinds, to_csv
+
+    schema = scan_csv_kinds(args.csv)
+    rows_in = 0
+    n_shards = 0
+    columns: list[str] = []
+    for shard in read_csv_shards(args.csv, args.chunk_rows, schema=schema):
+        featured, _report = server.transform_with_report(shard.frame)
+        columns = featured.columns
+        rows_in += len(shard)
+        if args.out:
+            to_csv(featured, args.out, append=n_shards > 0)
+        n_shards += 1
+    print(
+        f"Applied plan ({len(plan.features)} features) to {rows_in} rows "
+        f"in {n_shards} chunks of <= {args.chunk_rows}: "
+        f"{len(columns)} columns out"
+    )
+    if args.failure_policy == "degrade":
+        health = server.health()
+        print(
+            f"Health: {health['status']} — "
+            f"failing features: {health['failing_features'] or 'none'}, "
+            f"{health['rows_quarantined']} rows quarantined"
+        )
+    if args.out:
+        print(f"Wrote featured rows to {args.out}")
+    else:
+        preview = ", ".join(columns[:8])
+        more = len(columns) - 8
         print(f"Columns: {preview}" + (f" … +{more} more" if more > 0 else ""))
     return 0
 

@@ -560,6 +560,90 @@ class SmartFeat:
         return result
 
     # ------------------------------------------------------------------
+    def fit_transform_stream(
+        self,
+        shards,
+        target: str,
+        descriptions: dict[str, str] | None = None,
+        title: str = "",
+        target_description: str = "",
+        *,
+        fit_sample_rows: int = 100_000,
+        sample_seed: int = 0,
+        refresh_group_tables: bool = True,
+    ) -> SmartFeatResult:
+        """Out-of-core fit: search over a bounded sample of a shard stream.
+
+        *shards* is an iterable of :class:`~repro.dataframe.io.Shard`
+        objects / DataFrames, or — when a second pass may be needed — a
+        zero-argument callable returning a fresh such iterable each time
+        it is called (e.g. ``lambda: read_csv_shards(path, 50_000)``).
+
+        Pass 1 draws a ``fit_sample_rows``-row sample via the seeded
+        reservoir (:func:`~repro.dataframe.io.reservoir_sample`), whose
+        output depends only on the row stream and seed — never on shard
+        boundaries — and holds at most the sample plus one shard in
+        memory.  The FM search then runs :meth:`fit_transform` on that
+        sample, so the accepted features, ``result.frame``, and the
+        exported plan are bit-identical to fitting in memory on the same
+        sample.
+
+        With ``compile_plan=True`` and *refresh_group_tables* (default),
+        a second pass re-aggregates every frozen ``group_lookup`` table
+        over the **full** stream through the two-pass segmented merge
+        (:meth:`~repro.serve.FeaturePlan.refresh_group_tables`), so group
+        statistics reflect every row even though the search saw only the
+        sample.  A one-shot iterator cannot be re-wound: if the plan has
+        group tables and *shards* is not callable, this raises
+        ``ValueError`` before any FM spend is wasted on a half-done
+        artifact.  Pass ``refresh_group_tables=False`` to keep
+        sample-only tables.
+
+        The exported plan records what happened under
+        ``plan.metadata["fit_stream"]``: sampled vs total row counts, the
+        seed, and whether tables were refreshed.
+        """
+        from repro.dataframe.io import reservoir_sample
+
+        if fit_sample_rows < 1:
+            raise ValueError(
+                f"fit_sample_rows must be >= 1, got {fit_sample_rows}"
+            )
+        factory = shards if callable(shards) else None
+        stream = shards() if factory is not None else shards
+        sample, total_rows = reservoir_sample(
+            stream, fit_sample_rows, seed=sample_seed
+        )
+        if len(sample) == 0:
+            raise ValueError("shard stream produced no rows to fit on")
+        result = self.fit_transform(
+            sample,
+            target,
+            descriptions=descriptions,
+            title=title,
+            target_description=target_description,
+        )
+        refreshed = 0
+        if result.plan is not None:
+            if refresh_group_tables and result.plan._group_lookup_nodes():
+                if factory is None:
+                    raise ValueError(
+                        "refreshing group tables needs a second pass over the "
+                        "stream: pass a callable shard factory (e.g. "
+                        "lambda: read_csv_shards(path, rows)) or set "
+                        "refresh_group_tables=False"
+                    )
+                refreshed = result.plan.refresh_group_tables(factory())
+            result.plan.metadata["fit_stream"] = {
+                "sample_rows": len(sample),
+                "requested_sample_rows": fit_sample_rows,
+                "total_rows": total_rows,
+                "seed": sample_seed,
+                "group_tables_refreshed": refreshed,
+            }
+        return result
+
+    # ------------------------------------------------------------------
     # Serving plan export
     # ------------------------------------------------------------------
     def export_plan(self, result, frame, target, knowledge=None, metadata=None):

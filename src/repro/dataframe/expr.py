@@ -44,6 +44,7 @@ __all__ = [
     "expr_columns",
     "freeze_expr",
     "is_frozen",
+    "refreeze_group_table",
     "validate_expr",
 ]
 
@@ -471,10 +472,36 @@ def _freeze_group_table(node: dict, frame) -> dict:
         "op": "group_lookup",
         "keys": list(keys),
         "agg": node["agg"],
+        # The aggregated column is not needed to replay the frozen table,
+        # but an out-of-core refresh pass re-aggregates from it — keep it.
+        "agg_col": agg_col,
         "table": table,
         "value_kind": value_kind,
         "fill": None,
     }
+
+
+def refreeze_group_table(node: dict, labels: list, per: np.ndarray) -> None:
+    """Replace a frozen ``group_lookup`` table in place from per-group values.
+
+    *labels*/*per* come from an out-of-core aggregation over the full
+    shard stream (:class:`repro.dataframe.groupby.StreamingGroupAgg` in
+    first-seen order); the rebuilt ``table``/``value_kind`` follow the
+    same encoding rules as the fit-time freeze, so the node replays
+    through the identical broadcast path.
+    """
+    if node.get("op") != "group_lookup":
+        raise ExprError(f"cannot refreeze node op {node.get('op')!r}")
+    kind = per.dtype.kind
+    node["value_kind"] = (
+        "int64" if kind in "iu" else "float64" if kind == "f" else "object"
+    )
+    single = len(node["keys"]) == 1
+    table = []
+    for label, value in zip(labels, per):
+        parts = [label] if single else list(label)
+        table.append([*(_unbox(p) for p in parts), _unbox(value)])
+    node["table"] = table
 
 
 def _freeze_split_outputs(node: dict, frame) -> dict:

@@ -26,7 +26,7 @@ import numpy as np
 from repro.dataframe import kernels as _kernels
 from repro.dataframe.series import Series
 
-__all__ = ["DataFrameGroupBy", "SeriesGroupBy"]
+__all__ = ["DataFrameGroupBy", "SeriesGroupBy", "StreamingGroupAgg"]
 
 _NAMED_AGGS: dict[str, Callable[[Series], Any]] = {
     "mean": lambda s: s.mean(),
@@ -251,6 +251,178 @@ def _segmented_sorted(
     if series.dtype.kind not in "ifb":
         return None
     return _kernels.segmented_agg(op, series._numeric(), index.order, index.starts)
+
+
+#: Sentinel marking a first/last slot not yet populated.
+_UNSET = object()
+
+
+class StreamingGroupAgg:
+    """Out-of-core grouped aggregation: exact per-shard partials + merge.
+
+    Feed row shards through :meth:`update` in stream order; the final
+    per-group values from :meth:`result` are **invariant to shard
+    boundaries** — any chunking of the same table, one big shard
+    included, produces the identical bit pattern.  The merge rules live
+    in :func:`repro.dataframe.kernels.segmented_sum_carry`: ``sum``
+    folds sequentially through carried accumulators, ``mean`` is derived
+    from the merged sum/count at finalize (the mean-from-sums rule),
+    ``min``/``max`` merge associatively via ``fmin``/``fmax``,
+    ``count``/``size`` add integer partials, and ``first``/``last``
+    keep/overwrite positionally.  Every op except ``sum``/``mean`` is
+    additionally bit-exact against the one-shot segmented kernels;
+    ``sum``/``mean`` agree with the one-shot (pairwise-summing) kernel
+    to within float64 round-off (a few ulps).
+
+    Group labels accumulate in *global* first-seen order — the hash
+    path's observable ordering, and the order a frozen group table uses.
+    Shards must group on the fast (sort) path: missing or unorderable key
+    values raise, the same contract as freezing a group table at fit
+    time.
+    """
+
+    def __init__(self, keys: Sequence[str], agg_col: str | None, agg: str) -> None:
+        op = _segmented_name(agg)
+        if op is None:
+            raise ValueError(
+                f"aggregate {agg!r} has no segmented form; "
+                f"expected one of {sorted(_SEGMENTED_NAMES)}"
+            )
+        if op != "size" and agg_col is None:
+            raise ValueError(f"aggregate {agg!r} needs an agg_col")
+        self.keys = list(keys)
+        self.agg_col = agg_col
+        self.op = op
+        self._slots: dict[Any, int] = {}
+        self._sums = np.empty(0, dtype=np.float64)
+        self._counts = np.empty(0, dtype=np.int64)
+        self._minmax = np.empty(0, dtype=np.float64)
+        self._sizes = np.empty(0, dtype=np.int64)
+        self._positional: list = []
+        self._value_kinds: set[str] = set()
+        self.rows_seen = 0
+
+    @property
+    def n_groups(self) -> int:
+        return len(self._slots)
+
+    def _grow(self, n: int) -> None:
+        have = len(self._sums)
+        if have >= n:
+            return
+        pad = n - have
+        self._sums = np.concatenate([self._sums, np.zeros(pad)])
+        self._counts = np.concatenate(
+            [self._counts, np.zeros(pad, dtype=np.int64)]
+        )
+        self._minmax = np.concatenate([self._minmax, np.full(pad, np.nan)])
+        self._sizes = np.concatenate([self._sizes, np.zeros(pad, dtype=np.int64)])
+        self._positional.extend([_UNSET] * pad)
+
+    def update(self, frame) -> None:
+        """Fold one shard (the next *chunk_rows* of the logical table) in."""
+        n = len(frame)
+        if n == 0:
+            return
+        index = _GroupIndex(frame, self.keys)
+        if not index.fast:
+            raise ValueError(
+                f"streaming groupby over {self.keys!r} needs orderable, "
+                "non-missing key values in every shard (the hash path "
+                "cannot stream)"
+            )
+        self.rows_seen += n
+        # Register unseen labels in first-seen order — across the whole
+        # stream this reproduces the hash path's global group ordering.
+        first_seen = index.first_seen_order()
+        slots_first_seen = np.empty(index.n_groups, dtype=np.int64)
+        for j, label in enumerate(index.labels()):
+            slot = self._slots.get(label)
+            if slot is None:
+                slot = len(self._slots)
+                self._slots[label] = slot
+            slots_first_seen[j] = slot
+        self._grow(len(self._slots))
+        # Slot id per *sorted* segment, to line up with segmented kernels.
+        slots = np.empty(index.n_groups, dtype=np.int64)
+        slots[first_seen] = slots_first_seen
+        op = self.op
+        if op == "size":
+            self._sizes[slots] += _kernels.segmented_agg(
+                "size", _NO_VALUES, index.order, index.starts
+            )
+            return
+        series = frame[self.agg_col]
+        if op in ("first", "last"):
+            firsts, lasts = index.first_last_positions()
+            values = series.values[firsts if op == "first" else lasts]
+            self._value_kinds.add(series.dtype.kind)
+            if op == "last":
+                for slot, value in zip(slots, values):
+                    self._positional[slot] = value
+            else:
+                for slot, value in zip(slots, values):
+                    if self._positional[slot] is _UNSET:
+                        self._positional[slot] = value
+            return
+        # Same coercion contract as the in-memory groupby kernels:
+        # _numeric() accepts numeric and missing-heavy object columns
+        # (None/NaN become NaN) and raises for genuinely non-numeric data.
+        try:
+            values = series._numeric()
+        except (TypeError, ValueError) as exc:
+            raise ValueError(
+                f"aggregate {op!r} over non-numeric column {self.agg_col!r} "
+                f"has no segmented form: {exc}"
+            ) from None
+        if op in ("sum", "mean"):
+            self._sums[slots] = _kernels.segmented_sum_carry(
+                values, index.order, index.starts, self._sums[slots]
+            )
+        if op in ("count", "mean"):
+            self._counts[slots] += _kernels.segmented_agg(
+                "count", values, index.order, index.starts
+            )
+        if op in ("min", "max"):
+            part = _kernels.segmented_agg(op, values, index.order, index.starts)
+            fold = np.fmin if op == "min" else np.fmax
+            self._minmax[slots] = fold(self._minmax[slots], part)
+
+    def result(self) -> tuple[list, np.ndarray]:
+        """``(labels, per_group_values)`` in global first-seen order."""
+        labels = list(self._slots)
+        n = len(labels)
+        op = self.op
+        if op == "size":
+            return labels, self._sizes[:n].copy()
+        if op == "count":
+            return labels, self._counts[:n].copy()
+        if op == "sum":
+            return labels, self._sums[:n].copy()
+        if op == "mean":
+            # Mean-from-sums: the division's operands are bit-identical
+            # to the one-shot kernel's, so the quotient is too.
+            counts = self._counts[:n].astype(np.float64)
+            with np.errstate(invalid="ignore", divide="ignore"):
+                out = self._sums[:n] / counts
+            out[counts == 0] = np.nan
+            return labels, out
+        if op in ("min", "max"):
+            return labels, self._minmax[:n].copy()
+        raw = [
+            v.item() if isinstance(v, np.generic) else v
+            for v in self._positional[:n]
+        ]
+        kinds = self._value_kinds
+        if kinds in ({"i"}, {"u"}):
+            return labels, np.array(raw, dtype=np.int64)
+        if kinds and kinds <= {"i", "u", "f"}:
+            return labels, np.array(raw, dtype=np.float64)
+        if kinds == {"b"}:
+            return labels, np.array(raw, dtype=bool)
+        # Mixed shard dtypes (schema-less CSV streams): fall back to list
+        # coercion, the same authority concat_shards uses.
+        return labels, _kernels.coerce_listlike(raw)
 
 
 class DataFrameGroupBy:

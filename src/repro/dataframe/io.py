@@ -1,13 +1,44 @@
-"""Minimal CSV input/output for the dataframe substrate."""
+"""CSV input/output and the row-shard substrate for out-of-core execution.
+
+Besides the one-shot :func:`read_csv`/:func:`to_csv` pair, this module
+provides the streaming primitives the sharded fit/serve paths build on:
+
+* :class:`Shard` — a bounded, contiguous row window of a larger table;
+* :func:`iter_frame_shards` / :func:`read_csv_shards` — shard streams over
+  an in-memory frame (zero-copy views) or a CSV file (bounded buffers);
+* :func:`scan_csv_kinds` — a cheap schema pass so every CSV shard coerces
+  to the whole-file dtypes (cell values bit-identical to ``read_csv``);
+* :func:`concat_shards` — re-joins per-shard results under Series
+  list-coercion semantics, the package-wide dtype authority, so a
+  shard-wise pipeline lands on exactly the frame the in-memory path
+  would have produced;
+* :func:`reservoir_sample` — a seeded bounded row sample whose output is
+  a pure function of ``(seed, row stream)``, never of shard boundaries.
+"""
 
 from __future__ import annotations
 
 import csv
+from dataclasses import dataclass
 from pathlib import Path
+from typing import Iterable, Iterator
+
+import numpy as np
 
 from repro.dataframe.frame import DataFrame
+from repro.dataframe.kernels import is_missing_scalar
+from repro.dataframe.series import Series
 
-__all__ = ["read_csv", "to_csv"]
+__all__ = [
+    "Shard",
+    "concat_shards",
+    "iter_frame_shards",
+    "read_csv",
+    "read_csv_shards",
+    "reservoir_sample",
+    "scan_csv_kinds",
+    "to_csv",
+]
 
 
 def _parse_cell(text: str):
@@ -42,12 +73,297 @@ def read_csv(path: str | Path) -> DataFrame:
     return DataFrame(data)
 
 
-def to_csv(frame: DataFrame, path: str | Path) -> None:
-    """Write *frame* to a headered CSV file (missing values become empty cells)."""
-    with open(path, "w", newline="") as handle:
+def to_csv(
+    frame: DataFrame,
+    path: str | Path,
+    *,
+    append: bool = False,
+    header: bool | None = None,
+) -> None:
+    """Write *frame* to a headered CSV file (missing values become empty cells).
+
+    ``append=True`` adds rows to an existing file; *header* defaults to
+    ``not append`` so a shard stream writes the header exactly once
+    (first shard ``append=False``, the rest ``append=True``).
+    """
+    write_header = (not append) if header is None else header
+    with open(path, "a" if append else "w", newline="") as handle:
         writer = csv.writer(handle)
-        writer.writerow(frame.columns)
+        if write_header:
+            writer.writerow(frame.columns)
         for _, row in frame.iterrows():
             writer.writerow(
                 ["" if value is None or value != value else value for value in row.to_dict().values()]
             )
+
+
+# ----------------------------------------------------------------------
+# Row shards
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Shard:
+    """A bounded, contiguous row window of a larger logical table.
+
+    ``frame`` may share storage with the source table (the frame-shard
+    iterator yields zero-copy views) — treat it as read-only.
+    """
+
+    frame: DataFrame
+    index: int  # shard ordinal in the stream, 0-based
+    start: int  # global row offset of the shard's first row
+
+    def __len__(self) -> int:
+        return len(self.frame)
+
+
+def _as_frame(piece: "Shard | DataFrame") -> DataFrame:
+    return piece.frame if isinstance(piece, Shard) else piece
+
+
+def iter_frame_shards(frame: DataFrame, chunk_rows: int) -> Iterator[Shard]:
+    """Yield *frame* as contiguous :class:`Shard` views of ≤ *chunk_rows* rows.
+
+    Shards are numpy slice views — zero array copies — so iterating costs
+    one dict per shard.  An empty frame yields nothing.
+    """
+    if chunk_rows < 1:
+        raise ValueError(f"chunk_rows must be >= 1, got {chunk_rows}")
+    n = len(frame)
+    names = frame.columns
+    arrays = [frame[c].values for c in names]
+    for index, start in enumerate(range(0, n, chunk_rows)):
+        stop = min(start + chunk_rows, n)
+        piece = DataFrame()
+        for name, values in zip(names, arrays):
+            piece._columns[name] = Series._from_array(values[start:stop], name)
+        yield Shard(piece, index, start)
+
+
+# ----------------------------------------------------------------------
+# Streaming CSV: schema scan + bounded shard reader
+# ----------------------------------------------------------------------
+def scan_csv_kinds(path: str | Path) -> dict[str, str]:
+    """One streaming pass over a CSV → per-column coercion kind.
+
+    Kinds mirror Series list coercion over :func:`_parse_cell` values
+    (which never produce booleans): ``"int"``, ``"float"`` (numeric with
+    any float or missing cell), ``"object"`` (any string cell), or
+    ``"empty"`` (no present values).  Feeding the result to
+    :func:`read_csv_shards` pins every shard to the whole-file dtypes.
+    """
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            return {}
+        n = len(header)
+        forced = [False] * n  # a string cell forces the object path
+        missing = [False] * n
+        present = [False] * n
+        floaty = [False] * n
+        for row in reader:
+            for i in range(n):
+                if forced[i]:
+                    continue
+                cell = _parse_cell(row[i]) if i < len(row) else None
+                if cell is None:
+                    missing[i] = True
+                elif isinstance(cell, int):
+                    present[i] = True
+                elif isinstance(cell, float):
+                    if cell != cell:
+                        missing[i] = True
+                    else:
+                        present[i] = True
+                        floaty[i] = True
+                else:
+                    forced[i] = True
+    kinds = {}
+    for i, name in enumerate(header):
+        if forced[i]:
+            kinds[name] = "object"
+        elif not present[i]:
+            kinds[name] = "empty"
+        elif floaty[i] or missing[i]:
+            kinds[name] = "float"
+        else:
+            kinds[name] = "int"
+    return kinds
+
+
+def _coerce_kind(values: list, kind: str) -> Series:
+    """Coerce one shard's cell values to a whole-file column kind."""
+    if kind == "float":
+        return Series._from_array(np.array(values, dtype=np.float64))
+    if kind == "int":
+        return Series._from_array(np.array(values, dtype=np.int64))
+    arr = np.empty(len(values), dtype=object)
+    for i, v in enumerate(values):
+        arr[i] = None if is_missing_scalar(v) else v
+    return Series._from_array(arr)
+
+
+def read_csv_shards(
+    path: str | Path,
+    chunk_rows: int,
+    schema: dict[str, str] | None = None,
+) -> Iterator[Shard]:
+    """Stream a headered CSV as :class:`Shard`\\ s of ≤ *chunk_rows* rows.
+
+    With *schema* (from :func:`scan_csv_kinds`) every shard coerces to
+    the whole-file dtypes, so each shard is bit-identical to the matching
+    row slice of ``read_csv(path)`` regardless of where the boundaries
+    fall.  Without a schema each shard infers dtypes independently —
+    cheaper (no scan pass), but downstream consumers must tolerate dtype
+    drift between shards (:func:`concat_shards` re-coerces).
+    """
+    if chunk_rows < 1:
+        raise ValueError(f"chunk_rows must be >= 1, got {chunk_rows}")
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            return
+        buffers: list[list] = [[] for _ in header]
+        index = 0
+        start = 0
+        for row in reader:
+            for i, name in enumerate(header):
+                buffers[i].append(_parse_cell(row[i]) if i < len(row) else None)
+            if len(buffers[0]) >= chunk_rows:
+                yield Shard(_csv_shard_frame(header, buffers, schema), index, start)
+                start += len(buffers[0])
+                index += 1
+                buffers = [[] for _ in header]
+        if buffers and buffers[0]:
+            yield Shard(_csv_shard_frame(header, buffers, schema), index, start)
+
+
+def _csv_shard_frame(
+    header: list[str], buffers: list[list], schema: dict[str, str] | None
+) -> DataFrame:
+    if schema is None:
+        return DataFrame({name: cells for name, cells in zip(header, buffers)})
+    out = DataFrame()
+    for name, cells in zip(header, buffers):
+        series = _coerce_kind(cells, schema.get(name, "object"))
+        series.name = name
+        out._columns[name] = series
+    return out
+
+
+# ----------------------------------------------------------------------
+# Concat with list-coercion semantics
+# ----------------------------------------------------------------------
+def concat_shards(parts: Iterable["Shard | DataFrame"]) -> DataFrame:
+    """Concatenate per-shard frames row-wise into one frame.
+
+    When every piece agrees on a column's dtype the arrays concatenate
+    directly (this is exact: if every shard of a column is e.g. int64,
+    the in-memory column could only have been int64).  Mixed dtypes —
+    an all-NaN shard that degraded to object ``None`` rejoining a float
+    column, an int shard meeting a missing value — rebuild through
+    Series list coercion, the same rule the in-memory element paths
+    follow, so the result is bit-identical to the unsharded computation.
+    """
+    frames = [_as_frame(p) for p in parts]
+    if not frames:
+        return DataFrame()
+    columns = frames[0].columns
+    for frame in frames[1:]:
+        if frame.columns != columns:
+            raise ValueError(
+                f"shard column mismatch: {frame.columns} != {columns}"
+            )
+    out = DataFrame()
+    for name in columns:
+        arrays = [frame[name].values for frame in frames]
+        if len({a.dtype for a in arrays}) == 1:
+            out._columns[name] = Series._from_array(np.concatenate(arrays), name)
+        else:
+            merged: list = []
+            for frame in frames:
+                merged.extend(frame[name].tolist())
+            out._columns[name] = Series(merged, name)
+    out._check_lengths()
+    return out
+
+
+# ----------------------------------------------------------------------
+# Seeded reservoir sampling (chunk-invariant)
+# ----------------------------------------------------------------------
+_U64 = np.uint64
+
+
+def _splitmix64(x: np.ndarray) -> np.ndarray:
+    """Vectorised SplitMix64 finalizer over uint64 (wrap-around arithmetic)."""
+    with np.errstate(over="ignore"):
+        z = x + _U64(0x9E3779B97F4A7C15)
+        z = (z ^ (z >> _U64(30))) * _U64(0xBF58476D1CE4E5B9)
+        z = (z ^ (z >> _U64(27))) * _U64(0x94D049BB133111EB)
+        return z ^ (z >> _U64(31))
+
+
+def reservoir_sample(
+    shards: Iterable["Shard | DataFrame"], k: int, seed: int = 0
+) -> tuple[DataFrame, int]:
+    """Uniform bounded row sample over a shard stream (Algorithm R).
+
+    The replacement draw for global row *i* is a pure hash of
+    ``(seed, i)`` — never a stateful RNG — so the selected rows depend
+    only on the logical row stream: any chunking of the same table, or
+    the table materialised whole, yields the bit-identical sample.
+    Sampled rows come back in original row order and columns re-coerce
+    through Series list coercion (the dtypes a direct row-subset of the
+    source would have).  Returns ``(sample_frame, total_rows_seen)``.
+    """
+    if k < 1:
+        raise ValueError(f"reservoir size must be >= 1, got {k}")
+    seed_base = _splitmix64(np.array([seed], dtype=_U64))[0]
+    columns: list[str] | None = None
+    slot_rows: list[tuple] = []
+    slot_orig: list[int] = []
+    total = 0
+    for piece in shards:
+        frame = _as_frame(piece)
+        n = len(frame)
+        if columns is None:
+            columns = frame.columns
+        elif frame.columns != columns:
+            raise ValueError(
+                f"shard column mismatch: {frame.columns} != {columns}"
+            )
+        if n == 0:
+            continue
+        arrays = [frame[c].values for c in columns]
+        start, end = total, total + n
+        if start < k:  # fill phase: rows 0..k-1 enter unconditionally
+            take = min(k, end) - start
+            taken = [a[:take].tolist() for a in arrays]
+            for offset, row in enumerate(zip(*taken)):
+                slot_rows.append(row)
+                slot_orig.append(start + offset)
+        tail_lo = max(start, k)
+        if tail_lo < end:
+            idx = np.arange(tail_lo, end, dtype=np.int64)
+            hashes = _splitmix64(idx.astype(_U64) ^ seed_base)
+            with np.errstate(over="ignore"):
+                draws = (hashes % (idx + 1).astype(_U64)).astype(np.int64)
+            hit = draws < k
+            if hit.any():
+                positions = idx[hit] - start
+                slots = draws[hit]
+                picked = [a[positions].tolist() for a in arrays]
+                for slot, orig, row in zip(slots, idx[hit], zip(*picked)):
+                    slot_rows[slot] = row
+                    slot_orig[slot] = int(orig)
+        total = end
+    if columns is None:
+        return DataFrame(), 0
+    order = sorted(range(len(slot_rows)), key=slot_orig.__getitem__)
+    data = {
+        name: [slot_rows[i][j] for i in order] for j, name in enumerate(columns)
+    }
+    return DataFrame(data), total

@@ -30,6 +30,7 @@ __all__ = [
     "match_coerce_float",
     "missing_mask",
     "segmented_agg",
+    "segmented_sum_carry",
     "sorted_grouping",
     "str_lengths",
     "take_uniques",
@@ -513,3 +514,58 @@ def segmented_agg(
     if op == "max":
         return np.fmax.reduceat(sorted_vals, starts)
     raise ValueError(f"unknown segmented op {op!r}; expected one of {sorted(SEGMENTED_OPS)}")
+
+
+def segmented_sum_carry(
+    values: np.ndarray,
+    order: np.ndarray,
+    starts: np.ndarray,
+    carry: np.ndarray,
+) -> np.ndarray:
+    """Continue per-group sequential-fold sums across shards.
+
+    The out-of-core sum is defined as the **strict left fold** of each
+    group's values in stream (row) order: ``acc = ((0.0 + v0) + v1) + …``.
+    That definition is what makes it streamable — any shard boundary
+    splits the fold between two additions, so resuming from the carried
+    accumulator reproduces the identical bit pattern no matter how the
+    table is chunked (one shard or one row per shard).  Note the one-shot
+    in-memory kernel (:func:`segmented_agg`, via ``np.add.reduceat``)
+    uses numpy's *pairwise* summation, a different association: the two
+    agree to within float64 round-off (a few ulps, growing slowly with
+    group size), not bitwise — the chunking-invariance contract here is
+    against the fold itself.
+
+    Implementation: each segment of the (NaN-masked, sort-ordered) values
+    is seeded with its carry, and ``np.add.accumulate`` — which is
+    inherently sequential, unlike ``reduce``/``reduceat`` — folds it.
+
+    Two-pass merge rules (the out-of-core aggregation contract):
+
+    * ``sum`` — carried sequential fold (this function); NaN folds as 0.0.
+    * ``count``/``size`` — integer partials add exactly.
+    * ``min``/``max`` — ``fmin``/``fmax`` partials merge associatively
+      (NaN is the identity, so the all-NaN group stays NaN); these are
+      bit-exact against the one-shot kernel.
+    * ``mean`` — never merged directly: derived at finalize time as
+      ``merged_sum / merged_count`` in float64 (the mean-from-sums rule),
+      so it inherits the sum's chunking invariance.
+    * ``first``/``last`` — first occurrence keeps, later occurrences
+      overwrite; values are positional, NaN included; bit-exact.
+
+    *carry* holds one running accumulator per segment of *starts* (in
+    sort-segment order); the return value is the updated accumulator per
+    segment, same order.
+    """
+    n_groups = len(starts)
+    if n_groups == 0:
+        return np.empty(0, dtype=np.float64)
+    sorted_vals = values[order]
+    masked = np.where(np.isnan(sorted_vals), 0.0, sorted_vals)
+    seeded = np.insert(masked, starts, carry)
+    seeded_starts = starts + np.arange(n_groups, dtype=np.int64)
+    seeded_ends = np.append(seeded_starts[1:], len(seeded))
+    out = np.empty(n_groups, dtype=np.float64)
+    for g in range(n_groups):
+        out[g] = np.add.accumulate(seeded[seeded_starts[g]:seeded_ends[g]])[-1]
+    return out

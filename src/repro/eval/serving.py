@@ -36,6 +36,7 @@ __all__ = [
     "make_serving_frame",
     "replay_identity_report",
     "sandbox_replay",
+    "sharded_identity_report",
 ]
 
 #: The eval datasets the identity gate covers: the eight paper datasets
@@ -135,6 +136,50 @@ def replay_identity_report(
     return rows
 
 
+def sharded_identity_report(
+    datasets: tuple[str, ...] = ALL_DATASETS,
+    n_rows: int = 300,
+    chunk_rows: int = 64,
+    seed: int = 0,
+) -> list[dict]:
+    """Out-of-core identity gate: sharded replay == in-memory replay.
+
+    Per dataset: fit → export → JSON round-trip, then replay the plan
+    both ways — ``plan.apply`` over the whole frame, and
+    ``plan.apply_stream`` over a *chunk_rows*-row shard stream of the
+    same frame, concatenated back.  Every frozen op is row-local given
+    its fitted statistics, so the two must be **bit-identical**; each
+    report row says whether they are (with a first-difference ``detail``
+    when not).
+    """
+    from repro.dataframe.io import concat_shards, iter_frame_shards
+    from repro.serve import FeaturePlan, frames_identical
+
+    rows = []
+    for dataset in datasets:
+        bundle, result = fit_and_export(dataset, n_rows=n_rows, seed=seed)
+        plan = FeaturePlan.from_json(result.plan.to_json())
+        frame = bundle["frame"]
+        base = plan.apply(frame)
+        streamed = concat_shards(
+            list(plan.apply_stream(iter_frame_shards(frame, chunk_rows)))
+        )
+        identical, detail = frames_identical(streamed, base)
+        rows.append(
+            {
+                "dataset": dataset,
+                "n_rows": len(frame),
+                "chunk_rows": chunk_rows,
+                "n_shards": -(-len(frame) // chunk_rows),
+                "n_features": len(plan.features),
+                **plan.counts(),
+                "identical": identical,
+                "detail": detail,
+            }
+        )
+    return rows
+
+
 # ----------------------------------------------------------------------
 # The demo workload: every codegen form at arbitrary scale
 # ----------------------------------------------------------------------
@@ -163,16 +208,21 @@ _NOTES = (
 )
 
 
-def make_serving_frame(n_rows: int, seed: int = 0) -> DataFrame:
+def make_serving_frame(
+    n_rows: int, seed: int = 0, n_groups: int | None = None
+) -> DataFrame:
     """A mixed-type demo table sized for throughput benchmarking.
 
     Integer, float-with-missing, categorical, grouped-key, ISO-date,
     free-text, and separable-pair columns — one input column per codegen
     operator family, so :func:`build_demo_result` can exercise the full
-    IR surface.
+    IR surface.  *n_groups* overrides the Segment cardinality (default
+    scales with *n_rows*) — the sharded benchmark pins it so a small fit
+    frame's group tables cover a much larger serve frame's groups.
     """
     rng = np.random.default_rng(seed)
-    n_groups = max(n_rows // 200, 8)
+    if n_groups is None:
+        n_groups = max(n_rows // 200, 8)
     income = np.round(rng.lognormal(10.5, 0.6, n_rows), 2)
     income[rng.random(n_rows) < 0.03] = np.nan
     balance = np.round(rng.normal(5_000.0, 3_000.0, n_rows), 2)
@@ -229,15 +279,16 @@ _DEMO_SPECS: tuple[tuple[str, tuple[str, ...], str, OperatorFamily], ...] = (
 _DEMO_DROPPED = ("Notes", "Pair", "SignupDate")
 
 
-def build_demo_result(n_rows: int, seed: int = 0):
+def build_demo_result(n_rows: int, seed: int = 0, n_groups: int | None = None):
     """A synthetic fitted run covering every codegen form.
 
     Realizes each :data:`_DEMO_SPECS` source through the sandbox in
     install order (exactly what ``fit_transform`` would do) and wraps the
     outcome in a :class:`SmartFeatResult`.  Returns ``(result, frame)``
-    with *frame* the untouched input table.
+    with *frame* the untouched input table.  *n_groups* passes through to
+    :func:`make_serving_frame`.
     """
-    frame = make_serving_frame(n_rows, seed=seed)
+    frame = make_serving_frame(n_rows, seed=seed, n_groups=n_groups)
     knowledge = default_knowledge()
     column_values = {"City": sorted(set(frame["City"].tolist()))}
     working = frame.column_view(frame.columns)

@@ -281,6 +281,186 @@ class FeaturePlan:
             evaluator=evaluator,
         )
 
+    # ------------------------------------------------------------------
+    # Out-of-core streaming
+    # ------------------------------------------------------------------
+    def apply_stream(
+        self,
+        shards,
+        *,
+        memory_budget_mb: float | None = None,
+        failure_policy: str = "strict",
+        breakers=None,
+        watchdog=None,
+        evaluator=None,
+    ):
+        """Replay the plan shard-by-shard: a generator of featured frames.
+
+        *shards* is any iterable of :class:`~repro.dataframe.io.Shard` or
+        plain DataFrames (stream order = logical row order).  Each shard
+        replays through the identical :meth:`apply` call the in-memory
+        path makes — every frozen op is row-local given its fitted
+        statistics, so concatenating the yielded frames
+        (:func:`~repro.dataframe.io.concat_shards`) is bit-identical to
+        ``apply`` over the whole table.  Nothing beyond the current shard
+        (plus its featured output) is ever held.
+
+        ``memory_budget_mb`` caps the working set: incoming shards are
+        re-chunked so that (estimated input row bytes + output row bytes)
+        × a working-set factor stays under the budget, whatever chunk
+        size the producer chose.  The bound is enforced empirically by
+        ``benchmarks/bench_sharded.py`` against process peak RSS.
+
+        Fault isolation composes per shard: under
+        ``failure_policy="degrade"`` a failing feature NaN-fills only the
+        shard it failed on, and a shared *breakers* board / *watchdog*
+        accumulates across shards exactly as it does across batches.
+        Sandbox-fallback features (statuses other than ``compiled``)
+        recompute their batch statistics per shard — equivalent to
+        serving the same rows as smaller batches, and flagged in the
+        plan's ``counts()``; fully compiled plans (every eval dataset)
+        have no such features.
+        """
+        from repro.dataframe.io import Shard, iter_frame_shards
+
+        for piece in shards:
+            frame = piece.frame if isinstance(piece, Shard) else piece
+            if len(frame) == 0:
+                continue
+            if memory_budget_mb is None:
+                pieces = (frame,)
+            else:
+                max_rows = self.budget_rows(frame, memory_budget_mb)
+                pieces = (s.frame for s in iter_frame_shards(frame, max_rows))
+            for sub in pieces:
+                yield self.apply(
+                    sub,
+                    failure_policy=failure_policy,
+                    breakers=breakers,
+                    watchdog=watchdog,
+                    evaluator=evaluator,
+                )
+
+    #: Estimated per-row bytes for an object-dtype cell (pointer plus a
+    #: typical small payload) and the multiplier covering transient
+    #: working state (sort buffers, key encodes, per-op temporaries).
+    _OBJECT_ROW_BYTES = 80
+    _WORKING_FACTOR = 3.0
+
+    def budget_rows(self, frame: DataFrame, memory_budget_mb: float) -> int:
+        """Max rows per shard to keep the streaming working set under budget.
+
+        Best-effort arithmetic, not an allocator: input columns count
+        their dtype itemsize (object columns a flat per-row estimate),
+        every plan output column adds its estimated width, and the total
+        is scaled by a working-set factor for transients.
+        """
+        if memory_budget_mb <= 0:
+            raise PlanError(
+                f"memory_budget_mb must be positive, got {memory_budget_mb}"
+            )
+        row_bytes = 0
+        for name in self.input_columns:
+            if name in frame:
+                series = frame[name]
+                row_bytes += (
+                    self._OBJECT_ROW_BYTES
+                    if series.dtype == object
+                    else series.dtype.itemsize
+                )
+        for spec in self.features:
+            if spec.status == "omitted":
+                continue
+            kinds = spec.output_kinds or ["numeric"] * len(spec.output_columns)
+            for kind in kinds:
+                row_bytes += self._OBJECT_ROW_BYTES if kind == "object" else 8
+        budget_bytes = memory_budget_mb * 1_000_000
+        return max(int(budget_bytes / (max(row_bytes, 1) * self._WORKING_FACTOR)), 1)
+
+    def refresh_group_tables(self, shards) -> int:
+        """Second fit pass: re-aggregate every frozen ``group_lookup``
+        table over a full shard stream.
+
+        A plan fitted on a bounded sample carries group tables that only
+        reflect the sampled rows; streaming the *whole* table through the
+        two-pass segmented aggregation
+        (:class:`~repro.dataframe.groupby.StreamingGroupAgg` — exact
+        merges, sequential-fold sums, mean-from-sums) rebuilds each table
+        from every row while holding one shard at a time.  All tables
+        update in one pass over the stream.  Returns the number of tables
+        refreshed (0 consumes nothing from *shards*).
+
+        Group keys and aggregands may themselves be *generated* columns
+        (a groupby over a bucketized or log-transformed feature): each
+        shard replays the plan's compiled features in install order —
+        stopping as soon as every needed column exists — before the
+        aggregators see it, so derived inputs materialize exactly as
+        they do at serve time.  A needed column only a sandbox-fallback
+        feature produces raises :class:`PlanError` (fallback statistics
+        are batch-relative and cannot stream).
+
+        Mutates this plan in place: do it at fit/publish time, before the
+        plan is saved or served (loaded plans are treated as immutable).
+        """
+        from repro.dataframe.expr import refreeze_group_table
+        from repro.dataframe.groupby import StreamingGroupAgg
+        from repro.dataframe.io import Shard
+
+        nodes = self._group_lookup_nodes()
+        if not nodes:
+            return 0
+        aggs = []
+        needed: set[str] = set()
+        for node in nodes:
+            agg_col = node.get("agg_col")
+            if agg_col is None and node["agg"].strip().lower() != "size":
+                raise PlanError(
+                    "plan predates agg_col recording on group_lookup nodes; "
+                    "re-export it before refreshing group tables"
+                )
+            aggs.append(StreamingGroupAgg(node["keys"], agg_col, node["agg"]))
+            needed.update(node["keys"])
+            if agg_col is not None:
+                needed.add(agg_col)
+        for piece in shards:
+            frame = piece.frame if isinstance(piece, Shard) else piece
+            if len(frame) == 0:
+                continue
+            working = frame.column_view(frame.columns)
+            for spec in self.features:
+                if needed <= set(working.columns):
+                    break
+                if spec.status != "compiled" or not spec.expr:
+                    continue
+                out = evaluate_feature(spec.expr, working)
+                self._install(spec, out, working)
+            missing = needed - set(working.columns)
+            if missing:
+                raise PlanError(
+                    f"group-table refresh needs columns {sorted(missing)} that "
+                    "no compiled feature produces (sandbox-fallback outputs "
+                    "cannot stream)"
+                )
+            for agg in aggs:
+                agg.update(working)
+        for node, agg in zip(nodes, aggs):
+            labels, per = agg.result()
+            refreeze_group_table(node, labels, per)
+        return len(nodes)
+
+    def _group_lookup_nodes(self) -> list[dict]:
+        """Every frozen ``group_lookup`` node across compiled features."""
+        from repro.dataframe.expr import _walk
+
+        nodes = []
+        for spec in self.features:
+            if spec.status != "compiled" or not spec.expr:
+                continue
+            for node in _walk(spec.expr):
+                if isinstance(node, dict) and node.get("op") == "group_lookup":
+                    nodes.append(node)
+        return nodes
+
     @staticmethod
     def _run_fallback(spec: FeatureSpec, working: DataFrame):
         from repro.core.sandbox import TransformError, run_transform

@@ -26,7 +26,7 @@ accumulated picture.
 from __future__ import annotations
 
 import threading
-from collections.abc import Mapping, Sequence
+from collections.abc import Iterable, Iterator, Mapping, Sequence
 
 from repro.dataframe.frame import DataFrame
 from repro.serve.plan import FeaturePlan, PlanError
@@ -176,14 +176,21 @@ class FeatureServer:
     # ------------------------------------------------------------------
     def transform(
         self,
-        rows: DataFrame | Sequence[Mapping],
+        rows: DataFrame | Sequence[Mapping] | Iterable,
         name: str | None = None,
         version: int | None = None,
     ) -> DataFrame:
         """Replay the plan over a batch of rows; returns the featured frame.
 
-        The batch may be a DataFrame or a list of row dicts.  Under the
-        default strict policy, schema mismatches raise
+        The batch may be a DataFrame, a list of row dicts, or any other
+        iterable — a generator of :class:`~repro.dataframe.io.Shard`
+        objects / DataFrames streams through :meth:`transform_stream`
+        shard-by-shard and the results concatenate back into one frame,
+        bit-identical to transforming the table whole.  (Concatenating
+        holds every featured shard; keep the memory bound by consuming
+        :meth:`transform_stream` directly.)
+
+        Under the default strict policy, schema mismatches raise
         :class:`repro.serve.plan.PlanSchemaError` and hostile row dicts
         raise :class:`repro.serve.resilience.BatchValidationError` —
         always a typed ``PlanError`` subclass, never an internal
@@ -191,8 +198,36 @@ class FeatureServer:
         failing features NaN-fill; use :meth:`transform_with_report` to
         see what happened.
         """
+        if not isinstance(rows, (DataFrame, Sequence)) and isinstance(rows, Iterable):
+            from repro.dataframe.io import concat_shards
+
+            return concat_shards(list(self.transform_stream(rows, name, version)))
         frame, _report = self.transform_with_report(rows, name, version)
         return frame
+
+    def transform_stream(
+        self,
+        shards: Iterable,
+        name: str | None = None,
+        version: int | None = None,
+    ) -> Iterator[DataFrame]:
+        """Stream featured frames shard-by-shard (out-of-core serving).
+
+        *shards* iterates :class:`~repro.dataframe.io.Shard` objects,
+        DataFrames, or row-dict batches; each goes through the identical
+        validation/resilience path a :meth:`transform` batch does, so
+        fault isolation applies per shard under ``degrade`` (a failing
+        feature NaN-fills only the shards it fails on) while breakers,
+        the watchdog, and the stats board accumulate across the whole
+        stream.  Never holds more than one shard plus its featured
+        output.
+        """
+        from repro.dataframe.io import Shard
+
+        for piece in shards:
+            rows = piece.frame if isinstance(piece, Shard) else piece
+            out, _report = self.transform_with_report(rows, name, version)
+            yield out
 
     def transform_with_report(
         self,

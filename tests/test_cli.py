@@ -279,3 +279,64 @@ class TestPlanCommands:
     def test_apply_requires_exactly_one_source(self, tmp_path):
         with pytest.raises(SystemExit, match="exactly one"):
             main(["plan", "apply", "--csv", "rows.csv"])
+
+    def test_parser_accepts_chunk_rows(self):
+        args = build_parser().parse_args(
+            ["plan", "apply", "--plan", "p.json", "--csv", "r.csv", "--chunk-rows", "64"]
+        )
+        assert args.chunk_rows == 64
+
+    def test_apply_chunked_output_identical_to_unchunked(self, tmp_path, capsys):
+        """``--chunk-rows`` streams shard-by-shard yet writes the exact
+        bytes the in-memory path does."""
+        source = tmp_path / "data.csv"
+        self._write_csv(source, n_rows=100)
+        plan_path = tmp_path / "plan.json"
+        main(["plan", "export", str(source), "--target", "label", "--out", str(plan_path)])
+        capsys.readouterr()
+
+        whole = tmp_path / "whole.csv"
+        assert (
+            main(["plan", "apply", "--plan", str(plan_path), "--csv", str(source), "--out", str(whole)])
+            == 0
+        )
+        capsys.readouterr()
+
+        chunked = tmp_path / "chunked.csv"
+        assert (
+            main(
+                [
+                    "plan", "apply", "--plan", str(plan_path), "--csv", str(source),
+                    "--out", str(chunked), "--chunk-rows", "7",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "15 chunks of <= 7" in out
+        assert chunked.read_bytes() == whole.read_bytes()
+
+    def test_apply_chunked_without_out_previews_columns(self, tmp_path, capsys):
+        source = tmp_path / "data.csv"
+        self._write_csv(source)
+        plan_path = tmp_path / "plan.json"
+        main(["plan", "export", str(source), "--target", "label", "--out", str(plan_path)])
+        capsys.readouterr()
+        assert (
+            main(["plan", "apply", "--plan", str(plan_path), "--csv", str(source), "--chunk-rows", "32"])
+            == 0
+        )
+        assert "Columns:" in capsys.readouterr().out
+
+    def test_apply_rejects_non_positive_chunk_rows(self, tmp_path):
+        source = tmp_path / "data.csv"
+        self._write_csv(source)
+        plan_path = tmp_path / "plan.json"
+        main(["plan", "export", str(source), "--target", "label", "--out", str(plan_path)])
+        with pytest.raises(SystemExit, match="chunk-rows"):
+            main(
+                [
+                    "plan", "apply", "--plan", str(plan_path), "--csv", str(source),
+                    "--chunk-rows", "0",
+                ]
+            )
