@@ -192,6 +192,27 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     apply_.add_argument(
+        "--pipeline-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "overlap CSV decode, per-shard transform, and ordered --out "
+            "writes with N transform threads (needs --chunk-rows; output "
+            "stays byte-identical to the sequential stream)"
+        ),
+    )
+    apply_.add_argument(
+        "--pipeline-prefetch",
+        type=int,
+        default=None,
+        metavar="M",
+        help=(
+            "bound on decoded-ahead shards beyond the workers "
+            "(default: one per worker; total in-flight = N + M)"
+        ),
+    )
+    apply_.add_argument(
         "--failure-policy",
         choices=["strict", "degrade"],
         default="strict",
@@ -506,6 +527,15 @@ def _cmd_plan_apply(args) -> int:
                 watchdog_timeout=args.watchdog_timeout,
             )
             plan = server.plan_for()
+        if args.pipeline_workers is not None and args.chunk_rows is None:
+            raise SystemExit("--pipeline-workers needs --chunk-rows")
+        if args.pipeline_workers is not None and args.pipeline_workers < 1:
+            raise SystemExit("--pipeline-workers must be >= 1")
+        if args.pipeline_prefetch is not None:
+            if args.pipeline_workers is None:
+                raise SystemExit("--pipeline-prefetch needs --pipeline-workers")
+            if args.pipeline_prefetch < 1:
+                raise SystemExit("--pipeline-prefetch must be >= 1")
         if args.chunk_rows is not None:
             if args.chunk_rows < 1:
                 raise SystemExit("--chunk-rows must be >= 1")
@@ -548,25 +578,47 @@ def _plan_apply_streaming(args, server, plan) -> int:
     dtypes, so each shard is bit-identical to the matching row slice of
     ``read_csv`` and the streamed output matches the unchunked path
     column-for-column; ``--out`` appends shard-by-shard (header once).
+
+    ``--pipeline-workers N`` overlaps the three stages (decode,
+    transform, ordered write) through the shard pipeline; the
+    re-sequencing buffer keeps ``--out`` bytes identical to the
+    sequential stream, and per-stage wall-clock/queue-depth stats print
+    at the end.
     """
     from repro.dataframe.io import read_csv_shards, scan_csv_kinds, to_csv
 
     schema = scan_csv_kinds(args.csv)
-    rows_in = 0
     n_shards = 0
     columns: list[str] = []
-    for shard in read_csv_shards(args.csv, args.chunk_rows, schema=schema):
-        featured, _report = server.transform_with_report(shard.frame)
+    stream = server.transform_stream(
+        read_csv_shards(args.csv, args.chunk_rows, schema=schema),
+        pipeline_workers=args.pipeline_workers,
+        pipeline_prefetch=args.pipeline_prefetch,
+    )
+    for featured in stream:
         columns = featured.columns
-        rows_in += len(shard)
         if args.out:
             to_csv(featured, args.out, append=n_shards > 0)
         n_shards += 1
+    rows_in = server.stats()["rows_in"]
     print(
         f"Applied plan ({len(plan.features)} features) to {rows_in} rows "
         f"in {n_shards} chunks of <= {args.chunk_rows}: "
         f"{len(columns)} columns out"
     )
+    if args.pipeline_workers is not None:
+        pipe = server.stats().get("pipeline", {})
+        stage = pipe.get("stage_s", {})
+        depth = pipe.get("queue_depth", {})
+        print(
+            f"Pipeline: {pipe.get('workers', 0)} workers, "
+            f"prefetch {pipe.get('prefetch', 0)} — wall {pipe.get('wall_s', 0.0):.2f}s "
+            f"(decode {stage.get('produce', 0.0):.2f}s, "
+            f"transform {stage.get('transform', 0.0):.2f}s, "
+            f"emit wait {stage.get('emit_wait', 0.0):.2f}s); "
+            f"queue depth max {depth.get('max', 0)} / "
+            f"mean {depth.get('mean', 0.0):.1f}"
+        )
     if args.failure_policy == "degrade":
         health = server.health()
         print(

@@ -571,6 +571,8 @@ class SmartFeat:
         fit_sample_rows: int = 100_000,
         sample_seed: int = 0,
         refresh_group_tables: bool = True,
+        pipeline_workers: int | None = None,
+        pipeline_prefetch: int | None = None,
     ) -> SmartFeatResult:
         """Out-of-core fit: search over a bounded sample of a shard stream.
 
@@ -602,6 +604,13 @@ class SmartFeat:
         The exported plan records what happened under
         ``plan.metadata["fit_stream"]``: sampled vs total row counts, the
         seed, and whether tables were refreshed.
+
+        ``pipeline_workers`` opts the second (refresh) pass into the
+        overlapped shard executor: decode and per-shard feature replay
+        run on worker threads while the aggregation fold stays in
+        stream order, so the refreshed tables are bit-identical to the
+        sequential pass (see
+        :meth:`~repro.serve.FeaturePlan.refresh_group_tables`).
         """
         from repro.dataframe.io import reservoir_sample
 
@@ -633,7 +642,11 @@ class SmartFeat:
                         "lambda: read_csv_shards(path, rows)) or set "
                         "refresh_group_tables=False"
                     )
-                refreshed = result.plan.refresh_group_tables(factory())
+                refreshed = result.plan.refresh_group_tables(
+                    factory(),
+                    pipeline_workers=pipeline_workers,
+                    pipeline_prefetch=pipeline_prefetch,
+                )
             result.plan.metadata["fit_stream"] = {
                 "sample_rows": len(sample),
                 "requested_sample_rows": fit_sample_rows,

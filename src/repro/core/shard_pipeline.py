@@ -1,0 +1,279 @@
+"""Pipelined shard execution: an ordered, bounded-prefetch parallel map.
+
+The out-of-core paths (PR 9) are strictly sequential: CSV decode, feature
+transform, and output write run one after another per shard, so the serve
+loop uses one stage's worth of hardware at a time.  :func:`pipeline_map`
+overlaps them as a three-stage pipeline:
+
+* **stage 1 — produce**: a dedicated thread pulls shards off the source
+  iterator (CSV decode, chunk generation, re-chunking) ahead of the
+  consumer, up to a bounded prefetch window;
+* **stage 2 — transform**: a pool of worker threads maps the shard
+  function over in-flight shards concurrently;
+* **stage 3 — emit**: the caller's thread drains a *re-sequencing
+  buffer* that releases results strictly in input order, so downstream
+  folds/writes observe exactly the sequence the sequential loop would
+  have — and therefore identical bytes.
+
+Backpressure is structural: at most ``workers + prefetch`` shards are
+admitted past the producer before the consumer has emitted their
+predecessors (a semaphore ticket per in-flight shard, released on emit),
+so peak memory stays a small constant multiple of the shard size no
+matter how slow the consumer is.  Errors preserve sequential semantics:
+a shard whose production or transform raises re-raises on the caller's
+thread *after* every earlier shard has been emitted — the same prefix a
+sequential loop would have completed.
+
+Per-stage wall-clock and queue-depth statistics accumulate into a
+:class:`PipelineStats`, which the serve/CLI/benchmark report plumbing
+surfaces next to the existing timing sections.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Iterable, Iterator
+
+__all__ = ["PipelineStats", "pipeline_map"]
+
+
+class PipelineStats:
+    """Thread-safe per-stage accounting for one (or more) pipeline runs.
+
+    ``produce_s`` / ``transform_s`` / ``emit_wait_s`` are summed stage
+    wall-clocks: time spent pulling the source iterator, total worker
+    seconds inside the shard function (summed across workers, so it can
+    exceed the run's wall time), and time the consumer spent blocked
+    waiting for the next in-order result.  Queue depth is sampled at
+    every hand-off: ``max``/``mean`` describe the task queue feeding the
+    workers, ``resequence_max`` the out-of-order result buffer.  One
+    instance may accumulate several runs (``runs`` counts them) — the
+    server's stats surface reuses one across a stream of calls.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.runs = 0
+        self.workers = 0
+        self.prefetch = 0
+        self.shards_in = 0
+        self.shards_out = 0
+        self.produce_s = 0.0
+        self.transform_s = 0.0
+        self.emit_wait_s = 0.0
+        self.wall_s = 0.0
+        self.max_queue_depth = 0
+        self.max_resequence_depth = 0
+        self._depth_samples = 0
+        self._depth_total = 0
+
+    # -- recording (called from pipeline threads) ----------------------
+    def _configure(self, workers: int, prefetch: int) -> None:
+        with self._lock:
+            self.runs += 1
+            self.workers = workers
+            self.prefetch = prefetch
+
+    def _add_produce(self, seconds: float, queue_depth: int) -> None:
+        with self._lock:
+            self.shards_in += 1
+            self.produce_s += seconds
+            self.max_queue_depth = max(self.max_queue_depth, queue_depth)
+            self._depth_samples += 1
+            self._depth_total += queue_depth
+
+    def _add_transform(self, seconds: float, resequence_depth: int) -> None:
+        with self._lock:
+            self.transform_s += seconds
+            self.max_resequence_depth = max(
+                self.max_resequence_depth, resequence_depth
+            )
+
+    def _add_emit(self, wait_s: float) -> None:
+        with self._lock:
+            self.shards_out += 1
+            self.emit_wait_s += wait_s
+
+    def _add_wall(self, seconds: float) -> None:
+        with self._lock:
+            self.wall_s += seconds
+
+    # -- reporting -----------------------------------------------------
+    @property
+    def mean_queue_depth(self) -> float:
+        with self._lock:
+            if not self._depth_samples:
+                return 0.0
+            return self._depth_total / self._depth_samples
+
+    def to_dict(self) -> dict:
+        """The report payload the serve/CLI/benchmark plumbing embeds."""
+        with self._lock:
+            mean_depth = (
+                self._depth_total / self._depth_samples
+                if self._depth_samples
+                else 0.0
+            )
+            return {
+                "runs": self.runs,
+                "workers": self.workers,
+                "prefetch": self.prefetch,
+                "shards_in": self.shards_in,
+                "shards_out": self.shards_out,
+                "wall_s": round(self.wall_s, 6),
+                "stage_s": {
+                    "produce": round(self.produce_s, 6),
+                    "transform": round(self.transform_s, 6),
+                    "emit_wait": round(self.emit_wait_s, 6),
+                },
+                "queue_depth": {
+                    "max": self.max_queue_depth,
+                    "mean": round(mean_depth, 3),
+                    "resequence_max": self.max_resequence_depth,
+                },
+            }
+
+
+class _Run:
+    """Shared mutable state of one pipeline execution."""
+
+    def __init__(self, capacity: int) -> None:
+        self.cond = threading.Condition()
+        self.tasks: deque[tuple[int, Any]] = deque()  # producer → workers
+        self.results: dict[int, tuple[str, Any]] = {}  # re-sequencing buffer
+        self.tickets = threading.Semaphore(capacity)  # in-flight bound
+        self.cancel = threading.Event()
+        self.produced = 0
+        self.producer_done = False
+
+
+def pipeline_map(
+    source: Iterable,
+    fn: Callable[[Any], Any],
+    *,
+    workers: int,
+    prefetch: int | None = None,
+    stats: PipelineStats | None = None,
+) -> Iterator:
+    """Map *fn* over *source* with overlapped stages; yield results in order.
+
+    Results are re-sequenced so the generator yields ``fn(item)`` in
+    exactly source order — byte-for-byte the sequence a plain ``for``
+    loop would produce.  At most ``workers + prefetch`` items are in
+    flight (produced but not yet emitted); *prefetch* defaults to
+    ``workers``.  If producing or transforming item *i* raises, every
+    result before *i* is still yielded, then the exception re-raises on
+    the caller's thread; closing the generator early shuts the pipeline
+    down and joins its threads.  Threads start on the first ``next()``.
+
+    ``workers=1`` still overlaps stage 1 with stages 2+3 (one producer
+    thread, one transform thread); callers in this package keep the
+    plain sequential loop as the default and route here only on an
+    explicit ``pipeline_workers`` opt-in.
+    """
+    if workers < 1:
+        raise ValueError(f"pipeline workers must be >= 1, got {workers}")
+    if prefetch is None:
+        prefetch = workers
+    if prefetch < 1:
+        raise ValueError(f"pipeline prefetch must be >= 1, got {prefetch}")
+    stats = stats if stats is not None else PipelineStats()
+    capacity = workers + prefetch
+    run = _Run(capacity)
+
+    def produce() -> None:
+        iterator = iter(source)
+        seq = 0
+        try:
+            while True:
+                run.tickets.acquire()
+                if run.cancel.is_set():
+                    return
+                started = time.perf_counter()
+                try:
+                    item = next(iterator)
+                except StopIteration:
+                    run.tickets.release()
+                    return
+                elapsed = time.perf_counter() - started
+                with run.cond:
+                    run.tasks.append((seq, item))
+                    run.produced = seq + 1
+                    stats._add_produce(elapsed, len(run.tasks))
+                    run.cond.notify_all()
+                seq += 1
+        except BaseException as exc:  # noqa: BLE001 - ferried to the caller
+            with run.cond:
+                run.results[seq] = ("error", exc)
+                run.produced = seq + 1
+                run.cond.notify_all()
+        finally:
+            with run.cond:
+                run.producer_done = True
+                run.cond.notify_all()
+
+    def work() -> None:
+        while True:
+            with run.cond:
+                while not run.tasks and not run.producer_done and not run.cancel.is_set():
+                    run.cond.wait()
+                if run.cancel.is_set() or (not run.tasks and run.producer_done):
+                    return
+                seq, item = run.tasks.popleft()
+            started = time.perf_counter()
+            try:
+                outcome = ("ok", fn(item))
+            except BaseException as exc:  # noqa: BLE001 - ferried to the caller
+                outcome = ("error", exc)
+            elapsed = time.perf_counter() - started
+            with run.cond:
+                run.results[seq] = outcome
+                stats._add_transform(elapsed, len(run.results))
+                run.cond.notify_all()
+
+    producer = threading.Thread(
+        target=produce, name="shard-pipeline-produce", daemon=True
+    )
+    pool = [
+        threading.Thread(target=work, name=f"shard-pipeline-worker-{i}", daemon=True)
+        for i in range(workers)
+    ]
+
+    def emit() -> Iterator:
+        run_started = time.perf_counter()
+        stats._configure(workers, prefetch)
+        producer.start()
+        for thread in pool:
+            thread.start()
+        try:
+            next_seq = 0
+            while True:
+                wait_started = time.perf_counter()
+                with run.cond:
+                    while True:
+                        if next_seq in run.results:
+                            outcome = run.results.pop(next_seq)
+                            break
+                        if run.producer_done and next_seq >= run.produced:
+                            return
+                        run.cond.wait()
+                stats._add_emit(time.perf_counter() - wait_started)
+                status, payload = outcome
+                if status == "error":
+                    raise payload
+                yield payload
+                run.tickets.release()
+                next_seq += 1
+        finally:
+            run.cancel.set()
+            run.tickets.release()  # unblock a producer waiting for a ticket
+            with run.cond:
+                run.cond.notify_all()
+            producer.join()
+            for thread in pool:
+                thread.join()
+            stats._add_wall(time.perf_counter() - run_started)
+
+    return emit()

@@ -19,6 +19,7 @@ provides the streaming primitives the sharded fit/serve paths build on:
 from __future__ import annotations
 
 import csv
+import re
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator
@@ -41,18 +42,36 @@ __all__ = [
 ]
 
 
+#: Strict numeric grammar for CSV cells.  Deliberately narrower than
+#: Python's ``int()``/``float()``: no underscore separators (``"1_000"``
+#: is data, not a number), no NaN/inf spellings (``"nan"`` must stay the
+#: string ``"nan"`` — parsing it to a non-finite float made it serialize
+#: back as an *empty* cell, silent data loss), and no surrounding
+#: whitespace (``" 3 "`` is a padded string, not the number 3).
+_INT_CELL = re.compile(r"[+-]?[0-9]+\Z")
+_FLOAT_CELL = re.compile(
+    r"[+-]?(?:[0-9]+\.[0-9]*|\.[0-9]+|[0-9]+)(?:[eE][+-]?[0-9]+)?\Z"
+)
+
+
 def _parse_cell(text: str):
-    """Interpret a CSV cell: empty → missing, else int, float, or string."""
+    """Interpret a CSV cell: empty → missing, else bool, int, float, or string.
+
+    Numeric parsing follows the strict grammar above; ``"True"`` and
+    ``"False"`` (exactly — the spelling :func:`to_csv` writes) parse as
+    booleans so boolean columns survive a CSV round trip.  Everything
+    else is kept verbatim as a string.
+    """
     if text == "":
         return None
-    try:
+    if _INT_CELL.match(text):
         return int(text)
-    except ValueError:
-        pass
-    try:
+    if _FLOAT_CELL.match(text):
         return float(text)
-    except ValueError:
-        pass
+    if text == "True":
+        return True
+    if text == "False":
+        return False
     return text
 
 
@@ -145,11 +164,15 @@ def iter_frame_shards(frame: DataFrame, chunk_rows: int) -> Iterator[Shard]:
 def scan_csv_kinds(path: str | Path) -> dict[str, str]:
     """One streaming pass over a CSV → per-column coercion kind.
 
-    Kinds mirror Series list coercion over :func:`_parse_cell` values
-    (which never produce booleans): ``"int"``, ``"float"`` (numeric with
-    any float or missing cell), ``"object"`` (any string cell), or
-    ``"empty"`` (no present values).  Feeding the result to
-    :func:`read_csv_shards` pins every shard to the whole-file dtypes.
+    Kinds mirror Series list coercion (``kernels._classify``) over
+    :func:`_parse_cell` values: ``"bool"`` (all-boolean, no missing),
+    ``"bool_missing"`` (boolean with missing cells — the object
+    None/bool path), ``"int"``, ``"float"`` (numeric with any float or
+    missing cell), ``"object"`` (any string cell), or ``"empty"`` (no
+    present values).  Feeding the result to :func:`read_csv_shards` pins
+    every shard to the whole-file dtypes.  The parser's strict grammar
+    guarantees cells are never non-finite floats, so a parsed cell is
+    exactly one of None/bool/int/float/str.
     """
     with open(path, newline="") as handle:
         reader = csv.reader(handle)
@@ -162,6 +185,7 @@ def scan_csv_kinds(path: str | Path) -> dict[str, str]:
         missing = [False] * n
         present = [False] * n
         floaty = [False] * n
+        nonbool = [False] * n
         for row in reader:
             for i in range(n):
                 if forced[i]:
@@ -169,14 +193,15 @@ def scan_csv_kinds(path: str | Path) -> dict[str, str]:
                 cell = _parse_cell(row[i]) if i < len(row) else None
                 if cell is None:
                     missing[i] = True
+                elif isinstance(cell, bool):
+                    present[i] = True
                 elif isinstance(cell, int):
                     present[i] = True
+                    nonbool[i] = True
                 elif isinstance(cell, float):
-                    if cell != cell:
-                        missing[i] = True
-                    else:
-                        present[i] = True
-                        floaty[i] = True
+                    present[i] = True
+                    floaty[i] = True
+                    nonbool[i] = True
                 else:
                     forced[i] = True
     kinds = {}
@@ -185,6 +210,8 @@ def scan_csv_kinds(path: str | Path) -> dict[str, str]:
             kinds[name] = "object"
         elif not present[i]:
             kinds[name] = "empty"
+        elif not nonbool[i]:
+            kinds[name] = "bool_missing" if missing[i] else "bool"
         elif floaty[i] or missing[i]:
             kinds[name] = "float"
         else:
@@ -198,6 +225,13 @@ def _coerce_kind(values: list, kind: str) -> Series:
         return Series._from_array(np.array(values, dtype=np.float64))
     if kind == "int":
         return Series._from_array(np.array(values, dtype=np.int64))
+    if kind == "bool":
+        return Series._from_array(np.array([bool(v) for v in values], dtype=bool))
+    if kind == "bool_missing":
+        arr = np.empty(len(values), dtype=object)
+        for i, v in enumerate(values):
+            arr[i] = None if is_missing_scalar(v) else bool(v)
+        return Series._from_array(arr)
     arr = np.empty(len(values), dtype=object)
     for i, v in enumerate(values):
         arr[i] = None if is_missing_scalar(v) else v

@@ -14,6 +14,7 @@ calls).
 from __future__ import annotations
 
 import json
+import os
 import threading
 from collections import OrderedDict
 from pathlib import Path
@@ -173,10 +174,21 @@ class FMCache:
         )
 
     def save(self) -> None:
-        """Write the current entries to :attr:`path` as JSON."""
+        """Write the current entries to :attr:`path` as JSON.
+
+        The write is atomic (tmp file + ``os.replace``, the same pattern
+        as :mod:`repro.core.checkpoint`): a crash mid-save leaves the
+        previous store intact instead of a truncated JSON file that
+        would force a cold start on the next run.
+        """
         if self.path is None:
             raise ValueError("cache has no persistent path")
         with self._lock:
             payload = {"version": 1, "entries": dict(self._entries)}
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self.path.write_text(json.dumps(payload))
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        try:
+            tmp.write_text(json.dumps(payload))
+            os.replace(tmp, self.path)
+        finally:
+            tmp.unlink(missing_ok=True)

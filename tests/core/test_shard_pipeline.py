@@ -1,0 +1,205 @@
+"""The ordered parallel map under the pipelined shard executor.
+
+The contract under test, stage by stage: results come out in exactly
+source order whatever the worker timing (re-sequencing), errors keep
+sequential-prefix semantics (everything before the failing item is
+emitted, then the ferried exception re-raises on the caller's thread),
+backpressure bounds in-flight items at ``workers + prefetch``, closing
+the generator early joins every thread, and the stats object records
+per-stage time and queue depths.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.shard_pipeline import PipelineStats, pipeline_map
+
+
+class TestOrdering:
+    def test_results_in_source_order(self):
+        out = list(pipeline_map(range(50), lambda x: x * x, workers=4))
+        assert out == [x * x for x in range(50)]
+
+    def test_order_survives_adversarial_timing(self):
+        """Items whose transforms finish wildly out of order still emit
+        in sequence — the re-sequencing buffer, not worker luck."""
+
+        def slow_on_even(x):
+            time.sleep(0.02 if x % 2 == 0 else 0.0)
+            return x
+
+        out = list(pipeline_map(range(24), slow_on_even, workers=6))
+        assert out == list(range(24))
+
+    def test_workers_1_still_pipelines(self):
+        out = list(pipeline_map(range(10), lambda x: -x, workers=1))
+        assert out == [-x for x in range(10)]
+
+    def test_empty_source(self):
+        assert list(pipeline_map([], lambda x: x, workers=3)) == []
+
+    def test_single_item(self):
+        assert list(pipeline_map([7], lambda x: x + 1, workers=3)) == [8]
+
+    def test_generator_source_consumed_lazily(self):
+        """Threads start on first ``next()`` — building the generator
+        alone must not touch the source."""
+        pulled = []
+
+        def source():
+            for i in range(5):
+                pulled.append(i)
+                yield i
+
+        gen = pipeline_map(source(), lambda x: x, workers=2)
+        assert pulled == []
+        assert list(gen) == list(range(5))
+        assert pulled == list(range(5))
+
+
+class TestErrorSemantics:
+    def test_transform_error_after_full_prefix(self):
+        """Every result before the failing item is yielded first; the
+        exception then raises at its sequence position."""
+
+        def boom_at_5(x):
+            if x == 5:
+                raise ValueError("shard 5 failed")
+            return x
+
+        gen = pipeline_map(range(12), boom_at_5, workers=4)
+        got = []
+        with pytest.raises(ValueError, match="shard 5 failed"):
+            for value in gen:
+                got.append(value)
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_producer_error_ferried_to_caller(self):
+        def source():
+            yield 0
+            yield 1
+            raise RuntimeError("decode failed")
+
+        gen = pipeline_map(source(), lambda x: x * 10, workers=3)
+        got = []
+        with pytest.raises(RuntimeError, match="decode failed"):
+            for value in gen:
+                got.append(value)
+        assert got == [0, 10]
+
+    def test_error_on_first_item(self):
+        def boom(x):
+            raise KeyError("immediately")
+
+        with pytest.raises(KeyError, match="immediately"):
+            list(pipeline_map(range(3), boom, workers=2))
+
+    def test_threads_joined_after_error(self):
+        before = threading.active_count()
+        with pytest.raises(ZeroDivisionError):
+            list(
+                pipeline_map(
+                    range(8), lambda x: 1 / 0 if x == 2 else x, workers=3
+                )
+            )
+        assert threading.active_count() == before
+
+
+class TestBackpressure:
+    def test_in_flight_bounded_by_workers_plus_prefetch(self):
+        """With a deliberately stalled consumer, the producer may run at
+        most ``workers + prefetch`` items ahead of the emit cursor."""
+        workers, prefetch = 2, 3
+        produced = []
+
+        def source():
+            for i in range(40):
+                produced.append(i)
+                yield i
+
+        emitted = 0
+        max_ahead = 0
+        for _ in pipeline_map(source(), lambda x: x, workers=workers, prefetch=prefetch):
+            time.sleep(0.002)  # stall the consumer so the producer races ahead
+            emitted += 1
+            max_ahead = max(max_ahead, len(produced) - emitted)
+        assert emitted == 40
+        assert max_ahead <= workers + prefetch
+
+    def test_concurrent_transforms_bounded_by_workers(self):
+        workers = 3
+        lock = threading.Lock()
+        active = 0
+        peak = 0
+
+        def track(x):
+            nonlocal active, peak
+            with lock:
+                active += 1
+                peak = max(peak, active)
+            time.sleep(0.005)
+            with lock:
+                active -= 1
+            return x
+
+        assert list(pipeline_map(range(20), track, workers=workers)) == list(range(20))
+        assert 1 <= peak <= workers
+
+    def test_invalid_workers_and_prefetch(self):
+        with pytest.raises(ValueError, match="workers"):
+            pipeline_map([1], lambda x: x, workers=0)
+        with pytest.raises(ValueError, match="prefetch"):
+            list(pipeline_map([1], lambda x: x, workers=1, prefetch=0))
+
+
+class TestShutdown:
+    def test_early_close_joins_threads(self):
+        before = threading.active_count()
+        gen = pipeline_map(range(1000), lambda x: x, workers=4)
+        assert next(gen) == 0
+        gen.close()
+        assert threading.active_count() == before
+
+    def test_abandoned_unstarted_generator_spawns_nothing(self):
+        before = threading.active_count()
+        gen = pipeline_map(range(1000), lambda x: x, workers=4)
+        del gen
+        assert threading.active_count() == before
+
+
+class TestStats:
+    def test_counts_and_stage_times(self):
+        stats = PipelineStats()
+        out = list(
+            pipeline_map(
+                range(15),
+                lambda x: (time.sleep(0.001), x)[1],
+                workers=3,
+                prefetch=2,
+                stats=stats,
+            )
+        )
+        assert out == list(range(15))
+        payload = stats.to_dict()
+        assert payload["runs"] == 1
+        assert payload["workers"] == 3
+        assert payload["prefetch"] == 2
+        assert payload["shards_in"] == 15
+        assert payload["shards_out"] == 15
+        assert payload["wall_s"] > 0
+        assert payload["stage_s"]["transform"] > 0
+        assert payload["stage_s"]["produce"] >= 0
+        assert payload["stage_s"]["emit_wait"] >= 0
+        assert payload["queue_depth"]["max"] >= 1
+        assert payload["queue_depth"]["mean"] > 0
+
+    def test_one_instance_accumulates_runs(self):
+        stats = PipelineStats()
+        for _ in range(3):
+            list(pipeline_map(range(4), lambda x: x, workers=2, stats=stats))
+        payload = stats.to_dict()
+        assert payload["runs"] == 3
+        assert payload["shards_in"] == 12
+        assert payload["shards_out"] == 12

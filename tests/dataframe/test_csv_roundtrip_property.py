@@ -1,0 +1,168 @@
+"""Hypothesis property: the CSV round-trip contract over hostile cells.
+
+``to_csv`` → ``read_csv``/``read_csv_shards`` is pinned against an
+*independent* model of the cell contract (the strict parse grammar is
+re-implemented here on purpose — loosening it in ``io.py`` without
+updating this pin is a test failure, not a silent drift):
+
+* booleans round-trip as booleans (``True``/``False`` spellings);
+* ints and finite floats round-trip exactly (``repr`` round-trip);
+* ``None``/NaN write as empty cells and read back as missing;
+* strings survive verbatim **unless** they spell a strict numeric
+  literal or a bool literal — ``"007"``-style numeric-looking strings
+  coerce to numbers (the documented lossiness) — while NaN/inf
+  spellings, underscore separators, and whitespace-padded numbers all
+  stay strings (the PR-10 bugfixes);
+* dtype fidelity: the frame read back coerces exactly like an in-memory
+  frame built from the modelled cells, whatever the chunking, and every
+  schema-pinned shard matches the whole-file dtypes.
+"""
+
+import re
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataframe import DataFrame, Series, read_csv
+from repro.dataframe.io import (
+    concat_shards,
+    iter_frame_shards,
+    read_csv_shards,
+    scan_csv_kinds,
+    to_csv,
+)
+
+# ----------------------------------------------------------------------
+# The contract model (independent re-statement of the strict grammar)
+# ----------------------------------------------------------------------
+_MODEL_INT = re.compile(r"[+-]?[0-9]+\Z")
+_MODEL_FLOAT = re.compile(
+    r"[+-]?(?:[0-9]+\.[0-9]*|\.[0-9]+|[0-9]+)(?:[eE][+-]?[0-9]+)?\Z"
+)
+
+
+def model_cell(value):
+    """What one written cell must read back as, per the contract."""
+    if value is None or (isinstance(value, float) and value != value):
+        return None  # missing writes as an empty cell
+    if isinstance(value, bool):
+        return value  # "True"/"False" spellings round-trip
+    if isinstance(value, (int, float)):
+        return value  # repr round-trip is exact for finite numbers
+    text = str(value)
+    if text == "":
+        return None  # empty string is indistinguishable from missing
+    if _MODEL_INT.match(text):
+        return int(text)  # documented lossiness: "007" -> 7
+    if _MODEL_FLOAT.match(text):
+        return float(text)
+    if text == "True":
+        return True
+    if text == "False":
+        return False
+    return text  # everything else survives verbatim — incl. "nan", " 3 ", "1_000"
+
+
+def expected_frame(columns: dict) -> DataFrame:
+    return DataFrame(
+        {name: Series([model_cell(v) for v in cells]) for name, cells in columns.items()}
+    )
+
+
+def assert_frames_equal(got: DataFrame, want: DataFrame) -> None:
+    assert got.columns == want.columns
+    for name in want.columns:
+        a, b = got[name].values, want[name].values
+        assert a.dtype == b.dtype, (name, a.dtype, b.dtype)
+        assert np.array_equal(a, b, equal_nan=a.dtype.kind == "f"), name
+
+
+# ----------------------------------------------------------------------
+# Hostile cell strategies
+# ----------------------------------------------------------------------
+HOSTILE_STRINGS = [
+    "nan", "NaN", "NAN", "inf", "-inf", "Infinity", "-Infinity",  # NaN/inf spellings
+    "1_000", "1_0.5", "1e1_0",  # underscore separators
+    " 3 ", "3 ", " 3", "\t7", "2.5 ",  # whitespace padding
+    "007", "+7", "-0", "1e3", "5.", ".5", "2.5e-3",  # numeric-looking (coerce)
+    "True", "False", "true", "FALSE",  # bool spellings (exact two coerce)
+    "", "x", "0x10", "1.2.3", "--5", "+", ".", "e5", "a,b", 'q"uote',
+]
+
+cell = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-10**12, 10**12),
+    st.floats(allow_nan=True, allow_infinity=False),
+    st.sampled_from(HOSTILE_STRINGS),
+    st.text(
+        alphabet="abcXYZ019 _.,+-eE\"'",
+        max_size=8,
+    ),
+)
+
+
+@st.composite
+def hostile_table(draw):
+    n_rows = draw(st.integers(1, 30))
+    n_cols = draw(st.integers(1, 4))
+    return {
+        f"c{i}": draw(st.lists(cell, min_size=n_rows, max_size=n_rows))
+        for i in range(n_cols)
+    }
+
+
+# ----------------------------------------------------------------------
+# Properties
+# ----------------------------------------------------------------------
+@settings(max_examples=80, deadline=None)
+@given(hostile_table())
+def test_roundtrip_matches_the_model(tmp_path_factory, columns):
+    path = tmp_path_factory.mktemp("csv") / "t.csv"
+    to_csv(DataFrame({k: Series(v) for k, v in columns.items()}), path)
+    assert_frames_equal(read_csv(path), expected_frame(columns))
+
+
+@settings(max_examples=60, deadline=None)
+@given(hostile_table(), st.integers(1, 31))
+def test_schema_pinned_shards_match_whole_file(tmp_path_factory, columns, chunk):
+    path = tmp_path_factory.mktemp("csv") / "t.csv"
+    to_csv(DataFrame({k: Series(v) for k, v in columns.items()}), path)
+    whole = read_csv(path)
+    schema = scan_csv_kinds(path)
+    shards = list(read_csv_shards(path, chunk, schema=schema))
+    # every shard is bit-identical to the matching row slice, dtype included
+    offset = 0
+    for shard in shards:
+        for name in whole.columns:
+            expect = whole[name].values[offset : offset + len(shard)]
+            got = shard.frame[name].values
+            assert got.dtype == expect.dtype, (name, chunk, got.dtype, expect.dtype)
+            assert np.array_equal(got, expect, equal_nan=got.dtype.kind == "f")
+        offset += len(shard)
+    assert_frames_equal(concat_shards(shards), whole)
+
+
+@settings(max_examples=40, deadline=None)
+@given(hostile_table(), st.integers(1, 17))
+def test_chunked_append_writes_identical_bytes(tmp_path_factory, columns, chunk):
+    base = tmp_path_factory.mktemp("csv")
+    frame = DataFrame({k: Series(v) for k, v in columns.items()})
+    whole_path, inc_path = base / "whole.csv", base / "inc.csv"
+    to_csv(frame, whole_path)
+    for i, shard in enumerate(iter_frame_shards(frame, chunk)):
+        to_csv(shard.frame, inc_path, append=i > 0)
+    assert inc_path.read_bytes() == whole_path.read_bytes()
+
+
+def test_nonfinite_float_values_are_pinned_as_strings(tmp_path):
+    """``inf`` has no strict-grammar spelling: a non-finite (non-NaN)
+    float value writes as ``"inf"`` and reads back as the *string*
+    ``"inf"`` (forcing the column to object) rather than silently
+    re-becoming a float — the documented edge of the strict grammar."""
+    path = tmp_path / "t.csv"
+    to_csv(DataFrame({"f": Series([1.5, float("inf")])}), path)
+    back = read_csv(path)
+    assert back["f"].values.dtype == object
+    assert back["f"].tolist() == [1.5, "inf"]

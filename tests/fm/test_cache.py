@@ -278,3 +278,72 @@ class TestCorruptStores:
         cache.save()
         restored = FMCache(path=path).get("gpt-4", "prompt text", 0.0)
         assert restored == original
+
+
+class TestAtomicSave:
+    """A crash mid-``save()`` must never corrupt the persistent store."""
+
+    def _warm_store(self, tmp_path, n=3):
+        path = tmp_path / "cache.json"
+        cache = FMCache(path=path)
+        client = SimulatedFM(seed=0)
+        for i in range(n):
+            cache.put("m", f"p{i}", 0.0, client.build_response(f"p{i}", f"a{i}"))
+        cache.save()
+        return path
+
+    def test_save_goes_through_tmp_and_rename(self, tmp_path, monkeypatch):
+        import os as os_module
+
+        path = self._warm_store(tmp_path)
+        replaced = []
+        real_replace = os_module.replace
+        monkeypatch.setattr(
+            "repro.fm.cache.os.replace",
+            lambda src, dst: (replaced.append((str(src), str(dst))), real_replace(src, dst))[1],
+        )
+        cache = FMCache(path=path)
+        cache.save()
+        assert replaced and replaced[0][0].endswith(".tmp")
+        assert replaced[0][1] == str(path)
+        assert not path.with_name(path.name + ".tmp").exists()
+
+    def test_interrupted_write_leaves_old_store_intact(self, tmp_path, monkeypatch):
+        from pathlib import Path
+
+        path = self._warm_store(tmp_path, n=2)
+        before = path.read_bytes()
+
+        real_write_text = Path.write_text
+
+        def dying_write(self, text, *args, **kwargs):
+            # Simulate a crash mid-write: half the payload lands, then boom.
+            real_write_text(self, text[: len(text) // 2], *args, **kwargs)
+            raise OSError("disk full")
+
+        monkeypatch.setattr(Path, "write_text", dying_write)
+        cache = FMCache(path=path)
+        client = SimulatedFM(seed=1)
+        cache.put("m", "extra", 0.0, client.build_response("extra", "x"))
+        with pytest.raises(OSError):
+            cache.save()
+        monkeypatch.undo()
+        # The store on disk is byte-identical to the last good save ...
+        assert path.read_bytes() == before
+        assert not path.with_name(path.name + ".tmp").exists()
+        # ... and still loads warm.
+        assert len(FMCache(path=path)) == 2
+
+    def test_interrupted_replace_leaves_old_store_intact(self, tmp_path, monkeypatch):
+        path = self._warm_store(tmp_path, n=2)
+        before = path.read_bytes()
+        monkeypatch.setattr(
+            "repro.fm.cache.os.replace",
+            lambda src, dst: (_ for _ in ()).throw(OSError("killed")),
+        )
+        cache = FMCache(path=path)
+        with pytest.raises(OSError):
+            cache.save()
+        monkeypatch.undo()
+        assert path.read_bytes() == before
+        assert not path.with_name(path.name + ".tmp").exists()

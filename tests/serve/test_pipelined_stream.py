@@ -1,0 +1,295 @@
+"""Pipelined shard execution through the serve layer.
+
+The contract: opting into ``pipeline_workers`` changes *when* shards are
+decoded and transformed — overlapped across threads, bounded by the
+prefetch window — but never *what* comes out: every pipelined path
+(``apply_stream``, ``FeatureServer.transform_stream``,
+``refresh_group_tables``, ``fit_transform_stream``'s second pass) is
+bit-identical to its sequential twin, and the fault-isolation machinery
+(degrade NaN-fills, breakers, strict mid-stream errors) composes with
+worker threads unchanged.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import SmartFeat
+from repro.core.sandbox import TransformError
+from repro.core.shard_pipeline import PipelineStats
+from repro.dataframe.io import concat_shards, iter_frame_shards
+from repro.eval.serving import build_demo_result
+from repro.fm import SimulatedFM
+from repro.serve import (
+    BreakerBoard,
+    FeaturePlan,
+    FeatureServer,
+    compile_plan,
+    frames_identical,
+)
+
+
+@pytest.fixture(scope="module")
+def demo():
+    result, frame = build_demo_result(600, seed=0)
+    plan = FeaturePlan.from_json(compile_plan(result, frame, "Target").to_json())
+    return plan, frame, plan.apply(frame)
+
+
+class TestApplyStreamPipelined:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_bit_identical_to_sequential(self, demo, workers):
+        plan, frame, base = demo
+        merged = concat_shards(
+            list(
+                plan.apply_stream(
+                    iter_frame_shards(frame, 113), pipeline_workers=workers
+                )
+            )
+        )
+        identical, detail = frames_identical(merged, base)
+        assert identical, f"workers={workers}: {detail}"
+
+    def test_budget_rechunk_identical_under_workers(self, demo):
+        """The budget divides across in-flight shards, so the pipelined
+        path re-chunks differently — the concatenated stream must not
+        care."""
+        plan, frame, base = demo
+        sequential = concat_shards(
+            list(plan.apply_stream(iter_frame_shards(frame, 600), memory_budget_mb=1))
+        )
+        piped = list(
+            plan.apply_stream(
+                iter_frame_shards(frame, 600),
+                memory_budget_mb=1,
+                pipeline_workers=3,
+            )
+        )
+        assert len(piped) > 1, "1 MB across 6 in-flight shards must re-chunk"
+        merged = concat_shards(piped)
+        for other in (sequential, base):
+            identical, detail = frames_identical(merged, other)
+            assert identical, detail
+
+    def test_explicit_prefetch(self, demo):
+        plan, frame, base = demo
+        merged = concat_shards(
+            list(
+                plan.apply_stream(
+                    iter_frame_shards(frame, 97),
+                    pipeline_workers=2,
+                    pipeline_prefetch=5,
+                )
+            )
+        )
+        identical, detail = frames_identical(merged, base)
+        assert identical, detail
+
+    def test_stats_record_the_stream(self, demo):
+        plan, frame, _ = demo
+        stats = PipelineStats()
+        list(
+            plan.apply_stream(
+                iter_frame_shards(frame, 100),
+                pipeline_workers=2,
+                pipeline_stats=stats,
+            )
+        )
+        payload = stats.to_dict()
+        assert payload["runs"] == 1
+        assert payload["shards_in"] == payload["shards_out"] == 6
+        assert payload["wall_s"] > 0
+        assert payload["stage_s"]["transform"] > 0
+
+    def test_invalid_workers_raise(self, demo):
+        from repro.serve import PlanError
+
+        plan, frame, _ = demo
+        with pytest.raises(PlanError, match="workers"):
+            list(
+                plan.apply_stream(
+                    iter_frame_shards(frame, 100), pipeline_workers=0
+                )
+            )
+
+
+class TestTransformStreamPipelined:
+    def test_bit_identical_and_stats_surfaced(self, demo):
+        plan, frame, base = demo
+        sequential = FeatureServer(plan)
+        piped = FeatureServer(plan)
+        seq_out = concat_shards(
+            list(sequential.transform_stream(iter_frame_shards(frame, 150)))
+        )
+        pipe_out = concat_shards(
+            list(
+                piped.transform_stream(
+                    iter_frame_shards(frame, 150), pipeline_workers=3
+                )
+            )
+        )
+        identical, detail = frames_identical(pipe_out, seq_out)
+        assert identical, detail
+        identical, detail = frames_identical(pipe_out, base)
+        assert identical, detail
+        assert sequential.stats()["pipeline"] == {}
+        pipe_stats = piped.stats()["pipeline"]
+        assert pipe_stats["shards_out"] == 4
+        assert pipe_stats["workers"] == 3
+        assert piped.stats()["rows_in"] == len(frame)
+
+    def test_stats_accumulate_across_streams(self, demo):
+        plan, frame, _ = demo
+        server = FeatureServer(plan)
+        for _ in range(2):
+            list(
+                server.transform_stream(
+                    iter_frame_shards(frame, 200), pipeline_workers=2
+                )
+            )
+        payload = server.stats()["pipeline"]
+        assert payload["runs"] == 2
+        assert payload["shards_out"] == 6
+
+
+class TestFaultIsolationComposition:
+    """PR 8's resilience machinery under PR 10's worker threads."""
+
+    @staticmethod
+    def _fail_on_small_shard(feature):
+        """Deterministic under any worker timing: fails on the one shard
+        whose row count differs (the trailing partial shard)."""
+
+        def evaluator(spec, frame, default):
+            if spec.name == feature and len(frame) == 100:
+                raise TransformError("injected: fails on the partial shard")
+            return default()
+
+        return evaluator
+
+    def test_degrade_nan_fills_only_the_failing_shard(self, demo):
+        plan, frame, base = demo
+        outs = list(
+            plan.apply_stream(
+                iter_frame_shards(frame, 250),  # 250 + 250 + 100
+                failure_policy="degrade",
+                evaluator=self._fail_on_small_shard("Income_z"),
+                pipeline_workers=3,
+            )
+        )
+        assert [len(o) for o in outs] == [250, 250, 100]
+        expect = list(iter_frame_shards(base, 250))
+        for idx in (0, 1):
+            identical, detail = frames_identical(outs[idx], expect[idx].frame)
+            assert identical, f"healthy shard {idx} diverged: {detail}"
+        assert np.isnan(outs[2]["Income_z"].values).all()
+        for name in base.columns:
+            if name == "Income_z":
+                continue
+            assert np.array_equal(
+                outs[2][name].values,
+                expect[2].frame[name].values,
+                equal_nan=outs[2][name].dtype.kind == "f",
+            ), name
+
+    def test_strict_raises_after_healthy_prefix(self, demo):
+        plan, frame, _ = demo
+        stream = plan.apply_stream(
+            iter_frame_shards(frame, 250),
+            evaluator=self._fail_on_small_shard("Income_z"),
+            pipeline_workers=3,
+        )
+        got = []
+        with pytest.raises(TransformError, match="injected"):
+            for out in stream:
+                got.append(len(out))
+        assert got == [250, 250]
+
+    def test_breakers_trip_across_worker_threads(self, demo):
+        plan, frame, _ = demo
+
+        def always_fail(spec, frame_, default):
+            if spec.name == "Income_z":
+                raise TransformError("injected: always fails")
+            return default()
+
+        breakers = BreakerBoard(failure_threshold=2, cooldown_calls=100)
+        outs = list(
+            plan.apply_stream(
+                iter_frame_shards(frame, 100),
+                failure_policy="degrade",
+                breakers=breakers,
+                evaluator=always_fail,
+                pipeline_workers=4,
+            )
+        )
+        assert len(outs) == 6
+        assert breakers.snapshot()["Income_z"]["state"] == "open"
+        for out in outs:
+            assert np.isnan(out["Income_z"].values).all()
+
+
+class TestRefreshGroupTablesPipelined:
+    def test_refreshed_tables_bit_identical(self, demo):
+        """Feature materialization fans out to workers but the streaming
+        fold stays a strict left-fold in stream order, so the refreshed
+        plan JSON is identical byte-for-byte (sorted keys)."""
+        plan, frame, _ = demo
+        sequential = FeaturePlan.from_json(plan.to_json())
+        piped = FeaturePlan.from_json(plan.to_json())
+        assert sequential.refresh_group_tables(iter_frame_shards(frame, 97)) == 2
+        assert (
+            piped.refresh_group_tables(
+                iter_frame_shards(frame, 97), pipeline_workers=3
+            )
+            == 2
+        )
+        assert json.dumps(json.loads(sequential.to_json()), sort_keys=True) == (
+            json.dumps(json.loads(piped.to_json()), sort_keys=True)
+        )
+        out_a, out_b = sequential.apply(frame), piped.apply(frame)
+        identical, detail = frames_identical(out_b, out_a)
+        assert identical, detail
+
+    def test_chunking_and_workers_invariant(self, demo):
+        plan, frame, _ = demo
+        baseline = FeaturePlan.from_json(plan.to_json())
+        baseline.refresh_group_tables(iter_frame_shards(frame, 211))
+        want = json.dumps(json.loads(baseline.to_json()), sort_keys=True)
+        for chunk, workers in ((1, 2), (211, 4), (10**6, 1)):
+            p = FeaturePlan.from_json(plan.to_json())
+            p.refresh_group_tables(
+                iter_frame_shards(frame, chunk), pipeline_workers=workers
+            )
+            got = json.dumps(json.loads(p.to_json()), sort_keys=True)
+            assert got == want, f"chunk={chunk} workers={workers}"
+
+
+class TestFitTransformStreamPipelined:
+    def test_second_pass_refresh_identical(self):
+        def make_tool():
+            return SmartFeat(
+                fm=SimulatedFM(seed=0, model="gpt-4"),
+                function_fm=SimulatedFM(seed=1, model="gpt-3.5-turbo"),
+                compile_plan=True,
+            )
+
+        _, frame = build_demo_result(600, seed=0)
+
+        def run(**kwargs):
+            return make_tool().fit_transform_stream(
+                lambda: iter_frame_shards(frame, 157),
+                "Target",
+                fit_sample_rows=400,
+                sample_seed=7,
+                **kwargs,
+            )
+
+        sequential = run()
+        piped = run(pipeline_workers=3, pipeline_prefetch=2)
+        identical, detail = frames_identical(piped.frame, sequential.frame)
+        assert identical, detail
+        assert json.dumps(
+            json.loads(piped.plan.to_json()), sort_keys=True
+        ) == json.dumps(json.loads(sequential.plan.to_json()), sort_keys=True)
